@@ -1,0 +1,185 @@
+// Command gridvine-bench regenerates every quantitative result of the
+// paper's evaluation (see DESIGN.md §3 and EXPERIMENTS.md): the §2.3
+// deployment latency distribution, the O(log |Π|) routing cost, the
+// connectivity-indicator emergence curve, the §4 recall-growth
+// demonstration, the Bayesian deprecation quality, and the design
+// ablations.
+//
+// Usage:
+//
+//	gridvine-bench -exp all          # everything, paper-scale
+//	gridvine-bench -exp A            # one experiment
+//	gridvine-bench -exp A -quick     # scaled-down parameters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gridvine/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: A,B,C,D,E,G,H,I,J or all")
+	quick := flag.Bool("quick", false, "run with scaled-down parameters")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	runners := map[string]func(bool, int64) error{
+		"A": runA, "B": runB, "C": runC, "D": runD,
+		"E": runE, "G": runG, "H": runH, "I": runI, "J": runJ,
+	}
+	order := []string{"A", "B", "C", "D", "E", "G", "H", "I", "J"}
+
+	var selected []string
+	if strings.EqualFold(*exp, "all") {
+		selected = order
+	} else {
+		for _, id := range strings.Split(strings.ToUpper(*exp), ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := runners[id]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (have %s)\n", id, strings.Join(order, ","))
+				os.Exit(2)
+			}
+			selected = append(selected, id)
+		}
+	}
+
+	for _, id := range selected {
+		start := time.Now()
+		if err := runners[id](*quick, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func header(id, title string) {
+	fmt.Printf("=== EXP-%s: %s ===\n", id, title)
+}
+
+func runA(quick bool, seed int64) error {
+	header("A", "deployment latency (paper §2.3: 340 peers, 17k triples, 23k queries; 40% <1s, 75% <5s)")
+	cfg := experiments.DeploymentConfig{Seed: seed}
+	if quick {
+		cfg.Peers, cfg.Queries, cfg.Schemas, cfg.Entities = 120, 3000, 20, 120
+	}
+	r, err := experiments.RunDeployment(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Table())
+	return nil
+}
+
+func runB(quick bool, seed int64) error {
+	header("B", "routing cost O(log |Π|) (paper §2.1), balanced and skewed tries")
+	cfg := experiments.RoutingConfig{Skewed: true, Seed: seed}
+	if quick {
+		cfg.Sizes = []int{64, 256, 1024}
+		cfg.QueriesPerSize = 150
+	}
+	r, err := experiments.RunRouting(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Table())
+	return nil
+}
+
+func runC(quick bool, seed int64) error {
+	header("C", "connectivity indicator vs giant component (paper §3.1), 50 schemas")
+	cfg := experiments.ConnectivityConfig{Seed: seed}
+	if quick {
+		cfg.Trials = 10
+	}
+	r := experiments.RunConnectivity(cfg)
+	fmt.Print(r.Table())
+	fmt.Printf("ci crosses 0 at ≈%d mappings\n", r.CrossoverMappings())
+	return nil
+}
+
+func runD(quick bool, seed int64) error {
+	header("D", "recall growth under self-organization (paper §4 demonstration)")
+	cfg := experiments.RecallConfig{Seed: seed}
+	if quick {
+		cfg.Peers, cfg.Schemas, cfg.Entities, cfg.Rounds, cfg.Queries = 32, 10, 60, 5, 30
+	}
+	r, err := experiments.RunRecall(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload: %d triples\n", r.Triples)
+	fmt.Print(r.Table())
+	return nil
+}
+
+func runE(quick bool, seed int64) error {
+	header("E", "Bayesian deprecation of erroneous mappings (paper §3.2)")
+	cfg := experiments.DeprecationConfig{Seed: seed}
+	if quick {
+		cfg.Trials = 4
+		cfg.BadCounts = []int{2, 4}
+	}
+	r := experiments.RunDeprecation(cfg)
+	fmt.Print(r.Table())
+	return nil
+}
+
+func runG(quick bool, seed int64) error {
+	header("G", "ablation: triple indexed 3x vs subject-only (paper §2.2 design)")
+	cfg := experiments.IndexingConfig{Seed: seed}
+	if quick {
+		cfg.Peers, cfg.Entities, cfg.Schemas, cfg.Queries = 16, 30, 6, 30
+	}
+	r, err := experiments.RunIndexing(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Table())
+	return nil
+}
+
+func runH(quick bool, seed int64) error {
+	header("H", "ablation: replication factor vs availability under churn (paper §2.1 design)")
+	cfg := experiments.ChurnConfig{Seed: seed}
+	if quick {
+		cfg.Peers, cfg.Keys = 48, 60
+		cfg.ReplicaFactors = []int{1, 2, 3}
+	}
+	r, err := experiments.RunChurn(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Table())
+	return nil
+}
+
+func runI(quick bool, seed int64) error {
+	header("I", "ablation: iterative vs recursive reformulation (paper §4 design)")
+	cfg := experiments.StrategiesConfig{Seed: seed}
+	if quick {
+		cfg.ChainLengths = []int{1, 2, 3, 4}
+	}
+	r, err := experiments.RunStrategies(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Table())
+	return nil
+}
+
+func runJ(quick bool, seed int64) error {
+	header("J", "ablation: lexical vs set-distance vs combined matcher (paper §4 design)")
+	cfg := experiments.AlignmentConfig{Seed: seed}
+	if quick {
+		cfg.Schemas, cfg.Entities, cfg.Pairs = 10, 80, 20
+	}
+	r := experiments.RunAlignment(cfg)
+	fmt.Print(r.Table())
+	return nil
+}

@@ -1,0 +1,77 @@
+// Quickstart: build a local GridVine network, share triples under two
+// heterogeneous schemas, connect them with a mapping, and watch one query
+// retrieve results from both through reformulation.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gridvine"
+)
+
+func main() {
+	// A 16-peer network over the in-memory transport (set TCP: true to run
+	// the peers on real localhost sockets instead).
+	net, err := gridvine.NewNetwork(gridvine.Options{Peers: 16, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer net.Close()
+
+	// Any peer can insert; each triple is indexed at the overlay by its
+	// subject, predicate and object keys.
+	p := net.Peer(0)
+	triples := []gridvine.Triple{
+		{Subject: "EMBL:A78712", Predicate: "EMBL#Organism", Object: "Aspergillus nidulans"},
+		{Subject: "EMBL:A78712", Predicate: "EMBL#Length", Object: "1422"},
+		{Subject: "NEN94295-05", Predicate: "EMP#SystematicName", Object: "Aspergillus flavus"},
+	}
+	for _, t := range triples {
+		if _, err := p.InsertTriple(t); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Schemas document the attributes; the mapping makes them interoperable.
+	p.InsertSchema(gridvine.NewSchema("EMBL", "bio", "Organism", "Length"))
+	p.InsertSchema(gridvine.NewSchema("EMP", "bio", "SystematicName"))
+	mapping := gridvine.NewManualMapping("EMBL", "EMP",
+		map[string]string{"Organism": "SystematicName"})
+	if _, err := p.InsertMapping(mapping); err != nil {
+		log.Fatal(err)
+	}
+
+	// Query from a different peer: constrained on the EMBL predicate, LIKE
+	// on the object — the paper's running example.
+	q := gridvine.Pattern{
+		S: gridvine.Var("x"),
+		P: gridvine.Const("EMBL#Organism"),
+		O: gridvine.Like("%Aspergillus%"),
+	}
+	rs, err := net.Peer(9).SearchWithReformulation(q, gridvine.SearchOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("query %v → %d results (%d reformulations):\n", q, len(rs.Results), rs.Reformulations)
+	for _, r := range rs.Results {
+		fmt.Printf("  %s  (from %s, confidence %.2f)\n", r.Triple, r.Pattern.P.Value, r.Confidence)
+	}
+
+	// Conjunctive query: join two patterns on the shared variable x.
+	patterns := []gridvine.Pattern{
+		{S: gridvine.Var("x"), P: gridvine.Const("EMBL#Organism"), O: gridvine.Like("%Aspergillus%")},
+		{S: gridvine.Var("x"), P: gridvine.Const("EMBL#Length"), O: gridvine.Var("len")},
+	}
+	bindings, _, err := net.Peer(3).SearchConjunctive(patterns, false, gridvine.SearchOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("conjunctive query bindings:")
+	for _, b := range bindings {
+		fmt.Printf("  x=%s len=%s\n", b["x"], b["len"])
+	}
+}

@@ -1,0 +1,75 @@
+// Reformulation: the paper's Figure 2 walk-through, step by step.
+//
+// A query posed against EMBL#Organism is reformulated through the schema
+// mapping EMBL#Organism ↔ EMP#SystematicName and aggregates results from
+// both schemas:
+//
+//	SearchFor(x1? : (x1?, EMBL#Organism, %Aspergillus%))
+//	 1) Search for schema mapping  EMBL#Organism ↔ EMP#SystematicName
+//	 2) Reformulate query          SearchFor(x2? : (x2?, EMP#SystematicName, %Aspergillus%))
+//	 3) Aggregate results          x1 = {EMBL:A78712, EMBL:A78767}, x2 = NEN94295-05
+//
+//	go run ./examples/reformulation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gridvine"
+)
+
+func main() {
+	net, err := gridvine.NewNetwork(gridvine.Options{Peers: 16, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer net.Close()
+	p := net.Peer(0)
+
+	// The figure's data: two nucleotide sequences described under EMBL, one
+	// protein entry described under EMP.
+	for _, t := range []gridvine.Triple{
+		{Subject: "EMBL:A78712", Predicate: "EMBL#Organism", Object: "Aspergillus nidulans"},
+		{Subject: "EMBL:A78767", Predicate: "EMBL#Organism", Object: "Aspergillus niger"},
+		{Subject: "NEN94295-05", Predicate: "EMP#SystematicName", Object: "Aspergillus flavus"},
+	} {
+		if _, err := p.InsertTriple(t); err != nil {
+			log.Fatal(err)
+		}
+	}
+	mapping := gridvine.NewManualMapping("EMBL", "EMP",
+		map[string]string{"Organism": "SystematicName"})
+	if _, err := p.InsertMapping(mapping); err != nil {
+		log.Fatal(err)
+	}
+
+	query := gridvine.Pattern{
+		S: gridvine.Var("x1"),
+		P: gridvine.Const("EMBL#Organism"),
+		O: gridvine.Like("%Aspergillus%"),
+	}
+	fmt.Printf("SearchFor(x1? : %v)\n\n", query)
+
+	// Both strategies of §4 — iterative (issuer reformulates) and recursive
+	// (intermediate peers reformulate) — return the same aggregate.
+	for _, mode := range []gridvine.SearchOptions{
+		{Mode: gridvine.Iterative},
+		{Mode: gridvine.Recursive},
+	} {
+		rs, err := net.Peer(11).SearchWithReformulation(query, mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%v reformulation: %d reformulations, %d messages\n",
+			mode.Mode, rs.Reformulations, rs.Messages)
+		for _, r := range rs.Results {
+			step := "original query"
+			if len(r.MappingPath) > 0 {
+				step = fmt.Sprintf("reformulated via %v", r.MappingPath)
+			}
+			fmt.Printf("  %-13s ← %-24s (%s)\n", r.Triple.Subject, r.Pattern.P.Value, step)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,93 @@
+// Self-organization: the §3–§4 maintenance loop in action. Schemas start
+// almost unconnected; the organizer monitors the connectivity indicator,
+// creates mappings automatically from shared instance references (aligned
+// with lexical + set-distance measures), and the Bayesian cycle analysis
+// deprecates a deliberately planted erroneous mapping.
+//
+//	go run ./examples/selforganization
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gridvine"
+	"gridvine/internal/bioworkload"
+)
+
+func main() {
+	w := bioworkload.Generate(bioworkload.Config{Schemas: 8, Entities: 60, Seed: 11})
+	net, err := gridvine.NewNetwork(gridvine.Options{Peers: 32, Seed: 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer net.Close()
+
+	for _, t := range w.Triples() {
+		if _, err := net.RandomPeer().InsertTriple(t); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	org, err := net.NewOrganizer(net.Peer(0), gridvine.OrganizerOptions{
+		Domain:              w.Domain,
+		MaxMappingsPerRound: 4,
+		Seed:                13,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, info := range w.Schemas {
+		if err := org.RegisterSchema(info.Schema); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// One manual seed mapping plus one deliberately WRONG mapping: its
+	// correspondences cross concepts (organism ↔ accession), so cycles
+	// through it will not compose to the identity.
+	seeds := w.SeedMappings(1)
+	if len(seeds) > 0 {
+		net.Peer(0).InsertMapping(seeds[0])
+	}
+	a, b := w.Schemas[2], w.Schemas[4]
+	wrong := gridvine.NewAutomaticMapping(a.Schema.Name, b.Schema.Name, map[string]string{
+		a.ConceptAttr["organism"]:  b.ConceptAttr["accession"],
+		a.ConceptAttr["accession"]: b.ConceptAttr["organism"],
+	}, 0.8)
+	net.Peer(0).InsertMapping(wrong)
+	fmt.Printf("seeded 1 correct mapping and 1 planted-wrong mapping (%s ↔ %s)\n\n",
+		a.Schema.Name, b.Schema.Name)
+
+	subjects := w.Subjects()
+	for round := 1; round <= 6; round++ {
+		r, err := org.Round(subjects)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("round %d: ci %+0.2f → %+0.2f, created %d, deprecated %d (cycles evaluated: %d)\n",
+			round, r.CIBefore, r.CIAfter, len(r.Created), len(r.Deprecated), r.Evidence)
+		for _, m := range r.Created {
+			fmt.Printf("    + %s\n", m)
+		}
+		for _, id := range r.Deprecated {
+			marker := ""
+			if id == wrong.ID {
+				marker = "   ← the planted-wrong mapping"
+			}
+			fmt.Printf("    − deprecated %s%s\n", id, marker)
+		}
+	}
+
+	ms, err := org.GatherMappings()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfinal state: %d active mappings, %d deprecated\n",
+		len(ms.Active()), ms.Len()-len(ms.Active()))
+	if got, ok := ms.Get(wrong.ID); ok && got.Deprecated {
+		fmt.Println("the planted-wrong mapping was detected and deprecated ✓")
+	} else {
+		fmt.Println("the planted-wrong mapping survived (increase rounds or cycle budget)")
+	}
+}

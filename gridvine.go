@@ -1,0 +1,298 @@
+// Package gridvine is a Go implementation of the GridVine peer data
+// management system (Aberer et al., ISWC 2004; Cudré-Mauroux et al., VLDB
+// 2007): a semantic mediation layer — RDF-style triples, user-defined
+// schemas, pairwise schema mappings, query reformulation, and
+// self-organizing mapping maintenance — built on the P-Grid structured
+// overlay, a distributed binary search trie with prefix routing,
+// replication and an order-preserving hash supporting range queries.
+//
+// The package is a facade over the internal layers. A minimal session:
+//
+//	net, _ := gridvine.NewNetwork(gridvine.Options{Peers: 16, Seed: 1})
+//	p := net.Peer(0)
+//	p.InsertTriple(gridvine.Triple{
+//		Subject: "acc:P1", Predicate: "EMBL#Organism", Object: "Aspergillus niger"})
+//	rs, _ := net.Peer(3).SearchFor(gridvine.Pattern{
+//		S: gridvine.Var("x"), P: gridvine.Const("EMBL#Organism"), O: gridvine.Like("%Aspergillus%")})
+//
+// See examples/ for runnable programs and DESIGN.md for the architecture.
+package gridvine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gridvine/internal/align"
+	"gridvine/internal/bayes"
+	"gridvine/internal/mediation"
+	"gridvine/internal/pgrid"
+	"gridvine/internal/rdql"
+	"gridvine/internal/schema"
+	"gridvine/internal/selforg"
+	"gridvine/internal/simnet"
+	"gridvine/internal/tcpnet"
+	"gridvine/internal/triple"
+)
+
+// Core data-model types, re-exported for a one-import experience.
+type (
+	// Triple is one statement {subject, predicate, object}.
+	Triple = triple.Triple
+	// Pattern is a triple pattern (s, p, o) with constants, variables and
+	// LIKE terms.
+	Pattern = triple.Pattern
+	// Term is one slot of a Pattern.
+	Term = triple.Term
+	// Bindings maps query variables to matched values.
+	Bindings = triple.Bindings
+	// Schema is a named set of attributes used as triple predicates.
+	Schema = schema.Schema
+	// Mapping is a directed pairwise schema mapping.
+	Mapping = schema.Mapping
+	// Correspondence aligns one source attribute with one target attribute.
+	Correspondence = schema.Correspondence
+	// SearchOptions tunes reformulating searches.
+	SearchOptions = mediation.SearchOptions
+	// ResultSet aggregates query answers with provenance.
+	ResultSet = mediation.ResultSet
+	// Result is one retrieved triple with its reformulation provenance.
+	Result = mediation.Result
+	// ConnectivityReport is the domain registry's connectivity answer.
+	ConnectivityReport = mediation.ConnectivityReport
+	// RoundReport summarizes one self-organization round.
+	RoundReport = selforg.RoundReport
+	// MatcherConfig tunes automatic attribute alignment.
+	MatcherConfig = align.MatcherConfig
+	// AssessorConfig tunes the Bayesian mapping analysis.
+	AssessorConfig = bayes.AssessorConfig
+)
+
+// Term constructors.
+var (
+	// Const builds a constant term.
+	Const = triple.Const
+	// Var builds a variable term.
+	Var = triple.Var
+	// Like builds a LIKE term with % wildcards.
+	Like = triple.LikeTerm
+)
+
+// Reformulation modes.
+const (
+	// Iterative reformulation: the issuer walks the mapping graph itself.
+	Iterative = mediation.Iterative
+	// Recursive reformulation: destinations reformulate and forward.
+	Recursive = mediation.Recursive
+)
+
+// Mapping helpers.
+
+// NewSchema builds a schema from a name, domain and attributes.
+func NewSchema(name, domain string, attributes ...string) Schema {
+	return schema.NewSchema(name, domain, attributes...)
+}
+
+// NewManualMapping builds a trusted bidirectional equivalence mapping from
+// attribute pairs (source attribute → target attribute).
+func NewManualMapping(source, target string, attrPairs map[string]string) Mapping {
+	var corrs []Correspondence
+	for s, t := range attrPairs {
+		corrs = append(corrs, Correspondence{SourceAttr: s, TargetAttr: t, Confidence: 1})
+	}
+	m := schema.NewMapping(source, target, schema.Equivalence, schema.Manual, corrs)
+	m.Bidirectional = true
+	return m
+}
+
+// NewAutomaticMapping builds a bidirectional equivalence mapping of
+// automatic origin with the given confidence — the kind the self-organizing
+// matcher produces, subject to Bayesian assessment and deprecation.
+func NewAutomaticMapping(source, target string, attrPairs map[string]string, confidence float64) Mapping {
+	var corrs []Correspondence
+	for s, t := range attrPairs {
+		corrs = append(corrs, Correspondence{SourceAttr: s, TargetAttr: t, Confidence: confidence})
+	}
+	m := schema.NewMapping(source, target, schema.Equivalence, schema.Automatic, corrs)
+	m.Bidirectional = true
+	return m
+}
+
+// Options configures a local GridVine network.
+type Options struct {
+	// Peers is the number of peers. Default 16.
+	Peers int
+	// ReplicaFactor is the number of peers per overlay leaf. Default 2.
+	ReplicaFactor int
+	// Seed drives all randomness (construction, routing tie-breaks).
+	Seed int64
+	// TCP runs peers over local TCP sockets instead of the in-memory
+	// transport.
+	TCP bool
+	// SelfOrganizingOverlay constructs the overlay with the randomized
+	// pairwise-exchange bootstrap instead of static placement.
+	SelfOrganizingOverlay bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Peers == 0 {
+		o.Peers = 16
+	}
+	if o.ReplicaFactor == 0 {
+		o.ReplicaFactor = 2
+	}
+	return o
+}
+
+// Peer is one GridVine participant.
+type Peer struct {
+	*mediation.Peer
+}
+
+// Row is one RDQL result row (values of the SELECT variables, in order).
+type Row = rdql.Row
+
+// ParseRDQL parses an RDQL-style query string (the paper's query language,
+// reference [8]):
+//
+//	SELECT ?x, ?len
+//	WHERE (?x, <EMBL#Organism>, "%Aspergillus%"), (?x, <EMBL#Length>, ?len)
+func ParseRDQL(query string) (rdql.Query, error) { return rdql.Parse(query) }
+
+// QueryRDQL parses and executes an RDQL query on this peer: each WHERE
+// pattern is resolved over the overlay (with schema-mapping reformulation
+// when reformulate is set), the binding sets are joined, and the SELECT
+// variables are projected into deduplicated rows.
+func (p *Peer) QueryRDQL(query string, reformulate bool, opts SearchOptions) ([]Row, error) {
+	q, err := rdql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	bindings, _, err := p.SearchConjunctive(q.Patterns, reformulate, opts)
+	if err != nil {
+		return nil, err
+	}
+	return q.Project(bindings), nil
+}
+
+// Network is a handle on a set of GridVine peers sharing one overlay.
+type Network struct {
+	opts    Options
+	inmem   *simnet.Network
+	tcp     *tcpnet.Transport
+	overlay *pgrid.Overlay
+	peers   []*Peer
+	rng     *rand.Rand
+}
+
+// NewNetwork builds a local GridVine network: the overlay (static or
+// self-organizing), one mediation peer per node, over the in-memory or the
+// TCP transport.
+func NewNetwork(opts Options) (*Network, error) {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	n := &Network{opts: opts, rng: rng}
+	var registrar simnet.Registrar
+	if opts.TCP {
+		n.tcp = tcpnet.NewTransport()
+		registrar = n.tcp
+	} else {
+		n.inmem = simnet.NewNetwork()
+		registrar = n.inmem
+	}
+
+	var ov *pgrid.Overlay
+	var err error
+	if opts.SelfOrganizingOverlay {
+		ov, err = pgrid.Bootstrap(registrar, pgrid.BootstrapOptions{
+			Peers:    opts.Peers,
+			MaxDepth: log2(opts.Peers / opts.ReplicaFactor),
+			Rng:      rng,
+		})
+	} else {
+		ov, err = pgrid.Build(registrar, pgrid.BuildOptions{
+			Peers:         opts.Peers,
+			ReplicaFactor: opts.ReplicaFactor,
+			Rng:           rng,
+		})
+	}
+	if err != nil {
+		if n.tcp != nil {
+			n.tcp.Close()
+		}
+		return nil, fmt.Errorf("gridvine: building overlay: %w", err)
+	}
+	n.overlay = ov
+	for _, node := range ov.Nodes() {
+		n.peers = append(n.peers, &Peer{mediation.NewPeer(node)})
+	}
+	return n, nil
+}
+
+// Peers returns every peer.
+func (n *Network) Peers() []*Peer { return n.peers }
+
+// Peer returns the i-th peer (panics when out of range, like a slice).
+func (n *Network) Peer(i int) *Peer { return n.peers[i] }
+
+// NumPeers returns the network size.
+func (n *Network) NumPeers() int { return len(n.peers) }
+
+// RandomPeer returns a uniformly random peer (deterministic per Seed).
+func (n *Network) RandomPeer() *Peer {
+	return n.peers[n.rng.Intn(len(n.peers))]
+}
+
+// Overlay exposes the underlying P-Grid overlay (diagnostics, experiments).
+func (n *Network) Overlay() *pgrid.Overlay { return n.overlay }
+
+// Transport exposes the in-memory network when not running over TCP
+// (failure injection, stats); nil under TCP.
+func (n *Network) Transport() *simnet.Network { return n.inmem }
+
+// Close releases transport resources (TCP listeners). In-memory networks
+// need no cleanup.
+func (n *Network) Close() {
+	if n.tcp != nil {
+		n.tcp.Close()
+	}
+}
+
+// OrganizerOptions configures a self-organization driver.
+type OrganizerOptions struct {
+	// Domain is the application domain to organize. Default "default".
+	Domain string
+	// Matcher tunes attribute alignment.
+	Matcher MatcherConfig
+	// Assessor tunes the Bayesian analysis.
+	Assessor AssessorConfig
+	// MaxMappingsPerRound bounds creation per round.
+	MaxMappingsPerRound int
+	// Seed drives sampling.
+	Seed int64
+}
+
+// Organizer drives the self-organizing schema-mapping maintenance.
+type Organizer = selforg.Organizer
+
+// NewOrganizer attaches a self-organization driver to a peer.
+func (n *Network) NewOrganizer(p *Peer, opts OrganizerOptions) (*Organizer, error) {
+	return selforg.New(p.Peer, selforg.Config{
+		Domain:              opts.Domain,
+		Matcher:             opts.Matcher,
+		Assessor:            opts.Assessor,
+		MaxMappingsPerRound: opts.MaxMappingsPerRound,
+		Rng:                 rand.New(rand.NewSource(opts.Seed)),
+	})
+}
+
+func log2(n int) int {
+	d := 0
+	for 1<<d < n {
+		d++
+	}
+	if d == 0 {
+		d = 1
+	}
+	return d
+}

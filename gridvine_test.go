@@ -1,0 +1,213 @@
+package gridvine
+
+import (
+	"testing"
+)
+
+func TestNewNetworkDefaults(t *testing.T) {
+	net, err := NewNetwork(Options{Seed: 1})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	defer net.Close()
+	if net.NumPeers() != 16 {
+		t.Errorf("peers = %d, want default 16", net.NumPeers())
+	}
+	if net.Transport() == nil {
+		t.Error("in-memory transport expected by default")
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	net, err := NewNetwork(Options{Peers: 16, Seed: 2})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	defer net.Close()
+
+	p := net.Peer(0)
+	if _, err := p.InsertTriple(Triple{Subject: "acc:P1", Predicate: "EMBL#Organism", Object: "Aspergillus niger"}); err != nil {
+		t.Fatalf("InsertTriple: %v", err)
+	}
+	if _, err := p.InsertTriple(Triple{Subject: "acc:P2", Predicate: "EMP#SystematicName", Object: "Aspergillus oryzae"}); err != nil {
+		t.Fatalf("InsertTriple: %v", err)
+	}
+	if _, err := p.InsertSchema(NewSchema("EMBL", "bio", "Organism")); err != nil {
+		t.Fatalf("InsertSchema: %v", err)
+	}
+	if _, err := p.InsertMapping(NewManualMapping("EMBL", "EMP", map[string]string{"Organism": "SystematicName"})); err != nil {
+		t.Fatalf("InsertMapping: %v", err)
+	}
+
+	q := Pattern{S: Var("x"), P: Const("EMBL#Organism"), O: Like("%Aspergillus%")}
+	rs, err := net.Peer(7).SearchWithReformulation(q, SearchOptions{Mode: Recursive})
+	if err != nil {
+		t.Fatalf("search: %v", err)
+	}
+	if len(rs.Results) != 2 {
+		t.Errorf("results = %d, want 2", len(rs.Results))
+	}
+}
+
+func TestFacadeTCP(t *testing.T) {
+	net, err := NewNetwork(Options{Peers: 6, Seed: 3, TCP: true})
+	if err != nil {
+		t.Fatalf("NewNetwork TCP: %v", err)
+	}
+	defer net.Close()
+	if net.Transport() != nil {
+		t.Error("TCP network should not expose the in-memory transport")
+	}
+	p := net.Peer(0)
+	if _, err := p.InsertTriple(Triple{Subject: "s", Predicate: "A#p", Object: "o"}); err != nil {
+		t.Fatalf("InsertTriple over TCP: %v", err)
+	}
+	rs, err := net.Peer(3).SearchFor(Pattern{S: Var("x"), P: Const("A#p"), O: Var("o")})
+	if err != nil {
+		t.Fatalf("SearchFor over TCP: %v", err)
+	}
+	if len(rs.Results) != 1 {
+		t.Errorf("results = %d", len(rs.Results))
+	}
+}
+
+func TestFacadeSelfOrganizingOverlay(t *testing.T) {
+	net, err := NewNetwork(Options{Peers: 16, Seed: 4, SelfOrganizingOverlay: true})
+	if err != nil {
+		t.Fatalf("NewNetwork bootstrap: %v", err)
+	}
+	defer net.Close()
+	if err := net.Overlay().CheckCoverage(); err != nil {
+		t.Errorf("coverage: %v", err)
+	}
+	p := net.Peer(0)
+	if _, err := p.InsertTriple(Triple{Subject: "s", Predicate: "A#p", Object: "o"}); err != nil {
+		t.Fatalf("InsertTriple: %v", err)
+	}
+	rs, err := net.RandomPeer().SearchFor(Pattern{S: Const("s"), P: Var("p"), O: Var("o")})
+	if err != nil {
+		t.Fatalf("SearchFor: %v", err)
+	}
+	if len(rs.Results) != 1 {
+		t.Errorf("results = %d", len(rs.Results))
+	}
+}
+
+func TestFacadeOrganizer(t *testing.T) {
+	net, err := NewNetwork(Options{Peers: 16, Seed: 5})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	defer net.Close()
+	org, err := net.NewOrganizer(net.Peer(0), OrganizerOptions{Domain: "bio", Seed: 6})
+	if err != nil {
+		t.Fatalf("NewOrganizer: %v", err)
+	}
+	if err := org.RegisterSchema(NewSchema("A", "bio", "x")); err != nil {
+		t.Fatalf("RegisterSchema: %v", err)
+	}
+	names, err := org.SchemaNames()
+	if err != nil || len(names) != 1 || names[0] != "A" {
+		t.Errorf("SchemaNames = %v err=%v", names, err)
+	}
+}
+
+func TestQueryRDQL(t *testing.T) {
+	net, err := NewNetwork(Options{Peers: 16, Seed: 8})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	defer net.Close()
+	p := net.Peer(0)
+	p.InsertTriple(Triple{Subject: "acc:1", Predicate: "EMBL#Organism", Object: "Aspergillus niger"})
+	p.InsertTriple(Triple{Subject: "acc:1", Predicate: "EMBL#Length", Object: "900"})
+	p.InsertTriple(Triple{Subject: "acc:2", Predicate: "EMBL#Organism", Object: "Homo sapiens"})
+	p.InsertTriple(Triple{Subject: "acc:2", Predicate: "EMBL#Length", Object: "1200"})
+
+	rows, err := net.Peer(5).QueryRDQL(`
+		SELECT ?x, ?len
+		WHERE (?x, <EMBL#Organism>, "%Aspergillus%"), (?x, <EMBL#Length>, ?len)`,
+		false, SearchOptions{})
+	if err != nil {
+		t.Fatalf("QueryRDQL: %v", err)
+	}
+	if len(rows) != 1 || rows[0][0] != "acc:1" || rows[0][1] != "900" {
+		t.Errorf("rows = %v", rows)
+	}
+	if _, err := net.Peer(5).QueryRDQL("SELECT bogus", false, SearchOptions{}); err == nil {
+		t.Error("invalid RDQL should fail")
+	}
+}
+
+func TestQueryRDQLWithReformulation(t *testing.T) {
+	net, err := NewNetwork(Options{Peers: 16, Seed: 9})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	defer net.Close()
+	p := net.Peer(0)
+	p.InsertTriple(Triple{Subject: "acc:9", Predicate: "EMP#SystematicName", Object: "Aspergillus flavus"})
+	p.InsertMapping(NewManualMapping("EMBL", "EMP", map[string]string{"Organism": "SystematicName"}))
+
+	rows, err := net.Peer(3).QueryRDQL(
+		`SELECT ?x WHERE (?x, <EMBL#Organism>, "%Aspergillus%")`, true, SearchOptions{})
+	if err != nil {
+		t.Fatalf("QueryRDQL: %v", err)
+	}
+	if len(rows) != 1 || rows[0][0] != "acc:9" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestGUIDViaFacade(t *testing.T) {
+	net, err := NewNetwork(Options{Peers: 4, Seed: 7})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	defer net.Close()
+	// GUIDs embed the peer path π(p): peers on different leaves must differ
+	// (replicas share a path by design, so pick distinct-path peers).
+	var a, b *Peer
+	for _, p := range net.Peers() {
+		if a == nil {
+			a = p
+			continue
+		}
+		if !p.Node().Path().Equal(a.Node().Path()) {
+			b = p
+			break
+		}
+	}
+	if b == nil {
+		t.Fatal("no two peers with distinct paths")
+	}
+	if a.GUID("res") == b.GUID("res") {
+		t.Error("GUIDs from different paths should differ")
+	}
+	if a.GUID("res") != a.GUID("res") {
+		t.Error("GUID not deterministic")
+	}
+}
+
+func TestSearchObjectRangeViaFacade(t *testing.T) {
+	net, err := NewNetwork(Options{Peers: 16, Seed: 10})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	defer net.Close()
+	p := net.Peer(0)
+	for subj, org := range map[string]string{
+		"acc:a": "Aspergillus flavus",
+		"acc:b": "Aspergillus niger",
+		"acc:c": "Homo sapiens",
+	} {
+		p.InsertTriple(Triple{Subject: subj, Predicate: "EMBL#Organism", Object: org})
+	}
+	got, _, err := net.Peer(4).SearchObjectRange("EMBL#Organism", "Aspergillus", "Aspergillus z")
+	if err != nil {
+		t.Fatalf("SearchObjectRange: %v", err)
+	}
+	if len(got) != 2 {
+		t.Errorf("range results = %v", got)
+	}
+}

@@ -1,0 +1,220 @@
+// Package align implements the automatic attribute-alignment machinery of
+// GridVine's demonstration (paper §4): candidate schema pairs are selected
+// through shared references to the same entities, and mappings between
+// their attributes are created using a combination of lexicographical
+// measures on attribute names and set distance measures on the attribute
+// values observed for the shared instances.
+package align
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Levenshtein returns the edit distance between two strings (unit costs,
+// byte-wise on lower-cased input — attribute names are ASCII identifiers).
+func Levenshtein(a, b string) int {
+	a = strings.ToLower(a)
+	b = strings.ToLower(b)
+	if a == b {
+		return 0
+	}
+	la, lb := len(a), len(b)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j] + 1 // deletion
+			if v := cur[j-1] + 1; v < m {
+				m = v // insertion
+			}
+			if v := prev[j-1] + cost; v < m {
+				m = v // substitution
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[lb]
+}
+
+// NormalizedLevenshtein returns 1 − dist/max(len): 1 for identical strings,
+// 0 for maximally different ones.
+func NormalizedLevenshtein(a, b string) float64 {
+	la, lb := len(a), len(b)
+	max := la
+	if lb > max {
+		max = lb
+	}
+	if max == 0 {
+		return 1
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(max)
+}
+
+// NGramDice returns the Dice coefficient over character n-grams of the
+// lower-cased inputs: 2·|A∩B| / (|A|+|B|).
+func NGramDice(a, b string, n int) float64 {
+	if n <= 0 {
+		n = 2
+	}
+	ga := ngrams(strings.ToLower(a), n)
+	gb := ngrams(strings.ToLower(b), n)
+	if len(ga) == 0 && len(gb) == 0 {
+		return 1
+	}
+	if len(ga) == 0 || len(gb) == 0 {
+		return 0
+	}
+	inter := 0
+	for g, ca := range ga {
+		if cb, ok := gb[g]; ok {
+			if ca < cb {
+				inter += ca
+			} else {
+				inter += cb
+			}
+		}
+	}
+	ta, tb := 0, 0
+	for _, c := range ga {
+		ta += c
+	}
+	for _, c := range gb {
+		tb += c
+	}
+	return 2 * float64(inter) / float64(ta+tb)
+}
+
+func ngrams(s string, n int) map[string]int {
+	out := map[string]int{}
+	if len(s) < n {
+		if s != "" {
+			out[s]++
+		}
+		return out
+	}
+	for i := 0; i+n <= len(s); i++ {
+		out[s[i:i+n]]++
+	}
+	return out
+}
+
+// Tokenize splits an identifier into lower-cased word tokens at case
+// transitions, digits and separator characters: "SystematicName" →
+// [systematic name], "seq_length" → [seq length].
+func Tokenize(s string) []string {
+	var tokens []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			tokens = append(tokens, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	runes := []rune(s)
+	for i, r := range runes {
+		switch {
+		case r == '_' || r == '-' || r == ' ' || r == '.' || r == '#' || r == '/':
+			flush()
+		case unicode.IsUpper(r):
+			// Case transition: lower→Upper starts a token; an Upper followed
+			// by lower after a run of uppers also starts one (e.g. "DNASeq").
+			if i > 0 && (unicode.IsLower(runes[i-1]) ||
+				(i+1 < len(runes) && unicode.IsUpper(runes[i-1]) && unicode.IsLower(runes[i+1]))) {
+				flush()
+			}
+			cur.WriteRune(r)
+		case unicode.IsDigit(r):
+			if i > 0 && !unicode.IsDigit(runes[i-1]) {
+				flush()
+			}
+			cur.WriteRune(r)
+		default:
+			if i > 0 && unicode.IsDigit(runes[i-1]) {
+				flush()
+			}
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return tokens
+}
+
+// TokenJaccard returns the Jaccard similarity of the token sets of two
+// identifiers.
+func TokenJaccard(a, b string) float64 {
+	ta := Tokenize(a)
+	tb := Tokenize(b)
+	return Jaccard(ta, tb)
+}
+
+// LexicalSimilarity is the combined lexicographic measure used by the
+// matcher: the maximum of normalized edit similarity, bigram Dice and token
+// Jaccard. Taking the maximum lets any one signal (shared stem, shared
+// token, small edit) carry the score, which is how practical name matchers
+// behave.
+func LexicalSimilarity(a, b string) float64 {
+	best := NormalizedLevenshtein(a, b)
+	if v := NGramDice(a, b, 2); v > best {
+		best = v
+	}
+	if v := TokenJaccard(a, b); v > best {
+		best = v
+	}
+	return best
+}
+
+// Jaccard returns |A∩B| / |A∪B| over string sets (duplicates collapse);
+// 1 when both sets are empty.
+func Jaccard(a, b []string) float64 {
+	sa := map[string]bool{}
+	for _, x := range a {
+		sa[x] = true
+	}
+	sb := map[string]bool{}
+	for _, x := range b {
+		sb[x] = true
+	}
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	inter := 0
+	for x := range sa {
+		if sb[x] {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	return float64(inter) / float64(union)
+}
+
+// SetSimilarity is the set distance measure used by the matcher: Jaccard
+// over case-normalized value sets. Attribute values observed on shared
+// instances are compared; identical properties of the same entities yield
+// high overlap regardless of how the attributes are named.
+func SetSimilarity(a, b []string) float64 {
+	na := make([]string, len(a))
+	for i, x := range a {
+		na[i] = strings.ToLower(strings.TrimSpace(x))
+	}
+	nb := make([]string, len(b))
+	for i, x := range b {
+		nb[i] = strings.ToLower(strings.TrimSpace(x))
+	}
+	return Jaccard(na, nb)
+}

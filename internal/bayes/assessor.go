@@ -1,0 +1,220 @@
+package bayes
+
+import (
+	"math"
+	"sort"
+
+	"gridvine/internal/schema"
+)
+
+// AssessorConfig tunes the probabilistic analysis.
+type AssessorConfig struct {
+	// MaxCycleLen bounds the transitive closures compared. Default 4.
+	MaxCycleLen int
+	// Epsilon is P(cycle observed inconsistent | all mappings correct):
+	// noise from partial correspondences. Default 0.05.
+	Epsilon float64
+	// Delta is P(cycle observed consistent | ≥1 mapping incorrect): the
+	// chance a wrong mapping still returns attributes to themselves.
+	// Default 0.1.
+	Delta float64
+	// ConsistencyThreshold classifies a cycle as consistent when the
+	// identity fraction is at least this. Default 0.7.
+	ConsistencyThreshold float64
+	// DeprecationThreshold deprecates automatic mappings whose posterior
+	// falls below it. Default 0.4.
+	DeprecationThreshold float64
+	// MaxIterations bounds message passing. Default 50.
+	MaxIterations int
+	// Damping mixes old and new beliefs per iteration (0 = no damping).
+	// Default 0.3.
+	Damping float64
+}
+
+func (c AssessorConfig) withDefaults() AssessorConfig {
+	if c.MaxCycleLen == 0 {
+		c.MaxCycleLen = 4
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.05
+	}
+	if c.Delta == 0 {
+		c.Delta = 0.1
+	}
+	if c.ConsistencyThreshold == 0 {
+		c.ConsistencyThreshold = 0.7
+	}
+	if c.DeprecationThreshold == 0 {
+		c.DeprecationThreshold = 0.4
+	}
+	if c.MaxIterations == 0 {
+		c.MaxIterations = 50
+	}
+	if c.Damping == 0 {
+		c.Damping = 0.3
+	}
+	return c
+}
+
+// CycleEvidence is one observed transitive closure with its verdict.
+type CycleEvidence struct {
+	MappingIDs  []string
+	Schemas     []string
+	Consistency float64
+	Consistent  bool
+}
+
+// Assessment is the outcome of one analysis round.
+type Assessment struct {
+	// Posteriors maps every active mapping ID to P(correct | evidence).
+	Posteriors map[string]float64
+	// Evidence lists the informative cycles that were evaluated.
+	Evidence []CycleEvidence
+	// ToDeprecate lists automatic mappings whose posterior fell below the
+	// deprecation threshold.
+	ToDeprecate []string
+	// Iterations is the number of message-passing rounds run.
+	Iterations int
+}
+
+// Assess runs cycle enumeration and probabilistic message passing over the
+// active mappings of the set. It does not mutate the set; callers apply
+// ToDeprecate via ApplyTo or their own logic (e.g. publishing deprecations
+// into the overlay).
+func Assess(ms *schema.MappingSet, cfg AssessorConfig) Assessment {
+	cfg = cfg.withDefaults()
+
+	active := ms.Active()
+	prior := map[string]float64{}
+	manual := map[string]bool{}
+	for _, m := range active {
+		p := m.Confidence
+		if m.Origin == schema.Manual {
+			manual[m.ID] = true
+			p = 1.0
+		}
+		prior[m.ID] = clampProb(p)
+	}
+
+	cycles := EnumerateCycles(ms, cfg.MaxCycleLen)
+	var evidence []CycleEvidence
+	type factor struct {
+		members    []string
+		consistent bool
+	}
+	var factors []factor
+	byMapping := map[string][]int{}
+	for _, c := range cycles {
+		if !c.Informative {
+			continue
+		}
+		ev := CycleEvidence{
+			MappingIDs:  c.MappingIDs(),
+			Schemas:     c.Schemas,
+			Consistency: c.Consistency,
+			Consistent:  c.Consistency >= cfg.ConsistencyThreshold,
+		}
+		evidence = append(evidence, ev)
+		idx := len(factors)
+		factors = append(factors, factor{members: ev.MappingIDs, consistent: ev.Consistent})
+		for _, id := range ev.MappingIDs {
+			byMapping[id] = append(byMapping[id], idx)
+		}
+	}
+
+	// Iterative belief update: for each automatic mapping, combine its prior
+	// with the likelihood of each incident cycle observation, using current
+	// beliefs for the other members.
+	belief := map[string]float64{}
+	for id, p := range prior {
+		belief[id] = p
+	}
+	iterations := 0
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		iterations = iter + 1
+		maxDelta := 0.0
+		for _, m := range active {
+			id := m.ID
+			if manual[id] {
+				continue
+			}
+			logL1 := 0.0 // log P(evidence | correct)
+			logL0 := 0.0 // log P(evidence | incorrect)
+			for _, fi := range byMapping[id] {
+				f := factors[fi]
+				// q = P(all other members correct) under current beliefs.
+				q := 1.0
+				for _, other := range f.members {
+					if other != id {
+						q *= belief[other]
+					}
+				}
+				var l1, l0 float64
+				if f.consistent {
+					l1 = q*(1-cfg.Epsilon) + (1-q)*cfg.Delta
+					l0 = cfg.Delta
+				} else {
+					l1 = q*cfg.Epsilon + (1-q)*(1-cfg.Delta)
+					l0 = 1 - cfg.Delta
+				}
+				logL1 += math.Log(clampProb(l1))
+				logL0 += math.Log(clampProb(l0))
+			}
+			p := prior[id]
+			num := p * math.Exp(logL1)
+			den := num + (1-p)*math.Exp(logL0)
+			post := p
+			if den > 0 {
+				post = num / den
+			}
+			post = cfg.Damping*belief[id] + (1-cfg.Damping)*post
+			if d := math.Abs(post - belief[id]); d > maxDelta {
+				maxDelta = d
+			}
+			belief[id] = post
+		}
+		if maxDelta < 1e-6 {
+			break
+		}
+	}
+
+	out := Assessment{Posteriors: belief, Evidence: evidence, Iterations: iterations}
+	for _, m := range active {
+		if manual[m.ID] {
+			continue
+		}
+		if belief[m.ID] < cfg.DeprecationThreshold {
+			out.ToDeprecate = append(out.ToDeprecate, m.ID)
+		}
+	}
+	sort.Strings(out.ToDeprecate)
+	return out
+}
+
+// ApplyTo writes the assessment back into a mapping set: posteriors become
+// confidences and deprecations are flagged. It returns the number of newly
+// deprecated mappings.
+func (a Assessment) ApplyTo(ms *schema.MappingSet) int {
+	for id, p := range a.Posteriors {
+		ms.SetConfidence(id, p)
+	}
+	n := 0
+	for _, id := range a.ToDeprecate {
+		if m, ok := ms.Get(id); ok && !m.Deprecated {
+			ms.SetDeprecated(id, true)
+			n++
+		}
+	}
+	return n
+}
+
+func clampProb(p float64) float64 {
+	const eps = 1e-6
+	if p < eps {
+		return eps
+	}
+	if p > 1-eps {
+		return 1 - eps
+	}
+	return p
+}

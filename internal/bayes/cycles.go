@@ -1,0 +1,214 @@
+// Package bayes implements GridVine's Bayesian mapping-quality analysis
+// (paper §3.2, after Cudré-Mauroux, Aberer & Feher, ICDE 2006): transitive
+// closures of mappings — cycles in the mapping graph — are compared against
+// the identity to gather positive or negative evidence about the mappings
+// along the cycle, and iterative probabilistic message passing turns that
+// evidence into per-mapping correctness posteriors. Mappings created
+// manually are clamped to probability 1; automatic mappings whose posterior
+// falls below the deprecation threshold are marked deprecated.
+package bayes
+
+import (
+	"sort"
+	"strings"
+
+	"gridvine/internal/schema"
+)
+
+// step is one directed traversal of a mapping inside a cycle: bidirectional
+// equivalence mappings may be walked against their stored direction.
+type step struct {
+	mappingID string
+	reversed  bool
+}
+
+// Cycle is a closed chain of distinct mappings m1 ∘ m2 ∘ … ∘ mk returning
+// to its start schema.
+type Cycle struct {
+	Start   string
+	Steps   []step
+	Schemas []string
+	// Consistency is the fraction of the start schema's attributes that
+	// survive the full composition and return to themselves; Informative is
+	// false when no attribute survives the composition (no evidence either
+	// way).
+	Consistency float64
+	Informative bool
+}
+
+// MappingIDs returns the IDs of the mappings along the cycle.
+func (c Cycle) MappingIDs() []string {
+	out := make([]string, len(c.Steps))
+	for i, s := range c.Steps {
+		out[i] = s.mappingID
+	}
+	return out
+}
+
+// Key returns a canonical identifier for deduplication: the sorted mapping
+// ID multiset.
+func (c Cycle) Key() string {
+	ids := c.MappingIDs()
+	sort.Strings(ids)
+	return strings.Join(ids, "|")
+}
+
+// edge is one directed traversal option derived from a mapping.
+type edge struct {
+	from, to  string
+	mappingID string
+	reversed  bool
+}
+
+// EnumerateCycles finds all cycles of length 2..maxLen in the active
+// mapping graph, each using any mapping at most once, deduplicated by
+// mapping-ID set. Bidirectional equivalence mappings contribute a reversed
+// traversal direction; a cycle consisting of one mapping and its own
+// reverse is excluded (it is trivially consistent and self-confirming).
+func EnumerateCycles(ms *schema.MappingSet, maxLen int) []Cycle {
+	if maxLen < 2 {
+		maxLen = 2
+	}
+	adj := map[string][]edge{}
+	for _, m := range ms.Active() {
+		adj[m.Source] = append(adj[m.Source], edge{from: m.Source, to: m.Target, mappingID: m.ID})
+		if m.Bidirectional && m.Type == schema.Equivalence {
+			adj[m.Target] = append(adj[m.Target], edge{from: m.Target, to: m.Source, mappingID: m.ID, reversed: true})
+		}
+	}
+	for _, es := range adj {
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].to != es[j].to {
+				return es[i].to < es[j].to
+			}
+			return es[i].mappingID < es[j].mappingID
+		})
+	}
+	var nodes []string
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	seen := map[string]bool{}
+	var cycles []Cycle
+
+	var path []step
+	used := map[string]bool{}
+	var dfs func(start, cur string)
+	dfs = func(start, cur string) {
+		for _, e := range adj[cur] {
+			if used[e.mappingID] {
+				continue
+			}
+			// Canonical start: only enumerate cycles from their smallest
+			// schema name, so each cycle is found once per direction.
+			if e.to < start {
+				continue
+			}
+			if e.to == start {
+				if len(path) == 0 {
+					continue // self-loop mapping, not meaningful
+				}
+				c := Cycle{Start: start, Steps: append(append([]step{}, path...), step{e.mappingID, e.reversed})}
+				if key := c.Key(); !seen[key] {
+					seen[key] = true
+					cycles = append(cycles, c)
+				}
+				continue
+			}
+			if len(path)+1 >= maxLen {
+				continue
+			}
+			path = append(path, step{e.mappingID, e.reversed})
+			used[e.mappingID] = true
+			dfs(start, e.to)
+			used[e.mappingID] = false
+			path = path[:len(path)-1]
+		}
+	}
+	for _, n := range nodes {
+		dfs(n, n)
+	}
+
+	// Evaluate consistency for every cycle.
+	out := cycles[:0]
+	for _, c := range cycles {
+		evaluated, ok := evaluateCycle(ms, c)
+		if !ok {
+			continue
+		}
+		out = append(out, evaluated)
+	}
+	return out
+}
+
+// evaluateCycle composes the attribute correspondences around the cycle and
+// measures how many attributes of the start schema return to themselves.
+func evaluateCycle(ms *schema.MappingSet, c Cycle) (Cycle, bool) {
+	// Gather the start attributes: those the first step translates.
+	first, ok := ms.Get(c.Steps[0].mappingID)
+	if !ok {
+		return c, false
+	}
+	var startAttrs []string
+	if !c.Steps[0].reversed {
+		for _, corr := range first.Correspondences {
+			startAttrs = append(startAttrs, corr.SourceAttr)
+		}
+	} else {
+		for _, corr := range first.Correspondences {
+			startAttrs = append(startAttrs, corr.TargetAttr)
+		}
+	}
+	if len(startAttrs) == 0 {
+		return c, false
+	}
+
+	schemas := []string{c.Start}
+	survived := 0
+	consistent := 0
+	for _, attr := range startAttrs {
+		cur := attr
+		alive := true
+		for _, s := range c.Steps {
+			m, ok := ms.Get(s.mappingID)
+			if !ok {
+				return c, false
+			}
+			var next string
+			if s.reversed {
+				next, ok = m.ReverseTranslateAttr(cur)
+			} else {
+				next, ok = m.TranslateAttr(cur)
+			}
+			if !ok {
+				alive = false
+				break
+			}
+			cur = next
+		}
+		if alive {
+			survived++
+			if cur == attr {
+				consistent++
+			}
+		}
+	}
+	for _, s := range c.Steps {
+		m, _ := ms.Get(s.mappingID)
+		if s.reversed {
+			schemas = append(schemas, m.Source)
+		} else {
+			schemas = append(schemas, m.Target)
+		}
+	}
+	c.Schemas = schemas
+	if survived == 0 {
+		c.Informative = false
+		return c, true
+	}
+	c.Informative = true
+	c.Consistency = float64(consistent) / float64(survived)
+	return c, true
+}

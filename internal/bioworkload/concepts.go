@@ -1,0 +1,119 @@
+// Package bioworkload generates the synthetic bioinformatic workload
+// standing in for the EBI/SRS export of the paper's demonstration (§4):
+// 50 schemas related to protein and nucleotide sequences, built from a
+// shared concept pool with per-schema synonym naming (including deliberate
+// false friends), entities with overlapping schema coverage producing the
+// shared references the mapping-creation heuristic exploits, triples, seed
+// mappings, and query workloads with ground-truth recall.
+//
+// The generator is fully deterministic given its seed.
+package bioworkload
+
+// concept is one semantic property of the protein/nucleotide domain. Its
+// synonyms are the attribute names schemas may use for it; two concepts may
+// share a synonym (a "false friend"), which makes purely lexical matching
+// unreliable on purpose.
+type concept struct {
+	name     string
+	synonyms []string
+	// core concepts appear in every schema (accession-like identifiers and
+	// organisms are what bioinformatic records always carry).
+	core bool
+	// generator keys into the value tables below.
+	generator string
+}
+
+// The concept pool. Note the planted false friends:
+//   - "Name"  appears for both gene-name and protein-name,
+//   - "Size"  appears for both sequence-length and molecular-weight,
+//   - "Date"  appears for both created-date and modified-date,
+//   - "Source" appears for both organism and database-source.
+var conceptPool = []concept{
+	{name: "accession", core: true, generator: "accession",
+		synonyms: []string{"Accession", "AccessionNumber", "AC", "EntryID", "ID", "PrimaryAccession"}},
+	{name: "organism", core: true, generator: "organism",
+		synonyms: []string{"Organism", "SystematicName", "OrganismName", "Species", "Source", "BioSource", "Taxon"}},
+	{name: "sequence-length", generator: "length",
+		synonyms: []string{"Length", "SeqLength", "SequenceLength", "Size", "NumResidues", "AALength"}},
+	{name: "description", generator: "description",
+		synonyms: []string{"Description", "Definition", "DE", "Title", "EntryDescription"}},
+	{name: "gene-name", generator: "gene",
+		synonyms: []string{"GeneName", "Gene", "Name", "Symbol", "Locus"}},
+	{name: "protein-name", generator: "protein",
+		synonyms: []string{"ProteinName", "Name", "RecommendedName", "ProtDesc"}},
+	{name: "taxonomy-id", generator: "taxid",
+		synonyms: []string{"TaxonomyID", "TaxID", "NCBITaxon", "TaxonIdentifier"}},
+	{name: "keywords", generator: "keyword",
+		synonyms: []string{"Keywords", "KW", "Tags", "Categories"}},
+	{name: "molecular-weight", generator: "weight",
+		synonyms: []string{"MolecularWeight", "MolWeight", "MW", "Mass", "Size", "Weight"}},
+	{name: "created-date", generator: "created",
+		synonyms: []string{"CreatedDate", "Created", "Date", "FirstRelease"}},
+	{name: "modified-date", generator: "modified",
+		synonyms: []string{"ModifiedDate", "Modified", "Date", "LastUpdate", "Updated"}},
+	{name: "database-source", generator: "dbsource",
+		synonyms: []string{"Database", "DBSource", "Source", "Repository", "Origin"}},
+	{name: "ec-number", generator: "ec",
+		synonyms: []string{"ECNumber", "EC", "EnzymeCode", "EnzymeClassification"}},
+	{name: "subcellular-location", generator: "location",
+		synonyms: []string{"SubcellularLocation", "Location", "CellularComponent", "Compartment"}},
+	{name: "sequence", generator: "sequence",
+		synonyms: []string{"Sequence", "SEQ", "Residues", "AminoAcidSequence"}},
+	{name: "citation", generator: "citation",
+		synonyms: []string{"Citation", "Reference", "PubMedID", "PMID", "Literature"}},
+}
+
+// organisms is a realistic species pool (heavy on the Aspergillus genus the
+// paper's running example queries for).
+var organisms = []string{
+	"Aspergillus nidulans", "Aspergillus niger", "Aspergillus flavus",
+	"Aspergillus fumigatus", "Aspergillus oryzae", "Aspergillus terreus",
+	"Homo sapiens", "Mus musculus", "Rattus norvegicus", "Danio rerio",
+	"Drosophila melanogaster", "Caenorhabditis elegans",
+	"Saccharomyces cerevisiae", "Schizosaccharomyces pombe",
+	"Escherichia coli", "Bacillus subtilis", "Arabidopsis thaliana",
+	"Oryza sativa", "Gallus gallus", "Xenopus laevis",
+	"Penicillium chrysogenum", "Neurospora crassa", "Candida albicans",
+	"Plasmodium falciparum", "Mycobacterium tuberculosis",
+}
+
+var geneNames = []string{
+	"argB", "pyrG", "niaD", "trpC", "brlA", "abaA", "wetA", "fluG", "veA",
+	"laeA", "gpdA", "actA", "tubA", "benA", "alcA", "amyB", "glaA", "pacC",
+	"areA", "creA", "xlnR", "hacA", "bipA", "pdiA", "sodM", "catB",
+}
+
+var proteinNames = []string{
+	"acetylglutamate kinase", "orotidine decarboxylase", "nitrate reductase",
+	"anthranilate synthase", "transcription factor BrlA", "regulator AbaA",
+	"glyceraldehyde-3-phosphate dehydrogenase", "actin", "alpha-tubulin",
+	"beta-tubulin", "alcohol dehydrogenase", "alpha-amylase",
+	"glucoamylase", "pH-response regulator", "nitrogen regulator AreA",
+	"catabolite repressor CreA", "xylanolytic activator", "chaperone BipA",
+	"superoxide dismutase", "catalase B",
+}
+
+var keywordPool = []string{
+	"kinase", "transferase", "hydrolase", "oxidoreductase", "transcription",
+	"membrane", "cytoplasm", "nucleus", "secreted", "glycoprotein",
+	"metal-binding", "zinc", "iron", "signal", "transport", "repeat",
+}
+
+var locations = []string{
+	"cytoplasm", "nucleus", "mitochondrion", "endoplasmic reticulum",
+	"golgi apparatus", "cell membrane", "secreted", "peroxisome", "vacuole",
+}
+
+var dbSources = []string{
+	"EMBL", "GenBank", "DDBJ", "SwissProt", "TrEMBL", "PIR", "PDB", "EMP",
+}
+
+// schemaBaseNames provide realistic database-flavoured schema names; past
+// the list, synthetic names are generated.
+var schemaBaseNames = []string{
+	"EMBL", "EMP", "SwissProt", "TrEMBL", "GenBank", "DDBJ", "PIR", "PDB",
+	"UniSeq", "ProtDB", "SeqStore", "BioReg", "EnzDB", "GeneCat", "ProtArc",
+	"NucBase", "SeqBank", "MolRep", "BioIndex", "ProtNet",
+}
+
+var aminoAcids = "ACDEFGHIKLMNPQRSTVWY"

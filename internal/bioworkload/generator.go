@@ -1,0 +1,320 @@
+package bioworkload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"gridvine/internal/schema"
+	"gridvine/internal/triple"
+)
+
+// Config parameterizes workload generation.
+type Config struct {
+	// Schemas is the number of schemas to generate. Default 50 (the paper's
+	// demonstration size).
+	Schemas int
+	// Entities is the number of distinct protein/nucleotide entities.
+	// Default 200.
+	Entities int
+	// MinConcepts/MaxConcepts bound the non-core concepts per schema.
+	// Defaults 4/8 (plus the core concepts, which every schema carries).
+	MinConcepts int
+	MaxConcepts int
+	// MinCoverage/MaxCoverage bound how many schemas each entity appears
+	// in. Defaults 3/6: overlapping coverage creates the shared references.
+	MinCoverage int
+	MaxCoverage int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Schemas == 0 {
+		c.Schemas = 50
+	}
+	if c.Entities == 0 {
+		c.Entities = 200
+	}
+	if c.MinConcepts == 0 {
+		c.MinConcepts = 4
+	}
+	if c.MaxConcepts == 0 {
+		c.MaxConcepts = 8
+	}
+	if c.MinCoverage == 0 {
+		c.MinCoverage = 3
+	}
+	if c.MaxCoverage == 0 {
+		c.MaxCoverage = 6
+	}
+	if c.MaxConcepts < c.MinConcepts {
+		c.MaxConcepts = c.MinConcepts
+	}
+	if c.MaxCoverage < c.MinCoverage {
+		c.MaxCoverage = c.MinCoverage
+	}
+	return c
+}
+
+// SchemaInfo is one generated schema with its ground-truth concept mapping.
+type SchemaInfo struct {
+	Schema schema.Schema
+	// AttrConcept maps each attribute name to its concept.
+	AttrConcept map[string]string
+	// ConceptAttr maps each concept to the attribute name this schema uses.
+	ConceptAttr map[string]string
+}
+
+// Entity is one protein/nucleotide record identified by a shared accession.
+type Entity struct {
+	Accession string
+	Subject   string // the shared subject URI, e.g. "acc:GV00042"
+	// Values holds the entity's value for every concept (consistent across
+	// all schemas describing it).
+	Values map[string]string
+	// Schemas lists the schemas that carry a record for this entity.
+	Schemas []string
+}
+
+// Workload is a fully generated demonstration dataset.
+type Workload struct {
+	Domain   string
+	Schemas  []SchemaInfo
+	Entities []Entity
+
+	cfg      Config
+	byName   map[string]*SchemaInfo
+	triples  []triple.Triple
+	bySchema map[string][]triple.Triple
+}
+
+// Generate builds a workload from the configuration, deterministically.
+func Generate(cfg Config) *Workload {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := &Workload{
+		Domain:   "protein-sequences",
+		cfg:      cfg,
+		byName:   map[string]*SchemaInfo{},
+		bySchema: map[string][]triple.Triple{},
+	}
+
+	w.generateSchemas(rng)
+	w.generateEntities(rng)
+	w.exportTriples()
+	return w
+}
+
+func (w *Workload) generateSchemas(rng *rand.Rand) {
+	var nonCore []concept
+	for _, c := range conceptPool {
+		if !c.core {
+			nonCore = append(nonCore, c)
+		}
+	}
+	for i := 0; i < w.cfg.Schemas; i++ {
+		var name string
+		if i < len(schemaBaseNames) {
+			name = schemaBaseNames[i]
+		} else {
+			name = fmt.Sprintf("BioDB%02d", i)
+		}
+		info := SchemaInfo{
+			AttrConcept: map[string]string{},
+			ConceptAttr: map[string]string{},
+		}
+		// Core concepts always present.
+		var chosen []concept
+		for _, c := range conceptPool {
+			if c.core {
+				chosen = append(chosen, c)
+			}
+		}
+		// A random subset of the non-core pool.
+		k := w.cfg.MinConcepts + rng.Intn(w.cfg.MaxConcepts-w.cfg.MinConcepts+1)
+		perm := rng.Perm(len(nonCore))
+		for _, idx := range perm {
+			if len(chosen) >= k+2 { // +2 core concepts
+				break
+			}
+			chosen = append(chosen, nonCore[idx])
+		}
+		// Pick a synonym per concept, avoiding attribute-name collisions
+		// within the schema (a schema cannot define "Name" twice).
+		var attrs []string
+		used := map[string]bool{}
+		for _, c := range chosen {
+			var attr string
+			start := rng.Intn(len(c.synonyms))
+			for off := 0; off < len(c.synonyms); off++ {
+				cand := c.synonyms[(start+off)%len(c.synonyms)]
+				if !used[cand] {
+					attr = cand
+					break
+				}
+			}
+			if attr == "" {
+				continue // all synonyms taken: drop the concept
+			}
+			used[attr] = true
+			attrs = append(attrs, attr)
+			info.AttrConcept[attr] = c.name
+			info.ConceptAttr[c.name] = attr
+		}
+		info.Schema = schema.NewSchema(name, w.Domain, attrs...)
+		w.Schemas = append(w.Schemas, info)
+	}
+	for i := range w.Schemas {
+		w.byName[w.Schemas[i].Schema.Name] = &w.Schemas[i]
+	}
+}
+
+func (w *Workload) generateEntities(rng *rand.Rand) {
+	for i := 0; i < w.cfg.Entities; i++ {
+		acc := fmt.Sprintf("GV%05d", i)
+		e := Entity{
+			Accession: acc,
+			Subject:   "acc:" + acc,
+			Values:    map[string]string{},
+		}
+		for _, c := range conceptPool {
+			e.Values[c.name] = w.valueFor(c, i, rng)
+		}
+		// Coverage: which schemas describe this entity.
+		cov := w.cfg.MinCoverage + rng.Intn(w.cfg.MaxCoverage-w.cfg.MinCoverage+1)
+		if cov > len(w.Schemas) {
+			cov = len(w.Schemas)
+		}
+		perm := rng.Perm(len(w.Schemas))
+		for _, idx := range perm[:cov] {
+			e.Schemas = append(e.Schemas, w.Schemas[idx].Schema.Name)
+		}
+		sort.Strings(e.Schemas)
+		w.Entities = append(w.Entities, e)
+	}
+}
+
+// valueFor produces the entity's value for a concept. Values are sampled
+// once per entity and reused by every schema, which is what makes the set
+// distance measure informative.
+func (w *Workload) valueFor(c concept, entityIdx int, rng *rand.Rand) string {
+	switch c.generator {
+	case "accession":
+		return fmt.Sprintf("GV%05d", entityIdx)
+	case "organism":
+		return organisms[rng.Intn(len(organisms))]
+	case "length":
+		return fmt.Sprint(120 + rng.Intn(3200))
+	case "description":
+		return fmt.Sprintf("%s from %s", proteinNames[rng.Intn(len(proteinNames))], organisms[rng.Intn(len(organisms))])
+	case "gene":
+		return geneNames[rng.Intn(len(geneNames))]
+	case "protein":
+		return proteinNames[rng.Intn(len(proteinNames))]
+	case "taxid":
+		return fmt.Sprint(1000 + rng.Intn(90000))
+	case "keyword":
+		a := keywordPool[rng.Intn(len(keywordPool))]
+		b := keywordPool[rng.Intn(len(keywordPool))]
+		if a == b {
+			return a
+		}
+		return a + "; " + b
+	case "weight":
+		return fmt.Sprintf("%d Da", 8000+rng.Intn(220000))
+	case "created":
+		return fmt.Sprintf("%04d-%02d-%02d", 1995+rng.Intn(10), 1+rng.Intn(12), 1+rng.Intn(28))
+	case "modified":
+		return fmt.Sprintf("%04d-%02d-%02d", 2005+rng.Intn(3), 1+rng.Intn(12), 1+rng.Intn(28))
+	case "dbsource":
+		return dbSources[rng.Intn(len(dbSources))]
+	case "ec":
+		return fmt.Sprintf("%d.%d.%d.%d", 1+rng.Intn(6), 1+rng.Intn(20), 1+rng.Intn(25), 1+rng.Intn(200))
+	case "location":
+		return locations[rng.Intn(len(locations))]
+	case "sequence":
+		var b strings.Builder
+		n := 30 + rng.Intn(60)
+		for i := 0; i < n; i++ {
+			b.WriteByte(aminoAcids[rng.Intn(len(aminoAcids))])
+		}
+		return b.String()
+	case "citation":
+		return fmt.Sprintf("PMID:%d", 7000000+rng.Intn(12000000))
+	default:
+		return fmt.Sprintf("value-%d", entityIdx)
+	}
+}
+
+// exportTriples materializes every (entity, schema, concept) as a triple.
+func (w *Workload) exportTriples() {
+	for _, e := range w.Entities {
+		for _, schemaName := range e.Schemas {
+			info := w.byName[schemaName]
+			for conceptName, attr := range info.ConceptAttr {
+				t := triple.Triple{
+					Subject:   e.Subject,
+					Predicate: info.Schema.PredicateURI(attr),
+					Object:    e.Values[conceptName],
+				}
+				w.triples = append(w.triples, t)
+				w.bySchema[schemaName] = append(w.bySchema[schemaName], t)
+			}
+		}
+	}
+	sort.Slice(w.triples, func(i, j int) bool {
+		a, b := w.triples[i], w.triples[j]
+		if a.Subject != b.Subject {
+			return a.Subject < b.Subject
+		}
+		if a.Predicate != b.Predicate {
+			return a.Predicate < b.Predicate
+		}
+		return a.Object < b.Object
+	})
+}
+
+// Triples returns every generated triple (sorted, stable).
+func (w *Workload) Triples() []triple.Triple { return w.triples }
+
+// TriplesOf returns the triples exported under one schema.
+func (w *Workload) TriplesOf(schemaName string) []triple.Triple {
+	return w.bySchema[schemaName]
+}
+
+// Subjects returns every entity subject URI in order.
+func (w *Workload) Subjects() []string {
+	out := make([]string, len(w.Entities))
+	for i, e := range w.Entities {
+		out[i] = e.Subject
+	}
+	return out
+}
+
+// SchemaNames returns the generated schema names in order.
+func (w *Workload) SchemaNames() []string {
+	out := make([]string, len(w.Schemas))
+	for i, s := range w.Schemas {
+		out[i] = s.Schema.Name
+	}
+	return out
+}
+
+// Info returns the schema info by name, or nil.
+func (w *Workload) Info(name string) *SchemaInfo { return w.byName[name] }
+
+// ConceptOf resolves a predicate URI to its ground-truth concept.
+func (w *Workload) ConceptOf(predicateURI string) (string, bool) {
+	name, attr, ok := schema.SplitPredicateURI(predicateURI)
+	if !ok {
+		return "", false
+	}
+	info := w.byName[name]
+	if info == nil {
+		return "", false
+	}
+	c, ok := info.AttrConcept[attr]
+	return c, ok
+}

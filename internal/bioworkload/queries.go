@@ -1,0 +1,131 @@
+package bioworkload
+
+import (
+	"math/rand"
+	"sort"
+
+	"gridvine/internal/schema"
+	"gridvine/internal/triple"
+)
+
+// GroundTruthMapping builds the correct manual mapping between two schemas
+// from concept identity: one correspondence per concept present in both.
+// ok=false when the schemas share no concept.
+func (w *Workload) GroundTruthMapping(a, b string) (schema.Mapping, bool) {
+	ia, ib := w.byName[a], w.byName[b]
+	if ia == nil || ib == nil {
+		return schema.Mapping{}, false
+	}
+	var corrs []schema.Correspondence
+	for conceptName, attrA := range ia.ConceptAttr {
+		if attrB, ok := ib.ConceptAttr[conceptName]; ok {
+			corrs = append(corrs, schema.Correspondence{SourceAttr: attrA, TargetAttr: attrB, Confidence: 1})
+		}
+	}
+	if len(corrs) == 0 {
+		return schema.Mapping{}, false
+	}
+	m := schema.NewMapping(a, b, schema.Equivalence, schema.Manual, corrs)
+	m.Bidirectional = true
+	return m, true
+}
+
+// SeedMappings returns n manual ground-truth mappings forming a sparse
+// chain across the schema list (the demonstrator's manually created
+// mappings inserted alongside the schemas, paper §4).
+func (w *Workload) SeedMappings(n int) []schema.Mapping {
+	var out []schema.Mapping
+	for i := 0; i+1 < len(w.Schemas) && len(out) < n; i++ {
+		if m, ok := w.GroundTruthMapping(w.Schemas[i].Schema.Name, w.Schemas[i+1].Schema.Name); ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Query is one benchmark query with its ground truth.
+type Query struct {
+	Pattern triple.Pattern
+	// Concept is the ground-truth concept the predicate denotes.
+	Concept string
+	// Value is the constant the object is constrained to.
+	Value string
+	// GroundTruth is the set of triples, across every schema, asserting
+	// Value for Concept — the basis of recall measurement.
+	GroundTruth []triple.Triple
+}
+
+// Queries generates n single-pattern queries: each picks a random schema
+// and concept, constrains the object to a value that actually occurs, and
+// records the global ground truth for recall accounting.
+func (w *Workload) Queries(n int, rng *rand.Rand) []Query {
+	// Index: concept → value → triples (across all schemas).
+	index := map[string]map[string][]triple.Triple{}
+	for _, t := range w.triples {
+		c, ok := w.ConceptOf(t.Predicate)
+		if !ok {
+			continue
+		}
+		if index[c] == nil {
+			index[c] = map[string][]triple.Triple{}
+		}
+		index[c][t.Object] = append(index[c][t.Object], t)
+	}
+
+	var out []Query
+	attempts := 0
+	for len(out) < n && attempts < 50*n {
+		attempts++
+		info := w.Schemas[rng.Intn(len(w.Schemas))]
+		// Pick a queryable concept of the schema.
+		var conceptNames []string
+		for c := range info.ConceptAttr {
+			conceptNames = append(conceptNames, c)
+		}
+		sort.Strings(conceptNames)
+		conceptName := conceptNames[rng.Intn(len(conceptNames))]
+		values := index[conceptName]
+		if len(values) == 0 {
+			continue
+		}
+		var valueList []string
+		for v := range values {
+			valueList = append(valueList, v)
+		}
+		sort.Strings(valueList)
+		value := valueList[rng.Intn(len(valueList))]
+		gt := values[value]
+		if len(gt) == 0 {
+			continue
+		}
+		out = append(out, Query{
+			Pattern: triple.Pattern{
+				S: triple.Var("x"),
+				P: triple.Const(info.Schema.PredicateURI(info.ConceptAttr[conceptName])),
+				O: triple.Const(value),
+			},
+			Concept:     conceptName,
+			Value:       value,
+			GroundTruth: gt,
+		})
+	}
+	return out
+}
+
+// Recall measures |found ∩ ground truth| / |ground truth| for one query.
+func (q Query) Recall(found []triple.Triple) float64 {
+	if len(q.GroundTruth) == 0 {
+		return 1
+	}
+	set := map[triple.Triple]bool{}
+	for _, t := range found {
+		set[t] = true
+	}
+	hit := 0
+	for _, t := range q.GroundTruth {
+		if set[t] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(q.GroundTruth))
+}

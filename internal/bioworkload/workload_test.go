@@ -1,0 +1,254 @@
+package bioworkload
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"gridvine/internal/schema"
+)
+
+func smallConfig() Config {
+	return Config{Schemas: 10, Entities: 40, Seed: 42}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(smallConfig())
+	b := Generate(smallConfig())
+	if !reflect.DeepEqual(a.Triples(), b.Triples()) {
+		t.Error("generation not deterministic")
+	}
+	if !reflect.DeepEqual(a.SchemaNames(), b.SchemaNames()) {
+		t.Error("schema names not deterministic")
+	}
+}
+
+func TestGenerateDifferentSeeds(t *testing.T) {
+	a := Generate(Config{Schemas: 10, Entities: 40, Seed: 1})
+	b := Generate(Config{Schemas: 10, Entities: 40, Seed: 2})
+	if reflect.DeepEqual(a.Triples(), b.Triples()) {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestSchemaCountAndNames(t *testing.T) {
+	w := Generate(Config{Schemas: 50, Entities: 10, Seed: 3})
+	if len(w.Schemas) != 50 {
+		t.Fatalf("schemas = %d", len(w.Schemas))
+	}
+	names := map[string]bool{}
+	for _, s := range w.Schemas {
+		if names[s.Schema.Name] {
+			t.Errorf("duplicate schema name %q", s.Schema.Name)
+		}
+		names[s.Schema.Name] = true
+		if s.Schema.Domain != "protein-sequences" {
+			t.Errorf("domain = %q", s.Schema.Domain)
+		}
+	}
+	if !names["EMBL"] || !names["EMP"] {
+		t.Error("expected paper schema names EMBL and EMP")
+	}
+}
+
+func TestCoreConceptsPresent(t *testing.T) {
+	w := Generate(smallConfig())
+	for _, s := range w.Schemas {
+		if _, ok := s.ConceptAttr["accession"]; !ok {
+			t.Errorf("schema %s misses accession", s.Schema.Name)
+		}
+		if _, ok := s.ConceptAttr["organism"]; !ok {
+			t.Errorf("schema %s misses organism", s.Schema.Name)
+		}
+	}
+}
+
+func TestNoAttrCollisionsWithinSchema(t *testing.T) {
+	w := Generate(Config{Schemas: 50, Entities: 5, Seed: 7})
+	for _, s := range w.Schemas {
+		seen := map[string]bool{}
+		for _, a := range s.Schema.Attributes {
+			if seen[a] {
+				t.Errorf("schema %s defines %q twice", s.Schema.Name, a)
+			}
+			seen[a] = true
+		}
+		// Ground-truth maps are consistent.
+		for attr, c := range s.AttrConcept {
+			if s.ConceptAttr[c] != attr {
+				t.Errorf("schema %s: AttrConcept/ConceptAttr inconsistent for %q", s.Schema.Name, attr)
+			}
+		}
+	}
+}
+
+func TestEntityValuesConsistentAcrossSchemas(t *testing.T) {
+	w := Generate(smallConfig())
+	// Every triple's object must equal the entity's concept value.
+	for _, tr := range w.Triples() {
+		c, ok := w.ConceptOf(tr.Predicate)
+		if !ok {
+			t.Fatalf("predicate %q has no concept", tr.Predicate)
+		}
+		var found bool
+		for _, e := range w.Entities {
+			if e.Subject == tr.Subject {
+				found = true
+				if e.Values[c] != tr.Object {
+					t.Errorf("triple %v disagrees with entity value %q", tr, e.Values[c])
+				}
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("triple subject %q unknown", tr.Subject)
+		}
+	}
+}
+
+func TestCoverageBounds(t *testing.T) {
+	cfg := Config{Schemas: 20, Entities: 50, MinCoverage: 3, MaxCoverage: 6, Seed: 4}
+	w := Generate(cfg)
+	for _, e := range w.Entities {
+		if len(e.Schemas) < 3 || len(e.Schemas) > 6 {
+			t.Errorf("entity %s coverage = %d", e.Accession, len(e.Schemas))
+		}
+	}
+}
+
+func TestSharedReferencesExist(t *testing.T) {
+	w := Generate(smallConfig())
+	// With overlapping coverage, many schema pairs must share entities.
+	shared := 0
+	for _, e := range w.Entities {
+		if len(e.Schemas) >= 2 {
+			shared++
+		}
+	}
+	if shared < len(w.Entities)/2 {
+		t.Errorf("only %d/%d entities shared across schemas", shared, len(w.Entities))
+	}
+}
+
+func TestTriplesOfPartition(t *testing.T) {
+	w := Generate(smallConfig())
+	total := 0
+	for _, name := range w.SchemaNames() {
+		total += len(w.TriplesOf(name))
+	}
+	if total != len(w.Triples()) {
+		t.Errorf("per-schema triples %d != total %d", total, len(w.Triples()))
+	}
+}
+
+func TestFalseFriendsPresent(t *testing.T) {
+	// Across the pool, at least one synonym string maps to two different
+	// concepts (e.g. "Name", "Size") — the matcher trap.
+	byAttr := map[string]map[string]bool{}
+	for _, c := range conceptPool {
+		for _, syn := range c.synonyms {
+			if byAttr[syn] == nil {
+				byAttr[syn] = map[string]bool{}
+			}
+			byAttr[syn][c.name] = true
+		}
+	}
+	traps := 0
+	for _, concepts := range byAttr {
+		if len(concepts) > 1 {
+			traps++
+		}
+	}
+	if traps < 3 {
+		t.Errorf("false friends = %d, want ≥ 3", traps)
+	}
+}
+
+func TestGroundTruthMapping(t *testing.T) {
+	w := Generate(smallConfig())
+	a := w.Schemas[0].Schema.Name
+	b := w.Schemas[1].Schema.Name
+	m, ok := w.GroundTruthMapping(a, b)
+	if !ok {
+		t.Fatal("no ground-truth mapping between first two schemas (both carry core concepts)")
+	}
+	if m.Origin != schema.Manual || !m.Bidirectional {
+		t.Errorf("mapping meta = %+v", m)
+	}
+	// Every correspondence must link attributes of the same concept.
+	ia, ib := w.Info(a), w.Info(b)
+	for _, c := range m.Correspondences {
+		if ia.AttrConcept[c.SourceAttr] != ib.AttrConcept[c.TargetAttr] {
+			t.Errorf("correspondence %v crosses concepts", c)
+		}
+	}
+	if _, ok := w.GroundTruthMapping("nope", b); ok {
+		t.Error("unknown schema should fail")
+	}
+}
+
+func TestSeedMappingsChain(t *testing.T) {
+	w := Generate(smallConfig())
+	seeds := w.SeedMappings(5)
+	if len(seeds) != 5 {
+		t.Fatalf("seeds = %d", len(seeds))
+	}
+	for i, m := range seeds {
+		if m.Source != w.Schemas[i].Schema.Name || m.Target != w.Schemas[i+1].Schema.Name {
+			t.Errorf("seed %d links %s→%s", i, m.Source, m.Target)
+		}
+	}
+}
+
+func TestQueriesGroundTruth(t *testing.T) {
+	w := Generate(smallConfig())
+	rng := rand.New(rand.NewSource(9))
+	queries := w.Queries(20, rng)
+	if len(queries) != 20 {
+		t.Fatalf("queries = %d", len(queries))
+	}
+	for _, q := range queries {
+		if len(q.GroundTruth) == 0 {
+			t.Errorf("query %v has empty ground truth", q.Pattern)
+		}
+		// The constrained value must actually occur in the ground truth.
+		for _, tr := range q.GroundTruth {
+			if tr.Object != q.Value {
+				t.Errorf("ground-truth triple %v does not match value %q", tr, q.Value)
+			}
+			c, _ := w.ConceptOf(tr.Predicate)
+			if c != q.Concept {
+				t.Errorf("ground-truth triple %v has concept %q, want %q", tr, c, q.Concept)
+			}
+		}
+	}
+}
+
+func TestRecall(t *testing.T) {
+	w := Generate(smallConfig())
+	rng := rand.New(rand.NewSource(10))
+	q := w.Queries(1, rng)[0]
+	if r := q.Recall(nil); r != 0 {
+		t.Errorf("empty recall = %v", r)
+	}
+	if r := q.Recall(q.GroundTruth); r != 1 {
+		t.Errorf("full recall = %v", r)
+	}
+	half := q.GroundTruth[:len(q.GroundTruth)/2]
+	if len(half) > 0 {
+		r := q.Recall(half)
+		want := float64(len(half)) / float64(len(q.GroundTruth))
+		if r != want {
+			t.Errorf("partial recall = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestPaperScaleWorkload(t *testing.T) {
+	// The deployment configuration must land near 17 000 triples.
+	w := Generate(Config{Schemas: 50, Entities: 430, MinCoverage: 4, MaxCoverage: 6, Seed: 11})
+	n := len(w.Triples())
+	if n < 14000 || n > 21000 {
+		t.Errorf("paper-scale workload = %d triples, want ≈17000", n)
+	}
+}

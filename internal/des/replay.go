@@ -1,0 +1,94 @@
+package des
+
+import (
+	"math/rand"
+	"time"
+
+	"gridvine/internal/simnet"
+)
+
+// QueryTrace is one resolved operation as captured at the logic layer: the
+// issuer and the ordered peers it contacted (iterative routing: the issuer
+// exchanges a request/response pair with every hop; the final peer also
+// executes the local database operation).
+type QueryTrace struct {
+	Issuer    string
+	Contacted []string
+	// LocalWork is the service demand of the final local database query, in
+	// addition to the per-message handling cost.
+	LocalWork time.Duration
+}
+
+// ReplayConfig parameterizes a trace replay.
+type ReplayConfig struct {
+	// Transit samples one-way message delays.
+	Transit simnet.LatencyModel
+	// Service samples per-message handling time at the receiving peer.
+	Service simnet.LatencyModel
+	// Rng drives all sampling; required.
+	Rng *rand.Rand
+}
+
+// Replay schedules the given queries on the simulator. arrivals[i] is the
+// issue time of queries[i]. The returned slice is filled with per-query
+// completion latencies once sim.Run() has been called; entries remain -1 if
+// the simulation is not run to completion.
+//
+// The replay models GridVine's iterative routing: for each contacted peer,
+// the issuer's request travels (transit), queues and is handled at the peer
+// (service, FIFO with all other traffic at that peer), and the answer
+// travels back (transit). The final peer additionally performs the local
+// relational query (LocalWork).
+func Replay(sim *Simulator, queries []QueryTrace, arrivals []time.Duration, cfg ReplayConfig) []time.Duration {
+	if len(queries) != len(arrivals) {
+		panic("des: queries and arrivals length mismatch")
+	}
+	latencies := make([]time.Duration, len(queries))
+	for i := range latencies {
+		latencies[i] = -1
+	}
+	for i := range queries {
+		q := queries[i]
+		idx := i
+		sim.Schedule(arrivals[idx], func() {
+			runQuery(sim, q, 0, cfg, func(done time.Duration) {
+				latencies[idx] = done - arrivals[idx]
+			})
+		})
+	}
+	return latencies
+}
+
+// runQuery advances one query through its remaining hops, starting now.
+func runQuery(sim *Simulator, q QueryTrace, hop int, cfg ReplayConfig, finish func(at time.Duration)) {
+	if hop >= len(q.Contacted) {
+		finish(sim.Now())
+		return
+	}
+	peer := q.Contacted[hop]
+	// Request transit.
+	sim.ScheduleAfter(cfg.Transit.Sample(cfg.Rng), func() {
+		service := cfg.Service.Sample(cfg.Rng)
+		if hop == len(q.Contacted)-1 {
+			service += q.LocalWork
+		}
+		sim.Server(peer).Enqueue(service, func(_, _ time.Duration) {
+			// Response transit back to the issuer.
+			sim.ScheduleAfter(cfg.Transit.Sample(cfg.Rng), func() {
+				runQuery(sim, q, hop+1, cfg, finish)
+			})
+		})
+	})
+}
+
+// PoissonArrivals generates n arrival times with exponential inter-arrival
+// gaps of the given mean, starting at 0.
+func PoissonArrivals(n int, meanGap time.Duration, rng *rand.Rand) []time.Duration {
+	out := make([]time.Duration, n)
+	t := time.Duration(0)
+	for i := 0; i < n; i++ {
+		t += time.Duration(rng.ExpFloat64() * float64(meanGap))
+		out[i] = t
+	}
+	return out
+}

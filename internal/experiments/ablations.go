@@ -1,0 +1,404 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gridvine/internal/bioworkload"
+	"gridvine/internal/keyspace"
+	"gridvine/internal/mediation"
+	"gridvine/internal/metrics"
+	"gridvine/internal/pgrid"
+	"gridvine/internal/schema"
+	"gridvine/internal/simnet"
+	"gridvine/internal/triple"
+)
+
+// --- EXP-G: triple indexing ablation -----------------------------------
+
+// IndexingConfig parameterizes the §2.2 design ablation: GridVine indexes
+// every triple three times (subject, predicate, object) so constraint
+// searches on any position route to data. The ablation inserts triples
+// under the subject key only and measures which queries still find
+// answers.
+type IndexingConfig struct {
+	Peers    int // default 32
+	Entities int // default 60
+	Schemas  int // default 10
+	Queries  int // default 90 (evenly split across constrained positions)
+	Seed     int64
+}
+
+func (c IndexingConfig) withDefaults() IndexingConfig {
+	if c.Peers == 0 {
+		c.Peers = 32
+	}
+	if c.Entities == 0 {
+		c.Entities = 60
+	}
+	if c.Schemas == 0 {
+		c.Schemas = 10
+	}
+	if c.Queries == 0 {
+		c.Queries = 90
+	}
+	return c
+}
+
+// IndexingPoint reports answerability for one constrained position.
+type IndexingPoint struct {
+	Constraint   string
+	FullIndexing float64 // fraction of queries retrieving full ground truth
+	SubjectOnly  float64
+}
+
+// IndexingResult is the ablation outcome.
+type IndexingResult struct {
+	Points []IndexingPoint
+}
+
+// RunIndexing builds two identical networks — one inserting triples under
+// all three keys, one under the subject key only — and issues the same
+// queries against both.
+func RunIndexing(cfg IndexingConfig) (IndexingResult, error) {
+	cfg = cfg.withDefaults()
+	w := bioworkload.Generate(bioworkload.Config{
+		Schemas:  cfg.Schemas,
+		Entities: cfg.Entities,
+		Seed:     cfg.Seed + 1,
+	})
+
+	type world struct {
+		peers []*mediation.Peer
+	}
+	build := func(subjectOnly bool, seed int64) (world, error) {
+		rng := rand.New(rand.NewSource(seed))
+		net := simnet.NewNetwork()
+		ov, err := pgrid.Build(net, pgrid.BuildOptions{
+			Peers:         cfg.Peers,
+			ReplicaFactor: 2,
+			SampleKeys:    workloadKeySample(w, 2000, rng),
+			Rng:           rng,
+		})
+		if err != nil {
+			return world{}, err
+		}
+		var peers []*mediation.Peer
+		for _, n := range ov.Nodes() {
+			peers = append(peers, mediation.NewPeer(n))
+		}
+		for _, t := range w.Triples() {
+			if subjectOnly {
+				key := keyspace.HashDefault(t.Subject)
+				if _, err := peers[rng.Intn(len(peers))].Node().Update(key, t); err != nil {
+					return world{}, err
+				}
+			} else {
+				if _, err := peers[rng.Intn(len(peers))].InsertTriple(t); err != nil {
+					return world{}, err
+				}
+			}
+		}
+		return world{peers: peers}, nil
+	}
+
+	full, err := build(false, cfg.Seed+10)
+	if err != nil {
+		return IndexingResult{}, err
+	}
+	subjOnly, err := build(true, cfg.Seed+10)
+	if err != nil {
+		return IndexingResult{}, err
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 20))
+	queries := w.Queries(cfg.Queries, rng)
+
+	// Rewrite each base query into the three constraint shapes.
+	type shaped struct {
+		name    string
+		pattern func(bioworkload.Query) triple.Pattern
+	}
+	shapes := []shaped{
+		{"subject", func(q bioworkload.Query) triple.Pattern {
+			t := q.GroundTruth[0]
+			return triple.Pattern{S: triple.Const(t.Subject), P: triple.Var("p"), O: triple.Var("o")}
+		}},
+		{"predicate", func(q bioworkload.Query) triple.Pattern {
+			return triple.Pattern{S: triple.Var("s"), P: q.Pattern.P, O: triple.Var("o")}
+		}},
+		{"object", func(q bioworkload.Query) triple.Pattern {
+			return triple.Pattern{S: triple.Var("s"), P: triple.Var("p"), O: triple.Const(q.Value)}
+		}},
+	}
+
+	var out IndexingResult
+	for _, shape := range shapes {
+		fullRecall := metrics.NewDistribution()
+		subjRecall := metrics.NewDistribution()
+		for _, q := range queries {
+			pattern := shape.pattern(q)
+			truth := groundTruth(w, pattern)
+			if len(truth) == 0 {
+				continue
+			}
+			fullRecall.Add(queryRecall(full.peers, pattern, truth, rng))
+			subjRecall.Add(queryRecall(subjOnly.peers, pattern, truth, rng))
+		}
+		out.Points = append(out.Points, IndexingPoint{
+			Constraint:   shape.name,
+			FullIndexing: fullRecall.Mean(),
+			SubjectOnly:  subjRecall.Mean(),
+		})
+	}
+	return out, nil
+}
+
+// groundTruth lists every workload triple matching the pattern.
+func groundTruth(w *bioworkload.Workload, q triple.Pattern) []triple.Triple {
+	var out []triple.Triple
+	for _, t := range w.Triples() {
+		if q.Matches(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// queryRecall measures |retrieved ∩ truth| / |truth| for one query.
+func queryRecall(peers []*mediation.Peer, q triple.Pattern, truth []triple.Triple, rng *rand.Rand) float64 {
+	issuer := peers[rng.Intn(len(peers))]
+	rs, err := issuer.SearchFor(q)
+	if err != nil {
+		return 0
+	}
+	found := map[triple.Triple]bool{}
+	for _, t := range rs.Triples() {
+		found[t] = true
+	}
+	hit := 0
+	for _, t := range truth {
+		if found[t] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(truth))
+}
+
+// Table renders the ablation.
+func (r IndexingResult) Table() string {
+	t := metrics.NewTable("constrained on", "3x indexing", "subject-only")
+	for _, p := range r.Points {
+		t.AddRow(p.Constraint,
+			fmt.Sprintf("%.0f%%", 100*p.FullIndexing),
+			fmt.Sprintf("%.0f%%", 100*p.SubjectOnly))
+	}
+	return t.String()
+}
+
+// --- EXP-H: replication factor under churn ------------------------------
+
+// ChurnConfig parameterizes the §2.1 design ablation: replica references
+// σ(p) keep retrieval available as peers fail.
+type ChurnConfig struct {
+	Peers          int       // default 120
+	Keys           int       // default 150
+	ReplicaFactors []int     // default {1,2,3,4}
+	FailureRates   []float64 // default {0.1, 0.2, 0.3}
+	Seed           int64
+}
+
+func (c ChurnConfig) withDefaults() ChurnConfig {
+	if c.Peers == 0 {
+		c.Peers = 120
+	}
+	if c.Keys == 0 {
+		c.Keys = 150
+	}
+	if len(c.ReplicaFactors) == 0 {
+		c.ReplicaFactors = []int{1, 2, 3, 4}
+	}
+	if len(c.FailureRates) == 0 {
+		c.FailureRates = []float64{0.1, 0.2, 0.3}
+	}
+	return c
+}
+
+// ChurnPoint is one (replica factor, failure rate) cell.
+type ChurnPoint struct {
+	ReplicaFactor int
+	FailureRate   float64
+	Availability  float64
+}
+
+// ChurnResult is the grid.
+type ChurnResult struct {
+	Points []ChurnPoint
+}
+
+// RunChurn measures retrieval availability after failing a random fraction
+// of peers, for each replica factor.
+func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
+	cfg = cfg.withDefaults()
+	var out ChurnResult
+	for _, rf := range cfg.ReplicaFactors {
+		for _, rate := range cfg.FailureRates {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(rf*1000) + int64(rate*100)))
+			// Diverse value-like key strings (as object values are), so keys
+			// spread across the key space rather than sharing one prefix.
+			allKeys := make([]keyspace.Key, 0, cfg.Keys)
+			for i := 0; i < cfg.Keys; i++ {
+				s := make([]byte, 10)
+				for j := range s {
+					s[j] = byte('a' + rng.Intn(26))
+				}
+				allKeys = append(allKeys, keyspace.HashDefault(string(s)))
+			}
+			net := simnet.NewNetwork()
+			ov, err := pgrid.Build(net, pgrid.BuildOptions{
+				Peers:         cfg.Peers,
+				ReplicaFactor: rf,
+				SampleKeys:    allKeys,
+				Rng:           rng,
+			})
+			if err != nil {
+				return out, err
+			}
+			issuer := ov.Nodes()[0]
+			keys := make([]keyspace.Key, 0, cfg.Keys)
+			for i := 0; i < cfg.Keys; i++ {
+				k := allKeys[i]
+				if _, err := issuer.Update(k, i); err != nil {
+					return out, err
+				}
+				keys = append(keys, k)
+			}
+			for _, n := range ov.Nodes()[1:] {
+				if rng.Float64() < rate {
+					net.Fail(n.ID())
+				}
+			}
+			ok := 0
+			for _, k := range keys {
+				if values, _, err := issuer.Retrieve(k); err == nil && len(values) == 1 {
+					ok++
+				}
+			}
+			out.Points = append(out.Points, ChurnPoint{
+				ReplicaFactor: rf,
+				FailureRate:   rate,
+				Availability:  float64(ok) / float64(len(keys)),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Table renders the grid.
+func (r ChurnResult) Table() string {
+	t := metrics.NewTable("replica factor", "failure rate", "availability")
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprint(p.ReplicaFactor),
+			fmt.Sprintf("%.0f%%", 100*p.FailureRate),
+			fmt.Sprintf("%.1f%%", 100*p.Availability))
+	}
+	return t.String()
+}
+
+// --- EXP-I: iterative vs recursive reformulation ------------------------
+
+// StrategiesConfig parameterizes the §4 strategy comparison on mapping
+// chains of growing length.
+type StrategiesConfig struct {
+	Peers        int   // default 32
+	ChainLengths []int // default {1..6}
+	Seed         int64
+}
+
+func (c StrategiesConfig) withDefaults() StrategiesConfig {
+	if c.Peers == 0 {
+		c.Peers = 32
+	}
+	if len(c.ChainLengths) == 0 {
+		c.ChainLengths = []int{1, 2, 3, 4, 5, 6}
+	}
+	return c
+}
+
+// StrategyPoint compares the modes at one chain length.
+type StrategyPoint struct {
+	ChainLength   int
+	Results       int
+	IterMessages  int // all issued by the querying peer
+	RecMessages   int // total across the network
+	RecIssuerMsgs int // issued by the querying peer only
+}
+
+// StrategiesResult is the sweep.
+type StrategiesResult struct {
+	Points []StrategyPoint
+}
+
+// RunStrategies builds a schema chain S0→S1→…→SL with one data item per
+// schema and measures message costs of both reformulation strategies.
+func RunStrategies(cfg StrategiesConfig) (StrategiesResult, error) {
+	cfg = cfg.withDefaults()
+	var out StrategiesResult
+	for _, chain := range cfg.ChainLengths {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(chain)))
+		net := simnet.NewNetwork()
+		ov, err := pgrid.Build(net, pgrid.BuildOptions{Peers: cfg.Peers, ReplicaFactor: 2, Rng: rng})
+		if err != nil {
+			return out, err
+		}
+		var peers []*mediation.Peer
+		for _, n := range ov.Nodes() {
+			peers = append(peers, mediation.NewPeer(n))
+		}
+		for i := 0; i <= chain; i++ {
+			name := fmt.Sprintf("S%d", i)
+			peers[0].InsertTriple(triple.Triple{
+				Subject:   fmt.Sprintf("%s-item", name),
+				Predicate: name + "#organism",
+				Object:    "aspergillus",
+			})
+			if i < chain {
+				m := schema.NewMapping(name, fmt.Sprintf("S%d", i+1), schema.Equivalence, schema.Manual,
+					[]schema.Correspondence{{SourceAttr: "organism", TargetAttr: "organism", Confidence: 1}})
+				peers[0].InsertMapping(m)
+			}
+		}
+		issuer := peers[len(peers)-1]
+		q := triple.Pattern{S: triple.Var("x"), P: triple.Const("S0#organism"), O: triple.Const("aspergillus")}
+
+		it, err := issuer.SearchWithReformulation(q, mediation.SearchOptions{Mode: mediation.Iterative, MaxDepth: chain + 1})
+		if err != nil {
+			return out, err
+		}
+		rec, err := issuer.SearchWithReformulation(q, mediation.SearchOptions{Mode: mediation.Recursive, MaxDepth: chain + 1})
+		if err != nil {
+			return out, err
+		}
+		if len(it.Results) != len(rec.Results) {
+			return out, fmt.Errorf("chain %d: iterative %d vs recursive %d results", chain, len(it.Results), len(rec.Results))
+		}
+		out.Points = append(out.Points, StrategyPoint{
+			ChainLength:   chain,
+			Results:       len(it.Results),
+			IterMessages:  it.Messages,
+			RecMessages:   rec.Messages,
+			RecIssuerMsgs: rec.Route.Messages,
+		})
+	}
+	return out, nil
+}
+
+// Table renders the comparison.
+func (r StrategiesResult) Table() string {
+	t := metrics.NewTable("chain", "results", "iter msgs (issuer)", "rec msgs (total)", "rec msgs (issuer)")
+	for _, p := range r.Points {
+		t.AddRow(fmt.Sprint(p.ChainLength), fmt.Sprint(p.Results),
+			fmt.Sprint(p.IterMessages), fmt.Sprint(p.RecMessages), fmt.Sprint(p.RecIssuerMsgs))
+	}
+	return t.String()
+}

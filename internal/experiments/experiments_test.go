@@ -1,0 +1,296 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Scaled-down configurations keep the test suite fast; the full paper-scale
+// parameters run under cmd/gridvine-bench and the root benchmarks.
+
+func TestRunDeploymentSmall(t *testing.T) {
+	r, err := RunDeployment(DeploymentConfig{
+		Peers:    60,
+		Queries:  400,
+		Schemas:  12,
+		Entities: 60,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatalf("RunDeployment: %v", err)
+	}
+	if r.Queries < 350 {
+		t.Errorf("completed queries = %d", r.Queries)
+	}
+	if r.Within1s <= 0 || r.Within1s > 1 {
+		t.Errorf("Within1s = %v", r.Within1s)
+	}
+	if r.Within5s < r.Within1s {
+		t.Error("CDF not monotone")
+	}
+	if r.MeanHops <= 0 {
+		t.Errorf("MeanHops = %v", r.MeanHops)
+	}
+	tbl := r.Table()
+	for _, want := range []string{"answered < 1 s", "answered < 5 s", "40%", "75%"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q:\n%s", want, tbl)
+		}
+	}
+}
+
+func TestRunDeploymentLatencyShape(t *testing.T) {
+	// With the default WAN model at reduced scale, the distribution must
+	// have the paper's qualitative shape: a meaningful fraction inside 1 s,
+	// a clear majority inside 5 s, and a tail beyond.
+	r, err := RunDeployment(DeploymentConfig{
+		Peers:    120,
+		Queries:  1500,
+		Schemas:  20,
+		Entities: 100,
+		Seed:     2,
+	})
+	if err != nil {
+		t.Fatalf("RunDeployment: %v", err)
+	}
+	if r.Within1s < 0.2 || r.Within1s > 0.7 {
+		t.Errorf("Within1s = %.2f, want a substantial minority", r.Within1s)
+	}
+	if r.Within5s < 0.55 || r.Within5s > 0.95 {
+		t.Errorf("Within5s = %.2f, want a clear majority with a tail", r.Within5s)
+	}
+	if r.Within5s <= r.Within1s {
+		t.Error("CDF not increasing")
+	}
+}
+
+func TestRunRoutingLogarithmic(t *testing.T) {
+	r, err := RunRouting(RoutingConfig{
+		Sizes:          []int{32, 128, 512},
+		QueriesPerSize: 120,
+		Skewed:         true,
+		Seed:           3,
+	})
+	if err != nil {
+		t.Fatalf("RunRouting: %v", err)
+	}
+	if len(r.Points) != 6 { // 3 sizes × {balanced, skewed}
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	for _, p := range r.Points {
+		if p.MeanHops > float64(p.TrieDepth)+1 {
+			t.Errorf("size %d (%v): mean hops %.2f exceeds depth %d", p.Peers, p.Balanced, p.MeanHops, p.TrieDepth)
+		}
+		// Logarithmic: mean hops per log2(N) stays below 1.
+		if p.MeanPerLog > 1.0 {
+			t.Errorf("size %d: hops/log2(N) = %.2f", p.Peers, p.MeanPerLog)
+		}
+	}
+	if !strings.Contains(r.Table(), "hops/log2(N)") {
+		t.Error("table header missing")
+	}
+}
+
+func TestRunConnectivityEmergence(t *testing.T) {
+	r := RunConnectivity(ConnectivityConfig{
+		Schemas:       50,
+		MappingCounts: []int{5, 20, 40, 60, 80, 100, 120, 150},
+		Trials:        15,
+		Seed:          4,
+	})
+	if len(r.Points) != 8 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// ci must be negative when sparse (with 5 unidirectional mappings over
+	// 50 schemas almost every endpoint has a single in- or out-edge) and
+	// positive when dense.
+	if r.Points[0].MeanCI >= 0 {
+		t.Errorf("ci with 5 mappings = %v", r.Points[0].MeanCI)
+	}
+	last := r.Points[len(r.Points)-1]
+	if last.MeanCI <= 0 {
+		t.Errorf("ci with 150 mappings = %v", last.MeanCI)
+	}
+	// The indicator's sign change must track the giant component: where
+	// ci ≥ 0, the largest weak component should dominate the graph.
+	for _, p := range r.Points {
+		if p.MeanCI >= 0.2 && p.MeanWCCFrac < 0.5 {
+			t.Errorf("mappings=%d: ci=%.2f but WCC=%.2f", p.Mappings, p.MeanCI, p.MeanWCCFrac)
+		}
+		if p.MeanCI <= -0.5 && p.MeanWCCFrac > 0.5 {
+			t.Errorf("mappings=%d: ci=%.2f but WCC=%.2f", p.Mappings, p.MeanCI, p.MeanWCCFrac)
+		}
+	}
+	if r.CrossoverMappings() < 0 {
+		t.Error("no ci crossover found")
+	}
+}
+
+func TestRunRecallGrowth(t *testing.T) {
+	r, err := RunRecall(RecallConfig{
+		Peers:        24,
+		Schemas:      8,
+		Entities:     50,
+		SeedMappings: 1,
+		Rounds:       4,
+		Queries:      25,
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatalf("RunRecall: %v", err)
+	}
+	if len(r.Points) != 5 { // round 0 + 4 rounds
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	first, last := r.Points[0], r.Points[len(r.Points)-1]
+	if last.ActiveMappings <= first.ActiveMappings {
+		t.Errorf("mappings did not grow: %d → %d", first.ActiveMappings, last.ActiveMappings)
+	}
+	if last.MeanRecall <= first.MeanRecall {
+		t.Errorf("recall did not grow: %.2f → %.2f", first.MeanRecall, last.MeanRecall)
+	}
+	if last.CI <= first.CI {
+		t.Errorf("ci did not grow: %.2f → %.2f", first.CI, last.CI)
+	}
+	if !strings.Contains(r.Table(), "recall(iter)") {
+		t.Error("table header missing")
+	}
+}
+
+func TestRunDeprecationDetection(t *testing.T) {
+	r := RunDeprecation(DeprecationConfig{
+		Schemas:      12,
+		GoodMappings: 18,
+		BadCounts:    []int{1, 3},
+		Trials:       4,
+		Seed:         6,
+	})
+	if len(r.Points) != 2 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	for _, p := range r.Points {
+		if p.Recall < 0.5 {
+			t.Errorf("planted=%d: detection recall = %.2f", p.Planted, p.Recall)
+		}
+		if p.Precision < 0.6 {
+			t.Errorf("planted=%d: detection precision = %.2f", p.Planted, p.Precision)
+		}
+		if p.MeanCycles == 0 {
+			t.Errorf("planted=%d: no cycles evaluated", p.Planted)
+		}
+	}
+}
+
+func TestRunIndexingAblation(t *testing.T) {
+	r, err := RunIndexing(IndexingConfig{Peers: 16, Entities: 30, Schemas: 6, Queries: 30, Seed: 7})
+	if err != nil {
+		t.Fatalf("RunIndexing: %v", err)
+	}
+	if len(r.Points) != 3 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	byName := map[string]IndexingPoint{}
+	for _, p := range r.Points {
+		byName[p.Constraint] = p
+	}
+	// Subject queries work in both worlds.
+	if byName["subject"].FullIndexing < 0.95 || byName["subject"].SubjectOnly < 0.95 {
+		t.Errorf("subject queries: %+v", byName["subject"])
+	}
+	// Predicate/object recall collapses without the extra indexes: only the
+	// coincidental co-location of subject keys answers anything.
+	if byName["predicate"].FullIndexing < 0.95 {
+		t.Errorf("predicate with full indexing: %+v", byName["predicate"])
+	}
+	if byName["predicate"].SubjectOnly > 0.5 {
+		t.Errorf("predicate subject-only recall too high: %+v", byName["predicate"])
+	}
+	if byName["object"].SubjectOnly > 0.5 {
+		t.Errorf("object subject-only recall too high: %+v", byName["object"])
+	}
+	if byName["object"].FullIndexing < 0.95 {
+		t.Errorf("object with full indexing: %+v", byName["object"])
+	}
+}
+
+func TestRunChurnAvailability(t *testing.T) {
+	r, err := RunChurn(ChurnConfig{
+		Peers:          48,
+		Keys:           60,
+		ReplicaFactors: []int{1, 3},
+		FailureRates:   []float64{0.25},
+		Seed:           8,
+	})
+	if err != nil {
+		t.Fatalf("RunChurn: %v", err)
+	}
+	if len(r.Points) != 2 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	if r.Points[1].Availability <= r.Points[0].Availability {
+		t.Errorf("replication did not help: rf=1 %.2f vs rf=3 %.2f",
+			r.Points[0].Availability, r.Points[1].Availability)
+	}
+	if r.Points[1].Availability < 0.9 {
+		t.Errorf("rf=3 availability = %.2f", r.Points[1].Availability)
+	}
+}
+
+func TestRunStrategies(t *testing.T) {
+	r, err := RunStrategies(StrategiesConfig{Peers: 16, ChainLengths: []int{1, 3, 5}, Seed: 9})
+	if err != nil {
+		t.Fatalf("RunStrategies: %v", err)
+	}
+	if len(r.Points) != 3 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	for _, p := range r.Points {
+		if p.Results != p.ChainLength+1 {
+			t.Errorf("chain %d: results = %d", p.ChainLength, p.Results)
+		}
+		// Recursive offloads work from the issuer.
+		if p.RecIssuerMsgs >= p.IterMessages && p.ChainLength > 1 {
+			t.Errorf("chain %d: issuer messages %d (rec) vs %d (iter)", p.ChainLength, p.RecIssuerMsgs, p.IterMessages)
+		}
+	}
+	// Longer chains cost more messages in both modes.
+	if r.Points[2].IterMessages <= r.Points[0].IterMessages {
+		t.Error("iterative cost did not grow with chain length")
+	}
+}
+
+func TestDeploymentDefaultsRecorded(t *testing.T) {
+	cfg := DeploymentConfig{}.withDefaults()
+	if cfg.TransitMedian != 100*time.Millisecond || cfg.TransitSigma != 0.9 ||
+		cfg.SlowMedian != 3*time.Second || cfg.SlowProb != 0.15 ||
+		cfg.ServiceMean != 15*time.Millisecond {
+		t.Errorf("WAN defaults drifted from EXPERIMENTS.md: %+v", cfg)
+	}
+	if cfg.Peers != 340 || cfg.Queries != 23000 {
+		t.Errorf("paper-scale defaults drifted: %+v", cfg)
+	}
+}
+
+func TestRunAlignmentAblation(t *testing.T) {
+	r := RunAlignment(AlignmentConfig{Schemas: 10, Entities: 80, Pairs: 20, Seed: 10})
+	if len(r.Points) != 5 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// With zero shared instances only the lexical signal exists; with many,
+	// the set measure and the combination must clearly beat lexical-only
+	// recall (value evidence resolves the synonym renamings).
+	last := r.Points[len(r.Points)-1]
+	if last.SetRecall <= r.Points[0].SetRecall {
+		t.Errorf("set recall did not improve with shared instances: %+v", r.Points)
+	}
+	if last.CombinedRecall < last.LexRecall {
+		t.Errorf("combined recall %.2f below lexical %.2f at full evidence", last.CombinedRecall, last.LexRecall)
+	}
+	if last.CombinedRecall < 0.6 {
+		t.Errorf("combined recall = %.2f, want strong with 25 shared instances", last.CombinedRecall)
+	}
+	if !strings.Contains(r.Table(), "comb R") {
+		t.Error("table header missing")
+	}
+}

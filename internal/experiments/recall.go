@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gridvine/internal/bioworkload"
+	"gridvine/internal/mediation"
+	"gridvine/internal/metrics"
+	"gridvine/internal/pgrid"
+	"gridvine/internal/selforg"
+	"gridvine/internal/simnet"
+)
+
+// RecallConfig parameterizes EXP-D, the §4 demonstration storyline: "In a
+// sparse network of mappings, few results get returned initially (low
+// recall), while more and more results are retrieved as mappings get
+// created automatically to ensure the global interoperability of the
+// system."
+type RecallConfig struct {
+	Peers        int // default 64
+	Schemas      int // default 20
+	Entities     int // default 120
+	SeedMappings int // default 3 (the sparse manual start)
+	Rounds       int // default 8 self-organization rounds
+	Queries      int // default 50
+	Seed         int64
+}
+
+func (c RecallConfig) withDefaults() RecallConfig {
+	if c.Peers == 0 {
+		c.Peers = 64
+	}
+	if c.Schemas == 0 {
+		c.Schemas = 20
+	}
+	if c.Entities == 0 {
+		c.Entities = 120
+	}
+	if c.SeedMappings == 0 {
+		c.SeedMappings = 3
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 8
+	}
+	if c.Queries == 0 {
+		c.Queries = 50
+	}
+	return c
+}
+
+// RecallPoint is one row of the recall-growth curve.
+type RecallPoint struct {
+	Round          int
+	ActiveMappings int
+	Deprecated     int
+	CI             float64
+	MeanRecall     float64
+	MeanRecallRec  float64 // recursive reformulation
+	MsgPerQuery    float64 // iterative mode messages per query
+	MsgPerQueryRec float64
+}
+
+// RecallResult is the full demonstration run.
+type RecallResult struct {
+	Triples int
+	Points  []RecallPoint
+}
+
+// RunRecall reproduces the demonstration: insert the bio workload and a
+// sparse set of manual mappings, measure recall, then alternate
+// self-organization rounds with recall measurements while the network of
+// mappings densifies.
+func RunRecall(cfg RecallConfig) (RecallResult, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	w := bioworkload.Generate(bioworkload.Config{
+		Schemas:  cfg.Schemas,
+		Entities: cfg.Entities,
+		Seed:     cfg.Seed + 1,
+	})
+
+	net := simnet.NewNetwork()
+	ov, err := pgrid.Build(net, pgrid.BuildOptions{
+		Peers:         cfg.Peers,
+		ReplicaFactor: 2,
+		SampleKeys:    workloadKeySample(w, 2000, rng),
+		Rng:           rng,
+	})
+	if err != nil {
+		return RecallResult{}, err
+	}
+	peers := make([]*mediation.Peer, 0, cfg.Peers)
+	for _, n := range ov.Nodes() {
+		peers = append(peers, mediation.NewPeer(n))
+	}
+	for _, t := range w.Triples() {
+		if _, err := peers[rng.Intn(len(peers))].InsertTriple(t); err != nil {
+			return RecallResult{}, err
+		}
+	}
+
+	org, err := selforg.New(peers[0], selforg.Config{
+		Domain:              w.Domain,
+		MaxMappingsPerRound: 6,
+		Rng:                 rand.New(rand.NewSource(cfg.Seed + 2)),
+	})
+	if err != nil {
+		return RecallResult{}, err
+	}
+	for _, info := range w.Schemas {
+		if err := org.RegisterSchema(info.Schema); err != nil {
+			return RecallResult{}, err
+		}
+	}
+	for _, m := range w.SeedMappings(cfg.SeedMappings) {
+		if _, err := peers[0].InsertMapping(m); err != nil {
+			return RecallResult{}, err
+		}
+	}
+	ms, err := org.GatherMappings()
+	if err != nil {
+		return RecallResult{}, err
+	}
+	if err := org.RefreshDegrees(ms); err != nil {
+		return RecallResult{}, err
+	}
+
+	queries := w.Queries(cfg.Queries, rng)
+	subjects := w.Subjects()
+
+	out := RecallResult{Triples: len(w.Triples())}
+	measure := func(round int) error {
+		ms, err := org.GatherMappings()
+		if err != nil {
+			return err
+		}
+		report, err := org.Connectivity()
+		if err != nil {
+			return err
+		}
+		point := RecallPoint{
+			Round:          round,
+			ActiveMappings: len(ms.Active()),
+			Deprecated:     ms.Len() - len(ms.Active()),
+			CI:             report.CI,
+		}
+		itRecall, itMsgs := measureRecall(peers, queries, rng, mediation.Iterative)
+		recRecall, recMsgs := measureRecall(peers, queries, rng, mediation.Recursive)
+		point.MeanRecall = itRecall
+		point.MsgPerQuery = itMsgs
+		point.MeanRecallRec = recRecall
+		point.MsgPerQueryRec = recMsgs
+		out.Points = append(out.Points, point)
+		return nil
+	}
+
+	if err := measure(0); err != nil {
+		return out, err
+	}
+	for round := 1; round <= cfg.Rounds; round++ {
+		if _, err := org.Round(subjects); err != nil {
+			return out, err
+		}
+		if err := measure(round); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+func measureRecall(peers []*mediation.Peer, queries []bioworkload.Query, rng *rand.Rand, mode mediation.Mode) (meanRecall, meanMsgs float64) {
+	recall := metrics.NewDistribution()
+	msgs := metrics.NewDistribution()
+	for _, q := range queries {
+		issuer := peers[rng.Intn(len(peers))]
+		rs, err := issuer.SearchWithReformulation(q.Pattern, mediation.SearchOptions{Mode: mode})
+		if err != nil {
+			recall.Add(0)
+			continue
+		}
+		recall.Add(q.Recall(rs.Triples()))
+		msgs.Add(float64(rs.Messages))
+	}
+	return recall.Mean(), msgs.Mean()
+}
+
+// Table renders the growth curve.
+func (r RecallResult) Table() string {
+	t := metrics.NewTable("round", "active maps", "deprecated", "ci", "recall(iter)", "recall(rec)", "msg/q(iter)", "msg/q(rec)")
+	for _, p := range r.Points {
+		t.AddRow(
+			fmt.Sprint(p.Round), fmt.Sprint(p.ActiveMappings), fmt.Sprint(p.Deprecated),
+			fmt.Sprintf("%+.2f", p.CI),
+			fmt.Sprintf("%.2f", p.MeanRecall), fmt.Sprintf("%.2f", p.MeanRecallRec),
+			fmt.Sprintf("%.0f", p.MsgPerQuery), fmt.Sprintf("%.0f", p.MsgPerQueryRec),
+		)
+	}
+	return t.String()
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"gridvine/internal/bioworkload"
+	"gridvine/internal/keyspace"
+)
+
+// workloadKeySample returns the overlay keys of (a capped sample of) the
+// workload's triples — one key per component, exactly the keys the
+// mediation layer will route. Experiments hand this to the overlay builder
+// so the trie adapts to the real key distribution, mirroring P-Grid's
+// storage load balancing: data keyed by the order-preserving hash is
+// heavily skewed (URIs and accessions share long prefixes), so a balanced
+// trie would put everything on one leaf.
+func workloadKeySample(w *bioworkload.Workload, cap int, rng *rand.Rand) []keyspace.Key {
+	triples := w.Triples()
+	idx := rng.Perm(len(triples))
+	if cap <= 0 || cap > len(triples) {
+		cap = len(triples)
+	}
+	out := make([]keyspace.Key, 0, 3*cap)
+	for _, i := range idx[:cap] {
+		t := triples[i]
+		out = append(out,
+			keyspace.HashDefault(t.Subject),
+			keyspace.HashDefault(t.Predicate),
+			keyspace.HashDefault(t.Object))
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package keyspace
+
+import (
+	"crypto/sha1"
+	"strings"
+)
+
+// OrderPreservingBits is the number of leading key bits that preserve the
+// lexicographic order of the hashed string: 96 bits cover the first 12
+// normalized bytes. Beyond that, keys carry a cryptographic tie-break
+// suffix, so strings identical in their first 12 bytes still receive
+// distinct (but arbitrarily ordered) keys.
+const OrderPreservingBits = 96
+
+// DefaultDepth is the bit depth of data keys produced by Hash: a 96-bit
+// order-preserving prefix plus a 64-bit tie-break suffix.
+const DefaultDepth = OrderPreservingBits + 64
+
+// Hash is GridVine's order-preserving hash function (paper §2.2): it maps a
+// string onto a binary key such that the lexicographic order of inputs is
+// preserved by the numeric order of outputs, which makes prefix/range
+// queries over the overlay possible and produces the skewed key
+// distributions P-Grid's unbalanced trie absorbs.
+//
+// The input is normalized (ASCII lower-cased) and its byte string is read
+// as a base-256 fraction in [0,1); the fraction's binary expansion — i.e.
+// the bytes' bits, zero-padded — forms the first min(depth,
+// OrderPreservingBits) bits. Deeper bits come from a SHA-1 tie-break so
+// long strings with a common 12-byte prefix still map to distinct keys;
+// those bits are deterministic but not order-preserving.
+func Hash(s string, depth int) Key {
+	if depth <= 0 {
+		depth = DefaultDepth
+	}
+	norm := normalize(s)
+
+	var b strings.Builder
+	b.Grow(depth)
+	prefixBits := depth
+	if prefixBits > OrderPreservingBits {
+		prefixBits = OrderPreservingBits
+	}
+	for i := 0; i < prefixBits; i++ {
+		byteIdx := i / 8
+		var c byte
+		if byteIdx < len(norm) {
+			c = norm[byteIdx]
+		}
+		if c&(1<<uint(7-i%8)) != 0 {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	if depth > OrderPreservingBits {
+		sum := sha1.Sum([]byte(norm))
+		for i := 0; i < depth-OrderPreservingBits; i++ {
+			byteIdx := (i / 8) % len(sum)
+			if sum[byteIdx]&(1<<uint(7-i%8)) != 0 {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+	}
+	return Key{bits: b.String()}
+}
+
+// HashDefault applies Hash at DefaultDepth.
+func HashDefault(s string) Key { return Hash(s, DefaultDepth) }
+
+// UniformHash is a non-order-preserving cryptographic hash onto the key
+// space. It is used where uniform load spreading matters more than range
+// queries (ablation experiments; schema-name keys are point lookups only).
+func UniformHash(s string, depth int) Key {
+	if depth <= 0 {
+		depth = DefaultDepth
+	}
+	sum := sha1.Sum([]byte(s))
+	var b strings.Builder
+	b.Grow(depth)
+	for i := 0; i < depth; i++ {
+		byteIdx := (i / 8) % len(sum)
+		bitIdx := uint(7 - i%8)
+		if sum[byteIdx]&(1<<bitIdx) != 0 {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return Key{bits: b.String()}
+}
+
+// normalize lower-cases ASCII letters; other bytes pass through. Keeping the
+// transform byte-wise preserves order on the normalized alphabet.
+func normalize(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}

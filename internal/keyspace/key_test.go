@@ -1,0 +1,296 @@
+package keyspace
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseKey(t *testing.T) {
+	k, err := ParseKey("0110")
+	if err != nil {
+		t.Fatalf("ParseKey: %v", err)
+	}
+	if k.String() != "0110" {
+		t.Errorf("got %q, want %q", k.String(), "0110")
+	}
+	if k.Len() != 4 {
+		t.Errorf("Len = %d, want 4", k.Len())
+	}
+	if _, err := ParseKey("01x0"); err == nil {
+		t.Error("ParseKey accepted invalid bit")
+	}
+}
+
+func TestParseKeyEmpty(t *testing.T) {
+	k, err := ParseKey("")
+	if err != nil {
+		t.Fatalf("ParseKey(\"\"): %v", err)
+	}
+	if !k.IsEmpty() {
+		t.Error("empty key not IsEmpty")
+	}
+}
+
+func TestMustParseKeyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseKey did not panic on invalid input")
+		}
+	}()
+	MustParseKey("2")
+}
+
+func TestKeyBits(t *testing.T) {
+	k := MustParseKey("101")
+	want := []int{1, 0, 1}
+	for i, w := range want {
+		if got := k.Bit(i); got != w {
+			t.Errorf("Bit(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestKeyFromBits(t *testing.T) {
+	k := KeyFromBits([]bool{true, false, true, true})
+	if k.String() != "1011" {
+		t.Errorf("KeyFromBits = %q, want 1011", k.String())
+	}
+}
+
+func TestAppendAndPrefix(t *testing.T) {
+	k := Key{}
+	k = k.Append(1).Append(0).Append(1)
+	if k.String() != "101" {
+		t.Fatalf("Append chain = %q", k.String())
+	}
+	if p := k.Prefix(2); p.String() != "10" {
+		t.Errorf("Prefix(2) = %q", p.String())
+	}
+	if p := k.Prefix(0); !p.IsEmpty() {
+		t.Errorf("Prefix(0) = %q, want empty", p.String())
+	}
+}
+
+func TestPrefixRelations(t *testing.T) {
+	a := MustParseKey("10")
+	b := MustParseKey("101")
+	if !a.IsPrefixOf(b) {
+		t.Error("10 should be prefix of 101")
+	}
+	if b.IsPrefixOf(a) {
+		t.Error("101 should not be prefix of 10")
+	}
+	if !a.IsPrefixOf(a) {
+		t.Error("key should be prefix of itself")
+	}
+	if !b.HasPrefix(a) {
+		t.Error("101 should have prefix 10")
+	}
+	empty := Key{}
+	if !empty.IsPrefixOf(b) {
+		t.Error("empty key should be prefix of everything")
+	}
+}
+
+func TestCommonPrefixLen(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"1", "0", 0},
+		{"101", "100", 2},
+		{"101", "101", 3},
+		{"101", "1011", 3},
+		{"0000", "0001", 3},
+	}
+	for _, c := range cases {
+		got := MustParseKey(c.a).CommonPrefixLen(MustParseKey(c.b))
+		if got != c.want {
+			t.Errorf("CommonPrefixLen(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFlipBitSiblingParent(t *testing.T) {
+	k := MustParseKey("101")
+	if f := k.FlipBit(1); f.String() != "111" {
+		t.Errorf("FlipBit(1) = %q", f.String())
+	}
+	if s := k.Sibling(); s.String() != "100" {
+		t.Errorf("Sibling = %q", s.String())
+	}
+	if p := k.Parent(); p.String() != "10" {
+		t.Errorf("Parent = %q", p.String())
+	}
+}
+
+func TestSiblingPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Sibling on empty key did not panic")
+		}
+	}()
+	(Key{}).Sibling()
+}
+
+func TestCompare(t *testing.T) {
+	if MustParseKey("0").Compare(MustParseKey("1")) != -1 {
+		t.Error("0 < 1 expected")
+	}
+	if MustParseKey("1").Compare(MustParseKey("1")) != 0 {
+		t.Error("1 == 1 expected")
+	}
+	if MustParseKey("11").Compare(MustParseKey("10")) != 1 {
+		t.Error("11 > 10 expected")
+	}
+}
+
+func TestHashOrderPreserving(t *testing.T) {
+	words := []string{"aardvark", "apple", "banana", "cherry", "grape", "zebra"}
+	for i := 0; i < len(words)-1; i++ {
+		a := HashDefault(words[i])
+		b := HashDefault(words[i+1])
+		if a.Compare(b) >= 0 {
+			t.Errorf("Hash(%q)=%s not < Hash(%q)=%s", words[i], a, words[i+1], b)
+		}
+	}
+}
+
+func TestHashCaseInsensitive(t *testing.T) {
+	if !HashDefault("Organism").Equal(HashDefault("organism")) {
+		t.Error("Hash should be case-insensitive")
+	}
+}
+
+func TestHashDepth(t *testing.T) {
+	for _, d := range []int{1, 8, 16, 64, 96, 128} {
+		if got := Hash("test", d).Len(); got != d {
+			t.Errorf("Hash depth %d produced %d bits", d, got)
+		}
+	}
+	if got := Hash("test", 0).Len(); got != DefaultDepth {
+		t.Errorf("Hash depth 0 produced %d bits, want default %d", got, DefaultDepth)
+	}
+}
+
+func TestHashDeterministic(t *testing.T) {
+	if !Hash("EMBL#Organism", 64).Equal(Hash("EMBL#Organism", 64)) {
+		t.Error("Hash not deterministic")
+	}
+}
+
+func TestUniformHashDeterministicAndDistinct(t *testing.T) {
+	a := UniformHash("schema-a", 64)
+	b := UniformHash("schema-b", 64)
+	if a.Equal(b) {
+		t.Error("UniformHash collision on distinct inputs")
+	}
+	if !a.Equal(UniformHash("schema-a", 64)) {
+		t.Error("UniformHash not deterministic")
+	}
+	if UniformHash("x", 32).Len() != 32 {
+		t.Error("UniformHash wrong depth")
+	}
+}
+
+// Property: the order-preserving hash is monotone with respect to
+// lexicographic order of normalized inputs whenever they differ inside the
+// order-preserving region (first OrderPreservingBits/8 bytes); identical
+// inputs map to identical keys.
+func TestHashMonotoneProperty(t *testing.T) {
+	region := OrderPreservingBits / 8
+	clip := func(s string) string {
+		// Zero-pad to the region length, mirroring the fraction expansion.
+		b := make([]byte, region)
+		copy(b, s)
+		return string(b)
+	}
+	f := func(a, b string) bool {
+		na, nb := normalize(a), normalize(b)
+		ka, kb := HashDefault(a), HashDefault(b)
+		if na == nb {
+			return ka.Equal(kb)
+		}
+		switch strings.Compare(clip(na), clip(nb)) {
+		case -1:
+			return ka.Compare(kb) <= 0
+		case 1:
+			return ka.Compare(kb) >= 0
+		default:
+			// Same order-preserving region: only the tie-break differs.
+			return ka.Prefix(OrderPreservingBits).Equal(kb.Prefix(OrderPreservingBits))
+		}
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Strings sharing a long common prefix must still receive distinct keys via
+// the tie-break suffix (this is what keeps distinct URIs from colliding).
+func TestHashTieBreakDistinctness(t *testing.T) {
+	a := HashDefault("gridvine://peer-001/resource-a")
+	b := HashDefault("gridvine://peer-001/resource-b")
+	if a.Equal(b) {
+		t.Error("long-common-prefix strings collided")
+	}
+	if !a.Prefix(OrderPreservingBits).Equal(b.Prefix(OrderPreservingBits)) {
+		t.Error("order-preserving prefix should match for identical 12-byte prefixes")
+	}
+}
+
+// Property: prefix relation is consistent with CommonPrefixLen.
+func TestPrefixConsistencyProperty(t *testing.T) {
+	f := func(raw []bool, n uint8) bool {
+		k := KeyFromBits(raw)
+		cut := int(n)
+		if cut > k.Len() {
+			cut = k.Len()
+		}
+		p := k.Prefix(cut)
+		return p.IsPrefixOf(k) && p.CommonPrefixLen(k) == cut
+	}
+	cfg := &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FlipBit is an involution and changes exactly one bit.
+func TestFlipBitProperty(t *testing.T) {
+	f := func(raw []bool, idx uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		k := KeyFromBits(raw)
+		i := int(idx) % k.Len()
+		flipped := k.FlipBit(i)
+		if flipped.Equal(k) {
+			return false
+		}
+		if !flipped.FlipBit(i).Equal(k) {
+			return false
+		}
+		diff := 0
+		for j := 0; j < k.Len(); j++ {
+			if k.Bit(j) != flipped.Bit(j) {
+				diff++
+			}
+		}
+		return diff == 1
+	}
+	cfg := &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkHash(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Hash("EMBL#Organism/Aspergillus-nidulans", DefaultDepth)
+	}
+}

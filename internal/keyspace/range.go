@@ -1,0 +1,44 @@
+package keyspace
+
+// CoverRange returns the minimal set of prefixes, none deeper than depth,
+// whose subtrees exactly cover the closed key interval [lo, hi] at that
+// depth. lo and hi must both have length depth and lo ≤ hi. The result is
+// ordered left-to-right across the key space.
+//
+// Because GridVine's Hash is order-preserving, a range predicate over
+// values (e.g. all organisms between "asp" and "asq") becomes a key
+// interval, and CoverRange yields the overlay subtrees that must be visited
+// to answer it.
+func CoverRange(lo, hi Key, depth int) []Key {
+	if lo.Len() != depth || hi.Len() != depth {
+		panic("keyspace: CoverRange bounds must have length depth")
+	}
+	if lo.Compare(hi) > 0 {
+		return nil
+	}
+	var out []Key
+	var walk func(prefix Key)
+	walk = func(prefix Key) {
+		// Subtree of prefix spans [prefix·00…0, prefix·11…1] at depth.
+		min := prefix
+		max := prefix
+		for min.Len() < depth {
+			min = min.Append(0)
+			max = max.Append(1)
+		}
+		if max.Compare(lo) < 0 || min.Compare(hi) > 0 {
+			return // disjoint
+		}
+		if min.Compare(lo) >= 0 && max.Compare(hi) <= 0 {
+			out = append(out, prefix) // fully contained
+			return
+		}
+		if prefix.Len() == depth {
+			return // single key outside the range (cannot happen, guarded above)
+		}
+		walk(prefix.Append(0))
+		walk(prefix.Append(1))
+	}
+	walk(Key{})
+	return out
+}

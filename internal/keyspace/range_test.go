@@ -1,0 +1,112 @@
+package keyspace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCoverRangeFullSpace(t *testing.T) {
+	lo := MustParseKey("000")
+	hi := MustParseKey("111")
+	cover := CoverRange(lo, hi, 3)
+	if len(cover) != 1 || !cover[0].IsEmpty() {
+		t.Errorf("full-space cover = %v, want [empty prefix]", cover)
+	}
+}
+
+func TestCoverRangeSingleKey(t *testing.T) {
+	k := MustParseKey("101")
+	cover := CoverRange(k, k, 3)
+	if len(cover) != 1 || !cover[0].Equal(k) {
+		t.Errorf("single-key cover = %v", cover)
+	}
+}
+
+func TestCoverRangeHalf(t *testing.T) {
+	cover := CoverRange(MustParseKey("000"), MustParseKey("011"), 3)
+	if len(cover) != 1 || cover[0].String() != "0" {
+		t.Errorf("left-half cover = %v, want [0]", cover)
+	}
+}
+
+func TestCoverRangeStraddle(t *testing.T) {
+	// [001, 110] = 001 ∪ 01 ∪ 10 ∪ 110
+	cover := CoverRange(MustParseKey("001"), MustParseKey("110"), 3)
+	want := []string{"001", "01", "10", "110"}
+	if len(cover) != len(want) {
+		t.Fatalf("cover = %v, want %v", cover, want)
+	}
+	for i := range want {
+		if cover[i].String() != want[i] {
+			t.Errorf("cover[%d] = %v, want %v", i, cover[i], want[i])
+		}
+	}
+}
+
+func TestCoverRangeInvertedEmpty(t *testing.T) {
+	if c := CoverRange(MustParseKey("10"), MustParseKey("01"), 2); c != nil {
+		t.Errorf("inverted range cover = %v, want nil", c)
+	}
+}
+
+func TestCoverRangeBadDepthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched depth should panic")
+		}
+	}()
+	CoverRange(MustParseKey("0"), MustParseKey("11"), 2)
+}
+
+// Property: the cover is prefix-free, and a key at the given depth is inside
+// [lo,hi] iff exactly one cover prefix covers it.
+func TestCoverRangeExactnessProperty(t *testing.T) {
+	const depth = 8
+	f := func(a, b uint8) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		lo := intToKey(x, depth)
+		hi := intToKey(y, depth)
+		cover := CoverRange(lo, hi, depth)
+		// Prefix-free.
+		for i := range cover {
+			for j := range cover {
+				if i != j && cover[i].IsPrefixOf(cover[j]) {
+					return false
+				}
+			}
+		}
+		for v := 0; v < 256; v++ {
+			k := intToKey(v, depth)
+			n := 0
+			for _, p := range cover {
+				if p.IsPrefixOf(k) {
+					n++
+				}
+			}
+			inside := v >= x && v <= y
+			if inside && n != 1 {
+				return false
+			}
+			if !inside && n != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(9))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func intToKey(v, depth int) Key {
+	k := Key{}
+	for i := depth - 1; i >= 0; i-- {
+		k = k.Append((v >> uint(i)) & 1)
+	}
+	return k
+}

@@ -1,0 +1,562 @@
+package mediation
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gridvine/internal/pgrid"
+	"gridvine/internal/schema"
+	"gridvine/internal/simnet"
+	"gridvine/internal/triple"
+)
+
+// testNetwork builds an overlay with a mediation peer wrapped around every
+// node, returning the peers.
+func testNetwork(t *testing.T, peers int, seed int64) (*simnet.Network, []*Peer) {
+	t.Helper()
+	net := simnet.NewNetwork()
+	ov, err := pgrid.Build(net, pgrid.BuildOptions{
+		Peers:         peers,
+		ReplicaFactor: 2,
+		Rng:           rand.New(rand.NewSource(seed)),
+	})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	out := make([]*Peer, 0, peers)
+	for _, n := range ov.Nodes() {
+		out = append(out, NewPeer(n))
+	}
+	return net, out
+}
+
+func TestInsertAndSearchSingleTriple(t *testing.T) {
+	_, peers := testNetwork(t, 16, 1)
+	tr := triple.Triple{Subject: "seq1", Predicate: "EMBL#Organism", Object: "Aspergillus nidulans"}
+	if _, err := peers[0].InsertTriple(tr); err != nil {
+		t.Fatalf("InsertTriple: %v", err)
+	}
+	// Query constrained on predicate from a different peer.
+	rs, err := peers[7].SearchFor(triple.Pattern{
+		S: triple.Var("x"), P: triple.Const("EMBL#Organism"), O: triple.Var("o"),
+	})
+	if err != nil {
+		t.Fatalf("SearchFor: %v", err)
+	}
+	if len(rs.Results) != 1 || rs.Results[0].Triple != tr {
+		t.Errorf("results = %+v", rs.Results)
+	}
+}
+
+func TestTripleIndexedThreeTimes(t *testing.T) {
+	_, peers := testNetwork(t, 16, 2)
+	tr := triple.Triple{Subject: "seqX", Predicate: "EMBL#Length", Object: "1422"}
+	peers[0].InsertTriple(tr)
+	// Query by each position.
+	bySubject := triple.Pattern{S: triple.Const("seqX"), P: triple.Var("p"), O: triple.Var("o")}
+	byPredicate := triple.Pattern{S: triple.Var("s"), P: triple.Const("EMBL#Length"), O: triple.Var("o")}
+	byObject := triple.Pattern{S: triple.Var("s"), P: triple.Var("p"), O: triple.Const("1422")}
+	for name, q := range map[string]triple.Pattern{"subject": bySubject, "predicate": byPredicate, "object": byObject} {
+		rs, err := peers[3].SearchFor(q)
+		if err != nil {
+			t.Fatalf("SearchFor by %s: %v", name, err)
+		}
+		if len(rs.Results) != 1 {
+			t.Errorf("by %s: %d results", name, len(rs.Results))
+		}
+	}
+}
+
+func TestDeleteTriple(t *testing.T) {
+	_, peers := testNetwork(t, 8, 3)
+	tr := triple.Triple{Subject: "s", Predicate: "sch#p", Object: "o"}
+	peers[0].InsertTriple(tr)
+	if _, err := peers[1].DeleteTriple(tr); err != nil {
+		t.Fatalf("DeleteTriple: %v", err)
+	}
+	for _, q := range []triple.Pattern{
+		{S: triple.Const("s"), P: triple.Var("p"), O: triple.Var("o")},
+		{S: triple.Var("s"), P: triple.Const("sch#p"), O: triple.Var("o")},
+		{S: triple.Var("s"), P: triple.Var("p"), O: triple.Const("o")},
+	} {
+		rs, err := peers[2].SearchFor(q)
+		if err != nil {
+			t.Fatalf("SearchFor: %v", err)
+		}
+		if len(rs.Results) != 0 {
+			t.Errorf("triple survived deletion: %+v", rs.Results)
+		}
+	}
+}
+
+func TestSearchForLikeConstraint(t *testing.T) {
+	_, peers := testNetwork(t, 16, 4)
+	peers[0].InsertTriple(triple.Triple{Subject: "a1", Predicate: "EMBL#Organism", Object: "Aspergillus nidulans"})
+	peers[0].InsertTriple(triple.Triple{Subject: "a2", Predicate: "EMBL#Organism", Object: "Aspergillus niger"})
+	peers[0].InsertTriple(triple.Triple{Subject: "b1", Predicate: "EMBL#Organism", Object: "Homo sapiens"})
+	// The paper's example: SearchFor(x? : (x?, EMBL#Organism, %Aspergillus%)).
+	rs, err := peers[5].SearchFor(triple.Pattern{
+		S: triple.Var("x"), P: triple.Const("EMBL#Organism"), O: triple.LikeTerm("%Aspergillus%"),
+	})
+	if err != nil {
+		t.Fatalf("SearchFor: %v", err)
+	}
+	if len(rs.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(rs.Results))
+	}
+	subjects := map[string]bool{}
+	for _, b := range rs.Bindings() {
+		subjects[b["x"]] = true
+	}
+	if !subjects["a1"] || !subjects["a2"] {
+		t.Errorf("bindings = %v", subjects)
+	}
+}
+
+func TestSearchForNotRoutable(t *testing.T) {
+	_, peers := testNetwork(t, 4, 5)
+	_, err := peers[0].SearchFor(triple.Pattern{S: triple.Var("x"), P: triple.Var("y"), O: triple.Var("z")})
+	if !errors.Is(err, ErrNotRoutable) {
+		t.Errorf("err = %v, want ErrNotRoutable", err)
+	}
+}
+
+func TestSchemaRoundtrip(t *testing.T) {
+	_, peers := testNetwork(t, 8, 6)
+	s := schema.NewSchema("EMBL", "protein-sequences", "Organism", "Length")
+	if _, err := peers[0].InsertSchema(s); err != nil {
+		t.Fatalf("InsertSchema: %v", err)
+	}
+	got, err := peers[3].LookupSchema("EMBL")
+	if err != nil {
+		t.Fatalf("LookupSchema: %v", err)
+	}
+	if got.Name != "EMBL" || len(got.Attributes) != 2 {
+		t.Errorf("schema = %+v", got)
+	}
+	if _, err := peers[3].LookupSchema("MISSING"); err == nil {
+		t.Error("missing schema lookup should fail")
+	}
+}
+
+func TestMappingStorageAndRetrieval(t *testing.T) {
+	_, peers := testNetwork(t, 16, 7)
+	m := schema.NewMapping("EMBL", "EMP", schema.Equivalence, schema.Manual, []schema.Correspondence{
+		{SourceAttr: "Organism", TargetAttr: "SystematicName", Confidence: 1},
+	})
+	if _, err := peers[0].InsertMapping(m); err != nil {
+		t.Fatalf("InsertMapping: %v", err)
+	}
+	// Unidirectional: visible from source schema only.
+	from, _, err := peers[2].MappingsFrom("EMBL")
+	if err != nil {
+		t.Fatalf("MappingsFrom: %v", err)
+	}
+	if len(from) != 1 || from[0].ID != m.ID {
+		t.Errorf("MappingsFrom(EMBL) = %v", from)
+	}
+	fromTarget, _, err := peers[2].MappingsFrom("EMP")
+	if err != nil {
+		t.Fatalf("MappingsFrom: %v", err)
+	}
+	if len(fromTarget) != 0 {
+		t.Errorf("MappingsFrom(EMP) = %v, want none", fromTarget)
+	}
+}
+
+func TestBidirectionalMappingVisibleBothSides(t *testing.T) {
+	_, peers := testNetwork(t, 16, 8)
+	m := schema.NewMapping("EMBL", "EMP", schema.Equivalence, schema.Manual, []schema.Correspondence{
+		{SourceAttr: "Organism", TargetAttr: "SystematicName", Confidence: 1},
+	})
+	m.Bidirectional = true
+	peers[0].InsertMapping(m)
+	from, _, _ := peers[1].MappingsFrom("EMBL")
+	if len(from) != 1 {
+		t.Errorf("source side = %v", from)
+	}
+	rev, _, _ := peers[1].MappingsFrom("EMP")
+	if len(rev) != 1 || rev[0].Source != "EMP" || rev[0].Target != "EMBL" {
+		t.Errorf("target side = %v", rev)
+	}
+}
+
+// TestFigure2Reformulation reproduces the paper's Figure 2 walk-through:
+// a query on EMBL#Organism is reformulated through the mapping
+// EMBL#Organism ↔ EMP#SystematicName and aggregates results from both
+// schemas.
+func TestFigure2Reformulation(t *testing.T) {
+	_, peers := testNetwork(t, 16, 9)
+
+	// Data under two heterogeneous schemas.
+	peers[0].InsertTriple(triple.Triple{Subject: "EMBL:A78712", Predicate: "EMBL#Organism", Object: "Aspergillus nidulans"})
+	peers[0].InsertTriple(triple.Triple{Subject: "EMBL:A78767", Predicate: "EMBL#Organism", Object: "Aspergillus niger"})
+	peers[0].InsertTriple(triple.Triple{Subject: "NEN94295-05", Predicate: "EMP#SystematicName", Object: "Aspergillus flavus"})
+	peers[0].InsertTriple(triple.Triple{Subject: "NEN00001-99", Predicate: "EMP#SystematicName", Object: "Homo sapiens"})
+
+	m := schema.NewMapping("EMBL", "EMP", schema.Equivalence, schema.Manual, []schema.Correspondence{
+		{SourceAttr: "Organism", TargetAttr: "SystematicName", Confidence: 1},
+	})
+	m.Bidirectional = true
+	peers[0].InsertMapping(m)
+
+	for _, mode := range []Mode{Iterative, Recursive} {
+		q := triple.Pattern{S: triple.Var("x"), P: triple.Const("EMBL#Organism"), O: triple.LikeTerm("%Aspergillus%")}
+		rs, err := peers[4].SearchWithReformulation(q, SearchOptions{Mode: mode})
+		if err != nil {
+			t.Fatalf("[%v] SearchWithReformulation: %v", mode, err)
+		}
+		subjects := map[string]bool{}
+		for _, r := range rs.Results {
+			if b, ok := r.Pattern.Bind(r.Triple); ok {
+				subjects[b["x"]] = true
+			}
+		}
+		for _, want := range []string{"EMBL:A78712", "EMBL:A78767", "NEN94295-05"} {
+			if !subjects[want] {
+				t.Errorf("[%v] missing result %s (got %v)", mode, want, subjects)
+			}
+		}
+		if subjects["NEN00001-99"] {
+			t.Errorf("[%v] Homo sapiens should not match %%Aspergillus%%", mode)
+		}
+		if rs.Reformulations < 1 {
+			t.Errorf("[%v] reformulations = %d", mode, rs.Reformulations)
+		}
+		// Provenance: the EMP result must carry the mapping path.
+		for _, r := range rs.Results {
+			if r.Triple.Subject == "NEN94295-05" {
+				if len(r.MappingPath) != 1 || r.MappingPath[0] != m.ID {
+					t.Errorf("[%v] EMP result path = %v", mode, r.MappingPath)
+				}
+			}
+		}
+	}
+}
+
+func TestReformulationChain(t *testing.T) {
+	// A → B → C chain: results from all three schemas, confidence decays.
+	_, peers := testNetwork(t, 16, 10)
+	peers[0].InsertTriple(triple.Triple{Subject: "a1", Predicate: "A#org", Object: "aspergillus"})
+	peers[0].InsertTriple(triple.Triple{Subject: "b1", Predicate: "B#name", Object: "aspergillus"})
+	peers[0].InsertTriple(triple.Triple{Subject: "c1", Predicate: "C#taxon", Object: "aspergillus"})
+
+	ab := schema.NewMapping("A", "B", schema.Equivalence, schema.Automatic, []schema.Correspondence{
+		{SourceAttr: "org", TargetAttr: "name", Confidence: 0.9},
+	})
+	bc := schema.NewMapping("B", "C", schema.Equivalence, schema.Automatic, []schema.Correspondence{
+		{SourceAttr: "name", TargetAttr: "taxon", Confidence: 0.8},
+	})
+	peers[0].InsertMapping(ab)
+	peers[0].InsertMapping(bc)
+
+	for _, mode := range []Mode{Iterative, Recursive} {
+		q := triple.Pattern{S: triple.Var("x"), P: triple.Const("A#org"), O: triple.Const("aspergillus")}
+		rs, err := peers[2].SearchWithReformulation(q, SearchOptions{Mode: mode})
+		if err != nil {
+			t.Fatalf("[%v] search: %v", mode, err)
+		}
+		bySubject := map[string]Result{}
+		for _, r := range rs.Results {
+			bySubject[r.Triple.Subject] = r
+		}
+		if len(bySubject) != 3 {
+			t.Fatalf("[%v] results = %v", mode, bySubject)
+		}
+		if got := bySubject["c1"].Confidence; got < 0.71 || got > 0.73 {
+			t.Errorf("[%v] c1 confidence = %v, want ≈0.72", mode, got)
+		}
+		if len(bySubject["c1"].MappingPath) != 2 {
+			t.Errorf("[%v] c1 path = %v", mode, bySubject["c1"].MappingPath)
+		}
+	}
+}
+
+func TestReformulationRespectsMaxDepth(t *testing.T) {
+	_, peers := testNetwork(t, 16, 11)
+	peers[0].InsertTriple(triple.Triple{Subject: "c1", Predicate: "C#taxon", Object: "x"})
+	ab := schema.NewMapping("A", "B", schema.Equivalence, schema.Manual, []schema.Correspondence{{SourceAttr: "org", TargetAttr: "name", Confidence: 1}})
+	bc := schema.NewMapping("B", "C", schema.Equivalence, schema.Manual, []schema.Correspondence{{SourceAttr: "name", TargetAttr: "taxon", Confidence: 1}})
+	peers[0].InsertMapping(ab)
+	peers[0].InsertMapping(bc)
+	q := triple.Pattern{S: triple.Var("v"), P: triple.Const("A#org"), O: triple.Const("x")}
+	for _, mode := range []Mode{Iterative, Recursive} {
+		rs, err := peers[1].SearchWithReformulation(q, SearchOptions{Mode: mode, MaxDepth: 1})
+		if err != nil {
+			t.Fatalf("[%v] search: %v", mode, err)
+		}
+		for _, r := range rs.Results {
+			if r.Triple.Subject == "c1" {
+				t.Errorf("[%v] depth-2 result returned despite MaxDepth=1", mode)
+			}
+		}
+	}
+}
+
+func TestReformulationMinConfidencePrunes(t *testing.T) {
+	_, peers := testNetwork(t, 16, 12)
+	peers[0].InsertTriple(triple.Triple{Subject: "b1", Predicate: "B#name", Object: "v"})
+	weak := schema.NewMapping("A", "B", schema.Equivalence, schema.Automatic, []schema.Correspondence{
+		{SourceAttr: "org", TargetAttr: "name", Confidence: 0.3},
+	})
+	peers[0].InsertMapping(weak)
+	q := triple.Pattern{S: triple.Var("x"), P: triple.Const("A#org"), O: triple.Const("v")}
+	rs, err := peers[1].SearchWithReformulation(q, SearchOptions{MinConfidence: 0.5})
+	if err != nil {
+		t.Fatalf("search: %v", err)
+	}
+	if len(rs.Results) != 0 {
+		t.Errorf("low-confidence path should be pruned: %v", rs.Results)
+	}
+}
+
+func TestDeprecatedMappingIgnored(t *testing.T) {
+	_, peers := testNetwork(t, 16, 13)
+	peers[0].InsertTriple(triple.Triple{Subject: "b1", Predicate: "B#name", Object: "v"})
+	m := schema.NewMapping("A", "B", schema.Equivalence, schema.Manual, []schema.Correspondence{
+		{SourceAttr: "org", TargetAttr: "name", Confidence: 1},
+	})
+	m.Deprecated = true
+	peers[0].InsertMapping(m)
+	q := triple.Pattern{S: triple.Var("x"), P: triple.Const("A#org"), O: triple.Const("v")}
+	rs, err := peers[1].SearchWithReformulation(q, SearchOptions{})
+	if err != nil {
+		t.Fatalf("search: %v", err)
+	}
+	if len(rs.Results) != 0 {
+		t.Errorf("deprecated mapping used: %v", rs.Results)
+	}
+}
+
+func TestReplaceMappingPublishesDeprecation(t *testing.T) {
+	_, peers := testNetwork(t, 16, 14)
+	peers[0].InsertTriple(triple.Triple{Subject: "b1", Predicate: "B#name", Object: "v"})
+	m := schema.NewMapping("A", "B", schema.Equivalence, schema.Automatic, []schema.Correspondence{
+		{SourceAttr: "org", TargetAttr: "name", Confidence: 0.9},
+	})
+	peers[0].InsertMapping(m)
+	q := triple.Pattern{S: triple.Var("x"), P: triple.Const("A#org"), O: triple.Const("v")}
+	rs, _ := peers[1].SearchWithReformulation(q, SearchOptions{})
+	if len(rs.Results) != 1 {
+		t.Fatalf("pre-deprecation results = %v", rs.Results)
+	}
+	dep := m
+	dep.Deprecated = true
+	if err := peers[2].ReplaceMapping(m, dep); err != nil {
+		t.Fatalf("ReplaceMapping: %v", err)
+	}
+	rs, _ = peers[1].SearchWithReformulation(q, SearchOptions{})
+	if len(rs.Results) != 0 {
+		t.Errorf("post-deprecation results = %v", rs.Results)
+	}
+	// MappingsAt still reveals the deprecated mapping for analysis.
+	all, err := peers[3].MappingsAt("A")
+	if err != nil || len(all) != 1 || !all[0].Deprecated {
+		t.Errorf("MappingsAt = %v err=%v", all, err)
+	}
+}
+
+func TestReplaceMappingIDMismatch(t *testing.T) {
+	_, peers := testNetwork(t, 4, 15)
+	a := schema.NewMapping("A", "B", schema.Equivalence, schema.Manual, nil)
+	b := schema.NewMapping("B", "C", schema.Equivalence, schema.Manual, nil)
+	if err := peers[0].ReplaceMapping(a, b); err == nil {
+		t.Error("mismatched IDs should fail")
+	}
+}
+
+func TestMappingCycleTerminates(t *testing.T) {
+	// A ↔ B cycle must not loop the reformulation.
+	_, peers := testNetwork(t, 16, 16)
+	peers[0].InsertTriple(triple.Triple{Subject: "a1", Predicate: "A#x", Object: "v"})
+	peers[0].InsertTriple(triple.Triple{Subject: "b1", Predicate: "B#y", Object: "v"})
+	ab := schema.NewMapping("A", "B", schema.Equivalence, schema.Manual, []schema.Correspondence{{SourceAttr: "x", TargetAttr: "y", Confidence: 1}})
+	ba := schema.NewMapping("B", "A", schema.Equivalence, schema.Manual, []schema.Correspondence{{SourceAttr: "y", TargetAttr: "x", Confidence: 1}})
+	peers[0].InsertMapping(ab)
+	peers[0].InsertMapping(ba)
+	for _, mode := range []Mode{Iterative, Recursive} {
+		q := triple.Pattern{S: triple.Var("s"), P: triple.Const("A#x"), O: triple.Const("v")}
+		rs, err := peers[1].SearchWithReformulation(q, SearchOptions{Mode: mode})
+		if err != nil {
+			t.Fatalf("[%v] search: %v", mode, err)
+		}
+		if len(rs.Results) != 2 {
+			t.Errorf("[%v] results = %v", mode, rs.Results)
+		}
+	}
+}
+
+func TestSearchConjunctive(t *testing.T) {
+	_, peers := testNetwork(t, 16, 17)
+	peers[0].InsertTriple(triple.Triple{Subject: "seq1", Predicate: "EMBL#Organism", Object: "Aspergillus nidulans"})
+	peers[0].InsertTriple(triple.Triple{Subject: "seq1", Predicate: "EMBL#Length", Object: "1422"})
+	peers[0].InsertTriple(triple.Triple{Subject: "seq2", Predicate: "EMBL#Organism", Object: "Aspergillus niger"})
+	// seq2 has no Length triple.
+	patterns := []triple.Pattern{
+		{S: triple.Var("x"), P: triple.Const("EMBL#Organism"), O: triple.LikeTerm("%Aspergillus%")},
+		{S: triple.Var("x"), P: triple.Const("EMBL#Length"), O: triple.Var("len")},
+	}
+	bindings, _, err := peers[3].SearchConjunctive(patterns, false, SearchOptions{})
+	if err != nil {
+		t.Fatalf("SearchConjunctive: %v", err)
+	}
+	if len(bindings) != 1 || bindings[0]["x"] != "seq1" || bindings[0]["len"] != "1422" {
+		t.Errorf("bindings = %v", bindings)
+	}
+}
+
+func TestSearchConjunctiveWithReformulation(t *testing.T) {
+	_, peers := testNetwork(t, 16, 18)
+	peers[0].InsertTriple(triple.Triple{Subject: "p1", Predicate: "A#org", Object: "aspergillus"})
+	peers[0].InsertTriple(triple.Triple{Subject: "p1", Predicate: "B#len", Object: "700"})
+	m := schema.NewMapping("A", "B", schema.Equivalence, schema.Manual, []schema.Correspondence{
+		{SourceAttr: "length", TargetAttr: "len", Confidence: 1},
+	})
+	peers[0].InsertMapping(m)
+	patterns := []triple.Pattern{
+		{S: triple.Var("x"), P: triple.Const("A#org"), O: triple.Const("aspergillus")},
+		{S: triple.Var("x"), P: triple.Const("A#length"), O: triple.Var("len")},
+	}
+	// Without reformulation the second pattern yields nothing.
+	bindings, _, err := peers[1].SearchConjunctive(patterns, false, SearchOptions{})
+	if err != nil {
+		t.Fatalf("conjunctive: %v", err)
+	}
+	if len(bindings) != 0 {
+		t.Errorf("unreformulated bindings = %v", bindings)
+	}
+	// With reformulation A#length → B#len joins through.
+	bindings, _, err = peers[1].SearchConjunctive(patterns, true, SearchOptions{})
+	if err != nil {
+		t.Fatalf("conjunctive: %v", err)
+	}
+	if len(bindings) != 1 || bindings[0]["len"] != "700" {
+		t.Errorf("reformulated bindings = %v", bindings)
+	}
+}
+
+func TestSearchConjunctiveEmpty(t *testing.T) {
+	_, peers := testNetwork(t, 4, 19)
+	if _, _, err := peers[0].SearchConjunctive(nil, false, SearchOptions{}); err == nil {
+		t.Error("empty conjunctive query should fail")
+	}
+}
+
+func TestDomainConnectivityRegistry(t *testing.T) {
+	_, peers := testNetwork(t, 16, 20)
+	// Report degrees for three schemas; chain topology A→B→C:
+	// A (0,1), B (1,1), C (1,0) ⇒ ci = [1·1 − (1+1+0)]/3 = −1/3.
+	peers[0].ReportDomainDegree("bio", "A", 0, 1)
+	peers[1].ReportDomainDegree("bio", "B", 1, 1)
+	peers[2].ReportDomainDegree("bio", "C", 1, 0)
+	report, err := peers[5].DomainConnectivity("bio")
+	if err != nil {
+		t.Fatalf("DomainConnectivity: %v", err)
+	}
+	if report.Schemas != 3 {
+		t.Errorf("schemas = %d", report.Schemas)
+	}
+	want := (1.0 - 2.0) / 3.0
+	if diff := report.CI - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("ci = %v, want %v", report.CI, want)
+	}
+	// Updating a schema's degrees replaces the old report.
+	peers[0].ReportDomainDegree("bio", "A", 2, 3)
+	degrees, err := peers[4].DomainDegrees("bio")
+	if err != nil {
+		t.Fatalf("DomainDegrees: %v", err)
+	}
+	if len(degrees) != 3 {
+		t.Fatalf("degrees = %v", degrees)
+	}
+	for _, d := range degrees {
+		if d.Schema == "A" && (d.InDegree != 2 || d.OutDegree != 3) {
+			t.Errorf("stale degree report: %+v", d)
+		}
+	}
+}
+
+func TestGUIDUsesPath(t *testing.T) {
+	_, peers := testNetwork(t, 8, 21)
+	g := peers[0].GUID("local-1")
+	if g == "" {
+		t.Fatal("empty GUID")
+	}
+	path := peers[0].Node().Path().String()
+	if len(g) <= len(path) || g[:len(path)] != path {
+		t.Errorf("GUID %q does not start with path %q", g, path)
+	}
+}
+
+func TestLocalDBMirrorsResponsibility(t *testing.T) {
+	_, peers := testNetwork(t, 8, 22)
+	tr := triple.Triple{Subject: "mirror-s", Predicate: "M#p", Object: "mirror-o"}
+	peers[0].InsertTriple(tr)
+	// Every peer responsible for one of the triple's keys must have it in
+	// its relational DB.
+	holders := 0
+	for _, p := range peers {
+		for _, k := range p.tripleKeys(tr) {
+			if p.Node().Responsible(k) {
+				if !p.DB().Has(tr) {
+					t.Errorf("peer %s responsible but DB misses triple", p.Node().ID())
+				}
+				holders++
+				break
+			}
+		}
+	}
+	if holders == 0 {
+		t.Error("no responsible peers found")
+	}
+	// After deletion, all local DBs drop it.
+	peers[1].DeleteTriple(tr)
+	for _, p := range peers {
+		if p.DB().Has(tr) {
+			t.Errorf("peer %s DB retains deleted triple", p.Node().ID())
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Iterative.String() != "iterative" || Recursive.String() != "recursive" {
+		t.Error("Mode strings")
+	}
+}
+
+func TestIterativeVsRecursiveSameResults(t *testing.T) {
+	_, peers := testNetwork(t, 24, 23)
+	// Star topology: hub schema H mapped to 4 spokes.
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("S%d", i)
+		peers[0].InsertTriple(triple.Triple{
+			Subject:   fmt.Sprintf("%s-rec", name),
+			Predicate: name + "#organism",
+			Object:    "aspergillus oryzae",
+		})
+		m := schema.NewMapping("H", name, schema.Equivalence, schema.Manual, []schema.Correspondence{
+			{SourceAttr: "org", TargetAttr: "organism", Confidence: 1},
+		})
+		peers[0].InsertMapping(m)
+	}
+	q := triple.Pattern{S: triple.Var("x"), P: triple.Const("H#org"), O: triple.LikeTerm("%aspergillus%")}
+	it, err := peers[5].SearchWithReformulation(q, SearchOptions{Mode: Iterative})
+	if err != nil {
+		t.Fatalf("iterative: %v", err)
+	}
+	rec, err := peers[5].SearchWithReformulation(q, SearchOptions{Mode: Recursive})
+	if err != nil {
+		t.Fatalf("recursive: %v", err)
+	}
+	ti, tr := it.Triples(), rec.Triples()
+	if len(ti) != 4 || len(tr) != 4 {
+		t.Fatalf("iterative %d vs recursive %d results", len(ti), len(tr))
+	}
+	for i := range ti {
+		if ti[i] != tr[i] {
+			t.Errorf("result %d differs: %v vs %v", i, ti[i], tr[i])
+		}
+	}
+}

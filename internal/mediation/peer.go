@@ -1,0 +1,324 @@
+// Package mediation implements GridVine's semantic mediation layer (paper
+// §2.2–§2.3, §3): triple storage over the overlay (each triple indexed by
+// subject, predicate and object), schema and schema-mapping sharing, triple
+// pattern and conjunctive queries resolved through overlay look-ups and
+// local relational queries, and query reformulation across schema mappings
+// in both iterative and recursive mode (§4).
+package mediation
+
+import (
+	"encoding/gob"
+	"fmt"
+
+	"gridvine/internal/keyspace"
+	"gridvine/internal/pgrid"
+	"gridvine/internal/schema"
+	"gridvine/internal/triple"
+)
+
+// Peer is one GridVine participant: a P-Grid node extended with the
+// mediation-layer state — the local triple database DB_p for the keys the
+// node is responsible for — and the mediation operations.
+type Peer struct {
+	node  *pgrid.Node
+	db    *triple.DB
+	depth int
+}
+
+// PatternQuery ships a triple pattern to the peer responsible for its key;
+// the handler runs σ against the local database and returns the matching
+// triples (paper §2.3: Retrieve(key, q)).
+type PatternQuery struct {
+	Pattern triple.Pattern
+}
+
+// ConnectivityQuery asks the peer responsible for a domain key to derive
+// the connectivity indicator from its locally stored degree reports
+// (paper §3.1).
+type ConnectivityQuery struct {
+	Domain string
+}
+
+// ConnectivityReport is the answer to a ConnectivityQuery.
+type ConnectivityReport struct {
+	Domain  string
+	Schemas int
+	CI      float64
+}
+
+// DomainDegree is one schema's degree report stored at the domain key:
+// Update(Hash(Domain), {Schema, InDegree, OutDegree}).
+type DomainDegree struct {
+	Schema    string
+	InDegree  int
+	OutDegree int
+}
+
+// NewPeer wraps an overlay node with mediation-layer behaviour. It
+// registers the node's query handler and store hook; one node must back at
+// most one Peer.
+func NewPeer(node *pgrid.Node) *Peer {
+	p := &Peer{node: node, db: triple.NewDB(), depth: keyspace.DefaultDepth}
+	node.SetStoreHook(p.onStoreChange)
+	node.SetQueryHandler(p.handleQuery)
+	return p
+}
+
+// Node returns the underlying overlay node.
+func (p *Peer) Node() *pgrid.Node { return p.node }
+
+// DB returns the peer's local triple database (the triples this peer is
+// responsible for).
+func (p *Peer) DB() *triple.DB { return p.db }
+
+// GUID builds a globally unique identifier for a local resource name,
+// concatenating the peer's overlay path with a hash of the local
+// identifier (paper §2.2).
+func (p *Peer) GUID(localID string) string {
+	return schema.GUID(p.node.Path().String(), localID)
+}
+
+// onStoreChange mirrors triple values of the overlay store into the local
+// relational database.
+func (p *Peer) onStoreChange(op pgrid.Op, key keyspace.Key, value any) {
+	t, ok := value.(triple.Triple)
+	if !ok {
+		return
+	}
+	switch op {
+	case pgrid.OpInsert:
+		p.db.Insert(t)
+	case pgrid.OpDelete:
+		// The same triple is indexed under up to three keys; drop it from
+		// the relational view only when no copy remains in the overlay
+		// store.
+		for _, k := range p.tripleKeys(t) {
+			if key.Equal(k) {
+				continue
+			}
+			if p.node.Responsible(k) {
+				for _, v := range p.node.LocalGet(k) {
+					if v == value {
+						return
+					}
+				}
+			}
+		}
+		p.db.Delete(t)
+	}
+}
+
+// tripleKeys returns the three overlay keys a triple is indexed under.
+func (p *Peer) tripleKeys(t triple.Triple) []keyspace.Key {
+	return []keyspace.Key{
+		keyspace.Hash(t.Subject, p.depth),
+		keyspace.Hash(t.Predicate, p.depth),
+		keyspace.Hash(t.Object, p.depth),
+	}
+}
+
+// InsertTriple shares a triple at the mediation layer: one Update at the
+// overlay per component key (paper §2.2: Update(t) ≡ three Update()
+// operations on Hash(subject), Hash(predicate), Hash(object)).
+func (p *Peer) InsertTriple(t triple.Triple) (pgrid.Route, error) {
+	var total pgrid.Route
+	for _, k := range p.tripleKeys(t) {
+		route, err := p.node.Update(k, t)
+		accumulate(&total, route)
+		if err != nil {
+			return total, fmt.Errorf("mediation: inserting %v at %s: %w", t, k, err)
+		}
+	}
+	return total, nil
+}
+
+// DeleteTriple removes a triple from all three component indexes.
+func (p *Peer) DeleteTriple(t triple.Triple) (pgrid.Route, error) {
+	var total pgrid.Route
+	for _, k := range p.tripleKeys(t) {
+		route, err := p.node.Delete(k, t)
+		accumulate(&total, route)
+		if err != nil {
+			return total, fmt.Errorf("mediation: deleting %v at %s: %w", t, k, err)
+		}
+	}
+	return total, nil
+}
+
+// InsertSchema publishes a schema definition at the key of its name
+// (paper §2.2: Update(Hash(Schema Name), Schema Definition)).
+func (p *Peer) InsertSchema(s schema.Schema) (pgrid.Route, error) {
+	return p.node.Update(p.schemaKey(s.Name), s)
+}
+
+// LookupSchema retrieves a schema definition by name.
+func (p *Peer) LookupSchema(name string) (schema.Schema, error) {
+	values, _, err := p.node.Retrieve(p.schemaKey(name))
+	if err != nil {
+		return schema.Schema{}, err
+	}
+	for _, v := range values {
+		if s, ok := v.(schema.Schema); ok && s.Name == name {
+			return s, nil
+		}
+	}
+	return schema.Schema{}, fmt.Errorf("mediation: schema %q not found", name)
+}
+
+// InsertMapping publishes a mapping at the key space of its source schema,
+// and additionally at the target schema's key when bidirectional (paper §3:
+// Update(Source Schema Key, Schema Mapping)).
+func (p *Peer) InsertMapping(m schema.Mapping) (pgrid.Route, error) {
+	route, err := p.node.Update(p.schemaKey(m.Source), m)
+	if err != nil {
+		return route, err
+	}
+	if m.Bidirectional {
+		r2, err := p.node.Update(p.schemaKey(m.Target), m)
+		accumulate(&route, r2)
+		if err != nil {
+			return route, err
+		}
+	}
+	return route, nil
+}
+
+// ReplaceMapping substitutes an updated version of a mapping (same ID) in
+// the overlay — used to publish confidence changes and deprecations.
+func (p *Peer) ReplaceMapping(old, updated schema.Mapping) error {
+	if old.ID != updated.ID {
+		return fmt.Errorf("mediation: replacing mapping %s with different mapping %s", old.ID, updated.ID)
+	}
+	keysOf := func(m schema.Mapping) []keyspace.Key {
+		ks := []keyspace.Key{p.schemaKey(m.Source)}
+		if m.Bidirectional {
+			ks = append(ks, p.schemaKey(m.Target))
+		}
+		return ks
+	}
+	for _, k := range keysOf(old) {
+		if _, err := p.node.Delete(k, old); err != nil {
+			return err
+		}
+	}
+	for _, k := range keysOf(updated) {
+		if _, err := p.node.Update(k, updated); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MappingsFrom returns the active (non-deprecated) mappings usable to
+// reformulate queries posed against the given schema: mappings stored at
+// the schema's key whose source is the schema, plus reverses of
+// bidirectional mappings targeting it.
+func (p *Peer) MappingsFrom(schemaName string) ([]schema.Mapping, pgrid.Route, error) {
+	values, route, err := p.node.Retrieve(p.schemaKey(schemaName))
+	if err != nil {
+		return nil, route, err
+	}
+	var out []schema.Mapping
+	for _, v := range values {
+		m, ok := v.(schema.Mapping)
+		if !ok || m.Deprecated {
+			continue
+		}
+		switch {
+		case m.Source == schemaName:
+			out = append(out, m)
+		case m.Target == schemaName && m.Bidirectional && m.Type == schema.Equivalence:
+			if rev, err := m.Reverse(); err == nil {
+				out = append(out, rev)
+			}
+		}
+	}
+	return out, route, nil
+}
+
+// MappingsAt returns every mapping stored at a schema's key, including
+// deprecated ones — the raw material of the self-organization analysis.
+func (p *Peer) MappingsAt(schemaName string) ([]schema.Mapping, error) {
+	values, _, err := p.node.Retrieve(p.schemaKey(schemaName))
+	if err != nil {
+		return nil, err
+	}
+	var out []schema.Mapping
+	for _, v := range values {
+		if m, ok := v.(schema.Mapping); ok {
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// ReportDomainDegree publishes (or refreshes) a schema's mapping degrees at
+// the domain key (paper §3.1: Update(Domain Connectivity)).
+func (p *Peer) ReportDomainDegree(domain, schemaName string, in, out int) error {
+	key := p.domainKey(domain)
+	// Replace any previous report for the schema.
+	values, _, err := p.node.Retrieve(key)
+	if err != nil {
+		return err
+	}
+	for _, v := range values {
+		if d, ok := v.(DomainDegree); ok && d.Schema == schemaName {
+			if _, err := p.node.Delete(key, d); err != nil {
+				return err
+			}
+		}
+	}
+	_, err = p.node.Update(key, DomainDegree{Schema: schemaName, InDegree: in, OutDegree: out})
+	return err
+}
+
+// DomainDegrees retrieves all degree reports of a domain.
+func (p *Peer) DomainDegrees(domain string) ([]DomainDegree, error) {
+	values, _, err := p.node.Retrieve(p.domainKey(domain))
+	if err != nil {
+		return nil, err
+	}
+	var out []DomainDegree
+	for _, v := range values {
+		if d, ok := v.(DomainDegree); ok {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// DomainConnectivity issues a connectivity inquiry to the domain's key
+// space; the responsible peer derives the indicator locally from the degree
+// distribution it aggregates (paper §3.1–3.2).
+func (p *Peer) DomainConnectivity(domain string) (ConnectivityReport, error) {
+	result, _, err := p.node.Query(p.domainKey(domain), ConnectivityQuery{Domain: domain})
+	if err != nil {
+		return ConnectivityReport{}, err
+	}
+	report, ok := result.(ConnectivityReport)
+	if !ok {
+		return ConnectivityReport{}, fmt.Errorf("mediation: unexpected connectivity result %T", result)
+	}
+	return report, nil
+}
+
+func (p *Peer) schemaKey(name string) keyspace.Key {
+	return keyspace.Hash("schema:"+name, p.depth)
+}
+
+func (p *Peer) domainKey(domain string) keyspace.Key {
+	return keyspace.Hash("domain:"+domain, p.depth)
+}
+
+func accumulate(total *pgrid.Route, r pgrid.Route) {
+	total.Contacted = append(total.Contacted, r.Contacted...)
+	total.Messages += r.Messages
+	total.Retries += r.Retries
+}
+
+func init() {
+	gob.Register(PatternQuery{})
+	gob.Register(ConnectivityQuery{})
+	gob.Register(ConnectivityReport{})
+	gob.Register(DomainDegree{})
+}

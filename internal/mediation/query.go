@@ -1,0 +1,485 @@
+package mediation
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sort"
+
+	"gridvine/internal/graph"
+	"gridvine/internal/keyspace"
+	"gridvine/internal/pgrid"
+	"gridvine/internal/schema"
+	"gridvine/internal/triple"
+)
+
+// ErrNotRoutable reports a pattern without any constant term: GridVine
+// resolves triple pattern queries by hashing a constant term, so a fully
+// unconstrained pattern has no destination key space.
+var ErrNotRoutable = errors.New("mediation: pattern has no routable constant term")
+
+// Mode selects the reformulation strategy of §4: iterative (the issuer
+// looks up mapping paths and reformulates itself) or recursive (successive
+// reformulations are delegated to the intermediate peers).
+type Mode int
+
+// Reformulation modes.
+const (
+	Iterative Mode = iota
+	Recursive
+)
+
+func (m Mode) String() string {
+	if m == Recursive {
+		return "recursive"
+	}
+	return "iterative"
+}
+
+// SearchOptions tunes SearchWithReformulation.
+type SearchOptions struct {
+	// Mode selects iterative or recursive reformulation. Default Iterative.
+	Mode Mode
+	// MaxDepth bounds the mapping-path length. Default 5.
+	MaxDepth int
+	// MinConfidence prunes mapping paths whose composed confidence falls
+	// below it. Default 0.05.
+	MinConfidence float64
+}
+
+func (o SearchOptions) withDefaults() SearchOptions {
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 5
+	}
+	if o.MinConfidence == 0 {
+		o.MinConfidence = 0.05
+	}
+	return o
+}
+
+// Result is one retrieved triple with its reformulation provenance.
+type Result struct {
+	Triple triple.Triple
+	// Pattern is the (possibly reformulated) pattern that matched.
+	Pattern triple.Pattern
+	// MappingPath lists the IDs of the mappings traversed to reach the
+	// pattern's schema; empty for results of the original query.
+	MappingPath []string
+	// Confidence is the product of the traversed mappings' confidences
+	// (1 for the original query).
+	Confidence float64
+}
+
+// ResultSet aggregates the answers of a (possibly reformulated) query.
+type ResultSet struct {
+	Query          triple.Pattern
+	Results        []Result
+	Messages       int
+	Reformulations int
+	// Route is the overlay route of the primary (non-reformulated) overlay
+	// operation: the peers the issuer contacted, in order. The experiment
+	// harness replays these traces through the discrete-event simulator.
+	Route pgrid.Route
+}
+
+// Bindings extracts variable bindings from every result under its matching
+// pattern.
+func (rs *ResultSet) Bindings() []triple.Bindings {
+	var out []triple.Bindings
+	for _, r := range rs.Results {
+		if b, ok := r.Pattern.Bind(r.Triple); ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Triples returns the distinct result triples, sorted.
+func (rs *ResultSet) Triples() []triple.Triple {
+	seen := map[triple.Triple]bool{}
+	var out []triple.Triple
+	for _, r := range rs.Results {
+		if !seen[r.Triple] {
+			seen[r.Triple] = true
+			out = append(out, r.Triple)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Subject != b.Subject {
+			return a.Subject < b.Subject
+		}
+		if a.Predicate != b.Predicate {
+			return a.Predicate < b.Predicate
+		}
+		return a.Object < b.Object
+	})
+	return out
+}
+
+// SearchFor resolves a single triple pattern without reformulation:
+// the key space is derived from the most specific constant, the query is
+// shipped there, and the responsible peer answers from its local database
+// (paper §2.3: SearchFor(x? : (s, p, o))).
+func (p *Peer) SearchFor(q triple.Pattern) (*ResultSet, error) {
+	_, constant, ok := q.MostSpecificConstant()
+	if !ok {
+		return nil, ErrNotRoutable
+	}
+	key := keyspace.Hash(constant, p.depth)
+	result, route, err := p.node.Query(key, PatternQuery{Pattern: q})
+	rs := &ResultSet{Query: q, Messages: route.Messages, Route: route}
+	if err != nil {
+		return rs, err
+	}
+	triples, ok := result.([]triple.Triple)
+	if !ok {
+		return rs, fmt.Errorf("mediation: unexpected query result %T", result)
+	}
+	for _, t := range triples {
+		rs.Results = append(rs.Results, Result{Triple: t, Pattern: q, Confidence: 1})
+	}
+	return rs, nil
+}
+
+// SearchWithReformulation resolves a pattern and additionally traverses the
+// network of schema mappings, rewriting the predicate by view unfolding and
+// re-issuing the query against semantically related schemas, aggregating
+// all results (paper §3, Figure 2; §4 for the two strategies).
+func (p *Peer) SearchWithReformulation(q triple.Pattern, opts SearchOptions) (*ResultSet, error) {
+	opts = opts.withDefaults()
+	if q.P.Kind != triple.Constant {
+		// No predicate to rewrite: plain search.
+		return p.SearchFor(q)
+	}
+	if opts.Mode == Recursive {
+		return p.searchRecursive(q, opts)
+	}
+	return p.searchIterative(q, opts)
+}
+
+// searchIterative performs issuer-driven breadth-first traversal of the
+// mapping graph.
+func (p *Peer) searchIterative(q triple.Pattern, opts SearchOptions) (*ResultSet, error) {
+	rs := &ResultSet{Query: q}
+
+	type frontierItem struct {
+		pattern    triple.Pattern
+		schemaName string
+		attr       string
+		path       []string
+		confidence float64
+	}
+
+	schemaName, attr, ok := schema.SplitPredicateURI(q.P.Value)
+	if !ok {
+		// Predicate is constant but not Schema#Attr: no reformulation
+		// possible, answer the plain query.
+		plain, err := p.SearchFor(q)
+		if err != nil {
+			return plain, err
+		}
+		return plain, nil
+	}
+
+	visited := map[string]bool{q.P.Value: true}
+	frontier := []frontierItem{{pattern: q, schemaName: schemaName, attr: attr, confidence: 1}}
+
+	var firstErr error
+	for len(frontier) > 0 {
+		item := frontier[0]
+		frontier = frontier[1:]
+
+		sub, err := p.SearchFor(item.pattern)
+		rs.Messages += sub.Messages
+		if err != nil {
+			if firstErr == nil && !errors.Is(err, ErrNotRoutable) {
+				firstErr = err
+			}
+		} else {
+			for _, r := range sub.Results {
+				rs.Results = append(rs.Results, Result{
+					Triple:      r.Triple,
+					Pattern:     item.pattern,
+					MappingPath: item.path,
+					Confidence:  item.confidence,
+				})
+			}
+		}
+
+		if len(item.path) >= opts.MaxDepth {
+			continue
+		}
+		mappings, route, err := p.MappingsFrom(item.schemaName)
+		rs.Messages += route.Messages
+		if err != nil {
+			continue
+		}
+		for _, m := range mappings {
+			targetAttr, ok := m.TranslateAttr(item.attr)
+			if !ok {
+				continue
+			}
+			conf := item.confidence * m.Confidence
+			if conf < opts.MinConfidence {
+				continue
+			}
+			newPred := m.Target + "#" + targetAttr
+			if visited[newPred] {
+				continue
+			}
+			visited[newPred] = true
+			rs.Reformulations++
+			newPath := append(append([]string{}, item.path...), m.ID)
+			frontier = append(frontier, frontierItem{
+				pattern:    item.pattern.WithTerm(triple.Predicate, triple.Const(newPred)),
+				schemaName: m.Target,
+				attr:       targetAttr,
+				path:       newPath,
+				confidence: conf,
+			})
+		}
+	}
+	dedupeResults(rs)
+	if len(rs.Results) == 0 && firstErr != nil {
+		return rs, firstErr
+	}
+	return rs, nil
+}
+
+// ReformulatedQuery is the payload of recursive reformulation: the
+// responsible peer answers locally, then reformulates and forwards the
+// query itself, aggregating downstream answers (paper §4, "recursive").
+type ReformulatedQuery struct {
+	Pattern           triple.Pattern
+	TTL               int
+	VisitedPredicates []string
+	MappingPath       []string
+	Confidence        float64
+	MinConfidence     float64
+}
+
+// ReformResult is one triple found by a recursive reformulation step.
+type ReformResult struct {
+	Triple      triple.Triple
+	Pattern     triple.Pattern
+	MappingPath []string
+	Confidence  float64
+}
+
+// ReformulatedResponse aggregates a recursive step's own and downstream
+// results plus the messages spent downstream.
+type ReformulatedResponse struct {
+	Results        []ReformResult
+	Messages       int
+	Reformulations int
+}
+
+// searchRecursive delegates reformulation to the destination peers.
+func (p *Peer) searchRecursive(q triple.Pattern, opts SearchOptions) (*ResultSet, error) {
+	rs := &ResultSet{Query: q}
+	_, constant, ok := q.MostSpecificConstant()
+	if !ok {
+		return nil, ErrNotRoutable
+	}
+	key := keyspace.Hash(constant, p.depth)
+	payload := ReformulatedQuery{
+		Pattern:           q,
+		TTL:               opts.MaxDepth,
+		VisitedPredicates: []string{q.P.Value},
+		Confidence:        1,
+		MinConfidence:     opts.MinConfidence,
+	}
+	result, route, err := p.node.Query(key, payload)
+	rs.Messages += route.Messages
+	rs.Route = route
+	if err != nil {
+		return rs, err
+	}
+	resp, ok := result.(ReformulatedResponse)
+	if !ok {
+		return rs, fmt.Errorf("mediation: unexpected recursive result %T", result)
+	}
+	rs.Messages += resp.Messages
+	rs.Reformulations = resp.Reformulations
+	for _, r := range resp.Results {
+		rs.Results = append(rs.Results, Result{
+			Triple:      r.Triple,
+			Pattern:     r.Pattern,
+			MappingPath: r.MappingPath,
+			Confidence:  r.Confidence,
+		})
+	}
+	dedupeResults(rs)
+	return rs, nil
+}
+
+// handleReformulated executes one recursive reformulation step at the
+// responsible peer.
+func (p *Peer) handleReformulated(req ReformulatedQuery) (ReformulatedResponse, error) {
+	var resp ReformulatedResponse
+	// Local answers.
+	for _, t := range p.db.Select(req.Pattern) {
+		resp.Results = append(resp.Results, ReformResult{
+			Triple:      t,
+			Pattern:     req.Pattern,
+			MappingPath: req.MappingPath,
+			Confidence:  req.Confidence,
+		})
+	}
+	if req.TTL <= 0 || req.Pattern.P.Kind != triple.Constant {
+		return resp, nil
+	}
+	schemaName, attr, ok := schema.SplitPredicateURI(req.Pattern.P.Value)
+	if !ok {
+		return resp, nil
+	}
+	visited := map[string]bool{}
+	for _, v := range req.VisitedPredicates {
+		visited[v] = true
+	}
+	mappings, route, err := p.MappingsFrom(schemaName)
+	resp.Messages += route.Messages
+	if err != nil {
+		return resp, nil // local results still count
+	}
+	for _, m := range mappings {
+		targetAttr, ok := m.TranslateAttr(attr)
+		if !ok {
+			continue
+		}
+		conf := req.Confidence * m.Confidence
+		if conf < req.MinConfidence {
+			continue
+		}
+		newPred := m.Target + "#" + targetAttr
+		if visited[newPred] {
+			continue
+		}
+		resp.Reformulations++
+		newPattern := req.Pattern.WithTerm(triple.Predicate, triple.Const(newPred))
+		fwd := ReformulatedQuery{
+			Pattern:           newPattern,
+			TTL:               req.TTL - 1,
+			VisitedPredicates: append(append([]string{}, req.VisitedPredicates...), newPred),
+			MappingPath:       append(append([]string{}, req.MappingPath...), m.ID),
+			Confidence:        conf,
+			MinConfidence:     req.MinConfidence,
+		}
+		_, fwdConstant, ok := newPattern.MostSpecificConstant()
+		if !ok {
+			continue
+		}
+		result, fwdRoute, err := p.node.Query(keyspace.Hash(fwdConstant, p.depth), fwd)
+		resp.Messages += fwdRoute.Messages
+		if err != nil {
+			continue
+		}
+		if sub, ok := result.(ReformulatedResponse); ok {
+			resp.Results = append(resp.Results, sub.Results...)
+			resp.Messages += sub.Messages
+			resp.Reformulations += sub.Reformulations
+		}
+	}
+	return resp, nil
+}
+
+// SearchConjunctive resolves a conjunctive query — a list of triple
+// patterns sharing variables — by iteratively resolving each pattern and
+// joining the retrieved binding sets (paper §2.3). Reformulation applies
+// per pattern when opts.Reformulate is set.
+func (p *Peer) SearchConjunctive(patterns []triple.Pattern, reformulate bool, opts SearchOptions) ([]triple.Bindings, int, error) {
+	if len(patterns) == 0 {
+		return nil, 0, errors.New("mediation: empty conjunctive query")
+	}
+	messages := 0
+	var joined []triple.Bindings
+	for i, q := range patterns {
+		var rs *ResultSet
+		var err error
+		if reformulate {
+			rs, err = p.SearchWithReformulation(q, opts)
+		} else {
+			rs, err = p.SearchFor(q)
+		}
+		if rs != nil {
+			messages += rs.Messages
+		}
+		if err != nil {
+			return nil, messages, fmt.Errorf("mediation: pattern %d: %w", i, err)
+		}
+		bindings := rs.Bindings()
+		if i == 0 {
+			joined = bindings
+		} else {
+			joined = triple.JoinBindings(joined, bindings)
+		}
+		if len(joined) == 0 {
+			return nil, messages, nil
+		}
+	}
+	return joined, messages, nil
+}
+
+// handleQuery dispatches application queries arriving at this peer.
+func (p *Peer) handleQuery(key keyspace.Key, payload any) (any, error) {
+	switch req := payload.(type) {
+	case PatternQuery:
+		return p.db.Select(req.Pattern), nil
+	case ReformulatedQuery:
+		return p.handleReformulated(req)
+	case ConnectivityQuery:
+		return p.handleConnectivity(key, req), nil
+	default:
+		return nil, fmt.Errorf("mediation: unknown query payload %T", payload)
+	}
+}
+
+// handleConnectivity derives the connectivity indicator from the degree
+// reports stored locally under the domain key (paper §3.1: the peer
+// responsible for Hash(Domain) locally derives the degree distribution).
+func (p *Peer) handleConnectivity(key keyspace.Key, req ConnectivityQuery) ConnectivityReport {
+	dist := graph.NewDegreeDistribution()
+	n := 0
+	for _, v := range p.node.LocalGet(key) {
+		if d, ok := v.(DomainDegree); ok {
+			dist.Observe(d.InDegree, d.OutDegree)
+			n++
+		}
+	}
+	return ConnectivityReport{Domain: req.Domain, Schemas: n, CI: dist.ConnectivityIndicator()}
+}
+
+// dedupeResults keeps, per distinct triple, the result with the highest
+// confidence (shortest path on ties), and orders results deterministically.
+func dedupeResults(rs *ResultSet) {
+	best := map[triple.Triple]Result{}
+	for _, r := range rs.Results {
+		cur, ok := best[r.Triple]
+		if !ok || r.Confidence > cur.Confidence ||
+			(r.Confidence == cur.Confidence && len(r.MappingPath) < len(cur.MappingPath)) {
+			best[r.Triple] = r
+		}
+	}
+	out := make([]Result, 0, len(best))
+	for _, r := range best {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Triple, out[j].Triple
+		if a.Subject != b.Subject {
+			return a.Subject < b.Subject
+		}
+		if a.Predicate != b.Predicate {
+			return a.Predicate < b.Predicate
+		}
+		return a.Object < b.Object
+	})
+	rs.Results = out
+}
+
+func init() {
+	gob.Register(ReformulatedQuery{})
+	gob.Register(ReformulatedResponse{})
+	gob.Register(ReformResult{})
+}

@@ -1,0 +1,92 @@
+package mediation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gridvine/internal/keyspace"
+	"gridvine/internal/pgrid"
+	"gridvine/internal/triple"
+)
+
+// SearchObjectRange retrieves every triple with the given predicate whose
+// object value lies lexicographically in [lo, hi] (case-insensitive, like
+// the hash normalization). This is the constraint search the
+// order-preserving hash exists for (paper §2.2): the value interval maps to
+// a key interval, CoverRange decomposes it into overlay subtrees, and each
+// subtree is enumerated — no network-wide broadcast.
+//
+// Because only the first keyspace.OrderPreservingBits of a key preserve
+// order, values agreeing on their first 12 bytes fall into the same cover
+// and are filtered locally; the filter also drops triples of other
+// predicates stored under colliding object keys.
+func (p *Peer) SearchObjectRange(predicate, lo, hi string) ([]triple.Triple, pgrid.Route, error) {
+	if strings.ToLower(lo) > strings.ToLower(hi) {
+		return nil, pgrid.Route{}, fmt.Errorf("mediation: empty range [%q, %q]", lo, hi)
+	}
+	loKey := keyspace.Hash(lo, p.depth)
+	hiKey := upperBoundKey(hi, p.depth)
+
+	items, route, err := p.node.RangeRetrieve(loKey, hiKey)
+	if err != nil {
+		return nil, route, err
+	}
+	seen := map[triple.Triple]bool{}
+	var out []triple.Triple
+	loNorm, hiNorm := strings.ToLower(lo), strings.ToLower(hi)
+	for _, it := range items {
+		t, ok := it.Value.(triple.Triple)
+		if !ok || t.Predicate != predicate {
+			continue
+		}
+		obj := strings.ToLower(t.Object)
+		if obj < loNorm || !withinUpper(obj, hiNorm) {
+			continue
+		}
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Object != b.Object {
+			return strings.ToLower(a.Object) < strings.ToLower(b.Object)
+		}
+		return a.Subject < b.Subject
+	})
+	return out, route, nil
+}
+
+// upperBoundKey returns the key of the largest value sharing hi as prefix:
+// the range [lo, hi] over values must include e.g. "aspergillus niger" when
+// hi is "aspergillus n", so the upper key saturates the bits beyond hi's
+// order-preserving prefix.
+func upperBoundKey(hi string, depth int) keyspace.Key {
+	k := keyspace.Hash(hi, depth)
+	bits := []byte(k.String())
+	limit := keyspace.OrderPreservingBits
+	norm := len(strings.ToLower(hi)) * 8
+	if norm < limit {
+		limit = norm
+	}
+	for i := limit; i < len(bits); i++ {
+		bits[i] = '1'
+	}
+	out, err := keyspace.ParseKey(string(bits))
+	if err != nil {
+		return k
+	}
+	return out
+}
+
+// withinUpper reports obj ≤ hi in the prefix-inclusive sense used by
+// SearchObjectRange: values extending hi (e.g. "aspergillus niger" for hi
+// "aspergillus n") are inside the range.
+func withinUpper(obj, hi string) bool {
+	if strings.HasPrefix(obj, hi) {
+		return true
+	}
+	return obj <= hi
+}

@@ -1,0 +1,113 @@
+package mediation
+
+import (
+	"testing"
+
+	"gridvine/internal/triple"
+)
+
+func seedOrganisms(t *testing.T, p *Peer) {
+	t.Helper()
+	for subj, org := range map[string]string{
+		"acc:1": "Aspergillus flavus",
+		"acc:2": "Aspergillus nidulans",
+		"acc:3": "Aspergillus niger",
+		"acc:4": "Homo sapiens",
+		"acc:5": "Mus musculus",
+		"acc:6": "Danio rerio",
+	} {
+		if _, err := p.InsertTriple(triple.Triple{Subject: subj, Predicate: "EMBL#Organism", Object: org}); err != nil {
+			t.Fatalf("InsertTriple: %v", err)
+		}
+	}
+	// A different predicate sharing object values must not leak into range
+	// results.
+	p.InsertTriple(triple.Triple{Subject: "acc:7", Predicate: "EMP#SystematicName", Object: "Aspergillus niger"})
+}
+
+func TestSearchObjectRangeBasic(t *testing.T) {
+	_, peers := testNetwork(t, 16, 31)
+	seedOrganisms(t, peers[0])
+
+	// The whole Aspergillus genus: every value between "Aspergillus" and
+	// "Aspergillus z".
+	got, _, err := peers[4].SearchObjectRange("EMBL#Organism", "Aspergillus", "Aspergillus z")
+	if err != nil {
+		t.Fatalf("SearchObjectRange: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d triples: %v", len(got), got)
+	}
+	// Sorted by object.
+	if got[0].Object != "Aspergillus flavus" || got[2].Object != "Aspergillus niger" {
+		t.Errorf("order = %v", got)
+	}
+}
+
+func TestSearchObjectRangeSubinterval(t *testing.T) {
+	_, peers := testNetwork(t, 16, 32)
+	seedOrganisms(t, peers[0])
+	// [Aspergillus n, Aspergillus n~]: nidulans and niger but not flavus.
+	got, _, err := peers[2].SearchObjectRange("EMBL#Organism", "Aspergillus n", "Aspergillus n")
+	if err != nil {
+		t.Fatalf("SearchObjectRange: %v", err)
+	}
+	objs := map[string]bool{}
+	for _, tr := range got {
+		objs[tr.Object] = true
+	}
+	if !objs["Aspergillus nidulans"] || !objs["Aspergillus niger"] {
+		t.Errorf("missing n-species: %v", objs)
+	}
+	if objs["Aspergillus flavus"] {
+		t.Error("flavus outside [n, n+] returned")
+	}
+}
+
+func TestSearchObjectRangePredicateFilter(t *testing.T) {
+	_, peers := testNetwork(t, 16, 33)
+	seedOrganisms(t, peers[0])
+	got, _, err := peers[1].SearchObjectRange("EMBL#Organism", "A", "Z")
+	if err != nil {
+		t.Fatalf("SearchObjectRange: %v", err)
+	}
+	for _, tr := range got {
+		if tr.Predicate != "EMBL#Organism" {
+			t.Errorf("foreign predicate leaked: %v", tr)
+		}
+	}
+	if len(got) != 6 {
+		t.Errorf("full range = %d, want 6", len(got))
+	}
+}
+
+func TestSearchObjectRangeCaseInsensitive(t *testing.T) {
+	_, peers := testNetwork(t, 16, 34)
+	seedOrganisms(t, peers[0])
+	got, _, err := peers[3].SearchObjectRange("EMBL#Organism", "aspergillus", "ASPERGILLUS Z")
+	if err != nil {
+		t.Fatalf("SearchObjectRange: %v", err)
+	}
+	if len(got) != 3 {
+		t.Errorf("case-insensitive range = %d, want 3", len(got))
+	}
+}
+
+func TestSearchObjectRangeEmptyInterval(t *testing.T) {
+	_, peers := testNetwork(t, 8, 35)
+	if _, _, err := peers[0].SearchObjectRange("EMBL#Organism", "zzz", "aaa"); err == nil {
+		t.Error("inverted range should fail")
+	}
+}
+
+func TestSearchObjectRangeNoMatches(t *testing.T) {
+	_, peers := testNetwork(t, 16, 36)
+	seedOrganisms(t, peers[0])
+	got, _, err := peers[0].SearchObjectRange("EMBL#Organism", "Zebra", "Zygote")
+	if err != nil {
+		t.Fatalf("SearchObjectRange: %v", err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty value range returned %v", got)
+	}
+}

@@ -1,0 +1,105 @@
+package pgrid
+
+import (
+	"encoding/gob"
+
+	"gridvine/internal/simnet"
+)
+
+// Message type identifiers on the transport.
+const (
+	msgExec      = "pgrid.exec"      // routed storage / query operation
+	msgReplicate = "pgrid.replicate" // direct replica synchronization
+	msgSubtree   = "pgrid.subtree"   // prefix-subtree enumeration step
+	msgPing      = "pgrid.ping"      // liveness probe
+)
+
+// Op selects the storage operation an ExecRequest performs at the
+// responsible peer.
+type Op int
+
+// Operations supported at the responsible peer. OpQuery invokes the
+// registered application handler with the request payload — this is the
+// Retrieve(key, q) primitive the mediation layer uses to ship triple-pattern
+// queries to data (paper §2.3).
+const (
+	OpGet Op = iota
+	OpInsert
+	OpDelete
+	OpQuery
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "get"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpQuery:
+		return "query"
+	default:
+		return "unknown"
+	}
+}
+
+// ExecRequest asks the receiving peer to either perform the operation (if
+// responsible for Key) or answer with closer references.
+type ExecRequest struct {
+	Key       string // binary key, e.g. "010011…"
+	Op        Op
+	Value     any  // for OpInsert / OpDelete
+	Payload   any  // for OpQuery: handed to the application handler
+	Recursive bool // forward server-side instead of answering with refs
+	TTL       int  // remaining hops in recursive mode
+}
+
+// ExecResponse carries either the operation result (Responsible=true) or
+// the next-hop candidates (Responsible=false).
+type ExecResponse struct {
+	Responsible bool
+	NextHops    []simnet.PeerID
+	Values      []any
+	AppResult   any
+	Chain       []simnet.PeerID // peers traversed (recursive mode)
+}
+
+// ReplicateRequest applies a storage mutation directly, without routing.
+type ReplicateRequest struct {
+	Key   string
+	Op    Op // OpInsert or OpDelete
+	Value any
+}
+
+// SubtreeRequest asks a peer for its local items under Prefix plus the
+// references needed to reach the rest of the prefix's subtree.
+type SubtreeRequest struct {
+	Prefix string
+}
+
+// SubtreeItem is one stored (key, value) pair returned by a subtree step.
+type SubtreeItem struct {
+	Key   string
+	Value any
+}
+
+// SubtreeResponse returns the peer's path, matching local items, and
+// further peers that cover sibling branches under the prefix.
+type SubtreeResponse struct {
+	Path     string
+	Items    []SubtreeItem
+	Onward   []simnet.PeerID
+	Replicas []simnet.PeerID
+}
+
+func init() {
+	gob.Register(ExecRequest{})
+	gob.Register(ExecResponse{})
+	gob.Register(ReplicateRequest{})
+	gob.Register(SubtreeRequest{})
+	gob.Register(SubtreeResponse{})
+	gob.Register(SubtreeItem{})
+	gob.Register([]any(nil))
+	gob.Register([]simnet.PeerID(nil))
+}

@@ -1,0 +1,332 @@
+// Package pgrid implements the P-Grid structured overlay GridVine uses at
+// its intermediate layer (paper §2.1): a distributed binary search trie in
+// which every peer is associated with a path π(p) (a leaf of the virtual
+// trie), keeps routing references to the complementary subtree at every
+// level of its path, and maintains replica references σ(p) to peers sharing
+// its path. The overlay offers the two primitives the mediation layer is
+// built on — Retrieve(key) and Update(key, value) — in O(log |Π|) messages,
+// plus prefix-subtree and range retrieval enabled by the order-preserving
+// hash.
+package pgrid
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+
+	"gridvine/internal/keyspace"
+	"gridvine/internal/simnet"
+)
+
+// QueryHandler is the application hook invoked when an OpQuery reaches the
+// peer responsible for its key: the mediation layer registers a handler that
+// runs the local relational query against the peer's triple database.
+type QueryHandler func(key keyspace.Key, payload any) (any, error)
+
+// Config carries the tunables of a node / overlay.
+type Config struct {
+	// RefsPerLevel bounds the routing references kept per trie level
+	// (fault-tolerance fan-out). Default 3.
+	RefsPerLevel int
+	// MaxRetries bounds rerouting attempts after encountering failed peers.
+	// Default 3.
+	MaxRetries int
+	// Seed drives the node's internal randomness (ref choice).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.RefsPerLevel <= 0 {
+		c.RefsPerLevel = 3
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 3
+	}
+	return c
+}
+
+// Node is one P-Grid peer: a leaf of the distributed trie.
+type Node struct {
+	id  simnet.PeerID
+	net simnet.Transport
+	cfg Config
+
+	mu        sync.RWMutex
+	path      keyspace.Key
+	refs      map[int][]simnet.PeerID // trie level → peers in complementary subtree
+	replicas  []simnet.PeerID         // σ(p): peers with the same path
+	store     map[string][]any        // key bits → stored values
+	handler   QueryHandler
+	storeHook StoreHook
+	rng       *rand.Rand
+}
+
+// StoreHook observes successful storage mutations applied at this node
+// (routed updates and replica synchronization; not construction-time data
+// exchanges). The mediation layer uses it to keep the peer's local
+// relational database in sync with the overlay store.
+type StoreHook func(op Op, key keyspace.Key, value any)
+
+// SetStoreHook registers the mutation observer.
+func (n *Node) SetStoreHook(h StoreHook) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.storeHook = h
+}
+
+// NewNode creates a node with the given identity and path, attached to the
+// transport. The node must be registered on the transport by the caller
+// (overlay builders do this).
+func NewNode(id simnet.PeerID, path keyspace.Key, net simnet.Transport, cfg Config) *Node {
+	cfg = cfg.withDefaults()
+	return &Node{
+		id:    id,
+		net:   net,
+		cfg:   cfg,
+		path:  path,
+		refs:  make(map[int][]simnet.PeerID),
+		store: make(map[string][]any),
+		rng:   rand.New(rand.NewSource(cfg.Seed ^ int64(len(id))*2654435761)),
+	}
+}
+
+// ID returns the node's transport identity.
+func (n *Node) ID() simnet.PeerID { return n.id }
+
+// Path returns the node's current trie path π(p).
+func (n *Node) Path() keyspace.Key {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.path
+}
+
+// SetQueryHandler registers the application hook for OpQuery requests.
+func (n *Node) SetQueryHandler(h QueryHandler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handler = h
+}
+
+// Responsible reports whether the node's path is a prefix of key, i.e. the
+// node stores data for that key.
+func (n *Node) Responsible(key keyspace.Key) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.path.IsPrefixOf(key)
+}
+
+// AddRef records a routing reference to peer at the given trie level,
+// bounded by RefsPerLevel.
+func (n *Node) AddRef(level int, peer simnet.PeerID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.addRefLocked(level, peer)
+}
+
+func (n *Node) addRefLocked(level int, peer simnet.PeerID) {
+	if peer == n.id {
+		return
+	}
+	cur := n.refs[level]
+	for _, p := range cur {
+		if p == peer {
+			return
+		}
+	}
+	if len(cur) >= n.cfg.RefsPerLevel {
+		return
+	}
+	n.refs[level] = append(cur, peer)
+}
+
+// RemoveRef drops a (presumed dead) reference at the given level.
+func (n *Node) RemoveRef(level int, peer simnet.PeerID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	cur := n.refs[level]
+	for i, p := range cur {
+		if p == peer {
+			n.refs[level] = append(cur[:i:i], cur[i+1:]...)
+			return
+		}
+	}
+}
+
+// Refs returns a copy of the routing references at the given level.
+func (n *Node) Refs(level int) []simnet.PeerID {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]simnet.PeerID, len(n.refs[level]))
+	copy(out, n.refs[level])
+	return out
+}
+
+// AddReplica records a replica reference σ(p).
+func (n *Node) AddReplica(peer simnet.PeerID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if peer == n.id {
+		return
+	}
+	for _, p := range n.replicas {
+		if p == peer {
+			return
+		}
+	}
+	n.replicas = append(n.replicas, peer)
+}
+
+// Replicas returns a copy of the node's replica references.
+func (n *Node) Replicas() []simnet.PeerID {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]simnet.PeerID, len(n.replicas))
+	copy(out, n.replicas)
+	return out
+}
+
+// StoreSize returns the number of stored values (across all keys).
+func (n *Node) StoreSize() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	total := 0
+	for _, vs := range n.store {
+		total += len(vs)
+	}
+	return total
+}
+
+// LocalKeys returns the stored keys in sorted order (testing/diagnostics).
+func (n *Node) LocalKeys() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]string, 0, len(n.store))
+	for k := range n.store {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LocalGet returns the values stored locally under key.
+func (n *Node) LocalGet(key keyspace.Key) []any {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	vs := n.store[key.String()]
+	out := make([]any, len(vs))
+	copy(out, vs)
+	return out
+}
+
+// localInsert stores value under key, collapsing exact duplicates. It
+// reports whether the store changed.
+func (n *Node) localInsert(key string, value any) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, v := range n.store[key] {
+		if reflect.DeepEqual(v, value) {
+			return false
+		}
+	}
+	n.store[key] = append(n.store[key], value)
+	return true
+}
+
+// localDelete removes the first value deep-equal to value under key. It
+// reports whether the store changed.
+func (n *Node) localDelete(key string, value any) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	vs := n.store[key]
+	for i, v := range vs {
+		if reflect.DeepEqual(v, value) {
+			n.store[key] = append(vs[:i:i], vs[i+1:]...)
+			if len(n.store[key]) == 0 {
+				delete(n.store, key)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// nextHopInfo computes, for a key, whether this node is responsible, and if
+// not, the references at the divergence level.
+func (n *Node) nextHopInfo(key keyspace.Key) (responsible bool, hops []simnet.PeerID) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if n.path.IsPrefixOf(key) {
+		return true, nil
+	}
+	level := n.path.CommonPrefixLen(key)
+	refs := n.refs[level]
+	out := make([]simnet.PeerID, len(refs))
+	copy(out, refs)
+	return false, out
+}
+
+// HandleMessage implements simnet.Handler, dispatching overlay RPCs.
+func (n *Node) HandleMessage(from simnet.PeerID, msg simnet.Message) (simnet.Message, error) {
+	switch msg.Type {
+	case msgPing:
+		return simnet.Message{Type: msgPing}, nil
+	case msgExec:
+		req, ok := msg.Payload.(ExecRequest)
+		if !ok {
+			return simnet.Message{}, fmt.Errorf("pgrid: bad exec payload %T", msg.Payload)
+		}
+		resp, err := n.handleExec(req)
+		if err != nil {
+			return simnet.Message{}, err
+		}
+		return simnet.Message{Type: msgExec, Payload: resp}, nil
+	case msgReplicate:
+		req, ok := msg.Payload.(ReplicateRequest)
+		if !ok {
+			return simnet.Message{}, fmt.Errorf("pgrid: bad replicate payload %T", msg.Payload)
+		}
+		n.applyMutation(req.Key, req.Op, req.Value)
+		return simnet.Message{Type: msgReplicate}, nil
+	case msgSubtree:
+		req, ok := msg.Payload.(SubtreeRequest)
+		if !ok {
+			return simnet.Message{}, fmt.Errorf("pgrid: bad subtree payload %T", msg.Payload)
+		}
+		return simnet.Message{Type: msgSubtree, Payload: n.handleSubtree(req)}, nil
+	case msgSync:
+		req, ok := msg.Payload.(SyncRequest)
+		if !ok {
+			return simnet.Message{}, fmt.Errorf("pgrid: bad sync payload %T", msg.Payload)
+		}
+		return simnet.Message{Type: msgSync, Payload: n.handleSync(req)}, nil
+	default:
+		return simnet.Message{}, fmt.Errorf("pgrid: unknown message type %q", msg.Type)
+	}
+}
+
+// applyMutation performs an insert/delete on the local store and notifies
+// the store hook on change (outside the node lock).
+func (n *Node) applyMutation(key string, op Op, value any) {
+	changed := false
+	switch op {
+	case OpInsert:
+		changed = n.localInsert(key, value)
+	case OpDelete:
+		changed = n.localDelete(key, value)
+	}
+	if !changed {
+		return
+	}
+	n.mu.RLock()
+	hook := n.storeHook
+	n.mu.RUnlock()
+	if hook != nil {
+		if k, err := keyspace.ParseKey(key); err == nil {
+			hook(op, k, value)
+		}
+	}
+}
+
+var _ simnet.Handler = (*Node)(nil)

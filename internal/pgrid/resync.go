@@ -1,0 +1,79 @@
+package pgrid
+
+import (
+	"encoding/gob"
+
+	"gridvine/internal/keyspace"
+	"gridvine/internal/simnet"
+)
+
+const msgSync = "pgrid.sync"
+
+// SyncRequest asks a replica for its full store content under the
+// requesting peer's path (anti-entropy after a crash/recovery).
+type SyncRequest struct {
+	Path string
+}
+
+// SyncResponse carries the replica's matching items.
+type SyncResponse struct {
+	Items []SubtreeItem
+}
+
+// SyncFromReplicas performs anti-entropy with the node's replica set σ(p):
+// it pulls every item stored under the node's path from each live replica
+// and merges it locally. A peer that recovers after a crash calls this to
+// catch up on the updates it missed — restoring the probabilistic
+// consistency guarantee the paper's overlay layer provides (§2.1). It
+// returns the number of items merged and how many replicas answered.
+func (n *Node) SyncFromReplicas() (merged, replicasSeen int) {
+	path := n.Path()
+	for _, r := range n.Replicas() {
+		msg, err := n.net.Send(n.id, r, simnet.Message{
+			Type:    msgSync,
+			Payload: SyncRequest{Path: path.String()},
+		})
+		if err != nil {
+			continue
+		}
+		resp, ok := msg.Payload.(SyncResponse)
+		if !ok {
+			continue
+		}
+		replicasSeen++
+		for _, it := range resp.Items {
+			if n.localInsert(it.Key, it.Value) {
+				merged++
+				n.mu.RLock()
+				hook := n.storeHook
+				n.mu.RUnlock()
+				if hook != nil {
+					if k, err := keyspace.ParseKey(it.Key); err == nil {
+						hook(OpInsert, k, it.Value)
+					}
+				}
+			}
+		}
+	}
+	return merged, replicasSeen
+}
+
+// handleSync answers a replica's anti-entropy pull.
+func (n *Node) handleSync(req SyncRequest) SyncResponse {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	var resp SyncResponse
+	for k, vs := range n.store {
+		if len(k) >= len(req.Path) && k[:len(req.Path)] == req.Path {
+			for _, v := range vs {
+				resp.Items = append(resp.Items, SubtreeItem{Key: k, Value: v})
+			}
+		}
+	}
+	return resp
+}
+
+func init() {
+	gob.Register(SyncRequest{})
+	gob.Register(SyncResponse{})
+}

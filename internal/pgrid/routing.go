@@ -1,0 +1,257 @@
+package pgrid
+
+import (
+	"errors"
+	"fmt"
+
+	"gridvine/internal/keyspace"
+	"gridvine/internal/simnet"
+)
+
+// ErrNoRoute reports that routing could not reach a live responsible peer.
+var ErrNoRoute = errors.New("pgrid: no route to responsible peer")
+
+// Route describes how one overlay operation was resolved; the experiment
+// harness feeds Contacted into the discrete-event replay and counts Messages
+// for the O(log |Π|) routing-cost experiment.
+type Route struct {
+	// Contacted lists, in order, the remote peers the issuer exchanged a
+	// request/response with (iterative mode) or that forwarded the request
+	// (recursive mode). The final entry is the peer that answered.
+	Contacted []simnet.PeerID
+	// Messages is the number of transport sends attributed to the operation
+	// as observed by the issuer (request+response counted once), excluding
+	// server-side replication traffic.
+	Messages int
+	// Retries counts rerouting rounds forced by unreachable peers.
+	Retries int
+}
+
+// Hops returns the number of peers contacted.
+func (r Route) Hops() int { return len(r.Contacted) }
+
+// Retrieve resolves key to its responsible peer and returns the values
+// stored there (paper §2.1: Retrieve(key)).
+func (n *Node) Retrieve(key keyspace.Key) ([]any, Route, error) {
+	resp, route, err := n.execute(ExecRequest{Key: key.String(), Op: OpGet})
+	if err != nil {
+		return nil, route, err
+	}
+	return resp.Values, route, nil
+}
+
+// Update inserts value at the peer responsible for key (paper §2.1:
+// Update(key, value)); the responsible peer synchronizes its replicas.
+func (n *Node) Update(key keyspace.Key, value any) (Route, error) {
+	_, route, err := n.execute(ExecRequest{Key: key.String(), Op: OpInsert, Value: value})
+	return route, err
+}
+
+// Delete removes value at the peer responsible for key.
+func (n *Node) Delete(key keyspace.Key, value any) (Route, error) {
+	_, route, err := n.execute(ExecRequest{Key: key.String(), Op: OpDelete, Value: value})
+	return route, err
+}
+
+// Query ships payload to the peer responsible for key and runs the
+// registered application handler there — GridVine's Retrieve(key, q).
+func (n *Node) Query(key keyspace.Key, payload any) (any, Route, error) {
+	resp, route, err := n.execute(ExecRequest{Key: key.String(), Op: OpQuery, Payload: payload})
+	if err != nil {
+		return nil, route, err
+	}
+	return resp.AppResult, route, nil
+}
+
+// QueryRecursive is Query with server-side forwarding: intermediate peers
+// relay the request toward the responsible peer instead of answering the
+// issuer with references. TTL bounds the chain length.
+func (n *Node) QueryRecursive(key keyspace.Key, payload any, ttl int) (any, Route, error) {
+	req := ExecRequest{Key: key.String(), Op: OpQuery, Payload: payload, Recursive: true, TTL: ttl}
+	var route Route
+	resp, err := n.handleExec(req)
+	if err != nil {
+		return nil, route, err
+	}
+	// Chain starts with this node; each subsequent link cost one send (the
+	// response rides back on the same exchange).
+	if len(resp.Chain) > 1 {
+		route.Contacted = resp.Chain[1:]
+		route.Messages = len(resp.Chain) - 1
+	}
+	if !resp.Responsible {
+		return nil, route, fmt.Errorf("%w: recursive TTL exhausted for %s", ErrNoRoute, key)
+	}
+	return resp.AppResult, route, nil
+}
+
+// execute drives iterative routing for a request: the issuer repeatedly
+// sends the request to the best-known peer; a non-responsible receiver
+// answers with closer references, the responsible receiver answers with the
+// result. Failed peers are excluded and routing restarts up to MaxRetries
+// times (replicas of a failed leaf are reached through sibling references).
+func (n *Node) execute(req ExecRequest) (ExecResponse, Route, error) {
+	key, err := keyspace.ParseKey(req.Key)
+	if err != nil {
+		return ExecResponse{}, Route{}, err
+	}
+	var route Route
+	exclude := map[simnet.PeerID]bool{}
+
+	for attempt := 0; attempt <= n.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			route.Retries++
+		}
+		resp, ok := n.routeOnce(key, req, exclude, &route)
+		if ok {
+			return resp, route, nil
+		}
+	}
+	return ExecResponse{}, route, fmt.Errorf("%w: %s (op %s)", ErrNoRoute, req.Key, req.Op)
+}
+
+// routeOnce performs one iterative routing pass. It returns ok=false when it
+// dead-ends (no live references); newly discovered dead peers are added to
+// exclude so the next pass avoids them.
+func (n *Node) routeOnce(key keyspace.Key, req ExecRequest, exclude map[simnet.PeerID]bool, route *Route) (ExecResponse, bool) {
+	// Local fast path.
+	if responsible, _ := n.nextHopInfo(key); responsible {
+		resp, err := n.handleExec(req)
+		if err != nil {
+			return ExecResponse{}, false
+		}
+		return resp, true
+	}
+
+	candidates := n.candidateHops(key, exclude)
+	visited := map[simnet.PeerID]bool{n.id: true}
+
+	for len(candidates) > 0 {
+		next := candidates[0]
+		candidates = candidates[1:]
+		if visited[next] || exclude[next] {
+			continue
+		}
+		visited[next] = true
+
+		route.Messages++
+		msg, err := n.net.Send(n.id, next, simnet.Message{Type: msgExec, Payload: req})
+		if err != nil {
+			exclude[next] = true
+			continue
+		}
+		route.Contacted = append(route.Contacted, next)
+		resp, ok := msg.Payload.(ExecResponse)
+		if !ok {
+			return ExecResponse{}, false
+		}
+		if resp.Responsible {
+			return resp, true
+		}
+		// Prepend the receiver's references: they are strictly closer.
+		closer := make([]simnet.PeerID, 0, len(resp.NextHops)+len(candidates))
+		for _, h := range resp.NextHops {
+			if !visited[h] && !exclude[h] {
+				closer = append(closer, h)
+			}
+		}
+		candidates = append(closer, candidates...)
+	}
+	return ExecResponse{}, false
+}
+
+// candidateHops returns this node's references ordered best-first for key:
+// deepest matching level first, shuffled within a level for load spreading.
+func (n *Node) candidateHops(key keyspace.Key, exclude map[simnet.PeerID]bool) []simnet.PeerID {
+	n.mu.RLock()
+	level := n.path.CommonPrefixLen(key)
+	refs := make([]simnet.PeerID, 0, len(n.refs[level]))
+	for _, p := range n.refs[level] {
+		if !exclude[p] {
+			refs = append(refs, p)
+		}
+	}
+	n.rng.Shuffle(len(refs), func(i, j int) { refs[i], refs[j] = refs[j], refs[i] })
+	// Fallback: shallower levels (useful when the exact level is empty after
+	// failures — any peer on the other side of an earlier bit can still make
+	// progress, just more slowly).
+	var fallback []simnet.PeerID
+	for l := level - 1; l >= 0; l-- {
+		for _, p := range n.refs[l] {
+			if !exclude[p] {
+				fallback = append(fallback, p)
+			}
+		}
+	}
+	n.mu.RUnlock()
+	return append(refs, fallback...)
+}
+
+// handleExec processes an ExecRequest at this node.
+func (n *Node) handleExec(req ExecRequest) (ExecResponse, error) {
+	key, err := keyspace.ParseKey(req.Key)
+	if err != nil {
+		return ExecResponse{}, err
+	}
+	responsible, hops := n.nextHopInfo(key)
+	if !responsible {
+		if req.Recursive {
+			return n.forwardRecursive(key, req, hops)
+		}
+		return ExecResponse{NextHops: hops}, nil
+	}
+
+	resp := ExecResponse{Responsible: true, Chain: []simnet.PeerID{n.id}}
+	switch req.Op {
+	case OpGet:
+		resp.Values = n.LocalGet(key)
+	case OpInsert, OpDelete:
+		n.applyMutation(req.Key, req.Op, req.Value)
+		n.replicate(ReplicateRequest{Key: req.Key, Op: req.Op, Value: req.Value})
+	case OpQuery:
+		n.mu.RLock()
+		h := n.handler
+		n.mu.RUnlock()
+		if h == nil {
+			return ExecResponse{}, fmt.Errorf("pgrid: node %s has no query handler", n.id)
+		}
+		result, err := h(key, req.Payload)
+		if err != nil {
+			return ExecResponse{}, err
+		}
+		resp.AppResult = result
+	default:
+		return ExecResponse{}, fmt.Errorf("pgrid: unknown op %v", req.Op)
+	}
+	return resp, nil
+}
+
+// forwardRecursive relays the request to one live closer peer and funnels
+// its answer back, recording the chain.
+func (n *Node) forwardRecursive(key keyspace.Key, req ExecRequest, hops []simnet.PeerID) (ExecResponse, error) {
+	if req.TTL <= 0 {
+		return ExecResponse{Chain: []simnet.PeerID{n.id}}, nil
+	}
+	req.TTL--
+	for _, h := range hops {
+		msg, err := n.net.Send(n.id, h, simnet.Message{Type: msgExec, Payload: req})
+		if err != nil {
+			continue
+		}
+		resp, ok := msg.Payload.(ExecResponse)
+		if !ok {
+			continue
+		}
+		resp.Chain = append([]simnet.PeerID{n.id}, resp.Chain...)
+		return resp, nil
+	}
+	return ExecResponse{Chain: []simnet.PeerID{n.id}}, nil
+}
+
+// replicate pushes a mutation to the node's replicas σ(p), best-effort.
+func (n *Node) replicate(req ReplicateRequest) {
+	for _, r := range n.Replicas() {
+		// Errors are tolerated: a crashed replica re-synchronizes on rejoin.
+		n.net.Send(n.id, r, simnet.Message{Type: msgReplicate, Payload: req}) //nolint:errcheck
+	}
+}

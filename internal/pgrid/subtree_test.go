@@ -1,0 +1,180 @@
+package pgrid
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"gridvine/internal/keyspace"
+)
+
+func TestSubtreeRetrieveAll(t *testing.T) {
+	_, ov := testOverlay(t, 16, 2, 21)
+	issuer := ov.Nodes()[0]
+	want := map[string]bool{}
+	for i := 0; i < 30; i++ {
+		v := fmt.Sprintf("item-%02d", i)
+		key := keyspace.HashDefault(v)
+		if _, err := issuer.Update(key, v); err != nil {
+			t.Fatalf("Update: %v", err)
+		}
+		want[v] = true
+	}
+	items, _, err := issuer.SubtreeRetrieve(keyspace.Key{})
+	if err != nil {
+		t.Fatalf("SubtreeRetrieve: %v", err)
+	}
+	got := map[string]bool{}
+	for _, it := range items {
+		got[it.Value.(string)] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d distinct items, want %d", len(got), len(want))
+	}
+	for v := range want {
+		if !got[v] {
+			t.Errorf("missing item %q", v)
+		}
+	}
+}
+
+func TestSubtreeRetrieveNoReplicaDuplicates(t *testing.T) {
+	_, ov := testOverlay(t, 16, 4, 22) // 4 replicas per leaf
+	issuer := ov.Nodes()[0]
+	key := keyspace.HashDefault("once")
+	issuer.Update(key, "once-value")
+	items, _, err := issuer.SubtreeRetrieve(keyspace.Key{})
+	if err != nil {
+		t.Fatalf("SubtreeRetrieve: %v", err)
+	}
+	n := 0
+	for _, it := range items {
+		if it.Value == "once-value" {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("item returned %d times, want 1 (replica dedup)", n)
+	}
+}
+
+func TestSubtreeRetrievePrefixFilters(t *testing.T) {
+	_, ov := testOverlay(t, 16, 2, 23)
+	issuer := ov.Nodes()[0]
+	// "a…" keys start with different bits than "z…" keys under the
+	// order-preserving hash ('a'=0x61 → 0110…, 'z'=0x7a → 0111…).
+	aKey := keyspace.HashDefault("aardvark")
+	zKey := keyspace.HashDefault("zebra")
+	issuer.Update(aKey, "a-item")
+	issuer.Update(zKey, "z-item")
+	prefix := aKey.Prefix(8)
+	items, _, err := issuer.SubtreeRetrieve(prefix)
+	if err != nil {
+		t.Fatalf("SubtreeRetrieve: %v", err)
+	}
+	for _, it := range items {
+		if it.Value == "z-item" && !prefix.IsPrefixOf(zKey) {
+			t.Error("subtree returned item outside prefix")
+		}
+	}
+	found := false
+	for _, it := range items {
+		if it.Value == "a-item" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("subtree missed item inside prefix")
+	}
+}
+
+func TestSubtreeSurvivesFailures(t *testing.T) {
+	net, ov := testOverlay(t, 24, 3, 24)
+	issuer := ov.Nodes()[0]
+	want := map[string]bool{}
+	for i := 0; i < 20; i++ {
+		v := fmt.Sprintf("s-%02d", i)
+		issuer.Update(keyspace.HashDefault(v), v)
+		want[v] = true
+	}
+	// Kill one peer per leaf (not the issuer): replicas must answer.
+	killed := map[string]bool{}
+	for _, n := range ov.Nodes() {
+		p := n.Path().String()
+		if !killed[p] && n.ID() != issuer.ID() {
+			killed[p] = true
+			net.Fail(n.ID())
+		}
+	}
+	items, _, err := issuer.SubtreeRetrieve(keyspace.Key{})
+	if err != nil {
+		t.Fatalf("SubtreeRetrieve: %v", err)
+	}
+	got := map[string]bool{}
+	for _, it := range items {
+		got[it.Value.(string)] = true
+	}
+	missing := 0
+	for v := range want {
+		if !got[v] {
+			missing++
+		}
+	}
+	if missing > 0 {
+		t.Errorf("%d/%d items missing after single-replica failures", missing, len(want))
+	}
+}
+
+func TestRangeRetrieve(t *testing.T) {
+	_, ov := testOverlay(t, 16, 2, 25)
+	issuer := ov.Nodes()[0]
+	words := []string{"alpha", "beta", "delta", "gamma", "omega", "zeta"}
+	for _, w := range words {
+		issuer.Update(keyspace.HashDefault(w), w)
+	}
+	lo := keyspace.HashDefault("beta")
+	hi := keyspace.HashDefault("omega")
+	items, _, err := issuer.RangeRetrieve(lo, hi)
+	if err != nil {
+		t.Fatalf("RangeRetrieve: %v", err)
+	}
+	got := map[string]bool{}
+	for _, it := range items {
+		got[it.Value.(string)] = true
+	}
+	// Lexicographic range [beta, omega] = beta, delta, gamma, omega.
+	for _, w := range []string{"beta", "delta", "gamma", "omega"} {
+		if !got[w] {
+			t.Errorf("range missing %q (got %v)", w, keys(got))
+		}
+	}
+	for _, w := range []string{"alpha", "zeta"} {
+		if got[w] {
+			t.Errorf("range wrongly includes %q", w)
+		}
+	}
+}
+
+func TestRangeRetrieveEmptyRange(t *testing.T) {
+	_, ov := testOverlay(t, 8, 2, 26)
+	issuer := ov.Nodes()[0]
+	issuer.Update(keyspace.HashDefault("mid"), "mid")
+	lo := keyspace.HashDefault("zzz")
+	hi := keyspace.HashDefault("aaa")
+	items, _, err := issuer.RangeRetrieve(lo, hi)
+	if err != nil {
+		t.Fatalf("RangeRetrieve: %v", err)
+	}
+	if len(items) != 0 {
+		t.Errorf("inverted range returned %d items", len(items))
+	}
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

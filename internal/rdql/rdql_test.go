@@ -1,0 +1,176 @@
+package rdql
+
+import (
+	"strings"
+	"testing"
+
+	"gridvine/internal/triple"
+)
+
+func TestParseSimpleQuery(t *testing.T) {
+	q, err := Parse(`SELECT ?x WHERE (?x, <EMBL#Organism>, "%Aspergillus%")`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.Select) != 1 || q.Select[0] != "x" {
+		t.Errorf("Select = %v", q.Select)
+	}
+	if len(q.Patterns) != 1 {
+		t.Fatalf("Patterns = %d", len(q.Patterns))
+	}
+	p := q.Patterns[0]
+	if p.S.Kind != triple.Variable || p.S.Value != "x" {
+		t.Errorf("S = %+v", p.S)
+	}
+	if p.P.Kind != triple.Constant || p.P.Value != "EMBL#Organism" {
+		t.Errorf("P = %+v", p.P)
+	}
+	if p.O.Kind != triple.Like || p.O.Value != "%Aspergillus%" {
+		t.Errorf("O = %+v", p.O)
+	}
+}
+
+func TestParseConjunction(t *testing.T) {
+	q, err := Parse(`SELECT ?x, ?len
+		WHERE (?x, <EMBL#Organism>, "Homo sapiens"),
+		      (?x, <EMBL#Length>, ?len)`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.Select) != 2 || q.Select[1] != "len" {
+		t.Errorf("Select = %v", q.Select)
+	}
+	if len(q.Patterns) != 2 {
+		t.Fatalf("Patterns = %d", len(q.Patterns))
+	}
+	if q.Patterns[0].O.Kind != triple.Constant {
+		t.Errorf("quoted literal without %% should be constant: %+v", q.Patterns[0].O)
+	}
+}
+
+func TestParseANDSeparator(t *testing.T) {
+	q, err := Parse(`SELECT ?x WHERE (?x <A#p> ?y) AND (?y <B#q> "v")`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.Patterns) != 2 {
+		t.Errorf("Patterns = %d", len(q.Patterns))
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	if _, err := Parse(`select ?x where (?x <A#p> "v")`); err != nil {
+		t.Errorf("lowercase keywords: %v", err)
+	}
+}
+
+func TestParseBareWordConstant(t *testing.T) {
+	q, err := Parse(`SELECT ?x WHERE (?x EMBL#Organism aspergillus)`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.Patterns[0].P.Value != "EMBL#Organism" || q.Patterns[0].O.Value != "aspergillus" {
+		t.Errorf("pattern = %+v", q.Patterns[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`WHERE (?x <p> "v")`,                      // missing SELECT
+		`SELECT WHERE (?x <p> "v")`,               // no variables
+		`SELECT ?x`,                               // missing WHERE
+		`SELECT ?x WHERE`,                         // no patterns
+		`SELECT ?x WHERE (?x <p>)`,                // short pattern
+		`SELECT ?x WHERE (?x <p> "v"`,             // unterminated
+		`SELECT ?x WHERE (?x <p "v")`,             // unterminated URI
+		`SELECT ?x WHERE (?x <p> "v) `,            // unterminated literal
+		`SELECT ?z WHERE (?x <p> "v")`,            // unbound selected var
+		`SELECT ? WHERE (?x <p> "v")`,             // empty variable
+		`SELECT ?x WHERE (?x <p> "v") trailing ?`, // trailing junk
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q) should fail", c)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	q := Query{Select: []string{"x"}}
+	if err := q.Validate(); err == nil {
+		t.Error("no patterns should fail validation")
+	}
+	q.Patterns = []triple.Pattern{{S: triple.Var("y"), P: triple.Const("p"), O: triple.Const("o")}}
+	if err := q.Validate(); err == nil {
+		t.Error("unbound selected variable should fail validation")
+	}
+	q.Select = []string{"y"}
+	if err := q.Validate(); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+}
+
+func TestVariables(t *testing.T) {
+	q, _ := Parse(`SELECT ?x WHERE (?x <p> ?y) (?y <q> ?z)`)
+	vars := q.Variables()
+	if len(vars) != 3 || vars[0] != "x" || vars[1] != "y" || vars[2] != "z" {
+		t.Errorf("Variables = %v", vars)
+	}
+}
+
+func TestProject(t *testing.T) {
+	q, _ := Parse(`SELECT ?x, ?len WHERE (?x <A#org> "v") (?x <A#len> ?len)`)
+	bindings := []triple.Bindings{
+		{"x": "s1", "len": "100"},
+		{"x": "s2", "len": "200"},
+		{"x": "s1", "len": "100"}, // duplicate collapses
+		{"x": "s3"},               // incomplete: skipped
+	}
+	rows := q.Project(bindings)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][0] != "s1" || rows[0][1] != "100" {
+		t.Errorf("rows[0] = %v", rows[0])
+	}
+	if rows[1][0] != "s2" {
+		t.Errorf("rows[1] = %v", rows[1])
+	}
+}
+
+func TestStringRoundtrip(t *testing.T) {
+	src := `SELECT ?x, ?len WHERE (?x, <EMBL#Organism>, "%Asp%"), (?x, <EMBL#Length>, ?len)`
+	q1, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	rendered := q1.String()
+	q2, err := Parse(rendered)
+	if err != nil {
+		t.Fatalf("Parse(rendered %q): %v", rendered, err)
+	}
+	if q2.String() != rendered {
+		t.Errorf("String not stable:\n%s\n%s", rendered, q2.String())
+	}
+	if len(q2.Patterns) != 2 || q2.Patterns[0].O.Kind != triple.Like {
+		t.Errorf("roundtrip lost structure: %+v", q2.Patterns)
+	}
+}
+
+func TestStringQuotesBareLiterals(t *testing.T) {
+	q, _ := Parse(`SELECT ?x WHERE (?x <A#p> plain)`)
+	if !strings.Contains(q.String(), `"plain"`) {
+		t.Errorf("String = %q", q.String())
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := lex(`SELECT ?x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].pos != 0 || toks[1].pos != 7 {
+		t.Errorf("positions = %d %d", toks[0].pos, toks[1].pos)
+	}
+}

@@ -1,0 +1,138 @@
+package schema
+
+import (
+	"sort"
+
+	"gridvine/internal/graph"
+)
+
+// MappingSet is an in-memory collection of mappings keyed by ID, with the
+// graph views the self-organization algorithms need. The authoritative
+// copies live in the overlay; MappingSet is the working set a peer
+// assembles for analysis.
+type MappingSet struct {
+	byID map[string]Mapping
+}
+
+// NewMappingSet returns an empty set.
+func NewMappingSet() *MappingSet {
+	return &MappingSet{byID: make(map[string]Mapping)}
+}
+
+// Add inserts or replaces a mapping.
+func (ms *MappingSet) Add(m Mapping) { ms.byID[m.ID] = m }
+
+// Remove deletes a mapping by ID.
+func (ms *MappingSet) Remove(id string) { delete(ms.byID, id) }
+
+// Get returns the mapping with the given ID.
+func (ms *MappingSet) Get(id string) (Mapping, bool) {
+	m, ok := ms.byID[id]
+	return m, ok
+}
+
+// Len returns the number of mappings (deprecated included).
+func (ms *MappingSet) Len() int { return len(ms.byID) }
+
+// All returns every mapping sorted by ID (deprecated included).
+func (ms *MappingSet) All() []Mapping {
+	out := make([]Mapping, 0, len(ms.byID))
+	for _, m := range ms.byID {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Active returns the non-deprecated mappings sorted by ID.
+func (ms *MappingSet) Active() []Mapping {
+	out := make([]Mapping, 0, len(ms.byID))
+	for _, m := range ms.byID {
+		if !m.Deprecated {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SetDeprecated flags a mapping (by ID) as deprecated or restores it.
+func (ms *MappingSet) SetDeprecated(id string, deprecated bool) bool {
+	m, ok := ms.byID[id]
+	if !ok {
+		return false
+	}
+	m.Deprecated = deprecated
+	ms.byID[id] = m
+	return true
+}
+
+// SetConfidence updates a mapping's confidence (by ID).
+func (ms *MappingSet) SetConfidence(id string, conf float64) bool {
+	m, ok := ms.byID[id]
+	if !ok {
+		return false
+	}
+	m.Confidence = conf
+	ms.byID[id] = m
+	return true
+}
+
+// From returns the active mappings whose reformulation direction starts at
+// the given schema: mappings with Source == name, plus the reverses of
+// bidirectional mappings with Target == name.
+func (ms *MappingSet) From(name string) []Mapping {
+	var out []Mapping
+	for _, m := range ms.Active() {
+		if m.Source == name {
+			out = append(out, m)
+		} else if m.Target == name && m.Bidirectional && m.Type == Equivalence {
+			if rev, err := m.Reverse(); err == nil {
+				out = append(out, rev)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Graph builds the directed graph of schemas and active mappings: one node
+// per schema name, one edge per licensed reformulation direction. This is
+// the graph whose connectivity the ci indicator estimates (paper §3.1).
+func (ms *MappingSet) Graph(schemas []string) *graph.Digraph {
+	g := graph.NewDigraph()
+	for _, s := range schemas {
+		g.AddNode(s)
+	}
+	for _, m := range ms.Active() {
+		g.AddEdge(m.Source, m.Target)
+		if m.Bidirectional && m.Type == Equivalence {
+			g.AddEdge(m.Target, m.Source)
+		}
+	}
+	return g
+}
+
+// DegreeOf returns the (in, out) mapping degree of a schema, counting only
+// active mappings — the numbers each schema keeper reports to the domain
+// connectivity registry.
+func (ms *MappingSet) DegreeOf(name string) (in, out int) {
+	for _, m := range ms.Active() {
+		src, tgt := m.Source, m.Target
+		if src == name {
+			out++
+		}
+		if tgt == name {
+			in++
+		}
+		if m.Bidirectional && m.Type == Equivalence {
+			if tgt == name {
+				out++
+			}
+			if src == name {
+				in++
+			}
+		}
+	}
+	return in, out
+}

@@ -1,0 +1,152 @@
+package schema
+
+import (
+	"testing"
+)
+
+func corr(src, tgt string) []Correspondence {
+	return []Correspondence{{SourceAttr: src, TargetAttr: tgt, Confidence: 1}}
+}
+
+func TestMappingSetBasics(t *testing.T) {
+	ms := NewMappingSet()
+	m := NewMapping("A", "B", Equivalence, Manual, corr("x", "y"))
+	ms.Add(m)
+	if ms.Len() != 1 {
+		t.Errorf("Len = %d", ms.Len())
+	}
+	got, ok := ms.Get(m.ID)
+	if !ok || got.Source != "A" {
+		t.Errorf("Get = %+v %v", got, ok)
+	}
+	ms.Remove(m.ID)
+	if ms.Len() != 0 {
+		t.Error("Remove failed")
+	}
+	if _, ok := ms.Get(m.ID); ok {
+		t.Error("Get after remove should fail")
+	}
+}
+
+func TestActiveExcludesDeprecated(t *testing.T) {
+	ms := NewMappingSet()
+	m1 := NewMapping("A", "B", Equivalence, Manual, corr("x", "y"))
+	m2 := NewMapping("B", "C", Equivalence, Manual, corr("y", "z"))
+	ms.Add(m1)
+	ms.Add(m2)
+	ms.SetDeprecated(m1.ID, true)
+	if len(ms.All()) != 2 {
+		t.Errorf("All = %d", len(ms.All()))
+	}
+	active := ms.Active()
+	if len(active) != 1 || active[0].ID != m2.ID {
+		t.Errorf("Active = %v", active)
+	}
+	ms.SetDeprecated(m1.ID, false)
+	if len(ms.Active()) != 2 {
+		t.Error("undeprecate failed")
+	}
+	if ms.SetDeprecated("ghost", true) {
+		t.Error("SetDeprecated on missing ID should return false")
+	}
+}
+
+func TestSetConfidence(t *testing.T) {
+	ms := NewMappingSet()
+	m := NewMapping("A", "B", Equivalence, Automatic, corr("x", "y"))
+	ms.Add(m)
+	if !ms.SetConfidence(m.ID, 0.25) {
+		t.Fatal("SetConfidence failed")
+	}
+	got, _ := ms.Get(m.ID)
+	if got.Confidence != 0.25 {
+		t.Errorf("confidence = %v", got.Confidence)
+	}
+	if ms.SetConfidence("ghost", 0.5) {
+		t.Error("SetConfidence on missing ID should return false")
+	}
+}
+
+func TestFromDirectionality(t *testing.T) {
+	ms := NewMappingSet()
+	uni := NewMapping("A", "B", Equivalence, Manual, corr("x", "y"))
+	bi := NewMapping("C", "A", Equivalence, Manual, corr("w", "v"))
+	bi.Bidirectional = true
+	sub := NewMapping("D", "A", Subsumption, Manual, corr("u", "t"))
+	sub.Bidirectional = true // flag set, but subsumption must not reverse
+	ms.Add(uni)
+	ms.Add(bi)
+	ms.Add(sub)
+
+	from := ms.From("A")
+	// Expected: uni (A→B) and reverse of bi (A→C); not sub.
+	if len(from) != 2 {
+		t.Fatalf("From(A) = %v", from)
+	}
+	targets := map[string]bool{}
+	for _, m := range from {
+		targets[m.Target] = true
+	}
+	if !targets["B"] || !targets["C"] {
+		t.Errorf("targets = %v", targets)
+	}
+}
+
+func TestFromExcludesDeprecated(t *testing.T) {
+	ms := NewMappingSet()
+	m := NewMapping("A", "B", Equivalence, Manual, corr("x", "y"))
+	ms.Add(m)
+	ms.SetDeprecated(m.ID, true)
+	if got := ms.From("A"); len(got) != 0 {
+		t.Errorf("From with deprecated mapping = %v", got)
+	}
+}
+
+func TestGraphConstruction(t *testing.T) {
+	ms := NewMappingSet()
+	ab := NewMapping("A", "B", Equivalence, Manual, corr("x", "y"))
+	bc := NewMapping("B", "C", Equivalence, Manual, corr("y", "z"))
+	bc.Bidirectional = true
+	ms.Add(ab)
+	ms.Add(bc)
+	g := ms.Graph([]string{"A", "B", "C", "D"})
+	if g.NumNodes() != 4 {
+		t.Errorf("nodes = %d", g.NumNodes())
+	}
+	if !g.HasEdge("A", "B") || g.HasEdge("B", "A") {
+		t.Error("unidirectional edge wrong")
+	}
+	if !g.HasEdge("B", "C") || !g.HasEdge("C", "B") {
+		t.Error("bidirectional edge wrong")
+	}
+	if g.OutDegree("D") != 0 || g.InDegree("D") != 0 {
+		t.Error("isolated schema should have no edges")
+	}
+}
+
+func TestDegreeOf(t *testing.T) {
+	ms := NewMappingSet()
+	ab := NewMapping("A", "B", Equivalence, Manual, corr("x", "y"))
+	ca := NewMapping("C", "A", Equivalence, Manual, corr("w", "v"))
+	ca.Bidirectional = true
+	ms.Add(ab)
+	ms.Add(ca)
+	in, out := ms.DegreeOf("A")
+	// A→B (out), C→A (in), plus reverse A→C (out) from bidirectional.
+	if in != 1 || out != 2 {
+		t.Errorf("DegreeOf(A) = in %d out %d, want 1/2", in, out)
+	}
+	in, out = ms.DegreeOf("B")
+	if in != 1 || out != 0 {
+		t.Errorf("DegreeOf(B) = in %d out %d", in, out)
+	}
+	// Degrees must agree with the graph view.
+	g := ms.Graph([]string{"A", "B", "C"})
+	for _, s := range []string{"A", "B", "C"} {
+		gin, gout := g.InDegree(s), g.OutDegree(s)
+		min, mout := ms.DegreeOf(s)
+		if gin != min || gout != mout {
+			t.Errorf("schema %s: graph degrees (%d,%d) vs DegreeOf (%d,%d)", s, gin, gout, min, mout)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewSchema(t *testing.T) {
+	s := NewSchema("EMBL", "protein-sequences", "Organism", "Length", "Accession")
+	if s.Name != "EMBL" || s.Domain != "protein-sequences" {
+		t.Errorf("schema = %+v", s)
+	}
+	// Sorted attributes.
+	if s.Attributes[0] != "Accession" {
+		t.Errorf("attributes not sorted: %v", s.Attributes)
+	}
+	if !s.HasAttribute("Organism") || s.HasAttribute("Ghost") {
+		t.Error("HasAttribute broken")
+	}
+}
+
+func TestPredicateURIRoundtrip(t *testing.T) {
+	s := NewSchema("EMBL", "d", "Organism")
+	uri := s.PredicateURI("Organism")
+	if uri != "EMBL#Organism" {
+		t.Errorf("uri = %q", uri)
+	}
+	name, attr, ok := SplitPredicateURI(uri)
+	if !ok || name != "EMBL" || attr != "Organism" {
+		t.Errorf("split = %q %q %v", name, attr, ok)
+	}
+	if _, _, ok := SplitPredicateURI("nohash"); ok {
+		t.Error("split without # should fail")
+	}
+	// Names containing '#' split at the last one.
+	name, attr, ok = SplitPredicateURI("a#b#c")
+	if !ok || name != "a#b" || attr != "c" {
+		t.Errorf("split = %q %q", name, attr)
+	}
+}
+
+func TestGUID(t *testing.T) {
+	g1 := GUID("0101", "local-res-1")
+	g2 := GUID("0101", "local-res-2")
+	g3 := GUID("0110", "local-res-1")
+	if g1 == g2 || g1 == g3 {
+		t.Error("GUIDs should differ")
+	}
+	if !strings.HasPrefix(g1, "0101:") {
+		t.Errorf("GUID should embed the peer path: %q", g1)
+	}
+	if g1 != GUID("0101", "local-res-1") {
+		t.Error("GUID not deterministic")
+	}
+}
+
+func TestNewMappingConfidence(t *testing.T) {
+	corrs := []Correspondence{
+		{SourceAttr: "Organism", TargetAttr: "SystematicName", Confidence: 0.8},
+		{SourceAttr: "Length", TargetAttr: "SeqLength", Confidence: 0.6},
+	}
+	manual := NewMapping("EMBL", "EMP", Equivalence, Manual, corrs)
+	if manual.Confidence != 1.0 {
+		t.Errorf("manual confidence = %v", manual.Confidence)
+	}
+	auto := NewMapping("EMBL", "EMP", Equivalence, Automatic, corrs)
+	if auto.Confidence != 0.7 {
+		t.Errorf("auto confidence = %v, want 0.7", auto.Confidence)
+	}
+	if auto.ID == "" || manual.ID == "" {
+		t.Error("mapping ID empty")
+	}
+	// Same structure → same ID regardless of origin.
+	if auto.ID != manual.ID {
+		t.Error("ID should depend on structure only")
+	}
+}
+
+func TestTranslateAttr(t *testing.T) {
+	m := NewMapping("A", "B", Equivalence, Manual, []Correspondence{
+		{SourceAttr: "x", TargetAttr: "y", Confidence: 1},
+	})
+	if got, ok := m.TranslateAttr("x"); !ok || got != "y" {
+		t.Errorf("TranslateAttr = %q %v", got, ok)
+	}
+	if _, ok := m.TranslateAttr("z"); ok {
+		t.Error("unknown attr should fail")
+	}
+	if got, ok := m.ReverseTranslateAttr("y"); !ok || got != "x" {
+		t.Errorf("ReverseTranslateAttr = %q %v", got, ok)
+	}
+	if _, ok := m.ReverseTranslateAttr("x"); ok {
+		t.Error("reverse of unknown target attr should fail")
+	}
+}
+
+func TestReverse(t *testing.T) {
+	m := NewMapping("A", "B", Equivalence, Manual, []Correspondence{
+		{SourceAttr: "x", TargetAttr: "y", Confidence: 0.9},
+	})
+	m.Bidirectional = true
+	rev, err := m.Reverse()
+	if err != nil {
+		t.Fatalf("Reverse: %v", err)
+	}
+	if rev.Source != "B" || rev.Target != "A" {
+		t.Errorf("rev = %+v", rev)
+	}
+	if got, ok := rev.TranslateAttr("y"); !ok || got != "x" {
+		t.Errorf("rev translate = %q %v", got, ok)
+	}
+	// Unidirectional or subsumption mappings are not reversible.
+	uni := NewMapping("A", "B", Equivalence, Manual, nil)
+	if _, err := uni.Reverse(); err == nil {
+		t.Error("unidirectional reverse should fail")
+	}
+	sub := NewMapping("A", "B", Subsumption, Manual, nil)
+	sub.Bidirectional = true
+	if _, err := sub.Reverse(); err == nil {
+		t.Error("subsumption reverse should fail")
+	}
+}
+
+func TestCompose(t *testing.T) {
+	ab := NewMapping("A", "B", Equivalence, Manual, []Correspondence{
+		{SourceAttr: "a1", TargetAttr: "b1", Confidence: 0.9},
+		{SourceAttr: "a2", TargetAttr: "b2", Confidence: 0.8},
+	})
+	bc := NewMapping("B", "C", Equivalence, Manual, []Correspondence{
+		{SourceAttr: "b1", TargetAttr: "c1", Confidence: 0.5},
+	})
+	ac, err := ab.Compose(bc)
+	if err != nil {
+		t.Fatalf("Compose: %v", err)
+	}
+	if ac.Source != "A" || ac.Target != "C" {
+		t.Errorf("composed endpoints = %s→%s", ac.Source, ac.Target)
+	}
+	// Only the a1→b1→c1 chain survives.
+	if len(ac.Correspondences) != 1 {
+		t.Fatalf("correspondences = %v", ac.Correspondences)
+	}
+	c := ac.Correspondences[0]
+	if c.SourceAttr != "a1" || c.TargetAttr != "c1" {
+		t.Errorf("chain = %+v", c)
+	}
+	if c.Confidence != 0.45 {
+		t.Errorf("chained confidence = %v, want 0.45", c.Confidence)
+	}
+}
+
+func TestComposeMismatch(t *testing.T) {
+	ab := NewMapping("A", "B", Equivalence, Manual, nil)
+	cd := NewMapping("C", "D", Equivalence, Manual, nil)
+	if _, err := ab.Compose(cd); err == nil {
+		t.Error("composing non-adjacent mappings should fail")
+	}
+}
+
+func TestComposeTypePropagation(t *testing.T) {
+	eq := NewMapping("A", "B", Equivalence, Manual, []Correspondence{{SourceAttr: "x", TargetAttr: "y", Confidence: 1}})
+	sub := NewMapping("B", "C", Subsumption, Manual, []Correspondence{{SourceAttr: "y", TargetAttr: "z", Confidence: 1}})
+	out, err := eq.Compose(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != Subsumption {
+		t.Errorf("eq∘sub type = %v, want subsumption", out.Type)
+	}
+	out2, err := eq.Compose(NewMapping("B", "C", Equivalence, Automatic, []Correspondence{{SourceAttr: "y", TargetAttr: "z", Confidence: 1}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Type != Equivalence {
+		t.Errorf("eq∘eq type = %v", out2.Type)
+	}
+	if out2.Origin != Automatic {
+		t.Errorf("manual∘automatic origin = %v, want automatic", out2.Origin)
+	}
+}
+
+func TestStringMethods(t *testing.T) {
+	if Equivalence.String() != "equivalence" || Subsumption.String() != "subsumption" || MappingType(9).String() != "unknown" {
+		t.Error("MappingType strings")
+	}
+	if Manual.String() != "manual" || Automatic.String() != "automatic" {
+		t.Error("Origin strings")
+	}
+	m := NewMapping("A", "B", Equivalence, Manual, nil)
+	if !strings.Contains(m.String(), "A → B") {
+		t.Errorf("String = %q", m.String())
+	}
+	m.Bidirectional = true
+	m.Deprecated = true
+	s := m.String()
+	if !strings.Contains(s, "↔") || !strings.Contains(s, "[deprecated]") {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,326 @@
+package selforg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gridvine/internal/mediation"
+	"gridvine/internal/pgrid"
+	"gridvine/internal/schema"
+	"gridvine/internal/simnet"
+	"gridvine/internal/triple"
+)
+
+// testSetup builds a network of peers plus an organizer on peers[0].
+func testSetup(t *testing.T, peers int, seed int64) ([]*mediation.Peer, *Organizer) {
+	t.Helper()
+	net := simnet.NewNetwork()
+	ov, err := pgrid.Build(net, pgrid.BuildOptions{
+		Peers:         peers,
+		ReplicaFactor: 2,
+		Rng:           rand.New(rand.NewSource(seed)),
+	})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	ps := make([]*mediation.Peer, 0, peers)
+	for _, n := range ov.Nodes() {
+		ps = append(ps, mediation.NewPeer(n))
+	}
+	org, err := New(ps[0], Config{Domain: "bio", Rng: rand.New(rand.NewSource(seed + 100))})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return ps, org
+}
+
+// seedEntity inserts records about one entity under several schemas: each
+// schema uses its own attribute names but identical values (the shared
+// reference the candidate selection exploits).
+func seedEntity(t *testing.T, p *mediation.Peer, subject string, organism string, length string, schemaAttrs map[string][2]string) {
+	t.Helper()
+	for schemaName, attrs := range schemaAttrs {
+		for _, tr := range []triple.Triple{
+			{Subject: subject, Predicate: schemaName + "#" + attrs[0], Object: organism},
+			{Subject: subject, Predicate: schemaName + "#" + attrs[1], Object: length},
+		} {
+			if _, err := p.InsertTriple(tr); err != nil {
+				t.Fatalf("InsertTriple: %v", err)
+			}
+		}
+	}
+}
+
+func TestNewRequiresRng(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Error("New without Rng should fail")
+	}
+}
+
+func TestRegisterSchemaAndNames(t *testing.T) {
+	ps, org := testSetup(t, 16, 1)
+	_ = ps
+	for _, name := range []string{"EMBL", "EMP", "SWISS"} {
+		if err := org.RegisterSchema(schema.NewSchema(name, "bio", "Organism", "Length")); err != nil {
+			t.Fatalf("RegisterSchema(%s): %v", name, err)
+		}
+	}
+	names, err := org.SchemaNames()
+	if err != nil {
+		t.Fatalf("SchemaNames: %v", err)
+	}
+	if len(names) != 3 || names[0] != "EMBL" || names[1] != "EMP" || names[2] != "SWISS" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestCandidatePairsFromSharedReferences(t *testing.T) {
+	ps, org := testSetup(t, 16, 2)
+	org.RegisterSchema(schema.NewSchema("A", "bio", "Organism", "Length"))
+	org.RegisterSchema(schema.NewSchema("B", "bio", "SystematicName", "SeqLen"))
+	org.RegisterSchema(schema.NewSchema("C", "bio", "Taxon", "Size"))
+
+	// e1, e2 shared between A and B; e3 only between A and C.
+	seedEntity(t, ps[0], "acc:e1", "Aspergillus nidulans", "1422", map[string][2]string{
+		"A": {"Organism", "Length"}, "B": {"SystematicName", "SeqLen"},
+	})
+	seedEntity(t, ps[0], "acc:e2", "Homo sapiens", "2210", map[string][2]string{
+		"A": {"Organism", "Length"}, "B": {"SystematicName", "SeqLen"},
+	})
+	seedEntity(t, ps[0], "acc:e3", "Mus musculus", "980", map[string][2]string{
+		"A": {"Organism", "Length"}, "C": {"Taxon", "Size"},
+	})
+
+	pairs, err := org.CandidatePairs([]string{"acc:e1", "acc:e2", "acc:e3"})
+	if err != nil {
+		t.Fatalf("CandidatePairs: %v", err)
+	}
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	if pairs[0].A != "A" || pairs[0].B != "B" || pairs[0].Shared != 2 {
+		t.Errorf("best pair = %+v", pairs[0])
+	}
+	if pairs[1].A != "A" || pairs[1].B != "C" || pairs[1].Shared != 1 {
+		t.Errorf("second pair = %+v", pairs[1])
+	}
+}
+
+func TestAlignPairFindsCorrespondences(t *testing.T) {
+	ps, org := testSetup(t, 16, 3)
+	org.RegisterSchema(schema.NewSchema("A", "bio", "Organism", "Length"))
+	org.RegisterSchema(schema.NewSchema("B", "bio", "SystematicName", "SeqLen"))
+	subjects := []string{}
+	organisms := []string{"Aspergillus nidulans", "Homo sapiens", "Mus musculus", "Danio rerio"}
+	for i, orgName := range organisms {
+		subj := fmt.Sprintf("acc:p%d", i)
+		subjects = append(subjects, subj)
+		seedEntity(t, ps[0], subj, orgName, fmt.Sprint(900+i*37), map[string][2]string{
+			"A": {"Organism", "Length"}, "B": {"SystematicName", "SeqLen"},
+		})
+	}
+	m, ok, err := org.AlignPair("A", "B", subjects)
+	if err != nil {
+		t.Fatalf("AlignPair: %v", err)
+	}
+	if !ok {
+		t.Fatal("no mapping found")
+	}
+	if m.Origin != schema.Automatic || !m.Bidirectional {
+		t.Errorf("mapping meta = %+v", m)
+	}
+	got := map[string]string{}
+	for _, c := range m.Correspondences {
+		got[c.SourceAttr] = c.TargetAttr
+	}
+	if got["Organism"] != "SystematicName" || got["Length"] != "SeqLen" {
+		t.Errorf("correspondences = %v", got)
+	}
+}
+
+func TestAlignPairInsufficientSupport(t *testing.T) {
+	ps, org := testSetup(t, 16, 4)
+	org.RegisterSchema(schema.NewSchema("A", "bio", "Organism"))
+	org.RegisterSchema(schema.NewSchema("B", "bio", "SystematicName"))
+	// Only one shared subject, below MinSharedSubjects=2.
+	seedEntity(t, ps[0], "acc:only", "Aspergillus", "1", map[string][2]string{
+		"A": {"Organism", "Organism"}, "B": {"SystematicName", "SystematicName"},
+	})
+	_, ok, err := org.AlignPair("A", "B", []string{"acc:only"})
+	if err != nil {
+		t.Fatalf("AlignPair: %v", err)
+	}
+	if ok {
+		t.Error("mapping created from a single shared instance")
+	}
+}
+
+func TestRoundCreatesMappingsAndConnects(t *testing.T) {
+	ps, org := testSetup(t, 24, 5)
+	schemas := map[string][2]string{
+		"S0": {"Organism", "Length"},
+		"S1": {"SystematicName", "SeqLen"},
+		"S2": {"Taxon", "MolSize"},
+	}
+	for name, attrs := range schemas {
+		org.RegisterSchema(schema.NewSchema(name, "bio", attrs[0], attrs[1]))
+	}
+	var subjects []string
+	organisms := []string{"Aspergillus nidulans", "Homo sapiens", "Mus musculus", "Danio rerio", "Rattus norvegicus"}
+	for i, orgName := range organisms {
+		subj := fmt.Sprintf("acc:x%d", i)
+		subjects = append(subjects, subj)
+		all := map[string][2]string{}
+		for n, a := range schemas {
+			all[n] = a
+		}
+		seedEntity(t, ps[0], subj, orgName, fmt.Sprint(1000+i*13), all)
+	}
+
+	report, err := org.Round(subjects)
+	if err != nil {
+		t.Fatalf("Round: %v", err)
+	}
+	if report.CIBefore >= 0 && report.Schemas > 1 {
+		t.Logf("warning: CIBefore = %v with no mappings", report.CIBefore)
+	}
+	if len(report.Created) == 0 {
+		t.Fatal("no mappings created")
+	}
+	// After enough rounds, the indicator must reach the target and queries
+	// must reformulate across all three schemas.
+	reports, err := org.RunUntilConnected(subjects, 6)
+	if err != nil {
+		t.Fatalf("RunUntilConnected: %v", err)
+	}
+	final := reports[len(reports)-1]
+	if final.CIAfter < 0 {
+		t.Errorf("final ci = %v, want ≥ 0", final.CIAfter)
+	}
+	q := triple.Pattern{S: triple.Var("x"), P: triple.Const("S0#Organism"), O: triple.Const("Homo sapiens")}
+	rs, err := ps[3].SearchWithReformulation(q, mediation.SearchOptions{})
+	if err != nil {
+		t.Fatalf("search: %v", err)
+	}
+	// The entity should be found under all three schemas (same subject).
+	schemasSeen := map[string]bool{}
+	for _, r := range rs.Results {
+		if name, _, ok := schema.SplitPredicateURI(r.Triple.Predicate); ok {
+			schemasSeen[name] = true
+		}
+	}
+	if len(schemasSeen) != 3 {
+		t.Errorf("reformulation reached %v, want all 3 schemas", schemasSeen)
+	}
+}
+
+func TestRoundSkipsConnectedNetwork(t *testing.T) {
+	ps, org := testSetup(t, 16, 6)
+	org.RegisterSchema(schema.NewSchema("A", "bio", "x"))
+	org.RegisterSchema(schema.NewSchema("B", "bio", "y"))
+	// Manually connect A and B bidirectionally: 2-schema graph with a
+	// bidirectional mapping has each node at (in,out)=(1,1) ⇒ ci = 0.
+	m := schema.NewMapping("A", "B", schema.Equivalence, schema.Manual, []schema.Correspondence{
+		{SourceAttr: "x", TargetAttr: "y", Confidence: 1},
+	})
+	m.Bidirectional = true
+	ps[0].InsertMapping(m)
+	ms, _ := org.GatherMappings()
+	org.RefreshDegrees(ms)
+
+	report, err := org.Round(nil)
+	if err != nil {
+		t.Fatalf("Round: %v", err)
+	}
+	if report.CIBefore < 0 {
+		t.Errorf("ci = %v, want ≥ 0", report.CIBefore)
+	}
+	if len(report.Created) != 0 {
+		t.Errorf("connected network should not trigger creation: %v", report.Created)
+	}
+}
+
+func TestRoundDeprecatesPlantedBadMapping(t *testing.T) {
+	ps, org := testSetup(t, 24, 7)
+	for _, name := range []string{"A", "B", "C", "D"} {
+		org.RegisterSchema(schema.NewSchema(name, "bio", "x", "y", "z"))
+	}
+	ident := func(src, tgt string) schema.Mapping {
+		return schema.NewMapping(src, tgt, schema.Equivalence, schema.Automatic, []schema.Correspondence{
+			{SourceAttr: "x", TargetAttr: "x", Confidence: 0.8},
+			{SourceAttr: "y", TargetAttr: "y", Confidence: 0.8},
+			{SourceAttr: "z", TargetAttr: "z", Confidence: 0.8},
+		})
+	}
+	for _, m := range []schema.Mapping{ident("A", "B"), ident("B", "C"), ident("C", "A"), ident("C", "D"), ident("D", "A")} {
+		ps[0].InsertMapping(m)
+	}
+	bad := schema.NewMapping("B", "D", schema.Equivalence, schema.Automatic, []schema.Correspondence{
+		{SourceAttr: "x", TargetAttr: "y", Confidence: 0.8},
+		{SourceAttr: "y", TargetAttr: "z", Confidence: 0.8},
+		{SourceAttr: "z", TargetAttr: "x", Confidence: 0.8},
+	})
+	ps[0].InsertMapping(bad)
+	ms, _ := org.GatherMappings()
+	org.RefreshDegrees(ms)
+
+	report, err := org.Round(nil)
+	if err != nil {
+		t.Fatalf("Round: %v", err)
+	}
+	found := false
+	for _, id := range report.Deprecated {
+		if id == bad.ID {
+			found = true
+		} else {
+			t.Errorf("good mapping %s deprecated", id)
+		}
+	}
+	if !found {
+		t.Errorf("bad mapping not deprecated (deprecated = %v, evidence = %d)", report.Deprecated, report.Evidence)
+	}
+	// The deprecation must be visible network-wide.
+	mappings, _, err := ps[5].MappingsFrom("B")
+	if err != nil {
+		t.Fatalf("MappingsFrom: %v", err)
+	}
+	for _, m := range mappings {
+		if m.ID == bad.ID {
+			t.Error("deprecated mapping still served for reformulation")
+		}
+	}
+}
+
+func TestDeprecatedMappingNotRecreated(t *testing.T) {
+	// After deprecation, the same (wrong) alignment must not come back in
+	// the next round: the organizer checks the rejected set.
+	ps, org := testSetup(t, 16, 8)
+	org.RegisterSchema(schema.NewSchema("A", "bio", "Name"))
+	org.RegisterSchema(schema.NewSchema("B", "bio", "Name"))
+	// Shared instances whose "Name" attributes hold identical values, so
+	// AlignPair would produce exactly the same mapping again.
+	for i := 0; i < 4; i++ {
+		subj := fmt.Sprintf("acc:r%d", i)
+		ps[0].InsertTriple(triple.Triple{Subject: subj, Predicate: "A#Name", Object: fmt.Sprintf("val%d", i)})
+		ps[0].InsertTriple(triple.Triple{Subject: subj, Predicate: "B#Name", Object: fmt.Sprintf("val%d", i)})
+	}
+	subjects := []string{"acc:r0", "acc:r1", "acc:r2", "acc:r3"}
+	m, ok, err := org.AlignPair("A", "B", subjects)
+	if err != nil || !ok {
+		t.Fatalf("AlignPair: %v %v", ok, err)
+	}
+	dep := m
+	dep.Deprecated = true
+	ps[0].InsertMapping(dep)
+
+	report, err := org.Round(subjects)
+	if err != nil {
+		t.Fatalf("Round: %v", err)
+	}
+	for _, created := range report.Created {
+		if created.ID == m.ID {
+			t.Error("previously deprecated mapping recreated")
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package simnet
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// LatencyModel samples per-message network delays. Models must be
+// deterministic given the rng they are handed.
+type LatencyModel interface {
+	// Sample returns the one-way delay for a single message.
+	Sample(rng *rand.Rand) time.Duration
+}
+
+// ConstantLatency returns the same delay for every message.
+type ConstantLatency struct{ D time.Duration }
+
+// Sample implements LatencyModel.
+func (c ConstantLatency) Sample(*rand.Rand) time.Duration { return c.D }
+
+// UniformLatency samples uniformly from [Min, Max].
+type UniformLatency struct{ Min, Max time.Duration }
+
+// Sample implements LatencyModel.
+func (u UniformLatency) Sample(rng *rand.Rand) time.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + time.Duration(rng.Int63n(int64(u.Max-u.Min)))
+}
+
+// LogNormalLatency models wide-area message delays with a heavy tail, the
+// behaviour observed on the PlanetLab-style deployment of the paper: most
+// messages are fast, a minority are very slow. Median is the 50th-percentile
+// delay; Sigma is the shape parameter of the underlying normal (≈1.0 for
+// WAN-like spread).
+type LogNormalLatency struct {
+	Median time.Duration
+	Sigma  float64
+}
+
+// Sample implements LatencyModel.
+func (l LogNormalLatency) Sample(rng *rand.Rand) time.Duration {
+	mu := math.Log(float64(l.Median))
+	x := math.Exp(mu + l.Sigma*rng.NormFloat64())
+	if x < 0 {
+		x = 0
+	}
+	return time.Duration(x)
+}
+
+// ExponentialLatency samples exponentially with the given mean; used for
+// per-peer service (processing) times in the deployment simulation.
+type ExponentialLatency struct{ Mean time.Duration }
+
+// Sample implements LatencyModel.
+func (e ExponentialLatency) Sample(rng *rand.Rand) time.Duration {
+	return time.Duration(rng.ExpFloat64() * float64(e.Mean))
+}
+
+// MixtureLatency draws from Slow with probability SlowProb and from Fast
+// otherwise. It models the bimodal delays of shared wide-area testbeds
+// (PlanetLab-style deployments, as in the paper's §2.3 measurement): most
+// messages traverse healthy paths quickly while a fraction hits overloaded
+// nodes and takes orders of magnitude longer.
+type MixtureLatency struct {
+	Fast     LatencyModel
+	Slow     LatencyModel
+	SlowProb float64
+}
+
+// Sample implements LatencyModel.
+func (m MixtureLatency) Sample(rng *rand.Rand) time.Duration {
+	if rng.Float64() < m.SlowProb {
+		return m.Slow.Sample(rng)
+	}
+	return m.Fast.Sample(rng)
+}

@@ -1,0 +1,220 @@
+// Package simnet provides the message substrate the GridVine layers run on:
+// a Transport abstraction with a deterministic in-memory implementation,
+// per-message tracing and statistics, failure injection, and the latency
+// models used by the discrete-event simulator to reproduce the paper's
+// deployment measurements (§2.3).
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// PeerID identifies a logical peer on a transport.
+type PeerID string
+
+// Message is a request or response exchanged between peers. Type routes the
+// message to the right handler logic; Payload carries an operation-specific
+// body. Payload values must be gob-encodable when used over the TCP
+// transport (concrete types are registered by their owning packages).
+type Message struct {
+	Type    string
+	Payload any
+}
+
+// Handler processes an incoming request and produces a response.
+// Implementations must be safe for concurrent use when the transport
+// delivers concurrently (the in-memory transport delivers synchronously on
+// the caller's goroutine; the TCP transport delivers on server goroutines).
+type Handler interface {
+	HandleMessage(from PeerID, msg Message) (Message, error)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(from PeerID, msg Message) (Message, error)
+
+// HandleMessage calls f.
+func (f HandlerFunc) HandleMessage(from PeerID, msg Message) (Message, error) {
+	return f(from, msg)
+}
+
+// Transport delivers request/response messages between peers.
+type Transport interface {
+	// Send delivers msg from→to and returns the response. It returns
+	// ErrUnreachable if the destination is unknown, failed, or the message
+	// was dropped by failure injection.
+	Send(from, to PeerID, msg Message) (Message, error)
+}
+
+// Registrar is a Transport that can also host peers: overlay builders use
+// it to attach node handlers. The in-memory Network and the TCP transport
+// both implement it.
+type Registrar interface {
+	Transport
+	Register(id PeerID, h Handler)
+}
+
+// ErrUnreachable reports that a destination peer could not be contacted.
+var ErrUnreachable = errors.New("simnet: peer unreachable")
+
+// TraceEntry records one delivered (or dropped) message for analysis. The
+// discrete-event simulator replays these to attach latencies, and the
+// experiment harness counts them to report per-operation message costs.
+type TraceEntry struct {
+	From    PeerID
+	To      PeerID
+	Type    string
+	Dropped bool
+}
+
+// Stats aggregates transport activity. All counters are monotone.
+type Stats struct {
+	Messages int // requests attempted (including dropped)
+	Dropped  int // requests lost to failure injection or dead peers
+}
+
+// Network is the deterministic in-memory Transport: messages are delivered
+// by direct handler invocation on the caller's goroutine, so tests and
+// experiments are reproducible. It supports peer failure and message-drop
+// injection, and records traces when tracing is enabled.
+type Network struct {
+	mu       sync.Mutex
+	handlers map[PeerID]Handler
+	failed   map[PeerID]bool
+	dropNext int // number of upcoming messages to drop (failure injection)
+	stats    Stats
+	tracing  bool
+	trace    []TraceEntry
+}
+
+// NewNetwork returns an empty in-memory network.
+func NewNetwork() *Network {
+	return &Network{
+		handlers: make(map[PeerID]Handler),
+		failed:   make(map[PeerID]bool),
+	}
+}
+
+// Register attaches a handler for a peer. Re-registering replaces the
+// handler (used when a peer rejoins after a failure).
+func (n *Network) Register(id PeerID, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handlers[id] = h
+}
+
+// Deregister removes a peer entirely.
+func (n *Network) Deregister(id PeerID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.handlers, id)
+	delete(n.failed, id)
+}
+
+// Fail marks a peer as crashed: requests to it return ErrUnreachable until
+// Recover is called. The handler is retained.
+func (n *Network) Fail(id PeerID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.failed[id] = true
+}
+
+// Recover clears the failed mark on a peer.
+func (n *Network) Recover(id PeerID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.failed, id)
+}
+
+// Failed reports whether the peer is currently marked crashed.
+func (n *Network) Failed(id PeerID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.failed[id]
+}
+
+// DropNext arranges for the next k requests to be dropped (each costs a
+// message but returns ErrUnreachable), simulating transient loss.
+func (n *Network) DropNext(k int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dropNext = k
+}
+
+// SetTracing enables or disables trace recording; enabling resets the trace.
+func (n *Network) SetTracing(on bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.tracing = on
+	n.trace = nil
+}
+
+// Trace returns a copy of the recorded trace.
+func (n *Network) Trace() []TraceEntry {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]TraceEntry, len(n.trace))
+	copy(out, n.trace)
+	return out
+}
+
+// ResetTrace clears the recorded trace, keeping tracing enabled/disabled.
+func (n *Network) ResetTrace() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.trace = nil
+}
+
+// Stats returns a snapshot of the counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// ResetStats zeroes the counters.
+func (n *Network) ResetStats() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats = Stats{}
+}
+
+// Peers returns the identifiers of all registered peers (failed included).
+func (n *Network) Peers() []PeerID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]PeerID, 0, len(n.handlers))
+	for id := range n.handlers {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Send implements Transport.
+func (n *Network) Send(from, to PeerID, msg Message) (Message, error) {
+	n.mu.Lock()
+	n.stats.Messages++
+	h, ok := n.handlers[to]
+	dead := n.failed[to]
+	drop := false
+	if n.dropNext > 0 {
+		n.dropNext--
+		drop = true
+	}
+	failed := !ok || dead || drop
+	if failed {
+		n.stats.Dropped++
+	}
+	if n.tracing {
+		n.trace = append(n.trace, TraceEntry{From: from, To: to, Type: msg.Type, Dropped: failed})
+	}
+	n.mu.Unlock()
+
+	if failed {
+		return Message{}, fmt.Errorf("%w: %s", ErrUnreachable, to)
+	}
+	return h.HandleMessage(from, msg)
+}
+
+var _ Transport = (*Network)(nil)

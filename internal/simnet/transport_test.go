@@ -1,0 +1,218 @@
+package simnet
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func echoHandler(id PeerID) Handler {
+	return HandlerFunc(func(from PeerID, msg Message) (Message, error) {
+		return Message{Type: "echo", Payload: msg.Payload}, nil
+	})
+}
+
+func TestSendAndReceive(t *testing.T) {
+	n := NewNetwork()
+	n.Register("b", echoHandler("b"))
+	resp, err := n.Send("a", "b", Message{Type: "ping", Payload: 42})
+	if err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if resp.Payload != 42 {
+		t.Errorf("payload = %v", resp.Payload)
+	}
+	if s := n.Stats(); s.Messages != 1 || s.Dropped != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestSendToUnknownPeer(t *testing.T) {
+	n := NewNetwork()
+	_, err := n.Send("a", "ghost", Message{Type: "ping"})
+	if !errors.Is(err, ErrUnreachable) {
+		t.Errorf("err = %v, want ErrUnreachable", err)
+	}
+	if s := n.Stats(); s.Dropped != 1 {
+		t.Errorf("dropped = %d, want 1", s.Dropped)
+	}
+}
+
+func TestFailAndRecover(t *testing.T) {
+	n := NewNetwork()
+	n.Register("b", echoHandler("b"))
+	n.Fail("b")
+	if !n.Failed("b") {
+		t.Error("b should be failed")
+	}
+	if _, err := n.Send("a", "b", Message{Type: "ping"}); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("send to failed peer: %v", err)
+	}
+	n.Recover("b")
+	if n.Failed("b") {
+		t.Error("b should have recovered")
+	}
+	if _, err := n.Send("a", "b", Message{Type: "ping"}); err != nil {
+		t.Errorf("send after recover: %v", err)
+	}
+}
+
+func TestDeregister(t *testing.T) {
+	n := NewNetwork()
+	n.Register("b", echoHandler("b"))
+	n.Deregister("b")
+	if _, err := n.Send("a", "b", Message{}); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("send after deregister: %v", err)
+	}
+}
+
+func TestDropNext(t *testing.T) {
+	n := NewNetwork()
+	n.Register("b", echoHandler("b"))
+	n.DropNext(2)
+	for i := 0; i < 2; i++ {
+		if _, err := n.Send("a", "b", Message{}); !errors.Is(err, ErrUnreachable) {
+			t.Fatalf("message %d should have been dropped", i)
+		}
+	}
+	if _, err := n.Send("a", "b", Message{}); err != nil {
+		t.Errorf("third message should pass: %v", err)
+	}
+}
+
+func TestTracing(t *testing.T) {
+	n := NewNetwork()
+	n.Register("b", echoHandler("b"))
+	n.SetTracing(true)
+	n.Send("a", "b", Message{Type: "t1"})
+	n.Send("a", "ghost", Message{Type: "t2"})
+	tr := n.Trace()
+	if len(tr) != 2 {
+		t.Fatalf("trace length = %d", len(tr))
+	}
+	if tr[0].Type != "t1" || tr[0].Dropped {
+		t.Errorf("trace[0] = %+v", tr[0])
+	}
+	if tr[1].Type != "t2" || !tr[1].Dropped {
+		t.Errorf("trace[1] = %+v", tr[1])
+	}
+	n.ResetTrace()
+	if len(n.Trace()) != 0 {
+		t.Error("ResetTrace did not clear")
+	}
+	n.SetTracing(false)
+	n.Send("a", "b", Message{Type: "t3"})
+	if len(n.Trace()) != 0 {
+		t.Error("tracing disabled but trace recorded")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	n := NewNetwork()
+	n.Register("b", echoHandler("b"))
+	n.Send("a", "b", Message{})
+	n.ResetStats()
+	if s := n.Stats(); s.Messages != 0 {
+		t.Errorf("stats after reset = %+v", s)
+	}
+}
+
+func TestPeers(t *testing.T) {
+	n := NewNetwork()
+	n.Register("x", echoHandler("x"))
+	n.Register("y", echoHandler("y"))
+	ids := n.Peers()
+	strs := make([]string, len(ids))
+	for i, id := range ids {
+		strs[i] = string(id)
+	}
+	sort.Strings(strs)
+	if len(strs) != 2 || strs[0] != "x" || strs[1] != "y" {
+		t.Errorf("Peers = %v", strs)
+	}
+}
+
+func TestHandlerError(t *testing.T) {
+	n := NewNetwork()
+	wantErr := errors.New("boom")
+	n.Register("b", HandlerFunc(func(PeerID, Message) (Message, error) {
+		return Message{}, wantErr
+	}))
+	if _, err := n.Send("a", "b", Message{}); !errors.Is(err, wantErr) {
+		t.Errorf("err = %v, want boom", err)
+	}
+}
+
+func TestConstantLatency(t *testing.T) {
+	m := ConstantLatency{D: 5 * time.Millisecond}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		if d := m.Sample(rng); d != 5*time.Millisecond {
+			t.Fatalf("sample = %v", d)
+		}
+	}
+}
+
+func TestUniformLatency(t *testing.T) {
+	m := UniformLatency{Min: time.Millisecond, Max: 10 * time.Millisecond}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		d := m.Sample(rng)
+		if d < m.Min || d > m.Max {
+			t.Fatalf("sample %v outside [%v,%v]", d, m.Min, m.Max)
+		}
+	}
+	degenerate := UniformLatency{Min: 3 * time.Millisecond, Max: 3 * time.Millisecond}
+	if d := degenerate.Sample(rng); d != 3*time.Millisecond {
+		t.Errorf("degenerate sample = %v", d)
+	}
+}
+
+func TestLogNormalLatencyMedian(t *testing.T) {
+	m := LogNormalLatency{Median: 100 * time.Millisecond, Sigma: 1.0}
+	rng := rand.New(rand.NewSource(42))
+	samples := make([]time.Duration, 20001)
+	for i := range samples {
+		samples[i] = m.Sample(rng)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	med := samples[len(samples)/2]
+	// Median of a log-normal is exp(mu); allow 10% sampling error.
+	lo, hi := 90*time.Millisecond, 110*time.Millisecond
+	if med < lo || med > hi {
+		t.Errorf("empirical median %v outside [%v,%v]", med, lo, hi)
+	}
+}
+
+func TestLogNormalHeavyTail(t *testing.T) {
+	m := LogNormalLatency{Median: 100 * time.Millisecond, Sigma: 1.0}
+	rng := rand.New(rand.NewSource(7))
+	over1s := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if m.Sample(rng) > time.Second {
+			over1s++
+		}
+	}
+	// P(X > 10×median) = P(Z > ln10) ≈ 1.07% for sigma=1.
+	frac := float64(over1s) / n
+	if frac < 0.003 || frac > 0.03 {
+		t.Errorf("tail fraction = %v, want ≈0.01", frac)
+	}
+}
+
+func TestExponentialLatencyMean(t *testing.T) {
+	m := ExponentialLatency{Mean: 15 * time.Millisecond}
+	rng := rand.New(rand.NewSource(3))
+	var sum time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += m.Sample(rng)
+	}
+	mean := sum / n
+	if mean < 14*time.Millisecond || mean > 16*time.Millisecond {
+		t.Errorf("empirical mean %v, want ≈15ms", mean)
+	}
+}

@@ -1,0 +1,203 @@
+// Package tcpnet provides a real-network Transport for GridVine peers:
+// each registered peer listens on a local TCP socket and messages are
+// exchanged as gob-encoded request/response frames. It implements
+// simnet.Registrar, so the overlay builders work unchanged over TCP — the
+// configuration used by the multi-process-style integration tests and the
+// gridvine CLI's --tcp mode.
+package tcpnet
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"gridvine/internal/simnet"
+)
+
+// request is the wire frame for one call.
+type request struct {
+	From simnet.PeerID
+	Msg  simnet.Message
+}
+
+// response is the wire frame for one reply.
+type response struct {
+	Msg simnet.Message
+	Err string
+}
+
+// Transport hosts peers on TCP sockets and dials peers by their registered
+// addresses. The zero value is not usable; call NewTransport.
+type Transport struct {
+	mu      sync.RWMutex
+	addrs   map[simnet.PeerID]string
+	servers map[simnet.PeerID]*server
+	closed  bool
+
+	// stats
+	messages int
+	dropped  int
+}
+
+type server struct {
+	ln      net.Listener
+	handler simnet.Handler
+	wg      sync.WaitGroup
+}
+
+// NewTransport returns an empty TCP transport.
+func NewTransport() *Transport {
+	return &Transport{
+		addrs:   make(map[simnet.PeerID]string),
+		servers: make(map[simnet.PeerID]*server),
+	}
+}
+
+// Register starts a TCP listener for the peer on an ephemeral localhost
+// port and serves its handler until Close. Registering the same id again
+// replaces the previous server. Implements simnet.Registrar.
+func (t *Transport) Register(id simnet.PeerID, h simnet.Handler) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		// Local listen can only fail on resource exhaustion; surface loudly.
+		panic(fmt.Sprintf("tcpnet: listen for %s: %v", id, err))
+	}
+	srv := &server{ln: ln, handler: h}
+	t.mu.Lock()
+	if old, ok := t.servers[id]; ok {
+		old.ln.Close()
+	}
+	t.servers[id] = srv
+	t.addrs[id] = ln.Addr().String()
+	t.mu.Unlock()
+
+	srv.wg.Add(1)
+	go srv.serve(id)
+}
+
+func (s *server) serve(id simnet.PeerID) {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go s.handleConn(conn)
+	}
+}
+
+func (s *server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return // connection closed or corrupt
+		}
+		msg, err := s.handler.HandleMessage(req.From, req.Msg)
+		resp := response{Msg: msg}
+		if err != nil {
+			resp.Err = err.Error()
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// Addr returns the peer's listen address, or "" if unknown.
+func (t *Transport) Addr(id simnet.PeerID) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.addrs[id]
+}
+
+// AddPeer records a remote peer's address without hosting it locally —
+// used when peers are spread across processes.
+func (t *Transport) AddPeer(id simnet.PeerID, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addrs[id] = addr
+}
+
+// Send implements simnet.Transport: it dials the destination, performs one
+// request/response exchange and closes the connection. Connection failures
+// surface as simnet.ErrUnreachable so the overlay's failure handling works
+// identically over TCP.
+func (t *Transport) Send(from, to simnet.PeerID, msg simnet.Message) (simnet.Message, error) {
+	t.mu.Lock()
+	t.messages++
+	addr, ok := t.addrs[to]
+	closed := t.closed
+	if !ok || closed {
+		t.dropped++
+	}
+	t.mu.Unlock()
+	if !ok {
+		return simnet.Message{}, fmt.Errorf("%w: %s (no address)", simnet.ErrUnreachable, to)
+	}
+	if closed {
+		return simnet.Message{}, fmt.Errorf("%w: transport closed", simnet.ErrUnreachable)
+	}
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.mu.Lock()
+		t.dropped++
+		t.mu.Unlock()
+		return simnet.Message{}, fmt.Errorf("%w: %s: %v", simnet.ErrUnreachable, to, err)
+	}
+	defer conn.Close()
+
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(request{From: from, Msg: msg}); err != nil {
+		return simnet.Message{}, fmt.Errorf("%w: encoding to %s: %v", simnet.ErrUnreachable, to, err)
+	}
+	var resp response
+	if err := dec.Decode(&resp); err != nil {
+		return simnet.Message{}, fmt.Errorf("%w: decoding from %s: %v", simnet.ErrUnreachable, to, err)
+	}
+	if resp.Err != "" {
+		return simnet.Message{}, errors.New(resp.Err)
+	}
+	return resp.Msg, nil
+}
+
+// Fail closes a peer's listener, simulating a crash (the address stays
+// registered so dials fail with connection errors).
+func (t *Transport) Fail(id simnet.PeerID) {
+	t.mu.Lock()
+	srv, ok := t.servers[id]
+	t.mu.Unlock()
+	if ok {
+		srv.ln.Close()
+	}
+}
+
+// Stats reports (attempted, dropped) message counts.
+func (t *Transport) Stats() (messages, dropped int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.messages, t.dropped
+}
+
+// Close shuts down every hosted listener.
+func (t *Transport) Close() {
+	t.mu.Lock()
+	t.closed = true
+	servers := make([]*server, 0, len(t.servers))
+	for _, s := range t.servers {
+		servers = append(servers, s)
+	}
+	t.mu.Unlock()
+	for _, s := range servers {
+		s.ln.Close()
+		s.wg.Wait()
+	}
+}
+
+var _ simnet.Registrar = (*Transport)(nil)

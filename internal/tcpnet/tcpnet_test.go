@@ -1,0 +1,195 @@
+package tcpnet
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"gridvine/internal/keyspace"
+	"gridvine/internal/mediation"
+	"gridvine/internal/pgrid"
+	"gridvine/internal/schema"
+	"gridvine/internal/simnet"
+	"gridvine/internal/triple"
+)
+
+func TestSendReceiveRoundtrip(t *testing.T) {
+	tr := NewTransport()
+	defer tr.Close()
+	tr.Register("echo", simnet.HandlerFunc(func(from simnet.PeerID, msg simnet.Message) (simnet.Message, error) {
+		return simnet.Message{Type: "re:" + msg.Type, Payload: msg.Payload}, nil
+	}))
+	resp, err := tr.Send("client", "echo", simnet.Message{Type: "ping", Payload: "hello"})
+	if err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if resp.Type != "re:ping" || resp.Payload != "hello" {
+		t.Errorf("resp = %+v", resp)
+	}
+}
+
+func TestSendToUnknownPeer(t *testing.T) {
+	tr := NewTransport()
+	defer tr.Close()
+	_, err := tr.Send("a", "ghost", simnet.Message{Type: "x"})
+	if !errors.Is(err, simnet.ErrUnreachable) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestHandlerErrorPropagates(t *testing.T) {
+	tr := NewTransport()
+	defer tr.Close()
+	tr.Register("failing", simnet.HandlerFunc(func(simnet.PeerID, simnet.Message) (simnet.Message, error) {
+		return simnet.Message{}, errors.New("handler exploded")
+	}))
+	_, err := tr.Send("a", "failing", simnet.Message{Type: "x"})
+	if err == nil || err.Error() != "handler exploded" {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestFailSimulatesCrash(t *testing.T) {
+	tr := NewTransport()
+	defer tr.Close()
+	tr.Register("victim", simnet.HandlerFunc(func(simnet.PeerID, simnet.Message) (simnet.Message, error) {
+		return simnet.Message{Type: "ok"}, nil
+	}))
+	if _, err := tr.Send("a", "victim", simnet.Message{Type: "x"}); err != nil {
+		t.Fatalf("pre-crash send: %v", err)
+	}
+	tr.Fail("victim")
+	if _, err := tr.Send("a", "victim", simnet.Message{Type: "x"}); !errors.Is(err, simnet.ErrUnreachable) {
+		t.Errorf("post-crash err = %v", err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	tr := NewTransport()
+	defer tr.Close()
+	tr.Register("p", simnet.HandlerFunc(func(simnet.PeerID, simnet.Message) (simnet.Message, error) {
+		return simnet.Message{}, nil
+	}))
+	tr.Send("a", "p", simnet.Message{})
+	tr.Send("a", "ghost", simnet.Message{})
+	msgs, dropped := tr.Stats()
+	if msgs != 2 || dropped != 1 {
+		t.Errorf("stats = %d/%d", msgs, dropped)
+	}
+}
+
+func TestSendAfterClose(t *testing.T) {
+	tr := NewTransport()
+	tr.Register("p", simnet.HandlerFunc(func(simnet.PeerID, simnet.Message) (simnet.Message, error) {
+		return simnet.Message{}, nil
+	}))
+	tr.Close()
+	if _, err := tr.Send("a", "p", simnet.Message{}); !errors.Is(err, simnet.ErrUnreachable) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAddPeerExternalAddress(t *testing.T) {
+	// Two transports = two "processes": B hosts, A knows B's address.
+	host := NewTransport()
+	defer host.Close()
+	host.Register("remote", simnet.HandlerFunc(func(simnet.PeerID, simnet.Message) (simnet.Message, error) {
+		return simnet.Message{Type: "from-remote"}, nil
+	}))
+	client := NewTransport()
+	defer client.Close()
+	client.AddPeer("remote", host.Addr("remote"))
+	resp, err := client.Send("local", "remote", simnet.Message{Type: "x"})
+	if err != nil {
+		t.Fatalf("cross-transport send: %v", err)
+	}
+	if resp.Type != "from-remote" {
+		t.Errorf("resp = %+v", resp)
+	}
+}
+
+// TestOverlayOverTCP runs a full P-Grid overlay over real TCP sockets:
+// build, update, retrieve, from several issuers.
+func TestOverlayOverTCP(t *testing.T) {
+	tr := NewTransport()
+	defer tr.Close()
+	ov, err := pgrid.Build(tr, pgrid.BuildOptions{
+		Peers:         8,
+		ReplicaFactor: 2,
+		Rng:           rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		t.Fatalf("Build over TCP: %v", err)
+	}
+	key := keyspace.HashDefault("tcp-item")
+	if _, err := ov.Nodes()[0].Update(key, "tcp-value"); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	for _, issuer := range ov.Nodes()[:4] {
+		values, route, err := issuer.Retrieve(key)
+		if err != nil {
+			t.Fatalf("Retrieve from %s: %v", issuer.ID(), err)
+		}
+		if len(values) != 1 || values[0] != "tcp-value" {
+			t.Errorf("values = %v (route %+v)", values, route)
+		}
+	}
+}
+
+// TestMediationOverTCP exercises the full mediation stack — triples,
+// schemas, mappings, reformulation — across TCP, proving all payloads are
+// gob-clean.
+func TestMediationOverTCP(t *testing.T) {
+	tr := NewTransport()
+	defer tr.Close()
+	ov, err := pgrid.Build(tr, pgrid.BuildOptions{
+		Peers:         8,
+		ReplicaFactor: 2,
+		Rng:           rand.New(rand.NewSource(2)),
+	})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	peers := make([]*mediation.Peer, 0, 8)
+	for _, n := range ov.Nodes() {
+		peers = append(peers, mediation.NewPeer(n))
+	}
+
+	peers[0].InsertTriple(triple.Triple{Subject: "EMBL:A78712", Predicate: "EMBL#Organism", Object: "Aspergillus nidulans"})
+	peers[0].InsertTriple(triple.Triple{Subject: "NEN94295-05", Predicate: "EMP#SystematicName", Object: "Aspergillus flavus"})
+	peers[0].InsertSchema(schema.NewSchema("EMBL", "bio", "Organism"))
+	peers[0].InsertSchema(schema.NewSchema("EMP", "bio", "SystematicName"))
+	m := schema.NewMapping("EMBL", "EMP", schema.Equivalence, schema.Manual, []schema.Correspondence{
+		{SourceAttr: "Organism", TargetAttr: "SystematicName", Confidence: 1},
+	})
+	m.Bidirectional = true
+	peers[0].InsertMapping(m)
+
+	for _, mode := range []mediation.Mode{mediation.Iterative, mediation.Recursive} {
+		q := triple.Pattern{S: triple.Var("x"), P: triple.Const("EMBL#Organism"), O: triple.LikeTerm("%Aspergillus%")}
+		rs, err := peers[5].SearchWithReformulation(q, mediation.SearchOptions{Mode: mode})
+		if err != nil {
+			t.Fatalf("[%v] search over TCP: %v", mode, err)
+		}
+		if len(rs.Results) != 2 {
+			t.Errorf("[%v] results = %d, want 2 (both schemas)", mode, len(rs.Results))
+		}
+	}
+
+	// Schema lookup over TCP.
+	s, err := peers[3].LookupSchema("EMBL")
+	if err != nil || s.Name != "EMBL" {
+		t.Errorf("LookupSchema = %+v err=%v", s, err)
+	}
+
+	// Domain registry over TCP.
+	peers[1].ReportDomainDegree("bio", "EMBL", 1, 1)
+	peers[1].ReportDomainDegree("bio", "EMP", 1, 1)
+	report, err := peers[6].DomainConnectivity("bio")
+	if err != nil {
+		t.Fatalf("DomainConnectivity: %v", err)
+	}
+	if report.Schemas != 2 || report.CI != 0 {
+		t.Errorf("report = %+v", report)
+	}
+}

@@ -1,0 +1,230 @@
+package triple
+
+import (
+	"sort"
+	"sync"
+)
+
+// DB is the local database DB_p each peer maintains for the triples it is
+// responsible for (paper §2.2). Its physical schema is the fixed ternary
+// relation (subject, predicate, object); every component is indexed so that
+// constraint searches on any position are index lookups. DB is safe for
+// concurrent use.
+type DB struct {
+	mu          sync.RWMutex
+	triples     map[Triple]struct{}
+	bySubject   map[string]map[Triple]struct{}
+	byPredicate map[string]map[Triple]struct{}
+	byObject    map[string]map[Triple]struct{}
+}
+
+// NewDB returns an empty local triple database.
+func NewDB() *DB {
+	return &DB{
+		triples:     make(map[Triple]struct{}),
+		bySubject:   make(map[string]map[Triple]struct{}),
+		byPredicate: make(map[string]map[Triple]struct{}),
+		byObject:    make(map[string]map[Triple]struct{}),
+	}
+}
+
+// Insert adds a triple (idempotent) and reports whether it was new.
+func (db *DB) Insert(t Triple) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.triples[t]; ok {
+		return false
+	}
+	db.triples[t] = struct{}{}
+	addIndex(db.bySubject, t.Subject, t)
+	addIndex(db.byPredicate, t.Predicate, t)
+	addIndex(db.byObject, t.Object, t)
+	return true
+}
+
+// Delete removes a triple and reports whether it was present.
+func (db *DB) Delete(t Triple) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.triples[t]; !ok {
+		return false
+	}
+	delete(db.triples, t)
+	dropIndex(db.bySubject, t.Subject, t)
+	dropIndex(db.byPredicate, t.Predicate, t)
+	dropIndex(db.byObject, t.Object, t)
+	return true
+}
+
+// Has reports whether the exact triple is stored.
+func (db *DB) Has(t Triple) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	_, ok := db.triples[t]
+	return ok
+}
+
+// Len returns the number of stored triples.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.triples)
+}
+
+// All returns every stored triple, sorted for determinism.
+func (db *DB) All() []Triple {
+	db.mu.RLock()
+	out := make([]Triple, 0, len(db.triples))
+	for t := range db.triples {
+		out = append(out, t)
+	}
+	db.mu.RUnlock()
+	sortTriples(out)
+	return out
+}
+
+// Select implements the selection operator σ for a triple pattern: it
+// returns all stored triples matching the pattern, using the most selective
+// available equality index and filtering the remainder. Results are sorted.
+func (db *DB) Select(q Pattern) []Triple {
+	db.mu.RLock()
+	var candidates map[Triple]struct{}
+	switch {
+	case q.S.Kind == Constant:
+		candidates = db.bySubject[q.S.Value]
+	case q.O.Kind == Constant:
+		candidates = db.byObject[q.O.Value]
+	case q.P.Kind == Constant:
+		candidates = db.byPredicate[q.P.Value]
+	default:
+		candidates = db.triples
+	}
+	out := make([]Triple, 0, len(candidates))
+	for t := range candidates {
+		if q.Matches(t) {
+			out = append(out, t)
+		}
+	}
+	db.mu.RUnlock()
+	sortTriples(out)
+	return out
+}
+
+// Project implements the projection operator π: it extracts the values at
+// the given positions from each triple.
+func Project(ts []Triple, positions ...Position) [][]string {
+	out := make([][]string, len(ts))
+	for i, t := range ts {
+		row := make([]string, len(positions))
+		for j, p := range positions {
+			row[j] = t.Component(p)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// SelectBindings evaluates a pattern and returns the variable bindings of
+// every matching triple — the unit the conjunctive-query join operates on.
+func (db *DB) SelectBindings(q Pattern) []Bindings {
+	var out []Bindings
+	for _, t := range db.Select(q) {
+		if b, ok := q.Bind(t); ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// JoinBindings implements the (self-)join operator ⋈ on binding sets: the
+// natural join on shared variables. It is how conjunctive queries combine
+// the results of their triple patterns (paper §2.3).
+func JoinBindings(left, right []Bindings) []Bindings {
+	if left == nil {
+		return right
+	}
+	var out []Bindings
+	for _, l := range left {
+		for _, r := range right {
+			if merged, ok := mergeBindings(l, r); ok {
+				out = append(out, merged)
+			}
+		}
+	}
+	return out
+}
+
+func mergeBindings(a, b Bindings) (Bindings, bool) {
+	out := make(Bindings, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		if prev, ok := out[k]; ok && prev != v {
+			return nil, false
+		}
+		out[k] = v
+	}
+	return out, true
+}
+
+// DistinctValues returns the sorted set of values appearing at the given
+// position of triples with the given predicate. The automatic alignment
+// algorithm uses it to compare attribute value sets across schemas (§4).
+func (db *DB) DistinctValues(predicate string, pos Position) []string {
+	db.mu.RLock()
+	set := map[string]bool{}
+	for t := range db.byPredicate[predicate] {
+		set[t.Component(pos)] = true
+	}
+	db.mu.RUnlock()
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Predicates returns the sorted set of predicates present in the database.
+func (db *DB) Predicates() []string {
+	db.mu.RLock()
+	out := make([]string, 0, len(db.byPredicate))
+	for p := range db.byPredicate {
+		out = append(out, p)
+	}
+	db.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+func addIndex(idx map[string]map[Triple]struct{}, key string, t Triple) {
+	m, ok := idx[key]
+	if !ok {
+		m = make(map[Triple]struct{})
+		idx[key] = m
+	}
+	m[t] = struct{}{}
+}
+
+func dropIndex(idx map[string]map[Triple]struct{}, key string, t Triple) {
+	if m, ok := idx[key]; ok {
+		delete(m, t)
+		if len(m) == 0 {
+			delete(idx, key)
+		}
+	}
+}
+
+func sortTriples(ts []Triple) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		if a.Subject != b.Subject {
+			return a.Subject < b.Subject
+		}
+		if a.Predicate != b.Predicate {
+			return a.Predicate < b.Predicate
+		}
+		return a.Object < b.Object
+	})
+}

@@ -193,7 +193,7 @@ func BenchmarkSearchFor(b *testing.B) {
 }
 
 // BenchmarkSearchWithReformulation measures a query traversing a 3-mapping
-// chain.
+// chain, at the default fan-out width and serially.
 func BenchmarkSearchWithReformulation(b *testing.B) {
 	net := benchNetwork(b, 64)
 	p := net.Peer(0)
@@ -206,11 +206,14 @@ func BenchmarkSearchWithReformulation(b *testing.B) {
 	}
 	q := Pattern{S: Var("x"), P: Const("S0#org"), O: Const("aspergillus")}
 	issuer := net.Peer(20)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := issuer.SearchWithReformulation(q, SearchOptions{}); err != nil {
-			b.Fatal(err)
-		}
+	for name, width := range map[string]int{"default": 0, "serial": 1} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := issuer.SearchWithReformulation(q, SearchOptions{Parallelism: width}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

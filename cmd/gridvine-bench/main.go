@@ -1,5 +1,5 @@
 // Command gridvine-bench regenerates every quantitative result of the
-// paper's evaluation (see DESIGN.md §3 and EXPERIMENTS.md): the §2.3
+// paper's evaluation (see DESIGN.md §3): the §2.3
 // deployment latency distribution, the O(log |Π|) routing cost, the
 // connectivity-indicator emergence curve, the §4 recall-growth
 // demonstration, the Bayesian deprecation quality, and the design
@@ -26,10 +26,12 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run: A,B,C,D,E,G,H,I,J or all")
 	quick := flag.Bool("quick", false, "run with scaled-down parameters")
 	seed := flag.Int64("seed", 1, "random seed")
+	parallel := flag.Int("parallel", 1, "reformulation fan-out width for query-heavy experiments (D); 1 keeps message counts exactly reproducible")
 	flag.Parse()
 
 	runners := map[string]func(bool, int64) error{
-		"A": runA, "B": runB, "C": runC, "D": runD,
+		"A": runA, "B": runB, "C": runC,
+		"D": func(quick bool, seed int64) error { return runD(quick, seed, *parallel) },
 		"E": runE, "G": runG, "H": runH, "I": runI, "J": runJ,
 	}
 	order := []string{"A", "B", "C", "D", "E", "G", "H", "I", "J"}
@@ -103,9 +105,9 @@ func runC(quick bool, seed int64) error {
 	return nil
 }
 
-func runD(quick bool, seed int64) error {
+func runD(quick bool, seed int64, parallel int) error {
 	header("D", "recall growth under self-organization (paper §4 demonstration)")
-	cfg := experiments.RecallConfig{Seed: seed}
+	cfg := experiments.RecallConfig{Seed: seed, Parallelism: parallel}
 	if quick {
 		cfg.Peers, cfg.Schemas, cfg.Entities, cfg.Rounds, cfg.Queries = 32, 10, 60, 5, 30
 	}

@@ -85,6 +85,14 @@ const (
 	Recursive = mediation.Recursive
 )
 
+// DefaultParallelism reports the reformulation fan-out width used when
+// SearchOptions.Parallelism is zero: reformulated patterns are resolved
+// over the overlay by a bounded worker pool of this size. To override it,
+// set SearchOptions.Parallelism per query — 1 gives fully serial,
+// per-seed-reproducible message accounting (result sets are deterministic
+// at any width).
+func DefaultParallelism() int { return mediation.DefaultParallelism }
+
 // Mapping helpers.
 
 // NewSchema builds a schema from a name, domain and attributes.

@@ -371,11 +371,14 @@ func RunStrategies(cfg StrategiesConfig) (StrategiesResult, error) {
 		issuer := peers[len(peers)-1]
 		q := triple.Pattern{S: triple.Var("x"), P: triple.Const("S0#organism"), O: triple.Const("aspergillus")}
 
-		it, err := issuer.SearchWithReformulation(q, mediation.SearchOptions{Mode: mediation.Iterative, MaxDepth: chain + 1})
+		// Parallelism pinned to 1: this experiment compares message counts,
+		// which only stay exactly per-seed reproducible when routing
+		// tie-breaks are consumed serially.
+		it, err := issuer.SearchWithReformulation(q, mediation.SearchOptions{Mode: mediation.Iterative, MaxDepth: chain + 1, Parallelism: 1})
 		if err != nil {
 			return out, err
 		}
-		rec, err := issuer.SearchWithReformulation(q, mediation.SearchOptions{Mode: mediation.Recursive, MaxDepth: chain + 1})
+		rec, err := issuer.SearchWithReformulation(q, mediation.SearchOptions{Mode: mediation.Recursive, MaxDepth: chain + 1, Parallelism: 1})
 		if err != nil {
 			return out, err
 		}

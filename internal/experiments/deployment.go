@@ -30,7 +30,7 @@ type DeploymentConfig struct {
 	// Workload sizing; defaults yield ≈17000 triples.
 	Schemas  int
 	Entities int
-	// WAN model (defaults recorded in EXPERIMENTS.md): per-message delay is
+	// WAN model (defaults recorded below): per-message delay is
 	// a fast/slow mixture — log-normal healthy paths plus a SlowProb chance
 	// of hitting an overloaded testbed node.
 	TransitMedian time.Duration // default 100ms (fast component median)

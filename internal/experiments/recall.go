@@ -24,12 +24,20 @@ type RecallConfig struct {
 	SeedMappings int // default 3 (the sparse manual start)
 	Rounds       int // default 8 self-organization rounds
 	Queries      int // default 50
-	Seed         int64
+	// Parallelism is the reformulation fan-out width per query. Default 1:
+	// serial keeps routing tie-breaks, and with them per-seed message
+	// counts, exactly reproducible; raise it to exercise the concurrent
+	// query path at experiment scale.
+	Parallelism int
+	Seed        int64
 }
 
 func (c RecallConfig) withDefaults() RecallConfig {
 	if c.Peers == 0 {
 		c.Peers = 64
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = 1
 	}
 	if c.Schemas == 0 {
 		c.Schemas = 20
@@ -146,8 +154,8 @@ func RunRecall(cfg RecallConfig) (RecallResult, error) {
 			Deprecated:     ms.Len() - len(ms.Active()),
 			CI:             report.CI,
 		}
-		itRecall, itMsgs := measureRecall(peers, queries, rng, mediation.Iterative)
-		recRecall, recMsgs := measureRecall(peers, queries, rng, mediation.Recursive)
+		itRecall, itMsgs := measureRecall(peers, queries, rng, mediation.Iterative, cfg.Parallelism)
+		recRecall, recMsgs := measureRecall(peers, queries, rng, mediation.Recursive, cfg.Parallelism)
 		point.MeanRecall = itRecall
 		point.MsgPerQuery = itMsgs
 		point.MeanRecallRec = recRecall
@@ -170,12 +178,12 @@ func RunRecall(cfg RecallConfig) (RecallResult, error) {
 	return out, nil
 }
 
-func measureRecall(peers []*mediation.Peer, queries []bioworkload.Query, rng *rand.Rand, mode mediation.Mode) (meanRecall, meanMsgs float64) {
+func measureRecall(peers []*mediation.Peer, queries []bioworkload.Query, rng *rand.Rand, mode mediation.Mode, parallelism int) (meanRecall, meanMsgs float64) {
 	recall := metrics.NewDistribution()
 	msgs := metrics.NewDistribution()
 	for _, q := range queries {
 		issuer := peers[rng.Intn(len(peers))]
-		rs, err := issuer.SearchWithReformulation(q.Pattern, mediation.SearchOptions{Mode: mode})
+		rs, err := issuer.SearchWithReformulation(q.Pattern, mediation.SearchOptions{Mode: mode, Parallelism: parallelism})
 		if err != nil {
 			recall.Add(0)
 			continue

@@ -4,7 +4,10 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"gridvine/internal/graph"
 	"gridvine/internal/keyspace"
@@ -36,6 +39,11 @@ func (m Mode) String() string {
 	return "iterative"
 }
 
+// DefaultParallelism is the reformulation fan-out width used when
+// SearchOptions.Parallelism is zero: wide enough to overlap overlay
+// round-trips, bounded so a single query cannot monopolize the host.
+var DefaultParallelism = min(8, runtime.GOMAXPROCS(0))
+
 // SearchOptions tunes SearchWithReformulation.
 type SearchOptions struct {
 	// Mode selects iterative or recursive reformulation. Default Iterative.
@@ -45,6 +53,13 @@ type SearchOptions struct {
 	// MinConfidence prunes mapping paths whose composed confidence falls
 	// below it. Default 0.05.
 	MinConfidence float64
+	// Parallelism bounds the worker pool that fans reformulated patterns
+	// out over the overlay concurrently. 0 selects DefaultParallelism; 1
+	// executes serially (the fully deterministic mode the seeded experiment
+	// harness uses — result sets are deterministic at any width, but
+	// routing tie-breaks, and with them message counts, can vary when
+	// queries race). Negative values are treated as 1.
+	Parallelism int
 }
 
 func (o SearchOptions) withDefaults() SearchOptions {
@@ -53,6 +68,12 @@ func (o SearchOptions) withDefaults() SearchOptions {
 	}
 	if o.MinConfidence == 0 {
 		o.MinConfidence = 0.05
+	}
+	if o.Parallelism == 0 {
+		o.Parallelism = DefaultParallelism
+	}
+	if o.Parallelism < 1 {
+		o.Parallelism = 1
 	}
 	return o
 }
@@ -104,16 +125,7 @@ func (rs *ResultSet) Triples() []triple.Triple {
 			out = append(out, r.Triple)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.Subject != b.Subject {
-			return a.Subject < b.Subject
-		}
-		if a.Predicate != b.Predicate {
-			return a.Predicate < b.Predicate
-		}
-		return a.Object < b.Object
-	})
+	triple.SortTriples(out)
 	return out
 }
 
@@ -158,18 +170,96 @@ func (p *Peer) SearchWithReformulation(q triple.Pattern, opts SearchOptions) (*R
 	return p.searchIterative(q, opts)
 }
 
+// frontierItem is one reformulated pattern awaiting resolution during
+// issuer-driven traversal of the mapping graph.
+type frontierItem struct {
+	pattern    triple.Pattern
+	schemaName string
+	attr       string
+	path       []string
+	confidence float64
+}
+
+// frontierOut is what resolving one frontier item over the overlay yields:
+// its search answer and, when the item is still expandable, the outgoing
+// mappings of its schema.
+type frontierOut struct {
+	sub      *ResultSet
+	err      error
+	mappings []schema.Mapping
+	mapMsgs  int
+}
+
+// resolveFrontier resolves one frontier item: the routed pattern search,
+// plus the mapping lookup that seeds the next wave (skipped at MaxDepth).
+// It touches no shared state, so the fan-out can run it from any goroutine.
+func (p *Peer) resolveFrontier(item frontierItem, opts SearchOptions) frontierOut {
+	var out frontierOut
+	out.sub, out.err = p.SearchFor(item.pattern)
+	if out.sub == nil {
+		out.sub = &ResultSet{}
+	}
+	if len(item.path) >= opts.MaxDepth {
+		return out
+	}
+	mappings, route, err := p.MappingsFrom(item.schemaName)
+	out.mapMsgs = route.Messages
+	if err == nil {
+		out.mappings = mappings
+	}
+	return out
+}
+
+// runPool executes fn(0)…fn(n-1) across at most workers goroutines,
+// blocking until all complete; workers ≤ 1 runs inline. fn must only write
+// state owned by its index, so callers merge results in index order and
+// stay deterministic regardless of completion order.
+func runPool(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// fanOut resolves a whole frontier wave across a bounded worker pool.
+// outs[i] corresponds to wave[i], so the caller can merge in wave order and
+// keep the traversal deterministic regardless of completion order.
+func (p *Peer) fanOut(wave []frontierItem, opts SearchOptions) []frontierOut {
+	outs := make([]frontierOut, len(wave))
+	runPool(len(wave), opts.Parallelism, func(i int) {
+		outs[i] = p.resolveFrontier(wave[i], opts)
+	})
+	return outs
+}
+
 // searchIterative performs issuer-driven breadth-first traversal of the
-// mapping graph.
+// mapping graph. Each BFS wave fans out across the worker pool — the
+// reformulated patterns of a wave are independent overlay operations — and
+// is merged back in wave order, so visited-set claims, result aggregation
+// and reformulation counts match the serial traversal exactly.
 func (p *Peer) searchIterative(q triple.Pattern, opts SearchOptions) (*ResultSet, error) {
 	rs := &ResultSet{Query: q}
-
-	type frontierItem struct {
-		pattern    triple.Pattern
-		schemaName string
-		attr       string
-		path       []string
-		confidence float64
-	}
 
 	schemaName, attr, ok := schema.SplitPredicateURI(q.P.Value)
 	if !ok {
@@ -183,62 +273,55 @@ func (p *Peer) searchIterative(q triple.Pattern, opts SearchOptions) (*ResultSet
 	}
 
 	visited := map[string]bool{q.P.Value: true}
-	frontier := []frontierItem{{pattern: q, schemaName: schemaName, attr: attr, confidence: 1}}
+	wave := []frontierItem{{pattern: q, schemaName: schemaName, attr: attr, confidence: 1}}
 
 	var firstErr error
-	for len(frontier) > 0 {
-		item := frontier[0]
-		frontier = frontier[1:]
-
-		sub, err := p.SearchFor(item.pattern)
-		rs.Messages += sub.Messages
-		if err != nil {
-			if firstErr == nil && !errors.Is(err, ErrNotRoutable) {
-				firstErr = err
+	for len(wave) > 0 {
+		outs := p.fanOut(wave, opts)
+		var nextWave []frontierItem
+		for i, item := range wave {
+			out := outs[i]
+			rs.Messages += out.sub.Messages + out.mapMsgs
+			if out.err != nil {
+				if firstErr == nil && !errors.Is(out.err, ErrNotRoutable) {
+					firstErr = out.err
+				}
+			} else {
+				for _, r := range out.sub.Results {
+					rs.Results = append(rs.Results, Result{
+						Triple:      r.Triple,
+						Pattern:     item.pattern,
+						MappingPath: item.path,
+						Confidence:  item.confidence,
+					})
+				}
 			}
-		} else {
-			for _, r := range sub.Results {
-				rs.Results = append(rs.Results, Result{
-					Triple:      r.Triple,
-					Pattern:     item.pattern,
-					MappingPath: item.path,
-					Confidence:  item.confidence,
+			for _, m := range out.mappings {
+				targetAttr, ok := m.TranslateAttr(item.attr)
+				if !ok {
+					continue
+				}
+				conf := item.confidence * m.Confidence
+				if conf < opts.MinConfidence {
+					continue
+				}
+				newPred := m.Target + "#" + targetAttr
+				if visited[newPred] {
+					continue
+				}
+				visited[newPred] = true
+				rs.Reformulations++
+				newPath := append(append([]string{}, item.path...), m.ID)
+				nextWave = append(nextWave, frontierItem{
+					pattern:    item.pattern.WithTerm(triple.Predicate, triple.Const(newPred)),
+					schemaName: m.Target,
+					attr:       targetAttr,
+					path:       newPath,
+					confidence: conf,
 				})
 			}
 		}
-
-		if len(item.path) >= opts.MaxDepth {
-			continue
-		}
-		mappings, route, err := p.MappingsFrom(item.schemaName)
-		rs.Messages += route.Messages
-		if err != nil {
-			continue
-		}
-		for _, m := range mappings {
-			targetAttr, ok := m.TranslateAttr(item.attr)
-			if !ok {
-				continue
-			}
-			conf := item.confidence * m.Confidence
-			if conf < opts.MinConfidence {
-				continue
-			}
-			newPred := m.Target + "#" + targetAttr
-			if visited[newPred] {
-				continue
-			}
-			visited[newPred] = true
-			rs.Reformulations++
-			newPath := append(append([]string{}, item.path...), m.ID)
-			frontier = append(frontier, frontierItem{
-				pattern:    item.pattern.WithTerm(triple.Predicate, triple.Const(newPred)),
-				schemaName: m.Target,
-				attr:       targetAttr,
-				path:       newPath,
-				confidence: conf,
-			})
-		}
+		wave = nextWave
 	}
 	dedupeResults(rs)
 	if len(rs.Results) == 0 && firstErr != nil {
@@ -257,6 +340,10 @@ type ReformulatedQuery struct {
 	MappingPath       []string
 	Confidence        float64
 	MinConfidence     float64
+	// Fanout bounds how many reformulated forwards this step may issue
+	// concurrently; it halves at each hop so the total concurrency of a
+	// recursive cascade stays bounded. 0 or 1 forwards serially.
+	Fanout int
 }
 
 // ReformResult is one triple found by a recursive reformulation step.
@@ -289,6 +376,7 @@ func (p *Peer) searchRecursive(q triple.Pattern, opts SearchOptions) (*ResultSet
 		VisitedPredicates: []string{q.P.Value},
 		Confidence:        1,
 		MinConfidence:     opts.MinConfidence,
+		Fanout:            opts.Parallelism,
 	}
 	result, route, err := p.node.Query(key, payload)
 	rs.Messages += route.Messages
@@ -318,7 +406,8 @@ func (p *Peer) searchRecursive(q triple.Pattern, opts SearchOptions) (*ResultSet
 // responsible peer.
 func (p *Peer) handleReformulated(req ReformulatedQuery) (ReformulatedResponse, error) {
 	var resp ReformulatedResponse
-	// Local answers.
+	// Local answers, unsorted: the issuer dedupes and sorts the aggregated
+	// result set, so this hot path skips the per-step sort.
 	for _, t := range p.db.Select(req.Pattern) {
 		resp.Results = append(resp.Results, ReformResult{
 			Triple:      t,
@@ -343,6 +432,15 @@ func (p *Peer) handleReformulated(req ReformulatedQuery) (ReformulatedResponse, 
 	if err != nil {
 		return resp, nil // local results still count
 	}
+	// Collect the eligible forwards first, then fan them out across a
+	// bounded pool and merge in mapping order, keeping the aggregation
+	// deterministic. Each forward inherits half the fanout budget so a
+	// recursive cascade cannot multiply concurrency without bound.
+	type forward struct {
+		key keyspace.Key
+		req ReformulatedQuery
+	}
+	var forwards []forward
 	for _, m := range mappings {
 		targetAttr, ok := m.TranslateAttr(attr)
 		if !ok {
@@ -358,28 +456,41 @@ func (p *Peer) handleReformulated(req ReformulatedQuery) (ReformulatedResponse, 
 		}
 		resp.Reformulations++
 		newPattern := req.Pattern.WithTerm(triple.Predicate, triple.Const(newPred))
-		fwd := ReformulatedQuery{
-			Pattern:           newPattern,
-			TTL:               req.TTL - 1,
-			VisitedPredicates: append(append([]string{}, req.VisitedPredicates...), newPred),
-			MappingPath:       append(append([]string{}, req.MappingPath...), m.ID),
-			Confidence:        conf,
-			MinConfidence:     req.MinConfidence,
-		}
 		_, fwdConstant, ok := newPattern.MostSpecificConstant()
 		if !ok {
 			continue
 		}
-		result, fwdRoute, err := p.node.Query(keyspace.Hash(fwdConstant, p.depth), fwd)
-		resp.Messages += fwdRoute.Messages
+		forwards = append(forwards, forward{
+			key: keyspace.Hash(fwdConstant, p.depth),
+			req: ReformulatedQuery{
+				Pattern:           newPattern,
+				TTL:               req.TTL - 1,
+				VisitedPredicates: append(append([]string{}, req.VisitedPredicates...), newPred),
+				MappingPath:       append(append([]string{}, req.MappingPath...), m.ID),
+				Confidence:        conf,
+				MinConfidence:     req.MinConfidence,
+				Fanout:            req.Fanout / 2,
+			},
+		})
+	}
+
+	subs := make([]ReformulatedResponse, len(forwards))
+	msgs := make([]int, len(forwards))
+	run := func(i int) {
+		result, fwdRoute, err := p.node.Query(forwards[i].key, forwards[i].req)
+		msgs[i] = fwdRoute.Messages
 		if err != nil {
-			continue
+			return
 		}
 		if sub, ok := result.(ReformulatedResponse); ok {
-			resp.Results = append(resp.Results, sub.Results...)
-			resp.Messages += sub.Messages
-			resp.Reformulations += sub.Reformulations
+			subs[i] = sub
 		}
+	}
+	runPool(len(forwards), req.Fanout, run)
+	for i := range forwards {
+		resp.Messages += msgs[i] + subs[i].Messages
+		resp.Results = append(resp.Results, subs[i].Results...)
+		resp.Reformulations += subs[i].Reformulations
 	}
 	return resp, nil
 }
@@ -425,7 +536,9 @@ func (p *Peer) SearchConjunctive(patterns []triple.Pattern, reformulate bool, op
 func (p *Peer) handleQuery(key keyspace.Key, payload any) (any, error) {
 	switch req := payload.(type) {
 	case PatternQuery:
-		return p.db.Select(req.Pattern), nil
+		// Sorted: SearchFor ships these answers back verbatim (no dedupe
+		// pass), so the wire format stays deterministic across runs.
+		return p.db.SelectSorted(req.Pattern), nil
 	case ReformulatedQuery:
 		return p.handleReformulated(req)
 	case ConnectivityQuery:

@@ -60,7 +60,12 @@ type Node struct {
 	store     map[string][]any        // key bits → stored values
 	handler   QueryHandler
 	storeHook StoreHook
-	rng       *rand.Rand
+
+	// rng drives routing tie-breaks. math/rand.Rand is not goroutine-safe
+	// and concurrent queries route through the same node, so it has its own
+	// mutex rather than piggybacking on the (often read-locked) state lock.
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
 // StoreHook observes successful storage mutations applied at this node

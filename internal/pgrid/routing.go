@@ -171,7 +171,6 @@ func (n *Node) candidateHops(key keyspace.Key, exclude map[simnet.PeerID]bool) [
 			refs = append(refs, p)
 		}
 	}
-	n.rng.Shuffle(len(refs), func(i, j int) { refs[i], refs[j] = refs[j], refs[i] })
 	// Fallback: shallower levels (useful when the exact level is empty after
 	// failures — any peer on the other side of an earlier bit can still make
 	// progress, just more slowly).
@@ -184,6 +183,9 @@ func (n *Node) candidateHops(key keyspace.Key, exclude map[simnet.PeerID]bool) [
 		}
 	}
 	n.mu.RUnlock()
+	n.rngMu.Lock()
+	n.rng.Shuffle(len(refs), func(i, j int) { refs[i], refs[j] = refs[j], refs[i] })
+	n.rngMu.Unlock()
 	return append(refs, fallback...)
 }
 

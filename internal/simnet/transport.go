@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // PeerID identifies a logical peer on a transport.
@@ -86,6 +87,7 @@ type Network struct {
 	stats    Stats
 	tracing  bool
 	trace    []TraceEntry
+	delay    time.Duration
 }
 
 // NewNetwork returns an empty in-memory network.
@@ -166,6 +168,18 @@ func (n *Network) ResetTrace() {
 	n.trace = nil
 }
 
+// SetSendDelay imposes a fixed wall-clock transit delay on every delivered
+// message. The default (zero) delivers immediately; a non-zero delay makes
+// the in-memory network behave like a real one for wall-clock measurements,
+// so benchmarks can observe the benefit of overlapping round-trips
+// (concurrent senders sleep concurrently). The sleep happens outside the
+// network lock and does not affect determinism of delivery or statistics.
+func (n *Network) SetSendDelay(d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.delay = d
+}
+
 // Stats returns a snapshot of the counters.
 func (n *Network) Stats() Stats {
 	n.mu.Lock()
@@ -209,10 +223,14 @@ func (n *Network) Send(from, to PeerID, msg Message) (Message, error) {
 	if n.tracing {
 		n.trace = append(n.trace, TraceEntry{From: from, To: to, Type: msg.Type, Dropped: failed})
 	}
+	delay := n.delay
 	n.mu.Unlock()
 
 	if failed {
 		return Message{}, fmt.Errorf("%w: %s", ErrUnreachable, to)
+	}
+	if delay > 0 {
+		time.Sleep(delay)
 	}
 	return h.HandleMessage(from, msg)
 }

@@ -3,14 +3,20 @@ package triple
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
-// DB is the local database DB_p each peer maintains for the triples it is
-// responsible for (paper §2.2). Its physical schema is the fixed ternary
-// relation (subject, predicate, object); every component is indexed so that
-// constraint searches on any position are index lookups. DB is safe for
-// concurrent use.
-type DB struct {
+// shardCount is the number of lock stripes of a DB. A power of two so the
+// shard of a subject is a cheap mask of its hash. 32 stripes keep lock
+// contention negligible up to several hundred concurrent readers/writers
+// while the per-shard fixed cost (three small maps) stays trivial.
+const shardCount = 32
+
+// shard is one lock stripe: the triples whose subject hashes to this stripe,
+// plus the three positional equality indexes restricted to those triples.
+// A given subject lives in exactly one shard; predicate and object indexes
+// are therefore partial per shard and cross-shard lookups union them.
+type shard struct {
 	mu          sync.RWMutex
 	triples     map[Triple]struct{}
 	bySubject   map[string]map[Triple]struct{}
@@ -18,95 +24,254 @@ type DB struct {
 	byObject    map[string]map[Triple]struct{}
 }
 
+// DB is the local database DB_p each peer maintains for the triples it is
+// responsible for (paper §2.2). Its physical schema is the fixed ternary
+// relation (subject, predicate, object); every component is indexed so that
+// constraint searches on any position are index lookups.
+//
+// The store is sharded by subject hash into shardCount lock stripes, so
+// concurrent inserts, deletes and selects on different subjects proceed
+// without contending on a single database-wide mutex. DB is safe for
+// concurrent use; each individual operation is atomic per shard, and
+// cross-shard reads (Select by predicate/object, All) observe each shard at
+// a consistent point but not the database as one global snapshot — callers
+// that interleave writes and expect a frozen global view must serialize
+// externally, as with any concurrent map.
+type DB struct {
+	shards [shardCount]shard
+	size   atomic.Int64
+}
+
 // NewDB returns an empty local triple database.
 func NewDB() *DB {
-	return &DB{
-		triples:     make(map[Triple]struct{}),
-		bySubject:   make(map[string]map[Triple]struct{}),
-		byPredicate: make(map[string]map[Triple]struct{}),
-		byObject:    make(map[string]map[Triple]struct{}),
+	db := &DB{}
+	for i := range db.shards {
+		s := &db.shards[i]
+		s.triples = make(map[Triple]struct{})
+		s.bySubject = make(map[string]map[Triple]struct{})
+		s.byPredicate = make(map[string]map[Triple]struct{})
+		s.byObject = make(map[string]map[Triple]struct{})
 	}
+	return db
+}
+
+// fnv1a is the 64-bit FNV-1a hash, inlined to keep shard selection
+// allocation-free on the hot path.
+func fnv1a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+func (db *DB) shardFor(subject string) *shard {
+	return &db.shards[fnv1a(subject)&(shardCount-1)]
 }
 
 // Insert adds a triple (idempotent) and reports whether it was new.
 func (db *DB) Insert(t Triple) bool {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if _, ok := db.triples[t]; ok {
+	s := db.shardFor(t.Subject)
+	s.mu.Lock()
+	if _, ok := s.triples[t]; ok {
+		s.mu.Unlock()
 		return false
 	}
-	db.triples[t] = struct{}{}
-	addIndex(db.bySubject, t.Subject, t)
-	addIndex(db.byPredicate, t.Predicate, t)
-	addIndex(db.byObject, t.Object, t)
+	s.triples[t] = struct{}{}
+	addIndex(s.bySubject, t.Subject, t)
+	addIndex(s.byPredicate, t.Predicate, t)
+	addIndex(s.byObject, t.Object, t)
+	s.mu.Unlock()
+	db.size.Add(1)
 	return true
 }
 
 // Delete removes a triple and reports whether it was present.
 func (db *DB) Delete(t Triple) bool {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if _, ok := db.triples[t]; !ok {
+	s := db.shardFor(t.Subject)
+	s.mu.Lock()
+	if _, ok := s.triples[t]; !ok {
+		s.mu.Unlock()
 		return false
 	}
-	delete(db.triples, t)
-	dropIndex(db.bySubject, t.Subject, t)
-	dropIndex(db.byPredicate, t.Predicate, t)
-	dropIndex(db.byObject, t.Object, t)
+	delete(s.triples, t)
+	dropIndex(s.bySubject, t.Subject, t)
+	dropIndex(s.byPredicate, t.Predicate, t)
+	dropIndex(s.byObject, t.Object, t)
+	s.mu.Unlock()
+	db.size.Add(-1)
 	return true
 }
 
 // Has reports whether the exact triple is stored.
 func (db *DB) Has(t Triple) bool {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	_, ok := db.triples[t]
+	s := db.shardFor(t.Subject)
+	s.mu.RLock()
+	_, ok := s.triples[t]
+	s.mu.RUnlock()
 	return ok
 }
 
 // Len returns the number of stored triples.
 func (db *DB) Len() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.triples)
+	return int(db.size.Load())
 }
 
-// All returns every stored triple, sorted for determinism.
+// All returns every stored triple in unspecified order. Use AllSorted when
+// deterministic order matters.
 func (db *DB) All() []Triple {
-	db.mu.RLock()
-	out := make([]Triple, 0, len(db.triples))
-	for t := range db.triples {
-		out = append(out, t)
+	out := make([]Triple, 0, db.Len())
+	for i := range db.shards {
+		s := &db.shards[i]
+		s.mu.RLock()
+		for t := range s.triples {
+			out = append(out, t)
+		}
+		s.mu.RUnlock()
 	}
-	db.mu.RUnlock()
-	sortTriples(out)
 	return out
 }
 
-// Select implements the selection operator σ for a triple pattern: it
-// returns all stored triples matching the pattern, using the most selective
-// available equality index and filtering the remainder. Results are sorted.
-func (db *DB) Select(q Pattern) []Triple {
-	db.mu.RLock()
-	var candidates map[Triple]struct{}
-	switch {
-	case q.S.Kind == Constant:
-		candidates = db.bySubject[q.S.Value]
-	case q.O.Kind == Constant:
-		candidates = db.byObject[q.O.Value]
-	case q.P.Kind == Constant:
-		candidates = db.byPredicate[q.P.Value]
-	default:
-		candidates = db.triples
-	}
-	out := make([]Triple, 0, len(candidates))
-	for t := range candidates {
-		if q.Matches(t) {
-			out = append(out, t)
+// AllSorted returns every stored triple in (subject, predicate, object)
+// order.
+func (db *DB) AllSorted() []Triple {
+	out := db.All()
+	SortTriples(out)
+	return out
+}
+
+// selectPlan describes how a Select will be executed: which equality index
+// drives the scan (or a full scan), and the candidate-set size it expects.
+type selectPlan struct {
+	index    Position // meaningful only when fullScan is false
+	fullScan bool
+	// candidates is the total size of the chosen candidate set across
+	// shards (or the store size for a full scan).
+	candidates int
+}
+
+// planSelect picks the genuinely most selective equality index for a
+// pattern by comparing candidate-set sizes across every constant position —
+// not a fixed position preference. A constant subject confines the lookup
+// to one shard; constant predicates/objects sum their per-shard index
+// cardinalities. Ties break subject > object > predicate, mirroring the
+// routing specificity order.
+//
+// With fewer than two constant positions there is no choice to make, so the
+// cross-shard counting pass is skipped entirely (candidates is then only a
+// capacity hint; 0 means unknown).
+func (db *DB) planSelect(q Pattern) selectPlan {
+	nConst := 0
+	for _, k := range [3]TermKind{q.S.Kind, q.P.Kind, q.O.Kind} {
+		if k == Constant {
+			nConst++
 		}
 	}
-	db.mu.RUnlock()
-	sortTriples(out)
+	switch {
+	case nConst == 0:
+		return selectPlan{fullScan: true, candidates: db.Len()}
+	case nConst == 1:
+		switch {
+		case q.S.Kind == Constant:
+			return selectPlan{index: Subject}
+		case q.O.Kind == Constant:
+			return selectPlan{index: Object}
+		default:
+			return selectPlan{index: Predicate}
+		}
+	}
+
+	best := selectPlan{fullScan: true, candidates: db.Len()}
+	consider := func(pos Position, n int) {
+		if best.fullScan || n < best.candidates {
+			best = selectPlan{index: pos, candidates: n}
+		}
+	}
+	if q.S.Kind == Constant {
+		s := db.shardFor(q.S.Value)
+		s.mu.RLock()
+		n := len(s.bySubject[q.S.Value])
+		s.mu.RUnlock()
+		consider(Subject, n)
+	}
+	if q.O.Kind == Constant {
+		n := 0
+		for i := range db.shards {
+			s := &db.shards[i]
+			s.mu.RLock()
+			n += len(s.byObject[q.O.Value])
+			s.mu.RUnlock()
+		}
+		consider(Object, n)
+	}
+	if q.P.Kind == Constant {
+		n := 0
+		for i := range db.shards {
+			s := &db.shards[i]
+			s.mu.RLock()
+			n += len(s.byPredicate[q.P.Value])
+			s.mu.RUnlock()
+		}
+		consider(Predicate, n)
+	}
+	return best
+}
+
+// Select implements the selection operator σ for a triple pattern: it
+// returns all stored triples matching the pattern, scanning the most
+// selective available equality index (chosen by comparing candidate-set
+// sizes) and filtering the remainder. Results are in unspecified order;
+// callers that need deterministic output use SelectSorted or sort
+// themselves with SortTriples.
+func (db *DB) Select(q Pattern) []Triple {
+	plan := db.planSelect(q)
+	out := make([]Triple, 0, plan.candidates)
+
+	scanShard := func(s *shard) {
+		s.mu.RLock()
+		var candidates map[Triple]struct{}
+		if plan.fullScan {
+			candidates = s.triples
+		} else {
+			switch plan.index {
+			case Subject:
+				candidates = s.bySubject[q.S.Value]
+			case Predicate:
+				candidates = s.byPredicate[q.P.Value]
+			case Object:
+				candidates = s.byObject[q.O.Value]
+			}
+		}
+		for t := range candidates {
+			if q.Matches(t) {
+				out = append(out, t)
+			}
+		}
+		s.mu.RUnlock()
+	}
+
+	if !plan.fullScan && plan.index == Subject {
+		// A constant subject lives in exactly one shard.
+		scanShard(db.shardFor(q.S.Value))
+		return out
+	}
+	for i := range db.shards {
+		scanShard(&db.shards[i])
+	}
+	return out
+}
+
+// SelectSorted is Select with deterministic (subject, predicate, object)
+// output order — the variant remote query handlers use so answers are
+// reproducible across runs.
+func (db *DB) SelectSorted(q Pattern) []Triple {
+	out := db.Select(q)
+	SortTriples(out)
 	return out
 }
 
@@ -126,9 +291,10 @@ func Project(ts []Triple, positions ...Position) [][]string {
 
 // SelectBindings evaluates a pattern and returns the variable bindings of
 // every matching triple — the unit the conjunctive-query join operates on.
+// Bindings follow the sorted triple order so joins are deterministic.
 func (db *DB) SelectBindings(q Pattern) []Bindings {
 	var out []Bindings
-	for _, t := range db.Select(q) {
+	for _, t := range db.SelectSorted(q) {
 		if b, ok := q.Bind(t); ok {
 			out = append(out, b)
 		}
@@ -172,12 +338,15 @@ func mergeBindings(a, b Bindings) (Bindings, bool) {
 // position of triples with the given predicate. The automatic alignment
 // algorithm uses it to compare attribute value sets across schemas (§4).
 func (db *DB) DistinctValues(predicate string, pos Position) []string {
-	db.mu.RLock()
 	set := map[string]bool{}
-	for t := range db.byPredicate[predicate] {
-		set[t.Component(pos)] = true
+	for i := range db.shards {
+		s := &db.shards[i]
+		s.mu.RLock()
+		for t := range s.byPredicate[predicate] {
+			set[t.Component(pos)] = true
+		}
+		s.mu.RUnlock()
 	}
-	db.mu.RUnlock()
 	out := make([]string, 0, len(set))
 	for v := range set {
 		out = append(out, v)
@@ -188,12 +357,19 @@ func (db *DB) DistinctValues(predicate string, pos Position) []string {
 
 // Predicates returns the sorted set of predicates present in the database.
 func (db *DB) Predicates() []string {
-	db.mu.RLock()
-	out := make([]string, 0, len(db.byPredicate))
-	for p := range db.byPredicate {
+	set := map[string]bool{}
+	for i := range db.shards {
+		s := &db.shards[i]
+		s.mu.RLock()
+		for p := range s.byPredicate {
+			set[p] = true
+		}
+		s.mu.RUnlock()
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
 		out = append(out, p)
 	}
-	db.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }
@@ -216,7 +392,9 @@ func dropIndex(idx map[string]map[Triple]struct{}, key string, t Triple) {
 	}
 }
 
-func sortTriples(ts []Triple) {
+// SortTriples orders triples by (subject, predicate, object) in place — the
+// canonical deterministic order of the package.
+func SortTriples(ts []Triple) {
 	sort.Slice(ts, func(i, j int) bool {
 		a, b := ts[i], ts[j]
 		if a.Subject != b.Subject {

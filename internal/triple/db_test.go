@@ -99,14 +99,19 @@ func TestSelectFullScan(t *testing.T) {
 
 func TestSelectSortedDeterministic(t *testing.T) {
 	db := sampleDB()
-	a := db.Select(Pattern{S: Var("x"), P: Var("p"), O: Var("o")})
-	b := db.Select(Pattern{S: Var("x"), P: Var("p"), O: Var("o")})
+	a := db.SelectSorted(Pattern{S: Var("x"), P: Var("p"), O: Var("o")})
+	b := db.SelectSorted(Pattern{S: Var("x"), P: Var("p"), O: Var("o")})
 	if len(a) != 5 || len(b) != 5 {
 		t.Fatalf("lens %d %d", len(a), len(b))
 	}
 	for i := range a {
 		if a[i] != b[i] {
-			t.Fatal("Select not deterministic")
+			t.Fatal("SelectSorted not deterministic")
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i-1].Subject > a[i].Subject {
+			t.Fatal("SelectSorted not ordered by subject")
 		}
 	}
 }

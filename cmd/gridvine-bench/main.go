@@ -2,17 +2,23 @@
 // paper's evaluation (see DESIGN.md §3): the §2.3
 // deployment latency distribution, the O(log |Π|) routing cost, the
 // connectivity-indicator emergence curve, the §4 recall-growth
-// demonstration, the Bayesian deprecation quality, and the design
-// ablations.
+// demonstration, the Bayesian deprecation quality, the design
+// ablations, and the conjunctive query planner comparison.
 //
 // Usage:
 //
 //	gridvine-bench -exp all          # everything, paper-scale
 //	gridvine-bench -exp A            # one experiment
 //	gridvine-bench -exp A -quick     # scaled-down parameters
+//	gridvine-bench -exp K -json BENCH_conjunctive.json
+//
+// With -json <path>, machine-readable per-experiment results (wall time
+// plus every figure the experiment reports) are written to the file —
+// the format of the repo's BENCH_*.json perf-trajectory snapshots.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,19 +28,24 @@ import (
 	"gridvine/internal/experiments"
 )
 
+// printer renders an experiment result as the human-readable table every
+// experiment type provides.
+type printer interface{ Table() string }
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: A,B,C,D,E,G,H,I,J or all")
+	exp := flag.String("exp", "all", "experiment to run: A,B,C,D,E,G,H,I,J,K or all")
 	quick := flag.Bool("quick", false, "run with scaled-down parameters")
 	seed := flag.Int64("seed", 1, "random seed")
 	parallel := flag.Int("parallel", 1, "reformulation fan-out width for query-heavy experiments (D); 1 keeps message counts exactly reproducible")
+	jsonPath := flag.String("json", "", "write machine-readable per-experiment results to this file")
 	flag.Parse()
 
-	runners := map[string]func(bool, int64) error{
+	runners := map[string]func(bool, int64) (any, error){
 		"A": runA, "B": runB, "C": runC,
-		"D": func(quick bool, seed int64) error { return runD(quick, seed, *parallel) },
-		"E": runE, "G": runG, "H": runH, "I": runI, "J": runJ,
+		"D": func(quick bool, seed int64) (any, error) { return runD(quick, seed, *parallel) },
+		"E": runE, "G": runG, "H": runH, "I": runI, "J": runJ, "K": runK,
 	}
-	order := []string{"A", "B", "C", "D", "E", "G", "H", "I", "J"}
+	order := []string{"A", "B", "C", "D", "E", "G", "H", "I", "J", "K"}
 
 	var selected []string
 	if strings.EqualFold(*exp, "all") {
@@ -50,13 +61,49 @@ func main() {
 		}
 	}
 
+	// jsonEntry is one experiment's machine-readable record.
+	type jsonEntry struct {
+		Experiment string  `json:"experiment"`
+		Quick      bool    `json:"quick"`
+		Seed       int64   `json:"seed"`
+		WallMs     float64 `json:"wall_ms"`
+		Result     any     `json:"result"`
+	}
+	var entries []jsonEntry
+
 	for _, id := range selected {
 		start := time.Now()
-		if err := runners[id](*quick, *seed); err != nil {
+		result, err := runners[id](*quick, *seed)
+		elapsed := time.Since(start)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
 			os.Exit(1)
 		}
-		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		if p, ok := result.(printer); ok {
+			fmt.Print(p.Table())
+		}
+		fmt.Printf("[%s completed in %v]\n\n", id, elapsed.Round(time.Millisecond))
+		entries = append(entries, jsonEntry{
+			Experiment: id,
+			Quick:      *quick,
+			Seed:       *seed,
+			WallMs:     float64(elapsed.Microseconds()) / 1000,
+			Result:     result,
+		})
+	}
+
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(entries, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "encoding results: %v\n", err)
+			os.Exit(1)
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(*jsonPath, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d experiment result(s) to %s\n", len(entries), *jsonPath)
 	}
 }
 
@@ -64,48 +111,37 @@ func header(id, title string) {
 	fmt.Printf("=== EXP-%s: %s ===\n", id, title)
 }
 
-func runA(quick bool, seed int64) error {
+func runA(quick bool, seed int64) (any, error) {
 	header("A", "deployment latency (paper §2.3: 340 peers, 17k triples, 23k queries; 40% <1s, 75% <5s)")
 	cfg := experiments.DeploymentConfig{Seed: seed}
 	if quick {
 		cfg.Peers, cfg.Queries, cfg.Schemas, cfg.Entities = 120, 3000, 20, 120
 	}
-	r, err := experiments.RunDeployment(cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Print(r.Table())
-	return nil
+	return experiments.RunDeployment(cfg)
 }
 
-func runB(quick bool, seed int64) error {
+func runB(quick bool, seed int64) (any, error) {
 	header("B", "routing cost O(log |Π|) (paper §2.1), balanced and skewed tries")
 	cfg := experiments.RoutingConfig{Skewed: true, Seed: seed}
 	if quick {
 		cfg.Sizes = []int{64, 256, 1024}
 		cfg.QueriesPerSize = 150
 	}
-	r, err := experiments.RunRouting(cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Print(r.Table())
-	return nil
+	return experiments.RunRouting(cfg)
 }
 
-func runC(quick bool, seed int64) error {
+func runC(quick bool, seed int64) (any, error) {
 	header("C", "connectivity indicator vs giant component (paper §3.1), 50 schemas")
 	cfg := experiments.ConnectivityConfig{Seed: seed}
 	if quick {
 		cfg.Trials = 10
 	}
 	r := experiments.RunConnectivity(cfg)
-	fmt.Print(r.Table())
 	fmt.Printf("ci crosses 0 at ≈%d mappings\n", r.CrossoverMappings())
-	return nil
+	return r, nil
 }
 
-func runD(quick bool, seed int64, parallel int) error {
+func runD(quick bool, seed int64, parallel int) (any, error) {
 	header("D", "recall growth under self-organization (paper §4 demonstration)")
 	cfg := experiments.RecallConfig{Seed: seed, Parallelism: parallel}
 	if quick {
@@ -113,75 +149,64 @@ func runD(quick bool, seed int64, parallel int) error {
 	}
 	r, err := experiments.RunRecall(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Printf("workload: %d triples\n", r.Triples)
-	fmt.Print(r.Table())
-	return nil
+	return r, nil
 }
 
-func runE(quick bool, seed int64) error {
+func runE(quick bool, seed int64) (any, error) {
 	header("E", "Bayesian deprecation of erroneous mappings (paper §3.2)")
 	cfg := experiments.DeprecationConfig{Seed: seed}
 	if quick {
 		cfg.Trials = 4
 		cfg.BadCounts = []int{2, 4}
 	}
-	r := experiments.RunDeprecation(cfg)
-	fmt.Print(r.Table())
-	return nil
+	return experiments.RunDeprecation(cfg), nil
 }
 
-func runG(quick bool, seed int64) error {
+func runG(quick bool, seed int64) (any, error) {
 	header("G", "ablation: triple indexed 3x vs subject-only (paper §2.2 design)")
 	cfg := experiments.IndexingConfig{Seed: seed}
 	if quick {
 		cfg.Peers, cfg.Entities, cfg.Schemas, cfg.Queries = 16, 30, 6, 30
 	}
-	r, err := experiments.RunIndexing(cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Print(r.Table())
-	return nil
+	return experiments.RunIndexing(cfg)
 }
 
-func runH(quick bool, seed int64) error {
+func runH(quick bool, seed int64) (any, error) {
 	header("H", "ablation: replication factor vs availability under churn (paper §2.1 design)")
 	cfg := experiments.ChurnConfig{Seed: seed}
 	if quick {
 		cfg.Peers, cfg.Keys = 48, 60
 		cfg.ReplicaFactors = []int{1, 2, 3}
 	}
-	r, err := experiments.RunChurn(cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Print(r.Table())
-	return nil
+	return experiments.RunChurn(cfg)
 }
 
-func runI(quick bool, seed int64) error {
+func runI(quick bool, seed int64) (any, error) {
 	header("I", "ablation: iterative vs recursive reformulation (paper §4 design)")
 	cfg := experiments.StrategiesConfig{Seed: seed}
 	if quick {
 		cfg.ChainLengths = []int{1, 2, 3, 4}
 	}
-	r, err := experiments.RunStrategies(cfg)
-	if err != nil {
-		return err
-	}
-	fmt.Print(r.Table())
-	return nil
+	return experiments.RunStrategies(cfg)
 }
 
-func runJ(quick bool, seed int64) error {
+func runJ(quick bool, seed int64) (any, error) {
 	header("J", "ablation: lexical vs set-distance vs combined matcher (paper §4 design)")
 	cfg := experiments.AlignmentConfig{Seed: seed}
 	if quick {
 		cfg.Schemas, cfg.Entities, cfg.Pairs = 10, 80, 20
 	}
-	r := experiments.RunAlignment(cfg)
-	fmt.Print(r.Table())
-	return nil
+	return experiments.RunAlignment(cfg), nil
+}
+
+func runK(quick bool, seed int64) (any, error) {
+	header("K", "conjunctive query planner vs naive evaluator (selectivity ordering, pushdown, hash joins)")
+	cfg := experiments.ConjunctiveConfig{Seed: seed}
+	if quick {
+		cfg.Peers, cfg.HotEntities, cfg.RareMatches, cfg.Queries = 32, 1500, 4, 2
+	}
+	return experiments.RunConjunctive(cfg)
 }

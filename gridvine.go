@@ -45,6 +45,12 @@ type (
 	Term = triple.Term
 	// Bindings maps query variables to matched values.
 	Bindings = triple.Bindings
+	// BindingSet is the flattened binding representation (variable schema
+	// plus tuple rows) the conjunctive query engine joins over.
+	BindingSet = triple.BindingSet
+	// ConjunctiveStats reports how a conjunctive query was executed:
+	// routing and transfer messages, pushdowns, full scans, triples shipped.
+	ConjunctiveStats = mediation.ConjunctiveStats
 	// Schema is a named set of attributes used as triple predicates.
 	Schema = schema.Schema
 	// Mapping is a directed pairwise schema mapping.
@@ -166,20 +172,30 @@ type Row = rdql.Row
 //	WHERE (?x, <EMBL#Organism>, "%Aspergillus%"), (?x, <EMBL#Length>, ?len)
 func ParseRDQL(query string) (rdql.Query, error) { return rdql.Parse(query) }
 
-// QueryRDQL parses and executes an RDQL query on this peer: each WHERE
-// pattern is resolved over the overlay (with schema-mapping reformulation
-// when reformulate is set), the binding sets are joined, and the SELECT
-// variables are projected into deduplicated rows.
+// QueryRDQL parses and executes an RDQL query on this peer through the
+// conjunctive planning engine: WHERE patterns are resolved most selective
+// first (with schema-mapping reformulation when reformulate is set), bound
+// values of shared variables are pushed into subsequent patterns as routed
+// point lookups (see SearchOptions.PushdownLimit), the binding sets are
+// hash-joined in the flattened representation, and the SELECT variables are
+// projected into deduplicated rows without rebinding a single triple.
 func (p *Peer) QueryRDQL(query string, reformulate bool, opts SearchOptions) ([]Row, error) {
+	rows, _, err := p.QueryRDQLStats(query, reformulate, opts)
+	return rows, err
+}
+
+// QueryRDQLStats is QueryRDQL returning the execution statistics of the
+// conjunctive engine alongside the rows.
+func (p *Peer) QueryRDQLStats(query string, reformulate bool, opts SearchOptions) ([]Row, ConjunctiveStats, error) {
 	q, err := rdql.Parse(query)
 	if err != nil {
-		return nil, err
+		return nil, ConjunctiveStats{}, err
 	}
-	bindings, _, err := p.SearchConjunctive(q.Patterns, reformulate, opts)
+	bs, stats, err := p.SearchConjunctiveSet(q.Patterns, reformulate, opts)
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
-	return q.Project(bindings), nil
+	return q.ProjectSet(bs), stats, nil
 }
 
 // Network is a handle on a set of GridVine peers sharing one overlay.

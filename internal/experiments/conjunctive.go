@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"gridvine/internal/mediation"
+	"gridvine/internal/metrics"
+	"gridvine/internal/pgrid"
+	"gridvine/internal/simnet"
+	"gridvine/internal/triple"
+)
+
+// ConjunctiveConfig parameterizes EXP-K, the conjunctive query planner
+// evaluation: a skewed selective-join workload (two hot predicates whose
+// extensions cover every entity, one rare constant matching a handful)
+// executed by the naive left-to-right evaluator and by the planning engine
+// (selectivity ordering, bound-value pushdown, hash joins), over a simnet
+// with WAN-scale transit and bandwidth delays.
+type ConjunctiveConfig struct {
+	Peers       int // default 64
+	HotEntities int // entities carrying the hot predicates; default 8000
+	RareMatches int // entities matching the selective constant; default 6
+	Species     int // spread of the skewed A#org distribution; default 50
+	Queries     int // measured repetitions per evaluator; default 2
+	// TransitDelay is the per-message wall-clock delay (default 1ms;
+	// negative disables). PerTripleDelay models bandwidth: extra delay per
+	// result triple a message carries (default 50µs; negative disables).
+	TransitDelay   time.Duration
+	PerTripleDelay time.Duration
+	// Parallelism is the engine's worker-pool width (default
+	// mediation.DefaultParallelism).
+	Parallelism int
+	Seed        int64
+}
+
+func (c ConjunctiveConfig) withDefaults() ConjunctiveConfig {
+	if c.Peers == 0 {
+		c.Peers = 64
+	}
+	if c.HotEntities == 0 {
+		c.HotEntities = 8000
+	}
+	if c.RareMatches == 0 {
+		c.RareMatches = 6
+	}
+	if c.Species == 0 {
+		c.Species = 50
+	}
+	if c.Queries == 0 {
+		c.Queries = 2
+	}
+	if c.TransitDelay == 0 {
+		c.TransitDelay = time.Millisecond
+	}
+	if c.PerTripleDelay == 0 {
+		c.PerTripleDelay = 50 * time.Microsecond
+	}
+	return c
+}
+
+// ConjunctiveResult reports the planner-vs-naive comparison. All per-query
+// figures are means over cfg.Queries repetitions.
+type ConjunctiveResult struct {
+	Triples int  `json:"triples"`
+	Rows    int  `json:"rows"`
+	Match   bool `json:"planned_matches_naive"`
+
+	NaiveMessages   float64 `json:"naive_messages_per_query"`
+	PlannedMessages float64 `json:"planned_messages_per_query"`
+	MessageRatio    float64 `json:"message_ratio"`
+
+	NaiveTriplesShipped   float64 `json:"naive_triples_shipped_per_query"`
+	PlannedTriplesShipped float64 `json:"planned_triples_shipped_per_query"`
+
+	NaiveWallMs   float64 `json:"naive_wall_ms_per_query"`
+	PlannedWallMs float64 `json:"planned_wall_ms_per_query"`
+	Speedup       float64 `json:"wall_clock_speedup"`
+}
+
+// RunConjunctive builds the workload, runs the same worst-case-ordered
+// conjunctive query through both evaluators, and reports message, transfer,
+// and wall-clock costs plus a result-equivalence check.
+func RunConjunctive(cfg ConjunctiveConfig) (ConjunctiveResult, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	net := simnet.NewNetwork()
+	ov, err := pgrid.Build(net, pgrid.BuildOptions{
+		Peers:         cfg.Peers,
+		ReplicaFactor: 2,
+		Rng:           rng,
+	})
+	if err != nil {
+		return ConjunctiveResult{}, err
+	}
+	peers := make([]*mediation.Peer, 0, cfg.Peers)
+	for _, n := range ov.Nodes() {
+		peers = append(peers, mediation.NewPeer(n))
+	}
+
+	triples := 0
+	insert := func(s, p, o string) error {
+		triples++
+		_, err := peers[rng.Intn(len(peers))].InsertTriple(triple.Triple{Subject: s, Predicate: p, Object: o})
+		return err
+	}
+	for e := 0; e < cfg.HotEntities; e++ {
+		s := fmt.Sprintf("acc:%06d", e)
+		org := fmt.Sprintf("species-%d", zipfish(rng, cfg.Species))
+		if e < cfg.RareMatches {
+			org = "species-rare"
+		}
+		if err := insert(s, "A#org", org); err != nil {
+			return ConjunctiveResult{}, err
+		}
+		if err := insert(s, "A#len", fmt.Sprint(100+e)); err != nil {
+			return ConjunctiveResult{}, err
+		}
+		if err := insert(s, "A#ref", fmt.Sprintf("ref-%d", e%97)); err != nil {
+			return ConjunctiveResult{}, err
+		}
+	}
+
+	// Delays only once the data is loaded: setup is not the measurement.
+	if cfg.TransitDelay > 0 {
+		net.SetSendDelay(cfg.TransitDelay)
+	}
+	if cfg.PerTripleDelay > 0 {
+		net.SetPayloadDelay(cfg.PerTripleDelay, mediation.PayloadTriples)
+	}
+
+	// Worst-case declaration order: both hot patterns before the rare one.
+	patterns := []triple.Pattern{
+		{S: triple.Var("x"), P: triple.Const("A#len"), O: triple.Var("len")},
+		{S: triple.Var("x"), P: triple.Const("A#ref"), O: triple.Var("ref")},
+		{S: triple.Var("x"), P: triple.Const("A#org"), O: triple.Const("species-rare")},
+	}
+	opts := mediation.SearchOptions{Parallelism: cfg.Parallelism}
+
+	out := ConjunctiveResult{Triples: triples, Match: true}
+	naiveWall, plannedWall := metrics.NewDistribution(), metrics.NewDistribution()
+	naiveMsgs, plannedMsgs := metrics.NewDistribution(), metrics.NewDistribution()
+	naiveShipped, plannedShipped := metrics.NewDistribution(), metrics.NewDistribution()
+	for q := 0; q < cfg.Queries; q++ {
+		issuer := peers[rng.Intn(len(peers))]
+
+		start := time.Now()
+		naive, naiveStats, err := issuer.SearchConjunctiveNaive(patterns, false, opts)
+		if err != nil {
+			return out, fmt.Errorf("naive query %d: %w", q, err)
+		}
+		naiveWall.Add(float64(time.Since(start).Microseconds()) / 1000)
+		naiveMsgs.Add(float64(naiveStats.TotalMessages()))
+		naiveShipped.Add(float64(naiveStats.TriplesShipped))
+
+		start = time.Now()
+		planned, plannedStats, err := issuer.SearchConjunctiveSet(patterns, false, opts)
+		if err != nil {
+			return out, fmt.Errorf("planned query %d: %w", q, err)
+		}
+		plannedWall.Add(float64(time.Since(start).Microseconds()) / 1000)
+		plannedMsgs.Add(float64(plannedStats.TotalMessages()))
+		plannedShipped.Add(float64(plannedStats.TriplesShipped))
+
+		out.Rows = planned.Len()
+		if !sameBindings(naive, planned.ToBindings()) {
+			out.Match = false
+		}
+	}
+
+	out.NaiveMessages = naiveMsgs.Mean()
+	out.PlannedMessages = plannedMsgs.Mean()
+	out.NaiveTriplesShipped = naiveShipped.Mean()
+	out.PlannedTriplesShipped = plannedShipped.Mean()
+	out.NaiveWallMs = naiveWall.Mean()
+	out.PlannedWallMs = plannedWall.Mean()
+	if out.PlannedMessages > 0 {
+		out.MessageRatio = out.NaiveMessages / out.PlannedMessages
+	}
+	if out.PlannedWallMs > 0 {
+		out.Speedup = out.NaiveWallMs / out.PlannedWallMs
+	}
+	return out, nil
+}
+
+// zipfish draws a skewed species index: low indices are hot, the tail long.
+func zipfish(rng *rand.Rand, n int) int {
+	v := int(rng.ExpFloat64() * float64(n) / 4)
+	if v >= n {
+		v = n - 1
+	}
+	return v
+}
+
+// sameBindings compares two binding lists as sets of canonical rows.
+func sameBindings(a, b []triple.Bindings) bool {
+	key := func(bs []triple.Bindings) string {
+		rows := make([]string, 0, len(bs))
+		seen := map[string]bool{}
+		for _, m := range bs {
+			vars := make([]string, 0, len(m))
+			for v := range m {
+				vars = append(vars, v)
+			}
+			sort.Strings(vars)
+			var sb strings.Builder
+			for _, v := range vars {
+				fmt.Fprintf(&sb, "%s=%s;", v, m[v])
+			}
+			if !seen[sb.String()] {
+				seen[sb.String()] = true
+				rows = append(rows, sb.String())
+			}
+		}
+		sort.Strings(rows)
+		return strings.Join(rows, "\n")
+	}
+	return key(a) == key(b)
+}
+
+// Table renders the comparison.
+func (r ConjunctiveResult) Table() string {
+	t := metrics.NewTable("evaluator", "msgs/query", "triples shipped", "wall ms/query")
+	t.AddRow("naive", fmt.Sprintf("%.0f", r.NaiveMessages), fmt.Sprintf("%.0f", r.NaiveTriplesShipped), fmt.Sprintf("%.1f", r.NaiveWallMs))
+	t.AddRow("planned", fmt.Sprintf("%.0f", r.PlannedMessages), fmt.Sprintf("%.0f", r.PlannedTriplesShipped), fmt.Sprintf("%.1f", r.PlannedWallMs))
+	return t.String() +
+		fmt.Sprintf("message ratio %.1fx, wall-clock speedup %.1fx, rows %d, planned==naive: %v\n",
+			r.MessageRatio, r.Speedup, r.Rows, r.Match)
+}

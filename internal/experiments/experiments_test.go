@@ -294,3 +294,36 @@ func TestRunAlignmentAblation(t *testing.T) {
 		t.Error("table header missing")
 	}
 }
+
+func TestRunConjunctivePlannerBeatsNaive(t *testing.T) {
+	// Small workload, delays disabled (negative): the test pins result
+	// equivalence and the message/transfer reductions, not wall-clock.
+	r, err := RunConjunctive(ConjunctiveConfig{
+		Peers:          24,
+		HotEntities:    1500,
+		RareMatches:    4,
+		Queries:        1,
+		TransitDelay:   -1,
+		PerTripleDelay: -1,
+		Seed:           11,
+	})
+	if err != nil {
+		t.Fatalf("RunConjunctive: %v", err)
+	}
+	if !r.Match {
+		t.Fatal("planned execution diverged from the naive evaluator")
+	}
+	if r.Rows != 4 {
+		t.Errorf("rows = %d, want 4", r.Rows)
+	}
+	if r.MessageRatio < 2 {
+		t.Errorf("message ratio = %.2f, want ≥2x", r.MessageRatio)
+	}
+	if r.PlannedTriplesShipped*10 > r.NaiveTriplesShipped {
+		t.Errorf("triples shipped: planned %.0f vs naive %.0f, want ≥10x reduction",
+			r.PlannedTriplesShipped, r.NaiveTriplesShipped)
+	}
+	if !strings.Contains(r.Table(), "planned") {
+		t.Error("table missing planned row")
+	}
+}

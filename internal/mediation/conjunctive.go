@@ -1,0 +1,522 @@
+package mediation
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gridvine/internal/pgrid"
+	"gridvine/internal/triple"
+)
+
+// The conjunctive query execution engine (paper §2.3: conjunctive RDQL over
+// triple patterns). The naive evaluator — resolve every pattern in
+// declaration order, unconstrained, and nested-loop-join the binding sets —
+// ships the full network-wide answer of every pattern even when earlier
+// patterns already bound the shared variable to a handful of values. The
+// planner here replaces it with three coordinated techniques:
+//
+//  1. Selectivity ordering: patterns are resolved greedily, most selective
+//     first, estimated from constant positions (subject > object >
+//     predicate), LIKE filters, and shared-variable connectivity.
+//  2. Bound-value pushdown: once a shared variable is bound, subsequent
+//     patterns are shipped as k constrained point lookups (one per distinct
+//     bound value, fanned out across the SearchOptions.Parallelism pool)
+//     instead of one full-scan pattern — capped by
+//     SearchOptions.PushdownLimit, above which the engine falls back to the
+//     unconstrained pattern.
+//  3. Hash joins over the flattened triple.BindingSet representation
+//     instead of the O(|L|·|R|) map-merge nested loop.
+//
+// Patterns in different join components (no shared variables, transitively)
+// are independent and execute concurrently; their results combine by
+// cartesian product, exactly as the natural join semantics dictate.
+//
+// The planned engine returns the same binding set as the naive evaluator
+// for every pattern order, with and without reformulation (pushdown never
+// substitutes a predicate-position variable when reformulation is on, since
+// turning a variable predicate into a constant would unlock reformulations
+// the naive evaluator does not perform).
+
+// DefaultPushdownLimit is the bound-value fan-out cap used when
+// SearchOptions.PushdownLimit is zero: large enough to cover selective
+// joins, small enough that a mis-estimated pushdown never floods the
+// overlay with more lookups than the unconstrained pattern would cost.
+const DefaultPushdownLimit = 32
+
+// ResponseChunk is the number of triples assumed to fit in one transport
+// message. Overlay routing counts one message per hop regardless of payload,
+// which would make a 20k-triple answer as "cheap" as a point lookup; the
+// conjunctive engine instead charges one extra transfer message per
+// ResponseChunk triples beyond the first chunk, so message counts reflect
+// data actually moved.
+const ResponseChunk = 64
+
+// transferMessages returns the extra transfer messages charged for an
+// answer of n triples (the first chunk rides the already-counted response).
+func transferMessages(n int) int {
+	if n <= ResponseChunk {
+		return 0
+	}
+	return (n+ResponseChunk-1)/ResponseChunk - 1
+}
+
+// ConjunctiveStats reports how a conjunctive query was executed.
+type ConjunctiveStats struct {
+	// RouteMessages is the overlay routing cost (route messages of every
+	// pattern lookup and mapping retrieval).
+	RouteMessages int
+	// TransferMessages is the data-transfer cost: extra messages charged
+	// for shipped answer chunks beyond the first (see ResponseChunk).
+	TransferMessages int
+	// TriplesShipped counts result triples transferred to the issuer.
+	TriplesShipped int
+	// PatternLookups is the number of routed pattern operations issued.
+	PatternLookups int
+	// Pushdowns counts patterns resolved via bound-value pushdown.
+	Pushdowns int
+	// FullScans counts patterns shipped unconstrained.
+	FullScans int
+	// Reformulations aggregates per-pattern reformulation counts.
+	Reformulations int
+}
+
+// TotalMessages is the overlay message cost including data transfer.
+func (s ConjunctiveStats) TotalMessages() int {
+	return s.RouteMessages + s.TransferMessages
+}
+
+func (s *ConjunctiveStats) add(o ConjunctiveStats) {
+	s.RouteMessages += o.RouteMessages
+	s.TransferMessages += o.TransferMessages
+	s.TriplesShipped += o.TriplesShipped
+	s.PatternLookups += o.PatternLookups
+	s.Pushdowns += o.Pushdowns
+	s.FullScans += o.FullScans
+	s.Reformulations += o.Reformulations
+}
+
+// SearchConjunctive resolves a conjunctive query — a list of triple
+// patterns sharing variables — through the planning engine (selectivity
+// ordering, bound-value pushdown, hash joins) and returns the joined
+// bindings plus the total message cost. Reformulation applies per pattern
+// when reformulate is set.
+//
+// Bindings carry set semantics: duplicate rows (two triples differing only
+// at non-variable positions, e.g. under a LIKE term) collapse, where the
+// seed's evaluator returned one binding per matching triple. The message
+// count includes data-transfer chunk accounting (see ResponseChunk), not
+// just routing hops.
+func (p *Peer) SearchConjunctive(patterns []triple.Pattern, reformulate bool, opts SearchOptions) ([]triple.Bindings, int, error) {
+	bs, stats, err := p.SearchConjunctiveSet(patterns, reformulate, opts)
+	if err != nil {
+		return nil, stats.TotalMessages(), err
+	}
+	return bs.ToBindings(), stats.TotalMessages(), nil
+}
+
+// SearchConjunctiveSet is SearchConjunctive returning the flattened
+// binding representation and full execution statistics — the zero-copy
+// entry point the RDQL layer projects from.
+func (p *Peer) SearchConjunctiveSet(patterns []triple.Pattern, reformulate bool, opts SearchOptions) (*triple.BindingSet, ConjunctiveStats, error) {
+	opts = opts.withDefaults()
+	var stats ConjunctiveStats
+	if len(patterns) == 0 {
+		return nil, stats, errors.New("mediation: empty conjunctive query")
+	}
+
+	comps := joinComponents(patterns)
+	type compOut struct {
+		bs    *triple.BindingSet
+		stats ConjunctiveStats
+		err   error
+	}
+	outs := make([]compOut, len(comps))
+	runPool(len(comps), opts.Parallelism, func(i int) {
+		bs, st, err := p.runComponent(patterns, comps[i], reformulate, opts)
+		outs[i] = compOut{bs: bs, stats: st, err: err}
+	})
+
+	var firstErr error
+	var parts []*triple.BindingSet
+	for i := range outs {
+		stats.add(outs[i].stats)
+		if outs[i].err != nil {
+			if firstErr == nil {
+				firstErr = outs[i].err
+			}
+			continue
+		}
+		if outs[i].bs.Len() == 0 {
+			// A zero-row component annihilates the whole conjunction (the
+			// cartesian product with ∅ is ∅) — even when another component
+			// failed, e.g. on an unroutable pattern. The naive evaluator
+			// behaves the same way in the orders where it reaches the empty
+			// join first; the planner extends that to every order.
+			return outs[i].bs, stats, nil
+		}
+		parts = append(parts, outs[i].bs)
+	}
+	if firstErr != nil {
+		return nil, stats, firstErr
+	}
+	result := parts[0]
+	for _, bs := range parts[1:] {
+		// Disjoint components share no variables: cartesian product.
+		result = triple.HashJoin(result, bs)
+	}
+	result.SortRows()
+	return result, stats, nil
+}
+
+// SearchConjunctiveNaive is the textbook left-to-right evaluator the seed
+// shipped: every pattern resolved in declaration order, unconstrained, with
+// the nested-loop binding join. Kept as the baseline the planner is
+// benchmarked and property-tested against; message accounting matches the
+// planned engine (routing plus transfer chunks) so comparisons are
+// apples-to-apples.
+func (p *Peer) SearchConjunctiveNaive(patterns []triple.Pattern, reformulate bool, opts SearchOptions) ([]triple.Bindings, ConjunctiveStats, error) {
+	opts = opts.withDefaults()
+	var stats ConjunctiveStats
+	if len(patterns) == 0 {
+		return nil, stats, errors.New("mediation: empty conjunctive query")
+	}
+	var joined []triple.Bindings
+	for i, q := range patterns {
+		rs, err := p.resolvePattern(q, reformulate, opts, &stats)
+		if err != nil {
+			return nil, stats, fmt.Errorf("mediation: pattern %d: %w", i, err)
+		}
+		stats.FullScans++
+		bindings := rs.Bindings()
+		if i == 0 {
+			joined = bindings
+		} else {
+			joined = triple.JoinBindingsNestedLoop(joined, bindings)
+		}
+		if len(joined) == 0 {
+			return nil, stats, nil
+		}
+	}
+	return joined, stats, nil
+}
+
+// joinComponents groups pattern indices into connected components of the
+// join graph (patterns sharing a variable, transitively). Components are
+// ordered by their smallest pattern index, indices ascending within each.
+func joinComponents(patterns []triple.Pattern) [][]int {
+	parent := make([]int, len(patterns))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	byVar := map[string]int{}
+	for i, q := range patterns {
+		for _, v := range q.Variables() {
+			if j, ok := byVar[v]; ok {
+				parent[find(i)] = find(j)
+			} else {
+				byVar[v] = i
+			}
+		}
+	}
+	groups := map[int][]int{}
+	var order []int
+	for i := range patterns {
+		r := find(i)
+		if _, ok := groups[r]; !ok {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], i)
+	}
+	out := make([][]int, 0, len(order))
+	for _, r := range order {
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+// runComponent executes one join component: greedy selectivity-ordered
+// resolution with pushdown, hash-joining each pattern's bindings into the
+// accumulated set. An empty intermediate join short-circuits — no remaining
+// pattern can contribute rows, so their lookups are skipped entirely.
+func (p *Peer) runComponent(patterns []triple.Pattern, idxs []int, reformulate bool, opts SearchOptions) (*triple.BindingSet, ConjunctiveStats, error) {
+	var stats ConjunctiveStats
+	done := make(map[int]bool, len(idxs))
+	var cur *triple.BindingSet
+	for range idxs {
+		plan := chooseNext(patterns, idxs, done, cur, reformulate, opts.PushdownLimit)
+		q := patterns[plan.idx]
+		var bs *triple.BindingSet
+		var err error
+		if plan.pushdown {
+			bs, err = p.resolvePushdown(q, plan.pushVar, plan.pushVals, reformulate, opts, &stats)
+		} else {
+			stats.FullScans++
+			var rs *ResultSet
+			if rs, err = p.resolvePattern(q, reformulate, opts, &stats); err == nil {
+				bs = bindResults(q, rs.Results)
+			}
+		}
+		if err != nil {
+			return nil, stats, fmt.Errorf("mediation: pattern %d: %w", plan.idx, err)
+		}
+		if cur == nil {
+			cur = bs
+		} else {
+			cur = triple.HashJoin(cur, bs)
+		}
+		done[plan.idx] = true
+		if cur.Len() == 0 {
+			break
+		}
+	}
+	return cur, stats, nil
+}
+
+// resolvePlan is chooseNext's decision: which pattern to resolve next and,
+// when pushdown won, the substituted variable and its bound values — so the
+// executor never recomputes the plan.
+type resolvePlan struct {
+	idx      int
+	pushdown bool
+	pushVar  string
+	pushVals []string
+}
+
+// chooseNext picks the unresolved pattern with the lowest estimated cost;
+// ties break on the smallest pattern index, keeping plans deterministic.
+// Distinct-value scans of the current binding set are memoized per variable
+// across the candidates of one step.
+func chooseNext(patterns []triple.Pattern, idxs []int, done map[int]bool, cur *triple.BindingSet, reformulate bool, limit int) resolvePlan {
+	var valsCache map[string][]string
+	boundVals := func(name string) ([]string, bool) {
+		if cur == nil || cur.VarIndex(name) < 0 {
+			return nil, false
+		}
+		if vals, ok := valsCache[name]; ok {
+			return vals, true
+		}
+		if valsCache == nil {
+			valsCache = map[string][]string{}
+		}
+		vals := cur.DistinctValues(name)
+		valsCache[name] = vals
+		return vals, true
+	}
+	best := resolvePlan{idx: -1}
+	bestCost := math.Inf(1)
+	for _, i := range idxs {
+		if done[i] {
+			continue
+		}
+		plan, cost := assessPattern(patterns, i, idxs, done, boundVals, reformulate, limit)
+		if best.idx < 0 || cost < bestCost {
+			best, bestCost = plan, cost
+		}
+	}
+	return best
+}
+
+// Relative candidate-set weights of the routing positions: a constant
+// subject names one resource, a constant object one (shared) value, a
+// constant predicate an entire attribute's extension.
+const (
+	costSubjectConst   = 2
+	costObjectConst    = 16
+	costPredicateConst = 4096
+)
+
+// assessPattern scores how expensive resolving patterns[idx] now would be,
+// alongside the plan that achieves it. Pushdown-able patterns cost their
+// bound-value fan-out k (tiny); otherwise the most specific constant
+// position sets the base, LIKE terms halve it (they filter remotely,
+// shrinking the shipped answer), and shared variables with other unresolved
+// patterns grant a small connectivity discount — resolving a connected
+// pattern first unlocks pushdown for its neighbours.
+func assessPattern(patterns []triple.Pattern, idx int, idxs []int, done map[int]bool, boundVals func(string) ([]string, bool), reformulate bool, limit int) (resolvePlan, float64) {
+	q := patterns[idx]
+	if v, vals, ok := pushdownPlan(q, boundVals, reformulate, limit); ok {
+		return resolvePlan{idx: idx, pushdown: true, pushVar: v, pushVals: vals}, float64(len(vals))
+	}
+	var base float64
+	switch {
+	case q.S.Kind == triple.Constant:
+		base = costSubjectConst
+	case q.O.Kind == triple.Constant:
+		base = costObjectConst
+	case q.P.Kind == triple.Constant:
+		base = costPredicateConst
+	default:
+		// Unroutable and not pushdown-able: last resort.
+		return resolvePlan{idx: idx}, math.Inf(1)
+	}
+	for _, t := range [3]triple.Term{q.S, q.P, q.O} {
+		if t.Kind == triple.Like {
+			base *= 0.5
+		}
+	}
+	links := 0
+	for _, v := range q.Variables() {
+		for _, j := range idxs {
+			if j == idx || done[j] {
+				continue
+			}
+			for _, ov := range patterns[j].Variables() {
+				if ov == v {
+					links++
+				}
+			}
+		}
+	}
+	return resolvePlan{idx: idx}, base * math.Pow(0.95, float64(links))
+}
+
+// pushdownPlan decides whether q should be resolved by bound-value
+// pushdown, and on which variable: the shared bound variable with the
+// fewest distinct values wins. Predicate-position variables are never
+// substituted under reformulation — a constant predicate would reformulate
+// across mappings the naive evaluation of the variable pattern never
+// touches, changing the answer. Above the PushdownLimit cap the pattern
+// ships unconstrained instead, unless it has no constant term at all, in
+// which case pushdown is its only route to the overlay.
+func pushdownPlan(q triple.Pattern, boundVals func(string) ([]string, bool), reformulate bool, limit int) (string, []string, bool) {
+	_, _, routable := q.MostSpecificConstant()
+	bestVar := ""
+	var bestVals []string
+	for _, v := range q.Variables() {
+		vals, bound := boundVals(v)
+		if !bound {
+			continue
+		}
+		if reformulate && varAtPosition(q, v, triple.Predicate) {
+			continue
+		}
+		if bestVar == "" || len(vals) < len(bestVals) {
+			bestVar, bestVals = v, vals
+		}
+	}
+	if bestVar == "" {
+		return "", nil, false
+	}
+	overCap := limit < 0 || len(bestVals) > limit
+	if overCap && routable {
+		return "", nil, false
+	}
+	return bestVar, bestVals, true
+}
+
+func varAtPosition(q triple.Pattern, name string, pos triple.Position) bool {
+	t := q.Term(pos)
+	return t.Kind == triple.Variable && t.Value == name
+}
+
+// substituteVar returns q with every occurrence of the named variable
+// replaced by a constant.
+func substituteVar(q triple.Pattern, name, value string) triple.Pattern {
+	for _, pos := range [3]triple.Position{triple.Subject, triple.Predicate, triple.Object} {
+		if varAtPosition(q, name, pos) {
+			q = q.WithTerm(pos, triple.Const(value))
+		}
+	}
+	return q
+}
+
+// resolvePushdown ships one constrained point lookup per bound value of the
+// substituted variable, fanned out across the parallelism pool, and merges
+// the per-value bindings in sorted-value order (deterministic results at
+// any width). The substituted variable is restored as a constant column.
+func (p *Peer) resolvePushdown(q triple.Pattern, v string, vals []string, reformulate bool, opts SearchOptions, stats *ConjunctiveStats) (*triple.BindingSet, error) {
+	stats.Pushdowns++
+	type out struct {
+		bs    *triple.BindingSet
+		stats ConjunctiveStats
+		err   error
+	}
+	outs := make([]out, len(vals))
+	runPool(len(vals), opts.Parallelism, func(i int) {
+		sub := substituteVar(q, v, vals[i])
+		var st ConjunctiveStats
+		rs, err := p.resolvePattern(sub, reformulate, opts, &st)
+		if err != nil {
+			outs[i] = out{err: err, stats: st}
+			return
+		}
+		bs := bindResults(sub, rs.Results)
+		bs.AddConstColumn(v, vals[i])
+		outs[i] = out{bs: bs, stats: st}
+	})
+
+	var merged *triple.BindingSet
+	for i := range outs {
+		stats.add(outs[i].stats)
+		if outs[i].err != nil {
+			return nil, outs[i].err
+		}
+		if merged == nil {
+			merged = outs[i].bs
+		} else {
+			merged.Rows = append(merged.Rows, outs[i].bs.Rows...)
+		}
+	}
+	return merged, nil
+}
+
+// resolvePattern issues one (possibly reformulating) overlay search and
+// charges its routing, transfer, and reformulation costs to stats.
+func (p *Peer) resolvePattern(q triple.Pattern, reformulate bool, opts SearchOptions, stats *ConjunctiveStats) (*ResultSet, error) {
+	var rs *ResultSet
+	var err error
+	if reformulate {
+		rs, err = p.SearchWithReformulation(q, opts)
+	} else {
+		rs, err = p.SearchFor(q)
+	}
+	if rs != nil {
+		stats.PatternLookups++
+		stats.RouteMessages += rs.Messages
+		stats.TriplesShipped += len(rs.Results)
+		stats.TransferMessages += transferMessages(len(rs.Results))
+		stats.Reformulations += rs.Reformulations
+	}
+	return rs, err
+}
+
+// PayloadTriples measures how many result triples a transport payload
+// carries, unwrapping the overlay envelope. It is the sizer benchmarks and
+// experiments hand to simnet.Network.SetPayloadDelay so wall-clock reflects
+// the volume of data shipped, not just the number of round-trips.
+func PayloadTriples(payload any) int {
+	switch v := payload.(type) {
+	case pgrid.ExecRequest:
+		return PayloadTriples(v.Payload)
+	case pgrid.ExecResponse:
+		return PayloadTriples(v.AppResult)
+	case []triple.Triple:
+		return len(v)
+	case ReformulatedResponse:
+		return len(v.Results)
+	}
+	return 0
+}
+
+// bindResults flattens a result list into a BindingSet under the original
+// pattern's variable schema. Results of reformulated patterns bind
+// identically: reformulation only rewrites the (constant) predicate, so
+// variable positions coincide with q's — which is why the per-triple match
+// gate is skipped (the remote σ already matched each triple against its
+// own pattern).
+func bindResults(q triple.Pattern, results []Result) *triple.BindingSet {
+	ts := make([]triple.Triple, len(results))
+	for i, r := range results {
+		ts[i] = r.Triple
+	}
+	return triple.BindTriplesMatched(q, ts)
+}

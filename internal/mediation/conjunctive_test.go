@@ -1,0 +1,506 @@
+package mediation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gridvine/internal/pgrid"
+	"gridvine/internal/schema"
+	"gridvine/internal/simnet"
+	"gridvine/internal/triple"
+)
+
+// conjNetwork builds the conjunctive-query test workload: entities under
+// schema A (org/len, ref on even entities), a second schema B holding name
+// triples for a disjoint entity set, and a bidirectional mapping
+// A.org ↔ B.name so reformulating searches have real work.
+func conjNetwork(t testing.TB, peers, entities int) (*simnet.Network, []*Peer) {
+	t.Helper()
+	net, ps, err := buildPeers(peers, 77)
+	if err != nil {
+		t.Fatalf("buildPeers: %v", err)
+	}
+	insert := func(s, p, o string) {
+		t.Helper()
+		if _, err := ps[len(s)%len(ps)].InsertTriple(triple.Triple{Subject: s, Predicate: p, Object: o}); err != nil {
+			t.Fatalf("InsertTriple: %v", err)
+		}
+	}
+	for e := 0; e < entities; e++ {
+		s := fmt.Sprintf("s%03d", e)
+		org := fmt.Sprintf("species-%d", e%6)
+		if e%250 == 0 {
+			org = "species-rare" // a handful of matches even at scale
+		}
+		insert(s, "A#org", org)
+		insert(s, "A#len", fmt.Sprint(100+e))
+		if e%2 == 0 {
+			insert(s, "A#ref", fmt.Sprintf("r%d", e%4))
+		}
+	}
+	for e := 0; e < entities/2; e++ {
+		insert(fmt.Sprintf("t%03d", e), "B#name", fmt.Sprintf("species-%d", e%6))
+	}
+	m := schema.NewMapping("A", "B", schema.Equivalence, schema.Manual,
+		[]schema.Correspondence{{SourceAttr: "org", TargetAttr: "name", Confidence: 1}})
+	m.Bidirectional = true
+	if _, err := ps[0].InsertMapping(m); err != nil {
+		t.Fatalf("InsertMapping: %v", err)
+	}
+	return net, ps
+}
+
+// bindingKeys canonicalizes a binding list into a sorted, deduplicated set
+// of strings, the comparison unit of the equivalence property.
+func bindingKeys(bindings []triple.Bindings) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, b := range bindings {
+		vars := make([]string, 0, len(b))
+		for v := range b {
+			vars = append(vars, v)
+		}
+		sort.Strings(vars)
+		var sb strings.Builder
+		for _, v := range vars {
+			fmt.Fprintf(&sb, "%s=%s;", v, b[v])
+		}
+		if !seen[sb.String()] {
+			seen[sb.String()] = true
+			out = append(out, sb.String())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func permutations(patterns []triple.Pattern) [][]triple.Pattern {
+	if len(patterns) <= 1 {
+		return [][]triple.Pattern{patterns}
+	}
+	var out [][]triple.Pattern
+	for i := range patterns {
+		rest := make([]triple.Pattern, 0, len(patterns)-1)
+		rest = append(rest, patterns[:i]...)
+		rest = append(rest, patterns[i+1:]...)
+		for _, sub := range permutations(rest) {
+			perm := append([]triple.Pattern{patterns[i]}, sub...)
+			out = append(out, perm)
+		}
+	}
+	return out
+}
+
+// TestPlannerMatchesNaive is the central equivalence property: for every
+// tested query, every pattern order, with and without reformulation, at
+// serial and default parallelism, the planned engine returns exactly the
+// binding set of the naive left-to-right evaluator.
+func TestPlannerMatchesNaive(t *testing.T) {
+	_, ps := conjNetwork(t, 32, 36)
+	issuer := ps[3]
+
+	queries := map[string][]triple.Pattern{
+		"two-pattern-join": {
+			{S: triple.Var("x"), P: triple.Const("A#org"), O: triple.Const("species-3")},
+			{S: triple.Var("x"), P: triple.Const("A#len"), O: triple.Var("len")},
+		},
+		"three-pattern-join": {
+			{S: triple.Var("x"), P: triple.Const("A#len"), O: triple.Var("len")},
+			{S: triple.Var("x"), P: triple.Const("A#org"), O: triple.Const("species-2")},
+			{S: triple.Var("x"), P: triple.Const("A#ref"), O: triple.Var("r")},
+		},
+		"like-term": {
+			{S: triple.Var("x"), P: triple.Const("A#org"), O: triple.LikeTerm("%ies-1%")},
+			{S: triple.Var("x"), P: triple.Const("A#len"), O: triple.Var("len")},
+		},
+		"disjoint-components": {
+			{S: triple.Var("x"), P: triple.Const("A#org"), O: triple.Const("species-4")},
+			{S: triple.Var("y"), P: triple.Const("A#ref"), O: triple.Const("r0")},
+		},
+		"empty-result": {
+			{S: triple.Var("x"), P: triple.Const("A#org"), O: triple.Const("species-none")},
+			{S: triple.Var("x"), P: triple.Const("A#len"), O: triple.Var("len")},
+		},
+		"var-predicate": {
+			{S: triple.Var("x"), P: triple.Const("A#org"), O: triple.Const("species-1")},
+			{S: triple.Var("x"), P: triple.Var("p"), O: triple.Const("r1")},
+		},
+	}
+
+	for name, base := range queries {
+		for pi, patterns := range permutations(base) {
+			for _, reformulate := range []bool{false, true} {
+				naive, _, err := issuer.SearchConjunctiveNaive(patterns, reformulate, SearchOptions{Parallelism: 1})
+				if err != nil {
+					t.Fatalf("%s/perm%d/ref=%v naive: %v", name, pi, reformulate, err)
+				}
+				want := bindingKeys(naive)
+				for _, par := range []int{1, 0} {
+					got, _, err := issuer.SearchConjunctive(patterns, reformulate, SearchOptions{Parallelism: par})
+					if err != nil {
+						t.Fatalf("%s/perm%d/ref=%v/par=%d planned: %v", name, pi, reformulate, par, err)
+					}
+					if keys := bindingKeys(got); !equalStrings(keys, want) {
+						t.Errorf("%s/perm%d/ref=%v/par=%d:\nplanned = %v\nnaive   = %v",
+							name, pi, reformulate, par, keys, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPlannerMatchesNaiveSmallPushdownCap re-runs the core join query with
+// caps that force both the pushdown path (cap above the bound-value count)
+// and the unconstrained fallback (cap below it, and pushdown disabled).
+func TestPlannerMatchesNaiveSmallPushdownCap(t *testing.T) {
+	_, ps := conjNetwork(t, 32, 36)
+	issuer := ps[5]
+	patterns := []triple.Pattern{
+		{S: triple.Var("x"), P: triple.Const("A#len"), O: triple.Var("len")},
+		{S: triple.Var("x"), P: triple.Const("A#org"), O: triple.Const("species-3")},
+	}
+	naive, _, err := issuer.SearchConjunctiveNaive(patterns, false, SearchOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatalf("naive: %v", err)
+	}
+	want := bindingKeys(naive)
+	if len(want) == 0 {
+		t.Fatal("workload yields no rows — test is vacuous")
+	}
+	for _, cap := range []int{1, 2, 100, -1} {
+		got, _, err := issuer.SearchConjunctive(patterns, false, SearchOptions{Parallelism: 1, PushdownLimit: cap})
+		if err != nil {
+			t.Fatalf("cap=%d: %v", cap, err)
+		}
+		if keys := bindingKeys(got); !equalStrings(keys, want) {
+			t.Errorf("cap=%d:\nplanned = %v\nnaive   = %v", cap, keys, want)
+		}
+	}
+}
+
+// TestPlannerSavesMessages pins the point of the engine: on a skewed
+// selective join declared unselective-first, the planner spends fewer
+// overlay messages (routing + transfer chunks) and ships far fewer triples
+// than the naive evaluator, while returning the same rows.
+func TestPlannerSavesMessages(t *testing.T) {
+	_, ps := conjNetwork(t, 32, 2000) // A#len answer ≫ ResponseChunk; 8 rare matches
+	issuer := ps[7]
+	patterns := []triple.Pattern{
+		{S: triple.Var("x"), P: triple.Const("A#len"), O: triple.Var("len")},
+		{S: triple.Var("x"), P: triple.Const("A#org"), O: triple.Const("species-rare")},
+	}
+	naive, naiveStats, err := issuer.SearchConjunctiveNaive(patterns, false, SearchOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatalf("naive: %v", err)
+	}
+	planned, plannedStats, err := issuer.SearchConjunctiveSet(patterns, false, SearchOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatalf("planned: %v", err)
+	}
+	if !equalStrings(bindingKeys(naive), bindingKeys(planned.ToBindings())) {
+		t.Fatal("planned and naive disagree")
+	}
+	if plannedStats.Pushdowns == 0 {
+		t.Errorf("expected pushdown execution, stats = %+v", plannedStats)
+	}
+	if plannedStats.TriplesShipped*4 > naiveStats.TriplesShipped {
+		t.Errorf("triples shipped: planned %d vs naive %d — expected ≥4x reduction",
+			plannedStats.TriplesShipped, naiveStats.TriplesShipped)
+	}
+	if plannedStats.TotalMessages()*2 > naiveStats.TotalMessages() {
+		t.Errorf("messages: planned %d vs naive %d — expected ≥2x reduction",
+			plannedStats.TotalMessages(), naiveStats.TotalMessages())
+	}
+}
+
+// TestPushdownRescuesUnroutablePattern: an all-variable pattern is not
+// routable on its own (the naive evaluator fails), but once the shared
+// variable is bound the planner ships it as point lookups.
+func TestPushdownRescuesUnroutablePattern(t *testing.T) {
+	_, ps := conjNetwork(t, 32, 24)
+	issuer := ps[2]
+	patterns := []triple.Pattern{
+		{S: triple.Var("x"), P: triple.Const("A#org"), O: triple.Const("species-3")},
+		{S: triple.Var("x"), P: triple.Var("p"), O: triple.Var("o")},
+	}
+	if _, _, err := issuer.SearchConjunctiveNaive(patterns, false, SearchOptions{Parallelism: 1}); err == nil {
+		t.Fatal("naive evaluator should fail on the unroutable pattern")
+	}
+	got, stats, err := issuer.SearchConjunctive(patterns, false, SearchOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatalf("planned: %v", err)
+	}
+	if stats == 0 || len(got) == 0 {
+		t.Fatalf("planned returned no rows (messages=%d)", stats)
+	}
+	for _, b := range got {
+		if b["p"] == "A#org" && b["o"] != "species-3" {
+			t.Errorf("row %v violates the selective pattern", b)
+		}
+		if !strings.HasPrefix(b["x"], "s") {
+			t.Errorf("unexpected subject %q", b["x"])
+		}
+	}
+}
+
+// TestEmptyComponentAnnihilatesUnroutable: a zero-row join component makes
+// the whole conjunction empty, so the planner must return empty — not an
+// error — even when a disjoint component holds an unroutable pattern, in
+// every declaration order. A non-empty conjunction with an unroutable
+// disjoint component still errors, exactly like the naive evaluator.
+func TestEmptyComponentAnnihilatesUnroutable(t *testing.T) {
+	_, ps := conjNetwork(t, 16, 12)
+	empty := triple.Pattern{S: triple.Var("x"), P: triple.Const("A#org"), O: triple.Const("species-none")}
+	unroutable := triple.Pattern{S: triple.Var("y"), P: triple.Var("p"), O: triple.Var("o")}
+
+	naive, _, err := ps[1].SearchConjunctiveNaive([]triple.Pattern{empty, unroutable}, false, SearchOptions{Parallelism: 1})
+	if err != nil || len(naive) != 0 {
+		t.Fatalf("naive = %v, %v", naive, err)
+	}
+	for _, patterns := range [][]triple.Pattern{{empty, unroutable}, {unroutable, empty}} {
+		got, _, err := ps[1].SearchConjunctive(patterns, false, SearchOptions{Parallelism: 1})
+		if err != nil {
+			t.Fatalf("planned(%v): %v", patterns, err)
+		}
+		if len(got) != 0 {
+			t.Errorf("planned(%v) = %v, want empty", patterns, got)
+		}
+	}
+
+	nonEmpty := triple.Pattern{S: triple.Var("x"), P: triple.Const("A#org"), O: triple.Const("species-1")}
+	if _, _, err := ps[1].SearchConjunctive([]triple.Pattern{nonEmpty, unroutable}, false, SearchOptions{}); err == nil {
+		t.Error("unroutable component of a non-empty conjunction should error")
+	}
+}
+
+// TestConjunctiveRepeatedVariable checks repeated-variable consistency
+// (same variable at two positions) against a manual expectation.
+func TestConjunctiveRepeatedVariable(t *testing.T) {
+	_, ps := conjNetwork(t, 16, 8)
+	insert := func(s, p, o string) {
+		if _, err := ps[0].InsertTriple(triple.Triple{Subject: s, Predicate: p, Object: o}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	insert("loop1", "A#self", "loop1")
+	insert("loop2", "A#self", "other")
+	patterns := []triple.Pattern{
+		{S: triple.Var("x"), P: triple.Const("A#self"), O: triple.Var("x")},
+	}
+	for _, f := range []func() ([]triple.Bindings, error){
+		func() ([]triple.Bindings, error) {
+			b, _, err := ps[1].SearchConjunctive(patterns, false, SearchOptions{})
+			return b, err
+		},
+		func() ([]triple.Bindings, error) {
+			b, _, err := ps[1].SearchConjunctiveNaive(patterns, false, SearchOptions{})
+			return b, err
+		},
+	} {
+		got, err := f()
+		if err != nil {
+			t.Fatalf("search: %v", err)
+		}
+		if len(got) != 1 || got[0]["x"] != "loop1" {
+			t.Errorf("bindings = %v", got)
+		}
+	}
+}
+
+// TestConcurrentConjunctiveSearches exercises the full engine under -race:
+// several issuers run overlapping conjunctive queries (planned and naive,
+// with and without reformulation) against one network while writers insert.
+func TestConcurrentConjunctiveSearches(t *testing.T) {
+	_, ps := conjNetwork(t, 32, 30)
+	patterns := []triple.Pattern{
+		{S: triple.Var("x"), P: triple.Const("A#len"), O: triple.Var("len")},
+		{S: triple.Var("x"), P: triple.Const("A#org"), O: triple.Const("species-1")},
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			issuer := ps[w%len(ps)]
+			for i := 0; i < 8; i++ {
+				reformulate := i%2 == 0
+				if w%2 == 0 {
+					if _, _, err := issuer.SearchConjunctive(patterns, reformulate, SearchOptions{Parallelism: 4}); err != nil {
+						t.Errorf("worker %d: %v", w, err)
+						return
+					}
+				} else {
+					if _, _, err := issuer.SearchConjunctiveNaive(patterns, reformulate, SearchOptions{Parallelism: 4}); err != nil {
+						t.Errorf("worker %d: %v", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			tr := triple.Triple{
+				Subject:   fmt.Sprintf("live%03d", i),
+				Predicate: "A#org",
+				Object:    fmt.Sprintf("species-%d", i%6),
+			}
+			if _, err := ps[i%len(ps)].InsertTriple(tr); err != nil {
+				t.Errorf("writer: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func TestJoinComponents(t *testing.T) {
+	patterns := []triple.Pattern{
+		{S: triple.Var("x"), P: triple.Const("p1"), O: triple.Var("y")},
+		{S: triple.Var("a"), P: triple.Const("p2"), O: triple.Var("b")},
+		{S: triple.Var("y"), P: triple.Const("p3"), O: triple.Var("z")},
+		{S: triple.Var("b"), P: triple.Const("p4"), O: triple.Const("v")},
+	}
+	comps := joinComponents(patterns)
+	if len(comps) != 2 {
+		t.Fatalf("components = %v", comps)
+	}
+	if !equalInts(comps[0], []int{0, 2}) || !equalInts(comps[1], []int{1, 3}) {
+		t.Errorf("components = %v", comps)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTransferMessages(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 0, ResponseChunk: 0, ResponseChunk + 1: 1, 10 * ResponseChunk: 9}
+	for n, want := range cases {
+		if got := transferMessages(n); got != want {
+			t.Errorf("transferMessages(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// PayloadTriples is exercised indirectly by the benchmark; pin its unwrap
+// logic directly too.
+func TestPayloadTriples(t *testing.T) {
+	ts := []triple.Triple{{Subject: "s"}, {Subject: "t"}}
+	resp := pgrid.ExecResponse{AppResult: ts}
+	if got := PayloadTriples(resp); got != 2 {
+		t.Errorf("ExecResponse = %d", got)
+	}
+	if got := PayloadTriples(ReformulatedResponse{Results: make([]ReformResult, 3)}); got != 3 {
+		t.Errorf("ReformulatedResponse = %d", got)
+	}
+	if got := PayloadTriples("unrelated"); got != 0 {
+		t.Errorf("unrelated = %d", got)
+	}
+}
+
+// BenchmarkConjunctivePlanner compares the naive left-to-right evaluator
+// against the planned engine on a skewed selective join declared
+// unselective-first: a hot A#len/A#ref extension of thousands of entities
+// against a rare A#org constant binding the shared variable to a handful of
+// subjects. Transit and bandwidth delays model a WAN, so wall-clock
+// reflects both round-trips and the volume of shipped triples.
+func BenchmarkConjunctivePlanner(b *testing.B) {
+	const (
+		hotEntities = 4000
+		rareCount   = 5
+	)
+	build := func(b *testing.B) []*Peer {
+		net, ps, err := buildPeers(48, 99)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for e := 0; e < hotEntities; e++ {
+			s := fmt.Sprintf("h%05d", e)
+			org := fmt.Sprintf("species-%d", e%40)
+			if e < rareCount {
+				org = "species-rare"
+			}
+			for _, tr := range []triple.Triple{
+				{Subject: s, Predicate: "A#org", Object: org},
+				{Subject: s, Predicate: "A#len", Object: fmt.Sprint(100 + e)},
+			} {
+				if _, err := ps[e%len(ps)].InsertTriple(tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		// WAN-scale delays, well above the OS sleep granularity (~1ms): a
+		// 1 ms transit per message plus 50 µs per shipped triple of
+		// bandwidth, so wall-clock reflects round-trips and data volume.
+		net.SetSendDelay(time.Millisecond)
+		net.SetPayloadDelay(50*time.Microsecond, PayloadTriples)
+		return ps
+	}
+	patterns := []triple.Pattern{
+		{S: triple.Var("x"), P: triple.Const("A#len"), O: triple.Var("len")},
+		{S: triple.Var("x"), P: triple.Const("A#org"), O: triple.Const("species-rare")},
+	}
+
+	b.Run("naive", func(b *testing.B) {
+		ps := build(b)
+		b.ResetTimer()
+		var stats ConjunctiveStats
+		for i := 0; i < b.N; i++ {
+			rows, st, err := ps[9].SearchConjunctiveNaive(patterns, false, SearchOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(rows) != rareCount {
+				b.Fatalf("rows = %d", len(rows))
+			}
+			stats = st
+		}
+		b.ReportMetric(float64(stats.TotalMessages()), "msgs/query")
+		b.ReportMetric(float64(stats.TriplesShipped), "triples/query")
+	})
+	b.Run("planned", func(b *testing.B) {
+		ps := build(b)
+		b.ResetTimer()
+		var stats ConjunctiveStats
+		for i := 0; i < b.N; i++ {
+			bs, st, err := ps[9].SearchConjunctiveSet(patterns, false, SearchOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if bs.Len() != rareCount {
+				b.Fatalf("rows = %d", bs.Len())
+			}
+			stats = st
+		}
+		b.ReportMetric(float64(stats.TotalMessages()), "msgs/query")
+		b.ReportMetric(float64(stats.TriplesShipped), "triples/query")
+	})
+}

@@ -60,6 +60,15 @@ type SearchOptions struct {
 	// routing tie-breaks, and with them message counts, can vary when
 	// queries race). Negative values are treated as 1.
 	Parallelism int
+	// PushdownLimit caps the bound-value fan-out of the conjunctive query
+	// planner: when a pattern's shared variable is already bound to at most
+	// this many distinct values, the engine ships that many constrained
+	// point lookups instead of one unconstrained (network-wide) pattern.
+	// Above the cap it falls back to the unconstrained pattern. 0 selects
+	// DefaultPushdownLimit; negative disables pushdown (except for patterns
+	// that are not routable unconstrained, where pushdown is the only way
+	// to resolve them).
+	PushdownLimit int
 }
 
 func (o SearchOptions) withDefaults() SearchOptions {
@@ -74,6 +83,9 @@ func (o SearchOptions) withDefaults() SearchOptions {
 	}
 	if o.Parallelism < 1 {
 		o.Parallelism = 1
+	}
+	if o.PushdownLimit == 0 {
+		o.PushdownLimit = DefaultPushdownLimit
 	}
 	return o
 }
@@ -104,9 +116,11 @@ type ResultSet struct {
 }
 
 // Bindings extracts variable bindings from every result under its matching
-// pattern.
+// pattern. The conjunctive engine does not use this — it binds results
+// directly into a flattened triple.BindingSet without a map per triple —
+// but single-pattern callers still get the map representation, pre-sized.
 func (rs *ResultSet) Bindings() []triple.Bindings {
-	var out []triple.Bindings
+	out := make([]triple.Bindings, 0, len(rs.Results))
 	for _, r := range rs.Results {
 		if b, ok := r.Pattern.Bind(r.Triple); ok {
 			out = append(out, b)
@@ -493,43 +507,6 @@ func (p *Peer) handleReformulated(req ReformulatedQuery) (ReformulatedResponse, 
 		resp.Reformulations += subs[i].Reformulations
 	}
 	return resp, nil
-}
-
-// SearchConjunctive resolves a conjunctive query — a list of triple
-// patterns sharing variables — by iteratively resolving each pattern and
-// joining the retrieved binding sets (paper §2.3). Reformulation applies
-// per pattern when opts.Reformulate is set.
-func (p *Peer) SearchConjunctive(patterns []triple.Pattern, reformulate bool, opts SearchOptions) ([]triple.Bindings, int, error) {
-	if len(patterns) == 0 {
-		return nil, 0, errors.New("mediation: empty conjunctive query")
-	}
-	messages := 0
-	var joined []triple.Bindings
-	for i, q := range patterns {
-		var rs *ResultSet
-		var err error
-		if reformulate {
-			rs, err = p.SearchWithReformulation(q, opts)
-		} else {
-			rs, err = p.SearchFor(q)
-		}
-		if rs != nil {
-			messages += rs.Messages
-		}
-		if err != nil {
-			return nil, messages, fmt.Errorf("mediation: pattern %d: %w", i, err)
-		}
-		bindings := rs.Bindings()
-		if i == 0 {
-			joined = bindings
-		} else {
-			joined = triple.JoinBindings(joined, bindings)
-		}
-		if len(joined) == 0 {
-			return nil, messages, nil
-		}
-	}
-	return joined, messages, nil
 }
 
 // handleQuery dispatches application queries arriving at this peer.

@@ -75,9 +75,14 @@ type Row []string
 // Project extracts the distinguished variables from a binding set, skipping
 // bindings that do not cover every selected variable and deduplicating
 // rows. Row order is deterministic (lexicographic).
+//
+// Slices and the dedupe set are pre-sized and dedupe keys are built in one
+// reused byte buffer (no strings.Join temporary per row); the map lookup on
+// string(keyBuf) does not allocate, so only genuinely new rows intern a key.
 func (q Query) Project(bindings []triple.Bindings) []Row {
-	seen := map[string]bool{}
-	var rows []Row
+	seen := make(map[string]struct{}, len(bindings))
+	rows := make([]Row, 0, len(bindings))
+	var keyBuf []byte
 	for _, b := range bindings {
 		row := make(Row, len(q.Select))
 		ok := true
@@ -92,13 +97,60 @@ func (q Query) Project(bindings []triple.Bindings) []Row {
 		if !ok {
 			continue
 		}
-		key := strings.Join(row, "\x00")
-		if seen[key] {
+		keyBuf = appendRowKey(keyBuf[:0], row)
+		if _, dup := seen[string(keyBuf)]; dup {
 			continue
 		}
-		seen[key] = true
+		seen[string(keyBuf)] = struct{}{}
 		rows = append(rows, row)
 	}
+	sortRows(rows)
+	return rows
+}
+
+// ProjectSet projects directly from the conjunctive engine's flattened
+// binding representation: the SELECT variables are resolved to column
+// indices once, so no per-row map is ever built or probed. The engine
+// already deduplicates and binds each triple exactly once, so rows that
+// survive projection only need the projection-level dedupe.
+func (q Query) ProjectSet(bs *triple.BindingSet) []Row {
+	if bs == nil {
+		return nil
+	}
+	cols := make([]int, len(q.Select))
+	for i, v := range q.Select {
+		idx := bs.VarIndex(v)
+		if idx < 0 {
+			// A selected variable no row binds: nothing to project — the
+			// same outcome Project has when every binding misses it.
+			return nil
+		}
+		cols[i] = idx
+	}
+	seen := make(map[string]struct{}, len(bs.Rows))
+	rows := make([]Row, 0, len(bs.Rows))
+	var keyBuf []byte
+	for _, src := range bs.Rows {
+		row := make(Row, len(cols))
+		for i, c := range cols {
+			row[i] = src[c]
+		}
+		keyBuf = appendRowKey(keyBuf[:0], row)
+		if _, dup := seen[string(keyBuf)]; dup {
+			continue
+		}
+		seen[string(keyBuf)] = struct{}{}
+		rows = append(rows, row)
+	}
+	sortRows(rows)
+	return rows
+}
+
+func appendRowKey(buf []byte, row Row) []byte {
+	return triple.AppendRowKey(buf, row)
+}
+
+func sortRows(rows []Row) {
 	sort.Slice(rows, func(i, j int) bool {
 		for k := range rows[i] {
 			if rows[i][k] != rows[j][k] {
@@ -107,7 +159,6 @@ func (q Query) Project(bindings []triple.Bindings) []Row {
 		}
 		return false
 	})
-	return rows
 }
 
 // token kinds produced by the lexer.
@@ -167,15 +218,12 @@ func lex(input string) ([]token, error) {
 			out = append(out, token{tokURI, input[i+1 : i+j], i})
 			i += j + 1
 		case c == '"':
-			j := i + 1
-			for j < len(input) && input[j] != '"' {
-				j++
+			text, end, err := lexLiteral(input, i)
+			if err != nil {
+				return nil, err
 			}
-			if j >= len(input) {
-				return nil, fmt.Errorf("rdql: unterminated literal at position %d", i)
-			}
-			out = append(out, token{tokLiteral, input[i+1 : j], i})
-			i = j + 1
+			out = append(out, token{tokLiteral, text, i})
+			i = end
 		default:
 			j := i
 			for j < len(input) && isWord(input[j]) {
@@ -196,6 +244,49 @@ func lex(input string) ([]token, error) {
 	}
 	out = append(out, token{tokEOF, "", len(input)})
 	return out, nil
+}
+
+// lexLiteral scans a double-quoted string literal starting at the opening
+// quote, handling backslash escapes (\" \\ \n \t \r), and returns the
+// decoded text plus the index just past the closing quote. The common
+// escape-free case is returned as a slice of the input, allocation-free.
+func lexLiteral(input string, start int) (string, int, error) {
+	j := start + 1
+	for j < len(input) && input[j] != '"' && input[j] != '\\' {
+		j++
+	}
+	if j < len(input) && input[j] == '"' {
+		return input[start+1 : j], j + 1, nil
+	}
+	var sb strings.Builder
+	sb.WriteString(input[start+1 : j])
+	for j < len(input) {
+		switch input[j] {
+		case '"':
+			return sb.String(), j + 1, nil
+		case '\\':
+			if j+1 >= len(input) {
+				return "", 0, fmt.Errorf("rdql: unterminated literal at position %d", start)
+			}
+			switch e := input[j+1]; e {
+			case '"', '\\':
+				sb.WriteByte(e)
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			default:
+				return "", 0, fmt.Errorf("rdql: unknown escape \\%c at position %d", e, j)
+			}
+			j += 2
+		default:
+			sb.WriteByte(input[j])
+			j++
+		}
+	}
+	return "", 0, fmt.Errorf("rdql: unterminated literal at position %d", start)
 }
 
 func isIdent(c byte) bool {
@@ -319,6 +410,35 @@ func (p *parser) parsePattern() (triple.Pattern, error) {
 	return triple.Pattern{S: terms[0], P: terms[1], O: terms[2]}, nil
 }
 
+// quoteLiteral renders a string literal using exactly the escapes the lexer
+// understands (\" \\ \n \t \r); every other byte — including control
+// characters — passes through raw, which the lexer also accepts, so
+// String()→Parse() round-trips for any literal. Go's %q is deliberately not
+// used: it emits escapes (\v, \xNN, \uNNNN, …) the grammar rejects.
+func quoteLiteral(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 2)
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\r':
+			b.WriteString(`\r`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
 // String renders the query back in canonical RDQL form.
 func (q Query) String() string {
 	var b strings.Builder
@@ -343,12 +463,12 @@ func (q Query) String() string {
 			case triple.Variable:
 				b.WriteString("?" + term.Value)
 			case triple.Like:
-				fmt.Fprintf(&b, "%q", term.Value)
+				b.WriteString(quoteLiteral(term.Value))
 			default:
 				if strings.Contains(term.Value, "#") || strings.Contains(term.Value, ":") {
 					b.WriteString("<" + term.Value + ">")
 				} else {
-					fmt.Fprintf(&b, "%q", term.Value)
+					b.WriteString(quoteLiteral(term.Value))
 				}
 			}
 		}

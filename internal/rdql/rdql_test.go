@@ -1,6 +1,7 @@
 package rdql
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -163,6 +164,144 @@ func TestStringQuotesBareLiterals(t *testing.T) {
 	if !strings.Contains(q.String(), `"plain"`) {
 		t.Errorf("String = %q", q.String())
 	}
+}
+
+func TestLexEscapedQuotes(t *testing.T) {
+	q, err := Parse(`SELECT ?x WHERE (?x <A#p> "say \"hi\", \\slash\\, tab\t end")`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	want := "say \"hi\", \\slash\\, tab\t end"
+	if got := q.Patterns[0].O.Value; got != want {
+		t.Errorf("literal = %q, want %q", got, want)
+	}
+}
+
+func TestLexEscapeErrors(t *testing.T) {
+	for _, src := range []string{
+		`SELECT ?x WHERE (?x <A#p> "bad \q escape")`, // unknown escape
+		`SELECT ?x WHERE (?x <A#p> "trailing \`,      // backslash at EOF
+		`SELECT ?x WHERE (?x <A#p> "escaped end \")`, // escaped closing quote
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+// TestStringParseRoundtrips pins String()→Parse() round-tripping for the
+// term shapes the grammar supports: URIs, LIKE terms, plain and bare-word
+// literals, and literals holding quotes, backslashes, and tabs.
+func TestStringParseRoundtrips(t *testing.T) {
+	queries := []string{
+		`SELECT ?x WHERE (?x, <EMBL#Organism>, "%Aspergillus%")`,
+		`SELECT ?x, ?len WHERE (?x, <EMBL#Organism>, "Homo sapiens"), (?x, <EMBL#Length>, ?len)`,
+		`SELECT ?x WHERE (?x <A#p> bareword)`,
+		`SELECT ?x WHERE (?x <A#p> "with \"quotes\" inside")`,
+		`SELECT ?x WHERE (?x <A#p> "back\\slash and\ttab")`,
+		`SELECT ?x, ?y, ?z WHERE (?x <A#p> ?y) AND (?y <B#q> ?z) (?z <C#r> "%like\"quoted%")`,
+	}
+	for _, src := range queries {
+		q1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		rendered := q1.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("Parse(String() = %q): %v", rendered, err)
+		}
+		if q2.String() != rendered {
+			t.Errorf("String not stable for %q:\n%s\n%s", src, rendered, q2.String())
+		}
+		if len(q2.Patterns) != len(q1.Patterns) {
+			t.Fatalf("roundtrip of %q lost patterns", src)
+		}
+		for i := range q1.Patterns {
+			if q1.Patterns[i] != q2.Patterns[i] {
+				t.Errorf("roundtrip of %q: pattern %d %+v != %+v", src, i, q1.Patterns[i], q2.Patterns[i])
+			}
+		}
+	}
+}
+
+// TestStringRoundtripControlChars: String() must emit only escapes the
+// lexer understands — raw control bytes pass through verbatim rather than
+// becoming Go-style \v or \xNN escapes the grammar rejects.
+func TestStringRoundtripControlChars(t *testing.T) {
+	lit := "a\vb\x01c"
+	q := Query{
+		Select:   []string{"x"},
+		Patterns: []triple.Pattern{{S: triple.Var("x"), P: triple.Const("A#p"), O: triple.Const(lit)}},
+	}
+	rendered := q.String()
+	q2, err := Parse(rendered)
+	if err != nil {
+		t.Fatalf("Parse(String() = %q): %v", rendered, err)
+	}
+	if got := q2.Patterns[0].O.Value; got != lit {
+		t.Errorf("roundtrip literal = %q, want %q", got, lit)
+	}
+}
+
+func TestProjectSetMatchesProject(t *testing.T) {
+	q, _ := Parse(`SELECT ?x, ?len WHERE (?x <A#org> "v") (?x <A#len> ?len)`)
+	bindings := []triple.Bindings{
+		{"x": "s2", "len": "200"},
+		{"x": "s1", "len": "100"},
+		{"x": "s1", "len": "100"}, // duplicate collapses
+	}
+	bs, ok := triple.NewBindingSetFromBindings(bindings)
+	if !ok {
+		t.Fatal("flatten failed")
+	}
+	fromMaps := q.Project(bindings)
+	fromSet := q.ProjectSet(bs)
+	if len(fromMaps) != 2 || len(fromSet) != 2 {
+		t.Fatalf("rows: maps=%v set=%v", fromMaps, fromSet)
+	}
+	for i := range fromMaps {
+		for j := range fromMaps[i] {
+			if fromMaps[i][j] != fromSet[i][j] {
+				t.Errorf("row %d differs: %v vs %v", i, fromMaps[i], fromSet[i])
+			}
+		}
+	}
+	// A selected variable absent from the schema projects nothing.
+	if rows := q.ProjectSet(&triple.BindingSet{Vars: []string{"x"}, Rows: [][]string{{"s1"}}}); rows != nil {
+		t.Errorf("missing column rows = %v", rows)
+	}
+	if rows := q.ProjectSet(nil); rows != nil {
+		t.Errorf("nil set rows = %v", rows)
+	}
+}
+
+func BenchmarkProject(b *testing.B) {
+	q, _ := Parse(`SELECT ?x, ?len WHERE (?x <A#org> "v") (?x <A#len> ?len)`)
+	bindings := make([]triple.Bindings, 2000)
+	for i := range bindings {
+		bindings[i] = triple.Bindings{
+			"x":   fmt.Sprintf("s%04d", i%1500),
+			"len": fmt.Sprint(100 + i%1500),
+		}
+	}
+	bs, _ := triple.NewBindingSetFromBindings(bindings)
+	b.Run("maps", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if rows := q.Project(bindings); len(rows) != 1500 {
+				b.Fatal("bad rows")
+			}
+		}
+	})
+	b.Run("flattened", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if rows := q.ProjectSet(bs); len(rows) != 1500 {
+				b.Fatal("bad rows")
+			}
+		}
+	})
 }
 
 func TestLexPositions(t *testing.T) {

@@ -88,6 +88,8 @@ type Network struct {
 	tracing  bool
 	trace    []TraceEntry
 	delay    time.Duration
+	perUnit  time.Duration
+	sizer    func(payload any) int
 }
 
 // NewNetwork returns an empty in-memory network.
@@ -180,6 +182,21 @@ func (n *Network) SetSendDelay(d time.Duration) {
 	n.delay = d
 }
 
+// SetPayloadDelay adds a bandwidth model on top of SetSendDelay: every
+// request and response additionally sleeps perUnit × size(payload), where
+// size is a caller-provided measure (e.g. the number of triples an answer
+// carries — the transport itself knows nothing about payload types). A nil
+// size or zero perUnit disables the model. Like SetSendDelay, this affects
+// wall-clock only, never delivery semantics or statistics, so benchmarks
+// can observe the cost of shipping large answer sets over a network with
+// finite bandwidth.
+func (n *Network) SetPayloadDelay(perUnit time.Duration, size func(payload any) int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.perUnit = perUnit
+	n.sizer = size
+}
+
 // Stats returns a snapshot of the counters.
 func (n *Network) Stats() Stats {
 	n.mu.Lock()
@@ -224,15 +241,28 @@ func (n *Network) Send(from, to PeerID, msg Message) (Message, error) {
 		n.trace = append(n.trace, TraceEntry{From: from, To: to, Type: msg.Type, Dropped: failed})
 	}
 	delay := n.delay
+	perUnit, sizer := n.perUnit, n.sizer
 	n.mu.Unlock()
 
 	if failed {
 		return Message{}, fmt.Errorf("%w: %s", ErrUnreachable, to)
 	}
+	transfer := func(payload any) {
+		if perUnit > 0 && sizer != nil {
+			if units := sizer(payload); units > 0 {
+				time.Sleep(time.Duration(units) * perUnit)
+			}
+		}
+	}
 	if delay > 0 {
 		time.Sleep(delay)
 	}
-	return h.HandleMessage(from, msg)
+	transfer(msg.Payload)
+	resp, err := h.HandleMessage(from, msg)
+	if err == nil {
+		transfer(resp.Payload)
+	}
+	return resp, err
 }
 
 var _ Transport = (*Network)(nil)

@@ -216,3 +216,37 @@ func TestExponentialLatencyMean(t *testing.T) {
 		t.Errorf("empirical mean %v, want ≈15ms", mean)
 	}
 }
+
+func TestSetPayloadDelaySleepsProportionally(t *testing.T) {
+	n := NewNetwork()
+	n.Register("a", HandlerFunc(func(from PeerID, msg Message) (Message, error) {
+		return Message{Type: "resp", Payload: 40}, nil
+	}))
+	n.SetPayloadDelay(time.Millisecond, func(p any) int {
+		if v, ok := p.(int); ok {
+			return v
+		}
+		return 0
+	})
+	start := time.Now()
+	resp, err := n.Send("b", "a", Message{Type: "req", Payload: 10})
+	if err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if resp.Payload != 40 {
+		t.Errorf("resp = %v", resp.Payload)
+	}
+	// 10 request units + 40 response units at 1ms each ⇒ ≥50ms.
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Errorf("elapsed = %v, want ≥50ms of modeled transfer", elapsed)
+	}
+	// Disabling restores immediate delivery.
+	n.SetPayloadDelay(0, nil)
+	start = time.Now()
+	if _, err := n.Send("b", "a", Message{Type: "req", Payload: 10}); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Millisecond {
+		t.Errorf("disabled payload delay still slept %v", elapsed)
+	}
+}

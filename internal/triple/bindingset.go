@@ -1,0 +1,281 @@
+package triple
+
+import "sort"
+
+// BindingSet is the flattened representation of a set of variable bindings:
+// one shared variable schema (Vars) plus one []string tuple per row. It is
+// what the conjunctive query engine joins — compared to []Bindings (a map
+// per row), rows are cache-friendly, comparable with one byte append loop,
+// and joinable without a map merge per probe. Bindings remains the public
+// boundary type; ToBindings/NewBindingSetFromBindings convert cheaply.
+//
+// Invariant: every row has exactly len(Vars) values, positionally aligned
+// with Vars. Vars order is whatever the producer chose (Pattern.Variables
+// order for pattern results); consumers address columns by name via
+// VarIndex.
+type BindingSet struct {
+	Vars []string
+	Rows [][]string
+}
+
+// NewBindingSet returns an empty set with the given variable schema.
+func NewBindingSet(vars ...string) *BindingSet {
+	return &BindingSet{Vars: vars}
+}
+
+// Len returns the number of rows.
+func (bs *BindingSet) Len() int { return len(bs.Rows) }
+
+// VarIndex returns the column index of a variable, or -1 when absent.
+func (bs *BindingSet) VarIndex(name string) int {
+	for i, v := range bs.Vars {
+		if v == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// DistinctValues returns the sorted distinct values of a variable's column.
+// The conjunctive engine uses it to enumerate bound values for pushdown; the
+// sort keeps fan-out order — and with it message accounting — deterministic.
+func (bs *BindingSet) DistinctValues(name string) []string {
+	idx := bs.VarIndex(name)
+	if idx < 0 {
+		return nil
+	}
+	seen := make(map[string]struct{}, len(bs.Rows))
+	out := make([]string, 0, len(bs.Rows))
+	for _, row := range bs.Rows {
+		if _, ok := seen[row[idx]]; ok {
+			continue
+		}
+		seen[row[idx]] = struct{}{}
+		out = append(out, row[idx])
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddConstColumn appends a column holding the same value in every row. The
+// pushdown path uses it to restore the substituted variable: a pattern
+// resolved with x:=v binds everything but x, and the column re-attaches it.
+func (bs *BindingSet) AddConstColumn(name, value string) {
+	bs.Vars = append(bs.Vars, name)
+	for i, row := range bs.Rows {
+		bs.Rows[i] = append(row, value)
+	}
+}
+
+// ToBindings converts to the public map-per-row representation.
+func (bs *BindingSet) ToBindings() []Bindings {
+	if bs == nil {
+		return nil
+	}
+	out := make([]Bindings, len(bs.Rows))
+	for i, row := range bs.Rows {
+		b := make(Bindings, len(bs.Vars))
+		for j, v := range bs.Vars {
+			b[v] = row[j]
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// NewBindingSetFromBindings flattens a uniform []Bindings (every map holding
+// exactly the same variables) into a BindingSet with sorted schema.
+// ok=false when rows are heterogeneous — then no single schema exists and
+// callers fall back to map-based processing.
+func NewBindingSetFromBindings(bindings []Bindings) (*BindingSet, bool) {
+	if len(bindings) == 0 {
+		return &BindingSet{}, true
+	}
+	vars := make([]string, 0, len(bindings[0]))
+	for v := range bindings[0] {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	bs := &BindingSet{Vars: vars, Rows: make([][]string, 0, len(bindings))}
+	for _, b := range bindings {
+		if len(b) != len(vars) {
+			return nil, false
+		}
+		row := make([]string, len(vars))
+		for i, v := range vars {
+			val, present := b[v]
+			if !present {
+				return nil, false
+			}
+			row[i] = val
+		}
+		bs.Rows = append(bs.Rows, row)
+	}
+	return bs, true
+}
+
+// BindTriples binds a slice of matching triples against the pattern's
+// variables directly into a flattened set — no per-triple map. Triples that
+// fail the pattern (or bind the same variable to two different values) are
+// skipped, and duplicate rows are collapsed: binding sets carry set
+// semantics, so two triples differing only at non-variable positions (e.g.
+// a LIKE term) yield one row. The schema is q.Variables().
+func BindTriples(q Pattern, ts []Triple) *BindingSet {
+	return bindTriples(q, ts, true)
+}
+
+// BindTriplesMatched is BindTriples without the per-triple pattern gate:
+// the caller guarantees every triple already matched q or a variant of q
+// differing only at constant positions (the conjunctive engine's
+// reformulated results, whose predicate was rewritten). Repeated-variable
+// consistency is still enforced, since remote selection matches positions
+// independently.
+func BindTriplesMatched(q Pattern, ts []Triple) *BindingSet {
+	return bindTriples(q, ts, false)
+}
+
+func bindTriples(q Pattern, ts []Triple, check bool) *BindingSet {
+	vars := q.Variables()
+	bs := &BindingSet{Vars: vars, Rows: make([][]string, 0, len(ts))}
+	// varPos[i] lists the triple positions variable vars[i] occupies.
+	varPos := make([][]Position, len(vars))
+	for _, pos := range []Position{Subject, Predicate, Object} {
+		t := q.Term(pos)
+		if t.Kind != Variable {
+			continue
+		}
+		for i, v := range vars {
+			if v == t.Value {
+				varPos[i] = append(varPos[i], pos)
+			}
+		}
+	}
+	seen := make(map[string]struct{}, len(ts))
+	var key []byte
+	for _, t := range ts {
+		if check && !q.Matches(t) {
+			continue
+		}
+		row := make([]string, len(vars))
+		ok := true
+		for i, positions := range varPos {
+			row[i] = t.Component(positions[0])
+			for _, pos := range positions[1:] {
+				if t.Component(pos) != row[i] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		key = AppendRowKey(key[:0], row)
+		if _, dup := seen[string(key)]; dup {
+			continue
+		}
+		seen[string(key)] = struct{}{}
+		bs.Rows = append(bs.Rows, row)
+	}
+	return bs
+}
+
+// AppendRowKey serializes a value row into buf with NUL separators — the
+// dedupe and join key builder shared by the binding-set operations and the
+// RDQL projection, allocation-free apart from map-key interning.
+func AppendRowKey(buf []byte, row []string) []byte {
+	for _, v := range row {
+		buf = append(buf, v...)
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+// HashJoin implements the natural join ⋈ on flattened binding sets: rows
+// agreeing on every shared variable are merged. A hash table over the right
+// side's shared-variable key is probed once per left row — O(|L|+|R|+|out|)
+// against the nested loop's O(|L|·|R|) — and with no shared variables it
+// degenerates to the cartesian product, as the natural join does. Output
+// schema is left.Vars followed by right-only vars; row order follows the
+// left side (then right order within a probe), so the join is deterministic
+// for deterministic inputs.
+func HashJoin(left, right *BindingSet) *BindingSet {
+	// Shared variables, in left-schema order, with their column indices.
+	var sharedL, sharedR []int
+	for li, v := range left.Vars {
+		if ri := right.VarIndex(v); ri >= 0 {
+			sharedL = append(sharedL, li)
+			sharedR = append(sharedR, ri)
+		}
+	}
+	// Right-only columns appended to the output schema.
+	var extraR []int
+	outVars := make([]string, 0, len(left.Vars)+len(right.Vars))
+	outVars = append(outVars, left.Vars...)
+	for ri, v := range right.Vars {
+		if left.VarIndex(v) < 0 {
+			extraR = append(extraR, ri)
+			outVars = append(outVars, v)
+		}
+	}
+	out := &BindingSet{Vars: outVars}
+
+	merge := func(l, r []string) {
+		row := make([]string, 0, len(outVars))
+		row = append(row, l...)
+		for _, ri := range extraR {
+			row = append(row, r[ri])
+		}
+		out.Rows = append(out.Rows, row)
+	}
+
+	if len(sharedL) == 0 {
+		// Cartesian product.
+		out.Rows = make([][]string, 0, len(left.Rows)*len(right.Rows))
+		for _, l := range left.Rows {
+			for _, r := range right.Rows {
+				merge(l, r)
+			}
+		}
+		return out
+	}
+
+	table := make(map[string][]int, len(right.Rows))
+	var key []byte
+	for i, r := range right.Rows {
+		key = key[:0]
+		for _, ri := range sharedR {
+			key = append(key, r[ri]...)
+			key = append(key, 0)
+		}
+		table[string(key)] = append(table[string(key)], i)
+	}
+	for _, l := range left.Rows {
+		key = key[:0]
+		for _, li := range sharedL {
+			key = append(key, l[li]...)
+			key = append(key, 0)
+		}
+		for _, ri := range table[string(key)] {
+			merge(l, right.Rows[ri])
+		}
+	}
+	return out
+}
+
+// SortRows orders rows lexicographically in place — the canonical
+// deterministic order the conjunctive engine returns.
+func (bs *BindingSet) SortRows() {
+	sort.Slice(bs.Rows, func(i, j int) bool {
+		a, b := bs.Rows[i], bs.Rows[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}

@@ -305,10 +305,29 @@ func (db *DB) SelectBindings(q Pattern) []Bindings {
 // JoinBindings implements the (self-)join operator ⋈ on binding sets: the
 // natural join on shared variables. It is how conjunctive queries combine
 // the results of their triple patterns (paper §2.3).
+//
+// When both sides are uniform (every row binds the same variables — the
+// shape pattern results always have), the join runs as a hash join on the
+// shared-variable key via the flattened BindingSet representation. Rows with
+// heterogeneous variable sets have no single join key and fall back to the
+// original nested-loop merge.
 func JoinBindings(left, right []Bindings) []Bindings {
 	if left == nil {
 		return right
 	}
+	l, lok := NewBindingSetFromBindings(left)
+	if lok {
+		if r, rok := NewBindingSetFromBindings(right); rok {
+			return HashJoin(l, r).ToBindings()
+		}
+	}
+	return JoinBindingsNestedLoop(left, right)
+}
+
+// JoinBindingsNestedLoop is the O(|L|·|R|) pairwise-merge join — the seed's
+// evaluator, kept as the fallback for heterogeneous binding rows and as the
+// naive baseline the conjunctive planner benchmarks against.
+func JoinBindingsNestedLoop(left, right []Bindings) []Bindings {
 	var out []Bindings
 	for _, l := range left {
 		for _, r := range right {

@@ -3,7 +3,8 @@
 // deployment latency distribution, the O(log |Π|) routing cost, the
 // connectivity-indicator emergence curve, the §4 recall-growth
 // demonstration, the Bayesian deprecation quality, the design
-// ablations, and the conjunctive query planner comparison.
+// ablations, the conjunctive query planner comparison, and the
+// semi-join shipping comparison.
 //
 // Usage:
 //
@@ -11,10 +12,14 @@
 //	gridvine-bench -exp A            # one experiment
 //	gridvine-bench -exp A -quick     # scaled-down parameters
 //	gridvine-bench -exp K -json BENCH_conjunctive.json
+//	gridvine-bench -exp L -json BENCH_semijoin.json
+//	gridvine-bench -exp L -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // With -json <path>, machine-readable per-experiment results (wall time
 // plus every figure the experiment reports) are written to the file —
 // the format of the repo's BENCH_*.json perf-trajectory snapshots.
+// -cpuprofile/-memprofile capture pprof profiles of the selected
+// experiments, so hot-path work is profileable without editing code.
 package main
 
 import (
@@ -22,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -33,19 +40,35 @@ import (
 type printer interface{ Table() string }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: A,B,C,D,E,G,H,I,J,K or all")
+	exp := flag.String("exp", "all", "experiment to run: A,B,C,D,E,G,H,I,J,K,L or all")
 	quick := flag.Bool("quick", false, "run with scaled-down parameters")
 	seed := flag.Int64("seed", 1, "random seed")
 	parallel := flag.Int("parallel", 1, "reformulation fan-out width for query-heavy experiments (D); 1 keeps message counts exactly reproducible")
 	jsonPath := flag.String("json", "", "write machine-readable per-experiment results to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "creating %s: %v\n", *cpuProfile, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "starting cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	runners := map[string]func(bool, int64) (any, error){
 		"A": runA, "B": runB, "C": runC,
 		"D": func(quick bool, seed int64) (any, error) { return runD(quick, seed, *parallel) },
-		"E": runE, "G": runG, "H": runH, "I": runI, "J": runJ, "K": runK,
+		"E": runE, "G": runG, "H": runH, "I": runI, "J": runJ, "K": runK, "L": runL,
 	}
-	order := []string{"A", "B", "C", "D", "E", "G", "H", "I", "J", "K"}
+	order := []string{"A", "B", "C", "D", "E", "G", "H", "I", "J", "K", "L"}
 
 	var selected []string
 	if strings.EqualFold(*exp, "all") {
@@ -90,6 +113,20 @@ func main() {
 			WallMs:     float64(elapsed.Microseconds()) / 1000,
 			Result:     result,
 		})
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "creating %s: %v\n", *memProfile, err)
+			os.Exit(1)
+		}
+		runtime.GC() // settle the heap so the profile reflects retained memory
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "writing heap profile: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 
 	if *jsonPath != "" {
@@ -209,4 +246,13 @@ func runK(quick bool, seed int64) (any, error) {
 		cfg.Peers, cfg.HotEntities, cfg.RareMatches, cfg.Queries = 32, 1500, 4, 2
 	}
 	return experiments.RunConjunctive(cfg)
+}
+
+func runL(quick bool, seed int64) (any, error) {
+	header("L", "semi-join shipping vs full-pattern fallback on high-fan-out joins (cost-based statistics)")
+	cfg := experiments.SemiJoinConfig{Seed: seed}
+	if quick {
+		cfg.Peers, cfg.HotEntities, cfg.BoundFanout, cfg.Queries = 32, 3000, 120, 2
+	}
+	return experiments.RunSemiJoin(cfg)
 }

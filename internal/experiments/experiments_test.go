@@ -295,6 +295,40 @@ func TestRunAlignmentAblation(t *testing.T) {
 	}
 }
 
+func TestRunSemiJoinBeatsFullPatternFallback(t *testing.T) {
+	// Small workload, delays disabled: pins result equivalence across all
+	// three evaluators, that semi-join fires on an over-cap fan-out, and
+	// the ≥5x shipping reduction over the PR 2 full-pattern fallback.
+	r, err := RunSemiJoin(SemiJoinConfig{
+		Peers:          24,
+		HotEntities:    2000,
+		BoundFanout:    100,
+		Queries:        1,
+		TransitDelay:   -1,
+		PerTripleDelay: -1,
+		Seed:           13,
+	})
+	if err != nil {
+		t.Fatalf("RunSemiJoin: %v", err)
+	}
+	if !r.Match {
+		t.Fatal("evaluators disagree on the result set")
+	}
+	if r.Rows != 100 {
+		t.Errorf("rows = %d, want 100", r.Rows)
+	}
+	if r.StatsDigests == 0 {
+		t.Error("no statistics digests steered the planner")
+	}
+	if r.ShippingReduction < 5 {
+		t.Errorf("shipping reduction = %.1fx, want ≥5x (planned %.0f vs semi-join %.0f)",
+			r.ShippingReduction, r.PlannedTriplesShipped, r.SemiJoinTriplesShipped)
+	}
+	if !strings.Contains(r.Table(), "semi-join") {
+		t.Error("table missing semi-join row")
+	}
+}
+
 func TestRunConjunctivePlannerBeatsNaive(t *testing.T) {
 	// Small workload, delays disabled (negative): the test pins result
 	// equivalence and the message/transfer reductions, not wall-clock.

@@ -14,19 +14,28 @@ import (
 // declaration order, unconstrained, and nested-loop-join the binding sets —
 // ships the full network-wide answer of every pattern even when earlier
 // patterns already bound the shared variable to a handful of values. The
-// planner here replaces it with three coordinated techniques:
+// planner here replaces it with four coordinated techniques:
 //
-//  1. Selectivity ordering: patterns are resolved greedily, most selective
-//     first, estimated from constant positions (subject > object >
-//     predicate), LIKE filters, and shared-variable connectivity.
-//  2. Bound-value pushdown: once a shared variable is bound, subsequent
-//     patterns are shipped as k constrained point lookups (one per distinct
-//     bound value, fanned out across the SearchOptions.Parallelism pool)
-//     instead of one full-scan pattern — capped by
-//     SearchOptions.PushdownLimit, above which the engine falls back to the
-//     unconstrained pattern.
-//  3. Hash joins over the flattened triple.BindingSet representation
-//     instead of the O(|L|·|R|) map-merge nested loop.
+//  1. Cost-based ordering: patterns are resolved greedily, cheapest first.
+//     Cardinalities are estimated from the distributed statistics digests
+//     peers publish at schema keys (see stats.go), aged by
+//     SearchOptions.StatsTTL; when no fresh digest covers a pattern's
+//     schema the planner degrades to the static position weights
+//     (subject > object > predicate), LIKE discounts, and shared-variable
+//     connectivity of the PR 2 engine.
+//  2. Bound-value pushdown: once shared variables are bound, subsequent
+//     patterns are shipped as k constrained point lookups — one per
+//     distinct bound value, or per distinct joint tuple when several
+//     variables are bound, fanned out across the SearchOptions.Parallelism
+//     pool — instead of one full-scan pattern, capped by
+//     SearchOptions.PushdownLimit.
+//  3. Semi-join filter shipping above the cap: instead of falling back to
+//     the full unconstrained pattern, the engine ships the bound-value set
+//     itself (exact list or Bloom filter, whichever is smaller on the
+//     wire; see semijoin.go) and only remotely matching rows return.
+//  4. Hash joins over the flattened triple.BindingSet representation
+//     instead of the O(|L|·|R|) map-merge nested loop, built on the
+//     smaller side.
 //
 // Patterns in different join components (no shared variables, transitively)
 // are independent and execute concurrently; their results combine by
@@ -36,7 +45,9 @@ import (
 // for every pattern order, with and without reformulation (pushdown never
 // substitutes a predicate-position variable when reformulation is on, since
 // turning a variable predicate into a constant would unlock reformulations
-// the naive evaluator does not perform).
+// the naive evaluator does not perform; semi-join filters never substitute
+// terms, so they are safe at every position, and their Bloom false
+// positives are dropped by the issuer-side join).
 
 // DefaultPushdownLimit is the bound-value fan-out cap used when
 // SearchOptions.PushdownLimit is zero: large enough to cover selective
@@ -75,10 +86,23 @@ type ConjunctiveStats struct {
 	PatternLookups int
 	// Pushdowns counts patterns resolved via bound-value pushdown.
 	Pushdowns int
+	// SemiJoins counts patterns resolved via semi-join filter shipping.
+	SemiJoins int
 	// FullScans counts patterns shipped unconstrained.
 	FullScans int
+	// FilterTriplesShipped is the semi-join filter payload shipped to the
+	// data, in result-triple equivalents (see VarFilter.TripleEquivalents);
+	// its chunked transfer cost is charged to TransferMessages.
+	FilterTriplesShipped int
 	// Reformulations aggregates per-pattern reformulation counts.
 	Reformulations int
+	// StatsFetches counts overlay retrievals of statistics digests (cache
+	// misses of the per-schema TTL window); their route messages are
+	// included in RouteMessages.
+	StatsFetches int
+	// StatsDigests counts the fresh digests aggregated for this query's
+	// cost estimates; 0 means the planner ran on static position weights.
+	StatsDigests int
 }
 
 // TotalMessages is the overlay message cost including data transfer.
@@ -92,8 +116,12 @@ func (s *ConjunctiveStats) add(o ConjunctiveStats) {
 	s.TriplesShipped += o.TriplesShipped
 	s.PatternLookups += o.PatternLookups
 	s.Pushdowns += o.Pushdowns
+	s.SemiJoins += o.SemiJoins
 	s.FullScans += o.FullScans
+	s.FilterTriplesShipped += o.FilterTriplesShipped
 	s.Reformulations += o.Reformulations
+	s.StatsFetches += o.StatsFetches
+	s.StatsDigests += o.StatsDigests
 }
 
 // SearchConjunctive resolves a conjunctive query — a list of triple
@@ -125,6 +153,10 @@ func (p *Peer) SearchConjunctiveSet(patterns []triple.Pattern, reformulate bool,
 		return nil, stats, errors.New("mediation: empty conjunctive query")
 	}
 
+	// One statistics view per query, shared read-only by every component:
+	// at most one digest fetch per schema per TTL window, charged to stats.
+	sv := p.statsViewFor(patterns, opts, &stats)
+
 	comps := joinComponents(patterns)
 	type compOut struct {
 		bs    *triple.BindingSet
@@ -133,7 +165,7 @@ func (p *Peer) SearchConjunctiveSet(patterns []triple.Pattern, reformulate bool,
 	}
 	outs := make([]compOut, len(comps))
 	runPool(len(comps), opts.Parallelism, func(i int) {
-		bs, st, err := p.runComponent(patterns, comps[i], reformulate, opts)
+		bs, st, err := p.runComponent(patterns, comps[i], sv, reformulate, opts)
 		outs[i] = compOut{bs: bs, stats: st, err: err}
 	})
 
@@ -183,7 +215,7 @@ func (p *Peer) SearchConjunctiveNaive(patterns []triple.Pattern, reformulate boo
 	}
 	var joined []triple.Bindings
 	for i, q := range patterns {
-		rs, err := p.resolvePattern(q, reformulate, opts, &stats)
+		rs, err := p.resolvePattern(q, nil, reformulate, opts, &stats)
 		if err != nil {
 			return nil, stats, fmt.Errorf("mediation: pattern %d: %w", i, err)
 		}
@@ -243,25 +275,29 @@ func joinComponents(patterns []triple.Pattern) [][]int {
 	return out
 }
 
-// runComponent executes one join component: greedy selectivity-ordered
-// resolution with pushdown, hash-joining each pattern's bindings into the
-// accumulated set. An empty intermediate join short-circuits — no remaining
-// pattern can contribute rows, so their lookups are skipped entirely.
-func (p *Peer) runComponent(patterns []triple.Pattern, idxs []int, reformulate bool, opts SearchOptions) (*triple.BindingSet, ConjunctiveStats, error) {
+// runComponent executes one join component: greedy cost-ordered resolution
+// with pushdown and semi-join shipping, hash-joining each pattern's
+// bindings into the accumulated set. An empty intermediate join
+// short-circuits — no remaining pattern can contribute rows, so their
+// lookups are skipped entirely.
+func (p *Peer) runComponent(patterns []triple.Pattern, idxs []int, sv *statsView, reformulate bool, opts SearchOptions) (*triple.BindingSet, ConjunctiveStats, error) {
 	var stats ConjunctiveStats
 	done := make(map[int]bool, len(idxs))
 	var cur *triple.BindingSet
 	for range idxs {
-		plan := chooseNext(patterns, idxs, done, cur, reformulate, opts.PushdownLimit)
+		plan := chooseNext(patterns, idxs, done, cur, sv, reformulate, opts)
 		q := patterns[plan.idx]
 		var bs *triple.BindingSet
 		var err error
-		if plan.pushdown {
-			bs, err = p.resolvePushdown(q, plan.pushVar, plan.pushVals, reformulate, opts, &stats)
-		} else {
+		switch plan.strategy {
+		case planPushdown:
+			bs, err = p.resolvePushdown(q, plan.pushVars, plan.pushTuples, reformulate, opts, &stats)
+		case planSemiJoin:
+			bs, err = p.resolveSemiJoin(q, plan.filterVars, plan.filterVals, reformulate, opts, &stats)
+		default:
 			stats.FullScans++
 			var rs *ResultSet
-			if rs, err = p.resolvePattern(q, reformulate, opts, &stats); err == nil {
+			if rs, err = p.resolvePattern(q, nil, reformulate, opts, &stats); err == nil {
 				bs = bindResults(q, rs.Results)
 			}
 		}
@@ -281,43 +317,94 @@ func (p *Peer) runComponent(patterns []triple.Pattern, idxs []int, reformulate b
 	return cur, stats, nil
 }
 
-// resolvePlan is chooseNext's decision: which pattern to resolve next and,
-// when pushdown won, the substituted variable and its bound values — so the
-// executor never recomputes the plan.
+// strategy is how one pattern of a component gets resolved.
+type strategy int
+
+const (
+	// planFullScan ships the pattern unconstrained to the peer responsible
+	// for its most specific constant.
+	planFullScan strategy = iota
+	// planPushdown ships one fully substituted point lookup per distinct
+	// bound tuple of the substituted variables.
+	planPushdown
+	// planSemiJoin ships the pattern once with the bound-value sets riding
+	// along as filters; only remotely matching rows return.
+	planSemiJoin
+)
+
+// resolvePlan is chooseNext's decision: which pattern to resolve next, by
+// which strategy, and with which bound values — so the executor never
+// recomputes the plan.
 type resolvePlan struct {
 	idx      int
-	pushdown bool
-	pushVar  string
-	pushVals []string
+	strategy strategy
+	// pushVars/pushTuples drive planPushdown: one lookup per tuple, tuple
+	// values positionally aligned with pushVars.
+	pushVars   []string
+	pushTuples [][]string
+	// filterVars/filterVals drive planSemiJoin: one value filter per
+	// variable, built from its distinct bound values.
+	filterVars []string
+	filterVals [][]string
+}
+
+// boundValues memoizes distinct-value and distinct-tuple scans of the
+// current binding set across the candidate assessments of one planning
+// step.
+type boundValues struct {
+	cur    *triple.BindingSet
+	vals   map[string][]string
+	tuples map[string][][]string
+}
+
+// values returns the sorted distinct bound values of a variable, or
+// ok=false when the variable is not bound yet.
+func (b *boundValues) values(name string) ([]string, bool) {
+	if b.cur == nil || b.cur.VarIndex(name) < 0 {
+		return nil, false
+	}
+	if vals, ok := b.vals[name]; ok {
+		return vals, true
+	}
+	if b.vals == nil {
+		b.vals = map[string][]string{}
+	}
+	vals := b.cur.DistinctValues(name)
+	b.vals[name] = vals
+	return vals, true
+}
+
+// tuplesFor returns the distinct joint tuples of several bound variables.
+func (b *boundValues) tuplesFor(names []string) [][]string {
+	if b.cur == nil {
+		return nil
+	}
+	key := ""
+	for _, n := range names {
+		key += n + "\x00"
+	}
+	if ts, ok := b.tuples[key]; ok {
+		return ts
+	}
+	if b.tuples == nil {
+		b.tuples = map[string][][]string{}
+	}
+	ts := b.cur.DistinctTuples(names)
+	b.tuples[key] = ts
+	return ts
 }
 
 // chooseNext picks the unresolved pattern with the lowest estimated cost;
 // ties break on the smallest pattern index, keeping plans deterministic.
-// Distinct-value scans of the current binding set are memoized per variable
-// across the candidates of one step.
-func chooseNext(patterns []triple.Pattern, idxs []int, done map[int]bool, cur *triple.BindingSet, reformulate bool, limit int) resolvePlan {
-	var valsCache map[string][]string
-	boundVals := func(name string) ([]string, bool) {
-		if cur == nil || cur.VarIndex(name) < 0 {
-			return nil, false
-		}
-		if vals, ok := valsCache[name]; ok {
-			return vals, true
-		}
-		if valsCache == nil {
-			valsCache = map[string][]string{}
-		}
-		vals := cur.DistinctValues(name)
-		valsCache[name] = vals
-		return vals, true
-	}
+func chooseNext(patterns []triple.Pattern, idxs []int, done map[int]bool, cur *triple.BindingSet, sv *statsView, reformulate bool, opts SearchOptions) resolvePlan {
+	bound := &boundValues{cur: cur}
 	best := resolvePlan{idx: -1}
 	bestCost := math.Inf(1)
 	for _, i := range idxs {
 		if done[i] {
 			continue
 		}
-		plan, cost := assessPattern(patterns, i, idxs, done, boundVals, reformulate, limit)
+		plan, cost := assessPattern(patterns, i, idxs, done, bound, sv, reformulate, opts)
 		if best.idx < 0 || cost < bestCost {
 			best, bestCost = plan, cost
 		}
@@ -327,25 +414,19 @@ func chooseNext(patterns []triple.Pattern, idxs []int, done map[int]bool, cur *t
 
 // Relative candidate-set weights of the routing positions: a constant
 // subject names one resource, a constant object one (shared) value, a
-// constant predicate an entire attribute's extension.
+// constant predicate an entire attribute's extension. These are the
+// fallback estimates when no fresh statistics digest covers a pattern.
 const (
 	costSubjectConst   = 2
 	costObjectConst    = 16
 	costPredicateConst = 4096
 )
 
-// assessPattern scores how expensive resolving patterns[idx] now would be,
-// alongside the plan that achieves it. Pushdown-able patterns cost their
-// bound-value fan-out k (tiny); otherwise the most specific constant
-// position sets the base, LIKE terms halve it (they filter remotely,
-// shrinking the shipped answer), and shared variables with other unresolved
-// patterns grant a small connectivity discount — resolving a connected
-// pattern first unlocks pushdown for its neighbours.
-func assessPattern(patterns []triple.Pattern, idx int, idxs []int, done map[int]bool, boundVals func(string) ([]string, bool), reformulate bool, limit int) (resolvePlan, float64) {
-	q := patterns[idx]
-	if v, vals, ok := pushdownPlan(q, boundVals, reformulate, limit); ok {
-		return resolvePlan{idx: idx, pushdown: true, pushVar: v, pushVals: vals}, float64(len(vals))
-	}
+// staticCost is the PR 2 position-weight estimate: the most specific
+// constant position sets the base and LIKE terms halve it (they filter
+// remotely, shrinking the shipped answer). ok=false for unroutable
+// patterns.
+func staticCost(q triple.Pattern) (float64, bool) {
 	var base float64
 	switch {
 	case q.S.Kind == triple.Constant:
@@ -355,14 +436,40 @@ func assessPattern(patterns []triple.Pattern, idx int, idxs []int, done map[int]
 	case q.P.Kind == triple.Constant:
 		base = costPredicateConst
 	default:
-		// Unroutable and not pushdown-able: last resort.
-		return resolvePlan{idx: idx}, math.Inf(1)
+		return 0, false
 	}
 	for _, t := range [3]triple.Term{q.S, q.P, q.O} {
 		if t.Kind == triple.Like {
 			base *= 0.5
 		}
 	}
+	return base, true
+}
+
+// assessPattern scores how expensive resolving patterns[idx] now would be,
+// alongside the plan that achieves it.
+//
+// Strategy: bound shared variables are pushed down as joint-tuple point
+// lookups when the fan-out fits under opts.PushdownLimit (all substitutable
+// variables jointly if their distinct tuples fit, else the single variable
+// with the fewest distinct values); above the cap a routable pattern is
+// resolved by semi-join filter shipping (unless disabled, where it ships
+// unconstrained as PR 2 did), and an unroutable one by forced pushdown —
+// its only route to the overlay. Patterns whose only bound variables sit at
+// the predicate position under reformulation cannot be substituted but can
+// still be filtered, so they go semi-join too.
+//
+// Cost: estimated cardinalities from the statistics view when a fresh
+// digest covers the pattern's schema, else the static position weights.
+// Shared variables with other unresolved patterns grant a small
+// connectivity discount — resolving a connected pattern first unlocks
+// pushdown for its neighbours.
+func assessPattern(patterns []triple.Pattern, idx int, idxs []int, done map[int]bool, bound *boundValues, sv *statsView, reformulate bool, opts SearchOptions) (resolvePlan, float64) {
+	q := patterns[idx]
+	limit := opts.PushdownLimit
+	est, hasStats := sv.estimate(q)
+	_, _, routable := q.MostSpecificConstant()
+
 	links := 0
 	for _, v := range q.Variables() {
 		for _, j := range idxs {
@@ -376,41 +483,165 @@ func assessPattern(patterns []triple.Pattern, idx int, idxs []int, done map[int]
 			}
 		}
 	}
-	return resolvePlan{idx: idx}, base * math.Pow(0.95, float64(links))
-}
+	discount := math.Pow(0.95, float64(links))
 
-// pushdownPlan decides whether q should be resolved by bound-value
-// pushdown, and on which variable: the shared bound variable with the
-// fewest distinct values wins. Predicate-position variables are never
-// substituted under reformulation — a constant predicate would reformulate
-// across mappings the naive evaluation of the variable pattern never
-// touches, changing the answer. Above the PushdownLimit cap the pattern
-// ships unconstrained instead, unless it has no constant term at all, in
-// which case pushdown is its only route to the overlay.
-func pushdownPlan(q triple.Pattern, boundVals func(string) ([]string, bool), reformulate bool, limit int) (string, []string, bool) {
-	_, _, routable := q.MostSpecificConstant()
-	bestVar := ""
-	var bestVals []string
+	fullCost := func() float64 {
+		if hasStats {
+			return (1 + est) * discount
+		}
+		base, ok := staticCost(q)
+		if !ok {
+			return math.Inf(1)
+		}
+		return base * discount
+	}
+
+	// Partition the bound shared variables: substitutable (pushdown) vs
+	// filter-only. Predicate-position variables are never substituted under
+	// reformulation — a constant predicate would reformulate across
+	// mappings the naive evaluation of the variable pattern never touches,
+	// changing the answer — but filtering them is safe: a variable
+	// predicate never reformulates at all.
+	var substitutable, filterable []string
+	var filterVals [][]string
 	for _, v := range q.Variables() {
-		vals, bound := boundVals(v)
-		if !bound {
+		vals, isBound := bound.values(v)
+		if !isBound {
 			continue
 		}
+		filterable = append(filterable, v)
+		filterVals = append(filterVals, vals)
 		if reformulate && varAtPosition(q, v, triple.Predicate) {
 			continue
 		}
-		if bestVar == "" || len(vals) < len(bestVals) {
-			bestVar, bestVals = v, vals
+		substitutable = append(substitutable, v)
+	}
+
+	pushdownCost := func(vars []string, k int) float64 {
+		if !hasStats {
+			return float64(k)
+		}
+		perLookup := est
+		for _, v := range vars {
+			if d, ok := sv.positionDistinct(q, firstVarPosition(q, v)); ok {
+				perLookup /= d
+			}
+		}
+		return float64(k) * (1 + perLookup)
+	}
+	semiJoinPlan := func() (resolvePlan, float64) {
+		plan := resolvePlan{idx: idx, strategy: planSemiJoin, filterVars: filterable, filterVals: filterVals}
+		if !hasStats {
+			base, _ := staticCost(q)
+			// The filter roughly halves what ships, like a LIKE term.
+			return plan, base * 0.5 * discount
+		}
+		cost := 2 + float64(filterEquivalentsEstimate(filterVals)) + est*filterReduction(q, sv, filterable, filterVals)
+		return plan, cost * discount
+	}
+
+	if len(substitutable) > 0 {
+		// Joint multi-variable pushdown: the distinct tuples can be far
+		// fewer than the per-variable product, and each lookup is maximally
+		// constrained.
+		if len(substitutable) > 1 && limit >= 0 {
+			if tuples := bound.tuplesFor(substitutable); len(tuples) <= limit {
+				return resolvePlan{idx: idx, strategy: planPushdown, pushVars: substitutable, pushTuples: tuples},
+					pushdownCost(substitutable, len(tuples))
+			}
+		}
+		bestVar := substitutable[0]
+		vals, _ := bound.values(bestVar)
+		for _, v := range substitutable[1:] {
+			vv, _ := bound.values(v)
+			if len(vv) < len(vals) {
+				bestVar, vals = v, vv
+			}
+		}
+		if limit >= 0 && len(vals) <= limit {
+			return resolvePlan{idx: idx, strategy: planPushdown, pushVars: []string{bestVar}, pushTuples: singleTuples(vals)},
+				pushdownCost([]string{bestVar}, len(vals))
+		}
+		// Over the cap (or pushdown disabled).
+		if routable {
+			if !opts.DisableSemiJoin {
+				return semiJoinPlan()
+			}
+			return resolvePlan{idx: idx, strategy: planFullScan}, fullCost()
+		}
+		// Unroutable: pushdown is the only way onto the overlay.
+		return resolvePlan{idx: idx, strategy: planPushdown, pushVars: []string{bestVar}, pushTuples: singleTuples(vals)},
+			pushdownCost([]string{bestVar}, len(vals))
+	}
+
+	if len(filterable) > 0 && routable && !opts.DisableSemiJoin {
+		// Only predicate-position variables are bound under reformulation:
+		// substitution is barred, filtering is not.
+		return semiJoinPlan()
+	}
+
+	if !routable {
+		// Unroutable and nothing bound yet: last resort.
+		return resolvePlan{idx: idx, strategy: planFullScan}, math.Inf(1)
+	}
+	return resolvePlan{idx: idx, strategy: planFullScan}, fullCost()
+}
+
+// singleTuples lifts a distinct-value list into one-element tuples.
+func singleTuples(vals []string) [][]string {
+	out := make([][]string, len(vals))
+	for i, v := range vals {
+		out[i] = []string{v}
+	}
+	return out
+}
+
+// firstVarPosition returns the first position the named variable occupies.
+func firstVarPosition(q triple.Pattern, name string) triple.Position {
+	for _, pos := range [3]triple.Position{triple.Subject, triple.Predicate, triple.Object} {
+		if varAtPosition(q, name, pos) {
+			return pos
 		}
 	}
-	if bestVar == "" {
-		return "", nil, false
+	return triple.Subject
+}
+
+// filterEquivalentsEstimate approximates the wire cost of shipping the
+// bound-value sets as filters, in triple equivalents, without building the
+// filters yet (three values ≈ one triple, capped per variable by the Bloom
+// encoding the builder would switch to).
+func filterEquivalentsEstimate(vals [][]string) int {
+	total := 0
+	for _, vs := range vals {
+		exact := (len(vs) + 2) / 3
+		bloom := len(vs)/(3*filterValueBytes) + 1 // ≈ 1.2 bytes/value at 1% FP
+		if bloom < exact {
+			total += bloom
+		} else {
+			total += exact
+		}
 	}
-	overCap := limit < 0 || len(bestVals) > limit
-	if overCap && routable {
-		return "", nil, false
+	return total
+}
+
+// filterReduction estimates the fraction of the pattern's extension that
+// survives the filters: per filtered variable, bound-value count over the
+// position's distinct-value count, taking the tightest variable.
+func filterReduction(q triple.Pattern, sv *statsView, vars []string, vals [][]string) float64 {
+	frac := 1.0
+	for i, v := range vars {
+		d, ok := sv.positionDistinct(q, firstVarPosition(q, v))
+		if !ok || d <= 0 {
+			continue
+		}
+		if f := float64(len(vals[i])) / d; f < frac {
+			frac = f
+		}
 	}
-	return bestVar, bestVals, true
+	if frac > 1 {
+		frac = 1
+	}
+	return frac
 }
 
 func varAtPosition(q triple.Pattern, name string, pos triple.Position) bool {
@@ -429,28 +660,34 @@ func substituteVar(q triple.Pattern, name, value string) triple.Pattern {
 	return q
 }
 
-// resolvePushdown ships one constrained point lookup per bound value of the
-// substituted variable, fanned out across the parallelism pool, and merges
-// the per-value bindings in sorted-value order (deterministic results at
-// any width). The substituted variable is restored as a constant column.
-func (p *Peer) resolvePushdown(q triple.Pattern, v string, vals []string, reformulate bool, opts SearchOptions, stats *ConjunctiveStats) (*triple.BindingSet, error) {
+// resolvePushdown ships one constrained point lookup per distinct bound
+// tuple of the substituted variables, fanned out across the parallelism
+// pool, and merges the per-tuple bindings in sorted-tuple order
+// (deterministic results at any width). The substituted variables are
+// restored as constant columns.
+func (p *Peer) resolvePushdown(q triple.Pattern, vars []string, tuples [][]string, reformulate bool, opts SearchOptions, stats *ConjunctiveStats) (*triple.BindingSet, error) {
 	stats.Pushdowns++
 	type out struct {
 		bs    *triple.BindingSet
 		stats ConjunctiveStats
 		err   error
 	}
-	outs := make([]out, len(vals))
-	runPool(len(vals), opts.Parallelism, func(i int) {
-		sub := substituteVar(q, v, vals[i])
+	outs := make([]out, len(tuples))
+	runPool(len(tuples), opts.Parallelism, func(i int) {
+		sub := q
+		for j, v := range vars {
+			sub = substituteVar(sub, v, tuples[i][j])
+		}
 		var st ConjunctiveStats
-		rs, err := p.resolvePattern(sub, reformulate, opts, &st)
+		rs, err := p.resolvePattern(sub, nil, reformulate, opts, &st)
 		if err != nil {
 			outs[i] = out{err: err, stats: st}
 			return
 		}
 		bs := bindResults(sub, rs.Results)
-		bs.AddConstColumn(v, vals[i])
+		for j, v := range vars {
+			bs.AddConstColumn(v, tuples[i][j])
+		}
 		outs[i] = out{bs: bs, stats: st}
 	})
 
@@ -469,15 +706,18 @@ func (p *Peer) resolvePushdown(q triple.Pattern, v string, vals []string, reform
 	return merged, nil
 }
 
-// resolvePattern issues one (possibly reformulating) overlay search and
-// charges its routing, transfer, and reformulation costs to stats.
-func (p *Peer) resolvePattern(q triple.Pattern, reformulate bool, opts SearchOptions, stats *ConjunctiveStats) (*ResultSet, error) {
+// resolvePattern issues one (possibly reformulating, possibly semi-join
+// filtered) overlay search and charges its routing, transfer, filter
+// shipment, and reformulation costs to stats. The filter payload rides
+// every shipped copy of the pattern — the primary lookup and each
+// reformulated variant — so its transfer cost is charged per lookup.
+func (p *Peer) resolvePattern(q triple.Pattern, filters []VarFilter, reformulate bool, opts SearchOptions, stats *ConjunctiveStats) (*ResultSet, error) {
 	var rs *ResultSet
 	var err error
 	if reformulate {
-		rs, err = p.SearchWithReformulation(q, opts)
+		rs, err = p.searchReformulatedFiltered(q, filters, opts)
 	} else {
-		rs, err = p.SearchFor(q)
+		rs, err = p.searchForFiltered(q, filters)
 	}
 	if rs != nil {
 		stats.PatternLookups++
@@ -485,6 +725,11 @@ func (p *Peer) resolvePattern(q triple.Pattern, reformulate bool, opts SearchOpt
 		stats.TriplesShipped += len(rs.Results)
 		stats.TransferMessages += transferMessages(len(rs.Results))
 		stats.Reformulations += rs.Reformulations
+		if ship := filterTripleEquivalents(filters); ship > 0 {
+			lookups := 1 + rs.Reformulations
+			stats.FilterTriplesShipped += ship * lookups
+			stats.TransferMessages += lookups * transferMessages(ship)
+		}
 	}
 	return rs, err
 }
@@ -503,6 +748,11 @@ func PayloadTriples(payload any) int {
 		return len(v)
 	case ReformulatedResponse:
 		return len(v.Results)
+	case PatternQuery:
+		// Semi-join filters make the request itself data-bearing.
+		return filterTripleEquivalents(v.Filters)
+	case ReformulatedQuery:
+		return filterTripleEquivalents(v.Filters)
 	}
 	return 0
 }

@@ -9,6 +9,7 @@ package mediation
 import (
 	"encoding/gob"
 	"fmt"
+	"sync"
 
 	"gridvine/internal/keyspace"
 	"gridvine/internal/pgrid"
@@ -23,6 +24,11 @@ type Peer struct {
 	node  *pgrid.Node
 	db    *triple.DB
 	depth int
+
+	// statsMu guards statsCache, the per-schema aggregates of published
+	// statistics digests this peer has fetched (see stats.go).
+	statsMu    sync.Mutex
+	statsCache map[string]*schemaEstimate
 }
 
 // PatternQuery ships a triple pattern to the peer responsible for its key;
@@ -30,6 +36,10 @@ type Peer struct {
 // triples (paper §2.3: Retrieve(key, q)).
 type PatternQuery struct {
 	Pattern triple.Pattern
+	// Filters optionally restricts the answer server-side to triples whose
+	// variable values pass every filter — the semi-join reduction (see
+	// semijoin.go). Empty for plain pattern lookups.
+	Filters []VarFilter
 }
 
 // ConnectivityQuery asks the peer responsible for a domain key to derive
@@ -52,6 +62,13 @@ type DomainDegree struct {
 	Schema    string
 	InDegree  int
 	OutDegree int
+}
+
+// Replaces implements pgrid.Replacer: a fresh degree report supersedes the
+// previous report for the same schema.
+func (d DomainDegree) Replaces(old any) bool {
+	o, ok := old.(DomainDegree)
+	return ok && o.Schema == d.Schema
 }
 
 // NewPeer wraps an overlay node with mediation-layer behaviour. It
@@ -253,22 +270,13 @@ func (p *Peer) MappingsAt(schemaName string) ([]schema.Mapping, error) {
 }
 
 // ReportDomainDegree publishes (or refreshes) a schema's mapping degrees at
-// the domain key (paper §3.1: Update(Domain Connectivity)).
+// the domain key (paper §3.1: Update(Domain Connectivity)). The previous
+// report for the schema is replaced atomically at the responsible peer —
+// one routed operation instead of the retrieve + delete + update sequence,
+// which cost three round-trips and raced with concurrent reporters.
 func (p *Peer) ReportDomainDegree(domain, schemaName string, in, out int) error {
-	key := p.domainKey(domain)
-	// Replace any previous report for the schema.
-	values, _, err := p.node.Retrieve(key)
-	if err != nil {
-		return err
-	}
-	for _, v := range values {
-		if d, ok := v.(DomainDegree); ok && d.Schema == schemaName {
-			if _, err := p.node.Delete(key, d); err != nil {
-				return err
-			}
-		}
-	}
-	_, err = p.node.Update(key, DomainDegree{Schema: schemaName, InDegree: in, OutDegree: out})
+	_, err := p.node.Replace(p.domainKey(domain),
+		DomainDegree{Schema: schemaName, InDegree: in, OutDegree: out})
 	return err
 }
 

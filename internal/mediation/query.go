@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"gridvine/internal/graph"
 	"gridvine/internal/keyspace"
@@ -62,13 +63,26 @@ type SearchOptions struct {
 	Parallelism int
 	// PushdownLimit caps the bound-value fan-out of the conjunctive query
 	// planner: when a pattern's shared variable is already bound to at most
-	// this many distinct values, the engine ships that many constrained
-	// point lookups instead of one unconstrained (network-wide) pattern.
-	// Above the cap it falls back to the unconstrained pattern. 0 selects
+	// this many distinct values (joint tuples, when several variables are
+	// bound), the engine ships that many constrained point lookups instead
+	// of one unconstrained (network-wide) pattern. Above the cap it resolves
+	// the pattern by semi-join filter shipping (unless DisableSemiJoin is
+	// set, where it falls back to the unconstrained pattern). 0 selects
 	// DefaultPushdownLimit; negative disables pushdown (except for patterns
 	// that are not routable unconstrained, where pushdown is the only way
 	// to resolve them).
 	PushdownLimit int
+	// DisableSemiJoin reverts the over-cap strategy to shipping the full
+	// unconstrained pattern — the pre-semi-join engine, kept as the
+	// benchmark baseline.
+	DisableSemiJoin bool
+	// StatsTTL is the freshness horizon of distributed statistics: the
+	// conjunctive planner aggregates published StatsDigests no older than
+	// this (cached per schema for the same window) to estimate pattern
+	// cardinalities, and falls back to the static position weights when no
+	// digest is fresh. 0 selects DefaultStatsTTL; negative disables
+	// statistics entirely (no fetches, static weights only).
+	StatsTTL time.Duration
 }
 
 func (o SearchOptions) withDefaults() SearchOptions {
@@ -86,6 +100,9 @@ func (o SearchOptions) withDefaults() SearchOptions {
 	}
 	if o.PushdownLimit == 0 {
 		o.PushdownLimit = DefaultPushdownLimit
+	}
+	if o.StatsTTL == 0 {
+		o.StatsTTL = DefaultStatsTTL
 	}
 	return o
 }
@@ -148,12 +165,19 @@ func (rs *ResultSet) Triples() []triple.Triple {
 // shipped there, and the responsible peer answers from its local database
 // (paper §2.3: SearchFor(x? : (s, p, o))).
 func (p *Peer) SearchFor(q triple.Pattern) (*ResultSet, error) {
+	return p.searchForFiltered(q, nil)
+}
+
+// searchForFiltered is SearchFor with optional semi-join filters riding the
+// shipped query: the responsible peer filters its σ answer against them and
+// returns only rows the issuer's bound values can join.
+func (p *Peer) searchForFiltered(q triple.Pattern, filters []VarFilter) (*ResultSet, error) {
 	_, constant, ok := q.MostSpecificConstant()
 	if !ok {
 		return nil, ErrNotRoutable
 	}
 	key := keyspace.Hash(constant, p.depth)
-	result, route, err := p.node.Query(key, PatternQuery{Pattern: q})
+	result, route, err := p.node.Query(key, PatternQuery{Pattern: q, Filters: filters})
 	rs := &ResultSet{Query: q, Messages: route.Messages, Route: route}
 	if err != nil {
 		return rs, err
@@ -173,15 +197,23 @@ func (p *Peer) SearchFor(q triple.Pattern) (*ResultSet, error) {
 // re-issuing the query against semantically related schemas, aggregating
 // all results (paper §3, Figure 2; §4 for the two strategies).
 func (p *Peer) SearchWithReformulation(q triple.Pattern, opts SearchOptions) (*ResultSet, error) {
+	return p.searchReformulatedFiltered(q, nil, opts)
+}
+
+// searchReformulatedFiltered is SearchWithReformulation with semi-join
+// filters applied at every destination: reformulation rewrites only the
+// constant predicate, so the filtered variables sit at the same positions
+// in every reformulated variant and the filters constrain each identically.
+func (p *Peer) searchReformulatedFiltered(q triple.Pattern, filters []VarFilter, opts SearchOptions) (*ResultSet, error) {
 	opts = opts.withDefaults()
 	if q.P.Kind != triple.Constant {
 		// No predicate to rewrite: plain search.
-		return p.SearchFor(q)
+		return p.searchForFiltered(q, filters)
 	}
 	if opts.Mode == Recursive {
-		return p.searchRecursive(q, opts)
+		return p.searchRecursive(q, filters, opts)
 	}
-	return p.searchIterative(q, opts)
+	return p.searchIterative(q, filters, opts)
 }
 
 // frontierItem is one reformulated pattern awaiting resolution during
@@ -207,9 +239,9 @@ type frontierOut struct {
 // resolveFrontier resolves one frontier item: the routed pattern search,
 // plus the mapping lookup that seeds the next wave (skipped at MaxDepth).
 // It touches no shared state, so the fan-out can run it from any goroutine.
-func (p *Peer) resolveFrontier(item frontierItem, opts SearchOptions) frontierOut {
+func (p *Peer) resolveFrontier(item frontierItem, filters []VarFilter, opts SearchOptions) frontierOut {
 	var out frontierOut
-	out.sub, out.err = p.SearchFor(item.pattern)
+	out.sub, out.err = p.searchForFiltered(item.pattern, filters)
 	if out.sub == nil {
 		out.sub = &ResultSet{}
 	}
@@ -259,10 +291,10 @@ func runPool(n, workers int, fn func(int)) {
 // fanOut resolves a whole frontier wave across a bounded worker pool.
 // outs[i] corresponds to wave[i], so the caller can merge in wave order and
 // keep the traversal deterministic regardless of completion order.
-func (p *Peer) fanOut(wave []frontierItem, opts SearchOptions) []frontierOut {
+func (p *Peer) fanOut(wave []frontierItem, filters []VarFilter, opts SearchOptions) []frontierOut {
 	outs := make([]frontierOut, len(wave))
 	runPool(len(wave), opts.Parallelism, func(i int) {
-		outs[i] = p.resolveFrontier(wave[i], opts)
+		outs[i] = p.resolveFrontier(wave[i], filters, opts)
 	})
 	return outs
 }
@@ -272,14 +304,14 @@ func (p *Peer) fanOut(wave []frontierItem, opts SearchOptions) []frontierOut {
 // reformulated patterns of a wave are independent overlay operations — and
 // is merged back in wave order, so visited-set claims, result aggregation
 // and reformulation counts match the serial traversal exactly.
-func (p *Peer) searchIterative(q triple.Pattern, opts SearchOptions) (*ResultSet, error) {
+func (p *Peer) searchIterative(q triple.Pattern, filters []VarFilter, opts SearchOptions) (*ResultSet, error) {
 	rs := &ResultSet{Query: q}
 
 	schemaName, attr, ok := schema.SplitPredicateURI(q.P.Value)
 	if !ok {
 		// Predicate is constant but not Schema#Attr: no reformulation
 		// possible, answer the plain query.
-		plain, err := p.SearchFor(q)
+		plain, err := p.searchForFiltered(q, filters)
 		if err != nil {
 			return plain, err
 		}
@@ -291,7 +323,7 @@ func (p *Peer) searchIterative(q triple.Pattern, opts SearchOptions) (*ResultSet
 
 	var firstErr error
 	for len(wave) > 0 {
-		outs := p.fanOut(wave, opts)
+		outs := p.fanOut(wave, filters, opts)
 		var nextWave []frontierItem
 		for i, item := range wave {
 			out := outs[i]
@@ -358,6 +390,9 @@ type ReformulatedQuery struct {
 	// concurrently; it halves at each hop so the total concurrency of a
 	// recursive cascade stays bounded. 0 or 1 forwards serially.
 	Fanout int
+	// Filters carries the issuer's semi-join filters; every step applies
+	// them to its local answer and passes them to its forwards.
+	Filters []VarFilter
 }
 
 // ReformResult is one triple found by a recursive reformulation step.
@@ -377,7 +412,7 @@ type ReformulatedResponse struct {
 }
 
 // searchRecursive delegates reformulation to the destination peers.
-func (p *Peer) searchRecursive(q triple.Pattern, opts SearchOptions) (*ResultSet, error) {
+func (p *Peer) searchRecursive(q triple.Pattern, filters []VarFilter, opts SearchOptions) (*ResultSet, error) {
 	rs := &ResultSet{Query: q}
 	_, constant, ok := q.MostSpecificConstant()
 	if !ok {
@@ -391,6 +426,7 @@ func (p *Peer) searchRecursive(q triple.Pattern, opts SearchOptions) (*ResultSet
 		Confidence:        1,
 		MinConfidence:     opts.MinConfidence,
 		Fanout:            opts.Parallelism,
+		Filters:           filters,
 	}
 	result, route, err := p.node.Query(key, payload)
 	rs.Messages += route.Messages
@@ -421,8 +457,9 @@ func (p *Peer) searchRecursive(q triple.Pattern, opts SearchOptions) (*ResultSet
 func (p *Peer) handleReformulated(req ReformulatedQuery) (ReformulatedResponse, error) {
 	var resp ReformulatedResponse
 	// Local answers, unsorted: the issuer dedupes and sorts the aggregated
-	// result set, so this hot path skips the per-step sort.
-	for _, t := range p.db.Select(req.Pattern) {
+	// result set, so this hot path skips the per-step sort. Semi-join
+	// filters apply before anything ships.
+	for _, t := range filterTriples(req.Pattern, req.Filters, p.db.Select(req.Pattern)) {
 		resp.Results = append(resp.Results, ReformResult{
 			Triple:      t,
 			Pattern:     req.Pattern,
@@ -484,6 +521,7 @@ func (p *Peer) handleReformulated(req ReformulatedQuery) (ReformulatedResponse, 
 				Confidence:        conf,
 				MinConfidence:     req.MinConfidence,
 				Fanout:            req.Fanout / 2,
+				Filters:           req.Filters,
 			},
 		})
 	}
@@ -515,7 +553,10 @@ func (p *Peer) handleQuery(key keyspace.Key, payload any) (any, error) {
 	case PatternQuery:
 		// Sorted: SearchFor ships these answers back verbatim (no dedupe
 		// pass), so the wire format stays deterministic across runs.
-		return p.db.SelectSorted(req.Pattern), nil
+		// Semi-join filters, when present, drop non-joining rows before
+		// they ship (SelectSorted returns a fresh slice, so the in-place
+		// filter is safe).
+		return filterTriples(req.Pattern, req.Filters, p.db.SelectSorted(req.Pattern)), nil
 	case ReformulatedQuery:
 		return p.handleReformulated(req)
 	case ConnectivityQuery:

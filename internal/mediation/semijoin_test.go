@@ -1,0 +1,334 @@
+package mediation
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"gridvine/internal/triple"
+)
+
+// TestSemiJoinEquivalence is the central three-way property of the
+// strategies: for every pattern order, with and without reformulation, at
+// serial and default parallelism, the semi-join engine (cap forced low so
+// over-cap patterns ship filters) and the pushdown engine (cap forced high
+// so they ship point lookups) both return exactly the naive evaluator's
+// binding set.
+func TestSemiJoinEquivalence(t *testing.T) {
+	_, ps := conjNetwork(t, 32, 60)
+	issuer := ps[4]
+
+	queries := map[string][]triple.Pattern{
+		"hot-join": {
+			{S: triple.Var("x"), P: triple.Const("A#len"), O: triple.Var("len")},
+			{S: triple.Var("x"), P: triple.Const("A#org"), O: triple.Const("species-2")},
+		},
+		"three-way": {
+			{S: triple.Var("x"), P: triple.Const("A#len"), O: triple.Var("len")},
+			{S: triple.Var("x"), P: triple.Const("A#ref"), O: triple.Var("r")},
+			{S: triple.Var("x"), P: triple.Const("A#org"), O: triple.Const("species-1")},
+		},
+		"var-predicate": {
+			{S: triple.Var("x"), P: triple.Const("A#org"), O: triple.Const("species-3")},
+			{S: triple.Var("x"), P: triple.Var("p"), O: triple.Var("o")},
+		},
+	}
+	configs := map[string]SearchOptions{
+		"semi-join": {PushdownLimit: 2},      // fan-outs above 2 ship filters
+		"pushdown":  {PushdownLimit: 100000}, // everything fits under the cap
+	}
+
+	for name, base := range queries {
+		for pi, patterns := range permutations(base) {
+			for _, reformulate := range []bool{false, true} {
+				naive, _, err := issuer.SearchConjunctiveNaive(patterns, reformulate, SearchOptions{Parallelism: 1})
+				naiveErr := err != nil
+				var want []string
+				if !naiveErr {
+					want = bindingKeys(naive)
+				}
+				for cfg, opts := range configs {
+					for _, par := range []int{1, 0} {
+						opts.Parallelism = par
+						got, _, err := issuer.SearchConjunctive(patterns, reformulate, opts)
+						if naiveErr {
+							// The naive evaluator rejects unroutable
+							// patterns it reaches; the planner may still
+							// answer (pushdown rescue) — only require
+							// success, not equality.
+							if err != nil {
+								t.Errorf("%s/%s/perm%d/ref=%v/par=%d: %v", name, cfg, pi, reformulate, par, err)
+							}
+							continue
+						}
+						if err != nil {
+							t.Fatalf("%s/%s/perm%d/ref=%v/par=%d: %v", name, cfg, pi, reformulate, par, err)
+						}
+						if keys := bindingKeys(got); !equalStrings(keys, want) {
+							t.Errorf("%s/%s/perm%d/ref=%v/par=%d:\nplanned = %v\nnaive   = %v",
+								name, cfg, pi, reformulate, par, keys, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSemiJoinShipsFewerTriples pins the point of the strategy: on a
+// bound-value fan-out above the pushdown cap, semi-join shipping moves an
+// order of magnitude fewer triples (filters included) than the PR 2
+// full-pattern fallback, while returning identical rows.
+func TestSemiJoinShipsFewerTriples(t *testing.T) {
+	const entities = 2000
+	_, ps := conjNetwork(t, 32, entities) // species-rare matches 8 of 2000
+	issuer := ps[6]
+	patterns := []triple.Pattern{
+		{S: triple.Var("x"), P: triple.Const("A#len"), O: triple.Var("len")},
+		{S: triple.Var("x"), P: triple.Const("A#org"), O: triple.Const("species-rare")},
+	}
+	// Cap below the 8-value fan-out, so the hot pattern goes semi-join
+	// instead of pushdown.
+	opts := SearchOptions{Parallelism: 1, PushdownLimit: 4}
+
+	fallback := opts
+	fallback.DisableSemiJoin = true
+	planned, fallbackStats, err := issuer.SearchConjunctiveSet(patterns, false, fallback)
+	if err != nil {
+		t.Fatalf("fallback: %v", err)
+	}
+	if fallbackStats.SemiJoins != 0 || fallbackStats.FullScans < 2 {
+		t.Fatalf("fallback should full-scan, stats = %+v", fallbackStats)
+	}
+
+	sj, sjStats, err := issuer.SearchConjunctiveSet(patterns, false, opts)
+	if err != nil {
+		t.Fatalf("semi-join: %v", err)
+	}
+	if sjStats.SemiJoins == 0 {
+		t.Fatalf("no semi-join fired over a %d-value fan-out, stats = %+v", planned.Len(), sjStats)
+	}
+	if !equalStrings(bindingKeys(sj.ToBindings()), bindingKeys(planned.ToBindings())) {
+		t.Fatal("semi-join and fallback disagree")
+	}
+	sjShipped := sjStats.TriplesShipped + sjStats.FilterTriplesShipped
+	if sjShipped*4 > fallbackStats.TriplesShipped {
+		t.Errorf("shipped: semi-join %d (incl. %d filter) vs fallback %d — expected ≥4x reduction",
+			sjShipped, sjStats.FilterTriplesShipped, fallbackStats.TriplesShipped)
+	}
+	if sjStats.FilterTriplesShipped == 0 {
+		t.Error("filter shipment not charged")
+	}
+}
+
+// TestMultiVariablePushdown: when two shared variables are bound, the
+// engine substitutes both — one lookup per distinct joint tuple — and still
+// matches the naive evaluator.
+func TestMultiVariablePushdown(t *testing.T) {
+	_, ps := conjNetwork(t, 32, 24)
+	// A#echo duplicates the A#len value under a second predicate, so the
+	// second pattern shares both x and len with the first.
+	for e := 0; e < 24; e += 2 {
+		tr := triple.Triple{Subject: fmt.Sprintf("s%03d", e), Predicate: "A#echo", Object: fmt.Sprint(100 + e)}
+		if _, err := ps[0].InsertTriple(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	issuer := ps[3]
+	patterns := []triple.Pattern{
+		{S: triple.Var("x"), P: triple.Const("A#org"), O: triple.Const("species-2")},
+		{S: triple.Var("x"), P: triple.Const("A#len"), O: triple.Var("len")},
+		{S: triple.Var("x"), P: triple.Const("A#echo"), O: triple.Var("len")},
+	}
+	for _, patterns := range permutations(patterns) {
+		naive, _, err := issuer.SearchConjunctiveNaive(patterns, false, SearchOptions{Parallelism: 1})
+		if err != nil {
+			t.Fatalf("naive: %v", err)
+		}
+		got, stats, err := issuer.SearchConjunctiveSet(patterns, false, SearchOptions{Parallelism: 1})
+		if err != nil {
+			t.Fatalf("planned: %v", err)
+		}
+		if !equalStrings(bindingKeys(got.ToBindings()), bindingKeys(naive)) {
+			t.Errorf("multi-var pushdown diverged from naive (stats %+v)", stats)
+		}
+		if stats.Pushdowns == 0 {
+			t.Errorf("expected pushdown execution, stats = %+v", stats)
+		}
+	}
+}
+
+// TestSemiJoinWithReformulation: filters ride reformulated patterns too —
+// results across a mapping must match the naive reformulating evaluator
+// even when the engine semi-joins, in both reformulation modes.
+func TestSemiJoinWithReformulation(t *testing.T) {
+	_, ps := conjNetwork(t, 32, 48)
+	issuer := ps[2]
+	patterns := []triple.Pattern{
+		{S: triple.Var("x"), P: triple.Const("A#len"), O: triple.Var("len")},
+		{S: triple.Var("x"), P: triple.Const("A#org"), O: triple.Var("org")},
+	}
+	for _, mode := range []Mode{Iterative, Recursive} {
+		naive, _, err := issuer.SearchConjunctiveNaive(patterns, true, SearchOptions{Parallelism: 1, Mode: mode})
+		if err != nil {
+			t.Fatalf("%v naive: %v", mode, err)
+		}
+		got, stats, err := issuer.SearchConjunctiveSet(patterns, true, SearchOptions{Parallelism: 1, Mode: mode, PushdownLimit: 2})
+		if err != nil {
+			t.Fatalf("%v semi-join: %v", mode, err)
+		}
+		if stats.SemiJoins == 0 {
+			t.Errorf("%v: no semi-join fired, stats = %+v", mode, stats)
+		}
+		if !equalStrings(bindingKeys(got.ToBindings()), bindingKeys(naive)) {
+			t.Errorf("%v: semi-join under reformulation diverged from naive", mode)
+		}
+	}
+}
+
+func TestNewVarFilterEncodingChoice(t *testing.T) {
+	small := NewVarFilter("x", []string{"a", "b"})
+	if small.Bloom != nil || len(small.Values) != 2 {
+		t.Errorf("tiny set should ship exact: %+v", small)
+	}
+	vals := make([]string, 4000)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("some-rather-long-value-%06d", i)
+	}
+	big := NewVarFilter("x", vals)
+	if big.Bloom == nil {
+		t.Fatal("large set should ship a Bloom filter")
+	}
+	for _, v := range vals {
+		if !big.Accepts(v) {
+			t.Fatalf("false negative for %q", v)
+		}
+	}
+	if small.Accepts("zz") {
+		t.Error("exact filter accepted a non-member")
+	}
+	if !small.Accepts("a") || !small.Accepts("b") {
+		t.Error("exact filter rejected a member")
+	}
+	if small.TripleEquivalents() < 1 || big.TripleEquivalents() < 1 {
+		t.Error("filters must charge at least one triple equivalent")
+	}
+	if big.TripleEquivalents() >= len(vals) {
+		t.Errorf("Bloom charge %d should be far below %d values", big.TripleEquivalents(), len(vals))
+	}
+}
+
+func TestFilterTriples(t *testing.T) {
+	q := triple.Pattern{S: triple.Var("x"), P: triple.Const("p"), O: triple.Var("y")}
+	ts := []triple.Triple{
+		{Subject: "s1", Predicate: "p", Object: "o1"},
+		{Subject: "s2", Predicate: "p", Object: "o2"},
+		{Subject: "s3", Predicate: "p", Object: "o3"},
+	}
+	got := filterTriples(q, []VarFilter{NewVarFilter("x", []string{"s1", "s3"})}, append([]triple.Triple(nil), ts...))
+	if len(got) != 2 || got[0].Subject != "s1" || got[1].Subject != "s3" {
+		t.Errorf("filtered = %v", got)
+	}
+	// Two filters conjoin.
+	got = filterTriples(q, []VarFilter{
+		NewVarFilter("x", []string{"s1", "s3"}),
+		NewVarFilter("y", []string{"o3"}),
+	}, append([]triple.Triple(nil), ts...))
+	if len(got) != 1 || got[0].Subject != "s3" {
+		t.Errorf("conjoined = %v", got)
+	}
+	// Filters on absent variables are ignored.
+	got = filterTriples(q, []VarFilter{NewVarFilter("zz", []string{"nope"})}, append([]triple.Triple(nil), ts...))
+	if len(got) != 3 {
+		t.Errorf("absent-var filter dropped rows: %v", got)
+	}
+	// Repeated variable: both positions must pass.
+	loop := triple.Pattern{S: triple.Var("x"), P: triple.Const("p"), O: triple.Var("x")}
+	loops := []triple.Triple{
+		{Subject: "a", Predicate: "p", Object: "a"},
+		{Subject: "b", Predicate: "p", Object: "c"},
+	}
+	got = filterTriples(loop, []VarFilter{NewVarFilter("x", []string{"a", "b"})}, append([]triple.Triple(nil), loops...))
+	if len(got) != 1 || got[0].Subject != "a" {
+		t.Errorf("repeated-variable filter = %v", got)
+	}
+}
+
+// BenchmarkSemiJoin compares the three strategies on a fan-out workload
+// where the bound-value set (≈500 subjects) exceeds the pushdown cap, under
+// WAN transit and bandwidth delays. The planned-vs-semijoin triples/query
+// gap is the headline of EXP-L (BENCH_semijoin.json).
+func BenchmarkSemiJoin(b *testing.B) {
+	const (
+		hotEntities = 3000
+		fanout      = 150
+	)
+	build := func(b *testing.B) []*Peer {
+		net, ps, err := buildPeers(48, 101)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for e := 0; e < hotEntities; e++ {
+			s := fmt.Sprintf("h%05d", e)
+			grp := fmt.Sprintf("grp-%d", 1+e%30)
+			if e < fanout {
+				grp = "grp-hot"
+			}
+			for _, tr := range []triple.Triple{
+				{Subject: s, Predicate: "A#grp", Object: grp},
+				{Subject: s, Predicate: "A#len", Object: fmt.Sprint(100 + e)},
+			} {
+				if _, err := ps[e%len(ps)].InsertTriple(tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		for _, p := range ps {
+			if _, _, err := p.PublishStats(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		net.SetSendDelay(time.Millisecond)
+		net.SetPayloadDelay(50*time.Microsecond, PayloadTriples)
+		return ps
+	}
+	patterns := []triple.Pattern{
+		{S: triple.Var("x"), P: triple.Const("A#len"), O: triple.Var("len")},
+		{S: triple.Var("x"), P: triple.Const("A#grp"), O: triple.Const("grp-hot")},
+	}
+
+	run := func(b *testing.B, opts SearchOptions, naive bool) {
+		ps := build(b)
+		b.ResetTimer()
+		var stats ConjunctiveStats
+		for i := 0; i < b.N; i++ {
+			var st ConjunctiveStats
+			var n int
+			if naive {
+				rows, s, err := ps[9].SearchConjunctiveNaive(patterns, false, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st, n = s, len(rows)
+			} else {
+				bs, s, err := ps[9].SearchConjunctiveSet(patterns, false, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st, n = s, bs.Len()
+			}
+			if n != fanout {
+				b.Fatalf("rows = %d", n)
+			}
+			stats = st
+		}
+		b.ReportMetric(float64(stats.TotalMessages()), "msgs/query")
+		b.ReportMetric(float64(stats.TriplesShipped+stats.FilterTriplesShipped), "triples/query")
+	}
+
+	b.Run("naive", func(b *testing.B) { run(b, SearchOptions{}, true) })
+	b.Run("planned-fallback", func(b *testing.B) {
+		run(b, SearchOptions{DisableSemiJoin: true}, false)
+	})
+	b.Run("semijoin", func(b *testing.B) { run(b, SearchOptions{}, false) })
+}

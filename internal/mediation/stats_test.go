@@ -1,0 +1,176 @@
+package mediation
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"gridvine/internal/triple"
+)
+
+// statsNetwork builds a workload with a skewed predicate mix under schema A
+// and publishes every peer's digest.
+func statsNetwork(t *testing.T, peers, entities int, publish bool) []*Peer {
+	t.Helper()
+	_, ps, err := buildPeers(peers, 41)
+	if err != nil {
+		t.Fatalf("buildPeers: %v", err)
+	}
+	for e := 0; e < entities; e++ {
+		s := fmt.Sprintf("e%04d", e)
+		for _, tr := range []triple.Triple{
+			{Subject: s, Predicate: "A#hot", Object: fmt.Sprintf("v%d", e)},
+			{Subject: s, Predicate: "A#grp", Object: fmt.Sprintf("g%d", e%5)},
+		} {
+			if _, err := ps[e%len(ps)].InsertTriple(tr); err != nil {
+				t.Fatalf("InsertTriple: %v", err)
+			}
+		}
+	}
+	if publish {
+		for _, p := range ps {
+			if _, _, err := p.PublishStats(); err != nil {
+				t.Fatalf("PublishStats: %v", err)
+			}
+		}
+	}
+	return ps
+}
+
+func TestPublishAndAggregateStats(t *testing.T) {
+	ps := statsNetwork(t, 16, 60, true)
+	var st ConjunctiveStats
+	e := ps[3].schemaStats("A", DefaultStatsTTL, &st)
+	if e.digests == 0 {
+		t.Fatal("no digests aggregated")
+	}
+	if st.StatsFetches != 1 {
+		t.Errorf("StatsFetches = %d, want 1", st.StatsFetches)
+	}
+	hot, ok := e.preds["A#hot"]
+	if !ok {
+		t.Fatalf("A#hot missing from aggregate %+v", e.preds)
+	}
+	grp := e.preds["A#grp"]
+	// Aggregated counts are copy-counts across the 3-way index and
+	// replicas — an upper bound — but relative cardinalities must hold:
+	// both predicates have the same extension size, while grp has far
+	// fewer distinct objects than hot.
+	if hot.Triples < 60 || grp.Triples < 60 {
+		t.Errorf("triples: hot %d grp %d, want ≥60 each", hot.Triples, grp.Triples)
+	}
+	if grp.Objects >= hot.Objects {
+		t.Errorf("distinct objects: grp %d should be ≪ hot %d", grp.Objects, hot.Objects)
+	}
+
+	// Second consult within the TTL hits the cache: no further fetch.
+	var st2 ConjunctiveStats
+	ps[3].schemaStats("A", DefaultStatsTTL, &st2)
+	if st2.StatsFetches != 0 || st2.RouteMessages != 0 {
+		t.Errorf("cached consult fetched again: %+v", st2)
+	}
+}
+
+// TestRepublishSupersedes pins the atomic-replace contract at the digest
+// level: a republishing peer never accumulates multiple digests.
+func TestRepublishSupersedes(t *testing.T) {
+	ps := statsNetwork(t, 16, 20, true)
+	for i := 0; i < 3; i++ {
+		if _, _, err := ps[2].PublishStats(); err != nil {
+			t.Fatalf("republish %d: %v", i, err)
+		}
+	}
+	var st ConjunctiveStats
+	e := ps[9].schemaStats("A", DefaultStatsTTL, &st)
+	origins := map[string]int{}
+	values, _, err := ps[9].Node().Retrieve(ps[9].schemaKey("A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range values {
+		if d, ok := v.(StatsDigest); ok {
+			origins[d.Origin]++
+		}
+	}
+	for origin, n := range origins {
+		if n != 1 {
+			t.Errorf("origin %s has %d digests, want 1", origin, n)
+		}
+	}
+	if len(origins) != e.digests {
+		t.Errorf("aggregated %d digests, stored %d origins", e.digests, len(origins))
+	}
+}
+
+// TestPlannerUsesFreshDigests / degradation ladder: with fresh digests the
+// planner runs cost-based (StatsDigests > 0); with expired digests or none
+// at all it degrades to the static position weights (StatsDigests == 0);
+// with statistics disabled it does not even fetch. Results are identical to
+// the naive evaluator in every regime.
+func TestPlannerStalenessFallback(t *testing.T) {
+	patterns := []triple.Pattern{
+		{S: triple.Var("x"), P: triple.Const("A#hot"), O: triple.Var("v")},
+		{S: triple.Var("x"), P: triple.Const("A#grp"), O: triple.Const("g1")},
+	}
+	check := func(t *testing.T, ps []*Peer, opts SearchOptions, wantDigests bool, wantFetches bool) ConjunctiveStats {
+		t.Helper()
+		issuer := ps[1]
+		naive, _, err := issuer.SearchConjunctiveNaive(patterns, false, SearchOptions{Parallelism: 1})
+		if err != nil {
+			t.Fatalf("naive: %v", err)
+		}
+		got, stats, err := issuer.SearchConjunctiveSet(patterns, false, opts)
+		if err != nil {
+			t.Fatalf("planned: %v", err)
+		}
+		if !equalStrings(bindingKeys(got.ToBindings()), bindingKeys(naive)) {
+			t.Error("planned diverged from naive")
+		}
+		if wantDigests != (stats.StatsDigests > 0) {
+			t.Errorf("StatsDigests = %d, want >0: %v", stats.StatsDigests, wantDigests)
+		}
+		if wantFetches != (stats.StatsFetches > 0) {
+			t.Errorf("StatsFetches = %d, want >0: %v", stats.StatsFetches, wantFetches)
+		}
+		return stats
+	}
+
+	t.Run("fresh", func(t *testing.T) {
+		ps := statsNetwork(t, 16, 40, true)
+		check(t, ps, SearchOptions{Parallelism: 1}, true, true)
+	})
+	t.Run("missing", func(t *testing.T) {
+		ps := statsNetwork(t, 16, 40, false)
+		check(t, ps, SearchOptions{Parallelism: 1}, false, true)
+	})
+	t.Run("expired", func(t *testing.T) {
+		ps := statsNetwork(t, 16, 40, true)
+		// Let the published instants age past a microscopic TTL: every
+		// digest is stale, so the planner must fall back to static weights.
+		time.Sleep(2 * time.Millisecond)
+		check(t, ps, SearchOptions{Parallelism: 1, StatsTTL: time.Millisecond}, false, true)
+	})
+	t.Run("disabled", func(t *testing.T) {
+		ps := statsNetwork(t, 16, 40, true)
+		stats := check(t, ps, SearchOptions{Parallelism: 1, StatsTTL: -1}, false, false)
+		if stats.StatsFetches != 0 {
+			t.Errorf("disabled statistics still fetched: %+v", stats)
+		}
+	})
+}
+
+func TestStatsDigestReplaces(t *testing.T) {
+	d := StatsDigest{Origin: "p1", Schema: "A"}
+	if !d.Replaces(StatsDigest{Origin: "p1", Schema: "A", Published: time.Now()}) {
+		t.Error("same origin+schema should replace")
+	}
+	if d.Replaces(StatsDigest{Origin: "p2", Schema: "A"}) {
+		t.Error("other origin should not be replaced")
+	}
+	if d.Replaces(StatsDigest{Origin: "p1", Schema: "B"}) {
+		t.Error("other schema should not be replaced")
+	}
+	if d.Replaces("unrelated") {
+		t.Error("foreign type should not be replaced")
+	}
+}

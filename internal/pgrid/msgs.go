@@ -27,6 +27,7 @@ const (
 	OpInsert
 	OpDelete
 	OpQuery
+	OpReplace
 )
 
 func (o Op) String() string {
@@ -39,9 +40,25 @@ func (o Op) String() string {
 		return "delete"
 	case OpQuery:
 		return "query"
+	case OpReplace:
+		return "replace"
 	default:
 		return "unknown"
 	}
+}
+
+// Replacer lets a stored value type opt into atomic replacement. An
+// OpReplace removes, under one key and one store lock acquisition, every
+// stored value the incoming value Replaces, then inserts the incoming value
+// — a single routed operation where the retrieve + delete + update sequence
+// costs three routed round-trips and races with concurrent publishers of
+// the same logical slot. Values that do not implement Replacer behave like
+// plain inserts under OpReplace.
+type Replacer interface {
+	// Replaces reports whether the receiver supersedes the stored value —
+	// e.g. a statistics digest supersedes the same origin peer's previous
+	// digest for the same schema.
+	Replaces(old any) bool
 }
 
 // ExecRequest asks the receiving peer to either perform the operation (if
@@ -68,7 +85,7 @@ type ExecResponse struct {
 // ReplicateRequest applies a storage mutation directly, without routing.
 type ReplicateRequest struct {
 	Key   string
-	Op    Op // OpInsert or OpDelete
+	Op    Op // OpInsert, OpDelete or OpReplace
 	Value any
 }
 

@@ -311,9 +311,13 @@ func (n *Node) HandleMessage(from simnet.PeerID, msg simnet.Message) (simnet.Mes
 	}
 }
 
-// applyMutation performs an insert/delete on the local store and notifies
-// the store hook on change (outside the node lock).
+// applyMutation performs an insert/delete/replace on the local store and
+// notifies the store hook on change (outside the node lock).
 func (n *Node) applyMutation(key string, op Op, value any) {
+	if op == OpReplace {
+		n.applyReplace(key, value)
+		return
+	}
 	changed := false
 	switch op {
 	case OpInsert:
@@ -331,6 +335,63 @@ func (n *Node) applyMutation(key string, op Op, value any) {
 		if k, err := keyspace.ParseKey(key); err == nil {
 			hook(op, k, value)
 		}
+	}
+}
+
+// localReplace removes every stored value under key that value Replaces
+// (see Replacer) and inserts value, all under one lock acquisition. It
+// returns the removed values and whether value was newly inserted (false
+// when an exact duplicate was already stored).
+func (n *Node) localReplace(key string, value any) (removed []any, inserted bool) {
+	rep, _ := value.(Replacer)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	vs := n.store[key]
+	kept := make([]any, 0, len(vs)+1)
+	dup := false
+	for _, v := range vs {
+		if rep != nil && rep.Replaces(v) {
+			removed = append(removed, v)
+			continue
+		}
+		if !dup && reflect.DeepEqual(v, value) {
+			dup = true
+		}
+		kept = append(kept, v)
+	}
+	if !dup {
+		kept = append(kept, value)
+	}
+	if len(removed) == 0 && dup {
+		return nil, false
+	}
+	n.store[key] = kept
+	return removed, !dup
+}
+
+// applyReplace runs a replace mutation and fires the store hook once per
+// removed value plus once for the insertion, mirroring the delete + insert
+// sequence the operation collapses.
+func (n *Node) applyReplace(key string, value any) {
+	removed, inserted := n.localReplace(key, value)
+	if len(removed) == 0 && !inserted {
+		return
+	}
+	n.mu.RLock()
+	hook := n.storeHook
+	n.mu.RUnlock()
+	if hook == nil {
+		return
+	}
+	k, err := keyspace.ParseKey(key)
+	if err != nil {
+		return
+	}
+	for _, v := range removed {
+		hook(OpDelete, k, v)
+	}
+	if inserted {
+		hook(OpInsert, k, value)
 	}
 }
 

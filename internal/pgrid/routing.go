@@ -53,6 +53,15 @@ func (n *Node) Delete(key keyspace.Key, value any) (Route, error) {
 	return route, err
 }
 
+// Replace atomically substitutes value for every stored value it Replaces
+// at the peer responsible for key (see Replacer): one routed operation, one
+// replica synchronization message per replica. A value that implements no
+// Replacer is simply inserted.
+func (n *Node) Replace(key keyspace.Key, value any) (Route, error) {
+	_, route, err := n.execute(ExecRequest{Key: key.String(), Op: OpReplace, Value: value})
+	return route, err
+}
+
 // Query ships payload to the peer responsible for key and runs the
 // registered application handler there — GridVine's Retrieve(key, q).
 func (n *Node) Query(key keyspace.Key, payload any) (any, Route, error) {
@@ -207,7 +216,7 @@ func (n *Node) handleExec(req ExecRequest) (ExecResponse, error) {
 	switch req.Op {
 	case OpGet:
 		resp.Values = n.LocalGet(key)
-	case OpInsert, OpDelete:
+	case OpInsert, OpDelete, OpReplace:
 		n.applyMutation(req.Key, req.Op, req.Value)
 		n.replicate(ReplicateRequest{Key: req.Key, Op: req.Op, Value: req.Value})
 	case OpQuery:

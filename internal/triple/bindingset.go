@@ -57,6 +57,46 @@ func (bs *BindingSet) DistinctValues(name string) []string {
 	return out
 }
 
+// DistinctTuples returns the distinct value combinations of the named
+// variables across the rows, sorted lexicographically. The conjunctive
+// engine uses it for multi-variable pushdown: the joint distinct tuples can
+// be far fewer than the product of the per-variable distinct values, and
+// each tuple becomes one fully constrained point lookup. nil when any name
+// is absent from the schema.
+func (bs *BindingSet) DistinctTuples(names []string) [][]string {
+	idxs := make([]int, len(names))
+	for i, name := range names {
+		if idxs[i] = bs.VarIndex(name); idxs[i] < 0 {
+			return nil
+		}
+	}
+	seen := make(map[string]struct{}, len(bs.Rows))
+	out := make([][]string, 0, len(bs.Rows))
+	var key []byte
+	tuple := make([]string, len(names))
+	for _, row := range bs.Rows {
+		for i, idx := range idxs {
+			tuple[i] = row[idx]
+		}
+		key = AppendRowKey(key[:0], tuple)
+		if _, dup := seen[string(key)]; dup {
+			continue
+		}
+		seen[string(key)] = struct{}{}
+		out = append(out, append([]string(nil), tuple...))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
 // AddConstColumn appends a column holding the same value in every row. The
 // pushdown path uses it to restore the substituted variable: a pattern
 // resolved with x:=v binds everything but x, and the column re-attaches it.
@@ -195,13 +235,16 @@ func AppendRowKey(buf []byte, row []string) []byte {
 }
 
 // HashJoin implements the natural join ⋈ on flattened binding sets: rows
-// agreeing on every shared variable are merged. A hash table over the right
-// side's shared-variable key is probed once per left row — O(|L|+|R|+|out|)
-// against the nested loop's O(|L|·|R|) — and with no shared variables it
-// degenerates to the cartesian product, as the natural join does. Output
-// schema is left.Vars followed by right-only vars; row order follows the
-// left side (then right order within a probe), so the join is deterministic
-// for deterministic inputs.
+// agreeing on every shared variable are merged. The hash table is built on
+// whichever side has fewer rows and probed with the other — O(|L|+|R|+|out|)
+// against the nested loop's O(|L|·|R|), with table memory bounded by the
+// smaller input — and with no shared variables it degenerates to the
+// cartesian product, as the natural join does. Output schema is left.Vars
+// followed by right-only vars; row order follows the left side (then right
+// order within a probe) regardless of build side, so the join is
+// deterministic for deterministic inputs. One key buffer is reused across
+// all build and probe rows, so the steady-state loop allocates only for
+// table entries and output rows.
 func HashJoin(left, right *BindingSet) *BindingSet {
 	// Shared variables, in left-schema order, with their column indices.
 	var sharedL, sharedR []int
@@ -243,23 +286,47 @@ func HashJoin(left, right *BindingSet) *BindingSet {
 		return out
 	}
 
-	table := make(map[string][]int, len(right.Rows))
 	var key []byte
-	for i, r := range right.Rows {
+	rowKey := func(row []string, cols []int) []byte {
 		key = key[:0]
-		for _, ri := range sharedR {
-			key = append(key, r[ri]...)
+		for _, c := range cols {
+			key = append(key, row[c]...)
 			key = append(key, 0)
 		}
-		table[string(key)] = append(table[string(key)], i)
+		return key
 	}
-	for _, l := range left.Rows {
-		key = key[:0]
-		for _, li := range sharedL {
-			key = append(key, l[li]...)
-			key = append(key, 0)
+
+	if len(right.Rows) <= len(left.Rows) {
+		// Build on right, probe with left: emission is naturally left-major.
+		table := make(map[string][]int, len(right.Rows))
+		for i, r := range right.Rows {
+			k := rowKey(r, sharedR)
+			table[string(k)] = append(table[string(k)], i)
 		}
-		for _, ri := range table[string(key)] {
+		for _, l := range left.Rows {
+			for _, ri := range table[string(rowKey(l, sharedL))] {
+				merge(l, right.Rows[ri])
+			}
+		}
+		return out
+	}
+
+	// Build on the smaller left side, probe with right. Matches are staged
+	// per left row (right indices arrive in probe order, i.e. ascending) and
+	// emitted left-major afterwards, preserving the canonical output order.
+	table := make(map[string][]int, len(left.Rows))
+	for i, l := range left.Rows {
+		k := rowKey(l, sharedL)
+		table[string(k)] = append(table[string(k)], i)
+	}
+	perLeft := make([][]int, len(left.Rows))
+	for ri, r := range right.Rows {
+		for _, li := range table[string(rowKey(r, sharedR))] {
+			perLeft[li] = append(perLeft[li], ri)
+		}
+	}
+	for li, l := range left.Rows {
+		for _, ri := range perLeft[li] {
 			merge(l, right.Rows[ri])
 		}
 	}

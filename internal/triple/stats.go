@@ -1,0 +1,71 @@
+package triple
+
+import "sort"
+
+// PredicateStats summarizes one predicate's extension in a DB: how many
+// triples carry it and how many distinct subjects/objects they span. The
+// distributed planner estimates result cardinalities from these three
+// numbers — triples(p) for an unconstrained predicate scan, triples(p) /
+// distinct-subjects(p) for a subject-constrained one, and likewise for
+// objects.
+type PredicateStats struct {
+	Predicate        string
+	Triples          int
+	DistinctSubjects int
+	DistinctObjects  int
+}
+
+// Stats is the cardinality digest of a DB: the total triple count plus
+// per-predicate statistics, sorted by predicate. It is what peers publish at
+// schema keys so query planners across the overlay can replace static
+// position-weight guesses with estimated cardinalities.
+type Stats struct {
+	Triples    int
+	Predicates []PredicateStats
+}
+
+// Stats digests the database in one pass over the shards. Each shard is
+// observed at a consistent point but the database is not frozen globally —
+// the digest is an estimate by design (it is published, cached, and aged at
+// the planning layer), so cross-shard drift during concurrent writes is
+// acceptable.
+func (db *DB) Stats() Stats {
+	type card struct {
+		triples  int
+		subjects map[string]struct{}
+		objects  map[string]struct{}
+	}
+	perPred := map[string]*card{}
+	total := 0
+	for i := range db.shards {
+		s := &db.shards[i]
+		s.mu.RLock()
+		for pred, ts := range s.byPredicate {
+			c := perPred[pred]
+			if c == nil {
+				c = &card{subjects: map[string]struct{}{}, objects: map[string]struct{}{}}
+				perPred[pred] = c
+			}
+			c.triples += len(ts)
+			total += len(ts)
+			for t := range ts {
+				c.subjects[t.Subject] = struct{}{}
+				c.objects[t.Object] = struct{}{}
+			}
+		}
+		s.mu.RUnlock()
+	}
+	out := Stats{Triples: total, Predicates: make([]PredicateStats, 0, len(perPred))}
+	for pred, c := range perPred {
+		out.Predicates = append(out.Predicates, PredicateStats{
+			Predicate:        pred,
+			Triples:          c.triples,
+			DistinctSubjects: len(c.subjects),
+			DistinctObjects:  len(c.objects),
+		})
+	}
+	sort.Slice(out.Predicates, func(i, j int) bool {
+		return out.Predicates[i].Predicate < out.Predicates[j].Predicate
+	})
+	return out
+}

@@ -1,0 +1,131 @@
+package triple
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestDBStats(t *testing.T) {
+	db := NewDB()
+	// p1: 3 triples, 2 subjects, 3 objects. p2: 1 triple.
+	db.Insert(Triple{Subject: "s1", Predicate: "p1", Object: "o1"})
+	db.Insert(Triple{Subject: "s1", Predicate: "p1", Object: "o2"})
+	db.Insert(Triple{Subject: "s2", Predicate: "p1", Object: "o3"})
+	db.Insert(Triple{Subject: "s9", Predicate: "p2", Object: "o1"})
+
+	st := db.Stats()
+	if st.Triples != 4 {
+		t.Errorf("Triples = %d, want 4", st.Triples)
+	}
+	if len(st.Predicates) != 2 || st.Predicates[0].Predicate != "p1" || st.Predicates[1].Predicate != "p2" {
+		t.Fatalf("Predicates = %+v", st.Predicates)
+	}
+	p1 := st.Predicates[0]
+	if p1.Triples != 3 || p1.DistinctSubjects != 2 || p1.DistinctObjects != 3 {
+		t.Errorf("p1 stats = %+v", p1)
+	}
+
+	// Deletes are reflected.
+	db.Delete(Triple{Subject: "s9", Predicate: "p2", Object: "o1"})
+	st = db.Stats()
+	if st.Triples != 3 || len(st.Predicates) != 1 {
+		t.Errorf("after delete: %+v", st)
+	}
+}
+
+func TestDBStatsEmpty(t *testing.T) {
+	st := NewDB().Stats()
+	if st.Triples != 0 || len(st.Predicates) != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+}
+
+// TestValueFilterNoFalseNegatives pins the property semi-join correctness
+// rests on: every added value tests positive.
+func TestValueFilterNoFalseNegatives(t *testing.T) {
+	for _, n := range []int{1, 10, 1000} {
+		vals := make([]string, n)
+		for i := range vals {
+			vals[i] = fmt.Sprintf("value-%d", i)
+		}
+		f := NewValueFilterFromValues(vals, 0.01)
+		for _, v := range vals {
+			if !f.Contains(v) {
+				t.Fatalf("n=%d: %q reported absent", n, v)
+			}
+		}
+	}
+}
+
+// TestValueFilterFalsePositiveRate checks the configured FP rate is at
+// least in the right ballpark (within 5x of the 1% target).
+func TestValueFilterFalsePositiveRate(t *testing.T) {
+	const n = 2000
+	vals := make([]string, n)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("member-%d", i)
+	}
+	f := NewValueFilterFromValues(vals, 0.01)
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if f.Contains(fmt.Sprintf("absent-%d", i)) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / probes; rate > 0.05 {
+		t.Errorf("false-positive rate = %.3f, want ≲0.01", rate)
+	}
+}
+
+func TestValueFilterSizing(t *testing.T) {
+	small := NewValueFilter(1, 0.01)
+	if small.SizeBytes() < 8 {
+		t.Errorf("degenerate filter too small: %d bytes", small.SizeBytes())
+	}
+	big := NewValueFilter(10000, 0.01)
+	// ~9.6 bits/value at 1%: expect on the order of 12KB, not megabytes.
+	if big.SizeBytes() < 8000 || big.SizeBytes() > 32000 {
+		t.Errorf("10k-value filter = %d bytes", big.SizeBytes())
+	}
+	// Degenerate parameters fall back to defaults rather than panicking.
+	if f := NewValueFilter(0, 2); f.Hashes < 1 {
+		t.Errorf("degenerate parameters: %+v", f)
+	}
+}
+
+func TestDistinctTuples(t *testing.T) {
+	bs := &BindingSet{
+		Vars: []string{"x", "y", "z"},
+		Rows: [][]string{
+			{"a", "1", "q"},
+			{"a", "1", "r"}, // same (x,y) as above
+			{"b", "2", "q"},
+			{"a", "2", "q"},
+		},
+	}
+	got := bs.DistinctTuples([]string{"x", "y"})
+	want := [][]string{{"a", "1"}, {"a", "2"}, {"b", "2"}}
+	if len(got) != len(want) {
+		t.Fatalf("tuples = %v", got)
+	}
+	for i := range want {
+		if got[i][0] != want[i][0] || got[i][1] != want[i][1] {
+			t.Errorf("tuple %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if bs.DistinctTuples([]string{"x", "missing"}) != nil {
+		t.Error("missing variable should yield nil")
+	}
+	// Single-name tuples match DistinctValues.
+	single := bs.DistinctTuples([]string{"y"})
+	vals := bs.DistinctValues("y")
+	if len(single) != len(vals) {
+		t.Fatalf("single = %v, vals = %v", single, vals)
+	}
+	for i, v := range vals {
+		if single[i][0] != v {
+			t.Errorf("single[%d] = %v, want %s", i, single[i], v)
+		}
+	}
+}

@@ -169,6 +169,34 @@ func BenchmarkConjunctivePlanner(b *testing.B) {
 	}
 }
 
+// BenchmarkStreaming reproduces EXP-M: the streaming query API's
+// time-to-first-row against the full traversal wall-clock on a
+// reformulation chain under WAN delays, and the routed-lookup cut a
+// Limit-bounded top-k achieves over the unbounded run. Paper-scale figures
+// live in BENCH_streaming.json.
+func BenchmarkStreaming(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunStreaming(experiments.StreamingConfig{
+			Seed:              10,
+			Peers:             32,
+			ChainSchemas:      6,
+			EntitiesPerSchema: 20,
+			HotEntities:       100,
+			Queries:           1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Match {
+			b.Fatal("streamed result diverged from the blocking aggregate")
+		}
+		b.ReportMetric(r.FirstRowMs, "first-row-ms")
+		b.ReportMetric(r.FullWallMs, "full-wall-ms")
+		b.ReportMetric(r.FirstRowSpeedup, "first-row-speedup")
+		b.ReportMetric(r.LookupReduction, "topk-lookup-cut")
+	}
+}
+
 // --- Micro-benchmarks of the public API ---------------------------------
 
 func benchNetwork(b *testing.B, peers int) *Network {

@@ -13,6 +13,7 @@
 //	gridvine-bench -exp A -quick     # scaled-down parameters
 //	gridvine-bench -exp K -json BENCH_conjunctive.json
 //	gridvine-bench -exp L -json BENCH_semijoin.json
+//	gridvine-bench -exp M -json BENCH_streaming.json
 //	gridvine-bench -exp L -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // With -json <path>, machine-readable per-experiment results (wall time
@@ -40,7 +41,7 @@ import (
 type printer interface{ Table() string }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: A,B,C,D,E,G,H,I,J,K,L or all")
+	exp := flag.String("exp", "all", "experiment to run: A,B,C,D,E,G,H,I,J,K,L,M or all")
 	quick := flag.Bool("quick", false, "run with scaled-down parameters")
 	seed := flag.Int64("seed", 1, "random seed")
 	parallel := flag.Int("parallel", 1, "reformulation fan-out width for query-heavy experiments (D); 1 keeps message counts exactly reproducible")
@@ -66,9 +67,9 @@ func main() {
 	runners := map[string]func(bool, int64) (any, error){
 		"A": runA, "B": runB, "C": runC,
 		"D": func(quick bool, seed int64) (any, error) { return runD(quick, seed, *parallel) },
-		"E": runE, "G": runG, "H": runH, "I": runI, "J": runJ, "K": runK, "L": runL,
+		"E": runE, "G": runG, "H": runH, "I": runI, "J": runJ, "K": runK, "L": runL, "M": runM,
 	}
-	order := []string{"A", "B", "C", "D", "E", "G", "H", "I", "J", "K", "L"}
+	order := []string{"A", "B", "C", "D", "E", "G", "H", "I", "J", "K", "L", "M"}
 
 	var selected []string
 	if strings.EqualFold(*exp, "all") {
@@ -255,4 +256,13 @@ func runL(quick bool, seed int64) (any, error) {
 		cfg.Peers, cfg.HotEntities, cfg.BoundFanout, cfg.Queries = 32, 3000, 120, 2
 	}
 	return experiments.RunSemiJoin(cfg)
+}
+
+func runM(quick bool, seed int64) (any, error) {
+	header("M", "streaming query API: time-to-first-row and Limit-bounded top-k lookup cut")
+	cfg := experiments.StreamingConfig{Seed: seed}
+	if quick {
+		cfg.Peers, cfg.ChainSchemas, cfg.EntitiesPerSchema, cfg.HotEntities, cfg.Queries = 24, 5, 12, 80, 1
+	}
+	return experiments.RunStreaming(cfg)
 }

@@ -1,0 +1,136 @@
+// Streaming queries: the context-aware query surface end to end.
+//
+// One entry point — Peer.Query(ctx, Request) — serves every query shape
+// and returns a Cursor that yields rows as reformulation waves and join
+// stages complete. This program walks through the three behaviours the
+// blocking API could not express:
+//
+//  1. incremental consumption: rows arrive while deeper reformulation
+//     waves are still fanning out (time-to-first-row ≪ full wall-clock);
+//
+//  2. LIMIT / top-k: the engine stops issuing overlay lookups once enough
+//     rows exist;
+//
+//  3. deadlines: an expired context stops the fan-out mid-wave and
+//     returns the rows already produced plus context.DeadlineExceeded.
+//
+// Run it with:
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"gridvine"
+)
+
+func main() {
+	net, err := gridvine.NewNetwork(gridvine.Options{Peers: 32, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer net.Close()
+	p := net.Peer(0)
+
+	// A chain of four schemas bridged by mappings: a query against
+	// S0#organism reformulates wave by wave to S1, S2, S3.
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("S%d", i)
+		for e := 0; e < 5; e++ {
+			p.InsertTriple(gridvine.Triple{
+				Subject:   fmt.Sprintf("acc:%s-%d", name, e),
+				Predicate: name + "#organism",
+				Object:    fmt.Sprintf("Aspergillus strain %d", e),
+			})
+		}
+		if i < 3 {
+			p.InsertMapping(gridvine.NewManualMapping(
+				name, fmt.Sprintf("S%d", i+1), map[string]string{"organism": "organism"}))
+		}
+	}
+	// Make the overlay behave like a real network so streaming shows.
+	net.Transport().SetSendDelay(2 * time.Millisecond)
+
+	q := gridvine.Pattern{
+		S: gridvine.Var("x"), P: gridvine.Const("S0#organism"), O: gridvine.Var("org"),
+	}
+	issuer := net.Peer(17)
+
+	// 1. Incremental consumption: first rows land before the traversal is
+	// anywhere near done.
+	cur, err := issuer.Query(context.Background(), gridvine.Request{Pattern: &q, Reformulate: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows := 0
+	for {
+		row, ok := cur.Next(context.Background())
+		if !ok {
+			break
+		}
+		rows++
+		if rows == 1 {
+			fmt.Printf("first row after %v: %v (schema %s)\n",
+				cur.Stats().FirstRow.Round(time.Millisecond),
+				row.Values, row.Result.Pattern.P.Value)
+		}
+	}
+	cur.Close()
+	st := cur.Stats()
+	fmt.Printf("full answer: %d rows in %v (%d reformulations, %d messages)\n\n",
+		st.Rows, st.Elapsed.Round(time.Millisecond), st.Reformulations, st.Messages)
+
+	// 2. LIMIT: top-3 stops the fan-out once satisfied — compare message
+	// counts with the full run above.
+	cur, err = issuer.Query(context.Background(), gridvine.Request{
+		Pattern: &q, Reformulate: true, Limit: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for {
+		if _, ok := cur.Next(context.Background()); !ok {
+			break
+		}
+	}
+	cur.Close()
+	fmt.Printf("LIMIT 3: %d rows, %d messages (vs %d unbounded)\n\n",
+		cur.Stats().Rows, cur.Stats().Messages, st.Messages)
+
+	// RDQL carries the same limit in-language.
+	rdqlRows, err := issuer.QueryRDQL(
+		`SELECT ?x WHERE (?x, <S0#organism>, "%Aspergillus%") LIMIT 2`,
+		false, gridvine.SearchOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RDQL LIMIT 2: %v\n\n", rdqlRows)
+
+	// 3. Deadline: 12ms is enough for the first waves, not the whole
+	// traversal — partial rows come back with context.DeadlineExceeded.
+	ctx, cancel := context.WithTimeout(context.Background(), 12*time.Millisecond)
+	defer cancel()
+	cur, err = issuer.Query(ctx, gridvine.Request{Pattern: &q, Reformulate: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	partial := 0
+	for {
+		if _, ok := cur.Next(context.Background()); !ok {
+			break
+		}
+		partial++
+	}
+	cur.Close()
+	if errors.Is(cur.Err(), context.DeadlineExceeded) {
+		fmt.Printf("deadline expired: %d of %d rows arrived in time, err = %v\n",
+			partial, st.Rows, cur.Err())
+	} else {
+		fmt.Printf("traversal beat the deadline: %d rows, err = %v\n", partial, cur.Err())
+	}
+}

@@ -21,6 +21,7 @@ package gridvine
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"gridvine/internal/align"
 	"gridvine/internal/bayes"
@@ -63,6 +64,19 @@ type (
 	ResultSet = mediation.ResultSet
 	// Result is one retrieved triple with its reformulation provenance.
 	Result = mediation.Result
+	// Request unifies the streaming query surface: one triple pattern, a
+	// conjunctive pattern set, or an RDQL text query, plus reformulation,
+	// a row Limit (top-k) and SearchOptions. Execute with Peer.Query.
+	Request = mediation.Request
+	// Cursor yields a streamed query's rows incrementally (Next, Err,
+	// Stats, Close) as reformulation waves and join stages complete.
+	Cursor = mediation.Cursor
+	// QueryRow is one streamed answer: column values plus, for pattern
+	// requests, the matched triple with provenance.
+	QueryRow = mediation.QueryRow
+	// QueryStats reports a streamed query's execution: rows, messages,
+	// time-to-first-row, and the conjunctive planner statistics.
+	QueryStats = mediation.QueryStats
 	// ConnectivityReport is the domain registry's connectivity answer.
 	ConnectivityReport = mediation.ConnectivityReport
 	// RoundReport summarizes one self-organization round.
@@ -109,11 +123,8 @@ func NewSchema(name, domain string, attributes ...string) Schema {
 // NewManualMapping builds a trusted bidirectional equivalence mapping from
 // attribute pairs (source attribute → target attribute).
 func NewManualMapping(source, target string, attrPairs map[string]string) Mapping {
-	var corrs []Correspondence
-	for s, t := range attrPairs {
-		corrs = append(corrs, Correspondence{SourceAttr: s, TargetAttr: t, Confidence: 1})
-	}
-	m := schema.NewMapping(source, target, schema.Equivalence, schema.Manual, corrs)
+	m := schema.NewMapping(source, target, schema.Equivalence, schema.Manual,
+		sortedCorrespondences(attrPairs, 1))
 	m.Bidirectional = true
 	return m
 }
@@ -122,13 +133,28 @@ func NewManualMapping(source, target string, attrPairs map[string]string) Mappin
 // automatic origin with the given confidence — the kind the self-organizing
 // matcher produces, subject to Bayesian assessment and deprecation.
 func NewAutomaticMapping(source, target string, attrPairs map[string]string, confidence float64) Mapping {
-	var corrs []Correspondence
-	for s, t := range attrPairs {
-		corrs = append(corrs, Correspondence{SourceAttr: s, TargetAttr: t, Confidence: confidence})
-	}
-	m := schema.NewMapping(source, target, schema.Equivalence, schema.Automatic, corrs)
+	m := schema.NewMapping(source, target, schema.Equivalence, schema.Automatic,
+		sortedCorrespondences(attrPairs, confidence))
 	m.Bidirectional = true
 	return m
+}
+
+// sortedCorrespondences lifts an attribute-pair map into a correspondence
+// list ordered by source attribute. Map iteration order is randomized per
+// run, and a mapping's identity and wire form embed its correspondence
+// list — two peers building "the same" mapping from the same pairs must
+// produce identical values, so the order is pinned.
+func sortedCorrespondences(attrPairs map[string]string, confidence float64) []Correspondence {
+	attrs := make([]string, 0, len(attrPairs))
+	for s := range attrPairs {
+		attrs = append(attrs, s)
+	}
+	sort.Strings(attrs)
+	corrs := make([]Correspondence, 0, len(attrs))
+	for _, s := range attrs {
+		corrs = append(corrs, Correspondence{SourceAttr: s, TargetAttr: attrPairs[s], Confidence: confidence})
+	}
+	return corrs
 }
 
 // Options configures a local GridVine network.
@@ -157,7 +183,11 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Peer is one GridVine participant.
+// Peer is one GridVine participant. Its primary query entry point is
+// Query(ctx, Request), which streams rows through a Cursor and honours
+// cancellation, deadlines and Limit; the blocking methods (SearchFor,
+// SearchWithReformulation, SearchConjunctive*, QueryRDQL*) are deprecated
+// wrappers over it that preserve their historical aggregate results.
 type Peer struct {
 	*mediation.Peer
 }
@@ -170,33 +200,8 @@ type Row = rdql.Row
 //
 //	SELECT ?x, ?len
 //	WHERE (?x, <EMBL#Organism>, "%Aspergillus%"), (?x, <EMBL#Length>, ?len)
+//	LIMIT 10
 func ParseRDQL(query string) (rdql.Query, error) { return rdql.Parse(query) }
-
-// QueryRDQL parses and executes an RDQL query on this peer through the
-// conjunctive planning engine: WHERE patterns are resolved most selective
-// first (with schema-mapping reformulation when reformulate is set), bound
-// values of shared variables are pushed into subsequent patterns as routed
-// point lookups (see SearchOptions.PushdownLimit), the binding sets are
-// hash-joined in the flattened representation, and the SELECT variables are
-// projected into deduplicated rows without rebinding a single triple.
-func (p *Peer) QueryRDQL(query string, reformulate bool, opts SearchOptions) ([]Row, error) {
-	rows, _, err := p.QueryRDQLStats(query, reformulate, opts)
-	return rows, err
-}
-
-// QueryRDQLStats is QueryRDQL returning the execution statistics of the
-// conjunctive engine alongside the rows.
-func (p *Peer) QueryRDQLStats(query string, reformulate bool, opts SearchOptions) ([]Row, ConjunctiveStats, error) {
-	q, err := rdql.Parse(query)
-	if err != nil {
-		return nil, ConjunctiveStats{}, err
-	}
-	bs, stats, err := p.SearchConjunctiveSet(q.Patterns, reformulate, opts)
-	if err != nil {
-		return nil, stats, err
-	}
-	return q.ProjectSet(bs), stats, nil
-}
 
 // Network is a handle on a set of GridVine peers sharing one overlay.
 type Network struct {

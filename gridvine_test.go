@@ -1,7 +1,10 @@
 package gridvine
 
 import (
+	"context"
+	"fmt"
 	"testing"
+	"time"
 )
 
 func TestNewNetworkDefaults(t *testing.T) {
@@ -209,5 +212,106 @@ func TestSearchObjectRangeViaFacade(t *testing.T) {
 	}
 	if len(got) != 2 {
 		t.Errorf("range results = %v", got)
+	}
+}
+
+func TestMappingCorrespondenceOrderDeterministic(t *testing.T) {
+	pairs := map[string]string{
+		"organism": "species", "length": "size", "accession": "id",
+		"function": "role", "sequence": "chain", "family": "group",
+	}
+	want := []string{"accession", "family", "function", "length", "organism", "sequence"}
+	for trial := 0; trial < 20; trial++ {
+		for _, m := range []Mapping{
+			NewManualMapping("A", "B", pairs),
+			NewAutomaticMapping("A", "B", pairs, 0.8),
+		} {
+			if len(m.Correspondences) != len(want) {
+				t.Fatalf("correspondences = %d, want %d", len(m.Correspondences), len(want))
+			}
+			for i, c := range m.Correspondences {
+				if c.SourceAttr != want[i] {
+					t.Fatalf("trial %d: correspondence %d = %q, want %q (map order leaked)",
+						trial, i, c.SourceAttr, want[i])
+				}
+				if c.TargetAttr != pairs[c.SourceAttr] {
+					t.Fatalf("correspondence %q -> %q, want %q", c.SourceAttr, c.TargetAttr, pairs[c.SourceAttr])
+				}
+			}
+		}
+	}
+	// Identical input maps must yield identical mapping IDs across builds —
+	// the property the sort exists for (two peers deriving the same mapping).
+	a := NewManualMapping("A", "B", pairs)
+	b := NewManualMapping("A", "B", map[string]string{
+		"sequence": "chain", "family": "group", "organism": "species",
+		"accession": "id", "function": "role", "length": "size",
+	})
+	if a.ID != b.ID {
+		t.Errorf("same pairs produced different mapping IDs: %q vs %q", a.ID, b.ID)
+	}
+}
+
+func TestFacadeStreamingQuery(t *testing.T) {
+	net, err := NewNetwork(Options{Peers: 16, Seed: 21})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	defer net.Close()
+	p := net.Peer(0)
+	for i := 0; i < 6; i++ {
+		p.InsertTriple(Triple{
+			Subject:   fmt.Sprintf("acc:%d", i),
+			Predicate: "EMBL#Organism",
+			Object:    "Aspergillus niger",
+		})
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	q := Pattern{S: Var("x"), P: Const("EMBL#Organism"), O: Like("%Aspergillus%")}
+	cur, err := net.Peer(9).Query(ctx, Request{Pattern: &q, Limit: 3})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	defer cur.Close()
+	rows := 0
+	for {
+		row, ok := cur.Next(ctx)
+		if !ok {
+			break
+		}
+		if row.Result == nil {
+			t.Fatal("pattern row without Result")
+		}
+		rows++
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatalf("Err: %v", err)
+	}
+	if rows != 3 {
+		t.Errorf("Limit 3 yielded %d rows", rows)
+	}
+	if st := cur.Stats(); st.Rows != 3 || st.FirstRow <= 0 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	// RDQL with LIMIT through the same entry point.
+	rcur, err := net.Peer(3).Query(ctx, Request{
+		RDQL: `SELECT ?x WHERE (?x, <EMBL#Organism>, "%Aspergillus%") LIMIT 2`,
+	})
+	if err != nil {
+		t.Fatalf("RDQL Query: %v", err)
+	}
+	defer rcur.Close()
+	n := 0
+	for {
+		if _, ok := rcur.Next(ctx); !ok {
+			break
+		}
+		n++
+	}
+	if n != 2 {
+		t.Errorf("RDQL LIMIT 2 yielded %d rows", n)
 	}
 }

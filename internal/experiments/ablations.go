@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -90,7 +91,7 @@ func RunIndexing(cfg IndexingConfig) (IndexingResult, error) {
 		for _, t := range w.Triples() {
 			if subjectOnly {
 				key := keyspace.HashDefault(t.Subject)
-				if _, err := peers[rng.Intn(len(peers))].Node().Update(key, t); err != nil {
+				if _, err := peers[rng.Intn(len(peers))].Node().Update(context.Background(), key, t); err != nil {
 					return world{}, err
 				}
 			} else {
@@ -268,7 +269,7 @@ func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
 			keys := make([]keyspace.Key, 0, cfg.Keys)
 			for i := 0; i < cfg.Keys; i++ {
 				k := allKeys[i]
-				if _, err := issuer.Update(k, i); err != nil {
+				if _, err := issuer.Update(context.Background(), k, i); err != nil {
 					return out, err
 				}
 				keys = append(keys, k)
@@ -280,7 +281,7 @@ func RunChurn(cfg ChurnConfig) (ChurnResult, error) {
 			}
 			ok := 0
 			for _, k := range keys {
-				if values, _, err := issuer.Retrieve(k); err == nil && len(values) == 1 {
+				if values, _, err := issuer.Retrieve(context.Background(), k); err == nil && len(values) == 1 {
 					ok++
 				}
 			}

@@ -361,3 +361,43 @@ func TestRunConjunctivePlannerBeatsNaive(t *testing.T) {
 		t.Error("table missing planned row")
 	}
 }
+
+func TestRunStreamingFirstRowBeatsFullWall(t *testing.T) {
+	// Small workload with short delays: pins that the cursor's first row
+	// lands strictly before the full traversal completes, that the
+	// Limit-bounded top-k issues fewer routed lookups than the unbounded
+	// run, and that the streamed answer matches the blocking aggregate.
+	r, err := RunStreaming(StreamingConfig{
+		Peers:             24,
+		ChainSchemas:      5,
+		EntitiesPerSchema: 12,
+		HotEntities:       60,
+		TopK:              5,
+		Queries:           1,
+		TransitDelay:      500 * time.Microsecond,
+		PerTripleDelay:    10 * time.Microsecond,
+		Seed:              14,
+	})
+	if err != nil {
+		t.Fatalf("RunStreaming: %v", err)
+	}
+	if !r.Match {
+		t.Fatal("streamed result diverges from the blocking aggregate")
+	}
+	if r.Rows != 5*12 {
+		t.Errorf("pattern rows = %d, want %d", r.Rows, 5*12)
+	}
+	if r.FirstRowMs <= 0 || r.FirstRowMs >= r.FullWallMs {
+		t.Errorf("first row %.2fms vs full wall %.2fms — streaming bought nothing", r.FirstRowMs, r.FullWallMs)
+	}
+	if r.TopKRows != 5 {
+		t.Errorf("top-k rows = %d, want 5", r.TopKRows)
+	}
+	if r.TopKLookups >= r.UnboundedLookups {
+		t.Errorf("top-k lookups %.0f vs unbounded %.0f — the limit never reached the planner",
+			r.TopKLookups, r.UnboundedLookups)
+	}
+	if !strings.Contains(r.Table(), "first row") {
+		t.Error("table missing first-row measurement")
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -95,7 +96,7 @@ func routingPoint(size int, balanced bool, cfg RoutingConfig) (RoutingPoint, err
 	for i := 0; i < cfg.QueriesPerSize; i++ {
 		issuer := ov.RandomNode(rng)
 		key := keyspace.HashDefault(fmt.Sprintf("routing-%d-%d", size, rng.Int()))
-		_, route, err := issuer.Retrieve(key)
+		_, route, err := issuer.Retrieve(context.Background(), key)
 		if err != nil {
 			return RoutingPoint{}, fmt.Errorf("retrieve at size %d: %w", size, err)
 		}

@@ -1,6 +1,7 @@
 package mediation
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -135,6 +136,10 @@ func (s *ConjunctiveStats) add(o ConjunctiveStats) {
 // seed's evaluator returned one binding per matching triple. The message
 // count includes data-transfer chunk accounting (see ResponseChunk), not
 // just routing hops.
+//
+// Deprecated: SearchConjunctive is a thin wrapper over Query with
+// context.Background(); use Query for cancellation, deadlines, Limit and
+// streaming consumption.
 func (p *Peer) SearchConjunctive(patterns []triple.Pattern, reformulate bool, opts SearchOptions) ([]triple.Bindings, int, error) {
 	bs, stats, err := p.SearchConjunctiveSet(patterns, reformulate, opts)
 	if err != nil {
@@ -144,28 +149,85 @@ func (p *Peer) SearchConjunctive(patterns []triple.Pattern, reformulate bool, op
 }
 
 // SearchConjunctiveSet is SearchConjunctive returning the flattened
-// binding representation and full execution statistics — the zero-copy
-// entry point the RDQL layer projects from.
+// binding representation and full execution statistics — the entry point
+// the RDQL layer projects from.
+//
+// Deprecated: SearchConjunctiveSet is a thin wrapper over Query with
+// context.Background(): it drains the cursor and rebuilds the sorted
+// binding set the blocking engine always returned. Use Query to consume
+// rows as join stages complete.
 func (p *Peer) SearchConjunctiveSet(patterns []triple.Pattern, reformulate bool, opts SearchOptions) (*triple.BindingSet, ConjunctiveStats, error) {
+	if len(patterns) == 0 {
+		return nil, ConjunctiveStats{}, errors.New("mediation: empty conjunctive query")
+	}
+	cur, err := p.Query(context.Background(), Request{Patterns: patterns, Reformulate: reformulate, Options: opts})
+	if err != nil {
+		return nil, ConjunctiveStats{}, err
+	}
+	var rows [][]string
+	for {
+		row, ok := cur.Next(context.Background())
+		if !ok {
+			break
+		}
+		rows = append(rows, row.Values)
+	}
+	cur.Close()
+	stats := cur.Stats().Conjunctive
+	if err := cur.Err(); err != nil {
+		return nil, stats, err
+	}
+	bs := &triple.BindingSet{Vars: cur.Columns(), Rows: rows}
+	bs.SortRows()
+	return bs, stats, nil
+}
+
+// rowSink receives the streamed output of the conjunctive engine. cols is
+// called exactly once, with the final variable schema, before the first
+// emit (and also when the query ends up with zero rows, so aggregating
+// consumers know the schema). emit delivers one row; returning false stops
+// the engine, which skips every lookup the remaining rows would have
+// needed. Both are invoked from a single goroutine.
+type rowSink struct {
+	cols func([]string)
+	emit func([]string) bool
+}
+
+// streamConjunctive is the conjunctive engine behind both the cursor and
+// the blocking wrapper: it plans and executes the query with ctx threaded
+// through every overlay operation, streaming joined rows through sink as
+// the final join stage produces them. Single-component queries whose last
+// pattern resolves by pushdown emit incrementally per lookup chunk;
+// everything else emits once its (ctx-interruptible) pipeline completes.
+func (p *Peer) streamConjunctive(ctx context.Context, patterns []triple.Pattern, reformulate bool, opts SearchOptions, sink rowSink) (ConjunctiveStats, error) {
 	opts = opts.withDefaults()
 	var stats ConjunctiveStats
 	if len(patterns) == 0 {
-		return nil, stats, errors.New("mediation: empty conjunctive query")
+		return stats, errors.New("mediation: empty conjunctive query")
 	}
 
 	// One statistics view per query, shared read-only by every component:
 	// at most one digest fetch per schema per TTL window, charged to stats.
-	sv := p.statsViewFor(patterns, opts, &stats)
+	sv := p.statsViewFor(ctx, patterns, opts, &stats)
 
 	comps := joinComponents(patterns)
+	if len(comps) == 1 {
+		// Single join component — the common case, and the one that
+		// streams: the final pattern's pushdown lookups are chunked and
+		// their joined rows emitted as each chunk lands.
+		st, err := p.runComponentStream(ctx, patterns, comps[0], sv, reformulate, opts, sink)
+		stats.add(st)
+		return stats, err
+	}
+
 	type compOut struct {
 		bs    *triple.BindingSet
 		stats ConjunctiveStats
 		err   error
 	}
 	outs := make([]compOut, len(comps))
-	runPool(len(comps), opts.Parallelism, func(i int) {
-		bs, st, err := p.runComponent(patterns, comps[i], sv, reformulate, opts)
+	poolErr := runPoolCtx(ctx, len(comps), opts.Parallelism, func(i int) {
+		bs, st, err := p.runComponent(ctx, patterns, comps[i], sv, reformulate, opts)
 		outs[i] = compOut{bs: bs, stats: st, err: err}
 	})
 
@@ -179,26 +241,38 @@ func (p *Peer) SearchConjunctiveSet(patterns []triple.Pattern, reformulate bool,
 			}
 			continue
 		}
+		if outs[i].bs == nil {
+			continue // component skipped by cancellation
+		}
 		if outs[i].bs.Len() == 0 {
 			// A zero-row component annihilates the whole conjunction (the
 			// cartesian product with ∅ is ∅) — even when another component
 			// failed, e.g. on an unroutable pattern. The naive evaluator
 			// behaves the same way in the orders where it reaches the empty
 			// join first; the planner extends that to every order.
-			return outs[i].bs, stats, nil
+			sink.cols(outs[i].bs.Vars)
+			return stats, nil
 		}
 		parts = append(parts, outs[i].bs)
 	}
+	if poolErr != nil {
+		return stats, poolErr
+	}
 	if firstErr != nil {
-		return nil, stats, firstErr
+		return stats, firstErr
 	}
 	result := parts[0]
 	for _, bs := range parts[1:] {
 		// Disjoint components share no variables: cartesian product.
 		result = triple.HashJoin(result, bs)
 	}
-	result.SortRows()
-	return result, stats, nil
+	sink.cols(result.Vars)
+	for _, row := range result.Rows {
+		if !sink.emit(row) {
+			break
+		}
+	}
+	return stats, nil
 }
 
 // SearchConjunctiveNaive is the textbook left-to-right evaluator the seed
@@ -215,7 +289,7 @@ func (p *Peer) SearchConjunctiveNaive(patterns []triple.Pattern, reformulate boo
 	}
 	var joined []triple.Bindings
 	for i, q := range patterns {
-		rs, err := p.resolvePattern(q, nil, reformulate, opts, &stats)
+		rs, err := p.resolvePattern(context.Background(), q, nil, reformulate, opts, &stats)
 		if err != nil {
 			return nil, stats, fmt.Errorf("mediation: pattern %d: %w", i, err)
 		}
@@ -280,27 +354,16 @@ func joinComponents(patterns []triple.Pattern) [][]int {
 // bindings into the accumulated set. An empty intermediate join
 // short-circuits — no remaining pattern can contribute rows, so their
 // lookups are skipped entirely.
-func (p *Peer) runComponent(patterns []triple.Pattern, idxs []int, sv *statsView, reformulate bool, opts SearchOptions) (*triple.BindingSet, ConjunctiveStats, error) {
+func (p *Peer) runComponent(ctx context.Context, patterns []triple.Pattern, idxs []int, sv *statsView, reformulate bool, opts SearchOptions) (*triple.BindingSet, ConjunctiveStats, error) {
 	var stats ConjunctiveStats
 	done := make(map[int]bool, len(idxs))
 	var cur *triple.BindingSet
 	for range idxs {
-		plan := chooseNext(patterns, idxs, done, cur, sv, reformulate, opts)
-		q := patterns[plan.idx]
-		var bs *triple.BindingSet
-		var err error
-		switch plan.strategy {
-		case planPushdown:
-			bs, err = p.resolvePushdown(q, plan.pushVars, plan.pushTuples, reformulate, opts, &stats)
-		case planSemiJoin:
-			bs, err = p.resolveSemiJoin(q, plan.filterVars, plan.filterVals, reformulate, opts, &stats)
-		default:
-			stats.FullScans++
-			var rs *ResultSet
-			if rs, err = p.resolvePattern(q, nil, reformulate, opts, &stats); err == nil {
-				bs = bindResults(q, rs.Results)
-			}
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
 		}
+		plan := chooseNext(patterns, idxs, done, cur, sv, reformulate, opts)
+		bs, err := p.resolvePlanned(ctx, patterns[plan.idx], plan, reformulate, opts, &stats)
 		if err != nil {
 			return nil, stats, fmt.Errorf("mediation: pattern %d: %w", plan.idx, err)
 		}
@@ -315,6 +378,69 @@ func (p *Peer) runComponent(patterns []triple.Pattern, idxs []int, sv *statsView
 		}
 	}
 	return cur, stats, nil
+}
+
+// runComponentStream is runComponent with a row sink: intermediate stages
+// run exactly as the barrier version, but the final pattern — when its plan
+// is a pushdown — resolves chunk by chunk, each chunk's lookups joined and
+// emitted immediately. First rows therefore surface while the remaining
+// lookups are still in flight, and a sink that stops (Request.Limit
+// satisfied) cuts those lookups entirely — the top-k path.
+func (p *Peer) runComponentStream(ctx context.Context, patterns []triple.Pattern, idxs []int, sv *statsView, reformulate bool, opts SearchOptions, sink rowSink) (ConjunctiveStats, error) {
+	var stats ConjunctiveStats
+	done := make(map[int]bool, len(idxs))
+	var cur *triple.BindingSet
+	for step := 0; step < len(idxs); step++ {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+		plan := chooseNext(patterns, idxs, done, cur, sv, reformulate, opts)
+		if step == len(idxs)-1 && plan.strategy == planPushdown && cur != nil {
+			err := p.resolvePushdownStream(ctx, patterns[plan.idx], plan, cur, reformulate, opts, sink, &stats)
+			if err != nil {
+				return stats, fmt.Errorf("mediation: pattern %d: %w", plan.idx, err)
+			}
+			return stats, nil
+		}
+		bs, err := p.resolvePlanned(ctx, patterns[plan.idx], plan, reformulate, opts, &stats)
+		if err != nil {
+			return stats, fmt.Errorf("mediation: pattern %d: %w", plan.idx, err)
+		}
+		if cur == nil {
+			cur = bs
+		} else {
+			cur = triple.HashJoin(cur, bs)
+		}
+		done[plan.idx] = true
+		if cur.Len() == 0 {
+			break
+		}
+	}
+	sink.cols(cur.Vars)
+	for _, row := range cur.Rows {
+		if !sink.emit(row) {
+			break
+		}
+	}
+	return stats, nil
+}
+
+// resolvePlanned executes one pattern by its chosen strategy and returns
+// its bindings.
+func (p *Peer) resolvePlanned(ctx context.Context, q triple.Pattern, plan resolvePlan, reformulate bool, opts SearchOptions, stats *ConjunctiveStats) (*triple.BindingSet, error) {
+	switch plan.strategy {
+	case planPushdown:
+		return p.resolvePushdown(ctx, q, plan.pushVars, plan.pushTuples, reformulate, opts, stats)
+	case planSemiJoin:
+		return p.resolveSemiJoin(ctx, q, plan.filterVars, plan.filterVals, reformulate, opts, stats)
+	default:
+		stats.FullScans++
+		rs, err := p.resolvePattern(ctx, q, nil, reformulate, opts, stats)
+		if err != nil {
+			return nil, err
+		}
+		return bindResults(q, rs.Results), nil
+	}
 }
 
 // strategy is how one pattern of a component gets resolved.
@@ -665,21 +791,28 @@ func substituteVar(q triple.Pattern, name, value string) triple.Pattern {
 // pool, and merges the per-tuple bindings in sorted-tuple order
 // (deterministic results at any width). The substituted variables are
 // restored as constant columns.
-func (p *Peer) resolvePushdown(q triple.Pattern, vars []string, tuples [][]string, reformulate bool, opts SearchOptions, stats *ConjunctiveStats) (*triple.BindingSet, error) {
+func (p *Peer) resolvePushdown(ctx context.Context, q triple.Pattern, vars []string, tuples [][]string, reformulate bool, opts SearchOptions, stats *ConjunctiveStats) (*triple.BindingSet, error) {
 	stats.Pushdowns++
+	return p.pushdownBatch(ctx, q, vars, tuples, reformulate, opts, stats)
+}
+
+// pushdownBatch resolves one slice of pushdown tuples across the worker
+// pool and merges their bindings in tuple order. Tuples skipped by
+// cancellation surface as ctx's error.
+func (p *Peer) pushdownBatch(ctx context.Context, q triple.Pattern, vars []string, tuples [][]string, reformulate bool, opts SearchOptions, stats *ConjunctiveStats) (*triple.BindingSet, error) {
 	type out struct {
 		bs    *triple.BindingSet
 		stats ConjunctiveStats
 		err   error
 	}
 	outs := make([]out, len(tuples))
-	runPool(len(tuples), opts.Parallelism, func(i int) {
+	poolErr := runPoolCtx(ctx, len(tuples), opts.Parallelism, func(i int) {
 		sub := q
 		for j, v := range vars {
 			sub = substituteVar(sub, v, tuples[i][j])
 		}
 		var st ConjunctiveStats
-		rs, err := p.resolvePattern(sub, nil, reformulate, opts, &st)
+		rs, err := p.resolvePattern(ctx, sub, nil, reformulate, opts, &st)
 		if err != nil {
 			outs[i] = out{err: err, stats: st}
 			return
@@ -697,13 +830,56 @@ func (p *Peer) resolvePushdown(q triple.Pattern, vars []string, tuples [][]strin
 		if outs[i].err != nil {
 			return nil, outs[i].err
 		}
+		if outs[i].bs == nil {
+			continue // skipped by cancellation; poolErr reports it
+		}
 		if merged == nil {
 			merged = outs[i].bs
 		} else {
 			merged.Rows = append(merged.Rows, outs[i].bs.Rows...)
 		}
 	}
+	if poolErr != nil {
+		return nil, poolErr
+	}
 	return merged, nil
+}
+
+// resolvePushdownStream is the streaming final stage of a join component:
+// the pushdown tuples are processed in chunks of the worker-pool width,
+// each chunk's bindings joined against the accumulated set and the joined
+// rows emitted immediately. Consumers therefore see first results while
+// later chunks are still being looked up, and a sink that stops —
+// Request.Limit reached — cuts the remaining tuples' lookups entirely,
+// which is what makes bounded top-k queries cheaper than unbounded runs.
+func (p *Peer) resolvePushdownStream(ctx context.Context, q triple.Pattern, plan resolvePlan, cur *triple.BindingSet, reformulate bool, opts SearchOptions, sink rowSink, stats *ConjunctiveStats) error {
+	stats.Pushdowns++
+	chunk := opts.Parallelism
+	if chunk < 1 {
+		chunk = 1
+	}
+	colsSet := false
+	for start := 0; start < len(plan.pushTuples); start += chunk {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		end := min(start+chunk, len(plan.pushTuples))
+		part, err := p.pushdownBatch(ctx, q, plan.pushVars, plan.pushTuples[start:end], reformulate, opts, stats)
+		if err != nil {
+			return err
+		}
+		joined := triple.HashJoin(cur, part)
+		if !colsSet {
+			sink.cols(joined.Vars)
+			colsSet = true
+		}
+		for _, row := range joined.Rows {
+			if !sink.emit(row) {
+				return nil
+			}
+		}
+	}
+	return nil
 }
 
 // resolvePattern issues one (possibly reformulating, possibly semi-join
@@ -711,14 +887,8 @@ func (p *Peer) resolvePushdown(q triple.Pattern, vars []string, tuples [][]strin
 // shipment, and reformulation costs to stats. The filter payload rides
 // every shipped copy of the pattern — the primary lookup and each
 // reformulated variant — so its transfer cost is charged per lookup.
-func (p *Peer) resolvePattern(q triple.Pattern, filters []VarFilter, reformulate bool, opts SearchOptions, stats *ConjunctiveStats) (*ResultSet, error) {
-	var rs *ResultSet
-	var err error
-	if reformulate {
-		rs, err = p.searchReformulatedFiltered(q, filters, opts)
-	} else {
-		rs, err = p.searchForFiltered(q, filters)
-	}
+func (p *Peer) resolvePattern(ctx context.Context, q triple.Pattern, filters []VarFilter, reformulate bool, opts SearchOptions, stats *ConjunctiveStats) (*ResultSet, error) {
+	rs, err := p.searchPattern(ctx, q, filters, reformulate, opts)
 	if rs != nil {
 		stats.PatternLookups++
 		stats.RouteMessages += rs.Messages

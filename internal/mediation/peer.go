@@ -7,6 +7,7 @@
 package mediation
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"sync"
@@ -140,7 +141,7 @@ func (p *Peer) tripleKeys(t triple.Triple) []keyspace.Key {
 func (p *Peer) InsertTriple(t triple.Triple) (pgrid.Route, error) {
 	var total pgrid.Route
 	for _, k := range p.tripleKeys(t) {
-		route, err := p.node.Update(k, t)
+		route, err := p.node.Update(context.Background(), k, t)
 		accumulate(&total, route)
 		if err != nil {
 			return total, fmt.Errorf("mediation: inserting %v at %s: %w", t, k, err)
@@ -153,7 +154,7 @@ func (p *Peer) InsertTriple(t triple.Triple) (pgrid.Route, error) {
 func (p *Peer) DeleteTriple(t triple.Triple) (pgrid.Route, error) {
 	var total pgrid.Route
 	for _, k := range p.tripleKeys(t) {
-		route, err := p.node.Delete(k, t)
+		route, err := p.node.Delete(context.Background(), k, t)
 		accumulate(&total, route)
 		if err != nil {
 			return total, fmt.Errorf("mediation: deleting %v at %s: %w", t, k, err)
@@ -165,12 +166,12 @@ func (p *Peer) DeleteTriple(t triple.Triple) (pgrid.Route, error) {
 // InsertSchema publishes a schema definition at the key of its name
 // (paper §2.2: Update(Hash(Schema Name), Schema Definition)).
 func (p *Peer) InsertSchema(s schema.Schema) (pgrid.Route, error) {
-	return p.node.Update(p.schemaKey(s.Name), s)
+	return p.node.Update(context.Background(), p.schemaKey(s.Name), s)
 }
 
 // LookupSchema retrieves a schema definition by name.
 func (p *Peer) LookupSchema(name string) (schema.Schema, error) {
-	values, _, err := p.node.Retrieve(p.schemaKey(name))
+	values, _, err := p.node.Retrieve(context.Background(), p.schemaKey(name))
 	if err != nil {
 		return schema.Schema{}, err
 	}
@@ -186,12 +187,12 @@ func (p *Peer) LookupSchema(name string) (schema.Schema, error) {
 // and additionally at the target schema's key when bidirectional (paper §3:
 // Update(Source Schema Key, Schema Mapping)).
 func (p *Peer) InsertMapping(m schema.Mapping) (pgrid.Route, error) {
-	route, err := p.node.Update(p.schemaKey(m.Source), m)
+	route, err := p.node.Update(context.Background(), p.schemaKey(m.Source), m)
 	if err != nil {
 		return route, err
 	}
 	if m.Bidirectional {
-		r2, err := p.node.Update(p.schemaKey(m.Target), m)
+		r2, err := p.node.Update(context.Background(), p.schemaKey(m.Target), m)
 		accumulate(&route, r2)
 		if err != nil {
 			return route, err
@@ -214,12 +215,12 @@ func (p *Peer) ReplaceMapping(old, updated schema.Mapping) error {
 		return ks
 	}
 	for _, k := range keysOf(old) {
-		if _, err := p.node.Delete(k, old); err != nil {
+		if _, err := p.node.Delete(context.Background(), k, old); err != nil {
 			return err
 		}
 	}
 	for _, k := range keysOf(updated) {
-		if _, err := p.node.Update(k, updated); err != nil {
+		if _, err := p.node.Update(context.Background(), k, updated); err != nil {
 			return err
 		}
 	}
@@ -231,7 +232,14 @@ func (p *Peer) ReplaceMapping(old, updated schema.Mapping) error {
 // the schema's key whose source is the schema, plus reverses of
 // bidirectional mappings targeting it.
 func (p *Peer) MappingsFrom(schemaName string) ([]schema.Mapping, pgrid.Route, error) {
-	values, route, err := p.node.Retrieve(p.schemaKey(schemaName))
+	return p.mappingsFrom(context.Background(), schemaName)
+}
+
+// mappingsFrom is MappingsFrom under the issuer's context: the retrieval
+// that seeds each reformulation wave aborts promptly when the query is
+// cancelled.
+func (p *Peer) mappingsFrom(ctx context.Context, schemaName string) ([]schema.Mapping, pgrid.Route, error) {
+	values, route, err := p.node.Retrieve(ctx, p.schemaKey(schemaName))
 	if err != nil {
 		return nil, route, err
 	}
@@ -256,7 +264,7 @@ func (p *Peer) MappingsFrom(schemaName string) ([]schema.Mapping, pgrid.Route, e
 // MappingsAt returns every mapping stored at a schema's key, including
 // deprecated ones — the raw material of the self-organization analysis.
 func (p *Peer) MappingsAt(schemaName string) ([]schema.Mapping, error) {
-	values, _, err := p.node.Retrieve(p.schemaKey(schemaName))
+	values, _, err := p.node.Retrieve(context.Background(), p.schemaKey(schemaName))
 	if err != nil {
 		return nil, err
 	}
@@ -275,14 +283,14 @@ func (p *Peer) MappingsAt(schemaName string) ([]schema.Mapping, error) {
 // one routed operation instead of the retrieve + delete + update sequence,
 // which cost three round-trips and raced with concurrent reporters.
 func (p *Peer) ReportDomainDegree(domain, schemaName string, in, out int) error {
-	_, err := p.node.Replace(p.domainKey(domain),
+	_, err := p.node.Replace(context.Background(), p.domainKey(domain),
 		DomainDegree{Schema: schemaName, InDegree: in, OutDegree: out})
 	return err
 }
 
 // DomainDegrees retrieves all degree reports of a domain.
 func (p *Peer) DomainDegrees(domain string) ([]DomainDegree, error) {
-	values, _, err := p.node.Retrieve(p.domainKey(domain))
+	values, _, err := p.node.Retrieve(context.Background(), p.domainKey(domain))
 	if err != nil {
 		return nil, err
 	}
@@ -299,7 +307,7 @@ func (p *Peer) DomainDegrees(domain string) ([]DomainDegree, error) {
 // space; the responsible peer derives the indicator locally from the degree
 // distribution it aggregates (paper §3.1–3.2).
 func (p *Peer) DomainConnectivity(domain string) (ConnectivityReport, error) {
-	result, _, err := p.node.Query(p.domainKey(domain), ConnectivityQuery{Domain: domain})
+	result, _, err := p.node.Query(context.Background(), p.domainKey(domain), ConnectivityQuery{Domain: domain})
 	if err != nil {
 		return ConnectivityReport{}, err
 	}

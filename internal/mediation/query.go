@@ -1,6 +1,7 @@
 package mediation
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -45,7 +46,7 @@ func (m Mode) String() string {
 // round-trips, bounded so a single query cannot monopolize the host.
 var DefaultParallelism = min(8, runtime.GOMAXPROCS(0))
 
-// SearchOptions tunes SearchWithReformulation.
+// SearchOptions tunes reformulating and conjunctive searches.
 type SearchOptions struct {
 	// Mode selects iterative or recursive reformulation. Default Iterative.
 	Mode Mode
@@ -164,20 +165,82 @@ func (rs *ResultSet) Triples() []triple.Triple {
 // the key space is derived from the most specific constant, the query is
 // shipped there, and the responsible peer answers from its local database
 // (paper §2.3: SearchFor(x? : (s, p, o))).
+//
+// Deprecated: SearchFor is a thin wrapper over Query with
+// context.Background() — it cannot be cancelled, given a deadline, or
+// consumed incrementally. New code should use Query.
 func (p *Peer) SearchFor(q triple.Pattern) (*ResultSet, error) {
-	return p.searchForFiltered(q, nil)
+	cur, err := p.Query(context.Background(), Request{Pattern: &q})
+	if err != nil {
+		return nil, err
+	}
+	return collectResultSet(cur)
 }
 
-// searchForFiltered is SearchFor with optional semi-join filters riding the
-// shipped query: the responsible peer filters its σ answer against them and
-// returns only rows the issuer's bound values can join.
-func (p *Peer) searchForFiltered(q triple.Pattern, filters []VarFilter) (*ResultSet, error) {
+// SearchWithReformulation resolves a pattern and additionally traverses the
+// network of schema mappings, rewriting the predicate by view unfolding and
+// re-issuing the query against semantically related schemas, aggregating
+// all results (paper §3, Figure 2; §4 for the two strategies).
+//
+// Deprecated: SearchWithReformulation is a thin wrapper over Query with
+// context.Background() — it blocks until every reformulation wave
+// completes. New code should use Query, which streams results as waves
+// finish and honours cancellation, deadlines, and Limit.
+func (p *Peer) SearchWithReformulation(q triple.Pattern, opts SearchOptions) (*ResultSet, error) {
+	cur, err := p.Query(context.Background(), Request{Pattern: &q, Reformulate: true, Options: opts})
+	if err != nil {
+		return nil, err
+	}
+	return collectResultSet(cur)
+}
+
+// collectResultSet drains a pattern-request cursor and rebuilds the
+// aggregate ResultSet the blocking search methods have always returned:
+// every streamed raw result collected in order, deduplicated (best
+// confidence per triple) when the mapping traversal ran, plus the message
+// and route accounting from the cursor's summary.
+func collectResultSet(cur *Cursor) (*ResultSet, error) {
+	var results []Result
+	for {
+		row, ok := cur.Next(context.Background())
+		if !ok {
+			break
+		}
+		results = append(results, *row.Result)
+	}
+	cur.Close()
+	err := cur.Err()
+	cur.mu.Lock()
+	rs, traversed := cur.pattern, cur.traversed
+	cur.mu.Unlock()
+	if rs == nil {
+		// The engine had no result set to report (e.g. ErrNotRoutable),
+		// matching the blocking methods' historical nil return.
+		return nil, err
+	}
+	rs.Results = results
+	if traversed {
+		dedupeResults(rs)
+	}
+	return rs, err
+}
+
+// emitResult delivers one streamed result to the consumer; returning false
+// stops the search early (row limit reached or the consumer is gone). The
+// engine invokes it from a single goroutine, in deterministic order.
+type emitResult func(Result) bool
+
+// searchForFiltered resolves one pattern without reformulation, with
+// optional semi-join filters riding the shipped query: the responsible peer
+// filters its σ answer against them and returns only rows the issuer's
+// bound values can join.
+func (p *Peer) searchForFiltered(ctx context.Context, q triple.Pattern, filters []VarFilter) (*ResultSet, error) {
 	_, constant, ok := q.MostSpecificConstant()
 	if !ok {
 		return nil, ErrNotRoutable
 	}
 	key := keyspace.Hash(constant, p.depth)
-	result, route, err := p.node.Query(key, PatternQuery{Pattern: q, Filters: filters})
+	result, route, err := p.node.Query(ctx, key, PatternQuery{Pattern: q, Filters: filters})
 	rs := &ResultSet{Query: q, Messages: route.Messages, Route: route}
 	if err != nil {
 		return rs, err
@@ -192,28 +255,66 @@ func (p *Peer) searchForFiltered(q triple.Pattern, filters []VarFilter) (*Result
 	return rs, nil
 }
 
-// SearchWithReformulation resolves a pattern and additionally traverses the
-// network of schema mappings, rewriting the predicate by view unfolding and
-// re-issuing the query against semantically related schemas, aggregating
-// all results (paper §3, Figure 2; §4 for the two strategies).
-func (p *Peer) SearchWithReformulation(q triple.Pattern, opts SearchOptions) (*ResultSet, error) {
-	return p.searchReformulatedFiltered(q, nil, opts)
-}
-
-// searchReformulatedFiltered is SearchWithReformulation with semi-join
-// filters applied at every destination: reformulation rewrites only the
-// constant predicate, so the filtered variables sit at the same positions
-// in every reformulated variant and the filters constrain each identically.
-func (p *Peer) searchReformulatedFiltered(q triple.Pattern, filters []VarFilter, opts SearchOptions) (*ResultSet, error) {
+// streamPattern is the single pattern-search engine behind the streaming
+// cursor, the blocking wrappers, and the conjunctive engine's per-pattern
+// lookups: it resolves q — traversing the mapping network when reformulate
+// is set — delivering every raw (undeduplicated) result through emit in
+// deterministic order, and returns the ResultSet skeleton (Query, Messages,
+// Reformulations, Route; Results stays empty — they went through emit).
+//
+// traversed reports whether the mapping-graph traversal ran, i.e. whether an
+// aggregating caller must apply dedupeResults to reproduce the blocking
+// aggregate answer. A nil *ResultSet (with ErrNotRoutable) mirrors the
+// blocking methods' contract for patterns without a routable constant.
+//
+// Cancelling ctx stops the traversal between hops and between waves: the
+// results already emitted stand, and ctx.Err() is returned.
+func (p *Peer) streamPattern(ctx context.Context, q triple.Pattern, filters []VarFilter, reformulate bool, opts SearchOptions, emit emitResult) (rs *ResultSet, traversed bool, err error) {
 	opts = opts.withDefaults()
-	if q.P.Kind != triple.Constant {
+	if !reformulate || q.P.Kind != triple.Constant {
 		// No predicate to rewrite: plain search.
-		return p.searchForFiltered(q, filters)
+		rs, err := p.searchForFiltered(ctx, q, filters)
+		if rs == nil || err != nil {
+			return rs, false, err
+		}
+		emitAll(rs, emit)
+		return rs, false, nil
 	}
 	if opts.Mode == Recursive {
-		return p.searchRecursive(q, filters, opts)
+		return p.streamRecursive(ctx, q, filters, opts, emit)
 	}
-	return p.searchIterative(q, filters, opts)
+	return p.streamIterative(ctx, q, filters, opts, emit)
+}
+
+// emitAll moves a plain σ answer's results out through emit, preserving the
+// server's deterministic (sorted) order.
+func emitAll(rs *ResultSet, emit emitResult) {
+	for _, r := range rs.Results {
+		if !emit(r) {
+			break
+		}
+	}
+	rs.Results = nil
+}
+
+// searchPattern resolves one pattern exactly as the deprecated blocking
+// search methods do — collecting, deduplicating and ordering the streamed
+// results — with ctx threaded through every hop. It is the conjunctive
+// engine's per-pattern primitive.
+func (p *Peer) searchPattern(ctx context.Context, q triple.Pattern, filters []VarFilter, reformulate bool, opts SearchOptions) (*ResultSet, error) {
+	var collected []Result
+	rs, traversed, err := p.streamPattern(ctx, q, filters, reformulate, opts, func(r Result) bool {
+		collected = append(collected, r)
+		return true
+	})
+	if rs == nil {
+		return nil, err
+	}
+	rs.Results = collected
+	if traversed {
+		dedupeResults(rs)
+	}
+	return rs, err
 }
 
 // frontierItem is one reformulated pattern awaiting resolution during
@@ -228,7 +329,8 @@ type frontierItem struct {
 
 // frontierOut is what resolving one frontier item over the overlay yields:
 // its search answer and, when the item is still expandable, the outgoing
-// mappings of its schema.
+// mappings of its schema. A nil sub marks an item the pool never ran
+// (cancelled before its turn).
 type frontierOut struct {
 	sub      *ResultSet
 	err      error
@@ -239,16 +341,16 @@ type frontierOut struct {
 // resolveFrontier resolves one frontier item: the routed pattern search,
 // plus the mapping lookup that seeds the next wave (skipped at MaxDepth).
 // It touches no shared state, so the fan-out can run it from any goroutine.
-func (p *Peer) resolveFrontier(item frontierItem, filters []VarFilter, opts SearchOptions) frontierOut {
+func (p *Peer) resolveFrontier(ctx context.Context, item frontierItem, filters []VarFilter, opts SearchOptions) frontierOut {
 	var out frontierOut
-	out.sub, out.err = p.searchForFiltered(item.pattern, filters)
+	out.sub, out.err = p.searchForFiltered(ctx, item.pattern, filters)
 	if out.sub == nil {
 		out.sub = &ResultSet{}
 	}
 	if len(item.path) >= opts.MaxDepth {
 		return out
 	}
-	mappings, route, err := p.MappingsFrom(item.schemaName)
+	mappings, route, err := p.mappingsFrom(ctx, item.schemaName)
 	out.mapMsgs = route.Messages
 	if err == nil {
 		out.mappings = mappings
@@ -259,16 +361,28 @@ func (p *Peer) resolveFrontier(item frontierItem, filters []VarFilter, opts Sear
 // runPool executes fn(0)…fn(n-1) across at most workers goroutines,
 // blocking until all complete; workers ≤ 1 runs inline. fn must only write
 // state owned by its index, so callers merge results in index order and
-// stay deterministic regardless of completion order.
+// stay deterministic regardless of completion order. Used by server-side
+// handlers, which have no issuer context to honour.
 func runPool(n, workers int, fn func(int)) {
+	runPoolCtx(context.Background(), n, workers, fn) //nolint:errcheck // Background never cancels
+}
+
+// runPoolCtx is runPool under a context: once ctx is done, workers stop
+// claiming new indices (in-flight fn calls finish — they observe ctx at
+// their own next hop) and the pool returns ctx.Err(). All pool goroutines
+// have exited by the time it returns, whatever the outcome.
+func runPoolCtx(ctx context.Context, n, workers int, fn func(int)) error {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return ctx.Err()
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -276,7 +390,7 @@ func runPool(n, workers int, fn func(int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -286,47 +400,56 @@ func runPool(n, workers int, fn func(int)) {
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // fanOut resolves a whole frontier wave across a bounded worker pool.
 // outs[i] corresponds to wave[i], so the caller can merge in wave order and
-// keep the traversal deterministic regardless of completion order.
-func (p *Peer) fanOut(wave []frontierItem, filters []VarFilter, opts SearchOptions) []frontierOut {
+// keep the traversal deterministic regardless of completion order. Items
+// skipped after cancellation are left with a nil sub.
+func (p *Peer) fanOut(ctx context.Context, wave []frontierItem, filters []VarFilter, opts SearchOptions) ([]frontierOut, error) {
 	outs := make([]frontierOut, len(wave))
-	runPool(len(wave), opts.Parallelism, func(i int) {
-		outs[i] = p.resolveFrontier(wave[i], filters, opts)
+	err := runPoolCtx(ctx, len(wave), opts.Parallelism, func(i int) {
+		outs[i] = p.resolveFrontier(ctx, wave[i], filters, opts)
 	})
-	return outs
+	return outs, err
 }
 
-// searchIterative performs issuer-driven breadth-first traversal of the
+// streamIterative performs issuer-driven breadth-first traversal of the
 // mapping graph. Each BFS wave fans out across the worker pool — the
 // reformulated patterns of a wave are independent overlay operations — and
-// is merged back in wave order, so visited-set claims, result aggregation
-// and reformulation counts match the serial traversal exactly.
-func (p *Peer) searchIterative(q triple.Pattern, filters []VarFilter, opts SearchOptions) (*ResultSet, error) {
-	rs := &ResultSet{Query: q}
-
+// is merged back in wave order, emitting every raw result as soon as its
+// wave completes, so visited-set claims, aggregation order and
+// reformulation counts match the serial traversal exactly. When emit stops
+// the search (row limit) the remaining merge is skipped and no further wave
+// is launched — a top-k query stops fanning out mid-traversal.
+func (p *Peer) streamIterative(ctx context.Context, q triple.Pattern, filters []VarFilter, opts SearchOptions, emit emitResult) (*ResultSet, bool, error) {
 	schemaName, attr, ok := schema.SplitPredicateURI(q.P.Value)
 	if !ok {
 		// Predicate is constant but not Schema#Attr: no reformulation
 		// possible, answer the plain query.
-		plain, err := p.searchForFiltered(q, filters)
-		if err != nil {
-			return plain, err
+		plain, err := p.searchForFiltered(ctx, q, filters)
+		if plain == nil || err != nil {
+			return plain, false, err
 		}
-		return plain, nil
+		emitAll(plain, emit)
+		return plain, false, nil
 	}
 
+	rs := &ResultSet{Query: q}
 	visited := map[string]bool{q.P.Value: true}
 	wave := []frontierItem{{pattern: q, schemaName: schemaName, attr: attr, confidence: 1}}
 
 	var firstErr error
-	for len(wave) > 0 {
-		outs := p.fanOut(wave, filters, opts)
+	emitted, stopped := 0, false
+	for len(wave) > 0 && !stopped {
+		outs, poolErr := p.fanOut(ctx, wave, filters, opts)
 		var nextWave []frontierItem
 		for i, item := range wave {
 			out := outs[i]
+			if out.sub == nil {
+				continue // cancelled before this item ran
+			}
 			rs.Messages += out.sub.Messages + out.mapMsgs
 			if out.err != nil {
 				if firstErr == nil && !errors.Is(out.err, ErrNotRoutable) {
@@ -334,13 +457,22 @@ func (p *Peer) searchIterative(q triple.Pattern, filters []VarFilter, opts Searc
 				}
 			} else {
 				for _, r := range out.sub.Results {
-					rs.Results = append(rs.Results, Result{
+					if stopped {
+						break
+					}
+					emitted++
+					if !emit(Result{
 						Triple:      r.Triple,
 						Pattern:     item.pattern,
 						MappingPath: item.path,
 						Confidence:  item.confidence,
-					})
+					}) {
+						stopped = true
+					}
 				}
+			}
+			if stopped {
+				continue // keep accounting the wave's messages, stop expanding
 			}
 			for _, m := range out.mappings {
 				targetAttr, ok := m.TranslateAttr(item.attr)
@@ -367,13 +499,21 @@ func (p *Peer) searchIterative(q triple.Pattern, filters []VarFilter, opts Searc
 				})
 			}
 		}
+		if poolErr != nil {
+			return rs, true, poolErr
+		}
+		// Cancellation observed by an item of this wave (rather than by the
+		// pool itself) is terminal, not a per-item failure to tolerate: the
+		// traversal is incomplete and must say so, whatever was emitted.
+		if err := ctx.Err(); err != nil {
+			return rs, true, err
+		}
 		wave = nextWave
 	}
-	dedupeResults(rs)
-	if len(rs.Results) == 0 && firstErr != nil {
-		return rs, firstErr
+	if emitted == 0 && firstErr != nil {
+		return rs, true, firstErr
 	}
-	return rs, nil
+	return rs, true, nil
 }
 
 // ReformulatedQuery is the payload of recursive reformulation: the
@@ -411,12 +551,15 @@ type ReformulatedResponse struct {
 	Reformulations int
 }
 
-// searchRecursive delegates reformulation to the destination peers.
-func (p *Peer) searchRecursive(q triple.Pattern, filters []VarFilter, opts SearchOptions) (*ResultSet, error) {
+// streamRecursive delegates reformulation to the destination peers. The
+// whole cascade resolves through one routed operation, so results arrive in
+// a single batch once the recursion unwinds; ctx still cancels the routed
+// operation between hops and in transit.
+func (p *Peer) streamRecursive(ctx context.Context, q triple.Pattern, filters []VarFilter, opts SearchOptions, emit emitResult) (*ResultSet, bool, error) {
 	rs := &ResultSet{Query: q}
 	_, constant, ok := q.MostSpecificConstant()
 	if !ok {
-		return nil, ErrNotRoutable
+		return nil, true, ErrNotRoutable
 	}
 	key := keyspace.Hash(constant, p.depth)
 	payload := ReformulatedQuery{
@@ -428,28 +571,29 @@ func (p *Peer) searchRecursive(q triple.Pattern, filters []VarFilter, opts Searc
 		Fanout:            opts.Parallelism,
 		Filters:           filters,
 	}
-	result, route, err := p.node.Query(key, payload)
+	result, route, err := p.node.Query(ctx, key, payload)
 	rs.Messages += route.Messages
 	rs.Route = route
 	if err != nil {
-		return rs, err
+		return rs, true, err
 	}
 	resp, ok := result.(ReformulatedResponse)
 	if !ok {
-		return rs, fmt.Errorf("mediation: unexpected recursive result %T", result)
+		return rs, true, fmt.Errorf("mediation: unexpected recursive result %T", result)
 	}
 	rs.Messages += resp.Messages
 	rs.Reformulations = resp.Reformulations
 	for _, r := range resp.Results {
-		rs.Results = append(rs.Results, Result{
+		if !emit(Result{
 			Triple:      r.Triple,
 			Pattern:     r.Pattern,
 			MappingPath: r.MappingPath,
 			Confidence:  r.Confidence,
-		})
+		}) {
+			break
+		}
 	}
-	dedupeResults(rs)
-	return rs, nil
+	return rs, true, nil
 }
 
 // handleReformulated executes one recursive reformulation step at the
@@ -529,7 +673,9 @@ func (p *Peer) handleReformulated(req ReformulatedQuery) (ReformulatedResponse, 
 	subs := make([]ReformulatedResponse, len(forwards))
 	msgs := make([]int, len(forwards))
 	run := func(i int) {
-		result, fwdRoute, err := p.node.Query(forwards[i].key, forwards[i].req)
+		// Server-side forwarding carries no issuer context: the recursive
+		// cascade completes (or fails) on its own.
+		result, fwdRoute, err := p.node.Query(context.Background(), forwards[i].key, forwards[i].req)
 		msgs[i] = fwdRoute.Messages
 		if err != nil {
 			return

@@ -1,6 +1,7 @@
 package mediation
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -28,7 +29,7 @@ func (p *Peer) SearchObjectRange(predicate, lo, hi string) ([]triple.Triple, pgr
 	loKey := keyspace.Hash(lo, p.depth)
 	hiKey := upperBoundKey(hi, p.depth)
 
-	items, route, err := p.node.RangeRetrieve(loKey, hiKey)
+	items, route, err := p.node.RangeRetrieve(context.Background(), loKey, hiKey)
 	if err != nil {
 		return nil, route, err
 	}

@@ -1,6 +1,7 @@
 package mediation
 
 import (
+	"context"
 	"encoding/gob"
 	"sort"
 
@@ -150,13 +151,13 @@ func filterTriples(q triple.Pattern, filters []VarFilter, ts []triple.Triple) []
 // back. The filters never substitute terms, so — unlike pushdown — the
 // strategy is safe for predicate-position variables under reformulation:
 // the shipped pattern reformulates exactly as the unfiltered one would.
-func (p *Peer) resolveSemiJoin(q triple.Pattern, vars []string, vals [][]string, reformulate bool, opts SearchOptions, stats *ConjunctiveStats) (*triple.BindingSet, error) {
+func (p *Peer) resolveSemiJoin(ctx context.Context, q triple.Pattern, vars []string, vals [][]string, reformulate bool, opts SearchOptions, stats *ConjunctiveStats) (*triple.BindingSet, error) {
 	stats.SemiJoins++
 	filters := make([]VarFilter, len(vars))
 	for i, v := range vars {
 		filters[i] = NewVarFilter(v, vals[i])
 	}
-	rs, err := p.resolvePattern(q, filters, reformulate, opts, stats)
+	rs, err := p.resolvePattern(ctx, q, filters, reformulate, opts, stats)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package mediation
 
 import (
+	"context"
 	"encoding/gob"
 	"sort"
 	"time"
@@ -84,7 +85,7 @@ func (p *Peer) PublishStats() (int, pgrid.Route, error) {
 			Published:  now,
 			Predicates: bySchema[name],
 		}
-		route, err := p.node.Replace(p.schemaKey(name), d)
+		route, err := p.node.Replace(context.Background(), p.schemaKey(name), d)
 		accumulate(&total, route)
 		if err != nil {
 			return i, total, err
@@ -124,7 +125,7 @@ type schemaEstimate struct {
 // after publication (fetched just inside its window, cached for another).
 // A failed overlay fetch is not cached: the next query retries instead of
 // pinning a spurious "nobody published" verdict for a whole window.
-func (p *Peer) schemaStats(name string, ttl time.Duration, st *ConjunctiveStats) *schemaEstimate {
+func (p *Peer) schemaStats(ctx context.Context, name string, ttl time.Duration, st *ConjunctiveStats) *schemaEstimate {
 	now := time.Now()
 	p.statsMu.Lock()
 	if e, ok := p.statsCache[name]; ok && now.Sub(e.fetchedAt) < ttl {
@@ -134,7 +135,7 @@ func (p *Peer) schemaStats(name string, ttl time.Duration, st *ConjunctiveStats)
 	p.statsMu.Unlock()
 
 	e := &schemaEstimate{fetchedAt: now, preds: map[string]predEstimate{}}
-	values, route, err := p.node.Retrieve(p.schemaKey(name))
+	values, route, err := p.node.Retrieve(ctx, p.schemaKey(name))
 	st.RouteMessages += route.Messages
 	st.StatsFetches++
 	if err != nil {
@@ -175,7 +176,7 @@ type statsView struct {
 // statsViewFor resolves the schema aggregates for every schema a query's
 // constant predicates name. Fresh digest counts are recorded in st so tests
 // and experiments can observe whether statistics actually steered the plan.
-func (p *Peer) statsViewFor(patterns []triple.Pattern, opts SearchOptions, st *ConjunctiveStats) *statsView {
+func (p *Peer) statsViewFor(ctx context.Context, patterns []triple.Pattern, opts SearchOptions, st *ConjunctiveStats) *statsView {
 	if opts.StatsTTL < 0 {
 		return nil
 	}
@@ -194,7 +195,7 @@ func (p *Peer) statsViewFor(patterns []triple.Pattern, opts SearchOptions, st *C
 		if _, seen := sv.schemas[name]; seen {
 			continue
 		}
-		e := p.schemaStats(name, opts.StatsTTL, st)
+		e := p.schemaStats(ctx, name, opts.StatsTTL, st)
 		st.StatsDigests += e.digests
 		sv.schemas[name] = e
 	}

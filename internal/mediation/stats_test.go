@@ -1,6 +1,7 @@
 package mediation
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -40,7 +41,7 @@ func statsNetwork(t *testing.T, peers, entities int, publish bool) []*Peer {
 func TestPublishAndAggregateStats(t *testing.T) {
 	ps := statsNetwork(t, 16, 60, true)
 	var st ConjunctiveStats
-	e := ps[3].schemaStats("A", DefaultStatsTTL, &st)
+	e := ps[3].schemaStats(context.Background(), "A", DefaultStatsTTL, &st)
 	if e.digests == 0 {
 		t.Fatal("no digests aggregated")
 	}
@@ -65,7 +66,7 @@ func TestPublishAndAggregateStats(t *testing.T) {
 
 	// Second consult within the TTL hits the cache: no further fetch.
 	var st2 ConjunctiveStats
-	ps[3].schemaStats("A", DefaultStatsTTL, &st2)
+	ps[3].schemaStats(context.Background(), "A", DefaultStatsTTL, &st2)
 	if st2.StatsFetches != 0 || st2.RouteMessages != 0 {
 		t.Errorf("cached consult fetched again: %+v", st2)
 	}
@@ -81,9 +82,9 @@ func TestRepublishSupersedes(t *testing.T) {
 		}
 	}
 	var st ConjunctiveStats
-	e := ps[9].schemaStats("A", DefaultStatsTTL, &st)
+	e := ps[9].schemaStats(context.Background(), "A", DefaultStatsTTL, &st)
 	origins := map[string]int{}
-	values, _, err := ps[9].Node().Retrieve(ps[9].schemaKey("A"))
+	values, _, err := ps[9].Node().Retrieve(context.Background(), ps[9].schemaKey("A"))
 	if err != nil {
 		t.Fatal(err)
 	}

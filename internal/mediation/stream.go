@@ -1,0 +1,438 @@
+package mediation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gridvine/internal/pgrid"
+	"gridvine/internal/rdql"
+	"gridvine/internal/triple"
+)
+
+// The streaming query surface. Peer.Query is the single entry point for
+// every query shape GridVine answers — one triple pattern (with or without
+// reformulation), a conjunctive pattern set, or an RDQL text query — and
+// returns a Cursor that yields rows incrementally as reformulation waves
+// and join-pipeline stages complete, instead of after a full barrier.
+//
+// The request's context governs the whole query: cancelling it (or letting
+// its deadline expire) stops the engine mid-fan-out — between routing hops,
+// between pool items, between waves and between pushdown chunks — releases
+// every pooled worker, and terminates the cursor with ctx.Err() after the
+// rows already produced. Request.Limit propagates into the engine, so a
+// top-k query stops issuing overlay lookups once enough rows exist.
+//
+// The historical blocking methods (SearchFor, SearchWithReformulation,
+// SearchConjunctive*, QueryRDQL*) survive as thin deprecated wrappers that
+// drain a cursor under context.Background() and rebuild their aggregate
+// return values — byte-identical to what they always returned.
+
+// Request unifies the query surface. Exactly one of Pattern, Patterns and
+// RDQL must be set.
+type Request struct {
+	// Pattern asks for a triple-pattern search (the streaming counterpart
+	// of SearchFor / SearchWithReformulation). Rows carry the matched
+	// triple and its reformulation provenance in Result.
+	Pattern *triple.Pattern
+	// Patterns asks for a conjunctive query over the planning engine. Rows
+	// carry the joined variable values, aligned with Cursor.Columns().
+	Patterns []triple.Pattern
+	// RDQL is an RDQL text query: its WHERE patterns form the conjunction,
+	// its SELECT clause the output columns (projected rows are
+	// deduplicated), and an RDQL LIMIT clause merges into Limit (the
+	// smaller wins).
+	RDQL string
+	// Reformulate additionally traverses the schema-mapping network,
+	// rewriting predicates by view unfolding (paper §4).
+	Reformulate bool
+	// Limit caps how many rows the cursor yields; 0 means unlimited. The
+	// limit reaches into the engine: a satisfied pattern search launches no
+	// further reformulation wave, and a satisfied conjunctive query skips
+	// the remaining pushdown lookups of its final join stage.
+	Limit int
+	// Options tunes reformulation and the conjunctive planner.
+	Options SearchOptions
+}
+
+// kind classifies a validated request.
+func (r Request) kind() (pattern bool, err error) {
+	set := 0
+	if r.Pattern != nil {
+		set++
+	}
+	if len(r.Patterns) > 0 {
+		set++
+	}
+	if r.RDQL != "" {
+		set++
+	}
+	if set != 1 {
+		return false, errors.New("mediation: request must set exactly one of Pattern, Patterns, RDQL")
+	}
+	if r.Limit < 0 {
+		return false, fmt.Errorf("mediation: negative request limit %d", r.Limit)
+	}
+	return r.Pattern != nil, nil
+}
+
+// QueryRow is one streamed answer.
+type QueryRow struct {
+	// Values are the output column values, positionally aligned with
+	// Cursor.Columns(): the joined (or SELECT-projected) variable values
+	// for conjunctive and RDQL requests, the pattern's variable bindings
+	// for pattern requests.
+	Values []string
+	// Result carries the matched triple and its reformulation provenance;
+	// set for pattern requests only.
+	Result *Result
+}
+
+// QueryStats reports how a streamed query executed. Row, message and
+// timing counters are safe to read mid-stream (they grow as the engine
+// runs); the totals are final once the cursor is exhausted or closed.
+type QueryStats struct {
+	// Rows is the number of rows the engine has produced so far — handed
+	// to the consumer or sitting in the cursor's buffer ahead of it.
+	Rows int
+	// Messages is the overlay message cost (for conjunctive requests:
+	// routing plus transfer chunks, i.e. Conjunctive.TotalMessages()).
+	Messages int
+	// Reformulations counts mapping-graph rewrites performed.
+	Reformulations int
+	// Route is the overlay route of the primary lookup (pattern requests).
+	Route pgrid.Route
+	// Conjunctive carries the planner's full execution statistics
+	// (conjunctive and RDQL requests).
+	Conjunctive ConjunctiveStats
+	// FirstRow is the time from Query to the first row becoming available
+	// to the consumer; zero while no row has been produced.
+	FirstRow time.Duration
+	// Elapsed is the total engine wall-clock, set when the engine finishes.
+	Elapsed time.Duration
+}
+
+// Cursor yields the rows of one streamed query. It is not safe for
+// concurrent use by multiple consumers. Always Close a cursor (draining it
+// to exhaustion also suffices) — Close cancels the engine and waits for
+// every worker it spawned to exit, so abandoned cursors never leak
+// goroutines.
+type Cursor struct {
+	ch     chan QueryRow
+	done   chan struct{}
+	cancel context.CancelFunc
+	// reqCtx is the caller's request context; Close consults it to tell a
+	// caller-initiated cancellation (an error worth reporting) apart from
+	// the one Close itself provokes.
+	reqCtx context.Context
+
+	mu    sync.Mutex
+	cols  []string
+	err   error
+	stats QueryStats
+
+	// Blocking-wrapper bookkeeping: the deprecated aggregate methods
+	// rebuild their historical return values from the engine's summary.
+	pattern   *ResultSet
+	traversed bool
+
+	started time.Time
+}
+
+// Query starts req's execution and returns a cursor over its rows. The
+// returned error covers request validation (and RDQL parsing) only;
+// execution errors surface through Cursor.Err once the stream ends. ctx
+// governs the whole query — see the package notes above.
+func (p *Peer) Query(ctx context.Context, req Request) (*Cursor, error) {
+	isPattern, err := req.kind()
+	if err != nil {
+		return nil, err
+	}
+	var parsed *rdql.Query
+	if req.RDQL != "" {
+		q, err := rdql.Parse(req.RDQL)
+		if err != nil {
+			return nil, err
+		}
+		parsed = &q
+		req.Patterns = q.Patterns
+		if q.Limit > 0 && (req.Limit == 0 || q.Limit < req.Limit) {
+			req.Limit = q.Limit
+		}
+	}
+
+	qctx, cancel := context.WithCancel(ctx)
+	c := &Cursor{
+		ch:      make(chan QueryRow, 32),
+		done:    make(chan struct{}),
+		cancel:  cancel,
+		reqCtx:  ctx,
+		started: time.Now(),
+	}
+	go func() {
+		var err error
+		if isPattern {
+			err = c.runPattern(qctx, p, req)
+		} else {
+			err = c.runConjunctive(qctx, p, req, parsed)
+		}
+		c.mu.Lock()
+		if c.err == nil {
+			c.err = err
+		}
+		c.stats.Elapsed = time.Since(c.started)
+		c.mu.Unlock()
+		close(c.ch)
+		close(c.done)
+	}()
+	return c, nil
+}
+
+// Next yields the next row. ok=false means either the stream ended —
+// exhausted, failed, or query-cancelled; consult Err to distinguish — or
+// the per-call wait ctx fired first. The wait ctx only bounds this call:
+// it neither stops the engine nor marks the cursor failed (check your own
+// ctx.Err() to tell a timed-out wait from exhaustion), so a later Next with
+// a fresh ctx keeps yielding. Buffered rows are drained before ctx is
+// considered, so rows produced ahead of a cancellation are not lost.
+func (c *Cursor) Next(ctx context.Context) (QueryRow, bool) {
+	// Prefer already-produced rows over a concurrently-firing ctx.
+	select {
+	case row, ok := <-c.ch:
+		return row, ok
+	default:
+	}
+	select {
+	case row, ok := <-c.ch:
+		return row, ok
+	case <-ctx.Done():
+		return QueryRow{}, false
+	}
+}
+
+// Columns returns the output column names (the variable schema rows align
+// with). For conjunctive requests they are known once the first join stage
+// completes; before that, nil.
+func (c *Cursor) Columns() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.cols))
+	copy(out, c.cols)
+	return out
+}
+
+// Err returns the stream's terminal error: nil after clean exhaustion, the
+// engine's failure, or the context error when the query was cancelled or
+// its deadline expired (the rows yielded before that stand).
+func (c *Cursor) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Stats returns a snapshot of the execution statistics; totals are final
+// once the stream has ended.
+func (c *Cursor) Stats() QueryStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Close cancels the engine and waits until every worker goroutine has
+// exited. It is idempotent and returns the terminal error, except the
+// context.Canceled an early Close itself provokes — a cancellation of the
+// request context counts as a real error and is returned.
+func (c *Cursor) Close() error {
+	c.cancel()
+	<-c.done
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if errors.Is(c.err, context.Canceled) && c.reqCtx.Err() == nil {
+		return nil
+	}
+	return c.err
+}
+
+// setCols records the output schema (first caller wins).
+func (c *Cursor) setCols(cols []string) {
+	c.mu.Lock()
+	if c.cols == nil {
+		c.cols = cols
+	}
+	c.mu.Unlock()
+}
+
+// send delivers one row to the consumer, blocking until it is accepted or
+// the query context fires; it reports whether the row was delivered.
+func (c *Cursor) send(ctx context.Context, row QueryRow) bool {
+	select {
+	case c.ch <- row:
+		c.mu.Lock()
+		if c.stats.Rows == 0 {
+			c.stats.FirstRow = time.Since(c.started)
+		}
+		c.stats.Rows++
+		c.mu.Unlock()
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// runPattern executes a pattern request, emitting each raw result as its
+// reformulation wave completes.
+func (c *Cursor) runPattern(ctx context.Context, p *Peer, req Request) error {
+	q := *req.Pattern
+	vars := q.Variables()
+	c.setCols(vars)
+	positions := make([]triple.Position, len(vars))
+	for i, v := range vars {
+		positions[i] = firstVarPosition(q, v)
+	}
+
+	emitted := 0
+	emit := func(r Result) bool {
+		if req.Limit > 0 && emitted >= req.Limit {
+			return false
+		}
+		values := make([]string, len(vars))
+		for i := range vars {
+			// Reformulation rewrites only the constant predicate, so the
+			// variable positions of every reformulated variant coincide
+			// with the original pattern's.
+			values[i] = r.Triple.Component(positions[i])
+		}
+		res := r
+		if !c.send(ctx, QueryRow{Values: values, Result: &res}) {
+			return false
+		}
+		emitted++
+		return req.Limit == 0 || emitted < req.Limit
+	}
+
+	rs, traversed, err := p.streamPattern(ctx, q, nil, req.Reformulate, req.Options, emit)
+	c.mu.Lock()
+	c.traversed = traversed
+	if rs != nil {
+		c.pattern = rs
+		c.stats.Messages = rs.Messages
+		c.stats.Reformulations = rs.Reformulations
+		c.stats.Route = rs.Route
+	}
+	c.mu.Unlock()
+	return err
+}
+
+// runConjunctive executes a conjunctive (or RDQL) request through the
+// planning engine, emitting joined rows as the final join stage produces
+// them. RDQL requests are projected to their SELECT variables with
+// duplicate rows collapsed, exactly like the blocking projection.
+func (c *Cursor) runConjunctive(ctx context.Context, p *Peer, req Request, parsed *rdql.Query) error {
+	// deliver pushes one output row, enforcing Request.Limit: false stops
+	// the engine (which skips the remaining lookups of its final stage).
+	emitted := 0
+	deliver := func(row []string) bool {
+		if req.Limit > 0 && emitted >= req.Limit {
+			return false
+		}
+		if !c.send(ctx, QueryRow{Values: row}) {
+			return false
+		}
+		emitted++
+		return req.Limit == 0 || emitted < req.Limit
+	}
+
+	var sink rowSink
+	if parsed == nil {
+		sink = rowSink{cols: c.setCols, emit: deliver}
+	} else {
+		var colIdx []int
+		missing := false
+		seen := map[string]struct{}{}
+		var keyBuf []byte
+		sink = rowSink{
+			cols: func(vars []string) {
+				c.setCols(append([]string(nil), parsed.Select...))
+				colIdx = make([]int, len(parsed.Select))
+				for i, v := range parsed.Select {
+					colIdx[i] = -1
+					for j, bv := range vars {
+						if bv == v {
+							colIdx[i] = j
+							break
+						}
+					}
+					if colIdx[i] < 0 {
+						missing = true
+					}
+				}
+			},
+			emit: func(row []string) bool {
+				if missing {
+					// A selected variable no row binds: nothing projects
+					// (the blocking projection returns no rows either).
+					return false
+				}
+				out := make([]string, len(colIdx))
+				for i, idx := range colIdx {
+					out[i] = row[idx]
+				}
+				keyBuf = triple.AppendRowKey(keyBuf[:0], out)
+				if _, dup := seen[string(keyBuf)]; dup {
+					return true
+				}
+				seen[string(keyBuf)] = struct{}{}
+				return deliver(out)
+			},
+		}
+	}
+
+	stats, err := p.streamConjunctive(ctx, req.Patterns, req.Reformulate, req.Options, sink)
+	c.mu.Lock()
+	c.stats.Conjunctive = stats
+	c.stats.Messages = stats.TotalMessages()
+	c.stats.Reformulations = stats.Reformulations
+	c.mu.Unlock()
+	return err
+}
+
+// QueryRDQL parses and executes an RDQL query on this peer through the
+// conjunctive planning engine and returns the deduplicated, sorted result
+// rows of its SELECT clause.
+//
+// Deprecated: QueryRDQL is a thin wrapper over Query with
+// context.Background(). New code should use Query with Request.RDQL, which
+// streams projected rows and honours cancellation, deadlines, and LIMIT.
+func (p *Peer) QueryRDQL(query string, reformulate bool, opts SearchOptions) ([]rdql.Row, error) {
+	rows, _, err := p.QueryRDQLStats(query, reformulate, opts)
+	return rows, err
+}
+
+// QueryRDQLStats is QueryRDQL returning the execution statistics of the
+// conjunctive engine alongside the rows.
+//
+// Deprecated: like QueryRDQL, this blocks until the full answer is
+// assembled; use Query for streaming consumption.
+func (p *Peer) QueryRDQLStats(query string, reformulate bool, opts SearchOptions) ([]rdql.Row, ConjunctiveStats, error) {
+	cur, err := p.Query(context.Background(), Request{RDQL: query, Reformulate: reformulate, Options: opts})
+	if err != nil {
+		return nil, ConjunctiveStats{}, err
+	}
+	var rows []rdql.Row
+	for {
+		row, ok := cur.Next(context.Background())
+		if !ok {
+			break
+		}
+		rows = append(rows, rdql.Row(row.Values))
+	}
+	cur.Close()
+	stats := cur.Stats().Conjunctive
+	if err := cur.Err(); err != nil {
+		return nil, stats, err
+	}
+	rdql.SortRows(rows)
+	return rows, stats, nil
+}

@@ -1,0 +1,543 @@
+package mediation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"gridvine/internal/schema"
+	"gridvine/internal/simnet"
+	"gridvine/internal/triple"
+)
+
+// testMapping builds a trusted bidirectional equivalence mapping for one
+// attribute pair.
+func testMapping(source, target, srcAttr, dstAttr string) schema.Mapping {
+	m := schema.NewMapping(source, target, schema.Equivalence, schema.Manual,
+		[]schema.Correspondence{{SourceAttr: srcAttr, TargetAttr: dstAttr, Confidence: 1}})
+	m.Bidirectional = true
+	return m
+}
+
+// chainNetwork builds a mapping chain S0→S1→…→S(n-1) with one matching
+// triple per schema, so a reformulating query against S0#org traverses n-1
+// waves and finds n triples.
+func chainNetwork(t *testing.T, schemas int, seed int64) (*simnet.Network, []*Peer) {
+	t.Helper()
+	net, ps := testNetwork(t, 32, seed)
+	p := ps[0]
+	for i := 0; i < schemas; i++ {
+		name := fmt.Sprintf("S%d", i)
+		if _, err := p.InsertTriple(triple.Triple{
+			Subject: fmt.Sprintf("acc:%d", i), Predicate: name + "#org", Object: "aspergillus",
+		}); err != nil {
+			t.Fatalf("InsertTriple: %v", err)
+		}
+		if i+1 < schemas {
+			if _, err := p.InsertMapping(testMapping(name, fmt.Sprintf("S%d", i+1), "org", "org")); err != nil {
+				t.Fatalf("InsertMapping: %v", err)
+			}
+		}
+	}
+	return net, ps
+}
+
+// countGoroutines samples the goroutine count after letting short-lived
+// workers drain; used to assert query paths leak nothing.
+func countGoroutines(t *testing.T) int {
+	t.Helper()
+	// Two GCs give timers and pool workers time to unwind.
+	runtime.GC()
+	time.Sleep(10 * time.Millisecond)
+	return runtime.NumGoroutine()
+}
+
+// waitNoLeak asserts the goroutine count returns to (at most) the baseline,
+// polling briefly to absorb scheduler lag.
+func waitNoLeak(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	var last int
+	for time.Now().Before(deadline) {
+		last = runtime.NumGoroutine()
+		if last <= baseline {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: baseline %d, now %d", baseline, last)
+}
+
+// TestQueryPatternStreamsPerWave: a reformulation chain streams its first
+// row before the traversal completes, and the blocking wrapper returns the
+// byte-identical aggregate.
+func TestQueryPatternStreamsPerWave(t *testing.T) {
+	_, peers := chainNetwork(t, 5, 11)
+	issuer := peers[20]
+	q := triple.Pattern{S: triple.Var("x"), P: triple.Const("S0#org"), O: triple.Const("aspergillus")}
+
+	cur, err := issuer.Query(context.Background(), Request{Pattern: &q, Reformulate: true})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	var streamed []Result
+	for {
+		row, ok := cur.Next(context.Background())
+		if !ok {
+			break
+		}
+		if row.Result == nil {
+			t.Fatal("pattern row without Result")
+		}
+		if len(row.Values) != 1 || row.Values[0] != row.Result.Triple.Subject {
+			t.Errorf("row values = %v for triple %+v", row.Values, row.Result.Triple)
+		}
+		streamed = append(streamed, *row.Result)
+	}
+	cur.Close()
+	if err := cur.Err(); err != nil {
+		t.Fatalf("Err: %v", err)
+	}
+	if len(streamed) != 5 {
+		t.Fatalf("streamed %d results, want 5", len(streamed))
+	}
+	st := cur.Stats()
+	if st.Rows != 5 || st.Messages == 0 || st.Reformulations != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.FirstRow <= 0 || st.FirstRow > st.Elapsed {
+		t.Errorf("first-row %v vs elapsed %v", st.FirstRow, st.Elapsed)
+	}
+
+	// The deprecated wrapper aggregates the same stream. (Message counts
+	// are not compared: routing tie-break randomness advances between runs,
+	// so two executions of the same query may spend different hop counts.)
+	rs, err := issuer.SearchWithReformulation(q, SearchOptions{})
+	if err != nil {
+		t.Fatalf("SearchWithReformulation: %v", err)
+	}
+	if len(rs.Results) != 5 || rs.Messages == 0 || rs.Reformulations != st.Reformulations {
+		t.Errorf("wrapper: %d results, %d msgs, %d reforms; cursor stats %+v",
+			len(rs.Results), rs.Messages, rs.Reformulations, st)
+	}
+}
+
+// TestQueryCancelMidWave cancels a reformulating query while later waves
+// are still fanning out: the rows already produced stand, Err reports
+// context.Canceled, and no goroutine outlives the cursor.
+func TestQueryCancelMidWave(t *testing.T) {
+	net, peers := chainNetwork(t, 8, 12)
+	issuer := peers[25]
+	q := triple.Pattern{S: triple.Var("x"), P: triple.Const("S0#org"), O: triple.Const("aspergillus")}
+
+	baseline := countGoroutines(t)
+	// Each hop sleeps, so the 7-wave traversal is slow enough to cancel.
+	net.SetSendDelay(2 * time.Millisecond)
+	defer net.SetSendDelay(0)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cur, err := issuer.Query(ctx, Request{Pattern: &q, Reformulate: true, Options: SearchOptions{Parallelism: 2}})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	var rows int
+	for {
+		row, ok := cur.Next(context.Background())
+		if !ok {
+			break
+		}
+		_ = row
+		rows++
+		cancel() // cancel as soon as the first row arrives
+	}
+	// A caller-initiated cancellation is a real error: Close must not
+	// swallow it (only the Canceled an early Close itself provokes is).
+	if cerr := cur.Close(); !errors.Is(cerr, context.Canceled) {
+		t.Errorf("Close = %v, want context.Canceled for a caller-cancelled query", cerr)
+	}
+	if err := cur.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", err)
+	}
+	if rows == 0 {
+		t.Error("expected the rows produced before cancellation to be yielded")
+	}
+	if rows >= 8 {
+		t.Errorf("cancellation yielded all %d rows — nothing was cut short", rows)
+	}
+	cancel()
+	waitNoLeak(t, baseline)
+}
+
+// TestQueryDeadlineExpires runs a reformulating query whose deadline
+// expires mid-traversal under transit delay: partial (possibly zero) rows,
+// context.DeadlineExceeded, and prompt return well before the undelayed
+// full traversal would finish.
+func TestQueryDeadlineExpires(t *testing.T) {
+	net, peers := chainNetwork(t, 8, 13)
+	issuer := peers[9]
+	q := triple.Pattern{S: triple.Var("x"), P: triple.Const("S0#org"), O: triple.Const("aspergillus")}
+
+	net.SetSendDelay(5 * time.Millisecond)
+	defer net.SetSendDelay(0)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	cur, err := issuer.Query(ctx, Request{Pattern: &q, Reformulate: true, Options: SearchOptions{Parallelism: 1}})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	rows := 0
+	for {
+		if _, ok := cur.Next(context.Background()); !ok {
+			break
+		}
+		rows++
+	}
+	cur.Close()
+	if err := cur.Err(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Err = %v, want context.DeadlineExceeded (rows %d)", err, rows)
+	}
+	if rows >= 8 {
+		t.Errorf("deadline query still yielded every row (%d)", rows)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("deadline-bound query took %v", elapsed)
+	}
+}
+
+// TestQueryLimitStopsFanOut: a top-k pattern query stops launching waves
+// once the limit is reached, spending fewer messages than the full run.
+func TestQueryLimitStopsFanOut(t *testing.T) {
+	_, peers := chainNetwork(t, 8, 14)
+	issuer := peers[3]
+	q := triple.Pattern{S: triple.Var("x"), P: triple.Const("S0#org"), O: triple.Const("aspergillus")}
+
+	run := func(limit int) QueryStats {
+		cur, err := issuer.Query(context.Background(), Request{
+			Pattern: &q, Reformulate: true, Limit: limit,
+			Options: SearchOptions{Parallelism: 1},
+		})
+		if err != nil {
+			t.Fatalf("Query: %v", err)
+		}
+		n := 0
+		for {
+			if _, ok := cur.Next(context.Background()); !ok {
+				break
+			}
+			n++
+		}
+		cur.Close()
+		if err := cur.Err(); err != nil {
+			t.Fatalf("Err: %v", err)
+		}
+		if limit > 0 && n != limit {
+			t.Fatalf("limit %d yielded %d rows", limit, n)
+		}
+		return cur.Stats()
+	}
+
+	full := run(0)
+	topk := run(2)
+	if topk.Messages >= full.Messages {
+		t.Errorf("limit 2 spent %d messages, unbounded %d — limit did not cut fan-out",
+			topk.Messages, full.Messages)
+	}
+}
+
+// TestQueryConjunctiveLimitCutsLookups: a bounded conjunctive top-k skips
+// the pushdown lookups its unreached rows would have needed.
+func TestQueryConjunctiveLimitCutsLookups(t *testing.T) {
+	_, peers := testNetwork(t, 16, 15)
+	p := peers[0]
+	for i := 0; i < 40; i++ {
+		subj := fmt.Sprintf("acc:J%03d", i)
+		mustInsert(t, p, subj, "A#grp", "hot")
+		mustInsert(t, p, subj, "A#len", fmt.Sprint(100+i))
+	}
+	patterns := []triple.Pattern{
+		{S: triple.Var("x"), P: triple.Const("A#grp"), O: triple.Const("hot")},
+		{S: triple.Var("x"), P: triple.Const("A#len"), O: triple.Var("len")},
+	}
+	issuer := peers[11]
+	opts := SearchOptions{Parallelism: 1, PushdownLimit: 64}
+
+	run := func(limit int) (int, QueryStats) {
+		cur, err := issuer.Query(context.Background(), Request{Patterns: patterns, Limit: limit, Options: opts})
+		if err != nil {
+			t.Fatalf("Query: %v", err)
+		}
+		rows := 0
+		for {
+			if _, ok := cur.Next(context.Background()); !ok {
+				break
+			}
+			rows++
+		}
+		cur.Close()
+		if err := cur.Err(); err != nil {
+			t.Fatalf("Err: %v", err)
+		}
+		return rows, cur.Stats()
+	}
+
+	fullRows, full := run(0)
+	if fullRows != 40 {
+		t.Fatalf("unbounded rows = %d, want 40", fullRows)
+	}
+	topRows, top := run(3)
+	if topRows != 3 {
+		t.Fatalf("limited rows = %d, want 3", topRows)
+	}
+	if top.Conjunctive.PatternLookups >= full.Conjunctive.PatternLookups {
+		t.Errorf("top-k issued %d lookups, unbounded %d — limit did not reach the planner",
+			top.Conjunctive.PatternLookups, full.Conjunctive.PatternLookups)
+	}
+}
+
+// TestBlockingWrappersMatchQuery is the wrapper-equality property test: for
+// every pattern order × reformulation × parallelism, the deprecated
+// blocking methods return exactly what draining Query and aggregating
+// yields — and the planner still matches the naive evaluator.
+func TestBlockingWrappersMatchQuery(t *testing.T) {
+	_, peers := testNetwork(t, 16, 16)
+	p := peers[0]
+	for i := 0; i < 12; i++ {
+		subj := fmt.Sprintf("acc:W%03d", i)
+		mustInsert(t, p, subj, "A#org", fmt.Sprintf("species-%d", i%3))
+		mustInsert(t, p, subj, "A#len", fmt.Sprint(100+i))
+		if i%2 == 0 {
+			mustInsert(t, p, subj, "B#name", fmt.Sprintf("species-%d", i%3))
+		}
+	}
+	if _, err := p.InsertMapping(testMapping("A", "B", "org", "name")); err != nil {
+		t.Fatalf("InsertMapping: %v", err)
+	}
+
+	base := []triple.Pattern{
+		{S: triple.Var("x"), P: triple.Const("A#org"), O: triple.Const("species-1")},
+		{S: triple.Var("x"), P: triple.Const("A#len"), O: triple.Var("len")},
+	}
+	orders := [][]triple.Pattern{
+		{base[0], base[1]},
+		{base[1], base[0]},
+	}
+	issuer := peers[7]
+
+	for oi, patterns := range orders {
+		for _, reformulate := range []bool{false, true} {
+			for _, par := range []int{1, 0} {
+				name := fmt.Sprintf("order=%d/reformulate=%v/par=%d", oi, reformulate, par)
+				opts := SearchOptions{Parallelism: par}
+
+				// Conjunctive wrapper vs drained cursor.
+				bs, _, err := issuer.SearchConjunctiveSet(patterns, reformulate, opts)
+				if err != nil {
+					t.Fatalf("%s: SearchConjunctiveSet: %v", name, err)
+				}
+				cur, err := issuer.Query(context.Background(), Request{Patterns: patterns, Reformulate: reformulate, Options: opts})
+				if err != nil {
+					t.Fatalf("%s: Query: %v", name, err)
+				}
+				var rows [][]string
+				for {
+					row, ok := cur.Next(context.Background())
+					if !ok {
+						break
+					}
+					rows = append(rows, row.Values)
+				}
+				cur.Close()
+				if err := cur.Err(); err != nil {
+					t.Fatalf("%s: cursor: %v", name, err)
+				}
+				got := &triple.BindingSet{Vars: cur.Columns(), Rows: rows}
+				got.SortRows()
+				if !reflect.DeepEqual(bs.Vars, got.Vars) || !reflect.DeepEqual(bs.Rows, got.Rows) {
+					t.Errorf("%s: wrapper bindings diverge from cursor\nwrapper: %v %v\ncursor:  %v %v",
+						name, bs.Vars, bs.Rows, got.Vars, got.Rows)
+				}
+
+				// And against the naive evaluator (order-insensitive anchor).
+				naive, _, err := issuer.SearchConjunctiveNaive(patterns, reformulate, opts)
+				if err != nil {
+					t.Fatalf("%s: naive: %v", name, err)
+				}
+				if !sameBindingsSet(t, naive, bs.ToBindings()) {
+					t.Errorf("%s: planner != naive", name)
+				}
+
+				// Pattern wrapper vs drained cursor.
+				q := patterns[0]
+				var want *ResultSet
+				if reformulate {
+					want, err = issuer.SearchWithReformulation(q, opts)
+				} else {
+					want, err = issuer.SearchFor(q)
+				}
+				if err != nil {
+					t.Fatalf("%s: blocking pattern search: %v", name, err)
+				}
+				pcur, err := issuer.Query(context.Background(), Request{Pattern: &q, Reformulate: reformulate, Options: opts})
+				if err != nil {
+					t.Fatalf("%s: pattern Query: %v", name, err)
+				}
+				pgot, err := collectResultSet(pcur)
+				if err != nil {
+					t.Fatalf("%s: collect: %v", name, err)
+				}
+				if !reflect.DeepEqual(want, pgot) {
+					t.Errorf("%s: pattern wrapper diverges:\nwant %+v\ngot  %+v", name, want, pgot)
+				}
+			}
+		}
+	}
+}
+
+// TestQueryRDQLLimit wires an RDQL LIMIT clause through the streaming
+// engine.
+func TestQueryRDQLLimit(t *testing.T) {
+	_, peers := testNetwork(t, 16, 17)
+	p := peers[0]
+	for i := 0; i < 10; i++ {
+		subj := fmt.Sprintf("acc:L%03d", i)
+		mustInsert(t, p, subj, "A#grp", "hot")
+		mustInsert(t, p, subj, "A#len", fmt.Sprint(100+i))
+	}
+	rows, err := peers[4].QueryRDQL(
+		`SELECT ?x, ?len WHERE (?x, <A#grp>, hot), (?x, <A#len>, ?len) LIMIT 4`,
+		false, SearchOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatalf("QueryRDQL: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Errorf("LIMIT 4 returned %d rows", len(rows))
+	}
+	// Request.Limit merges with the clause: the smaller wins.
+	cur, err := peers[4].Query(context.Background(), Request{
+		RDQL:    `SELECT ?x WHERE (?x, <A#grp>, hot) LIMIT 6`,
+		Limit:   2,
+		Options: SearchOptions{Parallelism: 1},
+	})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	n := 0
+	for {
+		if _, ok := cur.Next(context.Background()); !ok {
+			break
+		}
+		n++
+	}
+	cur.Close()
+	if n != 2 {
+		t.Errorf("merged limit yielded %d rows, want 2", n)
+	}
+}
+
+// TestCursorCloseAbandonsStream: closing a cursor early cancels the engine
+// and leaks nothing, even with rows never consumed.
+func TestCursorCloseAbandonsStream(t *testing.T) {
+	_, peers := testNetwork(t, 16, 18)
+	p := peers[0]
+	for i := 0; i < 200; i++ {
+		mustInsert(t, p, fmt.Sprintf("acc:C%03d", i), "A#grp", "hot")
+	}
+	baseline := countGoroutines(t)
+	for i := 0; i < 5; i++ {
+		cur, err := peers[9].Query(context.Background(), Request{
+			Patterns: []triple.Pattern{{S: triple.Var("x"), P: triple.Const("A#grp"), O: triple.Const("hot")}},
+		})
+		if err != nil {
+			t.Fatalf("Query: %v", err)
+		}
+		if _, ok := cur.Next(context.Background()); !ok {
+			t.Fatal("no first row")
+		}
+		if err := cur.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	}
+	waitNoLeak(t, baseline)
+}
+
+// TestNextWaitContextDoesNotPoisonCursor: a ctx that bounds one Next call
+// neither stops the engine nor marks the cursor failed — a later Next with
+// a fresh ctx keeps yielding and a clean finish reports Err() == nil.
+func TestNextWaitContextDoesNotPoisonCursor(t *testing.T) {
+	net, peers := chainNetwork(t, 4, 19)
+	issuer := peers[6]
+	q := triple.Pattern{S: triple.Var("x"), P: triple.Const("S0#org"), O: triple.Const("aspergillus")}
+	net.SetSendDelay(3 * time.Millisecond)
+	defer net.SetSendDelay(0)
+
+	cur, err := issuer.Query(context.Background(), Request{Pattern: &q, Reformulate: true})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	defer cur.Close()
+
+	// An immediately-expired wait: no row, but the cursor is unharmed.
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, ok := cur.Next(expired); ok {
+		// A row may already be buffered — drain semantics prefer it; both
+		// outcomes are fine, the point is what follows.
+		_ = ok
+	}
+	rows := 0
+	for {
+		if _, ok := cur.Next(context.Background()); !ok {
+			break
+		}
+		rows++
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatalf("Err after timed-out wait = %v, want nil (wait ctx must not poison the cursor)", err)
+	}
+	if rows < 3 {
+		t.Errorf("cursor stopped yielding after a timed-out Next: %d rows", rows)
+	}
+	if cerr := cur.Close(); cerr != nil {
+		t.Errorf("Close after clean drain = %v", cerr)
+	}
+}
+
+// mustInsert inserts one triple or fails the test.
+func mustInsert(t *testing.T, p *Peer, s, pred, o string) {
+	t.Helper()
+	if _, err := p.InsertTriple(triple.Triple{Subject: s, Predicate: pred, Object: o}); err != nil {
+		t.Fatalf("InsertTriple(%s,%s,%s): %v", s, pred, o, err)
+	}
+}
+
+// sameBindingsSet compares two binding lists as sets: the planner collapses
+// duplicate rows where the naive evaluator keeps one binding per matching
+// triple, so only distinct membership is comparable.
+func sameBindingsSet(t *testing.T, a, b []triple.Bindings) bool {
+	t.Helper()
+	key := func(bs triple.Bindings) string {
+		return fmt.Sprintf("%v", bs)
+	}
+	am, bm := map[string]bool{}, map[string]bool{}
+	for _, x := range a {
+		am[key(x)] = true
+	}
+	for _, x := range b {
+		bm[key(x)] = true
+	}
+	if len(am) != len(bm) {
+		return false
+	}
+	for k := range am {
+		if !bm[k] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,6 +1,7 @@
 package pgrid
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -51,10 +52,10 @@ func TestBootstrapRoutingWorks(t *testing.T) {
 	issuer := ov.Nodes()[0]
 	for i := 0; i < 25; i++ {
 		key := keyspace.HashDefault(fmt.Sprintf("boot-key-%d", i))
-		if _, err := issuer.Update(key, i); err != nil {
+		if _, err := issuer.Update(context.Background(), key, i); err != nil {
 			t.Fatalf("Update key %d: %v", i, err)
 		}
-		values, _, err := ov.Nodes()[i%len(ov.Nodes())].Retrieve(key)
+		values, _, err := ov.Nodes()[i%len(ov.Nodes())].Retrieve(context.Background(), key)
 		if err != nil {
 			t.Fatalf("Retrieve key %d: %v", i, err)
 		}
@@ -147,10 +148,10 @@ func TestJoinAfterBuild(t *testing.T) {
 	}
 	// The overlay must remain routable from the new node.
 	key := keyspace.HashDefault("post-join")
-	if _, err := node.Update(key, "v"); err != nil {
+	if _, err := node.Update(context.Background(), key, "v"); err != nil {
 		t.Fatalf("Update from joiner: %v", err)
 	}
-	values, _, err := ov.Nodes()[0].Retrieve(key)
+	values, _, err := ov.Nodes()[0].Retrieve(context.Background(), key)
 	if err != nil || len(values) != 1 {
 		t.Errorf("Retrieve after join: %v %v", values, err)
 	}
@@ -172,7 +173,7 @@ func TestChurnRetrievalWithReplicas(t *testing.T) {
 	keysToCheck := make([]keyspace.Key, 0, 20)
 	for i := 0; i < 20; i++ {
 		k := keyspace.HashDefault(fmt.Sprintf("churn-%d", i))
-		if _, err := issuer.Update(k, i); err != nil {
+		if _, err := issuer.Update(context.Background(), k, i); err != nil {
 			t.Fatalf("Update: %v", err)
 		}
 		keysToCheck = append(keysToCheck, k)
@@ -186,7 +187,7 @@ func TestChurnRetrievalWithReplicas(t *testing.T) {
 	}
 	lost := 0
 	for _, k := range keysToCheck {
-		values, _, err := issuer.Retrieve(k)
+		values, _, err := issuer.Retrieve(context.Background(), k)
 		if err != nil || len(values) != 1 {
 			lost++
 		}

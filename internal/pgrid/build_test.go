@@ -1,6 +1,7 @@
 package pgrid
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -202,7 +203,7 @@ func TestStoreLoadStats(t *testing.T) {
 	issuer := ov.Nodes()[0]
 	for i := 0; i < 40; i++ {
 		k := keyspace.HashDefault(string(rune('a' + i%26)))
-		if _, err := issuer.Update(k, i); err != nil {
+		if _, err := issuer.Update(context.Background(), k, i); err != nil {
 			t.Fatalf("Update: %v", err)
 		}
 	}

@@ -1,6 +1,7 @@
 package pgrid
 
 import (
+	"context"
 	"testing"
 
 	"gridvine/internal/keyspace"
@@ -96,10 +97,10 @@ func TestUpdateWhileReplicaDown(t *testing.T) {
 		issuer = holders[0]
 	}
 	net.Fail(holders[1].ID())
-	if _, err := issuer.Update(key, "v"); err != nil {
+	if _, err := issuer.Update(context.Background(), key, "v"); err != nil {
 		t.Fatalf("Update with replica down: %v", err)
 	}
-	values, _, err := issuer.Retrieve(key)
+	values, _, err := issuer.Retrieve(context.Background(), key)
 	if err != nil || len(values) != 1 {
 		t.Fatalf("Retrieve after degraded write: %v %v", values, err)
 	}

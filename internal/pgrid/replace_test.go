@@ -1,6 +1,7 @@
 package pgrid
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"math/rand"
@@ -48,21 +49,21 @@ func TestReplaceSupersedes(t *testing.T) {
 	n := ov.Nodes()[0]
 	key := keyspace.Hash("replace-slot", keyspace.DefaultDepth)
 
-	if _, err := n.Replace(key, slotValue{Owner: "p1", Slot: "s", Seq: 1}); err != nil {
+	if _, err := n.Replace(context.Background(), key, slotValue{Owner: "p1", Slot: "s", Seq: 1}); err != nil {
 		t.Fatalf("first replace: %v", err)
 	}
-	if _, err := n.Replace(key, slotValue{Owner: "p2", Slot: "s", Seq: 1}); err != nil {
+	if _, err := n.Replace(context.Background(), key, slotValue{Owner: "p2", Slot: "s", Seq: 1}); err != nil {
 		t.Fatalf("other owner: %v", err)
 	}
-	if _, err := n.Replace(key, slotValue{Owner: "p1", Slot: "s", Seq: 2}); err != nil {
+	if _, err := n.Replace(context.Background(), key, slotValue{Owner: "p1", Slot: "s", Seq: 2}); err != nil {
 		t.Fatalf("supersede: %v", err)
 	}
 	// Replacing with an identical value is a no-op, not a duplicate.
-	if _, err := n.Replace(key, slotValue{Owner: "p1", Slot: "s", Seq: 2}); err != nil {
+	if _, err := n.Replace(context.Background(), key, slotValue{Owner: "p1", Slot: "s", Seq: 2}); err != nil {
 		t.Fatalf("idempotent replace: %v", err)
 	}
 
-	values, _, err := ov.Nodes()[5].Retrieve(key)
+	values, _, err := ov.Nodes()[5].Retrieve(context.Background(), key)
 	if err != nil {
 		t.Fatalf("Retrieve: %v", err)
 	}
@@ -85,7 +86,7 @@ func TestReplaceReplicates(t *testing.T) {
 	key := keyspace.Hash("replicated-slot", keyspace.DefaultDepth)
 	issuer := ov.Nodes()[1]
 	for seq := 1; seq <= 3; seq++ {
-		if _, err := issuer.Replace(key, slotValue{Owner: "p", Slot: "s", Seq: seq}); err != nil {
+		if _, err := issuer.Replace(context.Background(), key, slotValue{Owner: "p", Slot: "s", Seq: seq}); err != nil {
 			t.Fatalf("replace %d: %v", seq, err)
 		}
 	}
@@ -121,10 +122,10 @@ func TestReplaceFiresStoreHook(t *testing.T) {
 		})
 	}
 	issuer := ov.Nodes()[0]
-	if _, err := issuer.Replace(key, slotValue{Owner: "p", Slot: "s", Seq: 1}); err != nil {
+	if _, err := issuer.Replace(context.Background(), key, slotValue{Owner: "p", Slot: "s", Seq: 1}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := issuer.Replace(key, slotValue{Owner: "p", Slot: "s", Seq: 2}); err != nil {
+	if _, err := issuer.Replace(context.Background(), key, slotValue{Owner: "p", Slot: "s", Seq: 2}); err != nil {
 		t.Fatal(err)
 	}
 	mu.Lock()
@@ -141,11 +142,11 @@ func TestReplaceNonReplacerInserts(t *testing.T) {
 	key := keyspace.Hash("plain-slot", keyspace.DefaultDepth)
 	n := ov.Nodes()[2]
 	for i := 0; i < 2; i++ {
-		if _, err := n.Replace(key, fmt.Sprintf("v%d", i)); err != nil {
+		if _, err := n.Replace(context.Background(), key, fmt.Sprintf("v%d", i)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	values, _, err := n.Retrieve(key)
+	values, _, err := n.Retrieve(context.Background(), key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestReplaceConcurrentPublishers(t *testing.T) {
 			defer wg.Done()
 			issuer := ov.Nodes()[w%len(ov.Nodes())]
 			for seq := 1; seq <= 5; seq++ {
-				if _, err := issuer.Replace(key, slotValue{Owner: fmt.Sprintf("p%d", w), Slot: "s", Seq: seq}); err != nil {
+				if _, err := issuer.Replace(context.Background(), key, slotValue{Owner: fmt.Sprintf("p%d", w), Slot: "s", Seq: seq}); err != nil {
 					t.Errorf("owner %d: %v", w, err)
 					return
 				}
@@ -176,7 +177,7 @@ func TestReplaceConcurrentPublishers(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
-	values, _, err := ov.Nodes()[0].Retrieve(key)
+	values, _, err := ov.Nodes()[0].Retrieve(context.Background(), key)
 	if err != nil {
 		t.Fatal(err)
 	}

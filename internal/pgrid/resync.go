@@ -1,6 +1,7 @@
 package pgrid
 
 import (
+	"context"
 	"encoding/gob"
 
 	"gridvine/internal/keyspace"
@@ -29,7 +30,7 @@ type SyncResponse struct {
 func (n *Node) SyncFromReplicas() (merged, replicasSeen int) {
 	path := n.Path()
 	for _, r := range n.Replicas() {
-		msg, err := n.net.Send(n.id, r, simnet.Message{
+		msg, err := n.net.Send(context.Background(), n.id, r, simnet.Message{
 			Type:    msgSync,
 			Payload: SyncRequest{Path: path.String()},
 		})

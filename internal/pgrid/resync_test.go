@@ -1,6 +1,7 @@
 package pgrid
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -29,7 +30,7 @@ func TestSyncFromReplicasAfterRecovery(t *testing.T) {
 	var missed []keyspace.Key
 	for i := 0; i < 40; i++ {
 		k := keyspace.HashDefault(fmt.Sprintf("resync-%02d", i))
-		if _, err := issuer.Update(k, i); err != nil {
+		if _, err := issuer.Update(context.Background(), k, i); err != nil {
 			t.Fatalf("Update: %v", err)
 		}
 		if victim.Responsible(k) {
@@ -87,7 +88,7 @@ func TestSyncFromReplicasInvokesStoreHook(t *testing.T) {
 		}
 	})
 	net.Fail(victim.ID())
-	if _, err := issuer.Update(key, "v"); err != nil {
+	if _, err := issuer.Update(context.Background(), key, "v"); err != nil {
 		t.Fatalf("Update: %v", err)
 	}
 	net.Recover(victim.ID())

@@ -1,6 +1,7 @@
 package pgrid
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -30,10 +31,16 @@ type Route struct {
 // Hops returns the number of peers contacted.
 func (r Route) Hops() int { return len(r.Contacted) }
 
+// Every routed operation takes a context: routing checks it between hops
+// (and the transport checks it in transit), so cancelling the context or
+// letting its deadline expire abandons the operation mid-route with
+// ctx.Err(). Callers that do not need cancellation pass
+// context.Background().
+
 // Retrieve resolves key to its responsible peer and returns the values
 // stored there (paper §2.1: Retrieve(key)).
-func (n *Node) Retrieve(key keyspace.Key) ([]any, Route, error) {
-	resp, route, err := n.execute(ExecRequest{Key: key.String(), Op: OpGet})
+func (n *Node) Retrieve(ctx context.Context, key keyspace.Key) ([]any, Route, error) {
+	resp, route, err := n.execute(ctx, ExecRequest{Key: key.String(), Op: OpGet})
 	if err != nil {
 		return nil, route, err
 	}
@@ -42,14 +49,14 @@ func (n *Node) Retrieve(key keyspace.Key) ([]any, Route, error) {
 
 // Update inserts value at the peer responsible for key (paper §2.1:
 // Update(key, value)); the responsible peer synchronizes its replicas.
-func (n *Node) Update(key keyspace.Key, value any) (Route, error) {
-	_, route, err := n.execute(ExecRequest{Key: key.String(), Op: OpInsert, Value: value})
+func (n *Node) Update(ctx context.Context, key keyspace.Key, value any) (Route, error) {
+	_, route, err := n.execute(ctx, ExecRequest{Key: key.String(), Op: OpInsert, Value: value})
 	return route, err
 }
 
 // Delete removes value at the peer responsible for key.
-func (n *Node) Delete(key keyspace.Key, value any) (Route, error) {
-	_, route, err := n.execute(ExecRequest{Key: key.String(), Op: OpDelete, Value: value})
+func (n *Node) Delete(ctx context.Context, key keyspace.Key, value any) (Route, error) {
+	_, route, err := n.execute(ctx, ExecRequest{Key: key.String(), Op: OpDelete, Value: value})
 	return route, err
 }
 
@@ -57,15 +64,15 @@ func (n *Node) Delete(key keyspace.Key, value any) (Route, error) {
 // at the peer responsible for key (see Replacer): one routed operation, one
 // replica synchronization message per replica. A value that implements no
 // Replacer is simply inserted.
-func (n *Node) Replace(key keyspace.Key, value any) (Route, error) {
-	_, route, err := n.execute(ExecRequest{Key: key.String(), Op: OpReplace, Value: value})
+func (n *Node) Replace(ctx context.Context, key keyspace.Key, value any) (Route, error) {
+	_, route, err := n.execute(ctx, ExecRequest{Key: key.String(), Op: OpReplace, Value: value})
 	return route, err
 }
 
 // Query ships payload to the peer responsible for key and runs the
 // registered application handler there — GridVine's Retrieve(key, q).
-func (n *Node) Query(key keyspace.Key, payload any) (any, Route, error) {
-	resp, route, err := n.execute(ExecRequest{Key: key.String(), Op: OpQuery, Payload: payload})
+func (n *Node) Query(ctx context.Context, key keyspace.Key, payload any) (any, Route, error) {
+	resp, route, err := n.execute(ctx, ExecRequest{Key: key.String(), Op: OpQuery, Payload: payload})
 	if err != nil {
 		return nil, route, err
 	}
@@ -99,7 +106,8 @@ func (n *Node) QueryRecursive(key keyspace.Key, payload any, ttl int) (any, Rout
 // answers with closer references, the responsible receiver answers with the
 // result. Failed peers are excluded and routing restarts up to MaxRetries
 // times (replicas of a failed leaf are reached through sibling references).
-func (n *Node) execute(req ExecRequest) (ExecResponse, Route, error) {
+// A cancelled or deadline-expired ctx aborts between hops with ctx.Err().
+func (n *Node) execute(ctx context.Context, req ExecRequest) (ExecResponse, Route, error) {
 	key, err := keyspace.ParseKey(req.Key)
 	if err != nil {
 		return ExecResponse{}, Route{}, err
@@ -108,10 +116,16 @@ func (n *Node) execute(req ExecRequest) (ExecResponse, Route, error) {
 	exclude := map[simnet.PeerID]bool{}
 
 	for attempt := 0; attempt <= n.cfg.MaxRetries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return ExecResponse{}, route, err
+		}
 		if attempt > 0 {
 			route.Retries++
 		}
-		resp, ok := n.routeOnce(key, req, exclude, &route)
+		resp, ok, err := n.routeOnce(ctx, key, req, exclude, &route)
+		if err != nil {
+			return ExecResponse{}, route, err
+		}
 		if ok {
 			return resp, route, nil
 		}
@@ -121,21 +135,25 @@ func (n *Node) execute(req ExecRequest) (ExecResponse, Route, error) {
 
 // routeOnce performs one iterative routing pass. It returns ok=false when it
 // dead-ends (no live references); newly discovered dead peers are added to
-// exclude so the next pass avoids them.
-func (n *Node) routeOnce(key keyspace.Key, req ExecRequest, exclude map[simnet.PeerID]bool, route *Route) (ExecResponse, bool) {
+// exclude so the next pass avoids them. A non-nil error is terminal —
+// cancellation, never a dead peer.
+func (n *Node) routeOnce(ctx context.Context, key keyspace.Key, req ExecRequest, exclude map[simnet.PeerID]bool, route *Route) (ExecResponse, bool, error) {
 	// Local fast path.
 	if responsible, _ := n.nextHopInfo(key); responsible {
 		resp, err := n.handleExec(req)
 		if err != nil {
-			return ExecResponse{}, false
+			return ExecResponse{}, false, nil
 		}
-		return resp, true
+		return resp, true, nil
 	}
 
 	candidates := n.candidateHops(key, exclude)
 	visited := map[simnet.PeerID]bool{n.id: true}
 
 	for len(candidates) > 0 {
+		if err := ctx.Err(); err != nil {
+			return ExecResponse{}, false, err
+		}
 		next := candidates[0]
 		candidates = candidates[1:]
 		if visited[next] || exclude[next] {
@@ -144,18 +162,22 @@ func (n *Node) routeOnce(key keyspace.Key, req ExecRequest, exclude map[simnet.P
 		visited[next] = true
 
 		route.Messages++
-		msg, err := n.net.Send(n.id, next, simnet.Message{Type: msgExec, Payload: req})
+		msg, err := n.net.Send(ctx, n.id, next, simnet.Message{Type: msgExec, Payload: req})
 		if err != nil {
+			// Cancellation is not a dead peer: abort instead of rerouting.
+			if cerr := ctx.Err(); cerr != nil {
+				return ExecResponse{}, false, cerr
+			}
 			exclude[next] = true
 			continue
 		}
 		route.Contacted = append(route.Contacted, next)
 		resp, ok := msg.Payload.(ExecResponse)
 		if !ok {
-			return ExecResponse{}, false
+			return ExecResponse{}, false, nil
 		}
 		if resp.Responsible {
-			return resp, true
+			return resp, true, nil
 		}
 		// Prepend the receiver's references: they are strictly closer.
 		closer := make([]simnet.PeerID, 0, len(resp.NextHops)+len(candidates))
@@ -166,7 +188,7 @@ func (n *Node) routeOnce(key keyspace.Key, req ExecRequest, exclude map[simnet.P
 		}
 		candidates = append(closer, candidates...)
 	}
-	return ExecResponse{}, false
+	return ExecResponse{}, false, nil
 }
 
 // candidateHops returns this node's references ordered best-first for key:
@@ -245,7 +267,8 @@ func (n *Node) forwardRecursive(key keyspace.Key, req ExecRequest, hops []simnet
 	}
 	req.TTL--
 	for _, h := range hops {
-		msg, err := n.net.Send(n.id, h, simnet.Message{Type: msgExec, Payload: req})
+		// Server-side forwarding has no issuer context to honour.
+		msg, err := n.net.Send(context.Background(), n.id, h, simnet.Message{Type: msgExec, Payload: req})
 		if err != nil {
 			continue
 		}
@@ -263,6 +286,8 @@ func (n *Node) forwardRecursive(key keyspace.Key, req ExecRequest, hops []simnet
 func (n *Node) replicate(req ReplicateRequest) {
 	for _, r := range n.Replicas() {
 		// Errors are tolerated: a crashed replica re-synchronizes on rejoin.
-		n.net.Send(n.id, r, simnet.Message{Type: msgReplicate, Payload: req}) //nolint:errcheck
+		// Replication always completes regardless of the issuer's context —
+		// a cancelled query must never leave replicas diverged.
+		n.net.Send(context.Background(), n.id, r, simnet.Message{Type: msgReplicate, Payload: req}) //nolint:errcheck
 	}
 }

@@ -1,6 +1,7 @@
 package pgrid
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -15,10 +16,10 @@ func TestUpdateRetrieveRoundtrip(t *testing.T) {
 	_, ov := testOverlay(t, 16, 2, 1)
 	issuer := ov.Nodes()[0]
 	key := keyspace.HashDefault("EMBL#Organism")
-	if _, err := issuer.Update(key, "triple-1"); err != nil {
+	if _, err := issuer.Update(context.Background(), key, "triple-1"); err != nil {
 		t.Fatalf("Update: %v", err)
 	}
-	values, route, err := issuer.Retrieve(key)
+	values, route, err := issuer.Retrieve(context.Background(), key)
 	if err != nil {
 		t.Fatalf("Retrieve: %v", err)
 	}
@@ -33,11 +34,11 @@ func TestUpdateRetrieveRoundtrip(t *testing.T) {
 func TestRetrieveFromEveryNode(t *testing.T) {
 	_, ov := testOverlay(t, 32, 2, 2)
 	key := keyspace.HashDefault("shared-item")
-	if _, err := ov.Nodes()[5].Update(key, "v"); err != nil {
+	if _, err := ov.Nodes()[5].Update(context.Background(), key, "v"); err != nil {
 		t.Fatalf("Update: %v", err)
 	}
 	for _, n := range ov.Nodes() {
-		values, _, err := n.Retrieve(key)
+		values, _, err := n.Retrieve(context.Background(), key)
 		if err != nil {
 			t.Fatalf("Retrieve from %s: %v", n.ID(), err)
 		}
@@ -52,11 +53,11 @@ func TestUpdateIdempotent(t *testing.T) {
 	issuer := ov.Nodes()[0]
 	key := keyspace.HashDefault("dup")
 	for i := 0; i < 3; i++ {
-		if _, err := issuer.Update(key, "same-value"); err != nil {
+		if _, err := issuer.Update(context.Background(), key, "same-value"); err != nil {
 			t.Fatalf("Update: %v", err)
 		}
 	}
-	values, _, _ := issuer.Retrieve(key)
+	values, _, _ := issuer.Retrieve(context.Background(), key)
 	if len(values) != 1 {
 		t.Errorf("duplicate inserts stored %d copies", len(values))
 	}
@@ -66,12 +67,12 @@ func TestDelete(t *testing.T) {
 	_, ov := testOverlay(t, 8, 2, 4)
 	issuer := ov.Nodes()[0]
 	key := keyspace.HashDefault("temp")
-	issuer.Update(key, "a")
-	issuer.Update(key, "b")
-	if _, err := issuer.Delete(key, "a"); err != nil {
+	issuer.Update(context.Background(), key, "a")
+	issuer.Update(context.Background(), key, "b")
+	if _, err := issuer.Delete(context.Background(), key, "a"); err != nil {
 		t.Fatalf("Delete: %v", err)
 	}
-	values, _, _ := issuer.Retrieve(key)
+	values, _, _ := issuer.Retrieve(context.Background(), key)
 	if len(values) != 1 || values[0] != "b" {
 		t.Errorf("after delete values = %v", values)
 	}
@@ -82,9 +83,9 @@ func TestMultipleValuesPerKey(t *testing.T) {
 	issuer := ov.Nodes()[0]
 	key := keyspace.HashDefault("multi")
 	for i := 0; i < 5; i++ {
-		issuer.Update(key, fmt.Sprintf("v%d", i))
+		issuer.Update(context.Background(), key, fmt.Sprintf("v%d", i))
 	}
-	values, _, _ := issuer.Retrieve(key)
+	values, _, _ := issuer.Retrieve(context.Background(), key)
 	if len(values) != 5 {
 		t.Errorf("values = %d, want 5", len(values))
 	}
@@ -94,7 +95,7 @@ func TestReplication(t *testing.T) {
 	_, ov := testOverlay(t, 16, 2, 6)
 	issuer := ov.Nodes()[0]
 	key := keyspace.HashDefault("replicated-item")
-	if _, err := issuer.Update(key, "v"); err != nil {
+	if _, err := issuer.Update(context.Background(), key, "v"); err != nil {
 		t.Fatalf("Update: %v", err)
 	}
 	// Find the responsible nodes: all replicas must hold the value.
@@ -117,7 +118,7 @@ func TestRetrieveSurvivesPrimaryFailure(t *testing.T) {
 	net, ov := testOverlay(t, 32, 2, 7)
 	issuer := ov.Nodes()[0]
 	key := keyspace.HashDefault("ha-item")
-	if _, err := issuer.Update(key, "v"); err != nil {
+	if _, err := issuer.Update(context.Background(), key, "v"); err != nil {
 		t.Fatalf("Update: %v", err)
 	}
 	// Kill one of the responsible replicas (not the issuer).
@@ -132,7 +133,7 @@ func TestRetrieveSurvivesPrimaryFailure(t *testing.T) {
 		t.Skip("issuer is the only holder")
 	}
 	net.Fail(victim.ID())
-	values, route, err := issuer.Retrieve(key)
+	values, route, err := issuer.Retrieve(context.Background(), key)
 	if err != nil {
 		t.Fatalf("Retrieve after failure: %v (route %+v)", err, route)
 	}
@@ -145,7 +146,7 @@ func TestRouteFailsWhenAllReplicasDead(t *testing.T) {
 	net, ov := testOverlay(t, 16, 2, 8)
 	issuer := ov.Nodes()[0]
 	key := keyspace.HashDefault("doomed")
-	issuer.Update(key, "v")
+	issuer.Update(context.Background(), key, "v")
 	if issuer.Responsible(key) {
 		t.Skip("issuer holds the key locally; cannot simulate total loss")
 	}
@@ -154,7 +155,7 @@ func TestRouteFailsWhenAllReplicasDead(t *testing.T) {
 			net.Fail(n.ID())
 		}
 	}
-	_, _, err := issuer.Retrieve(key)
+	_, _, err := issuer.Retrieve(context.Background(), key)
 	if !errors.Is(err, ErrNoRoute) {
 		t.Errorf("err = %v, want ErrNoRoute", err)
 	}
@@ -170,7 +171,7 @@ func TestQueryHandlerInvoked(t *testing.T) {
 		})
 	}
 	issuer := ov.Nodes()[3]
-	result, route, err := issuer.Query(key, "q1")
+	result, route, err := issuer.Query(context.Background(), key, "q1")
 	if err != nil {
 		t.Fatalf("Query: %v", err)
 	}
@@ -193,7 +194,7 @@ func TestQueryHandlerInvoked(t *testing.T) {
 func TestQueryWithoutHandlerFails(t *testing.T) {
 	_, ov := testOverlay(t, 4, 2, 10)
 	key := keyspace.HashDefault("no-handler")
-	_, _, err := ov.Nodes()[0].Query(key, "q")
+	_, _, err := ov.Nodes()[0].Query(context.Background(), key, "q")
 	if err == nil {
 		t.Error("Query without handler should fail")
 	}
@@ -246,7 +247,7 @@ func TestRoutingCostLogarithmic(t *testing.T) {
 		rng := rand.New(rand.NewSource(99))
 		for i := 0; i < 30; i++ {
 			key := keyspace.HashDefault(fmt.Sprintf("key-%d-%d", peers, rng.Int()))
-			_, route, err := issuer.Retrieve(key)
+			_, route, err := issuer.Retrieve(context.Background(), key)
 			if err != nil {
 				t.Fatalf("Retrieve: %v", err)
 			}
@@ -265,7 +266,7 @@ func TestRoutingConvergenceProperty(t *testing.T) {
 	f := func(seed int64, nodeIdx uint8) bool {
 		issuer := ov.Nodes()[int(nodeIdx)%len(ov.Nodes())]
 		key := keyspace.HashDefault(fmt.Sprintf("k%d", seed))
-		_, route, err := issuer.Retrieve(key)
+		_, route, err := issuer.Retrieve(context.Background(), key)
 		return err == nil && route.Hops() <= depth+1
 	}
 	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(14))}
@@ -276,7 +277,7 @@ func TestRoutingConvergenceProperty(t *testing.T) {
 
 func TestPingMessage(t *testing.T) {
 	net, ov := testOverlay(t, 4, 2, 15)
-	resp, err := net.Send(ov.Nodes()[0].ID(), ov.Nodes()[1].ID(), simnet.Message{Type: msgPing})
+	resp, err := net.Send(context.Background(), ov.Nodes()[0].ID(), ov.Nodes()[1].ID(), simnet.Message{Type: msgPing})
 	if err != nil {
 		t.Fatalf("ping: %v", err)
 	}
@@ -287,7 +288,7 @@ func TestPingMessage(t *testing.T) {
 
 func TestUnknownMessageType(t *testing.T) {
 	net, ov := testOverlay(t, 4, 2, 16)
-	_, err := net.Send(ov.Nodes()[0].ID(), ov.Nodes()[1].ID(), simnet.Message{Type: "bogus"})
+	_, err := net.Send(context.Background(), ov.Nodes()[0].ID(), ov.Nodes()[1].ID(), simnet.Message{Type: "bogus"})
 	if err == nil {
 		t.Error("unknown message type should error")
 	}
@@ -298,7 +299,7 @@ func TestBadPayloads(t *testing.T) {
 	to := ov.Nodes()[1].ID()
 	from := ov.Nodes()[0].ID()
 	for _, typ := range []string{msgExec, msgReplicate, msgSubtree} {
-		if _, err := net.Send(from, to, simnet.Message{Type: typ, Payload: 42}); err == nil {
+		if _, err := net.Send(context.Background(), from, to, simnet.Message{Type: typ, Payload: 42}); err == nil {
 			t.Errorf("bad payload for %s should error", typ)
 		}
 	}

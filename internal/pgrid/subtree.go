@@ -1,6 +1,8 @@
 package pgrid
 
 import (
+	"context"
+
 	"gridvine/internal/keyspace"
 	"gridvine/internal/simnet"
 )
@@ -37,8 +39,9 @@ func (n *Node) handleSubtree(req SubtreeRequest) SubtreeResponse {
 // the issuer routes to one peer inside the prefix, then repeatedly follows
 // the Onward references returned by visited peers. Items are deduplicated
 // per leaf path so replica sets contribute once. The returned Route counts
-// the messages spent.
-func (n *Node) SubtreeRetrieve(prefix keyspace.Key) ([]SubtreeItem, Route, error) {
+// the messages spent. Cancelling ctx abandons the walk with the items
+// gathered so far discarded and ctx.Err() returned.
+func (n *Node) SubtreeRetrieve(ctx context.Context, prefix keyspace.Key) ([]SubtreeItem, Route, error) {
 	var route Route
 
 	// Seed the frontier: route toward an arbitrary key inside the prefix.
@@ -62,7 +65,7 @@ func (n *Node) SubtreeRetrieve(prefix keyspace.Key) ([]SubtreeItem, Route, error
 			resp = n.handleSubtree(SubtreeRequest{Prefix: prefix.String()})
 		} else {
 			route.Messages++
-			msg, err := n.net.Send(n.id, id, simnet.Message{Type: msgSubtree, Payload: SubtreeRequest{Prefix: prefix.String()}})
+			msg, err := n.net.Send(ctx, n.id, id, simnet.Message{Type: msgSubtree, Payload: SubtreeRequest{Prefix: prefix.String()}})
 			if err != nil {
 				return
 			}
@@ -89,7 +92,7 @@ func (n *Node) SubtreeRetrieve(prefix keyspace.Key) ([]SubtreeItem, Route, error
 	if prefix.IsPrefixOf(n.Path()) || n.Path().IsPrefixOf(prefix) {
 		visit(n.id)
 	} else {
-		_, r, err := n.Retrieve(probe)
+		_, r, err := n.Retrieve(ctx, probe)
 		route.Messages += r.Messages
 		route.Retries += r.Retries
 		route.Contacted = append(route.Contacted, r.Contacted...)
@@ -101,6 +104,9 @@ func (n *Node) SubtreeRetrieve(prefix keyspace.Key) ([]SubtreeItem, Route, error
 	}
 
 	for len(frontier) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, route, err
+		}
 		next := frontier[0]
 		frontier = frontier[1:]
 		if visited[next] {
@@ -116,11 +122,11 @@ func (n *Node) SubtreeRetrieve(prefix keyspace.Key) ([]SubtreeItem, Route, error
 // closed interval [lo, hi] (both at full key depth). Because the data keys
 // come from the order-preserving hash, this implements value-range
 // constraint searches over the overlay.
-func (n *Node) RangeRetrieve(lo, hi keyspace.Key) ([]SubtreeItem, Route, error) {
+func (n *Node) RangeRetrieve(ctx context.Context, lo, hi keyspace.Key) ([]SubtreeItem, Route, error) {
 	var route Route
 	var items []SubtreeItem
 	for _, prefix := range keyspace.CoverRange(lo, hi, lo.Len()) {
-		part, r, err := n.SubtreeRetrieve(prefix)
+		part, r, err := n.SubtreeRetrieve(ctx, prefix)
 		route.Messages += r.Messages
 		route.Retries += r.Retries
 		route.Contacted = append(route.Contacted, r.Contacted...)

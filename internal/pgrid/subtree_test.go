@@ -1,6 +1,7 @@
 package pgrid
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"testing"
@@ -15,12 +16,12 @@ func TestSubtreeRetrieveAll(t *testing.T) {
 	for i := 0; i < 30; i++ {
 		v := fmt.Sprintf("item-%02d", i)
 		key := keyspace.HashDefault(v)
-		if _, err := issuer.Update(key, v); err != nil {
+		if _, err := issuer.Update(context.Background(), key, v); err != nil {
 			t.Fatalf("Update: %v", err)
 		}
 		want[v] = true
 	}
-	items, _, err := issuer.SubtreeRetrieve(keyspace.Key{})
+	items, _, err := issuer.SubtreeRetrieve(context.Background(), keyspace.Key{})
 	if err != nil {
 		t.Fatalf("SubtreeRetrieve: %v", err)
 	}
@@ -42,8 +43,8 @@ func TestSubtreeRetrieveNoReplicaDuplicates(t *testing.T) {
 	_, ov := testOverlay(t, 16, 4, 22) // 4 replicas per leaf
 	issuer := ov.Nodes()[0]
 	key := keyspace.HashDefault("once")
-	issuer.Update(key, "once-value")
-	items, _, err := issuer.SubtreeRetrieve(keyspace.Key{})
+	issuer.Update(context.Background(), key, "once-value")
+	items, _, err := issuer.SubtreeRetrieve(context.Background(), keyspace.Key{})
 	if err != nil {
 		t.Fatalf("SubtreeRetrieve: %v", err)
 	}
@@ -65,10 +66,10 @@ func TestSubtreeRetrievePrefixFilters(t *testing.T) {
 	// order-preserving hash ('a'=0x61 → 0110…, 'z'=0x7a → 0111…).
 	aKey := keyspace.HashDefault("aardvark")
 	zKey := keyspace.HashDefault("zebra")
-	issuer.Update(aKey, "a-item")
-	issuer.Update(zKey, "z-item")
+	issuer.Update(context.Background(), aKey, "a-item")
+	issuer.Update(context.Background(), zKey, "z-item")
 	prefix := aKey.Prefix(8)
-	items, _, err := issuer.SubtreeRetrieve(prefix)
+	items, _, err := issuer.SubtreeRetrieve(context.Background(), prefix)
 	if err != nil {
 		t.Fatalf("SubtreeRetrieve: %v", err)
 	}
@@ -94,7 +95,7 @@ func TestSubtreeSurvivesFailures(t *testing.T) {
 	want := map[string]bool{}
 	for i := 0; i < 20; i++ {
 		v := fmt.Sprintf("s-%02d", i)
-		issuer.Update(keyspace.HashDefault(v), v)
+		issuer.Update(context.Background(), keyspace.HashDefault(v), v)
 		want[v] = true
 	}
 	// Kill one peer per leaf (not the issuer): replicas must answer.
@@ -106,7 +107,7 @@ func TestSubtreeSurvivesFailures(t *testing.T) {
 			net.Fail(n.ID())
 		}
 	}
-	items, _, err := issuer.SubtreeRetrieve(keyspace.Key{})
+	items, _, err := issuer.SubtreeRetrieve(context.Background(), keyspace.Key{})
 	if err != nil {
 		t.Fatalf("SubtreeRetrieve: %v", err)
 	}
@@ -130,11 +131,11 @@ func TestRangeRetrieve(t *testing.T) {
 	issuer := ov.Nodes()[0]
 	words := []string{"alpha", "beta", "delta", "gamma", "omega", "zeta"}
 	for _, w := range words {
-		issuer.Update(keyspace.HashDefault(w), w)
+		issuer.Update(context.Background(), keyspace.HashDefault(w), w)
 	}
 	lo := keyspace.HashDefault("beta")
 	hi := keyspace.HashDefault("omega")
-	items, _, err := issuer.RangeRetrieve(lo, hi)
+	items, _, err := issuer.RangeRetrieve(context.Background(), lo, hi)
 	if err != nil {
 		t.Fatalf("RangeRetrieve: %v", err)
 	}
@@ -158,10 +159,10 @@ func TestRangeRetrieve(t *testing.T) {
 func TestRangeRetrieveEmptyRange(t *testing.T) {
 	_, ov := testOverlay(t, 8, 2, 26)
 	issuer := ov.Nodes()[0]
-	issuer.Update(keyspace.HashDefault("mid"), "mid")
+	issuer.Update(context.Background(), keyspace.HashDefault("mid"), "mid")
 	lo := keyspace.HashDefault("zzz")
 	hi := keyspace.HashDefault("aaa")
-	items, _, err := issuer.RangeRetrieve(lo, hi)
+	items, _, err := issuer.RangeRetrieve(context.Background(), lo, hi)
 	if err != nil {
 		t.Fatalf("RangeRetrieve: %v", err)
 	}

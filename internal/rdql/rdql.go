@@ -16,19 +16,23 @@ package rdql
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"gridvine/internal/triple"
 )
 
-// Query is a parsed RDQL query: distinguished variables and the conjunctive
-// pattern list.
+// Query is a parsed RDQL query: distinguished variables, the conjunctive
+// pattern list, and an optional result limit.
 type Query struct {
 	// Select lists the distinguished variables in declaration order,
 	// without the leading '?'.
 	Select []string
 	// Patterns is the WHERE conjunction.
 	Patterns []triple.Pattern
+	// Limit is the LIMIT clause's row cap; 0 when the clause is absent
+	// (no limit).
+	Limit int
 }
 
 // Variables returns every variable appearing in the WHERE clause, sorted.
@@ -150,6 +154,11 @@ func appendRowKey(buf []byte, row Row) []byte {
 	return triple.AppendRowKey(buf, row)
 }
 
+// SortRows orders result rows lexicographically, the canonical order the
+// blocking projection has always returned. Streaming consumers that
+// collect a cursor's rows use it to reproduce the aggregate answer.
+func SortRows(rows []Row) { sortRows(rows) }
+
 func sortRows(rows []Row) {
 	sort.Slice(rows, func(i, j int) bool {
 		for k := range rows[i] {
@@ -235,7 +244,7 @@ func lex(input string) ([]token, error) {
 			word := input[i:j]
 			kind := tokWord
 			switch strings.ToUpper(word) {
-			case "SELECT", "WHERE", "AND":
+			case "SELECT", "WHERE", "AND", "LIMIT":
 				kind = tokKeyword
 			}
 			out = append(out, token{kind, word, i})
@@ -361,6 +370,18 @@ func Parse(input string) (Query, error) {
 			break
 		}
 	}
+	// Optional LIMIT n clause: cap the number of result rows. The engine
+	// propagates it into the planner, which stops issuing lookups once
+	// enough joined rows exist.
+	if t := p.peek(); t.kind == tokKeyword && strings.EqualFold(t.text, "LIMIT") {
+		p.next()
+		nt := p.next()
+		n, err := strconv.Atoi(nt.text)
+		if nt.kind != tokWord || err != nil || n <= 0 {
+			return Query{}, fmt.Errorf("rdql: LIMIT wants a positive integer, got %q at position %d", nt.text, nt.pos)
+		}
+		q.Limit = n
+	}
 	if !p.atEOF() {
 		t := p.peek()
 		return Query{}, fmt.Errorf("rdql: unexpected %q at position %d", t.text, t.pos)
@@ -473,6 +494,10 @@ func (q Query) String() string {
 			}
 		}
 		b.WriteString(")")
+	}
+	if q.Limit > 0 {
+		b.WriteString(" LIMIT ")
+		b.WriteString(strconv.Itoa(q.Limit))
 	}
 	return b.String()
 }

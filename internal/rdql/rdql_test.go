@@ -2,6 +2,7 @@ package rdql
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -311,5 +312,59 @@ func TestLexPositions(t *testing.T) {
 	}
 	if toks[0].pos != 0 || toks[1].pos != 7 {
 		t.Errorf("positions = %d %d", toks[0].pos, toks[1].pos)
+	}
+}
+
+func TestParseLimit(t *testing.T) {
+	q, err := Parse(`SELECT ?x WHERE (?x, <A#p>, "v") LIMIT 7`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.Limit != 7 {
+		t.Errorf("Limit = %d, want 7", q.Limit)
+	}
+	q, err = Parse(`SELECT ?x WHERE (?x, <A#p>, "v")`)
+	if err != nil {
+		t.Fatalf("Parse without LIMIT: %v", err)
+	}
+	if q.Limit != 0 {
+		t.Errorf("absent LIMIT = %d, want 0", q.Limit)
+	}
+	// Case-insensitive, like every keyword.
+	q, err = Parse(`select ?x where (?x, <A#p>, "v") limit 3`)
+	if err != nil || q.Limit != 3 {
+		t.Errorf("lowercase limit: q.Limit=%d err=%v", q.Limit, err)
+	}
+}
+
+func TestParseLimitErrors(t *testing.T) {
+	for _, bad := range []string{
+		`SELECT ?x WHERE (?x, <A#p>, "v") LIMIT`,
+		`SELECT ?x WHERE (?x, <A#p>, "v") LIMIT zero`,
+		`SELECT ?x WHERE (?x, <A#p>, "v") LIMIT 0`,
+		`SELECT ?x WHERE (?x, <A#p>, "v") LIMIT -2`,
+		`SELECT ?x WHERE (?x, <A#p>, "v") LIMIT 3 4`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestStringRoundtripLimit(t *testing.T) {
+	q, err := Parse(`SELECT ?x, ?len WHERE (?x, <A#org>, "%asp%"), (?x, <A#len>, ?len) LIMIT 12`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	s := q.String()
+	if !strings.HasSuffix(s, " LIMIT 12") {
+		t.Errorf("String() = %q, want LIMIT suffix", s)
+	}
+	q2, err := Parse(s)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", s, err)
+	}
+	if !reflect.DeepEqual(q, q2) {
+		t.Errorf("round-trip diverged:\n%+v\n%+v", q, q2)
 	}
 }

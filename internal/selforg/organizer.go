@@ -283,6 +283,9 @@ type RoundReport struct {
 	Created    []schema.Mapping
 	Deprecated []string
 	Evidence   int // informative cycles evaluated
+	// StatsDigests is the number of statistics digests (one per schema
+	// with local data) the round republished at the schema keys.
+	StatsDigests int
 }
 
 // Round runs one self-organization round: inquire connectivity; if below
@@ -371,7 +374,18 @@ func (o *Organizer) Round(subjects []string) (RoundReport, error) {
 		}
 	}
 
-	// 3. Degree registry refresh.
+	// 3. Statistics republication: refresh this peer's cardinality digests
+	// once per round so the conjunctive planners keep seeing fresh numbers
+	// (stale digests age out after SearchOptions.StatsTTL — without the
+	// maintenance loop republishing, publication stayed a manual,
+	// experiment-driven act). The overlay's atomic replace supersedes the
+	// previous round's digest per (origin, schema) pair. Publication
+	// failures are tolerated: planners fall back to static weights.
+	if n, _, err := o.peer.PublishStats(); err == nil {
+		report.StatsDigests = n
+	}
+
+	// 4. Degree registry refresh.
 	if err := o.RefreshDegrees(ms); err != nil {
 		return report, err
 	}

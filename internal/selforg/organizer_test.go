@@ -1,10 +1,12 @@
 package selforg
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
 
+	"gridvine/internal/keyspace"
 	"gridvine/internal/mediation"
 	"gridvine/internal/pgrid"
 	"gridvine/internal/schema"
@@ -322,5 +324,104 @@ func TestDeprecatedMappingNotRecreated(t *testing.T) {
 		if created.ID == m.ID {
 			t.Error("previously deprecated mapping recreated")
 		}
+	}
+}
+
+// TestRoundRepublishesStatsDigests: each maintenance round refreshes the
+// organizer peer's statistics digests, and a new round's digest supersedes
+// the stale one at the schema key instead of accumulating next to it.
+func TestRoundRepublishesStatsDigests(t *testing.T) {
+	ps, setupOrg := testSetup(t, 8, 42)
+	if err := setupOrg.RegisterSchema(schema.NewSchema("A", "bio", "org")); err != nil {
+		t.Fatalf("RegisterSchema: %v", err)
+	}
+	var subjects []string
+	for i := 0; i < 20; i++ {
+		subj := fmt.Sprintf("acc:%03d", i)
+		subjects = append(subjects, subj)
+		if _, err := ps[0].InsertTriple(triple.Triple{
+			Subject: subj, Predicate: "A#org", Object: fmt.Sprintf("species-%d", i%4),
+		}); err != nil {
+			t.Fatalf("InsertTriple: %v", err)
+		}
+	}
+
+	digestsFrom := func(origin string) []mediation.StatsDigest {
+		t.Helper()
+		key := keyspace.Hash("schema:A", keyspace.DefaultDepth)
+		values, _, err := ps[0].Node().Retrieve(context.Background(), key)
+		if err != nil {
+			t.Fatalf("Retrieve(schema:A): %v", err)
+		}
+		var out []mediation.StatsDigest
+		for _, v := range values {
+			if d, ok := v.(mediation.StatsDigest); ok && d.Origin == origin && d.Schema == "A" {
+				out = append(out, d)
+			}
+		}
+		return out
+	}
+	tripleCount := func(d mediation.StatsDigest) int {
+		n := 0
+		for _, ps := range d.Predicates {
+			n += ps.Triples
+		}
+		return n
+	}
+
+	// The order-preserving hash clusters these lowercase keys onto one
+	// leaf, so run the maintenance loop on a peer that actually holds data
+	// (any schema keeper may drive maintenance).
+	keeper := ps[0]
+	for _, p := range ps {
+		if len(p.DB().All()) > 0 {
+			keeper = p
+			break
+		}
+	}
+	org, nerr := New(keeper, Config{Domain: "bio", Rng: rand.New(rand.NewSource(7))})
+	if nerr != nil {
+		t.Fatalf("New: %v", nerr)
+	}
+
+	origin := string(keeper.Node().ID())
+	r1, err := org.Round(subjects)
+	if err != nil {
+		t.Fatalf("Round 1: %v", err)
+	}
+	if r1.StatsDigests < 1 {
+		t.Fatalf("round 1 published %d digests, want >= 1", r1.StatsDigests)
+	}
+	first := digestsFrom(origin)
+	if len(first) != 1 {
+		t.Fatalf("after round 1: %d digests from %s, want 1", len(first), origin)
+	}
+
+	// Grow the local extension, run another round: the fresh digest must
+	// replace — not join — the stale one, and reflect the new counts.
+	for i := 20; i < 40; i++ {
+		if _, err := ps[0].InsertTriple(triple.Triple{
+			Subject: fmt.Sprintf("acc:%03d", i), Predicate: "A#org", Object: "species-9",
+		}); err != nil {
+			t.Fatalf("InsertTriple: %v", err)
+		}
+	}
+	r2, err := org.Round(subjects)
+	if err != nil {
+		t.Fatalf("Round 2: %v", err)
+	}
+	if r2.StatsDigests < 1 {
+		t.Fatalf("round 2 published %d digests, want >= 1", r2.StatsDigests)
+	}
+	second := digestsFrom(origin)
+	if len(second) != 1 {
+		t.Fatalf("after round 2: %d digests from %s, want exactly 1 (stale digest must be superseded)", len(second), origin)
+	}
+	if !second[0].Published.After(first[0].Published) {
+		t.Errorf("republished digest not fresher: %v vs %v", second[0].Published, first[0].Published)
+	}
+	if tripleCount(second[0]) <= tripleCount(first[0]) {
+		t.Errorf("refreshed digest triples = %d, want more than the stale %d",
+			tripleCount(second[0]), tripleCount(first[0]))
 	}
 }

@@ -6,6 +6,7 @@
 package simnet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -44,8 +45,11 @@ func (f HandlerFunc) HandleMessage(from PeerID, msg Message) (Message, error) {
 type Transport interface {
 	// Send delivers msg from→to and returns the response. It returns
 	// ErrUnreachable if the destination is unknown, failed, or the message
-	// was dropped by failure injection.
-	Send(from, to PeerID, msg Message) (Message, error)
+	// was dropped by failure injection. Cancelling ctx abandons the
+	// exchange: implementations return ctx.Err() (possibly wrapped) as soon
+	// as they notice, so a query with a deadline stops paying transit
+	// delays, dials, and reads the moment it expires.
+	Send(ctx context.Context, from, to PeerID, msg Message) (Message, error)
 }
 
 // Registrar is a Transport that can also host peers: overlay builders use
@@ -222,8 +226,11 @@ func (n *Network) Peers() []PeerID {
 	return out
 }
 
-// Send implements Transport.
-func (n *Network) Send(from, to PeerID, msg Message) (Message, error) {
+// Send implements Transport. A message in transit when ctx is cancelled is
+// abandoned: the modelled transit/bandwidth sleep is cut short and ctx.Err()
+// returned without invoking the destination handler — the in-memory
+// equivalent of the issuer walking away from the socket.
+func (n *Network) Send(ctx context.Context, from, to PeerID, msg Message) (Message, error) {
 	n.mu.Lock()
 	n.stats.Messages++
 	h, ok := n.handlers[to]
@@ -247,22 +254,49 @@ func (n *Network) Send(from, to PeerID, msg Message) (Message, error) {
 	if failed {
 		return Message{}, fmt.Errorf("%w: %s", ErrUnreachable, to)
 	}
-	transfer := func(payload any) {
+	if err := ctx.Err(); err != nil {
+		return Message{}, err
+	}
+	transfer := func(payload any) error {
 		if perUnit > 0 && sizer != nil {
 			if units := sizer(payload); units > 0 {
-				time.Sleep(time.Duration(units) * perUnit)
+				return sleepCtx(ctx, time.Duration(units)*perUnit)
 			}
 		}
+		return nil
 	}
 	if delay > 0 {
-		time.Sleep(delay)
+		if err := sleepCtx(ctx, delay); err != nil {
+			return Message{}, err
+		}
 	}
-	transfer(msg.Payload)
+	if err := transfer(msg.Payload); err != nil {
+		return Message{}, err
+	}
 	resp, err := h.HandleMessage(from, msg)
 	if err == nil {
-		transfer(resp.Payload)
+		if terr := transfer(resp.Payload); terr != nil {
+			return Message{}, terr
+		}
 	}
 	return resp, err
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first,
+// returning ctx.Err() in the latter case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 var _ Transport = (*Network)(nil)

@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sort"
@@ -17,7 +18,7 @@ func echoHandler(id PeerID) Handler {
 func TestSendAndReceive(t *testing.T) {
 	n := NewNetwork()
 	n.Register("b", echoHandler("b"))
-	resp, err := n.Send("a", "b", Message{Type: "ping", Payload: 42})
+	resp, err := n.Send(context.Background(), "a", "b", Message{Type: "ping", Payload: 42})
 	if err != nil {
 		t.Fatalf("Send: %v", err)
 	}
@@ -31,7 +32,7 @@ func TestSendAndReceive(t *testing.T) {
 
 func TestSendToUnknownPeer(t *testing.T) {
 	n := NewNetwork()
-	_, err := n.Send("a", "ghost", Message{Type: "ping"})
+	_, err := n.Send(context.Background(), "a", "ghost", Message{Type: "ping"})
 	if !errors.Is(err, ErrUnreachable) {
 		t.Errorf("err = %v, want ErrUnreachable", err)
 	}
@@ -47,14 +48,14 @@ func TestFailAndRecover(t *testing.T) {
 	if !n.Failed("b") {
 		t.Error("b should be failed")
 	}
-	if _, err := n.Send("a", "b", Message{Type: "ping"}); !errors.Is(err, ErrUnreachable) {
+	if _, err := n.Send(context.Background(), "a", "b", Message{Type: "ping"}); !errors.Is(err, ErrUnreachable) {
 		t.Errorf("send to failed peer: %v", err)
 	}
 	n.Recover("b")
 	if n.Failed("b") {
 		t.Error("b should have recovered")
 	}
-	if _, err := n.Send("a", "b", Message{Type: "ping"}); err != nil {
+	if _, err := n.Send(context.Background(), "a", "b", Message{Type: "ping"}); err != nil {
 		t.Errorf("send after recover: %v", err)
 	}
 }
@@ -63,7 +64,7 @@ func TestDeregister(t *testing.T) {
 	n := NewNetwork()
 	n.Register("b", echoHandler("b"))
 	n.Deregister("b")
-	if _, err := n.Send("a", "b", Message{}); !errors.Is(err, ErrUnreachable) {
+	if _, err := n.Send(context.Background(), "a", "b", Message{}); !errors.Is(err, ErrUnreachable) {
 		t.Errorf("send after deregister: %v", err)
 	}
 }
@@ -73,11 +74,11 @@ func TestDropNext(t *testing.T) {
 	n.Register("b", echoHandler("b"))
 	n.DropNext(2)
 	for i := 0; i < 2; i++ {
-		if _, err := n.Send("a", "b", Message{}); !errors.Is(err, ErrUnreachable) {
+		if _, err := n.Send(context.Background(), "a", "b", Message{}); !errors.Is(err, ErrUnreachable) {
 			t.Fatalf("message %d should have been dropped", i)
 		}
 	}
-	if _, err := n.Send("a", "b", Message{}); err != nil {
+	if _, err := n.Send(context.Background(), "a", "b", Message{}); err != nil {
 		t.Errorf("third message should pass: %v", err)
 	}
 }
@@ -86,8 +87,8 @@ func TestTracing(t *testing.T) {
 	n := NewNetwork()
 	n.Register("b", echoHandler("b"))
 	n.SetTracing(true)
-	n.Send("a", "b", Message{Type: "t1"})
-	n.Send("a", "ghost", Message{Type: "t2"})
+	n.Send(context.Background(), "a", "b", Message{Type: "t1"})
+	n.Send(context.Background(), "a", "ghost", Message{Type: "t2"})
 	tr := n.Trace()
 	if len(tr) != 2 {
 		t.Fatalf("trace length = %d", len(tr))
@@ -103,7 +104,7 @@ func TestTracing(t *testing.T) {
 		t.Error("ResetTrace did not clear")
 	}
 	n.SetTracing(false)
-	n.Send("a", "b", Message{Type: "t3"})
+	n.Send(context.Background(), "a", "b", Message{Type: "t3"})
 	if len(n.Trace()) != 0 {
 		t.Error("tracing disabled but trace recorded")
 	}
@@ -112,7 +113,7 @@ func TestTracing(t *testing.T) {
 func TestResetStats(t *testing.T) {
 	n := NewNetwork()
 	n.Register("b", echoHandler("b"))
-	n.Send("a", "b", Message{})
+	n.Send(context.Background(), "a", "b", Message{})
 	n.ResetStats()
 	if s := n.Stats(); s.Messages != 0 {
 		t.Errorf("stats after reset = %+v", s)
@@ -140,7 +141,7 @@ func TestHandlerError(t *testing.T) {
 	n.Register("b", HandlerFunc(func(PeerID, Message) (Message, error) {
 		return Message{}, wantErr
 	}))
-	if _, err := n.Send("a", "b", Message{}); !errors.Is(err, wantErr) {
+	if _, err := n.Send(context.Background(), "a", "b", Message{}); !errors.Is(err, wantErr) {
 		t.Errorf("err = %v, want boom", err)
 	}
 }
@@ -229,7 +230,7 @@ func TestSetPayloadDelaySleepsProportionally(t *testing.T) {
 		return 0
 	})
 	start := time.Now()
-	resp, err := n.Send("b", "a", Message{Type: "req", Payload: 10})
+	resp, err := n.Send(context.Background(), "b", "a", Message{Type: "req", Payload: 10})
 	if err != nil {
 		t.Fatalf("Send: %v", err)
 	}
@@ -243,10 +244,56 @@ func TestSetPayloadDelaySleepsProportionally(t *testing.T) {
 	// Disabling restores immediate delivery.
 	n.SetPayloadDelay(0, nil)
 	start = time.Now()
-	if _, err := n.Send("b", "a", Message{Type: "req", Payload: 10}); err != nil {
+	if _, err := n.Send(context.Background(), "b", "a", Message{Type: "req", Payload: 10}); err != nil {
 		t.Fatalf("Send: %v", err)
 	}
 	if elapsed := time.Since(start); elapsed > 20*time.Millisecond {
 		t.Errorf("disabled payload delay still slept %v", elapsed)
+	}
+}
+
+func TestSendDelayHonorsCancellation(t *testing.T) {
+	n := NewNetwork()
+	handled := false
+	n.Register("b", HandlerFunc(func(from PeerID, msg Message) (Message, error) {
+		handled = true
+		return Message{}, nil
+	}))
+	n.SetSendDelay(5 * time.Second)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := n.Send(ctx, "a", "b", Message{Type: "slow"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("cancelled send took %v — the transit sleep was not interrupted", elapsed)
+	}
+	if handled {
+		t.Error("handler ran despite the message being abandoned in transit")
+	}
+}
+
+func TestSendPayloadDelayHonorsCancellation(t *testing.T) {
+	n := NewNetwork()
+	n.Register("b", HandlerFunc(func(from PeerID, msg Message) (Message, error) {
+		return Message{}, nil
+	}))
+	n.SetPayloadDelay(time.Second, func(any) int { return 100 })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := n.Send(ctx, "a", "b", Message{Type: "big"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("cancelled transfer took %v", elapsed)
 	}
 }

@@ -7,11 +7,13 @@
 package tcpnet
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"gridvine/internal/simnet"
 )
@@ -126,8 +128,11 @@ func (t *Transport) AddPeer(id simnet.PeerID, addr string) {
 // Send implements simnet.Transport: it dials the destination, performs one
 // request/response exchange and closes the connection. Connection failures
 // surface as simnet.ErrUnreachable so the overlay's failure handling works
-// identically over TCP.
-func (t *Transport) Send(from, to simnet.PeerID, msg simnet.Message) (simnet.Message, error) {
+// identically over TCP. The dial honours ctx, and cancelling ctx while the
+// exchange is in flight unblocks the socket read immediately (the
+// connection deadline is slammed shut), so a deadline-expired query never
+// waits out a slow peer.
+func (t *Transport) Send(ctx context.Context, from, to simnet.PeerID, msg simnet.Message) (simnet.Message, error) {
 	t.mu.Lock()
 	t.messages++
 	addr, ok := t.addrs[to]
@@ -142,23 +147,42 @@ func (t *Transport) Send(from, to simnet.PeerID, msg simnet.Message) (simnet.Mes
 	if closed {
 		return simnet.Message{}, fmt.Errorf("%w: transport closed", simnet.ErrUnreachable)
 	}
+	if err := ctx.Err(); err != nil {
+		return simnet.Message{}, err
+	}
 
-	conn, err := net.Dial("tcp", addr)
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		t.mu.Lock()
 		t.dropped++
 		t.mu.Unlock()
+		if cerr := ctx.Err(); cerr != nil {
+			return simnet.Message{}, cerr
+		}
 		return simnet.Message{}, fmt.Errorf("%w: %s: %v", simnet.ErrUnreachable, to, err)
 	}
 	defer conn.Close()
+	// Propagate cancellation into the blocking reads/writes: a fired ctx
+	// forces an immediate deadline so the gob decode below unblocks.
+	stop := context.AfterFunc(ctx, func() {
+		conn.SetDeadline(time.Now()) //nolint:errcheck
+	})
+	defer stop()
 
 	enc := gob.NewEncoder(conn)
 	dec := gob.NewDecoder(conn)
 	if err := enc.Encode(request{From: from, Msg: msg}); err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return simnet.Message{}, cerr
+		}
 		return simnet.Message{}, fmt.Errorf("%w: encoding to %s: %v", simnet.ErrUnreachable, to, err)
 	}
 	var resp response
 	if err := dec.Decode(&resp); err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return simnet.Message{}, cerr
+		}
 		return simnet.Message{}, fmt.Errorf("%w: decoding from %s: %v", simnet.ErrUnreachable, to, err)
 	}
 	if resp.Err != "" {

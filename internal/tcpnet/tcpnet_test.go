@@ -1,9 +1,11 @@
 package tcpnet
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
+	"time"
 
 	"gridvine/internal/keyspace"
 	"gridvine/internal/mediation"
@@ -19,7 +21,7 @@ func TestSendReceiveRoundtrip(t *testing.T) {
 	tr.Register("echo", simnet.HandlerFunc(func(from simnet.PeerID, msg simnet.Message) (simnet.Message, error) {
 		return simnet.Message{Type: "re:" + msg.Type, Payload: msg.Payload}, nil
 	}))
-	resp, err := tr.Send("client", "echo", simnet.Message{Type: "ping", Payload: "hello"})
+	resp, err := tr.Send(context.Background(), "client", "echo", simnet.Message{Type: "ping", Payload: "hello"})
 	if err != nil {
 		t.Fatalf("Send: %v", err)
 	}
@@ -31,7 +33,7 @@ func TestSendReceiveRoundtrip(t *testing.T) {
 func TestSendToUnknownPeer(t *testing.T) {
 	tr := NewTransport()
 	defer tr.Close()
-	_, err := tr.Send("a", "ghost", simnet.Message{Type: "x"})
+	_, err := tr.Send(context.Background(), "a", "ghost", simnet.Message{Type: "x"})
 	if !errors.Is(err, simnet.ErrUnreachable) {
 		t.Errorf("err = %v", err)
 	}
@@ -43,7 +45,7 @@ func TestHandlerErrorPropagates(t *testing.T) {
 	tr.Register("failing", simnet.HandlerFunc(func(simnet.PeerID, simnet.Message) (simnet.Message, error) {
 		return simnet.Message{}, errors.New("handler exploded")
 	}))
-	_, err := tr.Send("a", "failing", simnet.Message{Type: "x"})
+	_, err := tr.Send(context.Background(), "a", "failing", simnet.Message{Type: "x"})
 	if err == nil || err.Error() != "handler exploded" {
 		t.Errorf("err = %v", err)
 	}
@@ -55,11 +57,11 @@ func TestFailSimulatesCrash(t *testing.T) {
 	tr.Register("victim", simnet.HandlerFunc(func(simnet.PeerID, simnet.Message) (simnet.Message, error) {
 		return simnet.Message{Type: "ok"}, nil
 	}))
-	if _, err := tr.Send("a", "victim", simnet.Message{Type: "x"}); err != nil {
+	if _, err := tr.Send(context.Background(), "a", "victim", simnet.Message{Type: "x"}); err != nil {
 		t.Fatalf("pre-crash send: %v", err)
 	}
 	tr.Fail("victim")
-	if _, err := tr.Send("a", "victim", simnet.Message{Type: "x"}); !errors.Is(err, simnet.ErrUnreachable) {
+	if _, err := tr.Send(context.Background(), "a", "victim", simnet.Message{Type: "x"}); !errors.Is(err, simnet.ErrUnreachable) {
 		t.Errorf("post-crash err = %v", err)
 	}
 }
@@ -70,8 +72,8 @@ func TestStats(t *testing.T) {
 	tr.Register("p", simnet.HandlerFunc(func(simnet.PeerID, simnet.Message) (simnet.Message, error) {
 		return simnet.Message{}, nil
 	}))
-	tr.Send("a", "p", simnet.Message{})
-	tr.Send("a", "ghost", simnet.Message{})
+	tr.Send(context.Background(), "a", "p", simnet.Message{})
+	tr.Send(context.Background(), "a", "ghost", simnet.Message{})
 	msgs, dropped := tr.Stats()
 	if msgs != 2 || dropped != 1 {
 		t.Errorf("stats = %d/%d", msgs, dropped)
@@ -84,7 +86,7 @@ func TestSendAfterClose(t *testing.T) {
 		return simnet.Message{}, nil
 	}))
 	tr.Close()
-	if _, err := tr.Send("a", "p", simnet.Message{}); !errors.Is(err, simnet.ErrUnreachable) {
+	if _, err := tr.Send(context.Background(), "a", "p", simnet.Message{}); !errors.Is(err, simnet.ErrUnreachable) {
 		t.Errorf("err = %v", err)
 	}
 }
@@ -99,7 +101,7 @@ func TestAddPeerExternalAddress(t *testing.T) {
 	client := NewTransport()
 	defer client.Close()
 	client.AddPeer("remote", host.Addr("remote"))
-	resp, err := client.Send("local", "remote", simnet.Message{Type: "x"})
+	resp, err := client.Send(context.Background(), "local", "remote", simnet.Message{Type: "x"})
 	if err != nil {
 		t.Fatalf("cross-transport send: %v", err)
 	}
@@ -122,11 +124,11 @@ func TestOverlayOverTCP(t *testing.T) {
 		t.Fatalf("Build over TCP: %v", err)
 	}
 	key := keyspace.HashDefault("tcp-item")
-	if _, err := ov.Nodes()[0].Update(key, "tcp-value"); err != nil {
+	if _, err := ov.Nodes()[0].Update(context.Background(), key, "tcp-value"); err != nil {
 		t.Fatalf("Update: %v", err)
 	}
 	for _, issuer := range ov.Nodes()[:4] {
-		values, route, err := issuer.Retrieve(key)
+		values, route, err := issuer.Retrieve(context.Background(), key)
 		if err != nil {
 			t.Fatalf("Retrieve from %s: %v", issuer.ID(), err)
 		}
@@ -191,5 +193,40 @@ func TestMediationOverTCP(t *testing.T) {
 	}
 	if report.Schemas != 2 || report.CI != 0 {
 		t.Errorf("report = %+v", report)
+	}
+}
+
+func TestSendHonorsContextCancellation(t *testing.T) {
+	tr := NewTransport()
+	defer tr.Close()
+	release := make(chan struct{})
+	tr.Register("slow", simnet.HandlerFunc(func(from simnet.PeerID, msg simnet.Message) (simnet.Message, error) {
+		<-release
+		return simnet.Message{Type: "late"}, nil
+	}))
+	defer close(release)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := tr.Send(ctx, "a", "slow", simnet.Message{Type: "x"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("deadline-bound send took %v — the read did not unblock", elapsed)
+	}
+}
+
+func TestSendPreCancelled(t *testing.T) {
+	tr := NewTransport()
+	defer tr.Close()
+	tr.Register("p", simnet.HandlerFunc(func(from simnet.PeerID, msg simnet.Message) (simnet.Message, error) {
+		return simnet.Message{}, nil
+	}))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tr.Send(ctx, "a", "p", simnet.Message{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
 	}
 }

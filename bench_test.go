@@ -197,6 +197,31 @@ func BenchmarkStreaming(b *testing.B) {
 	}
 }
 
+// BenchmarkBulkLoad reproduces EXP-N: batched key-grouped ingest
+// (Peer.Write) against the per-triple Update(t) loop, on routed messages
+// and WAN-modeled wall-clock. Paper-scale figures live in
+// BENCH_bulkload.json.
+func BenchmarkBulkLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunBulkLoad(experiments.BulkLoadConfig{
+			Seed:        11,
+			Peers:       48,
+			Schemas:     12,
+			Entities:    60,
+			WallTriples: 200,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.BatchedMatchesSerial {
+			b.Fatal("batched ingest diverged from the per-triple loop")
+		}
+		b.ReportMetric(r.MessageReduction, "msg-reduction")
+		b.ReportMetric(float64(r.Groups), "groups")
+		b.ReportMetric(r.WallSpeedup, "wan-wall-speedup")
+	}
+}
+
 // --- Micro-benchmarks of the public API ---------------------------------
 
 func benchNetwork(b *testing.B, peers int) *Network {

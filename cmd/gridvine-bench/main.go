@@ -14,6 +14,7 @@
 //	gridvine-bench -exp K -json BENCH_conjunctive.json
 //	gridvine-bench -exp L -json BENCH_semijoin.json
 //	gridvine-bench -exp M -json BENCH_streaming.json
+//	gridvine-bench -exp N -json BENCH_bulkload.json
 //	gridvine-bench -exp L -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // With -json <path>, machine-readable per-experiment results (wall time
@@ -41,7 +42,7 @@ import (
 type printer interface{ Table() string }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: A,B,C,D,E,G,H,I,J,K,L,M or all")
+	exp := flag.String("exp", "all", "experiment to run: A,B,C,D,E,G,H,I,J,K,L,M,N or all")
 	quick := flag.Bool("quick", false, "run with scaled-down parameters")
 	seed := flag.Int64("seed", 1, "random seed")
 	parallel := flag.Int("parallel", 1, "reformulation fan-out width for query-heavy experiments (D); 1 keeps message counts exactly reproducible")
@@ -67,9 +68,9 @@ func main() {
 	runners := map[string]func(bool, int64) (any, error){
 		"A": runA, "B": runB, "C": runC,
 		"D": func(quick bool, seed int64) (any, error) { return runD(quick, seed, *parallel) },
-		"E": runE, "G": runG, "H": runH, "I": runI, "J": runJ, "K": runK, "L": runL, "M": runM,
+		"E": runE, "G": runG, "H": runH, "I": runI, "J": runJ, "K": runK, "L": runL, "M": runM, "N": runN,
 	}
-	order := []string{"A", "B", "C", "D", "E", "G", "H", "I", "J", "K", "L", "M"}
+	order := []string{"A", "B", "C", "D", "E", "G", "H", "I", "J", "K", "L", "M", "N"}
 
 	var selected []string
 	if strings.EqualFold(*exp, "all") {
@@ -265,4 +266,13 @@ func runM(quick bool, seed int64) (any, error) {
 		cfg.Peers, cfg.ChainSchemas, cfg.EntitiesPerSchema, cfg.HotEntities, cfg.Queries = 24, 5, 12, 80, 1
 	}
 	return experiments.RunStreaming(cfg)
+}
+
+func runN(quick bool, seed int64) (any, error) {
+	header("N", "batched write path: key-grouped bulk ingest vs the per-triple Update(t) loop")
+	cfg := experiments.BulkLoadConfig{Seed: seed}
+	if quick {
+		cfg.Peers, cfg.Schemas, cfg.Entities, cfg.WallTriples = 48, 12, 60, 200
+	}
+	return experiments.RunBulkLoad(cfg)
 }

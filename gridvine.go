@@ -77,6 +77,18 @@ type (
 	// QueryStats reports a streamed query's execution: rows, messages,
 	// time-to-first-row, and the conjunctive planner statistics.
 	QueryStats = mediation.QueryStats
+	// Batch collects mutations — triple inserts/deletes, schema and mapping
+	// publishes — for one Peer.Write: the bulk-ingest counterpart of the
+	// streaming Request.
+	Batch = mediation.Batch
+	// Receipt reports how a Write resolved: per-entry applied/failed/skipped
+	// states, the routed group count, and the overlay message cost.
+	Receipt = mediation.Receipt
+	// EntryStatus is one batch entry's outcome within a Receipt.
+	EntryStatus = mediation.EntryStatus
+	// EntryState is the terminal state of one batch entry (EntryApplied,
+	// EntryFailed, EntrySkipped).
+	EntryState = mediation.EntryState
 	// ConnectivityReport is the domain registry's connectivity answer.
 	ConnectivityReport = mediation.ConnectivityReport
 	// RoundReport summarizes one self-organization round.
@@ -103,6 +115,18 @@ const (
 	Iterative = mediation.Iterative
 	// Recursive reformulation: destinations reformulate and forward.
 	Recursive = mediation.Recursive
+)
+
+// Receipt entry states.
+const (
+	// EntryApplied marks a batch entry all of whose key-writes reached
+	// their responsible peers.
+	EntryApplied = mediation.EntryApplied
+	// EntryFailed marks an entry that could not be routed or delivered.
+	EntryFailed = mediation.EntryFailed
+	// EntrySkipped marks an entry never (fully) attempted before the write
+	// was cancelled.
+	EntrySkipped = mediation.EntrySkipped
 )
 
 // DefaultParallelism reports the reformulation fan-out width used when
@@ -188,6 +212,11 @@ func (o Options) withDefaults() Options {
 // cancellation, deadlines and Limit; the blocking methods (SearchFor,
 // SearchWithReformulation, SearchConjunctive*, QueryRDQL*) are deprecated
 // wrappers over it that preserve their historical aggregate results.
+// Its primary mutation entry point is Write(ctx, Batch), which plans a
+// mixed batch by responsible key and ships one grouped message per
+// destination; the per-entry methods (InsertTriple, DeleteTriple,
+// InsertSchema, InsertMapping, ReplaceMapping) are deprecated one-entry
+// wrappers over it.
 type Peer struct {
 	*mediation.Peer
 }

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"testing"
 	"time"
+
+	"gridvine/internal/tcpnet"
 )
 
 func TestNewNetworkDefaults(t *testing.T) {
@@ -72,6 +74,66 @@ func TestFacadeTCP(t *testing.T) {
 	if len(rs.Results) != 1 {
 		t.Errorf("results = %d", len(rs.Results))
 	}
+}
+
+// TestFacadeBatchWrite exercises the public bulk-ingest surface — a mixed
+// Batch written over TCP, so the new batch messages' gob wire forms are
+// pinned end to end.
+func TestFacadeBatchWrite(t *testing.T) {
+	net, err := NewNetwork(Options{Peers: 6, Seed: 9, TCP: true})
+	if err != nil {
+		t.Fatalf("NewNetwork TCP: %v", err)
+	}
+	defer net.Close()
+
+	b := &Batch{}
+	for i := 0; i < 20; i++ {
+		b.InsertTriple(Triple{
+			Subject:   fmt.Sprintf("acc:B%03d", i),
+			Predicate: "EMBL#Organism",
+			Object:    fmt.Sprintf("Species %d", i%4),
+		})
+	}
+	b.PublishSchema(NewSchema("EMBL", "bio", "Organism"))
+	b.PublishMapping(NewManualMapping("EMBL", "EMP", map[string]string{"Organism": "SystematicName"}))
+
+	rec, err := net.Peer(0).Write(context.Background(), b)
+	if err != nil {
+		t.Fatalf("Write over TCP: %v", err)
+	}
+	if rec.Applied != b.Len() {
+		t.Fatalf("applied %d of %d entries: %v", rec.Applied, b.Len(), rec.FirstErr())
+	}
+	if rec.Groups == 0 || rec.Messages() == 0 {
+		t.Errorf("receipt accounting empty: %+v", rec)
+	}
+	if sent, recv := mustTCP(t, net).Bytes(); sent == 0 || recv == 0 {
+		t.Errorf("tcp byte accounting empty: sent=%d recv=%d", sent, recv)
+	}
+
+	rs, err := net.Peer(3).SearchFor(Pattern{S: Var("x"), P: Const("EMBL#Organism"), O: Const("Species 1")})
+	if err != nil {
+		t.Fatalf("SearchFor: %v", err)
+	}
+	if len(rs.Results) != 5 {
+		t.Errorf("results = %d, want 5", len(rs.Results))
+	}
+	if _, err := net.Peer(2).LookupSchema("EMBL"); err != nil {
+		t.Errorf("LookupSchema after batched publish: %v", err)
+	}
+	ms, _, err := net.Peer(4).MappingsFrom("EMBL")
+	if err != nil || len(ms) != 1 {
+		t.Errorf("MappingsFrom after batched publish: %v (%d mappings)", err, len(ms))
+	}
+}
+
+// mustTCP digs the TCP transport out of a TCP-backed network.
+func mustTCP(t *testing.T, n *Network) *tcpnet.Transport {
+	t.Helper()
+	if n.tcp == nil {
+		t.Fatal("network is not TCP-backed")
+	}
+	return n.tcp
 }
 
 func TestFacadeSelfOrganizingOverlay(t *testing.T) {

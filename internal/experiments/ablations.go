@@ -88,17 +88,15 @@ func RunIndexing(cfg IndexingConfig) (IndexingResult, error) {
 		for _, n := range ov.Nodes() {
 			peers = append(peers, mediation.NewPeer(n))
 		}
-		for _, t := range w.Triples() {
-			if subjectOnly {
+		if subjectOnly {
+			for _, t := range w.Triples() {
 				key := keyspace.HashDefault(t.Subject)
 				if _, err := peers[rng.Intn(len(peers))].Node().Update(context.Background(), key, t); err != nil {
 					return world{}, err
 				}
-			} else {
-				if _, err := peers[rng.Intn(len(peers))].InsertTriple(t); err != nil {
-					return world{}, err
-				}
 			}
+		} else if err := bulkInsert(peers[rng.Intn(len(peers))], w.Triples()); err != nil {
+			return world{}, err
 		}
 		return world{peers: peers}, nil
 	}

@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"time"
+
+	"gridvine/internal/bioworkload"
+	"gridvine/internal/mediation"
+	"gridvine/internal/metrics"
+	"gridvine/internal/pgrid"
+	"gridvine/internal/simnet"
+	"gridvine/internal/triple"
+)
+
+// BulkLoadConfig parameterizes EXP-N, the batched write-path evaluation.
+// Two measurements run back to back:
+//
+//  1. Message / payload accounting at full scale: the same bioinformatic
+//     workload is ingested twice into identically-seeded networks — once
+//     through the historical per-triple loop (three routed overlay updates
+//     per triple, §2.2's Update(t)), once through one Peer.Write batch —
+//     and compared on routed messages, payload volume, and final store
+//     state. The in-memory transport runs undelayed, so the full paper
+//     scale completes in seconds.
+//  2. Wall-clock under a WAN transit/bandwidth model on a sub-load of
+//     WallTriples: per-message delays make every serial round-trip pay
+//     transit, so the sub-load must stay small enough for the per-triple
+//     baseline to finish.
+type BulkLoadConfig struct {
+	Peers    int // default 340 (the paper's deployment scale)
+	Schemas  int // default 50
+	Entities int // default 430 (≈17k triples with coverage 4–6)
+	// Parallelism is the batch write pool width. Default
+	// mediation.DefaultParallelism.
+	Parallelism int
+	// WallTriples is the sub-load size of the WAN wall-clock measurement
+	// (default 800; negative skips the measurement).
+	WallTriples int
+	// TransitDelay is the per-message delay of the wall-clock measurement
+	// (default 1ms; negative disables). PerTripleDelay models bandwidth per
+	// shipped triple-valued datum (default 50µs; negative disables).
+	TransitDelay   time.Duration
+	PerTripleDelay time.Duration
+	Seed           int64
+}
+
+func (c BulkLoadConfig) withDefaults() BulkLoadConfig {
+	if c.Peers == 0 {
+		c.Peers = 340
+	}
+	if c.Schemas == 0 {
+		c.Schemas = 50
+	}
+	if c.Entities == 0 {
+		c.Entities = 430
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = mediation.DefaultParallelism
+	}
+	if c.WallTriples == 0 {
+		c.WallTriples = 800
+	}
+	if c.TransitDelay == 0 {
+		c.TransitDelay = time.Millisecond
+	}
+	if c.PerTripleDelay == 0 {
+		c.PerTripleDelay = 50 * time.Microsecond
+	}
+	return c
+}
+
+// BulkLoadResult reports EXP-N.
+type BulkLoadResult struct {
+	Triples   int `json:"triples"`
+	KeyWrites int `json:"key_writes"`
+
+	SerialMessages   int     `json:"serial_messages"`
+	BatchedMessages  int     `json:"batched_messages"`
+	MessageReduction float64 `json:"message_reduction"`
+	Groups           int     `json:"groups"`
+
+	SerialPayloadUnits  int `json:"serial_payload_units"`
+	BatchedPayloadUnits int `json:"batched_payload_units"`
+
+	// WAN-modeled wall-clock over the WallTriples sub-load.
+	WallTriples   int     `json:"wall_triples"`
+	SerialWallMs  float64 `json:"serial_wall_ms"`
+	BatchedWallMs float64 `json:"batched_wall_ms"`
+	WallSpeedup   float64 `json:"wall_speedup"`
+
+	BatchedMatchesSerial bool `json:"batched_matches_serial"`
+}
+
+// bulkWorld is one freshly built network plus its peers.
+type bulkWorld struct {
+	net   *simnet.Network
+	peers []*mediation.Peer
+}
+
+// RunBulkLoad executes the comparison. All networks are built with the
+// same seed (identical trie, placement and replica sets) and loaded from
+// the same fixed issuer, so the only variable is the write path.
+func RunBulkLoad(cfg BulkLoadConfig) (BulkLoadResult, error) {
+	cfg = cfg.withDefaults()
+
+	w := bioworkload.Generate(bioworkload.Config{
+		Schemas:     cfg.Schemas,
+		Entities:    cfg.Entities,
+		MinCoverage: 4,
+		MaxCoverage: 6,
+		Seed:        cfg.Seed + 1,
+	})
+	triples := w.Triples()
+
+	build := func() (bulkWorld, error) {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		net := simnet.NewNetwork()
+		ov, err := pgrid.Build(net, pgrid.BuildOptions{
+			Peers:         cfg.Peers,
+			ReplicaFactor: 2,
+			SampleKeys:    workloadKeySample(w, 4000, rng),
+			Rng:           rng,
+		})
+		if err != nil {
+			return bulkWorld{}, err
+		}
+		peers := make([]*mediation.Peer, 0, cfg.Peers)
+		for _, n := range ov.Nodes() {
+			peers = append(peers, mediation.NewPeer(n))
+		}
+		// Sleeps stay off here; PayloadUnits accounting is free.
+		net.SetPayloadDelay(0, mediation.PayloadTriples)
+		return bulkWorld{net: net, peers: peers}, nil
+	}
+	loadSerial := func(wd bulkWorld, ts []triple.Triple) error {
+		for _, t := range ts {
+			if _, err := wd.peers[0].InsertTriple(t); err != nil {
+				return fmt.Errorf("serial insert: %w", err)
+			}
+		}
+		return nil
+	}
+	loadBatched := func(wd bulkWorld, ts []triple.Triple) (*mediation.Receipt, error) {
+		b := &mediation.Batch{Parallelism: cfg.Parallelism}
+		for _, t := range ts {
+			b.InsertTriple(t)
+		}
+		rec, err := wd.peers[0].Write(context.Background(), b)
+		if err != nil {
+			return rec, fmt.Errorf("batched write: %w", err)
+		}
+		if rec.Applied != len(ts) {
+			return rec, fmt.Errorf("batched write applied %d of %d entries: %v", rec.Applied, len(ts), rec.FirstErr())
+		}
+		return rec, nil
+	}
+
+	out := BulkLoadResult{Triples: len(triples), KeyWrites: 3 * len(triples)}
+
+	// 1. Message / payload accounting and state equivalence at full scale.
+	serial, err := build()
+	if err != nil {
+		return out, err
+	}
+	if err := loadSerial(serial, triples); err != nil {
+		return out, err
+	}
+	out.SerialMessages = serial.net.Stats().Messages
+	out.SerialPayloadUnits = serial.net.Stats().PayloadUnits
+
+	batched, err := build()
+	if err != nil {
+		return out, err
+	}
+	rec, err := loadBatched(batched, triples)
+	if err != nil {
+		return out, err
+	}
+	out.BatchedMessages = batched.net.Stats().Messages
+	out.BatchedPayloadUnits = batched.net.Stats().PayloadUnits
+	out.Groups = rec.Groups
+	if out.BatchedMessages > 0 {
+		out.MessageReduction = float64(out.SerialMessages) / float64(out.BatchedMessages)
+	}
+	out.BatchedMatchesSerial = true
+	for i := range serial.peers {
+		if !reflect.DeepEqual(serial.peers[i].DB().AllSorted(), batched.peers[i].DB().AllSorted()) {
+			out.BatchedMatchesSerial = false
+			break
+		}
+	}
+
+	// 2. Wall-clock under the WAN model, on a sub-load small enough for the
+	// per-triple baseline to pay every round-trip.
+	if cfg.WallTriples > 0 {
+		sub := triples
+		if cfg.WallTriples < len(sub) {
+			sub = sub[:cfg.WallTriples]
+		}
+		out.WallTriples = len(sub)
+		wanify := func(wd bulkWorld) {
+			if cfg.TransitDelay > 0 {
+				wd.net.SetSendDelay(cfg.TransitDelay)
+			}
+			wd.net.SetPayloadDelay(max(cfg.PerTripleDelay, 0), mediation.PayloadTriples)
+		}
+
+		serialWAN, err := build()
+		if err != nil {
+			return out, err
+		}
+		wanify(serialWAN)
+		start := time.Now()
+		if err := loadSerial(serialWAN, sub); err != nil {
+			return out, err
+		}
+		out.SerialWallMs = float64(time.Since(start).Microseconds()) / 1000
+
+		batchedWAN, err := build()
+		if err != nil {
+			return out, err
+		}
+		wanify(batchedWAN)
+		start = time.Now()
+		if _, err := loadBatched(batchedWAN, sub); err != nil {
+			return out, err
+		}
+		out.BatchedWallMs = float64(time.Since(start).Microseconds()) / 1000
+		if out.BatchedWallMs > 0 {
+			out.WallSpeedup = out.SerialWallMs / out.BatchedWallMs
+		}
+	}
+	return out, nil
+}
+
+// Table renders the comparison.
+func (r BulkLoadResult) Table() string {
+	t := metrics.NewTable("measurement", "per-triple", "batched", "gain")
+	t.AddRow("routed messages", fmt.Sprint(r.SerialMessages), fmt.Sprint(r.BatchedMessages),
+		fmt.Sprintf("%.1fx", r.MessageReduction))
+	t.AddRow("payload units", fmt.Sprint(r.SerialPayloadUnits), fmt.Sprint(r.BatchedPayloadUnits), "")
+	t.AddRow(fmt.Sprintf("WAN wall %d triples (ms)", r.WallTriples),
+		fmt.Sprintf("%.1f", r.SerialWallMs), fmt.Sprintf("%.1f", r.BatchedWallMs),
+		fmt.Sprintf("%.1fx", r.WallSpeedup))
+	return t.String() +
+		fmt.Sprintf("%d triples (%d key-writes) collapsed to %d shipped groups; batched matches serial: %v\n",
+			r.Triples, r.KeyWrites, r.Groups, r.BatchedMatchesSerial)
+}

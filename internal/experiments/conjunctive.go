@@ -102,11 +102,9 @@ func RunConjunctive(cfg ConjunctiveConfig) (ConjunctiveResult, error) {
 		peers = append(peers, mediation.NewPeer(n))
 	}
 
-	triples := 0
-	insert := func(s, p, o string) error {
-		triples++
-		_, err := peers[rng.Intn(len(peers))].InsertTriple(triple.Triple{Subject: s, Predicate: p, Object: o})
-		return err
+	var dataset []triple.Triple
+	insert := func(s, p, o string) {
+		dataset = append(dataset, triple.Triple{Subject: s, Predicate: p, Object: o})
 	}
 	for e := 0; e < cfg.HotEntities; e++ {
 		s := fmt.Sprintf("acc:%06d", e)
@@ -114,16 +112,14 @@ func RunConjunctive(cfg ConjunctiveConfig) (ConjunctiveResult, error) {
 		if e < cfg.RareMatches {
 			org = "species-rare"
 		}
-		if err := insert(s, "A#org", org); err != nil {
-			return ConjunctiveResult{}, err
-		}
-		if err := insert(s, "A#len", fmt.Sprint(100+e)); err != nil {
-			return ConjunctiveResult{}, err
-		}
-		if err := insert(s, "A#ref", fmt.Sprintf("ref-%d", e%97)); err != nil {
-			return ConjunctiveResult{}, err
-		}
+		insert(s, "A#org", org)
+		insert(s, "A#len", fmt.Sprint(100+e))
+		insert(s, "A#ref", fmt.Sprintf("ref-%d", e%97))
 	}
+	if err := bulkInsert(peers[rng.Intn(len(peers))], dataset); err != nil {
+		return ConjunctiveResult{}, err
+	}
+	triples := len(dataset)
 
 	// Delays only once the data is loaded: setup is not the measurement.
 	if cfg.TransitDelay > 0 {

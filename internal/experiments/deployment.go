@@ -122,10 +122,8 @@ func RunDeployment(cfg DeploymentConfig) (DeploymentResult, error) {
 	for _, n := range ov.Nodes() {
 		peers = append(peers, mediation.NewPeer(n))
 	}
-	for _, t := range w.Triples() {
-		if _, err := peers[rng.Intn(len(peers))].InsertTriple(t); err != nil {
-			return DeploymentResult{}, fmt.Errorf("inserting workload: %w", err)
-		}
+	if err := bulkInsert(peers[rng.Intn(len(peers))], w.Triples()); err != nil {
+		return DeploymentResult{}, fmt.Errorf("inserting workload: %w", err)
 	}
 
 	queries := w.Queries(cfg.Queries, rng)

@@ -401,3 +401,44 @@ func TestRunStreamingFirstRowBeatsFullWall(t *testing.T) {
 		t.Error("table missing first-row measurement")
 	}
 }
+
+func TestRunBulkLoadBeatsPerTriple(t *testing.T) {
+	// Small workload: pins the ≥3x routed-message reduction of key-grouped
+	// batched ingest over the per-triple loop, honest payload accounting
+	// (batched ships every datum at least once but never re-sends values
+	// across routing hops, so its volume is positive and at most the
+	// per-triple loop's), and byte-identical final stores. The WAN
+	// wall-clock sub-measurement is skipped to keep the suite fast; the
+	// paper-scale figures live in BENCH_bulkload.json.
+	r, err := RunBulkLoad(BulkLoadConfig{
+		Peers:       48,
+		Schemas:     12,
+		Entities:    60,
+		WallTriples: -1,
+		Seed:        15,
+	})
+	if err != nil {
+		t.Fatalf("RunBulkLoad: %v", err)
+	}
+	if !r.BatchedMatchesSerial {
+		t.Fatal("batched ingest diverged from the per-triple loop")
+	}
+	if r.BatchedMessages >= r.SerialMessages {
+		t.Errorf("batched messages %d not below serial %d", r.BatchedMessages, r.SerialMessages)
+	}
+	if r.MessageReduction < 3 {
+		t.Errorf("message reduction = %.1fx, want ≥3x", r.MessageReduction)
+	}
+	if r.BatchedPayloadUnits <= 0 || r.BatchedPayloadUnits > r.SerialPayloadUnits {
+		t.Errorf("payload units implausible: batched %d vs serial %d", r.BatchedPayloadUnits, r.SerialPayloadUnits)
+	}
+	if r.BatchedPayloadUnits < 3*r.Triples {
+		t.Errorf("batched payload %d below one unit per key-write (%d) — data went uncharged", r.BatchedPayloadUnits, 3*r.Triples)
+	}
+	if r.Groups == 0 || r.Groups >= r.KeyWrites {
+		t.Errorf("groups = %d over %d key-writes — no grouping happened", r.Groups, r.KeyWrites)
+	}
+	if !strings.Contains(r.Table(), "routed messages") {
+		t.Error("table missing message row")
+	}
+}

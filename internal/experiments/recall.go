@@ -103,10 +103,8 @@ func RunRecall(cfg RecallConfig) (RecallResult, error) {
 	for _, n := range ov.Nodes() {
 		peers = append(peers, mediation.NewPeer(n))
 	}
-	for _, t := range w.Triples() {
-		if _, err := peers[rng.Intn(len(peers))].InsertTriple(t); err != nil {
-			return RecallResult{}, err
-		}
+	if err := bulkInsert(peers[rng.Intn(len(peers))], w.Triples()); err != nil {
+		return RecallResult{}, err
 	}
 
 	org, err := selforg.New(peers[0], selforg.Config{

@@ -1,11 +1,33 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 
 	"gridvine/internal/bioworkload"
 	"gridvine/internal/keyspace"
+	"gridvine/internal/mediation"
+	"gridvine/internal/triple"
 )
+
+// bulkInsert loads a triple set through the batched write path — the way
+// every experiment now assimilates its dataset (one Write, key-grouped
+// shipping) instead of a per-triple loop over three routed updates each.
+func bulkInsert(issuer *mediation.Peer, ts []triple.Triple) error {
+	b := &mediation.Batch{}
+	for _, t := range ts {
+		b.InsertTriple(t)
+	}
+	rec, err := issuer.Write(context.Background(), b)
+	if err != nil {
+		return err
+	}
+	if rec.Applied != len(ts) {
+		return fmt.Errorf("bulk load applied %d of %d triples: %w", rec.Applied, len(ts), rec.FirstErr())
+	}
+	return nil
+}
 
 // workloadKeySample returns the overlay keys of (a capped sample of) the
 // workload's triples — one key per component, exactly the keys the

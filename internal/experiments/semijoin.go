@@ -114,11 +114,9 @@ func RunSemiJoin(cfg SemiJoinConfig) (SemiJoinResult, error) {
 		peers = append(peers, mediation.NewPeer(n))
 	}
 
-	triples := 0
-	insert := func(s, p, o string) error {
-		triples++
-		_, err := peers[rng.Intn(len(peers))].InsertTriple(triple.Triple{Subject: s, Predicate: p, Object: o})
-		return err
+	var dataset []triple.Triple
+	insert := func(s, p, o string) {
+		dataset = append(dataset, triple.Triple{Subject: s, Predicate: p, Object: o})
 	}
 	for e := 0; e < cfg.HotEntities; e++ {
 		s := fmt.Sprintf("acc:%06d", e)
@@ -126,13 +124,13 @@ func RunSemiJoin(cfg SemiJoinConfig) (SemiJoinResult, error) {
 		if e < cfg.BoundFanout {
 			grp = "grp-hot"
 		}
-		if err := insert(s, "A#grp", grp); err != nil {
-			return SemiJoinResult{}, err
-		}
-		if err := insert(s, "A#len", fmt.Sprint(100+e)); err != nil {
-			return SemiJoinResult{}, err
-		}
+		insert(s, "A#grp", grp)
+		insert(s, "A#len", fmt.Sprint(100+e))
 	}
+	if err := bulkInsert(peers[rng.Intn(len(peers))], dataset); err != nil {
+		return SemiJoinResult{}, err
+	}
+	triples := len(dataset)
 
 	// Publish every peer's cardinality digest so planning runs cost-based.
 	for _, p := range peers {

@@ -117,40 +117,41 @@ func RunStreaming(cfg StreamingConfig) (StreamingResult, error) {
 		peers = append(peers, mediation.NewPeer(n))
 	}
 
-	triples := 0
-	insert := func(s, p, o string) error {
-		triples++
-		_, err := peers[rng.Intn(len(peers))].InsertTriple(triple.Triple{Subject: s, Predicate: p, Object: o})
-		return err
+	var dataset []triple.Triple
+	insert := func(s, p, o string) {
+		dataset = append(dataset, triple.Triple{Subject: s, Predicate: p, Object: o})
 	}
 
 	// Mapping chain S0→S1→…→S(n-1), each schema with its own extension.
+	// Mappings ride the same bulk batch as the triples.
 	issuerPeer := peers[rng.Intn(len(peers))]
+	batch := &mediation.Batch{}
 	for i := 0; i < cfg.ChainSchemas; i++ {
 		name := fmt.Sprintf("S%d", i)
 		for e := 0; e < cfg.EntitiesPerSchema; e++ {
-			if err := insert(fmt.Sprintf("seq:%s-%04d", name, e), name+"#org", fmt.Sprintf("organism-%d", e%7)); err != nil {
-				return StreamingResult{}, err
-			}
+			insert(fmt.Sprintf("seq:%s-%04d", name, e), name+"#org", fmt.Sprintf("organism-%d", e%7))
 		}
 		if i+1 < cfg.ChainSchemas {
 			m := schema.NewMapping(name, fmt.Sprintf("S%d", i+1), schema.Equivalence, schema.Manual,
 				[]schema.Correspondence{{SourceAttr: "org", TargetAttr: "org", Confidence: 1}})
 			m.Bidirectional = true
-			if _, err := issuerPeer.InsertMapping(m); err != nil {
-				return StreamingResult{}, err
-			}
+			batch.PublishMapping(m)
 		}
 	}
 	// Top-k join workload: HotEntities bound values, one length triple each.
 	for e := 0; e < cfg.HotEntities; e++ {
 		s := fmt.Sprintf("acc:%06d", e)
-		if err := insert(s, "A#grp", "grp-hot"); err != nil {
-			return StreamingResult{}, err
-		}
-		if err := insert(s, "A#len", fmt.Sprint(100+e)); err != nil {
-			return StreamingResult{}, err
-		}
+		insert(s, "A#grp", "grp-hot")
+		insert(s, "A#len", fmt.Sprint(100+e))
+	}
+	for _, t := range dataset {
+		batch.InsertTriple(t)
+	}
+	triples := len(dataset)
+	if rec, err := issuerPeer.Write(context.Background(), batch); err != nil {
+		return StreamingResult{}, err
+	} else if rec.Applied != batch.Len() {
+		return StreamingResult{}, fmt.Errorf("bulk load applied %d of %d entries: %w", rec.Applied, batch.Len(), rec.FirstErr())
 	}
 
 	// Delays only once the data is loaded: setup is not the measurement.

@@ -911,9 +911,14 @@ func (p *Peer) resolvePattern(ctx context.Context, q triple.Pattern, filters []V
 func PayloadTriples(payload any) int {
 	switch v := payload.(type) {
 	case pgrid.ExecRequest:
-		return PayloadTriples(v.Payload)
+		// A mutation's value rides every routing hop of the request; charge
+		// it like one shipped result triple so per-op ingest pays for the
+		// copies batching avoids.
+		return PayloadTriples(v.Payload) + tripleValued(v.Value)
 	case pgrid.ExecResponse:
 		return PayloadTriples(v.AppResult)
+	case pgrid.ReplicateRequest:
+		return tripleValued(v.Value)
 	case []triple.Triple:
 		return len(v)
 	case ReformulatedResponse:
@@ -923,8 +928,37 @@ func PayloadTriples(payload any) int {
 		return filterTripleEquivalents(v.Filters)
 	case ReformulatedQuery:
 		return filterTripleEquivalents(v.Filters)
+	case pgrid.BatchEntry:
+		// The head entry of a batched write, riding its routing probe.
+		return tripleValued(v.Value)
+	case pgrid.BatchUpdate:
+		// Batched writes carry their values in bulk: charge each
+		// triple-valued entry like one shipped result triple, so batched
+		// and per-op ingest pay the same per-datum bandwidth.
+		return batchEntryTriples(v.Entries)
+	case pgrid.BatchReplicate:
+		return batchEntryTriples(v.Entries)
 	}
 	return 0
+}
+
+// tripleValued reports 1 when a stored value is a triple, 0 otherwise.
+func tripleValued(v any) int {
+	if _, ok := v.(triple.Triple); ok {
+		return 1
+	}
+	return 0
+}
+
+// batchEntryTriples counts the triple-valued entries of a batch payload.
+func batchEntryTriples(entries []pgrid.BatchEntry) int {
+	n := 0
+	for _, e := range entries {
+		if _, ok := e.Value.(triple.Triple); ok {
+			n++
+		}
+	}
+	return n
 }
 
 // bindResults flattens a result list into a BindingSet under the original

@@ -78,6 +78,7 @@ func (d DomainDegree) Replaces(old any) bool {
 func NewPeer(node *pgrid.Node) *Peer {
 	p := &Peer{node: node, db: triple.NewDB(), depth: keyspace.DefaultDepth}
 	node.SetStoreHook(p.onStoreChange)
+	node.SetBatchStoreHook(p.onStoreBatch)
 	node.SetQueryHandler(p.handleQuery)
 	return p
 }
@@ -135,38 +136,76 @@ func (p *Peer) tripleKeys(t triple.Triple) []keyspace.Key {
 	}
 }
 
-// InsertTriple shares a triple at the mediation layer: one Update at the
-// overlay per component key (paper §2.2: Update(t) ≡ three Update()
-// operations on Hash(subject), Hash(predicate), Hash(object)).
+// writeOne submits a one-entry batch serially and reproduces the historical
+// per-entry contract of the deprecated write methods: the aggregate route,
+// plus the entry's own error (or the batch's terminal error) when it did
+// not apply.
+func (p *Peer) writeOne(ctx context.Context, b *Batch) (pgrid.Route, error) {
+	rec, err := p.Write(ctx, b)
+	if rec == nil {
+		return pgrid.Route{}, err
+	}
+	if err == nil {
+		err = rec.FirstErr()
+	}
+	return rec.Route, err
+}
+
+// InsertTripleContext shares a triple at the mediation layer: one write at
+// the overlay per component key (paper §2.2: Update(t) ≡ three Update()
+// operations on Hash(subject), Hash(predicate), Hash(object)), shipped
+// through the batched write path under the caller's context.
+func (p *Peer) InsertTripleContext(ctx context.Context, t triple.Triple) (pgrid.Route, error) {
+	b := &Batch{Parallelism: 1}
+	b.InsertTriple(t)
+	route, err := p.writeOne(ctx, b)
+	if err != nil {
+		return route, fmt.Errorf("mediation: inserting %v: %w", t, err)
+	}
+	return route, nil
+}
+
+// InsertTriple is InsertTripleContext under context.Background().
+//
+// Deprecated: use Peer.Write (batched, cancellable) or
+// InsertTripleContext.
 func (p *Peer) InsertTriple(t triple.Triple) (pgrid.Route, error) {
-	var total pgrid.Route
-	for _, k := range p.tripleKeys(t) {
-		route, err := p.node.Update(context.Background(), k, t)
-		accumulate(&total, route)
-		if err != nil {
-			return total, fmt.Errorf("mediation: inserting %v at %s: %w", t, k, err)
-		}
-	}
-	return total, nil
+	return p.InsertTripleContext(context.Background(), t)
 }
 
-// DeleteTriple removes a triple from all three component indexes.
+// DeleteTripleContext removes a triple from all three component indexes
+// under the caller's context.
+func (p *Peer) DeleteTripleContext(ctx context.Context, t triple.Triple) (pgrid.Route, error) {
+	b := &Batch{Parallelism: 1}
+	b.DeleteTriple(t)
+	route, err := p.writeOne(ctx, b)
+	if err != nil {
+		return route, fmt.Errorf("mediation: deleting %v: %w", t, err)
+	}
+	return route, nil
+}
+
+// DeleteTriple is DeleteTripleContext under context.Background().
+//
+// Deprecated: use Peer.Write or DeleteTripleContext.
 func (p *Peer) DeleteTriple(t triple.Triple) (pgrid.Route, error) {
-	var total pgrid.Route
-	for _, k := range p.tripleKeys(t) {
-		route, err := p.node.Delete(context.Background(), k, t)
-		accumulate(&total, route)
-		if err != nil {
-			return total, fmt.Errorf("mediation: deleting %v at %s: %w", t, k, err)
-		}
-	}
-	return total, nil
+	return p.DeleteTripleContext(context.Background(), t)
 }
 
-// InsertSchema publishes a schema definition at the key of its name
-// (paper §2.2: Update(Hash(Schema Name), Schema Definition)).
+// InsertSchemaContext publishes a schema definition at the key of its name
+// (paper §2.2: Update(Hash(Schema Name), Schema Definition)) under the
+// caller's context.
+func (p *Peer) InsertSchemaContext(ctx context.Context, s schema.Schema) (pgrid.Route, error) {
+	b := &Batch{Parallelism: 1}
+	b.PublishSchema(s)
+	return p.writeOne(ctx, b)
+}
+
+// InsertSchema is InsertSchemaContext under context.Background().
+//
+// Deprecated: use Peer.Write or InsertSchemaContext.
 func (p *Peer) InsertSchema(s schema.Schema) (pgrid.Route, error) {
-	return p.node.Update(context.Background(), p.schemaKey(s.Name), s)
+	return p.InsertSchemaContext(context.Background(), s)
 }
 
 // LookupSchema retrieves a schema definition by name.
@@ -183,48 +222,39 @@ func (p *Peer) LookupSchema(name string) (schema.Schema, error) {
 	return schema.Schema{}, fmt.Errorf("mediation: schema %q not found", name)
 }
 
-// InsertMapping publishes a mapping at the key space of its source schema,
-// and additionally at the target schema's key when bidirectional (paper §3:
-// Update(Source Schema Key, Schema Mapping)).
-func (p *Peer) InsertMapping(m schema.Mapping) (pgrid.Route, error) {
-	route, err := p.node.Update(context.Background(), p.schemaKey(m.Source), m)
-	if err != nil {
-		return route, err
-	}
-	if m.Bidirectional {
-		r2, err := p.node.Update(context.Background(), p.schemaKey(m.Target), m)
-		accumulate(&route, r2)
-		if err != nil {
-			return route, err
-		}
-	}
-	return route, nil
+// InsertMappingContext publishes a mapping at the key space of its source
+// schema, and additionally at the target schema's key when bidirectional
+// (paper §3: Update(Source Schema Key, Schema Mapping)), under the caller's
+// context.
+func (p *Peer) InsertMappingContext(ctx context.Context, m schema.Mapping) (pgrid.Route, error) {
+	b := &Batch{Parallelism: 1}
+	b.PublishMapping(m)
+	return p.writeOne(ctx, b)
 }
 
-// ReplaceMapping substitutes an updated version of a mapping (same ID) in
-// the overlay — used to publish confidence changes and deprecations.
+// InsertMapping is InsertMappingContext under context.Background().
+//
+// Deprecated: use Peer.Write or InsertMappingContext.
+func (p *Peer) InsertMapping(m schema.Mapping) (pgrid.Route, error) {
+	return p.InsertMappingContext(context.Background(), m)
+}
+
+// ReplaceMappingContext substitutes an updated version of a mapping (same
+// ID) in the overlay — used to publish confidence changes and deprecations
+// — under the caller's context. The deletions of the old version and the
+// insertions of the new one ship as one batch.
+func (p *Peer) ReplaceMappingContext(ctx context.Context, old, updated schema.Mapping) error {
+	b := &Batch{Parallelism: 1}
+	b.ReplaceMapping(old, updated)
+	_, err := p.writeOne(ctx, b)
+	return err
+}
+
+// ReplaceMapping is ReplaceMappingContext under context.Background().
+//
+// Deprecated: use Peer.Write or ReplaceMappingContext.
 func (p *Peer) ReplaceMapping(old, updated schema.Mapping) error {
-	if old.ID != updated.ID {
-		return fmt.Errorf("mediation: replacing mapping %s with different mapping %s", old.ID, updated.ID)
-	}
-	keysOf := func(m schema.Mapping) []keyspace.Key {
-		ks := []keyspace.Key{p.schemaKey(m.Source)}
-		if m.Bidirectional {
-			ks = append(ks, p.schemaKey(m.Target))
-		}
-		return ks
-	}
-	for _, k := range keysOf(old) {
-		if _, err := p.node.Delete(context.Background(), k, old); err != nil {
-			return err
-		}
-	}
-	for _, k := range keysOf(updated) {
-		if _, err := p.node.Update(context.Background(), k, updated); err != nil {
-			return err
-		}
-	}
-	return nil
+	return p.ReplaceMappingContext(context.Background(), old, updated)
 }
 
 // MappingsFrom returns the active (non-deprecated) mappings usable to

@@ -1,0 +1,375 @@
+package mediation
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"gridvine/internal/keyspace"
+	"gridvine/internal/pgrid"
+	"gridvine/internal/schema"
+	"gridvine/internal/triple"
+)
+
+// The batched write surface. Peer.Write is the single mutation entry point
+// of the mediation layer — the write-side mirror of Peer.Query: a Batch
+// mixes triple inserts and deletes, schema publishes and mapping publishes
+// (or replacements), and one Write plans and ships them together.
+//
+// Planning hashes every index key up front (a triple costs three, per the
+// paper's Update(t) ≡ 3 × Update(Hash(component)) — §2.2), sorts the
+// resulting key-writes, and splits them into contiguous key segments that a
+// bounded worker pool resolves concurrently through the overlay's
+// key-grouped shipping (pgrid.Node.WriteBatch): one routing probe plus one
+// BatchUpdate message per distinct responsible peer, instead of one routed
+// operation per key-write. The request context governs the whole batch —
+// cancelling it (or letting its deadline expire, or tripping the
+// deadline-aware retry budget) stops the pool between groups, and the
+// returned Receipt records exactly which entries were applied, which
+// failed, and which were never attempted. No goroutine outlives Write.
+//
+// The historical per-entry methods (InsertTriple, DeleteTriple,
+// InsertSchema, InsertMapping, ReplaceMapping) survive as deprecated
+// wrappers that submit a one-entry batch.
+
+// Batch collects mutations for one Peer.Write. The zero value is an empty
+// batch ready for use; it must not be shared across concurrent Writes.
+type Batch struct {
+	// Parallelism bounds the worker pool that ships key segments
+	// concurrently. 0 selects DefaultParallelism; 1 executes serially (the
+	// deterministic mode the seeded experiment harness uses); negative
+	// values are treated as 1.
+	Parallelism int
+
+	entries []writeEntry
+}
+
+type writeKind int8
+
+const (
+	writeInsertTriple writeKind = iota
+	writeDeleteTriple
+	writePublishSchema
+	writePublishMapping
+	writeReplaceMapping
+)
+
+type writeEntry struct {
+	kind writeKind
+	t    triple.Triple
+	s    schema.Schema
+	m    schema.Mapping // publish / replacement value
+	old  schema.Mapping // replaced mapping (writeReplaceMapping only)
+}
+
+// InsertTriple queues a triple insertion (three index key-writes).
+func (b *Batch) InsertTriple(t triple.Triple) {
+	b.entries = append(b.entries, writeEntry{kind: writeInsertTriple, t: t})
+}
+
+// DeleteTriple queues a triple removal from all three component indexes.
+func (b *Batch) DeleteTriple(t triple.Triple) {
+	b.entries = append(b.entries, writeEntry{kind: writeDeleteTriple, t: t})
+}
+
+// PublishSchema queues a schema publication at its name's key.
+func (b *Batch) PublishSchema(s schema.Schema) {
+	b.entries = append(b.entries, writeEntry{kind: writePublishSchema, s: s})
+}
+
+// PublishMapping queues a mapping publication at its source schema's key
+// (and the target's, when bidirectional).
+func (b *Batch) PublishMapping(m schema.Mapping) {
+	b.entries = append(b.entries, writeEntry{kind: writePublishMapping, m: m})
+}
+
+// ReplaceMapping queues the substitution of updated for old (same ID):
+// deletions of the old version at its keys followed by insertions of the
+// updated one. ID equality is validated when the batch is written.
+func (b *Batch) ReplaceMapping(old, updated schema.Mapping) {
+	b.entries = append(b.entries, writeEntry{kind: writeReplaceMapping, m: updated, old: old})
+}
+
+// Len returns the number of queued entries.
+func (b *Batch) Len() int { return len(b.entries) }
+
+// EntryState is the terminal state of one batch entry in a Receipt.
+type EntryState int8
+
+// Entry states. EntrySkipped covers entries whose key-writes were never
+// attempted — or only partially attempted — before the context fired; a
+// skipped entry may therefore have left some of its index keys written.
+const (
+	EntrySkipped EntryState = iota
+	EntryApplied
+	EntryFailed
+)
+
+func (s EntryState) String() string {
+	switch s {
+	case EntryApplied:
+		return "applied"
+	case EntryFailed:
+		return "failed"
+	default:
+		return "skipped"
+	}
+}
+
+// EntryStatus is one entry's outcome.
+type EntryStatus struct {
+	State EntryState
+	// Err carries the first routing/delivery failure of the entry's
+	// key-writes; nil unless State is EntryFailed.
+	Err error
+}
+
+// Receipt reports how a Write resolved, entry by entry.
+type Receipt struct {
+	// Entries aligns with the batch's submission order. An entry is Applied
+	// only when every one of its key-writes reached its responsible peer; a
+	// failed or skipped entry may have landed a subset of its index keys
+	// (e.g. one side of a bidirectional mapping), which re-issuing the
+	// write completes idempotently.
+	Entries []EntryStatus
+	// Applied / Failed / Skipped count entries per terminal state.
+	Applied, Failed, Skipped int
+	// Groups counts the routed BatchUpdate shipments (one per distinct
+	// responsible peer per segment) the batch collapsed to.
+	Groups int
+	// Route aggregates the issuer-observed overlay cost across every
+	// segment: probe routing plus one message per shipped group.
+	Route pgrid.Route
+}
+
+// Messages returns the issuer-observed overlay message cost.
+func (r *Receipt) Messages() int { return r.Route.Messages }
+
+// FirstErr returns the first failed entry's error, or nil when no entry
+// failed.
+func (r *Receipt) FirstErr() error {
+	for _, e := range r.Entries {
+		if e.Err != nil {
+			return e.Err
+		}
+	}
+	return nil
+}
+
+// keyWrite is one expanded (key, op, value) overlay mutation, tagged with
+// the batch entry it belongs to.
+type keyWrite struct {
+	be    pgrid.BatchEntry
+	entry int
+}
+
+// expand flattens the batch into key-writes: three per triple, one per
+// schema, one or two per mapping, deletions-then-insertions for
+// replacements. It validates replacement ID equality up front, so a Write
+// that returns a validation error has shipped nothing.
+func (p *Peer) expand(b *Batch) ([]keyWrite, error) {
+	writes := make([]keyWrite, 0, 3*len(b.entries))
+	add := func(entry int, key keyspace.Key, op pgrid.Op, value any) {
+		writes = append(writes, keyWrite{
+			be:    pgrid.BatchEntry{Key: key.String(), Op: op, Value: value},
+			entry: entry,
+		})
+	}
+	mappingKeys := func(m schema.Mapping) []keyspace.Key {
+		ks := []keyspace.Key{p.schemaKey(m.Source)}
+		if m.Bidirectional {
+			ks = append(ks, p.schemaKey(m.Target))
+		}
+		return ks
+	}
+	for i, e := range b.entries {
+		switch e.kind {
+		case writeInsertTriple, writeDeleteTriple:
+			op := pgrid.OpInsert
+			if e.kind == writeDeleteTriple {
+				op = pgrid.OpDelete
+			}
+			for _, k := range p.tripleKeys(e.t) {
+				add(i, k, op, e.t)
+			}
+		case writePublishSchema:
+			add(i, p.schemaKey(e.s.Name), pgrid.OpInsert, e.s)
+		case writePublishMapping:
+			for _, k := range mappingKeys(e.m) {
+				add(i, k, pgrid.OpInsert, e.m)
+			}
+		case writeReplaceMapping:
+			if e.old.ID != e.m.ID {
+				return nil, fmt.Errorf("mediation: replacing mapping %s with different mapping %s", e.old.ID, e.m.ID)
+			}
+			for _, k := range mappingKeys(e.old) {
+				add(i, k, pgrid.OpDelete, e.old)
+			}
+			for _, k := range mappingKeys(e.m) {
+				add(i, k, pgrid.OpInsert, e.m)
+			}
+		}
+	}
+	return writes, nil
+}
+
+// segmentWrites splits sorted key-writes into at most workers contiguous
+// segments of near-equal size, never splitting between equal keys (so
+// same-key ordering — a replacement's delete before its insert — survives
+// concurrent segment execution).
+func segmentWrites(writes []keyWrite, workers int) [][]keyWrite {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(writes) {
+		workers = len(writes)
+	}
+	if workers <= 1 {
+		if len(writes) == 0 {
+			return nil
+		}
+		return [][]keyWrite{writes}
+	}
+	segments := make([][]keyWrite, 0, workers)
+	per := (len(writes) + workers - 1) / workers
+	start := 0
+	for start < len(writes) {
+		end := start + per
+		if end >= len(writes) {
+			end = len(writes)
+		} else {
+			for end < len(writes) && writes[end].be.Key == writes[end-1].be.Key {
+				end++
+			}
+		}
+		segments = append(segments, writes[start:end])
+		start = end
+	}
+	return segments
+}
+
+// Write plans and ships the batch (see the package notes above). The
+// returned error is terminal only — cancellation, an expired deadline, a
+// tripped retry budget, or an up-front validation failure; per-entry
+// routing failures are reported through the Receipt instead (FirstErr
+// surfaces the first one). The Receipt is non-nil except on validation
+// errors, and on cancellation it records the partial progress: entries
+// whose key-writes never shipped are EntrySkipped.
+func (p *Peer) Write(ctx context.Context, b *Batch) (*Receipt, error) {
+	writes, err := p.expand(b)
+	if err != nil {
+		return nil, err
+	}
+	rec := &Receipt{Entries: make([]EntryStatus, len(b.entries))}
+	if len(writes) == 0 {
+		return rec, ctx.Err()
+	}
+
+	// Global sort by key (stable: same-key writes keep submission order),
+	// then contiguous segments for the pool — contiguity keeps each
+	// worker's groups aligned with responsible-peer key runs.
+	sort.SliceStable(writes, func(i, j int) bool { return writes[i].be.Key < writes[j].be.Key })
+	workers := b.Parallelism
+	if workers == 0 {
+		workers = DefaultParallelism
+	}
+	segments := segmentWrites(writes, workers)
+
+	outcomes := make([]*pgrid.BatchOutcome, len(segments))
+	segErrs := make([]error, len(segments))
+	poolErr := runPoolCtx(ctx, len(segments), workers, func(i int) {
+		entries := make([]pgrid.BatchEntry, len(segments[i]))
+		for j, w := range segments[i] {
+			entries[j] = w.be
+		}
+		outcomes[i], segErrs[i] = p.node.WriteBatch(ctx, entries)
+	})
+
+	// Fold key-write statuses into per-entry states: any failure makes the
+	// entry Failed; otherwise any skipped key-write leaves it Skipped; a
+	// fully applied entry is Applied.
+	applied := make([]int, len(b.entries))
+	needed := make([]int, len(b.entries))
+	for _, w := range writes {
+		needed[w.entry]++
+	}
+	for i, seg := range segments {
+		out := outcomes[i]
+		if out == nil {
+			continue // segment never ran (pool cancelled before its turn)
+		}
+		rec.Groups += out.Groups
+		accumulate(&rec.Route, out.Route)
+		for j, w := range seg {
+			switch out.Statuses[j] {
+			case pgrid.BatchApplied:
+				applied[w.entry]++
+			case pgrid.BatchFailed:
+				if rec.Entries[w.entry].Err == nil {
+					rec.Entries[w.entry].Err = out.Errs[j]
+				}
+				rec.Entries[w.entry].State = EntryFailed
+			}
+		}
+	}
+	for i := range rec.Entries {
+		if rec.Entries[i].State != EntryFailed && applied[i] == needed[i] {
+			rec.Entries[i].State = EntryApplied
+		}
+		switch rec.Entries[i].State {
+		case EntryApplied:
+			rec.Applied++
+		case EntryFailed:
+			rec.Failed++
+		default:
+			rec.Skipped++
+		}
+	}
+
+	if err := ctx.Err(); err != nil {
+		return rec, err
+	}
+	if poolErr != nil {
+		return rec, poolErr
+	}
+	// A retry-budget abort is terminal for its segment but not ctx-visible;
+	// surface the first one so callers can tell a doomed deadline from
+	// per-destination failures (which live in the Receipt).
+	for _, err := range segErrs {
+		if err != nil {
+			return rec, err
+		}
+	}
+	return rec, nil
+}
+
+// onStoreBatch is the node's BatchStoreHook: it mirrors one applied batch
+// into the local relational database, absorbing runs of inserted triples in
+// sharded passes (triple.DB.InsertBatch) and running deletions through the
+// same multi-key refcount logic as single mutations. Mutation order is
+// preserved — pending inserts flush before any delete — so an
+// insert-then-delete of the same triple within one batch resolves exactly
+// as the per-mutation path does; a bulk load (all inserts) still lands in
+// one pass.
+func (p *Peer) onStoreBatch(muts []pgrid.StoreMutation) {
+	var inserts []triple.Triple
+	flush := func() {
+		if len(inserts) > 0 {
+			p.db.InsertBatch(inserts)
+			inserts = inserts[:0]
+		}
+	}
+	for _, m := range muts {
+		t, ok := m.Value.(triple.Triple)
+		if !ok {
+			continue
+		}
+		if m.Op == pgrid.OpInsert {
+			inserts = append(inserts, t)
+			continue
+		}
+		flush()
+		p.onStoreChange(m.Op, m.Key, m.Value)
+	}
+	flush()
+}

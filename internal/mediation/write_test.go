@@ -1,0 +1,323 @@
+package mediation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"gridvine/internal/schema"
+	"gridvine/internal/triple"
+)
+
+// writeWorkload builds a mixed mutation sequence: triple inserts, deletes
+// of some already-inserted triples, schema publishes and mapping publishes,
+// interleaved pseudo-randomly.
+type writeWorkload struct {
+	steps []writeStep
+}
+
+type writeStep struct {
+	kind writeKind
+	t    triple.Triple
+	s    schema.Schema
+	m    schema.Mapping
+}
+
+func makeWriteWorkload(n int, seed int64) writeWorkload {
+	rng := rand.New(rand.NewSource(seed))
+	var w writeWorkload
+	var inserted []triple.Triple
+	for i := 0; i < n; i++ {
+		switch r := rng.Intn(10); {
+		case r < 6:
+			t := triple.Triple{
+				Subject:   fmt.Sprintf("acc:%05d", rng.Intn(n)),
+				Predicate: fmt.Sprintf("S%d#attr%d", rng.Intn(4), rng.Intn(3)),
+				Object:    fmt.Sprintf("val-%d", rng.Intn(25)),
+			}
+			inserted = append(inserted, t)
+			w.steps = append(w.steps, writeStep{kind: writeInsertTriple, t: t})
+		case r < 8 && len(inserted) > 0:
+			w.steps = append(w.steps, writeStep{kind: writeDeleteTriple, t: inserted[rng.Intn(len(inserted))]})
+		case r < 9:
+			w.steps = append(w.steps, writeStep{kind: writePublishSchema,
+				s: schema.NewSchema(fmt.Sprintf("S%d", rng.Intn(4)), "bio", "attr0", "attr1", "attr2")})
+		default:
+			w.steps = append(w.steps, writeStep{kind: writePublishMapping,
+				m: testMapping(fmt.Sprintf("S%d", rng.Intn(4)), fmt.Sprintf("S%d", rng.Intn(4)+4),
+					"attr0", "attr0")})
+		}
+	}
+	return w
+}
+
+// applySerial runs the workload through the legacy per-entry methods.
+func (w writeWorkload) applySerial(t *testing.T, p *Peer) {
+	t.Helper()
+	for _, s := range w.steps {
+		var err error
+		switch s.kind {
+		case writeInsertTriple:
+			_, err = p.InsertTriple(s.t)
+		case writeDeleteTriple:
+			_, err = p.DeleteTriple(s.t)
+		case writePublishSchema:
+			_, err = p.InsertSchema(s.s)
+		case writePublishMapping:
+			_, err = p.InsertMapping(s.m)
+		}
+		if err != nil {
+			t.Fatalf("serial step: %v", err)
+		}
+	}
+}
+
+// toBatch lifts the workload into one Batch.
+func (w writeWorkload) toBatch(parallelism int) *Batch {
+	b := &Batch{Parallelism: parallelism}
+	for _, s := range w.steps {
+		switch s.kind {
+		case writeInsertTriple:
+			b.InsertTriple(s.t)
+		case writeDeleteTriple:
+			b.DeleteTriple(s.t)
+		case writePublishSchema:
+			b.PublishSchema(s.s)
+		case writePublishMapping:
+			b.PublishMapping(s.m)
+		}
+	}
+	return b
+}
+
+// dbSnapshot collects every peer's relational database, in peer order.
+func dbSnapshot(peers []*Peer) [][]triple.Triple {
+	out := make([][]triple.Triple, len(peers))
+	for i, p := range peers {
+		out[i] = p.DB().AllSorted()
+	}
+	return out
+}
+
+// TestWriteMatchesSerial is the batch==serial equivalence property: any
+// interleaving of inserts, deletes, schema and mapping publishes must
+// leave every peer's database byte-identical whether applied through the
+// legacy per-entry loop or one Write — at serial and default parallelism.
+func TestWriteMatchesSerial(t *testing.T) {
+	for _, parallelism := range []int{1, 0} {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("parallelism=%d/seed=%d", parallelism, seed), func(t *testing.T) {
+				w := makeWriteWorkload(150, seed)
+
+				_, serialPeers := testNetwork(t, 32, 100+seed)
+				w.applySerial(t, serialPeers[0])
+
+				_, batchPeers := testNetwork(t, 32, 100+seed)
+				rec, err := batchPeers[0].Write(context.Background(), w.toBatch(parallelism))
+				if err != nil {
+					t.Fatalf("Write: %v", err)
+				}
+				if rec.Applied != len(w.steps) {
+					t.Fatalf("applied %d of %d entries (failed %d, skipped %d): %v",
+						rec.Applied, len(w.steps), rec.Failed, rec.Skipped, rec.FirstErr())
+				}
+				if got, want := dbSnapshot(batchPeers), dbSnapshot(serialPeers); !reflect.DeepEqual(got, want) {
+					t.Error("batched and serial peer databases diverged")
+				}
+			})
+		}
+	}
+}
+
+// TestWriteShipsFewerMessages: the batched path must cost strictly fewer
+// transport messages than the per-entry loop for the same workload.
+func TestWriteShipsFewerMessages(t *testing.T) {
+	w := makeWriteWorkload(200, 9)
+
+	serialNet, serialPeers := testNetwork(t, 32, 200)
+	serialNet.ResetStats()
+	w.applySerial(t, serialPeers[0])
+	serialMsgs := serialNet.Stats().Messages
+
+	batchNet, batchPeers := testNetwork(t, 32, 200)
+	batchNet.ResetStats()
+	rec, err := batchPeers[0].Write(context.Background(), w.toBatch(1))
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	batchMsgs := batchNet.Stats().Messages
+
+	if batchMsgs >= serialMsgs {
+		t.Errorf("batched write cost %d messages, serial loop %d", batchMsgs, serialMsgs)
+	}
+	if rec.Groups == 0 || rec.Messages() == 0 {
+		t.Errorf("receipt accounting empty: %+v", rec)
+	}
+	t.Logf("serial %d messages, batched %d (%d groups)", serialMsgs, batchMsgs, rec.Groups)
+}
+
+// TestWriteReplaceMapping: replacement through a batch preserves the
+// delete-then-insert semantics and the ID validation.
+func TestWriteReplaceMapping(t *testing.T) {
+	_, peers := testNetwork(t, 16, 42)
+	p := peers[0]
+	m := testMapping("A", "B", "x", "y")
+	if _, err := p.InsertMapping(m); err != nil {
+		t.Fatalf("InsertMapping: %v", err)
+	}
+	updated := m
+	updated.Deprecated = true
+
+	b := &Batch{}
+	b.ReplaceMapping(m, updated)
+	rec, err := p.Write(context.Background(), b)
+	if err != nil || rec.FirstErr() != nil {
+		t.Fatalf("Write: %v / %v", err, rec.FirstErr())
+	}
+	stored, err := peers[3].MappingsAt("A")
+	if err != nil {
+		t.Fatalf("MappingsAt: %v", err)
+	}
+	if len(stored) != 1 || !stored[0].Deprecated {
+		t.Errorf("stored mappings = %+v, want the deprecated replacement only", stored)
+	}
+
+	// ID mismatch is a validation error: nothing ships.
+	other := testMapping("A", "C", "x", "z")
+	bad := &Batch{}
+	bad.ReplaceMapping(m, other)
+	if _, err := p.Write(context.Background(), bad); err == nil {
+		t.Error("replacing with a different mapping ID must fail")
+	}
+}
+
+// TestWriteCancellation: cancelling a Write mid-flight returns ctx.Err(),
+// a receipt covering every entry (applied + failed + skipped), and leaks
+// no goroutine.
+func TestWriteCancellation(t *testing.T) {
+	baseline := countGoroutines(t)
+	net, peers := testNetwork(t, 32, 7)
+	net.SetSendDelay(time.Millisecond)
+	// Batched shipping collapses this workload to a handful of messages;
+	// the bandwidth model makes those few (large) messages slow enough that
+	// the deadline reliably fires mid-batch.
+	net.SetPayloadDelay(100*time.Microsecond, PayloadTriples)
+
+	b := &Batch{Parallelism: 4}
+	n := 0
+	for i := 0; i < 400; i++ {
+		b.InsertTriple(triple.Triple{
+			Subject:   fmt.Sprintf("subj-%c%04d", 'a'+i%23, i),
+			Predicate: fmt.Sprintf("S%d#p", i%7),
+			Object:    fmt.Sprintf("obj-%d", i),
+		})
+		n++
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+	rec, err := peers[0].Write(ctx, b)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if rec == nil {
+		t.Fatal("cancelled Write returned no receipt")
+	}
+	if rec.Applied+rec.Failed+rec.Skipped != n {
+		t.Errorf("receipt does not cover the batch: %d+%d+%d != %d", rec.Applied, rec.Failed, rec.Skipped, n)
+	}
+	if rec.Skipped == 0 {
+		t.Error("no entry skipped despite mid-batch cancellation")
+	}
+	if len(rec.Entries) != n {
+		t.Errorf("receipt entries = %d, want %d", len(rec.Entries), n)
+	}
+	waitNoLeak(t, baseline)
+}
+
+// TestWriteConcurrentWriters: disjoint concurrent batches from several
+// issuers must all land (exercised under -race in CI).
+func TestWriteConcurrentWriters(t *testing.T) {
+	_, peers := testNetwork(t, 32, 13)
+	const writers = 6
+	var wg sync.WaitGroup
+	for wr := 0; wr < writers; wr++ {
+		wg.Add(1)
+		go func(wr int) {
+			defer wg.Done()
+			b := &Batch{}
+			for i := 0; i < 50; i++ {
+				b.InsertTriple(triple.Triple{
+					Subject:   fmt.Sprintf("w%d:acc-%03d", wr, i),
+					Predicate: fmt.Sprintf("S%d#attr", wr),
+					Object:    "v",
+				})
+			}
+			rec, err := peers[wr].Write(context.Background(), b)
+			if err != nil {
+				t.Errorf("writer %d: %v", wr, err)
+				return
+			}
+			if rec.Applied != 50 {
+				t.Errorf("writer %d applied %d of 50: %v", wr, rec.Applied, rec.FirstErr())
+			}
+		}(wr)
+	}
+	wg.Wait()
+
+	total := 0
+	for _, p := range peers {
+		total += p.DB().Len()
+	}
+	if total == 0 {
+		t.Fatal("no triples landed")
+	}
+	for wr := 0; wr < writers; wr++ {
+		q := triple.Pattern{S: triple.Var("s"), P: triple.Const(fmt.Sprintf("S%d#attr", wr)), O: triple.Var("o")}
+		rs, err := peers[(wr+1)%writers].SearchFor(q)
+		if err != nil {
+			t.Fatalf("SearchFor: %v", err)
+		}
+		if got := len(rs.Triples()); got != 50 {
+			t.Errorf("writer %d: %d of 50 triples visible", wr, got)
+		}
+	}
+}
+
+// TestWriteEmptyBatch: an empty batch is a no-op with an empty receipt.
+func TestWriteEmptyBatch(t *testing.T) {
+	_, peers := testNetwork(t, 8, 3)
+	rec, err := peers[0].Write(context.Background(), &Batch{})
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if len(rec.Entries) != 0 || rec.Messages() != 0 {
+		t.Errorf("empty batch receipt = %+v", rec)
+	}
+}
+
+// TestContextWriteVariants: the ctx-taking write variants honour
+// cancellation up front.
+func TestContextWriteVariants(t *testing.T) {
+	_, peers := testNetwork(t, 16, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tr := triple.Triple{Subject: "s", Predicate: "A#p", Object: "o"}
+	if _, err := peers[0].InsertTripleContext(ctx, tr); !errors.Is(err, context.Canceled) {
+		t.Errorf("InsertTripleContext on cancelled ctx: %v", err)
+	}
+	if _, err := peers[0].InsertSchemaContext(ctx, schema.NewSchema("A", "bio", "p")); !errors.Is(err, context.Canceled) {
+		t.Errorf("InsertSchemaContext on cancelled ctx: %v", err)
+	}
+	// And succeed under a live one.
+	if _, err := peers[0].InsertTripleContext(context.Background(), tr); err != nil {
+		t.Errorf("InsertTripleContext: %v", err)
+	}
+	if _, err := peers[1].DeleteTripleContext(context.Background(), tr); err != nil {
+		t.Errorf("DeleteTripleContext: %v", err)
+	}
+}

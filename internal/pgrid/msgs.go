@@ -10,6 +10,8 @@ import (
 const (
 	msgExec      = "pgrid.exec"      // routed storage / query operation
 	msgReplicate = "pgrid.replicate" // direct replica synchronization
+	msgBatch     = "pgrid.batch"     // direct batched mutation delivery
+	msgBatchRep  = "pgrid.batchrep"  // batched replica synchronization
 	msgSubtree   = "pgrid.subtree"   // prefix-subtree enumeration step
 	msgPing      = "pgrid.ping"      // liveness probe
 )
@@ -28,6 +30,11 @@ const (
 	OpDelete
 	OpQuery
 	OpReplace
+	// OpProbe resolves the responsible peer for a key without touching its
+	// store: the answer carries the peer's path, which the batched write
+	// path uses to compute the full key run the peer covers before shipping
+	// it one BatchUpdate message.
+	OpProbe
 )
 
 func (o Op) String() string {
@@ -42,6 +49,8 @@ func (o Op) String() string {
 		return "query"
 	case OpReplace:
 		return "replace"
+	case OpProbe:
+		return "probe"
 	default:
 		return "unknown"
 	}
@@ -80,6 +89,9 @@ type ExecResponse struct {
 	Values      []any
 	AppResult   any
 	Chain       []simnet.PeerID // peers traversed (recursive mode)
+	// Path is the answering responsible peer's trie path π(p); the batched
+	// write path uses it to compute the contiguous key run the peer covers.
+	Path string
 }
 
 // ReplicateRequest applies a storage mutation directly, without routing.
@@ -87,6 +99,36 @@ type ReplicateRequest struct {
 	Key   string
 	Op    Op // OpInsert, OpDelete or OpReplace
 	Value any
+}
+
+// BatchEntry is one keyed mutation of a batched write.
+type BatchEntry struct {
+	Key   string
+	Op    Op // OpInsert, OpDelete or OpReplace
+	Value any
+}
+
+// BatchUpdate delivers a run of mutations to one responsible peer in a
+// single message — the batched counterpart of N individual routed Updates.
+// The receiver applies every entry whose key it is responsible for (in
+// order), synchronizes its replicas with one BatchReplicate message each,
+// and answers with a BatchResult. Entries outside the receiver's path (a
+// concurrent path split, for instance) are left to the issuer to re-route.
+type BatchUpdate struct {
+	Entries []BatchEntry
+}
+
+// BatchResult reports which BatchUpdate entries the receiver applied, as
+// indices into the shipped entry slice.
+type BatchResult struct {
+	Applied []int
+}
+
+// BatchReplicate carries the applied entries of one BatchUpdate to a
+// replica — one synchronization message per replica per batch, where the
+// per-entry path costs one per entry.
+type BatchReplicate struct {
+	Entries []BatchEntry
 }
 
 // SubtreeRequest asks a peer for its local items under Prefix plus the
@@ -114,6 +156,10 @@ func init() {
 	gob.Register(ExecRequest{})
 	gob.Register(ExecResponse{})
 	gob.Register(ReplicateRequest{})
+	gob.Register(BatchEntry{})
+	gob.Register(BatchUpdate{})
+	gob.Register(BatchResult{})
+	gob.Register(BatchReplicate{})
 	gob.Register(SubtreeRequest{})
 	gob.Register(SubtreeResponse{})
 	gob.Register(SubtreeItem{})

@@ -10,11 +10,13 @@
 package pgrid
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
 	"sort"
 	"sync"
+	"time"
 
 	"gridvine/internal/keyspace"
 	"gridvine/internal/simnet"
@@ -60,6 +62,12 @@ type Node struct {
 	store     map[string][]any        // key bits → stored values
 	handler   QueryHandler
 	storeHook StoreHook
+	batchHook BatchStoreHook
+
+	// latMu guards hopLat, the minimum observed per-hop round-trip latency
+	// that deadline-aware routing weighs remaining context budget against.
+	latMu  sync.Mutex
+	hopLat time.Duration
 
 	// rng drives routing tie-breaks. math/rand.Rand is not goroutine-safe
 	// and concurrent queries route through the same node, so it has its own
@@ -79,6 +87,28 @@ func (n *Node) SetStoreHook(h StoreHook) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.storeHook = h
+}
+
+// StoreMutation is one observed store change, as delivered to a
+// BatchStoreHook.
+type StoreMutation struct {
+	Op    Op // OpInsert or OpDelete (replaces are expanded)
+	Key   keyspace.Key
+	Value any
+}
+
+// BatchStoreHook observes every store change of one applied batch in a
+// single call, letting the application layer absorb them in bulk (the
+// mediation layer groups triple inserts per database shard). A node with no
+// batch hook falls back to firing the per-mutation StoreHook for each
+// change.
+type BatchStoreHook func(muts []StoreMutation)
+
+// SetBatchStoreHook registers the batched mutation observer.
+func (n *Node) SetBatchStoreHook(h BatchStoreHook) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.batchHook = h
 }
 
 // NewNode creates a node with the given identity and path, attached to the
@@ -230,6 +260,11 @@ func (n *Node) LocalGet(key keyspace.Key) []any {
 func (n *Node) localInsert(key string, value any) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	return n.insertLocked(key, value)
+}
+
+// insertLocked is localInsert's core; n.mu must be held.
+func (n *Node) insertLocked(key string, value any) bool {
 	for _, v := range n.store[key] {
 		if reflect.DeepEqual(v, value) {
 			return false
@@ -244,6 +279,11 @@ func (n *Node) localInsert(key string, value any) bool {
 func (n *Node) localDelete(key string, value any) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	return n.deleteLocked(key, value)
+}
+
+// deleteLocked is localDelete's core; n.mu must be held.
+func (n *Node) deleteLocked(key string, value any) bool {
 	vs := n.store[key]
 	for i, v := range vs {
 		if reflect.DeepEqual(v, value) {
@@ -294,6 +334,22 @@ func (n *Node) HandleMessage(from simnet.PeerID, msg simnet.Message) (simnet.Mes
 		}
 		n.applyMutation(req.Key, req.Op, req.Value)
 		return simnet.Message{Type: msgReplicate}, nil
+	case msgBatch:
+		req, ok := msg.Payload.(BatchUpdate)
+		if !ok {
+			return simnet.Message{}, fmt.Errorf("pgrid: bad batch payload %T", msg.Payload)
+		}
+		applied := n.applyBatch(req.Entries, true)
+		return simnet.Message{Type: msgBatch, Payload: BatchResult{Applied: applied}}, nil
+	case msgBatchRep:
+		req, ok := msg.Payload.(BatchReplicate)
+		if !ok {
+			return simnet.Message{}, fmt.Errorf("pgrid: bad batch replicate payload %T", msg.Payload)
+		}
+		// Replica synchronization applies unconditionally, like the
+		// single-mutation replicate path, and never re-replicates.
+		n.applyBatchLocal(req.Entries, false)
+		return simnet.Message{Type: msgBatchRep}, nil
 	case msgSubtree:
 		req, ok := msg.Payload.(SubtreeRequest)
 		if !ok {
@@ -343,9 +399,14 @@ func (n *Node) applyMutation(key string, op Op, value any) {
 // returns the removed values and whether value was newly inserted (false
 // when an exact duplicate was already stored).
 func (n *Node) localReplace(key string, value any) (removed []any, inserted bool) {
-	rep, _ := value.(Replacer)
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	return n.replaceLocked(key, value)
+}
+
+// replaceLocked is localReplace's core; n.mu must be held.
+func (n *Node) replaceLocked(key string, value any) (removed []any, inserted bool) {
+	rep, _ := value.(Replacer)
 	vs := n.store[key]
 	kept := make([]any, 0, len(vs)+1)
 	dup := false
@@ -367,6 +428,88 @@ func (n *Node) localReplace(key string, value any) (removed []any, inserted bool
 	}
 	n.store[key] = kept
 	return removed, !dup
+}
+
+// applyBatch applies every batch entry this node is responsible for (every
+// entry, when checkResponsible is false), synchronizes its replicas with
+// one BatchReplicate message each, and returns the indices of the applied
+// entries.
+func (n *Node) applyBatch(entries []BatchEntry, checkResponsible bool) []int {
+	applied := n.applyBatchLocal(entries, checkResponsible)
+	if len(applied) == 0 {
+		return applied
+	}
+	rep := BatchReplicate{Entries: make([]BatchEntry, 0, len(applied))}
+	for _, i := range applied {
+		rep.Entries = append(rep.Entries, entries[i])
+	}
+	for _, r := range n.Replicas() {
+		// Best-effort, like single-mutation replication: a crashed replica
+		// re-synchronizes on rejoin. One message carries the whole batch.
+		n.net.Send(context.Background(), n.id, r, simnet.Message{Type: msgBatchRep, Payload: rep}) //nolint:errcheck
+	}
+	return applied
+}
+
+// applyBatchLocal performs the store mutations of a batch under one lock
+// acquisition, then fires the batch store hook once with every change (or
+// the per-mutation hook for each, when no batch hook is set). Entries are
+// applied in slice order, so same-key delete/insert sequences (mapping
+// replacement) keep their submission semantics. Entries whose key fails to
+// parse, or — under checkResponsible — lies outside the node's path, are
+// not applied.
+func (n *Node) applyBatchLocal(entries []BatchEntry, checkResponsible bool) []int {
+	applied := make([]int, 0, len(entries))
+	var muts []StoreMutation
+
+	n.mu.Lock()
+	for i, e := range entries {
+		key, err := keyspace.ParseKey(e.Key)
+		if err != nil {
+			continue
+		}
+		if checkResponsible && !n.path.IsPrefixOf(key) {
+			continue
+		}
+		switch e.Op {
+		case OpInsert:
+			if n.insertLocked(e.Key, e.Value) {
+				muts = append(muts, StoreMutation{Op: OpInsert, Key: key, Value: e.Value})
+			}
+		case OpDelete:
+			if n.deleteLocked(e.Key, e.Value) {
+				muts = append(muts, StoreMutation{Op: OpDelete, Key: key, Value: e.Value})
+			}
+		case OpReplace:
+			removed, inserted := n.replaceLocked(e.Key, e.Value)
+			for _, v := range removed {
+				muts = append(muts, StoreMutation{Op: OpDelete, Key: key, Value: v})
+			}
+			if inserted {
+				muts = append(muts, StoreMutation{Op: OpInsert, Key: key, Value: e.Value})
+			}
+		default:
+			continue
+		}
+		// Duplicate inserts / missing deletes count as applied: the entry's
+		// intended end state holds, exactly as the per-op path reports.
+		applied = append(applied, i)
+	}
+	batchHook, hook := n.batchHook, n.storeHook
+	n.mu.Unlock()
+
+	if len(muts) == 0 {
+		return applied
+	}
+	switch {
+	case batchHook != nil:
+		batchHook(muts)
+	case hook != nil:
+		for _, m := range muts {
+			hook(m.Op, m.Key, m.Value)
+		}
+	}
+	return applied
 }
 
 // applyReplace runs a replace mutation and fires the store hook once per

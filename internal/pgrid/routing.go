@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"gridvine/internal/keyspace"
 	"gridvine/internal/simnet"
@@ -11,6 +12,15 @@ import (
 
 // ErrNoRoute reports that routing could not reach a live responsible peer.
 var ErrNoRoute = errors.New("pgrid: no route to responsible peer")
+
+// ErrRetryBudget reports that a rerouting round was abandoned before it
+// started because the context's remaining deadline budget is smaller than
+// the node's observed per-hop latency — the retry was doomed to burn the
+// rest of the deadline without completing. Distinguishable from both a
+// routing dead-end (ErrNoRoute) and an actually expired context
+// (context.DeadlineExceeded), so callers can fail fast and, e.g., redirect
+// the remaining budget to work already in flight.
+var ErrRetryBudget = errors.New("pgrid: deadline budget below observed per-hop latency, abandoning retry")
 
 // Route describes how one overlay operation was resolved; the experiment
 // harness feeds Contacted into the discrete-event replay and counts Messages
@@ -120,6 +130,13 @@ func (n *Node) execute(ctx context.Context, req ExecRequest) (ExecResponse, Rout
 			return ExecResponse{}, route, err
 		}
 		if attempt > 0 {
+			// Deadline-aware rerouting: a retry round costs at least one more
+			// hop, so when the remaining budget cannot cover the observed
+			// per-hop latency, fail fast instead of burning the deadline on a
+			// doomed pass.
+			if err := n.retryBudget(ctx); err != nil {
+				return ExecResponse{}, route, err
+			}
 			route.Retries++
 		}
 		resp, ok, err := n.routeOnce(ctx, key, req, exclude, &route)
@@ -162,7 +179,11 @@ func (n *Node) routeOnce(ctx context.Context, key keyspace.Key, req ExecRequest,
 		visited[next] = true
 
 		route.Messages++
+		sendStart := time.Now()
 		msg, err := n.net.Send(ctx, n.id, next, simnet.Message{Type: msgExec, Payload: req})
+		if err == nil {
+			n.observeHopLatency(time.Since(sendStart))
+		}
 		if err != nil {
 			// Cancellation is not a dead peer: abort instead of rerouting.
 			if cerr := ctx.Err(); cerr != nil {
@@ -189,6 +210,50 @@ func (n *Node) routeOnce(ctx context.Context, key keyspace.Key, req ExecRequest,
 		candidates = append(closer, candidates...)
 	}
 	return ExecResponse{}, false, nil
+}
+
+// observeHopLatency folds one successful request/response round-trip into
+// the node's per-hop latency floor: the minimum observed round-trip. The
+// floor is deliberately conservative — individual round-trips include
+// server-side work and payload transfer, so averaging them would let one
+// large-answer exchange inflate the estimate and spuriously abort
+// affordable retries; the minimum tracks what the cheapest possible next
+// hop costs.
+func (n *Node) observeHopLatency(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	n.latMu.Lock()
+	if n.hopLat == 0 || d < n.hopLat {
+		n.hopLat = d
+	}
+	n.latMu.Unlock()
+}
+
+// HopLatencyEstimate returns the node's per-hop latency floor (zero until
+// a hop has been observed): the minimum request/response round-trip seen.
+func (n *Node) HopLatencyEstimate() time.Duration {
+	n.latMu.Lock()
+	defer n.latMu.Unlock()
+	return n.hopLat
+}
+
+// retryBudget reports ErrRetryBudget when ctx carries a deadline whose
+// remaining budget is below the observed per-hop latency. Without a
+// deadline, or before any hop has been measured, retries proceed.
+func (n *Node) retryBudget(ctx context.Context) error {
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		return nil
+	}
+	est := n.HopLatencyEstimate()
+	if est == 0 {
+		return nil
+	}
+	if remaining := time.Until(deadline); remaining < est {
+		return fmt.Errorf("%w (%v left, ~%v/hop)", ErrRetryBudget, remaining.Round(time.Microsecond), est.Round(time.Microsecond))
+	}
+	return nil
 }
 
 // candidateHops returns this node's references ordered best-first for key:
@@ -234,10 +299,18 @@ func (n *Node) handleExec(req ExecRequest) (ExecResponse, error) {
 		return ExecResponse{NextHops: hops}, nil
 	}
 
-	resp := ExecResponse{Responsible: true, Chain: []simnet.PeerID{n.id}}
+	resp := ExecResponse{Responsible: true, Chain: []simnet.PeerID{n.id}, Path: n.Path().String()}
 	switch req.Op {
 	case OpGet:
 		resp.Values = n.LocalGet(key)
+	case OpProbe:
+		// The response's Path is the answer. A probe piggybacking the head
+		// entry of a batched write additionally applies (and replicates) it
+		// on the spot, so a single-entry run costs exactly one routed
+		// operation — the same as the historical per-key Update.
+		if e, ok := req.Payload.(BatchEntry); ok {
+			resp.AppResult = BatchResult{Applied: n.applyBatch([]BatchEntry{e}, true)}
+		}
 	case OpInsert, OpDelete, OpReplace:
 		n.applyMutation(req.Key, req.Op, req.Value)
 		n.replicate(ReplicateRequest{Key: req.Key, Op: req.Op, Value: req.Value})

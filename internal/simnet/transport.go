@@ -77,6 +77,12 @@ type TraceEntry struct {
 type Stats struct {
 	Messages int // requests attempted (including dropped)
 	Dropped  int // requests lost to failure injection or dead peers
+	// PayloadUnits accumulates the sizer-measured volume of delivered
+	// request and response payloads (see SetPayloadDelay) — the bandwidth
+	// counterpart of Messages, so batched operations that collapse many
+	// messages into few still account for every datum they carry. Zero
+	// when no sizer is installed.
+	PayloadUnits int
 }
 
 // Network is the deterministic in-memory Transport: messages are delivered
@@ -190,10 +196,12 @@ func (n *Network) SetSendDelay(d time.Duration) {
 // request and response additionally sleeps perUnit × size(payload), where
 // size is a caller-provided measure (e.g. the number of triples an answer
 // carries — the transport itself knows nothing about payload types). A nil
-// size or zero perUnit disables the model. Like SetSendDelay, this affects
-// wall-clock only, never delivery semantics or statistics, so benchmarks
-// can observe the cost of shipping large answer sets over a network with
-// finite bandwidth.
+// size disables the model entirely; a zero perUnit with a non-nil size
+// disables the sleep but still accounts delivered volume in
+// Stats.PayloadUnits, so experiments can audit bandwidth without paying
+// wall-clock. The sleeps affect wall-clock only, never delivery semantics,
+// so benchmarks can observe the cost of shipping large answer sets over a
+// network with finite bandwidth.
 func (n *Network) SetPayloadDelay(perUnit time.Duration, size func(payload any) int) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -258,10 +266,18 @@ func (n *Network) Send(ctx context.Context, from, to PeerID, msg Message) (Messa
 		return Message{}, err
 	}
 	transfer := func(payload any) error {
-		if perUnit > 0 && sizer != nil {
-			if units := sizer(payload); units > 0 {
-				return sleepCtx(ctx, time.Duration(units)*perUnit)
-			}
+		if sizer == nil {
+			return nil
+		}
+		units := sizer(payload)
+		if units <= 0 {
+			return nil
+		}
+		n.mu.Lock()
+		n.stats.PayloadUnits += units
+		n.mu.Unlock()
+		if perUnit > 0 {
+			return sleepCtx(ctx, time.Duration(units)*perUnit)
 		}
 		return nil
 	}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gridvine/internal/simnet"
@@ -41,6 +42,10 @@ type Transport struct {
 	// stats
 	messages int
 	dropped  int
+	// Byte counters are atomic: countingConn tallies every gob chunk on
+	// the hot send path, which must not contend on the transport mutex.
+	bytesSent atomic.Int64
+	bytesRecv atomic.Int64
 }
 
 type server struct {
@@ -170,8 +175,9 @@ func (t *Transport) Send(ctx context.Context, from, to simnet.PeerID, msg simnet
 	})
 	defer stop()
 
-	enc := gob.NewEncoder(conn)
-	dec := gob.NewDecoder(conn)
+	cc := &countingConn{Conn: conn, t: t}
+	enc := gob.NewEncoder(cc)
+	dec := gob.NewDecoder(cc)
 	if err := enc.Encode(request{From: from, Msg: msg}); err != nil {
 		if cerr := ctx.Err(); cerr != nil {
 			return simnet.Message{}, cerr
@@ -207,6 +213,38 @@ func (t *Transport) Stats() (messages, dropped int) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return t.messages, t.dropped
+}
+
+// Bytes reports the wire volume this transport's outgoing calls have moved
+// (gob-encoded request bytes sent, response bytes received) — the
+// bandwidth counterpart of the message counters, so batched operations
+// that collapse many exchanges into few still account for every byte they
+// carry.
+func (t *Transport) Bytes() (sent, received int64) {
+	return t.bytesSent.Load(), t.bytesRecv.Load()
+}
+
+// countingConn tallies the bytes of one request/response exchange into the
+// owning transport's counters.
+type countingConn struct {
+	net.Conn
+	t *Transport
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	if n > 0 {
+		c.t.bytesSent.Add(int64(n))
+	}
+	return n, err
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.t.bytesRecv.Add(int64(n))
+	}
+	return n, err
 }
 
 // Close shuts down every hosted listener.

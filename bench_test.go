@@ -13,6 +13,7 @@ package gridvine
 // sensible setting for them.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -246,7 +247,7 @@ func BenchmarkInsertTriple(b *testing.B) {
 			Predicate: "EMBL#Organism",
 			Object:    fmt.Sprintf("Species %d", i),
 		}
-		if _, err := p.InsertTriple(t); err != nil {
+		if _, err := p.InsertTripleContext(context.Background(), t); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -257,7 +258,7 @@ func BenchmarkSearchFor(b *testing.B) {
 	net := benchNetwork(b, 64)
 	p := net.Peer(0)
 	for i := 0; i < 500; i++ {
-		p.InsertTriple(Triple{
+		p.InsertTripleContext(context.Background(), Triple{
 			Subject:   fmt.Sprintf("acc:Q%04d", i),
 			Predicate: "EMBL#Organism",
 			Object:    fmt.Sprintf("Species %d", i%20),
@@ -267,7 +268,7 @@ func BenchmarkSearchFor(b *testing.B) {
 	issuer := net.Peer(31)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := issuer.SearchFor(q); err != nil {
+		if _, err := blockingSearchFor(issuer, q); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -280,9 +281,9 @@ func BenchmarkSearchWithReformulation(b *testing.B) {
 	p := net.Peer(0)
 	for i := 0; i < 4; i++ {
 		name := fmt.Sprintf("S%d", i)
-		p.InsertTriple(Triple{Subject: name + "-x", Predicate: name + "#org", Object: "aspergillus"})
+		p.InsertTripleContext(context.Background(), Triple{Subject: name + "-x", Predicate: name + "#org", Object: "aspergillus"})
 		if i < 3 {
-			p.InsertMapping(NewManualMapping(name, fmt.Sprintf("S%d", i+1), map[string]string{"org": "org"}))
+			p.InsertMappingContext(context.Background(), NewManualMapping(name, fmt.Sprintf("S%d", i+1), map[string]string{"org": "org"}))
 		}
 	}
 	q := Pattern{S: Var("x"), P: Const("S0#org"), O: Const("aspergillus")}
@@ -290,7 +291,7 @@ func BenchmarkSearchWithReformulation(b *testing.B) {
 	for name, width := range map[string]int{"default": 0, "serial": 1} {
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := issuer.SearchWithReformulation(q, SearchOptions{Parallelism: width}); err != nil {
+				if _, err := blockingSearchReformulated(issuer, q, SearchOptions{Parallelism: width}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -334,8 +335,8 @@ func BenchmarkConjunctiveQuery(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	for i := 0; i < 300; i++ {
 		subj := fmt.Sprintf("acc:J%04d", i)
-		p.InsertTriple(Triple{Subject: subj, Predicate: "A#org", Object: fmt.Sprintf("species-%d", rng.Intn(10))})
-		p.InsertTriple(Triple{Subject: subj, Predicate: "A#len", Object: fmt.Sprint(100 + i)})
+		p.InsertTripleContext(context.Background(), Triple{Subject: subj, Predicate: "A#org", Object: fmt.Sprintf("species-%d", rng.Intn(10))})
+		p.InsertTripleContext(context.Background(), Triple{Subject: subj, Predicate: "A#len", Object: fmt.Sprint(100 + i)})
 	}
 	patterns := []Pattern{
 		{S: Var("x"), P: Const("A#org"), O: Const("species-3")},
@@ -344,7 +345,7 @@ func BenchmarkConjunctiveQuery(b *testing.B) {
 	issuer := net.Peer(5)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out, _, err := issuer.SearchConjunctive(patterns, false, SearchOptions{})
+		out, _, err := blockingConjunctive(issuer, patterns, false, SearchOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}

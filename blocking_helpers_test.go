@@ -1,0 +1,48 @@
+package gridvine
+
+import "context"
+
+// Test-side ports of the deprecated blocking search wrappers: facade tests
+// and benchmarks exercise Query plus the Collect drain helpers — the
+// supported surface — instead of the deprecated methods.
+
+func blockingSearchFor(p *Peer, q Pattern) (*ResultSet, error) {
+	ctx := context.Background()
+	cur, err := p.Query(ctx, Request{Pattern: &q})
+	if err != nil {
+		return nil, err
+	}
+	return CollectPattern(ctx, cur)
+}
+
+func blockingSearchReformulated(p *Peer, q Pattern, opts SearchOptions) (*ResultSet, error) {
+	ctx := context.Background()
+	cur, err := p.Query(ctx, Request{Pattern: &q, Reformulate: true, Options: opts})
+	if err != nil {
+		return nil, err
+	}
+	return CollectPattern(ctx, cur)
+}
+
+func blockingConjunctive(p *Peer, patterns []Pattern, reformulate bool, opts SearchOptions) ([]Bindings, int, error) {
+	ctx := context.Background()
+	cur, err := p.Query(ctx, Request{Patterns: patterns, Reformulate: reformulate, Options: opts})
+	if err != nil {
+		return nil, 0, err
+	}
+	bs, stats, err := CollectSet(ctx, cur)
+	if err != nil {
+		return nil, stats.TotalMessages(), err
+	}
+	return bs.ToBindings(), stats.TotalMessages(), nil
+}
+
+func blockingRDQL(p *Peer, query string, reformulate bool, opts SearchOptions) ([]Row, error) {
+	ctx := context.Background()
+	cur, err := p.Query(ctx, Request{RDQL: query, Reformulate: reformulate, Options: opts})
+	if err != nil {
+		return nil, err
+	}
+	rows, _, err := CollectRows(ctx, cur)
+	return rows, err
+}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -35,6 +36,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(*seed))
 
 	fmt.Printf("generating bioinformatic workload: %d schemas, %d entities…\n", *schemas, *entities)
@@ -53,7 +55,7 @@ func main() {
 
 	fmt.Printf("inserting data into %d peers…\n", net.NumPeers())
 	for _, t := range w.Triples() {
-		if _, err := net.RandomPeer().InsertTriple(t); err != nil {
+		if _, err := net.RandomPeer().InsertTripleContext(ctx, t); err != nil {
 			fail("inserting triple", err)
 		}
 	}
@@ -67,20 +69,20 @@ func main() {
 		fail("creating organizer", err)
 	}
 	for _, info := range w.Schemas {
-		if err := org.RegisterSchema(info.Schema); err != nil {
+		if err := org.RegisterSchema(ctx, info.Schema); err != nil {
 			fail("registering schema", err)
 		}
 	}
 	for _, m := range w.SeedMappings(*seedMappings) {
-		if _, err := net.Peer(0).InsertMapping(m); err != nil {
+		if _, err := net.Peer(0).InsertMappingContext(ctx, m); err != nil {
 			fail("inserting seed mapping", err)
 		}
 	}
-	ms, err := org.GatherMappings()
+	ms, err := org.GatherMappings(ctx)
 	if err != nil {
 		fail("gathering mappings", err)
 	}
-	if err := org.RefreshDegrees(ms); err != nil {
+	if err := org.RefreshDegrees(ctx, ms); err != nil {
 		fail("refreshing degrees", err)
 	}
 	fmt.Printf("registered %d schemas, inserted %d manual seed mappings\n\n", len(w.Schemas), *seedMappings)
@@ -92,7 +94,7 @@ func main() {
 	recallNow := func() float64 {
 		sum := 0.0
 		for _, q := range qs {
-			rs, err := net.RandomPeer().SearchWithReformulation(q.Pattern, mediation.SearchOptions{})
+			rs, err := searchReformulated(ctx, net.RandomPeer(), q.Pattern)
 			if err != nil {
 				continue
 			}
@@ -101,18 +103,18 @@ func main() {
 		return sum / float64(len(qs))
 	}
 
-	report, err := org.Connectivity()
+	report, err := org.Connectivity(ctx)
 	if err != nil {
 		fail("connectivity", err)
 	}
 	table.AddRow("0", fmt.Sprintf("%+.2f", report.CI), fmt.Sprint(len(ms.Active())), "0", "-", fmt.Sprintf("%.2f", recallNow()))
 
 	for round := 1; round <= *rounds; round++ {
-		r, err := org.Round(subjects)
+		r, err := org.Round(ctx, subjects)
 		if err != nil {
 			fail("round", err)
 		}
-		ms, err := org.GatherMappings()
+		ms, err := org.GatherMappings(ctx)
 		if err != nil {
 			fail("gathering mappings", err)
 		}
@@ -141,7 +143,7 @@ func main() {
 		P: gridvine.Const(info.Schema.PredicateURI(attr)),
 		O: gridvine.Like("%Aspergillus%"),
 	}
-	rs, err := net.RandomPeer().SearchWithReformulation(q, mediation.SearchOptions{})
+	rs, err := searchReformulated(ctx, net.RandomPeer(), q)
 	if err != nil {
 		fail("figure-2 query", err)
 	}
@@ -153,6 +155,16 @@ func main() {
 	}
 	fmt.Printf("  query %v\n  → %d results from %d schemas after %d reformulations\n",
 		q, len(rs.Results), len(bySchema), rs.Reformulations)
+}
+
+// searchReformulated runs one reformulating pattern query through the
+// streaming entry point and drains it into the blocking-era aggregate.
+func searchReformulated(ctx context.Context, p *gridvine.Peer, q gridvine.Pattern) (*gridvine.ResultSet, error) {
+	cur, err := p.Query(ctx, mediation.Request{Pattern: &q, Reformulate: true})
+	if err != nil {
+		return nil, err
+	}
+	return gridvine.CollectPattern(ctx, cur)
 }
 
 func splitSchema(uri string) (string, string, bool) {

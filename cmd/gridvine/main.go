@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -47,7 +48,9 @@ func main() {
 		net.NumPeers(), len(net.Overlay().Paths()), *tcp)
 
 	// Share demonstration data under two heterogeneous schemas plus the
-	// mapping connecting them (the paper's Figure 2 setting).
+	// mapping connecting them (the paper's Figure 2 setting), shipped as
+	// one key-grouped batch write.
+	ctx := context.Background()
 	p := net.Peer(0)
 	seedData := []gridvine.Triple{
 		{Subject: "EMBL:A78712", Predicate: "EMBL#Organism", Object: "Aspergillus nidulans"},
@@ -56,17 +59,20 @@ func main() {
 		{Subject: "NEN94295-05", Predicate: "EMP#SystematicName", Object: "Aspergillus flavus"},
 		{Subject: "NEN00001-99", Predicate: "EMP#SystematicName", Object: "Mus musculus"},
 	}
+	batch := &gridvine.Batch{}
 	for _, t := range seedData {
-		if _, err := p.InsertTriple(t); err != nil {
-			fmt.Fprintln(os.Stderr, "inserting:", err)
-			os.Exit(1)
-		}
+		batch.InsertTriple(t)
 	}
-	p.InsertSchema(gridvine.NewSchema("EMBL", "protein-sequences", "Organism"))
-	p.InsertSchema(gridvine.NewSchema("EMP", "protein-sequences", "SystematicName"))
-	mapping := gridvine.NewManualMapping("EMBL", "EMP", map[string]string{"Organism": "SystematicName"})
-	if _, err := p.InsertMapping(mapping); err != nil {
-		fmt.Fprintln(os.Stderr, "inserting mapping:", err)
+	batch.PublishSchema(gridvine.NewSchema("EMBL", "protein-sequences", "Organism"))
+	batch.PublishSchema(gridvine.NewSchema("EMP", "protein-sequences", "SystematicName"))
+	batch.PublishMapping(gridvine.NewManualMapping("EMBL", "EMP", map[string]string{"Organism": "SystematicName"}))
+	rec, err := p.Write(ctx, batch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loading seed data:", err)
+		os.Exit(1)
+	}
+	if rec.Applied != batch.Len() {
+		fmt.Fprintf(os.Stderr, "seed batch applied %d of %d entries: %v\n", rec.Applied, batch.Len(), rec.FirstErr())
 		os.Exit(1)
 	}
 	fmt.Printf("inserted %d triples, 2 schemas, 1 mapping (EMBL#Organism ↔ EMP#SystematicName)\n\n", len(seedData))
@@ -78,7 +84,12 @@ func main() {
 	issuer := net.Peer(net.NumPeers() - 1)
 
 	if *rdqlStr != "" {
-		rows, err := issuer.QueryRDQL(*rdqlStr, true, opts)
+		cur, err := issuer.Query(ctx, gridvine.Request{RDQL: *rdqlStr, Reformulate: true, Options: opts})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "RDQL query failed:", err)
+			os.Exit(1)
+		}
+		rows, _, err := gridvine.CollectRows(ctx, cur)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "RDQL query failed:", err)
 			os.Exit(1)
@@ -98,7 +109,12 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("SearchFor(%v) from %s, %s reformulation:\n", pattern, issuer.Node().ID(), *mode)
-	rs, err := issuer.SearchWithReformulation(pattern, opts)
+	cur, err := issuer.Query(ctx, gridvine.Request{Pattern: &pattern, Reformulate: true, Options: opts})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "query failed:", err)
+		os.Exit(1)
+	}
+	rs, err := gridvine.CollectPattern(ctx, cur)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "query failed:", err)
 		os.Exit(1)

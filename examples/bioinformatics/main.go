@@ -50,7 +50,8 @@ func main() {
 	for _, m := range w.SeedMappings(len(w.Schemas) - 1) {
 		batch.PublishMapping(m)
 	}
-	receipt, err := net.Peer(0).Write(context.Background(), batch)
+	ctx := context.Background()
+	receipt, err := net.Peer(0).Write(ctx, batch)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,10 +68,10 @@ func main() {
 	queries := w.Queries(30, rng)
 	var plain, reformulated float64
 	for _, q := range queries {
-		if rs, err := net.RandomPeer().SearchFor(q.Pattern); err == nil {
+		if rs, err := search(ctx, net.RandomPeer(), q.Pattern, false); err == nil {
 			plain += q.Recall(rs.Triples())
 		}
-		if rs, err := net.RandomPeer().SearchWithReformulation(q.Pattern, gridvine.SearchOptions{}); err == nil {
+		if rs, err := search(ctx, net.RandomPeer(), q.Pattern, true); err == nil {
 			reformulated += q.Recall(rs.Triples())
 		}
 	}
@@ -87,10 +88,15 @@ func main() {
 		{S: gridvine.Var("x"), P: gridvine.Const(info.Schema.PredicateURI(orgAttr)), O: gridvine.Like("%Aspergillus%")},
 		{S: gridvine.Var("x"), P: gridvine.Const(info.Schema.PredicateURI(accAttr)), O: gridvine.Var("acc")},
 	}
-	bindings, _, err := net.Peer(1).SearchConjunctive(patterns, false, gridvine.SearchOptions{})
+	cur, err := net.Peer(1).Query(ctx, gridvine.Request{Patterns: patterns})
 	if err != nil {
 		log.Fatal(err)
 	}
+	set, _, err := gridvine.CollectSet(ctx, cur)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bindings := set.ToBindings()
 	fmt.Printf("\nAspergillus entries in %s with accessions: %d\n", info.Schema.Name, len(bindings))
 	for i, b := range bindings {
 		if i >= 5 {
@@ -99,4 +105,14 @@ func main() {
 		}
 		fmt.Printf("  %s (accession %s)\n", b["x"], b["acc"])
 	}
+}
+
+// search resolves one pattern query — optionally reformulating through the
+// mapping network — and drains the cursor into the aggregate ResultSet.
+func search(ctx context.Context, p *gridvine.Peer, q gridvine.Pattern, reformulate bool) (*gridvine.ResultSet, error) {
+	cur, err := p.Query(ctx, gridvine.Request{Pattern: &q, Reformulate: reformulate})
+	if err != nil {
+		return nil, err
+	}
+	return gridvine.CollectPattern(ctx, cur)
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,27 +22,31 @@ func main() {
 	}
 	defer net.Close()
 
+	ctx := context.Background()
+
 	// Any peer can insert; each triple is indexed at the overlay by its
-	// subject, predicate and object keys.
+	// subject, predicate and object keys. A Batch ships every mutation in
+	// one key-grouped Write.
 	p := net.Peer(0)
 	triples := []gridvine.Triple{
 		{Subject: "EMBL:A78712", Predicate: "EMBL#Organism", Object: "Aspergillus nidulans"},
 		{Subject: "EMBL:A78712", Predicate: "EMBL#Length", Object: "1422"},
 		{Subject: "NEN94295-05", Predicate: "EMP#SystematicName", Object: "Aspergillus flavus"},
 	}
+	batch := &gridvine.Batch{}
 	for _, t := range triples {
-		if _, err := p.InsertTriple(t); err != nil {
-			log.Fatal(err)
-		}
+		batch.InsertTriple(t)
 	}
 
 	// Schemas document the attributes; the mapping makes them interoperable.
-	p.InsertSchema(gridvine.NewSchema("EMBL", "bio", "Organism", "Length"))
-	p.InsertSchema(gridvine.NewSchema("EMP", "bio", "SystematicName"))
-	mapping := gridvine.NewManualMapping("EMBL", "EMP",
-		map[string]string{"Organism": "SystematicName"})
-	if _, err := p.InsertMapping(mapping); err != nil {
+	batch.PublishSchema(gridvine.NewSchema("EMBL", "bio", "Organism", "Length"))
+	batch.PublishSchema(gridvine.NewSchema("EMP", "bio", "SystematicName"))
+	batch.PublishMapping(gridvine.NewManualMapping("EMBL", "EMP",
+		map[string]string{"Organism": "SystematicName"}))
+	if rec, err := p.Write(ctx, batch); err != nil {
 		log.Fatal(err)
+	} else if rec.Applied != batch.Len() {
+		log.Fatalf("batch applied %d of %d entries: %v", rec.Applied, batch.Len(), rec.FirstErr())
 	}
 
 	// Query from a different peer: constrained on the EMBL predicate, LIKE
@@ -51,7 +56,11 @@ func main() {
 		P: gridvine.Const("EMBL#Organism"),
 		O: gridvine.Like("%Aspergillus%"),
 	}
-	rs, err := net.Peer(9).SearchWithReformulation(q, gridvine.SearchOptions{})
+	cur, err := net.Peer(9).Query(ctx, gridvine.Request{Pattern: &q, Reformulate: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rs, err := gridvine.CollectPattern(ctx, cur)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,12 +75,16 @@ func main() {
 		{S: gridvine.Var("x"), P: gridvine.Const("EMBL#Organism"), O: gridvine.Like("%Aspergillus%")},
 		{S: gridvine.Var("x"), P: gridvine.Const("EMBL#Length"), O: gridvine.Var("len")},
 	}
-	bindings, _, err := net.Peer(3).SearchConjunctive(patterns, false, gridvine.SearchOptions{})
+	jcur, err := net.Peer(3).Query(ctx, gridvine.Request{Patterns: patterns})
+	if err != nil {
+		log.Fatal(err)
+	}
+	set, _, err := gridvine.CollectSet(ctx, jcur)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("conjunctive query bindings:")
-	for _, b := range bindings {
+	for _, b := range set.ToBindings() {
 		fmt.Printf("  x=%s len=%s\n", b["x"], b["len"])
 	}
 }

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,21 +28,24 @@ func main() {
 	defer net.Close()
 	p := net.Peer(0)
 
+	ctx := context.Background()
+
 	// The figure's data: two nucleotide sequences described under EMBL, one
-	// protein entry described under EMP.
+	// protein entry described under EMP, plus the mapping — one batch Write.
+	batch := &gridvine.Batch{}
 	for _, t := range []gridvine.Triple{
 		{Subject: "EMBL:A78712", Predicate: "EMBL#Organism", Object: "Aspergillus nidulans"},
 		{Subject: "EMBL:A78767", Predicate: "EMBL#Organism", Object: "Aspergillus niger"},
 		{Subject: "NEN94295-05", Predicate: "EMP#SystematicName", Object: "Aspergillus flavus"},
 	} {
-		if _, err := p.InsertTriple(t); err != nil {
-			log.Fatal(err)
-		}
+		batch.InsertTriple(t)
 	}
-	mapping := gridvine.NewManualMapping("EMBL", "EMP",
-		map[string]string{"Organism": "SystematicName"})
-	if _, err := p.InsertMapping(mapping); err != nil {
+	batch.PublishMapping(gridvine.NewManualMapping("EMBL", "EMP",
+		map[string]string{"Organism": "SystematicName"}))
+	if rec, err := p.Write(ctx, batch); err != nil {
 		log.Fatal(err)
+	} else if rec.Applied != batch.Len() {
+		log.Fatalf("batch applied %d of %d entries: %v", rec.Applied, batch.Len(), rec.FirstErr())
 	}
 
 	query := gridvine.Pattern{
@@ -57,7 +61,11 @@ func main() {
 		{Mode: gridvine.Iterative},
 		{Mode: gridvine.Recursive},
 	} {
-		rs, err := net.Peer(11).SearchWithReformulation(query, mode)
+		cur, err := net.Peer(11).Query(ctx, gridvine.Request{Pattern: &query, Reformulate: true, Options: mode})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rs, err := gridvine.CollectPattern(ctx, cur)
 		if err != nil {
 			log.Fatal(err)
 		}

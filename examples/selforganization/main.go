@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,9 +23,10 @@ func main() {
 		log.Fatal(err)
 	}
 	defer net.Close()
+	ctx := context.Background()
 
 	for _, t := range w.Triples() {
-		if _, err := net.RandomPeer().InsertTriple(t); err != nil {
+		if _, err := net.RandomPeer().InsertTripleContext(ctx, t); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -38,7 +40,7 @@ func main() {
 		log.Fatal(err)
 	}
 	for _, info := range w.Schemas {
-		if err := org.RegisterSchema(info.Schema); err != nil {
+		if err := org.RegisterSchema(ctx, info.Schema); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -48,20 +50,20 @@ func main() {
 	// through it will not compose to the identity.
 	seeds := w.SeedMappings(1)
 	if len(seeds) > 0 {
-		net.Peer(0).InsertMapping(seeds[0])
+		net.Peer(0).InsertMappingContext(ctx, seeds[0])
 	}
 	a, b := w.Schemas[2], w.Schemas[4]
 	wrong := gridvine.NewAutomaticMapping(a.Schema.Name, b.Schema.Name, map[string]string{
 		a.ConceptAttr["organism"]:  b.ConceptAttr["accession"],
 		a.ConceptAttr["accession"]: b.ConceptAttr["organism"],
 	}, 0.8)
-	net.Peer(0).InsertMapping(wrong)
+	net.Peer(0).InsertMappingContext(ctx, wrong)
 	fmt.Printf("seeded 1 correct mapping and 1 planted-wrong mapping (%s ↔ %s)\n\n",
 		a.Schema.Name, b.Schema.Name)
 
 	subjects := w.Subjects()
 	for round := 1; round <= 6; round++ {
-		r, err := org.Round(subjects)
+		r, err := org.Round(ctx, subjects)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -79,7 +81,7 @@ func main() {
 		}
 	}
 
-	ms, err := org.GatherMappings()
+	ms, err := org.GatherMappings(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

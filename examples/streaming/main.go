@@ -38,20 +38,27 @@ func main() {
 	p := net.Peer(0)
 
 	// A chain of four schemas bridged by mappings: a query against
-	// S0#organism reformulates wave by wave to S1, S2, S3.
+	// S0#organism reformulates wave by wave to S1, S2, S3. Data and
+	// mappings ship together as one batched Write.
+	batch := &gridvine.Batch{}
 	for i := 0; i < 4; i++ {
 		name := fmt.Sprintf("S%d", i)
 		for e := 0; e < 5; e++ {
-			p.InsertTriple(gridvine.Triple{
+			batch.InsertTriple(gridvine.Triple{
 				Subject:   fmt.Sprintf("acc:%s-%d", name, e),
 				Predicate: name + "#organism",
 				Object:    fmt.Sprintf("Aspergillus strain %d", e),
 			})
 		}
 		if i < 3 {
-			p.InsertMapping(gridvine.NewManualMapping(
+			batch.PublishMapping(gridvine.NewManualMapping(
 				name, fmt.Sprintf("S%d", i+1), map[string]string{"organism": "organism"}))
 		}
+	}
+	if rec, err := p.Write(context.Background(), batch); err != nil {
+		log.Fatal(err)
+	} else if rec.Applied != batch.Len() {
+		log.Fatalf("batch applied %d of %d entries: %v", rec.Applied, batch.Len(), rec.FirstErr())
 	}
 	// Make the overlay behave like a real network so streaming shows.
 	net.Transport().SetSendDelay(2 * time.Millisecond)
@@ -103,9 +110,13 @@ func main() {
 		cur.Stats().Rows, cur.Stats().Messages, st.Messages)
 
 	// RDQL carries the same limit in-language.
-	rdqlRows, err := issuer.QueryRDQL(
-		`SELECT ?x WHERE (?x, <S0#organism>, "%Aspergillus%") LIMIT 2`,
-		false, gridvine.SearchOptions{})
+	rcur, err := issuer.Query(context.Background(), gridvine.Request{
+		RDQL: `SELECT ?x WHERE (?x, <S0#organism>, "%Aspergillus%") LIMIT 2`,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rdqlRows, _, err := gridvine.CollectRows(context.Background(), rcur)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,11 +9,14 @@
 // The package is a facade over the internal layers. A minimal session:
 //
 //	net, _ := gridvine.NewNetwork(gridvine.Options{Peers: 16, Seed: 1})
-//	p := net.Peer(0)
-//	p.InsertTriple(gridvine.Triple{
+//	batch := &gridvine.Batch{}
+//	batch.InsertTriple(gridvine.Triple{
 //		Subject: "acc:P1", Predicate: "EMBL#Organism", Object: "Aspergillus niger"})
-//	rs, _ := net.Peer(3).SearchFor(gridvine.Pattern{
-//		S: gridvine.Var("x"), P: gridvine.Const("EMBL#Organism"), O: gridvine.Like("%Aspergillus%")})
+//	net.Peer(0).Write(ctx, batch)
+//	q := gridvine.Pattern{
+//		S: gridvine.Var("x"), P: gridvine.Const("EMBL#Organism"), O: gridvine.Like("%Aspergillus%")}
+//	cur, _ := net.Peer(3).Query(ctx, gridvine.Request{Pattern: &q})
+//	rs, _ := gridvine.CollectPattern(ctx, cur)
 //
 // See examples/ for runnable programs and DESIGN.md for the architecture.
 package gridvine
@@ -107,6 +110,21 @@ var (
 	Var = triple.Var
 	// Like builds a LIKE term with % wildcards.
 	Like = triple.LikeTerm
+)
+
+// Cursor drain helpers: each consumes a Peer.Query cursor to completion,
+// closes it, and rebuilds the corresponding blocking-era aggregate
+// (sorted, deduplicated) — the migration path off the deprecated
+// blocking search methods when the caller wants the whole answer at once.
+var (
+	// CollectPattern drains a single-pattern cursor into a ResultSet.
+	CollectPattern = mediation.CollectPattern
+	// CollectSet drains a conjunctive cursor into a BindingSet plus the
+	// planner's execution statistics.
+	CollectSet = mediation.CollectSet
+	// CollectRows drains an RDQL cursor into projected rows plus the
+	// planner's execution statistics.
+	CollectRows = mediation.CollectRows
 )
 
 // Reformulation modes.

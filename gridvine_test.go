@@ -31,21 +31,21 @@ func TestFacadeEndToEnd(t *testing.T) {
 	defer net.Close()
 
 	p := net.Peer(0)
-	if _, err := p.InsertTriple(Triple{Subject: "acc:P1", Predicate: "EMBL#Organism", Object: "Aspergillus niger"}); err != nil {
+	if _, err := p.InsertTripleContext(context.Background(), Triple{Subject: "acc:P1", Predicate: "EMBL#Organism", Object: "Aspergillus niger"}); err != nil {
 		t.Fatalf("InsertTriple: %v", err)
 	}
-	if _, err := p.InsertTriple(Triple{Subject: "acc:P2", Predicate: "EMP#SystematicName", Object: "Aspergillus oryzae"}); err != nil {
+	if _, err := p.InsertTripleContext(context.Background(), Triple{Subject: "acc:P2", Predicate: "EMP#SystematicName", Object: "Aspergillus oryzae"}); err != nil {
 		t.Fatalf("InsertTriple: %v", err)
 	}
-	if _, err := p.InsertSchema(NewSchema("EMBL", "bio", "Organism")); err != nil {
+	if _, err := p.InsertSchemaContext(context.Background(), NewSchema("EMBL", "bio", "Organism")); err != nil {
 		t.Fatalf("InsertSchema: %v", err)
 	}
-	if _, err := p.InsertMapping(NewManualMapping("EMBL", "EMP", map[string]string{"Organism": "SystematicName"})); err != nil {
+	if _, err := p.InsertMappingContext(context.Background(), NewManualMapping("EMBL", "EMP", map[string]string{"Organism": "SystematicName"})); err != nil {
 		t.Fatalf("InsertMapping: %v", err)
 	}
 
 	q := Pattern{S: Var("x"), P: Const("EMBL#Organism"), O: Like("%Aspergillus%")}
-	rs, err := net.Peer(7).SearchWithReformulation(q, SearchOptions{Mode: Recursive})
+	rs, err := blockingSearchReformulated(net.Peer(7), q, SearchOptions{Mode: Recursive})
 	if err != nil {
 		t.Fatalf("search: %v", err)
 	}
@@ -64,10 +64,10 @@ func TestFacadeTCP(t *testing.T) {
 		t.Error("TCP network should not expose the in-memory transport")
 	}
 	p := net.Peer(0)
-	if _, err := p.InsertTriple(Triple{Subject: "s", Predicate: "A#p", Object: "o"}); err != nil {
+	if _, err := p.InsertTripleContext(context.Background(), Triple{Subject: "s", Predicate: "A#p", Object: "o"}); err != nil {
 		t.Fatalf("InsertTriple over TCP: %v", err)
 	}
-	rs, err := net.Peer(3).SearchFor(Pattern{S: Var("x"), P: Const("A#p"), O: Var("o")})
+	rs, err := blockingSearchFor(net.Peer(3), Pattern{S: Var("x"), P: Const("A#p"), O: Var("o")})
 	if err != nil {
 		t.Fatalf("SearchFor over TCP: %v", err)
 	}
@@ -111,17 +111,17 @@ func TestFacadeBatchWrite(t *testing.T) {
 		t.Errorf("tcp byte accounting empty: sent=%d recv=%d", sent, recv)
 	}
 
-	rs, err := net.Peer(3).SearchFor(Pattern{S: Var("x"), P: Const("EMBL#Organism"), O: Const("Species 1")})
+	rs, err := blockingSearchFor(net.Peer(3), Pattern{S: Var("x"), P: Const("EMBL#Organism"), O: Const("Species 1")})
 	if err != nil {
 		t.Fatalf("SearchFor: %v", err)
 	}
 	if len(rs.Results) != 5 {
 		t.Errorf("results = %d, want 5", len(rs.Results))
 	}
-	if _, err := net.Peer(2).LookupSchema("EMBL"); err != nil {
+	if _, err := net.Peer(2).LookupSchema(context.Background(), "EMBL"); err != nil {
 		t.Errorf("LookupSchema after batched publish: %v", err)
 	}
-	ms, _, err := net.Peer(4).MappingsFrom("EMBL")
+	ms, _, err := net.Peer(4).MappingsFrom(context.Background(), "EMBL")
 	if err != nil || len(ms) != 1 {
 		t.Errorf("MappingsFrom after batched publish: %v (%d mappings)", err, len(ms))
 	}
@@ -146,10 +146,10 @@ func TestFacadeSelfOrganizingOverlay(t *testing.T) {
 		t.Errorf("coverage: %v", err)
 	}
 	p := net.Peer(0)
-	if _, err := p.InsertTriple(Triple{Subject: "s", Predicate: "A#p", Object: "o"}); err != nil {
+	if _, err := p.InsertTripleContext(context.Background(), Triple{Subject: "s", Predicate: "A#p", Object: "o"}); err != nil {
 		t.Fatalf("InsertTriple: %v", err)
 	}
-	rs, err := net.RandomPeer().SearchFor(Pattern{S: Const("s"), P: Var("p"), O: Var("o")})
+	rs, err := blockingSearchFor(net.RandomPeer(), Pattern{S: Const("s"), P: Var("p"), O: Var("o")})
 	if err != nil {
 		t.Fatalf("SearchFor: %v", err)
 	}
@@ -168,10 +168,10 @@ func TestFacadeOrganizer(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewOrganizer: %v", err)
 	}
-	if err := org.RegisterSchema(NewSchema("A", "bio", "x")); err != nil {
+	if err := org.RegisterSchema(context.Background(), NewSchema("A", "bio", "x")); err != nil {
 		t.Fatalf("RegisterSchema: %v", err)
 	}
-	names, err := org.SchemaNames()
+	names, err := org.SchemaNames(context.Background())
 	if err != nil || len(names) != 1 || names[0] != "A" {
 		t.Errorf("SchemaNames = %v err=%v", names, err)
 	}
@@ -184,12 +184,12 @@ func TestQueryRDQL(t *testing.T) {
 	}
 	defer net.Close()
 	p := net.Peer(0)
-	p.InsertTriple(Triple{Subject: "acc:1", Predicate: "EMBL#Organism", Object: "Aspergillus niger"})
-	p.InsertTriple(Triple{Subject: "acc:1", Predicate: "EMBL#Length", Object: "900"})
-	p.InsertTriple(Triple{Subject: "acc:2", Predicate: "EMBL#Organism", Object: "Homo sapiens"})
-	p.InsertTriple(Triple{Subject: "acc:2", Predicate: "EMBL#Length", Object: "1200"})
+	p.InsertTripleContext(context.Background(), Triple{Subject: "acc:1", Predicate: "EMBL#Organism", Object: "Aspergillus niger"})
+	p.InsertTripleContext(context.Background(), Triple{Subject: "acc:1", Predicate: "EMBL#Length", Object: "900"})
+	p.InsertTripleContext(context.Background(), Triple{Subject: "acc:2", Predicate: "EMBL#Organism", Object: "Homo sapiens"})
+	p.InsertTripleContext(context.Background(), Triple{Subject: "acc:2", Predicate: "EMBL#Length", Object: "1200"})
 
-	rows, err := net.Peer(5).QueryRDQL(`
+	rows, err := blockingRDQL(net.Peer(5), `
 		SELECT ?x, ?len
 		WHERE (?x, <EMBL#Organism>, "%Aspergillus%"), (?x, <EMBL#Length>, ?len)`,
 		false, SearchOptions{})
@@ -199,7 +199,7 @@ func TestQueryRDQL(t *testing.T) {
 	if len(rows) != 1 || rows[0][0] != "acc:1" || rows[0][1] != "900" {
 		t.Errorf("rows = %v", rows)
 	}
-	if _, err := net.Peer(5).QueryRDQL("SELECT bogus", false, SearchOptions{}); err == nil {
+	if _, err := blockingRDQL(net.Peer(5), "SELECT bogus", false, SearchOptions{}); err == nil {
 		t.Error("invalid RDQL should fail")
 	}
 }
@@ -211,10 +211,10 @@ func TestQueryRDQLWithReformulation(t *testing.T) {
 	}
 	defer net.Close()
 	p := net.Peer(0)
-	p.InsertTriple(Triple{Subject: "acc:9", Predicate: "EMP#SystematicName", Object: "Aspergillus flavus"})
-	p.InsertMapping(NewManualMapping("EMBL", "EMP", map[string]string{"Organism": "SystematicName"}))
+	p.InsertTripleContext(context.Background(), Triple{Subject: "acc:9", Predicate: "EMP#SystematicName", Object: "Aspergillus flavus"})
+	p.InsertMappingContext(context.Background(), NewManualMapping("EMBL", "EMP", map[string]string{"Organism": "SystematicName"}))
 
-	rows, err := net.Peer(3).QueryRDQL(
+	rows, err := blockingRDQL(net.Peer(3),
 		`SELECT ?x WHERE (?x, <EMBL#Organism>, "%Aspergillus%")`, true, SearchOptions{})
 	if err != nil {
 		t.Fatalf("QueryRDQL: %v", err)
@@ -266,9 +266,9 @@ func TestSearchObjectRangeViaFacade(t *testing.T) {
 		"acc:b": "Aspergillus niger",
 		"acc:c": "Homo sapiens",
 	} {
-		p.InsertTriple(Triple{Subject: subj, Predicate: "EMBL#Organism", Object: org})
+		p.InsertTripleContext(context.Background(), Triple{Subject: subj, Predicate: "EMBL#Organism", Object: org})
 	}
-	got, _, err := net.Peer(4).SearchObjectRange("EMBL#Organism", "Aspergillus", "Aspergillus z")
+	got, _, err := net.Peer(4).SearchObjectRange(context.Background(), "EMBL#Organism", "Aspergillus", "Aspergillus z")
 	if err != nil {
 		t.Fatalf("SearchObjectRange: %v", err)
 	}
@@ -322,7 +322,7 @@ func TestFacadeStreamingQuery(t *testing.T) {
 	defer net.Close()
 	p := net.Peer(0)
 	for i := 0; i < 6; i++ {
-		p.InsertTriple(Triple{
+		p.InsertTripleContext(context.Background(), Triple{
 			Subject:   fmt.Sprintf("acc:%d", i),
 			Predicate: "EMBL#Organism",
 			Object:    "Aspergillus niger",

@@ -167,7 +167,7 @@ func groundTruth(w *bioworkload.Workload, q triple.Pattern) []triple.Triple {
 // queryRecall measures |retrieved ∩ truth| / |truth| for one query.
 func queryRecall(peers []*mediation.Peer, q triple.Pattern, truth []triple.Triple, rng *rand.Rand) float64 {
 	issuer := peers[rng.Intn(len(peers))]
-	rs, err := issuer.SearchFor(q)
+	rs, err := searchFor(context.Background(), issuer, q)
 	if err != nil {
 		return 0
 	}
@@ -354,9 +354,10 @@ func RunStrategies(cfg StrategiesConfig) (StrategiesResult, error) {
 		for _, n := range ov.Nodes() {
 			peers = append(peers, mediation.NewPeer(n))
 		}
+		ctx := context.Background()
 		for i := 0; i <= chain; i++ {
 			name := fmt.Sprintf("S%d", i)
-			peers[0].InsertTriple(triple.Triple{
+			peers[0].InsertTripleContext(ctx, triple.Triple{ //nolint:errcheck
 				Subject:   fmt.Sprintf("%s-item", name),
 				Predicate: name + "#organism",
 				Object:    "aspergillus",
@@ -364,7 +365,7 @@ func RunStrategies(cfg StrategiesConfig) (StrategiesResult, error) {
 			if i < chain {
 				m := schema.NewMapping(name, fmt.Sprintf("S%d", i+1), schema.Equivalence, schema.Manual,
 					[]schema.Correspondence{{SourceAttr: "organism", TargetAttr: "organism", Confidence: 1}})
-				peers[0].InsertMapping(m)
+				peers[0].InsertMappingContext(ctx, m) //nolint:errcheck
 			}
 		}
 		issuer := peers[len(peers)-1]
@@ -373,11 +374,11 @@ func RunStrategies(cfg StrategiesConfig) (StrategiesResult, error) {
 		// Parallelism pinned to 1: this experiment compares message counts,
 		// which only stay exactly per-seed reproducible when routing
 		// tie-breaks are consumed serially.
-		it, err := issuer.SearchWithReformulation(q, mediation.SearchOptions{Mode: mediation.Iterative, MaxDepth: chain + 1, Parallelism: 1})
+		it, err := searchWithReformulation(ctx, issuer, q, mediation.SearchOptions{Mode: mediation.Iterative, MaxDepth: chain + 1, Parallelism: 1})
 		if err != nil {
 			return out, err
 		}
-		rec, err := issuer.SearchWithReformulation(q, mediation.SearchOptions{Mode: mediation.Recursive, MaxDepth: chain + 1, Parallelism: 1})
+		rec, err := searchWithReformulation(ctx, issuer, q, mediation.SearchOptions{Mode: mediation.Recursive, MaxDepth: chain + 1, Parallelism: 1})
 		if err != nil {
 			return out, err
 		}

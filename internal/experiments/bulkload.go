@@ -137,7 +137,7 @@ func RunBulkLoad(cfg BulkLoadConfig) (BulkLoadResult, error) {
 	}
 	loadSerial := func(wd bulkWorld, ts []triple.Triple) error {
 		for _, t := range ts {
-			if _, err := wd.peers[0].InsertTriple(t); err != nil {
+			if _, err := wd.peers[0].InsertTripleContext(context.Background(), t); err != nil {
 				return fmt.Errorf("serial insert: %w", err)
 			}
 		}

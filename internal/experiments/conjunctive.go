@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -141,11 +142,12 @@ func RunConjunctive(cfg ConjunctiveConfig) (ConjunctiveResult, error) {
 	naiveWall, plannedWall := metrics.NewDistribution(), metrics.NewDistribution()
 	naiveMsgs, plannedMsgs := metrics.NewDistribution(), metrics.NewDistribution()
 	naiveShipped, plannedShipped := metrics.NewDistribution(), metrics.NewDistribution()
+	ctx := context.Background()
 	for q := 0; q < cfg.Queries; q++ {
 		issuer := peers[rng.Intn(len(peers))]
 
 		start := time.Now()
-		naive, naiveStats, err := issuer.SearchConjunctiveNaive(patterns, false, opts)
+		naive, naiveStats, err := issuer.SearchConjunctiveNaive(ctx, patterns, false, opts)
 		if err != nil {
 			return out, fmt.Errorf("naive query %d: %w", q, err)
 		}
@@ -154,7 +156,7 @@ func RunConjunctive(cfg ConjunctiveConfig) (ConjunctiveResult, error) {
 		naiveShipped.Add(float64(naiveStats.TriplesShipped))
 
 		start = time.Now()
-		planned, plannedStats, err := issuer.SearchConjunctiveSet(patterns, false, opts)
+		planned, plannedStats, err := searchConjunctiveSet(ctx, issuer, patterns, false, opts)
 		if err != nil {
 			return out, fmt.Errorf("planned query %d: %w", q, err)
 		}

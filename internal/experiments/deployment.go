@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -132,7 +133,7 @@ func RunDeployment(cfg DeploymentConfig) (DeploymentResult, error) {
 	failed := 0
 	for _, q := range queries {
 		issuer := peers[rng.Intn(len(peers))]
-		rs, err := issuer.SearchFor(q.Pattern)
+		rs, err := searchFor(context.Background(), issuer, q.Pattern)
 		if err != nil {
 			failed++
 			continue

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -115,21 +116,22 @@ func RunRecall(cfg RecallConfig) (RecallResult, error) {
 	if err != nil {
 		return RecallResult{}, err
 	}
+	ctx := context.Background()
 	for _, info := range w.Schemas {
-		if err := org.RegisterSchema(info.Schema); err != nil {
+		if err := org.RegisterSchema(ctx, info.Schema); err != nil {
 			return RecallResult{}, err
 		}
 	}
 	for _, m := range w.SeedMappings(cfg.SeedMappings) {
-		if _, err := peers[0].InsertMapping(m); err != nil {
+		if _, err := peers[0].InsertMappingContext(ctx, m); err != nil {
 			return RecallResult{}, err
 		}
 	}
-	ms, err := org.GatherMappings()
+	ms, err := org.GatherMappings(ctx)
 	if err != nil {
 		return RecallResult{}, err
 	}
-	if err := org.RefreshDegrees(ms); err != nil {
+	if err := org.RefreshDegrees(ctx, ms); err != nil {
 		return RecallResult{}, err
 	}
 
@@ -138,11 +140,11 @@ func RunRecall(cfg RecallConfig) (RecallResult, error) {
 
 	out := RecallResult{Triples: len(w.Triples())}
 	measure := func(round int) error {
-		ms, err := org.GatherMappings()
+		ms, err := org.GatherMappings(ctx)
 		if err != nil {
 			return err
 		}
-		report, err := org.Connectivity()
+		report, err := org.Connectivity(ctx)
 		if err != nil {
 			return err
 		}
@@ -166,7 +168,7 @@ func RunRecall(cfg RecallConfig) (RecallResult, error) {
 		return out, err
 	}
 	for round := 1; round <= cfg.Rounds; round++ {
-		if _, err := org.Round(subjects); err != nil {
+		if _, err := org.Round(ctx, subjects); err != nil {
 			return out, err
 		}
 		if err := measure(round); err != nil {
@@ -179,9 +181,10 @@ func RunRecall(cfg RecallConfig) (RecallResult, error) {
 func measureRecall(peers []*mediation.Peer, queries []bioworkload.Query, rng *rand.Rand, mode mediation.Mode, parallelism int) (meanRecall, meanMsgs float64) {
 	recall := metrics.NewDistribution()
 	msgs := metrics.NewDistribution()
+	ctx := context.Background()
 	for _, q := range queries {
 		issuer := peers[rng.Intn(len(peers))]
-		rs, err := issuer.SearchWithReformulation(q.Pattern, mediation.SearchOptions{Mode: mode, Parallelism: parallelism})
+		rs, err := searchWithReformulation(ctx, issuer, q.Pattern, mediation.SearchOptions{Mode: mode, Parallelism: parallelism})
 		if err != nil {
 			recall.Add(0)
 			continue

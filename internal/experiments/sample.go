@@ -29,6 +29,41 @@ func bulkInsert(issuer *mediation.Peer, ts []triple.Triple) error {
 	return nil
 }
 
+// searchConjunctiveSet runs a conjunctive query through the streaming
+// engine and drains it into the sorted binding-set form the experiment
+// tables aggregate — the migrated shape of the old blocking
+// SearchConjunctiveSet entry point.
+func searchConjunctiveSet(ctx context.Context, issuer *mediation.Peer, patterns []triple.Pattern, reformulate bool, opts mediation.SearchOptions) (*triple.BindingSet, mediation.ConjunctiveStats, error) {
+	cur, err := issuer.Query(ctx, mediation.Request{Patterns: patterns, Reformulate: reformulate, Options: opts})
+	if err != nil {
+		return nil, mediation.ConjunctiveStats{}, err
+	}
+	return mediation.CollectSet(ctx, cur)
+}
+
+// searchFor resolves one pattern without reformulation and drains the
+// stream into the aggregate ResultSet — the migrated shape of the old
+// blocking SearchFor entry point.
+func searchFor(ctx context.Context, issuer *mediation.Peer, q triple.Pattern) (*mediation.ResultSet, error) {
+	cur, err := issuer.Query(ctx, mediation.Request{Pattern: &q})
+	if err != nil {
+		return nil, err
+	}
+	return mediation.CollectPattern(ctx, cur)
+}
+
+// searchWithReformulation resolves one pattern with mapping traversal and
+// drains the stream into the aggregate ResultSet the recall and latency
+// experiments score — the migrated shape of the old blocking
+// SearchWithReformulation entry point.
+func searchWithReformulation(ctx context.Context, issuer *mediation.Peer, q triple.Pattern, opts mediation.SearchOptions) (*mediation.ResultSet, error) {
+	cur, err := issuer.Query(ctx, mediation.Request{Pattern: &q, Reformulate: true, Options: opts})
+	if err != nil {
+		return nil, err
+	}
+	return mediation.CollectPattern(ctx, cur)
+}
+
 // workloadKeySample returns the overlay keys of (a capped sample of) the
 // workload's triples — one key per component, exactly the keys the
 // mediation layer will route. Experiments hand this to the overlay builder

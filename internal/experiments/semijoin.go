@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -132,9 +133,10 @@ func RunSemiJoin(cfg SemiJoinConfig) (SemiJoinResult, error) {
 	}
 	triples := len(dataset)
 
+	ctx := context.Background()
 	// Publish every peer's cardinality digest so planning runs cost-based.
 	for _, p := range peers {
-		if _, _, err := p.PublishStats(); err != nil {
+		if _, _, err := p.PublishStats(ctx); err != nil {
 			return SemiJoinResult{}, err
 		}
 	}
@@ -171,7 +173,7 @@ func RunSemiJoin(cfg SemiJoinConfig) (SemiJoinResult, error) {
 		issuer := peers[rng.Intn(len(peers))]
 
 		start := time.Now()
-		naive, naiveStats, err := issuer.SearchConjunctiveNaive(patterns, false, base)
+		naive, naiveStats, err := issuer.SearchConjunctiveNaive(ctx, patterns, false, base)
 		if err != nil {
 			return out, fmt.Errorf("naive query %d: %w", q, err)
 		}
@@ -184,7 +186,7 @@ func RunSemiJoin(cfg SemiJoinConfig) (SemiJoinResult, error) {
 		// baseline inheriting the warm cache biases the message comparison
 		// against the semi-join engine, never for it.
 		start = time.Now()
-		sj, sjStats, err := issuer.SearchConjunctiveSet(patterns, false, base)
+		sj, sjStats, err := searchConjunctiveSet(ctx, issuer, patterns, false, base)
 		if err != nil {
 			return out, fmt.Errorf("semijoin query %d: %w", q, err)
 		}
@@ -198,7 +200,7 @@ func RunSemiJoin(cfg SemiJoinConfig) (SemiJoinResult, error) {
 		}
 
 		start = time.Now()
-		planned, plannedStats, err := issuer.SearchConjunctiveSet(patterns, false, plannedOpts)
+		planned, plannedStats, err := searchConjunctiveSet(ctx, issuer, patterns, false, plannedOpts)
 		if err != nil {
 			return out, fmt.Errorf("planned query %d: %w", q, err)
 		}

@@ -192,7 +192,7 @@ func RunStreaming(cfg StreamingConfig) (StreamingResult, error) {
 		fullWall.Add(float64(st.Elapsed.Microseconds()) / 1000)
 
 		start := time.Now()
-		rs, err := issuer.SearchWithReformulation(chainQ, opts)
+		rs, err := searchWithReformulation(context.Background(), issuer, chainQ, opts)
 		if err != nil {
 			return out, fmt.Errorf("blocking query %d: %w", q, err)
 		}

@@ -1,0 +1,11 @@
+package accounting
+
+import (
+	"testing"
+
+	"gridvine/internal/lint/linttest"
+)
+
+func TestAccounting(t *testing.T) {
+	linttest.Run(t, Analyzer, "testdata", "./...")
+}

@@ -1,0 +1,37 @@
+// Package mediation is an accounting fixture for the sizer-drift check:
+// PayloadTriples' type switch omits one charged type (SyncResponse) and
+// sizes one unregistered type (SyncRequest), so the analyzer must report
+// drift in both directions on the switch.
+package mediation
+
+import (
+	"gridvine/internal/pgrid"
+	"gridvine/internal/triple"
+)
+
+// PatternQuery, ReformulatedQuery and ReformulatedResponse mirror the
+// charged mediation payloads.
+type (
+	PatternQuery         struct{}
+	ReformulatedQuery    struct{}
+	ReformulatedResponse struct{}
+)
+
+// PayloadTriples mirrors the real sizing helper's shape.
+func PayloadTriples(payload any) int {
+	switch payload.(type) { // want `missing a sizing case for charged payload type gridvine/internal/pgrid\.SyncResponse` `PayloadTriples sizes gridvine/internal/pgrid\.SyncRequest, which is not in the accounting analyzer's charged-type registry`
+	case pgrid.ExecRequest, pgrid.ExecResponse:
+		return 1
+	case pgrid.ReplicateRequest, pgrid.BatchEntry, pgrid.BatchUpdate, pgrid.BatchReplicate:
+		return 2
+	case pgrid.SubtreeResponse:
+		return 3
+	case pgrid.SyncRequest:
+		return 4
+	case []triple.Triple:
+		return 5
+	case PatternQuery, ReformulatedQuery, ReformulatedResponse:
+		return 6
+	}
+	return 0
+}

@@ -1,0 +1,10 @@
+// Package simnet is an accounting fixture: the analyzer recognizes
+// Message composite literals by this import path and type name.
+package simnet
+
+// Message mirrors the real transport envelope far enough to carry a
+// Payload field.
+type Message struct {
+	Kind    string
+	Payload any
+}

@@ -1,0 +1,5 @@
+// Package triple is an accounting fixture stub.
+package triple
+
+// Triple stands in for the stored triple; []Triple is a charged payload.
+type Triple struct{}

@@ -1,0 +1,25 @@
+// Package sender exercises the Message-literal side of the accounting
+// analyzer: charged and data-free payloads pass, unregistered payloads
+// are flagged unless annotated with a reason.
+package sender
+
+import (
+	"gridvine/internal/pgrid"
+	"gridvine/internal/simnet"
+	"gridvine/internal/triple"
+)
+
+func Ship() []simnet.Message {
+	return []simnet.Message{
+		{Kind: "ping"}, // no payload: nothing to charge
+		{Kind: "exec", Payload: pgrid.ExecRequest{}},
+		{Kind: "bulk", Payload: []triple.Triple{}},
+		{Kind: "ack", Payload: pgrid.BatchResult{}},
+		{Kind: "nil", Payload: nil},
+		{Kind: "gossip", Payload: pgrid.Gossip{}}, // want `transport payload type gridvine/internal/pgrid\.Gossip is not charged by mediation\.PayloadTriples`
+		//gridvine:uncharged membership gossip carries peer liveness, no stored triples
+		{Kind: "gossip", Payload: pgrid.Gossip{}},
+		//gridvine:uncharged
+		{Kind: "gossip", Payload: pgrid.Gossip{}}, // want `//gridvine:uncharged annotation needs a one-line reason`
+	}
+}

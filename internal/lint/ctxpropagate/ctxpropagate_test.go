@@ -1,0 +1,11 @@
+package ctxpropagate
+
+import (
+	"testing"
+
+	"gridvine/internal/lint/linttest"
+)
+
+func TestCtxPropagate(t *testing.T) {
+	linttest.Run(t, Analyzer, "testdata", "./...")
+}

@@ -1,0 +1,10 @@
+// Package harness sits outside the restricted spine: fresh root contexts
+// are fine here and the analyzer stays silent.
+package harness
+
+import "context"
+
+func Run() {
+	ctx := context.Background()
+	_ = ctx
+}

@@ -1,0 +1,34 @@
+// Package simnet is a ctxpropagate fixture occupying a restricted import
+// path: fresh root contexts here must be annotated.
+package simnet
+
+import "context"
+
+func Deliver() {
+	ctx := context.Background() // want `context\.Background\(\) in library path gridvine/internal/simnet`
+	_ = ctx
+}
+
+func Flush() {
+	ctx := context.TODO() // want `context\.TODO\(\) in library path gridvine/internal/simnet`
+	_ = ctx
+}
+
+func Replicate() {
+	//gridvine:serverctx replication fan-out outlives the triggering request
+	ctx := context.Background()
+	_ = ctx
+}
+
+func AntiEntropy() {
+	//gridvine:serverctx
+	ctx := context.Background() // want `//gridvine:serverctx annotation needs a one-line reason`
+	_ = ctx
+}
+
+// Threaded takes the caller's context: nothing to report.
+func Threaded(ctx context.Context) context.Context {
+	child, cancel := context.WithCancel(ctx)
+	cancel()
+	return child
+}

@@ -1,0 +1,96 @@
+// Package directive locates gridvine's lint-annotation comments. Each
+// analyzer that offers an escape hatch recognizes a directive of the form
+//
+//	//gridvine:<name> <one-line reason>
+//
+// placed as a trailing comment on the offending line, as a standalone
+// comment on the line directly above it, or in the doc comment of the
+// enclosing function declaration (annotating a whole equivalence test,
+// say). The reason is mandatory: an annotation is an audited exception,
+// and the audit trail is the reason text.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Prefix is the comment prefix shared by every gridvine lint directive.
+const Prefix = "//gridvine:"
+
+// Find reports whether the //gridvine:<name> directive covers pos within
+// file: on pos's line, on the line above, or in the doc comment of the
+// function declaration enclosing pos. It returns the directive's reason
+// text (may be empty — callers should reject reasonless annotations).
+func Find(fset *token.FileSet, file *ast.File, pos token.Pos, name string) (reason string, ok bool) {
+	want := Prefix + name
+	line := fset.Position(pos).Line
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			rest, matched := cutDirective(c.Text, want)
+			if !matched {
+				continue
+			}
+			cline := fset.Position(c.Slash).Line
+			if cline == line || cline == line-1 {
+				return rest, true
+			}
+		}
+	}
+	if fd := enclosingFuncDecl(file, pos); fd != nil && fd.Doc != nil {
+		for _, c := range fd.Doc.List {
+			if rest, matched := cutDirective(c.Text, want); matched {
+				return rest, true
+			}
+		}
+	}
+	return "", false
+}
+
+// cutDirective matches one comment line against a directive and returns
+// the trimmed reason text that follows it.
+func cutDirective(comment, want string) (string, bool) {
+	if !strings.HasPrefix(comment, want) {
+		return "", false
+	}
+	rest := comment[len(want):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false // a longer directive name, not this one
+	}
+	return strings.TrimSpace(rest), true
+}
+
+func enclosingFuncDecl(file *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, d := range file.Decls {
+		if fd, isFunc := d.(*ast.FuncDecl); isFunc && fd.Pos() <= pos && pos <= fd.End() {
+			return fd
+		}
+	}
+	return nil
+}
+
+// FileOf returns the *ast.File of files containing pos, or nil.
+func FileOf(files []*ast.File, pos token.Pos) *ast.File {
+	for _, f := range files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// IsTestFile reports whether pos lies in a _test.go file.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// PkgPath normalizes a type-checker package path to its import path: vet
+// configs identify test variants as "path [path.test]", and the analyzers'
+// package allowlists should match both variants.
+func PkgPath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		return path[:i]
+	}
+	return path
+}

@@ -1,0 +1,100 @@
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+
+	"gridvine/internal/lint/analysis"
+)
+
+// vetConfig mirrors the JSON configuration cmd/go writes for each package
+// when invoking a vet tool (see cmd/go/internal/work.vetConfig). Only the
+// fields this driver consumes are declared.
+type vetConfig struct {
+	ID         string
+	Compiler   string
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+	GoVersion  string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+
+	VetxOnly   bool
+	VetxOutput string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnitchecker implements the `go vet -vettool` protocol: cmd/go invokes
+// the tool once per package with the path of a JSON config file as the sole
+// argument. Diagnostics go to stderr in file:line:col form; the exit code
+// is 0 for a clean package, 2 when findings were reported, 1 on operational
+// failure — matching the upstream unitchecker's observable behaviour.
+func runUnitchecker(configFile string, analyzers []*analysis.Analyzer) int {
+	cfg, err := readVetConfig(configFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	// Always leave a (possibly empty) facts file behind: cmd/go caches it
+	// and feeds it to dependent vet runs. These analyzers exchange no
+	// facts, so the payload is empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		// The package was built only as a dependency of the packages under
+		// analysis; no diagnostics are wanted and no facts exist to compute.
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, cfg.PackageFile, cfg.ImportMap)
+	pkg, err := Check(fset, cfg.ImportPath, cfg.GoFiles, imp, cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			// cmd/go's hack for packages with known compile errors: report
+			// nothing and succeed (issue #18395).
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	found := false
+	for _, a := range analyzers {
+		diags, err := Analyze(a, pkg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		for _, d := range diags {
+			found = true
+			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, a.Name)
+		}
+	}
+	if found {
+		return 2
+	}
+	return 0
+}
+
+func readVetConfig(path string) (*vetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %v", path, err)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,140 @@
+// Package errsentinel encodes the wrapped-error invariant: gridvine's
+// sentinel errors (pgrid.ErrNoRoute, pgrid.ErrRetryBudget,
+// simnet.ErrUnreachable, mediation.ErrNotRoutable, …) travel wrapped —
+// routing annotates them with %w at every level — so matching them with
+// == or != silently fails on any wrapped value. errors.Is is required.
+//
+// The analyzer flags ==/!= comparisons where one operand is a
+// package-level error variable named Err* (or one of the well-known
+// stdlib sentinels) and offers the mechanical errors.Is rewrite as a
+// suggested fix when the file already imports "errors". The rare
+// identity comparison that is genuinely intended annotates
+// //gridvine:exacterr <reason>.
+package errsentinel
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"gridvine/internal/lint/analysis"
+	"gridvine/internal/lint/directive"
+)
+
+// Analyzer flags ==/!= comparisons against sentinel error values.
+var Analyzer = &analysis.Analyzer{
+	Name: "errsentinel",
+	Doc:  "flag ==/!= comparisons against sentinel errors; errors.Is is required",
+	Run:  run,
+}
+
+// stdlibSentinels are well-known stdlib sentinels without the Err prefix.
+var stdlibSentinels = map[string]bool{
+	"io.EOF":                   true,
+	"context.Canceled":         true,
+	"context.DeadlineExceeded": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		importsErrors := false
+		for _, imp := range file.Imports {
+			if imp.Path.Value == `"errors"` {
+				importsErrors = true
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			sentinel, other := pickSentinel(pass.TypesInfo, bin.X, bin.Y)
+			if sentinel == nil {
+				return true
+			}
+			reason, annotated := directive.Find(pass.Fset, file, bin.Pos(), "exacterr")
+			if annotated {
+				if reason == "" {
+					pass.Reportf(bin.Pos(), "//gridvine:exacterr annotation needs a one-line reason")
+				}
+				return true
+			}
+			d := analysis.Diagnostic{
+				Pos: bin.Pos(),
+				End: bin.End(),
+				Message: fmt.Sprintf("sentinel error compared with %s: wrapped errors never match; use %serrors.Is",
+					bin.Op, map[token.Token]string{token.EQL: "", token.NEQ: "!"}[bin.Op]),
+			}
+			if importsErrors {
+				neg := ""
+				if bin.Op == token.NEQ {
+					neg = "!"
+				}
+				fixed := fmt.Sprintf("%serrors.Is(%s, %s)",
+					neg, types.ExprString(other), types.ExprString(sentinel))
+				d.SuggestedFixes = []analysis.SuggestedFix{{
+					Message:   "rewrite with errors.Is",
+					TextEdits: []analysis.TextEdit{{Pos: bin.Pos(), End: bin.End(), NewText: []byte(fixed)}},
+				}}
+			}
+			pass.Report(d)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// pickSentinel identifies which operand (if either) is a sentinel error
+// variable, returning it and the other operand.
+func pickSentinel(info *types.Info, x, y ast.Expr) (sentinel, other ast.Expr) {
+	switch {
+	case isSentinel(info, x) && isErrorExpr(info, y):
+		return x, y
+	case isSentinel(info, y) && isErrorExpr(info, x):
+		return y, x
+	}
+	return nil, nil
+}
+
+// isSentinel reports whether an expression names a package-level error
+// variable following the Err* convention (or a known stdlib sentinel).
+func isSentinel(info *types.Info, e ast.Expr) bool {
+	var id *ast.Ident
+	switch v := e.(type) {
+	case *ast.Ident:
+		id = v
+	case *ast.SelectorExpr:
+		id = v.Sel
+	default:
+		return false
+	}
+	obj, ok := info.Uses[id].(*types.Var)
+	if !ok || obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+		return false
+	}
+	if !isErrorType(obj.Type()) {
+		return false
+	}
+	if strings.HasPrefix(obj.Name(), "Err") {
+		return true
+	}
+	return stdlibSentinels[obj.Pkg().Path()+"."+obj.Name()]
+}
+
+// isErrorExpr reports whether an expression is error-typed and not the
+// nil literal.
+func isErrorExpr(info *types.Info, e ast.Expr) bool {
+	if id, ok := e.(*ast.Ident); ok && id.Name == "nil" {
+		return false
+	}
+	tv, ok := info.Types[e]
+	return ok && tv.Type != nil && isErrorType(tv.Type)
+}
+
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorType)
+}

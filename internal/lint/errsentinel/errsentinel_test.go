@@ -1,0 +1,11 @@
+package errsentinel
+
+import (
+	"testing"
+
+	"gridvine/internal/lint/linttest"
+)
+
+func TestErrSentinel(t *testing.T) {
+	linttest.Run(t, Analyzer, "testdata", "./...")
+}

@@ -1,0 +1,3 @@
+module gridvine
+
+go 1.21

@@ -1,0 +1,54 @@
+// Package sentinel exercises the errsentinel analyzer: identity
+// comparison against Err*-named package-level variables and the stdlib
+// sentinels must go through errors.Is.
+package sentinel
+
+import (
+	"context"
+	"errors"
+	"io"
+)
+
+// ErrNoRoute mirrors gridvine's wrapped routing sentinel.
+var ErrNoRoute = errors.New("no route to key")
+
+func Classify(err error) string {
+	if err == ErrNoRoute { // want `sentinel error compared with ==: wrapped errors never match; use errors\.Is`
+		return "unroutable"
+	}
+	if err != ErrNoRoute { // want `sentinel error compared with !=: wrapped errors never match; use !errors\.Is`
+		return "other"
+	}
+	if ErrNoRoute == err { // want `sentinel error compared with ==`
+		return "unroutable-flipped"
+	}
+	return ""
+}
+
+func Stdlib(err error) bool {
+	if err == io.EOF { // want `sentinel error compared with ==`
+		return true
+	}
+	return err == context.Canceled || // want `sentinel error compared with ==`
+		err == context.DeadlineExceeded // want `sentinel error compared with ==`
+}
+
+func Fine(err error) bool {
+	if errors.Is(err, ErrNoRoute) {
+		return true
+	}
+	if err == nil || nil != err { // nil checks are not sentinel comparisons
+		return false
+	}
+	local := errors.New("scratch")
+	return err == local // locals are not sentinels even when error-typed
+}
+
+func Annotated(err error) bool {
+	//gridvine:exacterr the probe returns the sentinel itself, unwrapped, by construction
+	if err == ErrNoRoute {
+		return true
+	}
+	//gridvine:exacterr
+	return err == io.EOF // want `//gridvine:exacterr annotation needs a one-line reason`
+}

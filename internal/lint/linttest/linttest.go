@@ -1,0 +1,157 @@
+// Package linttest runs a gridvine analyzer over a fixture module and
+// checks its diagnostics against expectations embedded in the fixture
+// source — the stdlib-only counterpart of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture lives under the analyzer's testdata directory as a
+// self-contained module whose go.mod names the module gridvine, so fixture
+// packages occupy exactly the import paths the analyzers restrict to
+// (gridvine/internal/mediation, gridvine/internal/pgrid, …) without
+// touching the real packages. Expectations are trailing comments:
+//
+//	ctx := context.Background() // want `context\.Background\(\) in library path`
+//
+// Each `want` carries one or more quoted regular expressions; every
+// expectation must match a distinct diagnostic reported on its line, and
+// every diagnostic must be consumed by an expectation.
+package linttest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"gridvine/internal/lint/analysis"
+	"gridvine/internal/lint/driver"
+)
+
+// Run loads the fixture module at dir, applies the analyzer to the
+// packages matching patterns, and diffs diagnostics against the fixture's
+// // want expectations.
+func Run(t *testing.T, a *analysis.Analyzer, dir string, patterns ...string) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	pkgs, err := driver.Load(abs, patterns)
+	if err != nil {
+		t.Fatalf("linttest: loading fixture module %s: %v", abs, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("linttest: no packages matched %v under %s", patterns, abs)
+	}
+
+	type lineKey struct {
+		file string
+		line int
+	}
+	wants := map[lineKey][]*regexp.Regexp{}
+	var diags []string // "file:line: message", for error reporting
+	got := map[lineKey][]string{}
+
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					res, err := parseWant(c.Text)
+					if err != nil {
+						t.Fatalf("linttest: %s: %v", pkg.Fset.Position(c.Slash), err)
+					}
+					if len(res) == 0 {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Slash)
+					k := lineKey{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], res...)
+				}
+			}
+		}
+		ds, err := driver.Analyze(a, pkg)
+		if err != nil {
+			t.Fatalf("linttest: analyzing %s: %v", pkg.ImportPath, err)
+		}
+		for _, d := range ds {
+			pos := pkg.Fset.Position(d.Pos)
+			k := lineKey{pos.Filename, pos.Line}
+			got[k] = append(got[k], d.Message)
+			diags = append(diags, fmt.Sprintf("%s:%d: %s", pos.Filename, pos.Line, d.Message))
+		}
+	}
+
+	// Every expectation consumes a distinct diagnostic on its line.
+	for k, res := range wants {
+		msgs := got[k]
+		for _, re := range res {
+			matched := -1
+			for i, m := range msgs {
+				if m != "" && re.MatchString(m) {
+					matched = i
+					break
+				}
+			}
+			if matched < 0 {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got %v", k.file, k.line, re, nonEmpty(msgs))
+				continue
+			}
+			msgs[matched] = "" // consumed
+		}
+		got[k] = msgs
+	}
+	// Every diagnostic must have been expected.
+	for k, msgs := range got {
+		for _, m := range nonEmpty(msgs) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, m)
+		}
+	}
+	if t.Failed() {
+		t.Logf("all diagnostics:\n  %s", strings.Join(diags, "\n  "))
+	}
+}
+
+// parseWant extracts the quoted regexps of one `// want "re" ...` comment.
+// Comments without the want marker yield no expectations.
+func parseWant(comment string) ([]*regexp.Regexp, error) {
+	rest, ok := strings.CutPrefix(comment, "// want ")
+	if !ok {
+		return nil, nil
+	}
+	var out []*regexp.Regexp
+	for {
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			break
+		}
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			return nil, fmt.Errorf("malformed want expectation %q: %v", comment, err)
+		}
+		unq, err := strconv.Unquote(q)
+		if err != nil {
+			return nil, fmt.Errorf("malformed want expectation %q: %v", comment, err)
+		}
+		re, err := regexp.Compile(unq)
+		if err != nil {
+			return nil, fmt.Errorf("want expectation %q: %v", comment, err)
+		}
+		out = append(out, re)
+		rest = rest[len(q):]
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want comment %q carries no expectations", comment)
+	}
+	return out, nil
+}
+
+func nonEmpty(msgs []string) []string {
+	var out []string
+	for _, m := range msgs {
+		if m != "" {
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,11 @@
+package lockscope
+
+import (
+	"testing"
+
+	"gridvine/internal/lint/linttest"
+)
+
+func TestLockScope(t *testing.T) {
+	linttest.Run(t, Analyzer, "testdata", "./...")
+}

@@ -1,0 +1,78 @@
+// Package pgrid is a lockscope fixture occupying a restricted import
+// path: no channel operation, select, or transport send may run while a
+// node lock is held.
+package pgrid
+
+import "sync"
+
+// Transport stands in for a simnet/tcpnet peer handle.
+type Transport struct{}
+
+// Send mirrors the transport send the analyzer matches by method name.
+func (t *Transport) Send(v any) error { return nil }
+
+// Node carries the lock and the channels the fixture exercises.
+type Node struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	work chan int
+	peer *Transport
+}
+
+func (n *Node) SendUnderLock() {
+	n.mu.Lock()
+	n.work <- 1 // want `channel send while holding lock n\.mu`
+	n.mu.Unlock()
+	n.work <- 2 // released: fine
+}
+
+func (n *Node) ReceiveUnderDeferredLock() int {
+	n.rw.RLock()
+	defer n.rw.RUnlock()
+	return <-n.work // want `channel receive while holding lock n\.rw`
+}
+
+func (n *Node) SelectUnderLock() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	select { // want `select while holding lock n\.mu`
+	case v := <-n.work:
+		_ = v
+	default:
+	}
+}
+
+func (n *Node) TransportSendUnderLock() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.peer.Send("payload") // want `transport send while holding lock n\.mu`
+}
+
+// SpawnedGoroutine shows function literals starting lock-free: the
+// goroutine does not inherit the parent's critical section.
+func (n *Node) SpawnedGoroutine() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	go func() {
+		n.work <- 3 // a fresh goroutine holds nothing
+	}()
+}
+
+func (n *Node) Annotated() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	//gridvine:lockio buffered handoff channel sized to the batch, cannot block
+	n.work <- 4
+	//gridvine:lockio
+	n.work <- 5 // want `//gridvine:lockio annotation needs a one-line reason`
+}
+
+// Unlocked does all three operations with no lock held: silent.
+func (n *Node) Unlocked() error {
+	n.work <- 6
+	select {
+	case <-n.work:
+	default:
+	}
+	return n.peer.Send("payload")
+}

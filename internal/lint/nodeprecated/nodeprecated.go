@@ -1,0 +1,121 @@
+// Package nodeprecated encodes the API-migration invariant of PRs 4 and 5:
+// the blocking one-shot methods of mediation.Peer (SearchFor,
+// SearchWithReformulation, SearchConjunctive*, QueryRDQL*, and the
+// per-entry InsertTriple-family writers) are deprecated wrappers over
+// Peer.Query and Peer.Write, preserved only so the equivalence property
+// tests can pin the new engines byte-identical to the old ones. No new
+// caller may appear.
+//
+// The equivalence tests that must keep calling a wrapper annotate it:
+//
+//	//gridvine:allowdeprecated <one-line reason>
+//
+// on the call line, the line above, or the enclosing test function's doc
+// comment. Non-test files of the defining package itself are exempt (the
+// wrappers delegate to one another).
+package nodeprecated
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gridvine/internal/lint/analysis"
+	"gridvine/internal/lint/directive"
+)
+
+// Analyzer flags new callers of the deprecated mediation.Peer wrappers.
+var Analyzer = &analysis.Analyzer{
+	Name: "nodeprecated",
+	Doc:  "flag callers of the deprecated blocking mediation.Peer wrappers",
+	Run:  run,
+}
+
+// mediationPkg is the package defining the deprecated wrappers.
+const mediationPkg = "gridvine/internal/mediation"
+
+// deprecatedPeerMethods lists the mediation.Peer methods carrying a
+// "Deprecated:" doc paragraph. The registry is pinned against the source
+// of truth by TestDeprecatedRegistryMatchesSource in this package, which
+// parses the mediation sources and diffs the marked method set.
+var deprecatedPeerMethods = map[string]bool{
+	"SearchFor":               true,
+	"SearchWithReformulation": true,
+	"SearchConjunctive":       true,
+	"SearchConjunctiveSet":    true,
+	"QueryRDQL":               true,
+	"QueryRDQLStats":          true,
+	"InsertTriple":            true,
+	"DeleteTriple":            true,
+	"InsertSchema":            true,
+	"InsertMapping":           true,
+	"ReplaceMapping":          true,
+}
+
+// DeprecatedPeerMethods returns a copy of the registry (for the
+// source-consistency test).
+func DeprecatedPeerMethods() map[string]bool {
+	out := make(map[string]bool, len(deprecatedPeerMethods))
+	for k, v := range deprecatedPeerMethods {
+		out[k] = v
+	}
+	return out
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	inDefiningPkg := directive.PkgPath(pass.Pkg.Path()) == mediationPkg
+	for _, file := range pass.Files {
+		if inDefiningPkg && !directive.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name, isDep := deprecatedPeerSelection(pass.TypesInfo, sel)
+			if !isDep {
+				return true
+			}
+			reason, annotated := directive.Find(pass.Fset, file, sel.Pos(), "allowdeprecated")
+			switch {
+			case !annotated:
+				pass.Reportf(sel.Sel.Pos(),
+					"use of deprecated Peer.%s: migrate to Peer.Query/Peer.Write (equivalence tests annotate //gridvine:allowdeprecated <reason>)",
+					name)
+			case reason == "":
+				pass.Reportf(sel.Sel.Pos(),
+					"//gridvine:allowdeprecated annotation needs a one-line reason")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// deprecatedPeerSelection reports whether a selector resolves to a
+// deprecated method of mediation.Peer — matching both direct calls and
+// method values, and selections through embedding (the gridvine facade's
+// Peer embeds *mediation.Peer; the selected object is still the mediation
+// method).
+func deprecatedPeerSelection(info *types.Info, sel *ast.SelectorExpr) (string, bool) {
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != mediationPkg {
+		return "", false
+	}
+	if !deprecatedPeerMethods[fn.Name()] {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	recv := sig.Recv().Type()
+	if ptr, isPtr := recv.(*types.Pointer); isPtr {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Name() != "Peer" {
+		return "", false
+	}
+	return fn.Name(), true
+}

@@ -1,0 +1,81 @@
+package nodeprecated
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gridvine/internal/lint/linttest"
+)
+
+func TestNoDeprecated(t *testing.T) {
+	linttest.Run(t, Analyzer, "testdata", "./...")
+}
+
+// TestDeprecatedRegistryMatchesSource pins the analyzer's method registry
+// to the source of truth: the set of mediation.Peer methods whose doc
+// comment carries a "Deprecated:" paragraph. Deprecating a new wrapper
+// (or rehabilitating one) without updating the registry fails here.
+func TestDeprecatedRegistryMatchesSource(t *testing.T) {
+	mediationDir := filepath.Join("..", "..", "mediation")
+	entries, err := os.ReadDir(mediationDir)
+	if err != nil {
+		t.Fatalf("reading mediation sources: %v", err)
+	}
+	fset := token.NewFileSet()
+	marked := map[string]bool{}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		file, err := parser.ParseFile(fset, filepath.Join(mediationDir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", name, err)
+		}
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Doc == nil || receiverName(fd) != "Peer" {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if strings.HasPrefix(strings.TrimPrefix(c.Text, "// "), "Deprecated:") {
+					marked[fd.Name.Name] = true
+				}
+			}
+		}
+	}
+	if len(marked) == 0 {
+		t.Fatal("no Deprecated: Peer methods found in mediation sources; the scan is broken")
+	}
+	registry := DeprecatedPeerMethods()
+	for name := range marked {
+		if !registry[name] {
+			t.Errorf("mediation.Peer.%s is marked Deprecated: in source but missing from the analyzer registry", name)
+		}
+	}
+	for name := range registry {
+		if !marked[name] {
+			t.Errorf("analyzer registry lists Peer.%s, but no mediation source marks it Deprecated:", name)
+		}
+	}
+}
+
+// receiverName unwraps a method receiver to its base type name.
+func receiverName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}

@@ -1,0 +1,26 @@
+// Package caller exercises the nodeprecated analyzer from outside the
+// defining package.
+package caller
+
+import "gridvine/internal/mediation"
+
+func Uses(p *mediation.Peer) {
+	_ = p.Query(mediation.Request{})
+	_ = p.SearchFor("s", "p", "o") // want `use of deprecated Peer\.SearchFor: migrate to Peer\.Query/Peer\.Write`
+
+	// A method value is a use too, even without a call.
+	f := p.InsertTriple // want `use of deprecated Peer\.InsertTriple`
+	_ = f
+
+	//gridvine:allowdeprecated equivalence test pins the wrapper to Query
+	_ = p.QueryRDQL("SELECT ?x")
+
+	//gridvine:allowdeprecated
+	_ = p.QueryRDQL("SELECT ?x") // want `//gridvine:allowdeprecated annotation needs a one-line reason`
+}
+
+//gridvine:allowdeprecated whole-function equivalence harness
+func Equivalence(p *mediation.Peer) {
+	_ = p.SearchFor("s", "p", "o")
+	_ = p.InsertTriple("s", "p", "o")
+}

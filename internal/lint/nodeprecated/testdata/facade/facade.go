@@ -1,0 +1,16 @@
+// Package facade proves the analyzer sees through embedding: selecting a
+// deprecated method on an embedding wrapper still resolves to the
+// mediation method object.
+package facade
+
+import "gridvine/internal/mediation"
+
+// Peer embeds the mediation peer, like the gridvine facade does.
+type Peer struct {
+	*mediation.Peer
+}
+
+func Uses(p *Peer) {
+	_ = p.SearchFor("s", "p", "o") // want `use of deprecated Peer\.SearchFor`
+	_ = p.Query(mediation.Request{})
+}

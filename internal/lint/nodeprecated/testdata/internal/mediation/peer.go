@@ -1,0 +1,26 @@
+// Package mediation is a nodeprecated fixture standing in for the real
+// defining package: the analyzer matches by import path, receiver type and
+// method name, so simplified signatures suffice.
+package mediation
+
+// Peer mirrors the real Peer far enough to carry the deprecated wrappers.
+type Peer struct{}
+
+// Request mirrors the supported streaming entry point's argument.
+type Request struct{}
+
+// Query is the supported entry point; calling it is never flagged.
+func (p *Peer) Query(req Request) error { return nil }
+
+// SearchFor is deprecated in the real package.
+func (p *Peer) SearchFor(s, pr, o string) error {
+	// Wrappers delegating to one another inside the defining package's
+	// non-test files are exempt.
+	return p.QueryRDQL("")
+}
+
+// QueryRDQL is deprecated in the real package.
+func (p *Peer) QueryRDQL(q string) error { return nil }
+
+// InsertTriple is deprecated in the real package.
+func (p *Peer) InsertTriple(s, pr, o string) error { return nil }

@@ -160,13 +160,24 @@ func (p *Peer) SearchConjunctiveSet(patterns []triple.Pattern, reformulate bool,
 	if len(patterns) == 0 {
 		return nil, ConjunctiveStats{}, errors.New("mediation: empty conjunctive query")
 	}
-	cur, err := p.Query(context.Background(), Request{Patterns: patterns, Reformulate: reformulate, Options: opts})
+	//gridvine:serverctx deprecated blocking wrapper whose documented contract is an uncancellable call
+	ctx := context.Background()
+	cur, err := p.Query(ctx, Request{Patterns: patterns, Reformulate: reformulate, Options: opts})
 	if err != nil {
 		return nil, ConjunctiveStats{}, err
 	}
+	return CollectSet(ctx, cur)
+}
+
+// CollectSet drains a conjunctive or RDQL cursor under ctx and rebuilds
+// the sorted BindingSet the blocking engine always returned, alongside the
+// full execution statistics. It closes the cursor. Callers migrating off
+// SearchConjunctiveSet pair it with Peer.Query when they want the whole
+// join result at once.
+func CollectSet(ctx context.Context, cur *Cursor) (*triple.BindingSet, ConjunctiveStats, error) {
 	var rows [][]string
 	for {
-		row, ok := cur.Next(context.Background())
+		row, ok := cur.Next(ctx)
 		if !ok {
 			break
 		}
@@ -281,7 +292,7 @@ func (p *Peer) streamConjunctive(ctx context.Context, patterns []triple.Pattern,
 // benchmarked and property-tested against; message accounting matches the
 // planned engine (routing plus transfer chunks) so comparisons are
 // apples-to-apples.
-func (p *Peer) SearchConjunctiveNaive(patterns []triple.Pattern, reformulate bool, opts SearchOptions) ([]triple.Bindings, ConjunctiveStats, error) {
+func (p *Peer) SearchConjunctiveNaive(ctx context.Context, patterns []triple.Pattern, reformulate bool, opts SearchOptions) ([]triple.Bindings, ConjunctiveStats, error) {
 	opts = opts.withDefaults()
 	var stats ConjunctiveStats
 	if len(patterns) == 0 {
@@ -289,7 +300,7 @@ func (p *Peer) SearchConjunctiveNaive(patterns []triple.Pattern, reformulate boo
 	}
 	var joined []triple.Bindings
 	for i, q := range patterns {
-		rs, err := p.resolvePattern(context.Background(), q, nil, reformulate, opts, &stats)
+		rs, err := p.resolvePattern(ctx, q, nil, reformulate, opts, &stats)
 		if err != nil {
 			return nil, stats, fmt.Errorf("mediation: pattern %d: %w", i, err)
 		}
@@ -938,6 +949,14 @@ func PayloadTriples(payload any) int {
 		return batchEntryTriples(v.Entries)
 	case pgrid.BatchReplicate:
 		return batchEntryTriples(v.Entries)
+	case pgrid.SubtreeResponse:
+		// Range-query traversal ships stored items back in bulk; each
+		// triple-valued item is one shipped result triple.
+		return subtreeItemTriples(v.Items)
+	case pgrid.SyncResponse:
+		// Anti-entropy pulls a replica's whole subtree; its data volume is
+		// the same per-item cost as a range shipment.
+		return subtreeItemTriples(v.Items)
 	}
 	return 0
 }
@@ -955,6 +974,18 @@ func batchEntryTriples(entries []pgrid.BatchEntry) int {
 	n := 0
 	for _, e := range entries {
 		if _, ok := e.Value.(triple.Triple); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// subtreeItemTriples counts the triple-valued items of a subtree or
+// anti-entropy shipment.
+func subtreeItemTriples(items []pgrid.SubtreeItem) int {
+	n := 0
+	for _, it := range items {
+		if _, ok := it.Value.(triple.Triple); ok {
 			n++
 		}
 	}

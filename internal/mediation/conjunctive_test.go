@@ -1,6 +1,7 @@
 package mediation
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -26,7 +27,7 @@ func conjNetwork(t testing.TB, peers, entities int) (*simnet.Network, []*Peer) {
 	}
 	insert := func(s, p, o string) {
 		t.Helper()
-		if _, err := ps[len(s)%len(ps)].InsertTriple(triple.Triple{Subject: s, Predicate: p, Object: o}); err != nil {
+		if _, err := ps[len(s)%len(ps)].InsertTripleContext(context.Background(), triple.Triple{Subject: s, Predicate: p, Object: o}); err != nil {
 			t.Fatalf("InsertTriple: %v", err)
 		}
 	}
@@ -48,7 +49,7 @@ func conjNetwork(t testing.TB, peers, entities int) (*simnet.Network, []*Peer) {
 	m := schema.NewMapping("A", "B", schema.Equivalence, schema.Manual,
 		[]schema.Correspondence{{SourceAttr: "org", TargetAttr: "name", Confidence: 1}})
 	m.Bidirectional = true
-	if _, err := ps[0].InsertMapping(m); err != nil {
+	if _, err := ps[0].InsertMappingContext(context.Background(), m); err != nil {
 		t.Fatalf("InsertMapping: %v", err)
 	}
 	return net, ps
@@ -134,13 +135,13 @@ func TestPlannerMatchesNaive(t *testing.T) {
 	for name, base := range queries {
 		for pi, patterns := range permutations(base) {
 			for _, reformulate := range []bool{false, true} {
-				naive, _, err := issuer.SearchConjunctiveNaive(patterns, reformulate, SearchOptions{Parallelism: 1})
+				naive, _, err := issuer.SearchConjunctiveNaive(context.Background(), patterns, reformulate, SearchOptions{Parallelism: 1})
 				if err != nil {
 					t.Fatalf("%s/perm%d/ref=%v naive: %v", name, pi, reformulate, err)
 				}
 				want := bindingKeys(naive)
 				for _, par := range []int{1, 0} {
-					got, _, err := issuer.SearchConjunctive(patterns, reformulate, SearchOptions{Parallelism: par})
+					got, _, err := blockingConjunctive(issuer, patterns, reformulate, SearchOptions{Parallelism: par})
 					if err != nil {
 						t.Fatalf("%s/perm%d/ref=%v/par=%d planned: %v", name, pi, reformulate, par, err)
 					}
@@ -176,7 +177,7 @@ func TestPlannerMatchesNaiveSmallPushdownCap(t *testing.T) {
 		{S: triple.Var("x"), P: triple.Const("A#len"), O: triple.Var("len")},
 		{S: triple.Var("x"), P: triple.Const("A#org"), O: triple.Const("species-3")},
 	}
-	naive, _, err := issuer.SearchConjunctiveNaive(patterns, false, SearchOptions{Parallelism: 1})
+	naive, _, err := issuer.SearchConjunctiveNaive(context.Background(), patterns, false, SearchOptions{Parallelism: 1})
 	if err != nil {
 		t.Fatalf("naive: %v", err)
 	}
@@ -185,7 +186,7 @@ func TestPlannerMatchesNaiveSmallPushdownCap(t *testing.T) {
 		t.Fatal("workload yields no rows — test is vacuous")
 	}
 	for _, cap := range []int{1, 2, 100, -1} {
-		got, _, err := issuer.SearchConjunctive(patterns, false, SearchOptions{Parallelism: 1, PushdownLimit: cap})
+		got, _, err := blockingConjunctive(issuer, patterns, false, SearchOptions{Parallelism: 1, PushdownLimit: cap})
 		if err != nil {
 			t.Fatalf("cap=%d: %v", cap, err)
 		}
@@ -206,11 +207,11 @@ func TestPlannerSavesMessages(t *testing.T) {
 		{S: triple.Var("x"), P: triple.Const("A#len"), O: triple.Var("len")},
 		{S: triple.Var("x"), P: triple.Const("A#org"), O: triple.Const("species-rare")},
 	}
-	naive, naiveStats, err := issuer.SearchConjunctiveNaive(patterns, false, SearchOptions{Parallelism: 1})
+	naive, naiveStats, err := issuer.SearchConjunctiveNaive(context.Background(), patterns, false, SearchOptions{Parallelism: 1})
 	if err != nil {
 		t.Fatalf("naive: %v", err)
 	}
-	planned, plannedStats, err := issuer.SearchConjunctiveSet(patterns, false, SearchOptions{Parallelism: 1})
+	planned, plannedStats, err := blockingConjunctiveSet(issuer, patterns, false, SearchOptions{Parallelism: 1})
 	if err != nil {
 		t.Fatalf("planned: %v", err)
 	}
@@ -240,10 +241,10 @@ func TestPushdownRescuesUnroutablePattern(t *testing.T) {
 		{S: triple.Var("x"), P: triple.Const("A#org"), O: triple.Const("species-3")},
 		{S: triple.Var("x"), P: triple.Var("p"), O: triple.Var("o")},
 	}
-	if _, _, err := issuer.SearchConjunctiveNaive(patterns, false, SearchOptions{Parallelism: 1}); err == nil {
+	if _, _, err := issuer.SearchConjunctiveNaive(context.Background(), patterns, false, SearchOptions{Parallelism: 1}); err == nil {
 		t.Fatal("naive evaluator should fail on the unroutable pattern")
 	}
-	got, stats, err := issuer.SearchConjunctive(patterns, false, SearchOptions{Parallelism: 1})
+	got, stats, err := blockingConjunctive(issuer, patterns, false, SearchOptions{Parallelism: 1})
 	if err != nil {
 		t.Fatalf("planned: %v", err)
 	}
@@ -270,12 +271,12 @@ func TestEmptyComponentAnnihilatesUnroutable(t *testing.T) {
 	empty := triple.Pattern{S: triple.Var("x"), P: triple.Const("A#org"), O: triple.Const("species-none")}
 	unroutable := triple.Pattern{S: triple.Var("y"), P: triple.Var("p"), O: triple.Var("o")}
 
-	naive, _, err := ps[1].SearchConjunctiveNaive([]triple.Pattern{empty, unroutable}, false, SearchOptions{Parallelism: 1})
+	naive, _, err := ps[1].SearchConjunctiveNaive(context.Background(), []triple.Pattern{empty, unroutable}, false, SearchOptions{Parallelism: 1})
 	if err != nil || len(naive) != 0 {
 		t.Fatalf("naive = %v, %v", naive, err)
 	}
 	for _, patterns := range [][]triple.Pattern{{empty, unroutable}, {unroutable, empty}} {
-		got, _, err := ps[1].SearchConjunctive(patterns, false, SearchOptions{Parallelism: 1})
+		got, _, err := blockingConjunctive(ps[1], patterns, false, SearchOptions{Parallelism: 1})
 		if err != nil {
 			t.Fatalf("planned(%v): %v", patterns, err)
 		}
@@ -285,7 +286,7 @@ func TestEmptyComponentAnnihilatesUnroutable(t *testing.T) {
 	}
 
 	nonEmpty := triple.Pattern{S: triple.Var("x"), P: triple.Const("A#org"), O: triple.Const("species-1")}
-	if _, _, err := ps[1].SearchConjunctive([]triple.Pattern{nonEmpty, unroutable}, false, SearchOptions{}); err == nil {
+	if _, _, err := blockingConjunctive(ps[1], []triple.Pattern{nonEmpty, unroutable}, false, SearchOptions{}); err == nil {
 		t.Error("unroutable component of a non-empty conjunction should error")
 	}
 }
@@ -295,7 +296,7 @@ func TestEmptyComponentAnnihilatesUnroutable(t *testing.T) {
 func TestConjunctiveRepeatedVariable(t *testing.T) {
 	_, ps := conjNetwork(t, 16, 8)
 	insert := func(s, p, o string) {
-		if _, err := ps[0].InsertTriple(triple.Triple{Subject: s, Predicate: p, Object: o}); err != nil {
+		if _, err := ps[0].InsertTripleContext(context.Background(), triple.Triple{Subject: s, Predicate: p, Object: o}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -306,11 +307,11 @@ func TestConjunctiveRepeatedVariable(t *testing.T) {
 	}
 	for _, f := range []func() ([]triple.Bindings, error){
 		func() ([]triple.Bindings, error) {
-			b, _, err := ps[1].SearchConjunctive(patterns, false, SearchOptions{})
+			b, _, err := blockingConjunctive(ps[1], patterns, false, SearchOptions{})
 			return b, err
 		},
 		func() ([]triple.Bindings, error) {
-			b, _, err := ps[1].SearchConjunctiveNaive(patterns, false, SearchOptions{})
+			b, _, err := ps[1].SearchConjunctiveNaive(context.Background(), patterns, false, SearchOptions{})
 			return b, err
 		},
 	} {
@@ -342,12 +343,12 @@ func TestConcurrentConjunctiveSearches(t *testing.T) {
 			for i := 0; i < 8; i++ {
 				reformulate := i%2 == 0
 				if w%2 == 0 {
-					if _, _, err := issuer.SearchConjunctive(patterns, reformulate, SearchOptions{Parallelism: 4}); err != nil {
+					if _, _, err := blockingConjunctive(issuer, patterns, reformulate, SearchOptions{Parallelism: 4}); err != nil {
 						t.Errorf("worker %d: %v", w, err)
 						return
 					}
 				} else {
-					if _, _, err := issuer.SearchConjunctiveNaive(patterns, reformulate, SearchOptions{Parallelism: 4}); err != nil {
+					if _, _, err := issuer.SearchConjunctiveNaive(context.Background(), patterns, reformulate, SearchOptions{Parallelism: 4}); err != nil {
 						t.Errorf("worker %d: %v", w, err)
 						return
 					}
@@ -364,7 +365,7 @@ func TestConcurrentConjunctiveSearches(t *testing.T) {
 				Predicate: "A#org",
 				Object:    fmt.Sprintf("species-%d", i%6),
 			}
-			if _, err := ps[i%len(ps)].InsertTriple(tr); err != nil {
+			if _, err := ps[i%len(ps)].InsertTripleContext(context.Background(), tr); err != nil {
 				t.Errorf("writer: %v", err)
 				return
 			}
@@ -452,7 +453,7 @@ func BenchmarkConjunctivePlanner(b *testing.B) {
 				{Subject: s, Predicate: "A#org", Object: org},
 				{Subject: s, Predicate: "A#len", Object: fmt.Sprint(100 + e)},
 			} {
-				if _, err := ps[e%len(ps)].InsertTriple(tr); err != nil {
+				if _, err := ps[e%len(ps)].InsertTripleContext(context.Background(), tr); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -474,7 +475,7 @@ func BenchmarkConjunctivePlanner(b *testing.B) {
 		b.ResetTimer()
 		var stats ConjunctiveStats
 		for i := 0; i < b.N; i++ {
-			rows, st, err := ps[9].SearchConjunctiveNaive(patterns, false, SearchOptions{})
+			rows, st, err := ps[9].SearchConjunctiveNaive(context.Background(), patterns, false, SearchOptions{})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -491,7 +492,7 @@ func BenchmarkConjunctivePlanner(b *testing.B) {
 		b.ResetTimer()
 		var stats ConjunctiveStats
 		for i := 0; i < b.N; i++ {
-			bs, st, err := ps[9].SearchConjunctiveSet(patterns, false, SearchOptions{})
+			bs, st, err := blockingConjunctiveSet(ps[9], patterns, false, SearchOptions{})
 			if err != nil {
 				b.Fatal(err)
 			}

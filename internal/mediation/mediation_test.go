@@ -1,6 +1,7 @@
 package mediation
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -35,11 +36,11 @@ func testNetwork(t *testing.T, peers int, seed int64) (*simnet.Network, []*Peer)
 func TestInsertAndSearchSingleTriple(t *testing.T) {
 	_, peers := testNetwork(t, 16, 1)
 	tr := triple.Triple{Subject: "seq1", Predicate: "EMBL#Organism", Object: "Aspergillus nidulans"}
-	if _, err := peers[0].InsertTriple(tr); err != nil {
+	if _, err := peers[0].InsertTripleContext(context.Background(), tr); err != nil {
 		t.Fatalf("InsertTriple: %v", err)
 	}
 	// Query constrained on predicate from a different peer.
-	rs, err := peers[7].SearchFor(triple.Pattern{
+	rs, err := blockingSearchFor(peers[7], triple.Pattern{
 		S: triple.Var("x"), P: triple.Const("EMBL#Organism"), O: triple.Var("o"),
 	})
 	if err != nil {
@@ -53,13 +54,13 @@ func TestInsertAndSearchSingleTriple(t *testing.T) {
 func TestTripleIndexedThreeTimes(t *testing.T) {
 	_, peers := testNetwork(t, 16, 2)
 	tr := triple.Triple{Subject: "seqX", Predicate: "EMBL#Length", Object: "1422"}
-	peers[0].InsertTriple(tr)
+	peers[0].InsertTripleContext(context.Background(), tr)
 	// Query by each position.
 	bySubject := triple.Pattern{S: triple.Const("seqX"), P: triple.Var("p"), O: triple.Var("o")}
 	byPredicate := triple.Pattern{S: triple.Var("s"), P: triple.Const("EMBL#Length"), O: triple.Var("o")}
 	byObject := triple.Pattern{S: triple.Var("s"), P: triple.Var("p"), O: triple.Const("1422")}
 	for name, q := range map[string]triple.Pattern{"subject": bySubject, "predicate": byPredicate, "object": byObject} {
-		rs, err := peers[3].SearchFor(q)
+		rs, err := blockingSearchFor(peers[3], q)
 		if err != nil {
 			t.Fatalf("SearchFor by %s: %v", name, err)
 		}
@@ -72,8 +73,8 @@ func TestTripleIndexedThreeTimes(t *testing.T) {
 func TestDeleteTriple(t *testing.T) {
 	_, peers := testNetwork(t, 8, 3)
 	tr := triple.Triple{Subject: "s", Predicate: "sch#p", Object: "o"}
-	peers[0].InsertTriple(tr)
-	if _, err := peers[1].DeleteTriple(tr); err != nil {
+	peers[0].InsertTripleContext(context.Background(), tr)
+	if _, err := peers[1].DeleteTripleContext(context.Background(), tr); err != nil {
 		t.Fatalf("DeleteTriple: %v", err)
 	}
 	for _, q := range []triple.Pattern{
@@ -81,7 +82,7 @@ func TestDeleteTriple(t *testing.T) {
 		{S: triple.Var("s"), P: triple.Const("sch#p"), O: triple.Var("o")},
 		{S: triple.Var("s"), P: triple.Var("p"), O: triple.Const("o")},
 	} {
-		rs, err := peers[2].SearchFor(q)
+		rs, err := blockingSearchFor(peers[2], q)
 		if err != nil {
 			t.Fatalf("SearchFor: %v", err)
 		}
@@ -93,11 +94,11 @@ func TestDeleteTriple(t *testing.T) {
 
 func TestSearchForLikeConstraint(t *testing.T) {
 	_, peers := testNetwork(t, 16, 4)
-	peers[0].InsertTriple(triple.Triple{Subject: "a1", Predicate: "EMBL#Organism", Object: "Aspergillus nidulans"})
-	peers[0].InsertTriple(triple.Triple{Subject: "a2", Predicate: "EMBL#Organism", Object: "Aspergillus niger"})
-	peers[0].InsertTriple(triple.Triple{Subject: "b1", Predicate: "EMBL#Organism", Object: "Homo sapiens"})
+	peers[0].InsertTripleContext(context.Background(), triple.Triple{Subject: "a1", Predicate: "EMBL#Organism", Object: "Aspergillus nidulans"})
+	peers[0].InsertTripleContext(context.Background(), triple.Triple{Subject: "a2", Predicate: "EMBL#Organism", Object: "Aspergillus niger"})
+	peers[0].InsertTripleContext(context.Background(), triple.Triple{Subject: "b1", Predicate: "EMBL#Organism", Object: "Homo sapiens"})
 	// The paper's example: SearchFor(x? : (x?, EMBL#Organism, %Aspergillus%)).
-	rs, err := peers[5].SearchFor(triple.Pattern{
+	rs, err := blockingSearchFor(peers[5], triple.Pattern{
 		S: triple.Var("x"), P: triple.Const("EMBL#Organism"), O: triple.LikeTerm("%Aspergillus%"),
 	})
 	if err != nil {
@@ -117,7 +118,7 @@ func TestSearchForLikeConstraint(t *testing.T) {
 
 func TestSearchForNotRoutable(t *testing.T) {
 	_, peers := testNetwork(t, 4, 5)
-	_, err := peers[0].SearchFor(triple.Pattern{S: triple.Var("x"), P: triple.Var("y"), O: triple.Var("z")})
+	_, err := blockingSearchFor(peers[0], triple.Pattern{S: triple.Var("x"), P: triple.Var("y"), O: triple.Var("z")})
 	if !errors.Is(err, ErrNotRoutable) {
 		t.Errorf("err = %v, want ErrNotRoutable", err)
 	}
@@ -126,17 +127,17 @@ func TestSearchForNotRoutable(t *testing.T) {
 func TestSchemaRoundtrip(t *testing.T) {
 	_, peers := testNetwork(t, 8, 6)
 	s := schema.NewSchema("EMBL", "protein-sequences", "Organism", "Length")
-	if _, err := peers[0].InsertSchema(s); err != nil {
+	if _, err := peers[0].InsertSchemaContext(context.Background(), s); err != nil {
 		t.Fatalf("InsertSchema: %v", err)
 	}
-	got, err := peers[3].LookupSchema("EMBL")
+	got, err := peers[3].LookupSchema(context.Background(), "EMBL")
 	if err != nil {
 		t.Fatalf("LookupSchema: %v", err)
 	}
 	if got.Name != "EMBL" || len(got.Attributes) != 2 {
 		t.Errorf("schema = %+v", got)
 	}
-	if _, err := peers[3].LookupSchema("MISSING"); err == nil {
+	if _, err := peers[3].LookupSchema(context.Background(), "MISSING"); err == nil {
 		t.Error("missing schema lookup should fail")
 	}
 }
@@ -146,18 +147,18 @@ func TestMappingStorageAndRetrieval(t *testing.T) {
 	m := schema.NewMapping("EMBL", "EMP", schema.Equivalence, schema.Manual, []schema.Correspondence{
 		{SourceAttr: "Organism", TargetAttr: "SystematicName", Confidence: 1},
 	})
-	if _, err := peers[0].InsertMapping(m); err != nil {
+	if _, err := peers[0].InsertMappingContext(context.Background(), m); err != nil {
 		t.Fatalf("InsertMapping: %v", err)
 	}
 	// Unidirectional: visible from source schema only.
-	from, _, err := peers[2].MappingsFrom("EMBL")
+	from, _, err := peers[2].MappingsFrom(context.Background(), "EMBL")
 	if err != nil {
 		t.Fatalf("MappingsFrom: %v", err)
 	}
 	if len(from) != 1 || from[0].ID != m.ID {
 		t.Errorf("MappingsFrom(EMBL) = %v", from)
 	}
-	fromTarget, _, err := peers[2].MappingsFrom("EMP")
+	fromTarget, _, err := peers[2].MappingsFrom(context.Background(), "EMP")
 	if err != nil {
 		t.Fatalf("MappingsFrom: %v", err)
 	}
@@ -172,12 +173,12 @@ func TestBidirectionalMappingVisibleBothSides(t *testing.T) {
 		{SourceAttr: "Organism", TargetAttr: "SystematicName", Confidence: 1},
 	})
 	m.Bidirectional = true
-	peers[0].InsertMapping(m)
-	from, _, _ := peers[1].MappingsFrom("EMBL")
+	peers[0].InsertMappingContext(context.Background(), m)
+	from, _, _ := peers[1].MappingsFrom(context.Background(), "EMBL")
 	if len(from) != 1 {
 		t.Errorf("source side = %v", from)
 	}
-	rev, _, _ := peers[1].MappingsFrom("EMP")
+	rev, _, _ := peers[1].MappingsFrom(context.Background(), "EMP")
 	if len(rev) != 1 || rev[0].Source != "EMP" || rev[0].Target != "EMBL" {
 		t.Errorf("target side = %v", rev)
 	}
@@ -191,20 +192,20 @@ func TestFigure2Reformulation(t *testing.T) {
 	_, peers := testNetwork(t, 16, 9)
 
 	// Data under two heterogeneous schemas.
-	peers[0].InsertTriple(triple.Triple{Subject: "EMBL:A78712", Predicate: "EMBL#Organism", Object: "Aspergillus nidulans"})
-	peers[0].InsertTriple(triple.Triple{Subject: "EMBL:A78767", Predicate: "EMBL#Organism", Object: "Aspergillus niger"})
-	peers[0].InsertTriple(triple.Triple{Subject: "NEN94295-05", Predicate: "EMP#SystematicName", Object: "Aspergillus flavus"})
-	peers[0].InsertTriple(triple.Triple{Subject: "NEN00001-99", Predicate: "EMP#SystematicName", Object: "Homo sapiens"})
+	peers[0].InsertTripleContext(context.Background(), triple.Triple{Subject: "EMBL:A78712", Predicate: "EMBL#Organism", Object: "Aspergillus nidulans"})
+	peers[0].InsertTripleContext(context.Background(), triple.Triple{Subject: "EMBL:A78767", Predicate: "EMBL#Organism", Object: "Aspergillus niger"})
+	peers[0].InsertTripleContext(context.Background(), triple.Triple{Subject: "NEN94295-05", Predicate: "EMP#SystematicName", Object: "Aspergillus flavus"})
+	peers[0].InsertTripleContext(context.Background(), triple.Triple{Subject: "NEN00001-99", Predicate: "EMP#SystematicName", Object: "Homo sapiens"})
 
 	m := schema.NewMapping("EMBL", "EMP", schema.Equivalence, schema.Manual, []schema.Correspondence{
 		{SourceAttr: "Organism", TargetAttr: "SystematicName", Confidence: 1},
 	})
 	m.Bidirectional = true
-	peers[0].InsertMapping(m)
+	peers[0].InsertMappingContext(context.Background(), m)
 
 	for _, mode := range []Mode{Iterative, Recursive} {
 		q := triple.Pattern{S: triple.Var("x"), P: triple.Const("EMBL#Organism"), O: triple.LikeTerm("%Aspergillus%")}
-		rs, err := peers[4].SearchWithReformulation(q, SearchOptions{Mode: mode})
+		rs, err := blockingSearchReformulated(peers[4], q, SearchOptions{Mode: mode})
 		if err != nil {
 			t.Fatalf("[%v] SearchWithReformulation: %v", mode, err)
 		}
@@ -239,9 +240,9 @@ func TestFigure2Reformulation(t *testing.T) {
 func TestReformulationChain(t *testing.T) {
 	// A → B → C chain: results from all three schemas, confidence decays.
 	_, peers := testNetwork(t, 16, 10)
-	peers[0].InsertTriple(triple.Triple{Subject: "a1", Predicate: "A#org", Object: "aspergillus"})
-	peers[0].InsertTriple(triple.Triple{Subject: "b1", Predicate: "B#name", Object: "aspergillus"})
-	peers[0].InsertTriple(triple.Triple{Subject: "c1", Predicate: "C#taxon", Object: "aspergillus"})
+	peers[0].InsertTripleContext(context.Background(), triple.Triple{Subject: "a1", Predicate: "A#org", Object: "aspergillus"})
+	peers[0].InsertTripleContext(context.Background(), triple.Triple{Subject: "b1", Predicate: "B#name", Object: "aspergillus"})
+	peers[0].InsertTripleContext(context.Background(), triple.Triple{Subject: "c1", Predicate: "C#taxon", Object: "aspergillus"})
 
 	ab := schema.NewMapping("A", "B", schema.Equivalence, schema.Automatic, []schema.Correspondence{
 		{SourceAttr: "org", TargetAttr: "name", Confidence: 0.9},
@@ -249,12 +250,12 @@ func TestReformulationChain(t *testing.T) {
 	bc := schema.NewMapping("B", "C", schema.Equivalence, schema.Automatic, []schema.Correspondence{
 		{SourceAttr: "name", TargetAttr: "taxon", Confidence: 0.8},
 	})
-	peers[0].InsertMapping(ab)
-	peers[0].InsertMapping(bc)
+	peers[0].InsertMappingContext(context.Background(), ab)
+	peers[0].InsertMappingContext(context.Background(), bc)
 
 	for _, mode := range []Mode{Iterative, Recursive} {
 		q := triple.Pattern{S: triple.Var("x"), P: triple.Const("A#org"), O: triple.Const("aspergillus")}
-		rs, err := peers[2].SearchWithReformulation(q, SearchOptions{Mode: mode})
+		rs, err := blockingSearchReformulated(peers[2], q, SearchOptions{Mode: mode})
 		if err != nil {
 			t.Fatalf("[%v] search: %v", mode, err)
 		}
@@ -276,14 +277,14 @@ func TestReformulationChain(t *testing.T) {
 
 func TestReformulationRespectsMaxDepth(t *testing.T) {
 	_, peers := testNetwork(t, 16, 11)
-	peers[0].InsertTriple(triple.Triple{Subject: "c1", Predicate: "C#taxon", Object: "x"})
+	peers[0].InsertTripleContext(context.Background(), triple.Triple{Subject: "c1", Predicate: "C#taxon", Object: "x"})
 	ab := schema.NewMapping("A", "B", schema.Equivalence, schema.Manual, []schema.Correspondence{{SourceAttr: "org", TargetAttr: "name", Confidence: 1}})
 	bc := schema.NewMapping("B", "C", schema.Equivalence, schema.Manual, []schema.Correspondence{{SourceAttr: "name", TargetAttr: "taxon", Confidence: 1}})
-	peers[0].InsertMapping(ab)
-	peers[0].InsertMapping(bc)
+	peers[0].InsertMappingContext(context.Background(), ab)
+	peers[0].InsertMappingContext(context.Background(), bc)
 	q := triple.Pattern{S: triple.Var("v"), P: triple.Const("A#org"), O: triple.Const("x")}
 	for _, mode := range []Mode{Iterative, Recursive} {
-		rs, err := peers[1].SearchWithReformulation(q, SearchOptions{Mode: mode, MaxDepth: 1})
+		rs, err := blockingSearchReformulated(peers[1], q, SearchOptions{Mode: mode, MaxDepth: 1})
 		if err != nil {
 			t.Fatalf("[%v] search: %v", mode, err)
 		}
@@ -297,13 +298,13 @@ func TestReformulationRespectsMaxDepth(t *testing.T) {
 
 func TestReformulationMinConfidencePrunes(t *testing.T) {
 	_, peers := testNetwork(t, 16, 12)
-	peers[0].InsertTriple(triple.Triple{Subject: "b1", Predicate: "B#name", Object: "v"})
+	peers[0].InsertTripleContext(context.Background(), triple.Triple{Subject: "b1", Predicate: "B#name", Object: "v"})
 	weak := schema.NewMapping("A", "B", schema.Equivalence, schema.Automatic, []schema.Correspondence{
 		{SourceAttr: "org", TargetAttr: "name", Confidence: 0.3},
 	})
-	peers[0].InsertMapping(weak)
+	peers[0].InsertMappingContext(context.Background(), weak)
 	q := triple.Pattern{S: triple.Var("x"), P: triple.Const("A#org"), O: triple.Const("v")}
-	rs, err := peers[1].SearchWithReformulation(q, SearchOptions{MinConfidence: 0.5})
+	rs, err := blockingSearchReformulated(peers[1], q, SearchOptions{MinConfidence: 0.5})
 	if err != nil {
 		t.Fatalf("search: %v", err)
 	}
@@ -314,14 +315,14 @@ func TestReformulationMinConfidencePrunes(t *testing.T) {
 
 func TestDeprecatedMappingIgnored(t *testing.T) {
 	_, peers := testNetwork(t, 16, 13)
-	peers[0].InsertTriple(triple.Triple{Subject: "b1", Predicate: "B#name", Object: "v"})
+	peers[0].InsertTripleContext(context.Background(), triple.Triple{Subject: "b1", Predicate: "B#name", Object: "v"})
 	m := schema.NewMapping("A", "B", schema.Equivalence, schema.Manual, []schema.Correspondence{
 		{SourceAttr: "org", TargetAttr: "name", Confidence: 1},
 	})
 	m.Deprecated = true
-	peers[0].InsertMapping(m)
+	peers[0].InsertMappingContext(context.Background(), m)
 	q := triple.Pattern{S: triple.Var("x"), P: triple.Const("A#org"), O: triple.Const("v")}
-	rs, err := peers[1].SearchWithReformulation(q, SearchOptions{})
+	rs, err := blockingSearchReformulated(peers[1], q, SearchOptions{})
 	if err != nil {
 		t.Fatalf("search: %v", err)
 	}
@@ -332,27 +333,27 @@ func TestDeprecatedMappingIgnored(t *testing.T) {
 
 func TestReplaceMappingPublishesDeprecation(t *testing.T) {
 	_, peers := testNetwork(t, 16, 14)
-	peers[0].InsertTriple(triple.Triple{Subject: "b1", Predicate: "B#name", Object: "v"})
+	peers[0].InsertTripleContext(context.Background(), triple.Triple{Subject: "b1", Predicate: "B#name", Object: "v"})
 	m := schema.NewMapping("A", "B", schema.Equivalence, schema.Automatic, []schema.Correspondence{
 		{SourceAttr: "org", TargetAttr: "name", Confidence: 0.9},
 	})
-	peers[0].InsertMapping(m)
+	peers[0].InsertMappingContext(context.Background(), m)
 	q := triple.Pattern{S: triple.Var("x"), P: triple.Const("A#org"), O: triple.Const("v")}
-	rs, _ := peers[1].SearchWithReformulation(q, SearchOptions{})
+	rs, _ := blockingSearchReformulated(peers[1], q, SearchOptions{})
 	if len(rs.Results) != 1 {
 		t.Fatalf("pre-deprecation results = %v", rs.Results)
 	}
 	dep := m
 	dep.Deprecated = true
-	if err := peers[2].ReplaceMapping(m, dep); err != nil {
+	if err := peers[2].ReplaceMappingContext(context.Background(), m, dep); err != nil {
 		t.Fatalf("ReplaceMapping: %v", err)
 	}
-	rs, _ = peers[1].SearchWithReformulation(q, SearchOptions{})
+	rs, _ = blockingSearchReformulated(peers[1], q, SearchOptions{})
 	if len(rs.Results) != 0 {
 		t.Errorf("post-deprecation results = %v", rs.Results)
 	}
 	// MappingsAt still reveals the deprecated mapping for analysis.
-	all, err := peers[3].MappingsAt("A")
+	all, err := peers[3].MappingsAt(context.Background(), "A")
 	if err != nil || len(all) != 1 || !all[0].Deprecated {
 		t.Errorf("MappingsAt = %v err=%v", all, err)
 	}
@@ -362,7 +363,7 @@ func TestReplaceMappingIDMismatch(t *testing.T) {
 	_, peers := testNetwork(t, 4, 15)
 	a := schema.NewMapping("A", "B", schema.Equivalence, schema.Manual, nil)
 	b := schema.NewMapping("B", "C", schema.Equivalence, schema.Manual, nil)
-	if err := peers[0].ReplaceMapping(a, b); err == nil {
+	if err := peers[0].ReplaceMappingContext(context.Background(), a, b); err == nil {
 		t.Error("mismatched IDs should fail")
 	}
 }
@@ -370,15 +371,15 @@ func TestReplaceMappingIDMismatch(t *testing.T) {
 func TestMappingCycleTerminates(t *testing.T) {
 	// A ↔ B cycle must not loop the reformulation.
 	_, peers := testNetwork(t, 16, 16)
-	peers[0].InsertTriple(triple.Triple{Subject: "a1", Predicate: "A#x", Object: "v"})
-	peers[0].InsertTriple(triple.Triple{Subject: "b1", Predicate: "B#y", Object: "v"})
+	peers[0].InsertTripleContext(context.Background(), triple.Triple{Subject: "a1", Predicate: "A#x", Object: "v"})
+	peers[0].InsertTripleContext(context.Background(), triple.Triple{Subject: "b1", Predicate: "B#y", Object: "v"})
 	ab := schema.NewMapping("A", "B", schema.Equivalence, schema.Manual, []schema.Correspondence{{SourceAttr: "x", TargetAttr: "y", Confidence: 1}})
 	ba := schema.NewMapping("B", "A", schema.Equivalence, schema.Manual, []schema.Correspondence{{SourceAttr: "y", TargetAttr: "x", Confidence: 1}})
-	peers[0].InsertMapping(ab)
-	peers[0].InsertMapping(ba)
+	peers[0].InsertMappingContext(context.Background(), ab)
+	peers[0].InsertMappingContext(context.Background(), ba)
 	for _, mode := range []Mode{Iterative, Recursive} {
 		q := triple.Pattern{S: triple.Var("s"), P: triple.Const("A#x"), O: triple.Const("v")}
-		rs, err := peers[1].SearchWithReformulation(q, SearchOptions{Mode: mode})
+		rs, err := blockingSearchReformulated(peers[1], q, SearchOptions{Mode: mode})
 		if err != nil {
 			t.Fatalf("[%v] search: %v", mode, err)
 		}
@@ -390,15 +391,15 @@ func TestMappingCycleTerminates(t *testing.T) {
 
 func TestSearchConjunctive(t *testing.T) {
 	_, peers := testNetwork(t, 16, 17)
-	peers[0].InsertTriple(triple.Triple{Subject: "seq1", Predicate: "EMBL#Organism", Object: "Aspergillus nidulans"})
-	peers[0].InsertTriple(triple.Triple{Subject: "seq1", Predicate: "EMBL#Length", Object: "1422"})
-	peers[0].InsertTriple(triple.Triple{Subject: "seq2", Predicate: "EMBL#Organism", Object: "Aspergillus niger"})
+	peers[0].InsertTripleContext(context.Background(), triple.Triple{Subject: "seq1", Predicate: "EMBL#Organism", Object: "Aspergillus nidulans"})
+	peers[0].InsertTripleContext(context.Background(), triple.Triple{Subject: "seq1", Predicate: "EMBL#Length", Object: "1422"})
+	peers[0].InsertTripleContext(context.Background(), triple.Triple{Subject: "seq2", Predicate: "EMBL#Organism", Object: "Aspergillus niger"})
 	// seq2 has no Length triple.
 	patterns := []triple.Pattern{
 		{S: triple.Var("x"), P: triple.Const("EMBL#Organism"), O: triple.LikeTerm("%Aspergillus%")},
 		{S: triple.Var("x"), P: triple.Const("EMBL#Length"), O: triple.Var("len")},
 	}
-	bindings, _, err := peers[3].SearchConjunctive(patterns, false, SearchOptions{})
+	bindings, _, err := blockingConjunctive(peers[3], patterns, false, SearchOptions{})
 	if err != nil {
 		t.Fatalf("SearchConjunctive: %v", err)
 	}
@@ -409,18 +410,18 @@ func TestSearchConjunctive(t *testing.T) {
 
 func TestSearchConjunctiveWithReformulation(t *testing.T) {
 	_, peers := testNetwork(t, 16, 18)
-	peers[0].InsertTriple(triple.Triple{Subject: "p1", Predicate: "A#org", Object: "aspergillus"})
-	peers[0].InsertTriple(triple.Triple{Subject: "p1", Predicate: "B#len", Object: "700"})
+	peers[0].InsertTripleContext(context.Background(), triple.Triple{Subject: "p1", Predicate: "A#org", Object: "aspergillus"})
+	peers[0].InsertTripleContext(context.Background(), triple.Triple{Subject: "p1", Predicate: "B#len", Object: "700"})
 	m := schema.NewMapping("A", "B", schema.Equivalence, schema.Manual, []schema.Correspondence{
 		{SourceAttr: "length", TargetAttr: "len", Confidence: 1},
 	})
-	peers[0].InsertMapping(m)
+	peers[0].InsertMappingContext(context.Background(), m)
 	patterns := []triple.Pattern{
 		{S: triple.Var("x"), P: triple.Const("A#org"), O: triple.Const("aspergillus")},
 		{S: triple.Var("x"), P: triple.Const("A#length"), O: triple.Var("len")},
 	}
 	// Without reformulation the second pattern yields nothing.
-	bindings, _, err := peers[1].SearchConjunctive(patterns, false, SearchOptions{})
+	bindings, _, err := blockingConjunctive(peers[1], patterns, false, SearchOptions{})
 	if err != nil {
 		t.Fatalf("conjunctive: %v", err)
 	}
@@ -428,7 +429,7 @@ func TestSearchConjunctiveWithReformulation(t *testing.T) {
 		t.Errorf("unreformulated bindings = %v", bindings)
 	}
 	// With reformulation A#length → B#len joins through.
-	bindings, _, err = peers[1].SearchConjunctive(patterns, true, SearchOptions{})
+	bindings, _, err = blockingConjunctive(peers[1], patterns, true, SearchOptions{})
 	if err != nil {
 		t.Fatalf("conjunctive: %v", err)
 	}
@@ -439,7 +440,7 @@ func TestSearchConjunctiveWithReformulation(t *testing.T) {
 
 func TestSearchConjunctiveEmpty(t *testing.T) {
 	_, peers := testNetwork(t, 4, 19)
-	if _, _, err := peers[0].SearchConjunctive(nil, false, SearchOptions{}); err == nil {
+	if _, _, err := blockingConjunctive(peers[0], nil, false, SearchOptions{}); err == nil {
 		t.Error("empty conjunctive query should fail")
 	}
 }
@@ -448,10 +449,10 @@ func TestDomainConnectivityRegistry(t *testing.T) {
 	_, peers := testNetwork(t, 16, 20)
 	// Report degrees for three schemas; chain topology A→B→C:
 	// A (0,1), B (1,1), C (1,0) ⇒ ci = [1·1 − (1+1+0)]/3 = −1/3.
-	peers[0].ReportDomainDegree("bio", "A", 0, 1)
-	peers[1].ReportDomainDegree("bio", "B", 1, 1)
-	peers[2].ReportDomainDegree("bio", "C", 1, 0)
-	report, err := peers[5].DomainConnectivity("bio")
+	peers[0].ReportDomainDegree(context.Background(), "bio", "A", 0, 1)
+	peers[1].ReportDomainDegree(context.Background(), "bio", "B", 1, 1)
+	peers[2].ReportDomainDegree(context.Background(), "bio", "C", 1, 0)
+	report, err := peers[5].DomainConnectivity(context.Background(), "bio")
 	if err != nil {
 		t.Fatalf("DomainConnectivity: %v", err)
 	}
@@ -463,8 +464,8 @@ func TestDomainConnectivityRegistry(t *testing.T) {
 		t.Errorf("ci = %v, want %v", report.CI, want)
 	}
 	// Updating a schema's degrees replaces the old report.
-	peers[0].ReportDomainDegree("bio", "A", 2, 3)
-	degrees, err := peers[4].DomainDegrees("bio")
+	peers[0].ReportDomainDegree(context.Background(), "bio", "A", 2, 3)
+	degrees, err := peers[4].DomainDegrees(context.Background(), "bio")
 	if err != nil {
 		t.Fatalf("DomainDegrees: %v", err)
 	}
@@ -493,7 +494,7 @@ func TestGUIDUsesPath(t *testing.T) {
 func TestLocalDBMirrorsResponsibility(t *testing.T) {
 	_, peers := testNetwork(t, 8, 22)
 	tr := triple.Triple{Subject: "mirror-s", Predicate: "M#p", Object: "mirror-o"}
-	peers[0].InsertTriple(tr)
+	peers[0].InsertTripleContext(context.Background(), tr)
 	// Every peer responsible for one of the triple's keys must have it in
 	// its relational DB.
 	holders := 0
@@ -512,7 +513,7 @@ func TestLocalDBMirrorsResponsibility(t *testing.T) {
 		t.Error("no responsible peers found")
 	}
 	// After deletion, all local DBs drop it.
-	peers[1].DeleteTriple(tr)
+	peers[1].DeleteTripleContext(context.Background(), tr)
 	for _, p := range peers {
 		if p.DB().Has(tr) {
 			t.Errorf("peer %s DB retains deleted triple", p.Node().ID())
@@ -531,7 +532,7 @@ func TestIterativeVsRecursiveSameResults(t *testing.T) {
 	// Star topology: hub schema H mapped to 4 spokes.
 	for i := 0; i < 4; i++ {
 		name := fmt.Sprintf("S%d", i)
-		peers[0].InsertTriple(triple.Triple{
+		peers[0].InsertTripleContext(context.Background(), triple.Triple{
 			Subject:   fmt.Sprintf("%s-rec", name),
 			Predicate: name + "#organism",
 			Object:    "aspergillus oryzae",
@@ -539,14 +540,14 @@ func TestIterativeVsRecursiveSameResults(t *testing.T) {
 		m := schema.NewMapping("H", name, schema.Equivalence, schema.Manual, []schema.Correspondence{
 			{SourceAttr: "org", TargetAttr: "organism", Confidence: 1},
 		})
-		peers[0].InsertMapping(m)
+		peers[0].InsertMappingContext(context.Background(), m)
 	}
 	q := triple.Pattern{S: triple.Var("x"), P: triple.Const("H#org"), O: triple.LikeTerm("%aspergillus%")}
-	it, err := peers[5].SearchWithReformulation(q, SearchOptions{Mode: Iterative})
+	it, err := blockingSearchReformulated(peers[5], q, SearchOptions{Mode: Iterative})
 	if err != nil {
 		t.Fatalf("iterative: %v", err)
 	}
-	rec, err := peers[5].SearchWithReformulation(q, SearchOptions{Mode: Recursive})
+	rec, err := blockingSearchReformulated(peers[5], q, SearchOptions{Mode: Recursive})
 	if err != nil {
 		t.Fatalf("recursive: %v", err)
 	}

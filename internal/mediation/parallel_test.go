@@ -1,6 +1,7 @@
 package mediation
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -44,7 +45,7 @@ func fanNetwork(t testing.TB, peers, spokes, entities int) (*simnet.Network, []*
 	}
 	for s := 0; s < spokes; s++ {
 		target := fmt.Sprintf("T%d", s)
-		if _, err := ps[0].InsertMapping(makeMapping("S0", target)); err != nil {
+		if _, err := ps[0].InsertMappingContext(context.Background(), makeMapping("S0", target)); err != nil {
 			t.Fatalf("InsertMapping: %v", err)
 		}
 		for e := 0; e < entities; e++ {
@@ -53,7 +54,7 @@ func fanNetwork(t testing.TB, peers, spokes, entities int) (*simnet.Network, []*
 				Predicate: target + "#org",
 				Object:    fmt.Sprintf("species-%d", e%7),
 			}
-			if _, err := ps[e%len(ps)].InsertTriple(tr); err != nil {
+			if _, err := ps[e%len(ps)].InsertTripleContext(context.Background(), tr); err != nil {
 				t.Fatalf("InsertTriple: %v", err)
 			}
 		}
@@ -64,7 +65,7 @@ func fanNetwork(t testing.TB, peers, spokes, entities int) (*simnet.Network, []*
 			Predicate: "S0#org",
 			Object:    fmt.Sprintf("species-%d", e%7),
 		}
-		if _, err := ps[e%len(ps)].InsertTriple(tr); err != nil {
+		if _, err := ps[e%len(ps)].InsertTripleContext(context.Background(), tr); err != nil {
 			t.Fatalf("InsertTriple: %v", err)
 		}
 	}
@@ -90,7 +91,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 	q := triple.Pattern{S: triple.Var("x"), P: triple.Const("S0#org"), O: triple.Const("species-3")}
 
 	for _, mode := range []Mode{Iterative, Recursive} {
-		serial, err := ps[3].SearchWithReformulation(q, SearchOptions{Mode: mode, Parallelism: 1})
+		serial, err := blockingSearchReformulated(ps[3], q, SearchOptions{Mode: mode, Parallelism: 1})
 		if err != nil {
 			t.Fatalf("[%v] serial: %v", mode, err)
 		}
@@ -99,7 +100,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 				mode, len(serial.Results), serial.Reformulations)
 		}
 		for _, width := range []int{2, 4, 8} {
-			par, err := ps[3].SearchWithReformulation(q, SearchOptions{Mode: mode, Parallelism: width})
+			par, err := blockingSearchReformulated(ps[3], q, SearchOptions{Mode: mode, Parallelism: width})
 			if err != nil {
 				t.Fatalf("[%v] parallel(%d): %v", mode, width, err)
 			}
@@ -139,7 +140,7 @@ func TestConcurrentReformulatingSearches(t *testing.T) {
 				if i%2 == 1 {
 					mode = Recursive
 				}
-				if _, err := issuer.SearchWithReformulation(q, SearchOptions{Mode: mode, Parallelism: 4}); err != nil {
+				if _, err := blockingSearchReformulated(issuer, q, SearchOptions{Mode: mode, Parallelism: 4}); err != nil {
 					t.Errorf("worker %d: %v", w, err)
 					return
 				}
@@ -155,7 +156,7 @@ func TestConcurrentReformulatingSearches(t *testing.T) {
 				Predicate: "T1#org",
 				Object:    fmt.Sprintf("species-%d", i%7),
 			}
-			if _, err := ps[i%len(ps)].InsertTriple(tr); err != nil {
+			if _, err := ps[i%len(ps)].InsertTripleContext(context.Background(), tr); err != nil {
 				t.Errorf("writer: %v", err)
 				return
 			}
@@ -194,7 +195,7 @@ func BenchmarkParallelReformulation(b *testing.B) {
 			ps := build(b)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := ps[5].SearchWithReformulation(q, SearchOptions{Parallelism: width}); err != nil {
+				if _, err := blockingSearchReformulated(ps[5], q, SearchOptions{Parallelism: width}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -205,7 +206,7 @@ func BenchmarkParallelReformulation(b *testing.B) {
 			ps := build(b)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := ps[5].SearchWithReformulation(q, SearchOptions{Mode: Recursive, Parallelism: width}); err != nil {
+				if _, err := blockingSearchReformulated(ps[5], q, SearchOptions{Mode: Recursive, Parallelism: width}); err != nil {
 					b.Fatal(err)
 				}
 			}

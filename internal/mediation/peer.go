@@ -170,6 +170,7 @@ func (p *Peer) InsertTripleContext(ctx context.Context, t triple.Triple) (pgrid.
 // Deprecated: use Peer.Write (batched, cancellable) or
 // InsertTripleContext.
 func (p *Peer) InsertTriple(t triple.Triple) (pgrid.Route, error) {
+	//gridvine:serverctx deprecated blocking wrapper whose documented contract is an uncancellable call
 	return p.InsertTripleContext(context.Background(), t)
 }
 
@@ -189,6 +190,7 @@ func (p *Peer) DeleteTripleContext(ctx context.Context, t triple.Triple) (pgrid.
 //
 // Deprecated: use Peer.Write or DeleteTripleContext.
 func (p *Peer) DeleteTriple(t triple.Triple) (pgrid.Route, error) {
+	//gridvine:serverctx deprecated blocking wrapper whose documented contract is an uncancellable call
 	return p.DeleteTripleContext(context.Background(), t)
 }
 
@@ -205,12 +207,14 @@ func (p *Peer) InsertSchemaContext(ctx context.Context, s schema.Schema) (pgrid.
 //
 // Deprecated: use Peer.Write or InsertSchemaContext.
 func (p *Peer) InsertSchema(s schema.Schema) (pgrid.Route, error) {
+	//gridvine:serverctx deprecated blocking wrapper whose documented contract is an uncancellable call
 	return p.InsertSchemaContext(context.Background(), s)
 }
 
-// LookupSchema retrieves a schema definition by name.
-func (p *Peer) LookupSchema(name string) (schema.Schema, error) {
-	values, _, err := p.node.Retrieve(context.Background(), p.schemaKey(name))
+// LookupSchema retrieves a schema definition by name under the caller's
+// context.
+func (p *Peer) LookupSchema(ctx context.Context, name string) (schema.Schema, error) {
+	values, _, err := p.node.Retrieve(ctx, p.schemaKey(name))
 	if err != nil {
 		return schema.Schema{}, err
 	}
@@ -236,6 +240,7 @@ func (p *Peer) InsertMappingContext(ctx context.Context, m schema.Mapping) (pgri
 //
 // Deprecated: use Peer.Write or InsertMappingContext.
 func (p *Peer) InsertMapping(m schema.Mapping) (pgrid.Route, error) {
+	//gridvine:serverctx deprecated blocking wrapper whose documented contract is an uncancellable call
 	return p.InsertMappingContext(context.Background(), m)
 }
 
@@ -254,21 +259,16 @@ func (p *Peer) ReplaceMappingContext(ctx context.Context, old, updated schema.Ma
 //
 // Deprecated: use Peer.Write or ReplaceMappingContext.
 func (p *Peer) ReplaceMapping(old, updated schema.Mapping) error {
+	//gridvine:serverctx deprecated blocking wrapper whose documented contract is an uncancellable call
 	return p.ReplaceMappingContext(context.Background(), old, updated)
 }
 
 // MappingsFrom returns the active (non-deprecated) mappings usable to
 // reformulate queries posed against the given schema: mappings stored at
 // the schema's key whose source is the schema, plus reverses of
-// bidirectional mappings targeting it.
-func (p *Peer) MappingsFrom(schemaName string) ([]schema.Mapping, pgrid.Route, error) {
-	return p.mappingsFrom(context.Background(), schemaName)
-}
-
-// mappingsFrom is MappingsFrom under the issuer's context: the retrieval
-// that seeds each reformulation wave aborts promptly when the query is
-// cancelled.
-func (p *Peer) mappingsFrom(ctx context.Context, schemaName string) ([]schema.Mapping, pgrid.Route, error) {
+// bidirectional mappings targeting it. The retrieval that seeds each
+// reformulation wave aborts promptly when ctx is cancelled.
+func (p *Peer) MappingsFrom(ctx context.Context, schemaName string) ([]schema.Mapping, pgrid.Route, error) {
 	values, route, err := p.node.Retrieve(ctx, p.schemaKey(schemaName))
 	if err != nil {
 		return nil, route, err
@@ -293,8 +293,8 @@ func (p *Peer) mappingsFrom(ctx context.Context, schemaName string) ([]schema.Ma
 
 // MappingsAt returns every mapping stored at a schema's key, including
 // deprecated ones — the raw material of the self-organization analysis.
-func (p *Peer) MappingsAt(schemaName string) ([]schema.Mapping, error) {
-	values, _, err := p.node.Retrieve(context.Background(), p.schemaKey(schemaName))
+func (p *Peer) MappingsAt(ctx context.Context, schemaName string) ([]schema.Mapping, error) {
+	values, _, err := p.node.Retrieve(ctx, p.schemaKey(schemaName))
 	if err != nil {
 		return nil, err
 	}
@@ -312,15 +312,15 @@ func (p *Peer) MappingsAt(schemaName string) ([]schema.Mapping, error) {
 // report for the schema is replaced atomically at the responsible peer —
 // one routed operation instead of the retrieve + delete + update sequence,
 // which cost three round-trips and raced with concurrent reporters.
-func (p *Peer) ReportDomainDegree(domain, schemaName string, in, out int) error {
-	_, err := p.node.Replace(context.Background(), p.domainKey(domain),
+func (p *Peer) ReportDomainDegree(ctx context.Context, domain, schemaName string, in, out int) error {
+	_, err := p.node.Replace(ctx, p.domainKey(domain),
 		DomainDegree{Schema: schemaName, InDegree: in, OutDegree: out})
 	return err
 }
 
 // DomainDegrees retrieves all degree reports of a domain.
-func (p *Peer) DomainDegrees(domain string) ([]DomainDegree, error) {
-	values, _, err := p.node.Retrieve(context.Background(), p.domainKey(domain))
+func (p *Peer) DomainDegrees(ctx context.Context, domain string) ([]DomainDegree, error) {
+	values, _, err := p.node.Retrieve(ctx, p.domainKey(domain))
 	if err != nil {
 		return nil, err
 	}
@@ -336,8 +336,8 @@ func (p *Peer) DomainDegrees(domain string) ([]DomainDegree, error) {
 // DomainConnectivity issues a connectivity inquiry to the domain's key
 // space; the responsible peer derives the indicator locally from the degree
 // distribution it aggregates (paper §3.1–3.2).
-func (p *Peer) DomainConnectivity(domain string) (ConnectivityReport, error) {
-	result, _, err := p.node.Query(context.Background(), p.domainKey(domain), ConnectivityQuery{Domain: domain})
+func (p *Peer) DomainConnectivity(ctx context.Context, domain string) (ConnectivityReport, error) {
+	result, _, err := p.node.Query(ctx, p.domainKey(domain), ConnectivityQuery{Domain: domain})
 	if err != nil {
 		return ConnectivityReport{}, err
 	}

@@ -170,11 +170,13 @@ func (rs *ResultSet) Triples() []triple.Triple {
 // context.Background() — it cannot be cancelled, given a deadline, or
 // consumed incrementally. New code should use Query.
 func (p *Peer) SearchFor(q triple.Pattern) (*ResultSet, error) {
-	cur, err := p.Query(context.Background(), Request{Pattern: &q})
+	//gridvine:serverctx deprecated blocking wrapper whose documented contract is an uncancellable call
+	ctx := context.Background()
+	cur, err := p.Query(ctx, Request{Pattern: &q})
 	if err != nil {
 		return nil, err
 	}
-	return collectResultSet(cur)
+	return CollectPattern(ctx, cur)
 }
 
 // SearchWithReformulation resolves a pattern and additionally traverses the
@@ -187,22 +189,26 @@ func (p *Peer) SearchFor(q triple.Pattern) (*ResultSet, error) {
 // completes. New code should use Query, which streams results as waves
 // finish and honours cancellation, deadlines, and Limit.
 func (p *Peer) SearchWithReformulation(q triple.Pattern, opts SearchOptions) (*ResultSet, error) {
-	cur, err := p.Query(context.Background(), Request{Pattern: &q, Reformulate: true, Options: opts})
+	//gridvine:serverctx deprecated blocking wrapper whose documented contract is an uncancellable call
+	ctx := context.Background()
+	cur, err := p.Query(ctx, Request{Pattern: &q, Reformulate: true, Options: opts})
 	if err != nil {
 		return nil, err
 	}
-	return collectResultSet(cur)
+	return CollectPattern(ctx, cur)
 }
 
-// collectResultSet drains a pattern-request cursor and rebuilds the
-// aggregate ResultSet the blocking search methods have always returned:
-// every streamed raw result collected in order, deduplicated (best
-// confidence per triple) when the mapping traversal ran, plus the message
-// and route accounting from the cursor's summary.
-func collectResultSet(cur *Cursor) (*ResultSet, error) {
+// CollectPattern drains a pattern-request cursor under ctx and rebuilds
+// the aggregate ResultSet the blocking search methods have always
+// returned: every streamed raw result collected in order, deduplicated
+// (best confidence per triple) when the mapping traversal ran, plus the
+// message and route accounting from the cursor's summary. It closes the
+// cursor. Callers migrating off SearchFor/SearchWithReformulation pair it
+// with Peer.Query when they want the whole answer at once.
+func CollectPattern(ctx context.Context, cur *Cursor) (*ResultSet, error) {
 	var results []Result
 	for {
-		row, ok := cur.Next(context.Background())
+		row, ok := cur.Next(ctx)
 		if !ok {
 			break
 		}
@@ -350,7 +356,7 @@ func (p *Peer) resolveFrontier(ctx context.Context, item frontierItem, filters [
 	if len(item.path) >= opts.MaxDepth {
 		return out
 	}
-	mappings, route, err := p.mappingsFrom(ctx, item.schemaName)
+	mappings, route, err := p.MappingsFrom(ctx, item.schemaName)
 	out.mapMsgs = route.Messages
 	if err == nil {
 		out.mappings = mappings
@@ -364,6 +370,7 @@ func (p *Peer) resolveFrontier(ctx context.Context, item frontierItem, filters [
 // stay deterministic regardless of completion order. Used by server-side
 // handlers, which have no issuer context to honour.
 func runPool(n, workers int, fn func(int)) {
+	//gridvine:serverctx server-side handler pool; the issuer's context ended at the hop that delivered the request
 	runPoolCtx(context.Background(), n, workers, fn) //nolint:errcheck // Background never cancels
 }
 
@@ -622,7 +629,8 @@ func (p *Peer) handleReformulated(req ReformulatedQuery) (ReformulatedResponse, 
 	for _, v := range req.VisitedPredicates {
 		visited[v] = true
 	}
-	mappings, route, err := p.MappingsFrom(schemaName)
+	//gridvine:serverctx reformulation handler runs on the responsible peer; the issuer's context ended at the hop that delivered the request
+	mappings, route, err := p.MappingsFrom(context.Background(), schemaName)
 	resp.Messages += route.Messages
 	if err != nil {
 		return resp, nil // local results still count
@@ -675,6 +683,7 @@ func (p *Peer) handleReformulated(req ReformulatedQuery) (ReformulatedResponse, 
 	run := func(i int) {
 		// Server-side forwarding carries no issuer context: the recursive
 		// cascade completes (or fails) on its own.
+		//gridvine:serverctx recursive reformulation fan-out runs on the responsible peer, past the issuer's context
 		result, fwdRoute, err := p.node.Query(context.Background(), forwards[i].key, forwards[i].req)
 		msgs[i] = fwdRoute.Messages
 		if err != nil {

@@ -22,14 +22,14 @@ import (
 // order, values agreeing on their first 12 bytes fall into the same cover
 // and are filtered locally; the filter also drops triples of other
 // predicates stored under colliding object keys.
-func (p *Peer) SearchObjectRange(predicate, lo, hi string) ([]triple.Triple, pgrid.Route, error) {
+func (p *Peer) SearchObjectRange(ctx context.Context, predicate, lo, hi string) ([]triple.Triple, pgrid.Route, error) {
 	if strings.ToLower(lo) > strings.ToLower(hi) {
 		return nil, pgrid.Route{}, fmt.Errorf("mediation: empty range [%q, %q]", lo, hi)
 	}
 	loKey := keyspace.Hash(lo, p.depth)
 	hiKey := upperBoundKey(hi, p.depth)
 
-	items, route, err := p.node.RangeRetrieve(context.Background(), loKey, hiKey)
+	items, route, err := p.node.RangeRetrieve(ctx, loKey, hiKey)
 	if err != nil {
 		return nil, route, err
 	}

@@ -1,6 +1,7 @@
 package mediation
 
 import (
+	"context"
 	"testing"
 
 	"gridvine/internal/triple"
@@ -16,13 +17,13 @@ func seedOrganisms(t *testing.T, p *Peer) {
 		"acc:5": "Mus musculus",
 		"acc:6": "Danio rerio",
 	} {
-		if _, err := p.InsertTriple(triple.Triple{Subject: subj, Predicate: "EMBL#Organism", Object: org}); err != nil {
+		if _, err := p.InsertTripleContext(context.Background(), triple.Triple{Subject: subj, Predicate: "EMBL#Organism", Object: org}); err != nil {
 			t.Fatalf("InsertTriple: %v", err)
 		}
 	}
 	// A different predicate sharing object values must not leak into range
 	// results.
-	p.InsertTriple(triple.Triple{Subject: "acc:7", Predicate: "EMP#SystematicName", Object: "Aspergillus niger"})
+	p.InsertTripleContext(context.Background(), triple.Triple{Subject: "acc:7", Predicate: "EMP#SystematicName", Object: "Aspergillus niger"})
 }
 
 func TestSearchObjectRangeBasic(t *testing.T) {
@@ -31,7 +32,7 @@ func TestSearchObjectRangeBasic(t *testing.T) {
 
 	// The whole Aspergillus genus: every value between "Aspergillus" and
 	// "Aspergillus z".
-	got, _, err := peers[4].SearchObjectRange("EMBL#Organism", "Aspergillus", "Aspergillus z")
+	got, _, err := peers[4].SearchObjectRange(context.Background(), "EMBL#Organism", "Aspergillus", "Aspergillus z")
 	if err != nil {
 		t.Fatalf("SearchObjectRange: %v", err)
 	}
@@ -48,7 +49,7 @@ func TestSearchObjectRangeSubinterval(t *testing.T) {
 	_, peers := testNetwork(t, 16, 32)
 	seedOrganisms(t, peers[0])
 	// [Aspergillus n, Aspergillus n~]: nidulans and niger but not flavus.
-	got, _, err := peers[2].SearchObjectRange("EMBL#Organism", "Aspergillus n", "Aspergillus n")
+	got, _, err := peers[2].SearchObjectRange(context.Background(), "EMBL#Organism", "Aspergillus n", "Aspergillus n")
 	if err != nil {
 		t.Fatalf("SearchObjectRange: %v", err)
 	}
@@ -67,7 +68,7 @@ func TestSearchObjectRangeSubinterval(t *testing.T) {
 func TestSearchObjectRangePredicateFilter(t *testing.T) {
 	_, peers := testNetwork(t, 16, 33)
 	seedOrganisms(t, peers[0])
-	got, _, err := peers[1].SearchObjectRange("EMBL#Organism", "A", "Z")
+	got, _, err := peers[1].SearchObjectRange(context.Background(), "EMBL#Organism", "A", "Z")
 	if err != nil {
 		t.Fatalf("SearchObjectRange: %v", err)
 	}
@@ -84,7 +85,7 @@ func TestSearchObjectRangePredicateFilter(t *testing.T) {
 func TestSearchObjectRangeCaseInsensitive(t *testing.T) {
 	_, peers := testNetwork(t, 16, 34)
 	seedOrganisms(t, peers[0])
-	got, _, err := peers[3].SearchObjectRange("EMBL#Organism", "aspergillus", "ASPERGILLUS Z")
+	got, _, err := peers[3].SearchObjectRange(context.Background(), "EMBL#Organism", "aspergillus", "ASPERGILLUS Z")
 	if err != nil {
 		t.Fatalf("SearchObjectRange: %v", err)
 	}
@@ -95,7 +96,7 @@ func TestSearchObjectRangeCaseInsensitive(t *testing.T) {
 
 func TestSearchObjectRangeEmptyInterval(t *testing.T) {
 	_, peers := testNetwork(t, 8, 35)
-	if _, _, err := peers[0].SearchObjectRange("EMBL#Organism", "zzz", "aaa"); err == nil {
+	if _, _, err := peers[0].SearchObjectRange(context.Background(), "EMBL#Organism", "zzz", "aaa"); err == nil {
 		t.Error("inverted range should fail")
 	}
 }
@@ -103,7 +104,7 @@ func TestSearchObjectRangeEmptyInterval(t *testing.T) {
 func TestSearchObjectRangeNoMatches(t *testing.T) {
 	_, peers := testNetwork(t, 16, 36)
 	seedOrganisms(t, peers[0])
-	got, _, err := peers[0].SearchObjectRange("EMBL#Organism", "Zebra", "Zygote")
+	got, _, err := peers[0].SearchObjectRange(context.Background(), "EMBL#Organism", "Zebra", "Zygote")
 	if err != nil {
 		t.Fatalf("SearchObjectRange: %v", err)
 	}

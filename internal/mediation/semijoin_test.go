@@ -1,6 +1,7 @@
 package mediation
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -41,7 +42,7 @@ func TestSemiJoinEquivalence(t *testing.T) {
 	for name, base := range queries {
 		for pi, patterns := range permutations(base) {
 			for _, reformulate := range []bool{false, true} {
-				naive, _, err := issuer.SearchConjunctiveNaive(patterns, reformulate, SearchOptions{Parallelism: 1})
+				naive, _, err := issuer.SearchConjunctiveNaive(context.Background(), patterns, reformulate, SearchOptions{Parallelism: 1})
 				naiveErr := err != nil
 				var want []string
 				if !naiveErr {
@@ -50,7 +51,7 @@ func TestSemiJoinEquivalence(t *testing.T) {
 				for cfg, opts := range configs {
 					for _, par := range []int{1, 0} {
 						opts.Parallelism = par
-						got, _, err := issuer.SearchConjunctive(patterns, reformulate, opts)
+						got, _, err := blockingConjunctive(issuer, patterns, reformulate, opts)
 						if naiveErr {
 							// The naive evaluator rejects unroutable
 							// patterns it reaches; the planner may still
@@ -93,7 +94,7 @@ func TestSemiJoinShipsFewerTriples(t *testing.T) {
 
 	fallback := opts
 	fallback.DisableSemiJoin = true
-	planned, fallbackStats, err := issuer.SearchConjunctiveSet(patterns, false, fallback)
+	planned, fallbackStats, err := blockingConjunctiveSet(issuer, patterns, false, fallback)
 	if err != nil {
 		t.Fatalf("fallback: %v", err)
 	}
@@ -101,7 +102,7 @@ func TestSemiJoinShipsFewerTriples(t *testing.T) {
 		t.Fatalf("fallback should full-scan, stats = %+v", fallbackStats)
 	}
 
-	sj, sjStats, err := issuer.SearchConjunctiveSet(patterns, false, opts)
+	sj, sjStats, err := blockingConjunctiveSet(issuer, patterns, false, opts)
 	if err != nil {
 		t.Fatalf("semi-join: %v", err)
 	}
@@ -130,7 +131,7 @@ func TestMultiVariablePushdown(t *testing.T) {
 	// second pattern shares both x and len with the first.
 	for e := 0; e < 24; e += 2 {
 		tr := triple.Triple{Subject: fmt.Sprintf("s%03d", e), Predicate: "A#echo", Object: fmt.Sprint(100 + e)}
-		if _, err := ps[0].InsertTriple(tr); err != nil {
+		if _, err := ps[0].InsertTripleContext(context.Background(), tr); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -141,11 +142,11 @@ func TestMultiVariablePushdown(t *testing.T) {
 		{S: triple.Var("x"), P: triple.Const("A#echo"), O: triple.Var("len")},
 	}
 	for _, patterns := range permutations(patterns) {
-		naive, _, err := issuer.SearchConjunctiveNaive(patterns, false, SearchOptions{Parallelism: 1})
+		naive, _, err := issuer.SearchConjunctiveNaive(context.Background(), patterns, false, SearchOptions{Parallelism: 1})
 		if err != nil {
 			t.Fatalf("naive: %v", err)
 		}
-		got, stats, err := issuer.SearchConjunctiveSet(patterns, false, SearchOptions{Parallelism: 1})
+		got, stats, err := blockingConjunctiveSet(issuer, patterns, false, SearchOptions{Parallelism: 1})
 		if err != nil {
 			t.Fatalf("planned: %v", err)
 		}
@@ -169,11 +170,11 @@ func TestSemiJoinWithReformulation(t *testing.T) {
 		{S: triple.Var("x"), P: triple.Const("A#org"), O: triple.Var("org")},
 	}
 	for _, mode := range []Mode{Iterative, Recursive} {
-		naive, _, err := issuer.SearchConjunctiveNaive(patterns, true, SearchOptions{Parallelism: 1, Mode: mode})
+		naive, _, err := issuer.SearchConjunctiveNaive(context.Background(), patterns, true, SearchOptions{Parallelism: 1, Mode: mode})
 		if err != nil {
 			t.Fatalf("%v naive: %v", mode, err)
 		}
-		got, stats, err := issuer.SearchConjunctiveSet(patterns, true, SearchOptions{Parallelism: 1, Mode: mode, PushdownLimit: 2})
+		got, stats, err := blockingConjunctiveSet(issuer, patterns, true, SearchOptions{Parallelism: 1, Mode: mode, PushdownLimit: 2})
 		if err != nil {
 			t.Fatalf("%v semi-join: %v", mode, err)
 		}
@@ -278,13 +279,13 @@ func BenchmarkSemiJoin(b *testing.B) {
 				{Subject: s, Predicate: "A#grp", Object: grp},
 				{Subject: s, Predicate: "A#len", Object: fmt.Sprint(100 + e)},
 			} {
-				if _, err := ps[e%len(ps)].InsertTriple(tr); err != nil {
+				if _, err := ps[e%len(ps)].InsertTripleContext(context.Background(), tr); err != nil {
 					b.Fatal(err)
 				}
 			}
 		}
 		for _, p := range ps {
-			if _, _, err := p.PublishStats(); err != nil {
+			if _, _, err := p.PublishStats(context.Background()); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -305,13 +306,13 @@ func BenchmarkSemiJoin(b *testing.B) {
 			var st ConjunctiveStats
 			var n int
 			if naive {
-				rows, s, err := ps[9].SearchConjunctiveNaive(patterns, false, opts)
+				rows, s, err := ps[9].SearchConjunctiveNaive(context.Background(), patterns, false, opts)
 				if err != nil {
 					b.Fatal(err)
 				}
 				st, n = s, len(rows)
 			} else {
-				bs, s, err := ps[9].SearchConjunctiveSet(patterns, false, opts)
+				bs, s, err := blockingConjunctiveSet(ps[9], patterns, false, opts)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -60,8 +60,9 @@ func (d StatsDigest) Replaces(old any) bool {
 // StatsDigest per schema (predicates of the form Schema#Attr; bare
 // predicates have no schema key and are skipped) at the schema's key,
 // atomically replacing this peer's previous digest there. It returns the
-// number of digests published and the accumulated route cost.
-func (p *Peer) PublishStats() (int, pgrid.Route, error) {
+// number of digests published and the accumulated route cost. The
+// per-schema publishes abort at the first one ctx cancels.
+func (p *Peer) PublishStats(ctx context.Context) (int, pgrid.Route, error) {
 	stats := p.db.Stats()
 	bySchema := map[string][]triple.PredicateStats{}
 	for _, ps := range stats.Predicates {
@@ -85,7 +86,7 @@ func (p *Peer) PublishStats() (int, pgrid.Route, error) {
 			Published:  now,
 			Predicates: bySchema[name],
 		}
-		route, err := p.node.Replace(context.Background(), p.schemaKey(name), d)
+		route, err := p.node.Replace(ctx, p.schemaKey(name), d)
 		accumulate(&total, route)
 		if err != nil {
 			return i, total, err

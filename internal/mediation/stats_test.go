@@ -23,14 +23,14 @@ func statsNetwork(t *testing.T, peers, entities int, publish bool) []*Peer {
 			{Subject: s, Predicate: "A#hot", Object: fmt.Sprintf("v%d", e)},
 			{Subject: s, Predicate: "A#grp", Object: fmt.Sprintf("g%d", e%5)},
 		} {
-			if _, err := ps[e%len(ps)].InsertTriple(tr); err != nil {
+			if _, err := ps[e%len(ps)].InsertTripleContext(context.Background(), tr); err != nil {
 				t.Fatalf("InsertTriple: %v", err)
 			}
 		}
 	}
 	if publish {
 		for _, p := range ps {
-			if _, _, err := p.PublishStats(); err != nil {
+			if _, _, err := p.PublishStats(context.Background()); err != nil {
 				t.Fatalf("PublishStats: %v", err)
 			}
 		}
@@ -77,7 +77,7 @@ func TestPublishAndAggregateStats(t *testing.T) {
 func TestRepublishSupersedes(t *testing.T) {
 	ps := statsNetwork(t, 16, 20, true)
 	for i := 0; i < 3; i++ {
-		if _, _, err := ps[2].PublishStats(); err != nil {
+		if _, _, err := ps[2].PublishStats(context.Background()); err != nil {
 			t.Fatalf("republish %d: %v", i, err)
 		}
 	}
@@ -116,11 +116,11 @@ func TestPlannerStalenessFallback(t *testing.T) {
 	check := func(t *testing.T, ps []*Peer, opts SearchOptions, wantDigests bool, wantFetches bool) ConjunctiveStats {
 		t.Helper()
 		issuer := ps[1]
-		naive, _, err := issuer.SearchConjunctiveNaive(patterns, false, SearchOptions{Parallelism: 1})
+		naive, _, err := issuer.SearchConjunctiveNaive(context.Background(), patterns, false, SearchOptions{Parallelism: 1})
 		if err != nil {
 			t.Fatalf("naive: %v", err)
 		}
-		got, stats, err := issuer.SearchConjunctiveSet(patterns, false, opts)
+		got, stats, err := blockingConjunctiveSet(issuer, patterns, false, opts)
 		if err != nil {
 			t.Fatalf("planned: %v", err)
 		}

@@ -416,13 +416,24 @@ func (p *Peer) QueryRDQL(query string, reformulate bool, opts SearchOptions) ([]
 // Deprecated: like QueryRDQL, this blocks until the full answer is
 // assembled; use Query for streaming consumption.
 func (p *Peer) QueryRDQLStats(query string, reformulate bool, opts SearchOptions) ([]rdql.Row, ConjunctiveStats, error) {
-	cur, err := p.Query(context.Background(), Request{RDQL: query, Reformulate: reformulate, Options: opts})
+	//gridvine:serverctx deprecated blocking wrapper whose documented contract is an uncancellable call
+	ctx := context.Background()
+	cur, err := p.Query(ctx, Request{RDQL: query, Reformulate: reformulate, Options: opts})
 	if err != nil {
 		return nil, ConjunctiveStats{}, err
 	}
+	return CollectRows(ctx, cur)
+}
+
+// CollectRows drains a cursor under ctx into the deduplicated, sorted
+// projected-row representation the blocking RDQL entry points always
+// returned, alongside the execution statistics. It closes the cursor.
+// Callers migrating off QueryRDQL/QueryRDQLStats pair it with Peer.Query
+// and Request.RDQL when they want the whole answer at once.
+func CollectRows(ctx context.Context, cur *Cursor) ([]rdql.Row, ConjunctiveStats, error) {
 	var rows []rdql.Row
 	for {
-		row, ok := cur.Next(context.Background())
+		row, ok := cur.Next(ctx)
 		if !ok {
 			break
 		}

@@ -32,13 +32,13 @@ func chainNetwork(t *testing.T, schemas int, seed int64) (*simnet.Network, []*Pe
 	p := ps[0]
 	for i := 0; i < schemas; i++ {
 		name := fmt.Sprintf("S%d", i)
-		if _, err := p.InsertTriple(triple.Triple{
+		if _, err := p.InsertTripleContext(context.Background(), triple.Triple{
 			Subject: fmt.Sprintf("acc:%d", i), Predicate: name + "#org", Object: "aspergillus",
 		}); err != nil {
 			t.Fatalf("InsertTriple: %v", err)
 		}
 		if i+1 < schemas {
-			if _, err := p.InsertMapping(testMapping(name, fmt.Sprintf("S%d", i+1), "org", "org")); err != nil {
+			if _, err := p.InsertMappingContext(context.Background(), testMapping(name, fmt.Sprintf("S%d", i+1), "org", "org")); err != nil {
 				t.Fatalf("InsertMapping: %v", err)
 			}
 		}
@@ -116,7 +116,7 @@ func TestQueryPatternStreamsPerWave(t *testing.T) {
 	// The deprecated wrapper aggregates the same stream. (Message counts
 	// are not compared: routing tie-break randomness advances between runs,
 	// so two executions of the same query may spend different hop counts.)
-	rs, err := issuer.SearchWithReformulation(q, SearchOptions{})
+	rs, err := blockingSearchReformulated(issuer, q, SearchOptions{})
 	if err != nil {
 		t.Fatalf("SearchWithReformulation: %v", err)
 	}
@@ -304,6 +304,8 @@ func TestQueryConjunctiveLimitCutsLookups(t *testing.T) {
 // every pattern order × reformulation × parallelism, the deprecated
 // blocking methods return exactly what draining Query and aggregating
 // yields — and the planner still matches the naive evaluator.
+//
+//gridvine:allowdeprecated wrapper-equivalence test: the deprecated blocking methods are the subject under test
 func TestBlockingWrappersMatchQuery(t *testing.T) {
 	_, peers := testNetwork(t, 16, 16)
 	p := peers[0]
@@ -315,7 +317,7 @@ func TestBlockingWrappersMatchQuery(t *testing.T) {
 			mustInsert(t, p, subj, "B#name", fmt.Sprintf("species-%d", i%3))
 		}
 	}
-	if _, err := p.InsertMapping(testMapping("A", "B", "org", "name")); err != nil {
+	if _, err := p.InsertMappingContext(context.Background(), testMapping("A", "B", "org", "name")); err != nil {
 		t.Fatalf("InsertMapping: %v", err)
 	}
 
@@ -364,7 +366,7 @@ func TestBlockingWrappersMatchQuery(t *testing.T) {
 				}
 
 				// And against the naive evaluator (order-insensitive anchor).
-				naive, _, err := issuer.SearchConjunctiveNaive(patterns, reformulate, opts)
+				naive, _, err := issuer.SearchConjunctiveNaive(context.Background(), patterns, reformulate, opts)
 				if err != nil {
 					t.Fatalf("%s: naive: %v", name, err)
 				}
@@ -387,7 +389,7 @@ func TestBlockingWrappersMatchQuery(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s: pattern Query: %v", name, err)
 				}
-				pgot, err := collectResultSet(pcur)
+				pgot, err := CollectPattern(context.Background(), pcur)
 				if err != nil {
 					t.Fatalf("%s: collect: %v", name, err)
 				}
@@ -409,7 +411,7 @@ func TestQueryRDQLLimit(t *testing.T) {
 		mustInsert(t, p, subj, "A#grp", "hot")
 		mustInsert(t, p, subj, "A#len", fmt.Sprint(100+i))
 	}
-	rows, err := peers[4].QueryRDQL(
+	rows, err := blockingRDQL(peers[4],
 		`SELECT ?x, ?len WHERE (?x, <A#grp>, hot), (?x, <A#len>, ?len) LIMIT 4`,
 		false, SearchOptions{Parallelism: 1})
 	if err != nil {
@@ -511,7 +513,7 @@ func TestNextWaitContextDoesNotPoisonCursor(t *testing.T) {
 // mustInsert inserts one triple or fails the test.
 func mustInsert(t *testing.T, p *Peer, s, pred, o string) {
 	t.Helper()
-	if _, err := p.InsertTriple(triple.Triple{Subject: s, Predicate: pred, Object: o}); err != nil {
+	if _, err := p.InsertTripleContext(context.Background(), triple.Triple{Subject: s, Predicate: pred, Object: o}); err != nil {
 		t.Fatalf("InsertTriple(%s,%s,%s): %v", s, pred, o, err)
 	}
 }

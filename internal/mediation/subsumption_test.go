@@ -1,6 +1,7 @@
 package mediation
 
 import (
+	"context"
 	"testing"
 
 	"gridvine/internal/schema"
@@ -18,12 +19,12 @@ func subsumptionFixture(t *testing.T) []*Peer {
 	// GEN#Sequence subsumes NUC#NucleotideSeq: every nucleotide sequence is
 	// a sequence. Query on the general attribute should also return the
 	// specific instances.
-	peers[0].InsertTriple(triple.Triple{Subject: "g1", Predicate: "GEN#Sequence", Object: "ATGC"})
-	peers[0].InsertTriple(triple.Triple{Subject: "n1", Predicate: "NUC#NucleotideSeq", Object: "ATGC"})
+	peers[0].InsertTripleContext(context.Background(), triple.Triple{Subject: "g1", Predicate: "GEN#Sequence", Object: "ATGC"})
+	peers[0].InsertTripleContext(context.Background(), triple.Triple{Subject: "n1", Predicate: "NUC#NucleotideSeq", Object: "ATGC"})
 	m := schema.NewMapping("GEN", "NUC", schema.Subsumption, schema.Manual, []schema.Correspondence{
 		{SourceAttr: "Sequence", TargetAttr: "NucleotideSeq", Confidence: 1},
 	})
-	if _, err := peers[0].InsertMapping(m); err != nil {
+	if _, err := peers[0].InsertMappingContext(context.Background(), m); err != nil {
 		t.Fatalf("InsertMapping: %v", err)
 	}
 	return peers
@@ -33,7 +34,7 @@ func TestSubsumptionUnfoldsDownward(t *testing.T) {
 	peers := subsumptionFixture(t)
 	for _, mode := range []Mode{Iterative, Recursive} {
 		q := triple.Pattern{S: triple.Var("x"), P: triple.Const("GEN#Sequence"), O: triple.Const("ATGC")}
-		rs, err := peers[3].SearchWithReformulation(q, SearchOptions{Mode: mode})
+		rs, err := blockingSearchReformulated(peers[3], q, SearchOptions{Mode: mode})
 		if err != nil {
 			t.Fatalf("[%v] search: %v", mode, err)
 		}
@@ -53,7 +54,7 @@ func TestSubsumptionDoesNotUnfoldUpward(t *testing.T) {
 		// Query on the SPECIFIC attribute: the subsumption mapping must not
 		// be reversed, so only n1 comes back.
 		q := triple.Pattern{S: triple.Var("x"), P: triple.Const("NUC#NucleotideSeq"), O: triple.Const("ATGC")}
-		rs, err := peers[5].SearchWithReformulation(q, SearchOptions{Mode: mode})
+		rs, err := blockingSearchReformulated(peers[5], q, SearchOptions{Mode: mode})
 		if err != nil {
 			t.Fatalf("[%v] search: %v", mode, err)
 		}
@@ -70,14 +71,14 @@ func TestSubsumptionDoesNotUnfoldUpward(t *testing.T) {
 
 func TestSubsumptionNotReversedEvenWhenBidirectionalFlagSet(t *testing.T) {
 	_, peers := testNetwork(t, 16, 42)
-	peers[0].InsertTriple(triple.Triple{Subject: "g1", Predicate: "A#general", Object: "v"})
+	peers[0].InsertTripleContext(context.Background(), triple.Triple{Subject: "g1", Predicate: "A#general", Object: "v"})
 	m := schema.NewMapping("A", "B", schema.Subsumption, schema.Manual, []schema.Correspondence{
 		{SourceAttr: "general", TargetAttr: "specific", Confidence: 1},
 	})
 	m.Bidirectional = true // stored at both keys, but semantics stay directed
-	peers[0].InsertMapping(m)
+	peers[0].InsertMappingContext(context.Background(), m)
 	q := triple.Pattern{S: triple.Var("x"), P: triple.Const("B#specific"), O: triple.Const("v")}
-	rs, err := peers[2].SearchWithReformulation(q, SearchOptions{})
+	rs, err := blockingSearchReformulated(peers[2], q, SearchOptions{})
 	if err != nil {
 		t.Fatalf("search: %v", err)
 	}
@@ -89,17 +90,17 @@ func TestSubsumptionNotReversedEvenWhenBidirectionalFlagSet(t *testing.T) {
 func TestSubsumptionChainConfidence(t *testing.T) {
 	// GEN ⊒ NUC ⊒ RNA: a query on GEN walks two subsumption steps.
 	_, peers := testNetwork(t, 16, 43)
-	peers[0].InsertTriple(triple.Triple{Subject: "r1", Predicate: "RNA#RnaSeq", Object: "AUGC"})
+	peers[0].InsertTripleContext(context.Background(), triple.Triple{Subject: "r1", Predicate: "RNA#RnaSeq", Object: "AUGC"})
 	m1 := schema.NewMapping("GEN", "NUC", schema.Subsumption, schema.Manual, []schema.Correspondence{
 		{SourceAttr: "Sequence", TargetAttr: "NucSeq", Confidence: 1},
 	})
 	m2 := schema.NewMapping("NUC", "RNA", schema.Subsumption, schema.Automatic, []schema.Correspondence{
 		{SourceAttr: "NucSeq", TargetAttr: "RnaSeq", Confidence: 0.9},
 	})
-	peers[0].InsertMapping(m1)
-	peers[0].InsertMapping(m2)
+	peers[0].InsertMappingContext(context.Background(), m1)
+	peers[0].InsertMappingContext(context.Background(), m2)
 	q := triple.Pattern{S: triple.Var("x"), P: triple.Const("GEN#Sequence"), O: triple.Const("AUGC")}
-	rs, err := peers[1].SearchWithReformulation(q, SearchOptions{})
+	rs, err := blockingSearchReformulated(peers[1], q, SearchOptions{})
 	if err != nil {
 		t.Fatalf("search: %v", err)
 	}

@@ -63,13 +63,13 @@ func (w writeWorkload) applySerial(t *testing.T, p *Peer) {
 		var err error
 		switch s.kind {
 		case writeInsertTriple:
-			_, err = p.InsertTriple(s.t)
+			_, err = p.InsertTripleContext(context.Background(), s.t)
 		case writeDeleteTriple:
-			_, err = p.DeleteTriple(s.t)
+			_, err = p.DeleteTripleContext(context.Background(), s.t)
 		case writePublishSchema:
-			_, err = p.InsertSchema(s.s)
+			_, err = p.InsertSchemaContext(context.Background(), s.s)
 		case writePublishMapping:
-			_, err = p.InsertMapping(s.m)
+			_, err = p.InsertMappingContext(context.Background(), s.m)
 		}
 		if err != nil {
 			t.Fatalf("serial step: %v", err)
@@ -167,7 +167,7 @@ func TestWriteReplaceMapping(t *testing.T) {
 	_, peers := testNetwork(t, 16, 42)
 	p := peers[0]
 	m := testMapping("A", "B", "x", "y")
-	if _, err := p.InsertMapping(m); err != nil {
+	if _, err := p.InsertMappingContext(context.Background(), m); err != nil {
 		t.Fatalf("InsertMapping: %v", err)
 	}
 	updated := m
@@ -179,7 +179,7 @@ func TestWriteReplaceMapping(t *testing.T) {
 	if err != nil || rec.FirstErr() != nil {
 		t.Fatalf("Write: %v / %v", err, rec.FirstErr())
 	}
-	stored, err := peers[3].MappingsAt("A")
+	stored, err := peers[3].MappingsAt(context.Background(), "A")
 	if err != nil {
 		t.Fatalf("MappingsAt: %v", err)
 	}
@@ -278,7 +278,7 @@ func TestWriteConcurrentWriters(t *testing.T) {
 	}
 	for wr := 0; wr < writers; wr++ {
 		q := triple.Pattern{S: triple.Var("s"), P: triple.Const(fmt.Sprintf("S%d#attr", wr)), O: triple.Var("o")}
-		rs, err := peers[(wr+1)%writers].SearchFor(q)
+		rs, err := blockingSearchFor(peers[(wr+1)%writers], q)
 		if err != nil {
 			t.Fatalf("SearchFor: %v", err)
 		}

@@ -446,6 +446,7 @@ func (n *Node) applyBatch(entries []BatchEntry, checkResponsible bool) []int {
 	for _, r := range n.Replicas() {
 		// Best-effort, like single-mutation replication: a crashed replica
 		// re-synchronizes on rejoin. One message carries the whole batch.
+		//gridvine:serverctx batch replication must complete even if the issuing batch's context is cancelled, or replicas diverge
 		n.net.Send(context.Background(), n.id, r, simnet.Message{Type: msgBatchRep, Payload: rep}) //nolint:errcheck
 	}
 	return applied

@@ -30,6 +30,7 @@ type SyncResponse struct {
 func (n *Node) SyncFromReplicas() (merged, replicasSeen int) {
 	path := n.Path()
 	for _, r := range n.Replicas() {
+		//gridvine:serverctx anti-entropy is node-lifecycle work with no issuing request to inherit a context from
 		msg, err := n.net.Send(context.Background(), n.id, r, simnet.Message{
 			Type:    msgSync,
 			Payload: SyncRequest{Path: path.String()},

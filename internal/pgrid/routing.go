@@ -341,6 +341,7 @@ func (n *Node) forwardRecursive(key keyspace.Key, req ExecRequest, hops []simnet
 	req.TTL--
 	for _, h := range hops {
 		// Server-side forwarding has no issuer context to honour.
+		//gridvine:serverctx recursive forwarding runs on the remote node; the issuer's context ended at the first hop and TTL bounds the work
 		msg, err := n.net.Send(context.Background(), n.id, h, simnet.Message{Type: msgExec, Payload: req})
 		if err != nil {
 			continue
@@ -361,6 +362,7 @@ func (n *Node) replicate(req ReplicateRequest) {
 		// Errors are tolerated: a crashed replica re-synchronizes on rejoin.
 		// Replication always completes regardless of the issuer's context —
 		// a cancelled query must never leave replicas diverged.
+		//gridvine:serverctx replication must complete even if the issuing mutation's context is cancelled, or replicas diverge
 		n.net.Send(context.Background(), n.id, r, simnet.Message{Type: msgReplicate, Payload: req}) //nolint:errcheck
 	}
 }

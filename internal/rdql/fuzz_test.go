@@ -1,0 +1,80 @@
+package rdql
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fuzzSeeds mixes well-formed queries with near-miss junk so the fuzzer
+// starts on both sides of every grammar production.
+var fuzzSeeds = []string{
+	`SELECT ?x WHERE (?x, <EMBL#Organism>, "%Aspergillus%")`,
+	`SELECT ?x, ?len WHERE (?x, <EMBL#Organism>, "%Aspergillus%"), (?x, <EMBL#Length>, ?len) LIMIT 10`,
+	`select ?s where (?s ?p ?o)`,
+	`SELECT ?a WHERE (a, b, "lit with \"escape\" and \\ and \n")`,
+	`SELECT ?x WHERE (?x, <a:b>, "")`,
+	`SELECT`,
+	`SELECT ?x WHERE`,
+	`SELECT ?x WHERE (?x, ?y`,
+	`WHERE (?x, ?y, ?z) SELECT ?x`,
+	`SELECT ?x WHERE (?x, ?y, ?z) LIMIT -3`,
+	`SELECT ?x WHERE (?x, ?y, ?z) LIMIT 999999999999999999999`,
+	"SELECT ?x WHERE (\x00, \xff, ?z)",
+	`SELECT ?x WHERE (#>, 50%, a%b)`,
+	`SELECT ?x WHERE (<a %b>, <>, ">")`,
+	`??`,
+	`<`,
+	`"unterminated`,
+	`"trailing escape \`,
+}
+
+// FuzzLex asserts the lexer never panics, and that on success it yields a
+// terminated token stream with in-bounds, non-decreasing positions.
+func FuzzLex(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		toks, err := lex(input)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].kind != tokEOF {
+			t.Fatalf("lex(%q): token stream not EOF-terminated: %v", input, toks)
+		}
+		prev := 0
+		for _, tok := range toks {
+			if tok.pos < prev || tok.pos > len(input) {
+				t.Fatalf("lex(%q): token %v out of order or out of bounds", input, tok)
+			}
+			prev = tok.pos
+		}
+	})
+}
+
+// FuzzParse asserts the parser never panics and that every accepted query
+// survives the canonical round trip: String() re-parses, and re-parsing
+// reaches a fixed point (String is canonical).
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return
+		}
+		_ = q.Validate() // must not panic on any accepted query
+		canonical := q.String()
+		q2, err := Parse(canonical)
+		if err != nil {
+			t.Fatalf("Parse(%q) accepted, but its String() %q does not re-parse: %v", input, canonical, err)
+		}
+		if again := q2.String(); again != canonical {
+			t.Fatalf("String() is not a fixed point:\n input: %q\n first: %q\nsecond: %q", input, canonical, again)
+		}
+		if !reflect.DeepEqual(q, q2) {
+			t.Fatalf("round trip changed the query:\n before: %#v\n after: %#v", q, q2)
+		}
+	})
+}

@@ -460,6 +460,49 @@ func quoteLiteral(s string) string {
 	return b.String()
 }
 
+// renderConst renders a constant term so it re-lexes as a constant with
+// the same value. The three surface forms cover different value shapes:
+// <uri> admits anything but '>', "literal" admits anything but turns
+// %-containing values into LIKE patterns, and a bare word admits anything
+// the word lexer accepts. Every constant the parser can produce fits at
+// least one form; preference order keeps the common outputs idiomatic.
+func renderConst(v string) string {
+	hasGT := strings.Contains(v, ">")
+	switch {
+	case !hasGT && (strings.Contains(v, "#") || strings.Contains(v, ":")):
+		return "<" + v + ">"
+	case !strings.Contains(v, "%"):
+		return quoteLiteral(v)
+	case isBareWord(v):
+		return v
+	case !hasGT:
+		return "<" + v + ">"
+	default:
+		// Unreachable for parser-produced constants: a value with both
+		// '%' and '>' can only come from the word lexer, so it is a bare
+		// word. Fall back to a literal (the value survives; the kind
+		// becomes Like).
+		return quoteLiteral(v)
+	}
+}
+
+// isBareWord reports whether v re-lexes as a single non-keyword word.
+func isBareWord(v string) bool {
+	if v == "" {
+		return false
+	}
+	for i := 0; i < len(v); i++ {
+		if !isWord(v[i]) {
+			return false
+		}
+	}
+	switch strings.ToUpper(v) {
+	case "SELECT", "WHERE", "AND", "LIMIT":
+		return false
+	}
+	return true
+}
+
 // String renders the query back in canonical RDQL form.
 func (q Query) String() string {
 	var b strings.Builder
@@ -486,11 +529,7 @@ func (q Query) String() string {
 			case triple.Like:
 				b.WriteString(quoteLiteral(term.Value))
 			default:
-				if strings.Contains(term.Value, "#") || strings.Contains(term.Value, ":") {
-					b.WriteString("<" + term.Value + ">")
-				} else {
-					b.WriteString(quoteLiteral(term.Value))
-				}
+				b.WriteString(renderConst(term.Value))
 			}
 		}
 		b.WriteString(")")

@@ -9,6 +9,7 @@
 package selforg
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -78,16 +79,16 @@ func New(peer *mediation.Peer, cfg Config) (*Organizer, error) {
 
 // RegisterSchema publishes a schema and its initial (0,0) degree report so
 // the domain registry knows about it.
-func (o *Organizer) RegisterSchema(s schema.Schema) error {
-	if _, err := o.peer.InsertSchema(s); err != nil {
+func (o *Organizer) RegisterSchema(ctx context.Context, s schema.Schema) error {
+	if _, err := o.peer.InsertSchemaContext(ctx, s); err != nil {
 		return err
 	}
-	return o.peer.ReportDomainDegree(o.cfg.Domain, s.Name, 0, 0)
+	return o.peer.ReportDomainDegree(ctx, o.cfg.Domain, s.Name, 0, 0)
 }
 
 // SchemaNames returns the schemas registered in the domain, sorted.
-func (o *Organizer) SchemaNames() ([]string, error) {
-	degrees, err := o.peer.DomainDegrees(o.cfg.Domain)
+func (o *Organizer) SchemaNames(ctx context.Context) ([]string, error) {
+	degrees, err := o.peer.DomainDegrees(ctx, o.cfg.Domain)
 	if err != nil {
 		return nil, err
 	}
@@ -102,14 +103,14 @@ func (o *Organizer) SchemaNames() ([]string, error) {
 // GatherMappings assembles the current mapping working set by retrieving
 // every schema's key space (deprecated mappings included — the analysis
 // needs to know what was already rejected).
-func (o *Organizer) GatherMappings() (*schema.MappingSet, error) {
-	names, err := o.SchemaNames()
+func (o *Organizer) GatherMappings(ctx context.Context) (*schema.MappingSet, error) {
+	names, err := o.SchemaNames(ctx)
 	if err != nil {
 		return nil, err
 	}
 	ms := schema.NewMappingSet()
 	for _, name := range names {
-		mappings, err := o.peer.MappingsAt(name)
+		mappings, err := o.peer.MappingsAt(ctx, name)
 		if err != nil {
 			return nil, err
 		}
@@ -128,14 +129,14 @@ func (o *Organizer) GatherMappings() (*schema.MappingSet, error) {
 // RefreshDegrees recomputes each schema's in/out mapping degrees from the
 // active mapping set and publishes them to the domain registry (paper §3.1:
 // Update(Domain Connectivity)).
-func (o *Organizer) RefreshDegrees(ms *schema.MappingSet) error {
-	names, err := o.SchemaNames()
+func (o *Organizer) RefreshDegrees(ctx context.Context, ms *schema.MappingSet) error {
+	names, err := o.SchemaNames(ctx)
 	if err != nil {
 		return err
 	}
 	for _, name := range names {
 		in, out := ms.DegreeOf(name)
-		if err := o.peer.ReportDomainDegree(o.cfg.Domain, name, in, out); err != nil {
+		if err := o.peer.ReportDomainDegree(ctx, o.cfg.Domain, name, in, out); err != nil {
 			return err
 		}
 	}
@@ -143,8 +144,8 @@ func (o *Organizer) RefreshDegrees(ms *schema.MappingSet) error {
 }
 
 // Connectivity inquires the domain key space for the current indicator.
-func (o *Organizer) Connectivity() (mediation.ConnectivityReport, error) {
-	return o.peer.DomainConnectivity(o.cfg.Domain)
+func (o *Organizer) Connectivity(ctx context.Context) (mediation.ConnectivityReport, error) {
+	return o.peer.DomainConnectivity(ctx, o.cfg.Domain)
 }
 
 // CandidatePair is a schema pair sharing instance references.
@@ -157,12 +158,10 @@ type CandidatePair struct {
 // pairs co-occurring on the same instances, ordered by decreasing shared
 // support (paper §4: "shared references to the same protein sequence to
 // select pairs of candidate schemas").
-func (o *Organizer) CandidatePairs(subjects []string) ([]CandidatePair, error) {
+func (o *Organizer) CandidatePairs(ctx context.Context, subjects []string) ([]CandidatePair, error) {
 	counts := map[[2]string]int{}
 	for _, subj := range subjects {
-		rs, err := o.peer.SearchFor(triple.Pattern{
-			S: triple.Const(subj), P: triple.Var("p"), O: triple.Var("o"),
-		})
+		rs, err := o.searchSubject(ctx, subj)
 		if err != nil {
 			continue // unreachable subject key: skip, candidates are a heuristic
 		}
@@ -202,12 +201,12 @@ func (o *Organizer) CandidatePairs(subjects []string) ([]CandidatePair, error) {
 // AlignPair aligns two schemas over the attribute values observed on their
 // shared instances and returns the automatic mapping, or ok=false when the
 // matcher finds no correspondence above threshold.
-func (o *Organizer) AlignPair(a, b string, subjects []string) (schema.Mapping, bool, error) {
-	sa, err := o.peer.LookupSchema(a)
+func (o *Organizer) AlignPair(ctx context.Context, a, b string, subjects []string) (schema.Mapping, bool, error) {
+	sa, err := o.peer.LookupSchema(ctx, a)
 	if err != nil {
 		return schema.Mapping{}, false, err
 	}
-	sb, err := o.peer.LookupSchema(b)
+	sb, err := o.peer.LookupSchema(ctx, b)
 	if err != nil {
 		return schema.Mapping{}, false, err
 	}
@@ -219,9 +218,7 @@ func (o *Organizer) AlignPair(a, b string, subjects []string) (schema.Mapping, b
 		if shared >= o.cfg.MaxSharedSubjects {
 			break
 		}
-		rs, err := o.peer.SearchFor(triple.Pattern{
-			S: triple.Const(subj), P: triple.Var("p"), O: triple.Var("o"),
-		})
+		rs, err := o.searchSubject(ctx, subj)
 		if err != nil {
 			continue
 		}
@@ -292,17 +289,17 @@ type RoundReport struct {
 // target, create mappings between the best-supported unconnected candidate
 // pairs; assess all mappings with the Bayesian cycle analysis, publishing
 // deprecations; refresh the degree registry (paper §3.1–3.2).
-func (o *Organizer) Round(subjects []string) (RoundReport, error) {
+func (o *Organizer) Round(ctx context.Context, subjects []string) (RoundReport, error) {
 	report := RoundReport{Domain: o.cfg.Domain}
 
-	before, err := o.Connectivity()
+	before, err := o.Connectivity(ctx)
 	if err != nil {
 		return report, err
 	}
 	report.CIBefore = before.CI
 	report.Schemas = before.Schemas
 
-	ms, err := o.GatherMappings()
+	ms, err := o.GatherMappings(ctx)
 	if err != nil {
 		return report, err
 	}
@@ -313,8 +310,8 @@ func (o *Organizer) Round(subjects []string) (RoundReport, error) {
 	// ODBASE'04): a schema with no mappings at all is unreachable whatever
 	// the indicator says, and the degree registry exposes exactly that, so
 	// isolated schemas also trigger creation.
-	if before.CI < o.cfg.TargetCI || noActiveMappings(ms) || o.hasIsolatedSchema() {
-		candidates, err := o.CandidatePairs(subjects)
+	if before.CI < o.cfg.TargetCI || noActiveMappings(ms) || o.hasIsolatedSchema(ctx) {
+		candidates, err := o.CandidatePairs(ctx, subjects)
 		if err != nil {
 			return report, err
 		}
@@ -326,14 +323,14 @@ func (o *Organizer) Round(subjects []string) (RoundReport, error) {
 			if activelyMapped(ms, cand.A, cand.B) {
 				continue
 			}
-			m, ok, err := o.AlignPair(cand.A, cand.B, subjects)
+			m, ok, err := o.AlignPair(ctx, cand.A, cand.B, subjects)
 			if err != nil || !ok {
 				continue
 			}
 			if rejected, okPrev := ms.Get(m.ID); okPrev && rejected.Deprecated {
 				continue // the analysis already rejected this exact mapping
 			}
-			if _, err := o.peer.InsertMapping(m); err != nil {
+			if _, err := o.peer.InsertMappingContext(ctx, m); err != nil {
 				continue
 			}
 			ms.Add(m)
@@ -353,7 +350,7 @@ func (o *Organizer) Round(subjects []string) (RoundReport, error) {
 		updated := old
 		updated.Deprecated = true
 		updated.Confidence = assessment.Posteriors[id]
-		if err := o.peer.ReplaceMapping(old, updated); err != nil {
+		if err := o.peer.ReplaceMappingContext(ctx, old, updated); err != nil {
 			continue
 		}
 		ms.Add(updated)
@@ -368,7 +365,7 @@ func (o *Organizer) Round(subjects []string) (RoundReport, error) {
 		if diff := post - old.Confidence; diff > 0.05 || diff < -0.05 {
 			updated := old
 			updated.Confidence = post
-			if err := o.peer.ReplaceMapping(old, updated); err == nil {
+			if err := o.peer.ReplaceMappingContext(ctx, old, updated); err == nil {
 				ms.Add(updated)
 			}
 		}
@@ -381,15 +378,15 @@ func (o *Organizer) Round(subjects []string) (RoundReport, error) {
 	// experiment-driven act). The overlay's atomic replace supersedes the
 	// previous round's digest per (origin, schema) pair. Publication
 	// failures are tolerated: planners fall back to static weights.
-	if n, _, err := o.peer.PublishStats(); err == nil {
+	if n, _, err := o.peer.PublishStats(ctx); err == nil {
 		report.StatsDigests = n
 	}
 
 	// 4. Degree registry refresh.
-	if err := o.RefreshDegrees(ms); err != nil {
+	if err := o.RefreshDegrees(ctx, ms); err != nil {
 		return report, err
 	}
-	after, err := o.Connectivity()
+	after, err := o.Connectivity(ctx)
 	if err != nil {
 		return report, err
 	}
@@ -399,10 +396,10 @@ func (o *Organizer) Round(subjects []string) (RoundReport, error) {
 
 // RunUntilConnected iterates rounds until ci ≥ target or maxRounds is hit,
 // returning all round reports.
-func (o *Organizer) RunUntilConnected(subjects []string, maxRounds int) ([]RoundReport, error) {
+func (o *Organizer) RunUntilConnected(ctx context.Context, subjects []string, maxRounds int) ([]RoundReport, error) {
 	var reports []RoundReport
 	for i := 0; i < maxRounds; i++ {
-		r, err := o.Round(subjects)
+		r, err := o.Round(ctx, subjects)
 		if err != nil {
 			return reports, err
 		}
@@ -414,14 +411,25 @@ func (o *Organizer) RunUntilConnected(subjects []string, maxRounds int) ([]Round
 	return reports, nil
 }
 
+// searchSubject retrieves every triple stored under a subject's key — the
+// instance probe both candidate selection and alignment sample from.
+func (o *Organizer) searchSubject(ctx context.Context, subj string) (*mediation.ResultSet, error) {
+	q := triple.Pattern{S: triple.Const(subj), P: triple.Var("p"), O: triple.Var("o")}
+	cur, err := o.peer.Query(ctx, mediation.Request{Pattern: &q})
+	if err != nil {
+		return nil, err
+	}
+	return mediation.CollectPattern(ctx, cur)
+}
+
 func noActiveMappings(ms *schema.MappingSet) bool {
 	return len(ms.Active()) == 0
 }
 
 // hasIsolatedSchema reports whether any registered schema has no active
 // mappings at all according to the domain registry.
-func (o *Organizer) hasIsolatedSchema() bool {
-	degrees, err := o.peer.DomainDegrees(o.cfg.Domain)
+func (o *Organizer) hasIsolatedSchema(ctx context.Context) bool {
+	degrees, err := o.peer.DomainDegrees(ctx, o.cfg.Domain)
 	if err != nil || len(degrees) <= 1 {
 		return false
 	}

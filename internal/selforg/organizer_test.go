@@ -47,7 +47,7 @@ func seedEntity(t *testing.T, p *mediation.Peer, subject string, organism string
 			{Subject: subject, Predicate: schemaName + "#" + attrs[0], Object: organism},
 			{Subject: subject, Predicate: schemaName + "#" + attrs[1], Object: length},
 		} {
-			if _, err := p.InsertTriple(tr); err != nil {
+			if _, err := p.InsertTripleContext(context.Background(), tr); err != nil {
 				t.Fatalf("InsertTriple: %v", err)
 			}
 		}
@@ -64,11 +64,11 @@ func TestRegisterSchemaAndNames(t *testing.T) {
 	ps, org := testSetup(t, 16, 1)
 	_ = ps
 	for _, name := range []string{"EMBL", "EMP", "SWISS"} {
-		if err := org.RegisterSchema(schema.NewSchema(name, "bio", "Organism", "Length")); err != nil {
+		if err := org.RegisterSchema(context.Background(), schema.NewSchema(name, "bio", "Organism", "Length")); err != nil {
 			t.Fatalf("RegisterSchema(%s): %v", name, err)
 		}
 	}
-	names, err := org.SchemaNames()
+	names, err := org.SchemaNames(context.Background())
 	if err != nil {
 		t.Fatalf("SchemaNames: %v", err)
 	}
@@ -79,9 +79,9 @@ func TestRegisterSchemaAndNames(t *testing.T) {
 
 func TestCandidatePairsFromSharedReferences(t *testing.T) {
 	ps, org := testSetup(t, 16, 2)
-	org.RegisterSchema(schema.NewSchema("A", "bio", "Organism", "Length"))
-	org.RegisterSchema(schema.NewSchema("B", "bio", "SystematicName", "SeqLen"))
-	org.RegisterSchema(schema.NewSchema("C", "bio", "Taxon", "Size"))
+	org.RegisterSchema(context.Background(), schema.NewSchema("A", "bio", "Organism", "Length"))
+	org.RegisterSchema(context.Background(), schema.NewSchema("B", "bio", "SystematicName", "SeqLen"))
+	org.RegisterSchema(context.Background(), schema.NewSchema("C", "bio", "Taxon", "Size"))
 
 	// e1, e2 shared between A and B; e3 only between A and C.
 	seedEntity(t, ps[0], "acc:e1", "Aspergillus nidulans", "1422", map[string][2]string{
@@ -94,7 +94,7 @@ func TestCandidatePairsFromSharedReferences(t *testing.T) {
 		"A": {"Organism", "Length"}, "C": {"Taxon", "Size"},
 	})
 
-	pairs, err := org.CandidatePairs([]string{"acc:e1", "acc:e2", "acc:e3"})
+	pairs, err := org.CandidatePairs(context.Background(), []string{"acc:e1", "acc:e2", "acc:e3"})
 	if err != nil {
 		t.Fatalf("CandidatePairs: %v", err)
 	}
@@ -111,8 +111,8 @@ func TestCandidatePairsFromSharedReferences(t *testing.T) {
 
 func TestAlignPairFindsCorrespondences(t *testing.T) {
 	ps, org := testSetup(t, 16, 3)
-	org.RegisterSchema(schema.NewSchema("A", "bio", "Organism", "Length"))
-	org.RegisterSchema(schema.NewSchema("B", "bio", "SystematicName", "SeqLen"))
+	org.RegisterSchema(context.Background(), schema.NewSchema("A", "bio", "Organism", "Length"))
+	org.RegisterSchema(context.Background(), schema.NewSchema("B", "bio", "SystematicName", "SeqLen"))
 	subjects := []string{}
 	organisms := []string{"Aspergillus nidulans", "Homo sapiens", "Mus musculus", "Danio rerio"}
 	for i, orgName := range organisms {
@@ -122,7 +122,7 @@ func TestAlignPairFindsCorrespondences(t *testing.T) {
 			"A": {"Organism", "Length"}, "B": {"SystematicName", "SeqLen"},
 		})
 	}
-	m, ok, err := org.AlignPair("A", "B", subjects)
+	m, ok, err := org.AlignPair(context.Background(), "A", "B", subjects)
 	if err != nil {
 		t.Fatalf("AlignPair: %v", err)
 	}
@@ -143,13 +143,13 @@ func TestAlignPairFindsCorrespondences(t *testing.T) {
 
 func TestAlignPairInsufficientSupport(t *testing.T) {
 	ps, org := testSetup(t, 16, 4)
-	org.RegisterSchema(schema.NewSchema("A", "bio", "Organism"))
-	org.RegisterSchema(schema.NewSchema("B", "bio", "SystematicName"))
+	org.RegisterSchema(context.Background(), schema.NewSchema("A", "bio", "Organism"))
+	org.RegisterSchema(context.Background(), schema.NewSchema("B", "bio", "SystematicName"))
 	// Only one shared subject, below MinSharedSubjects=2.
 	seedEntity(t, ps[0], "acc:only", "Aspergillus", "1", map[string][2]string{
 		"A": {"Organism", "Organism"}, "B": {"SystematicName", "SystematicName"},
 	})
-	_, ok, err := org.AlignPair("A", "B", []string{"acc:only"})
+	_, ok, err := org.AlignPair(context.Background(), "A", "B", []string{"acc:only"})
 	if err != nil {
 		t.Fatalf("AlignPair: %v", err)
 	}
@@ -166,7 +166,7 @@ func TestRoundCreatesMappingsAndConnects(t *testing.T) {
 		"S2": {"Taxon", "MolSize"},
 	}
 	for name, attrs := range schemas {
-		org.RegisterSchema(schema.NewSchema(name, "bio", attrs[0], attrs[1]))
+		org.RegisterSchema(context.Background(), schema.NewSchema(name, "bio", attrs[0], attrs[1]))
 	}
 	var subjects []string
 	organisms := []string{"Aspergillus nidulans", "Homo sapiens", "Mus musculus", "Danio rerio", "Rattus norvegicus"}
@@ -180,7 +180,7 @@ func TestRoundCreatesMappingsAndConnects(t *testing.T) {
 		seedEntity(t, ps[0], subj, orgName, fmt.Sprint(1000+i*13), all)
 	}
 
-	report, err := org.Round(subjects)
+	report, err := org.Round(context.Background(), subjects)
 	if err != nil {
 		t.Fatalf("Round: %v", err)
 	}
@@ -192,7 +192,7 @@ func TestRoundCreatesMappingsAndConnects(t *testing.T) {
 	}
 	// After enough rounds, the indicator must reach the target and queries
 	// must reformulate across all three schemas.
-	reports, err := org.RunUntilConnected(subjects, 6)
+	reports, err := org.RunUntilConnected(context.Background(), subjects, 6)
 	if err != nil {
 		t.Fatalf("RunUntilConnected: %v", err)
 	}
@@ -201,7 +201,11 @@ func TestRoundCreatesMappingsAndConnects(t *testing.T) {
 		t.Errorf("final ci = %v, want ≥ 0", final.CIAfter)
 	}
 	q := triple.Pattern{S: triple.Var("x"), P: triple.Const("S0#Organism"), O: triple.Const("Homo sapiens")}
-	rs, err := ps[3].SearchWithReformulation(q, mediation.SearchOptions{})
+	cur, err := ps[3].Query(context.Background(), mediation.Request{Pattern: &q, Reformulate: true})
+	if err != nil {
+		t.Fatalf("search: %v", err)
+	}
+	rs, err := mediation.CollectPattern(context.Background(), cur)
 	if err != nil {
 		t.Fatalf("search: %v", err)
 	}
@@ -219,19 +223,19 @@ func TestRoundCreatesMappingsAndConnects(t *testing.T) {
 
 func TestRoundSkipsConnectedNetwork(t *testing.T) {
 	ps, org := testSetup(t, 16, 6)
-	org.RegisterSchema(schema.NewSchema("A", "bio", "x"))
-	org.RegisterSchema(schema.NewSchema("B", "bio", "y"))
+	org.RegisterSchema(context.Background(), schema.NewSchema("A", "bio", "x"))
+	org.RegisterSchema(context.Background(), schema.NewSchema("B", "bio", "y"))
 	// Manually connect A and B bidirectionally: 2-schema graph with a
 	// bidirectional mapping has each node at (in,out)=(1,1) ⇒ ci = 0.
 	m := schema.NewMapping("A", "B", schema.Equivalence, schema.Manual, []schema.Correspondence{
 		{SourceAttr: "x", TargetAttr: "y", Confidence: 1},
 	})
 	m.Bidirectional = true
-	ps[0].InsertMapping(m)
-	ms, _ := org.GatherMappings()
-	org.RefreshDegrees(ms)
+	ps[0].InsertMappingContext(context.Background(), m)
+	ms, _ := org.GatherMappings(context.Background())
+	org.RefreshDegrees(context.Background(), ms)
 
-	report, err := org.Round(nil)
+	report, err := org.Round(context.Background(), nil)
 	if err != nil {
 		t.Fatalf("Round: %v", err)
 	}
@@ -246,7 +250,7 @@ func TestRoundSkipsConnectedNetwork(t *testing.T) {
 func TestRoundDeprecatesPlantedBadMapping(t *testing.T) {
 	ps, org := testSetup(t, 24, 7)
 	for _, name := range []string{"A", "B", "C", "D"} {
-		org.RegisterSchema(schema.NewSchema(name, "bio", "x", "y", "z"))
+		org.RegisterSchema(context.Background(), schema.NewSchema(name, "bio", "x", "y", "z"))
 	}
 	ident := func(src, tgt string) schema.Mapping {
 		return schema.NewMapping(src, tgt, schema.Equivalence, schema.Automatic, []schema.Correspondence{
@@ -256,18 +260,18 @@ func TestRoundDeprecatesPlantedBadMapping(t *testing.T) {
 		})
 	}
 	for _, m := range []schema.Mapping{ident("A", "B"), ident("B", "C"), ident("C", "A"), ident("C", "D"), ident("D", "A")} {
-		ps[0].InsertMapping(m)
+		ps[0].InsertMappingContext(context.Background(), m)
 	}
 	bad := schema.NewMapping("B", "D", schema.Equivalence, schema.Automatic, []schema.Correspondence{
 		{SourceAttr: "x", TargetAttr: "y", Confidence: 0.8},
 		{SourceAttr: "y", TargetAttr: "z", Confidence: 0.8},
 		{SourceAttr: "z", TargetAttr: "x", Confidence: 0.8},
 	})
-	ps[0].InsertMapping(bad)
-	ms, _ := org.GatherMappings()
-	org.RefreshDegrees(ms)
+	ps[0].InsertMappingContext(context.Background(), bad)
+	ms, _ := org.GatherMappings(context.Background())
+	org.RefreshDegrees(context.Background(), ms)
 
-	report, err := org.Round(nil)
+	report, err := org.Round(context.Background(), nil)
 	if err != nil {
 		t.Fatalf("Round: %v", err)
 	}
@@ -283,7 +287,7 @@ func TestRoundDeprecatesPlantedBadMapping(t *testing.T) {
 		t.Errorf("bad mapping not deprecated (deprecated = %v, evidence = %d)", report.Deprecated, report.Evidence)
 	}
 	// The deprecation must be visible network-wide.
-	mappings, _, err := ps[5].MappingsFrom("B")
+	mappings, _, err := ps[5].MappingsFrom(context.Background(), "B")
 	if err != nil {
 		t.Fatalf("MappingsFrom: %v", err)
 	}
@@ -298,25 +302,25 @@ func TestDeprecatedMappingNotRecreated(t *testing.T) {
 	// After deprecation, the same (wrong) alignment must not come back in
 	// the next round: the organizer checks the rejected set.
 	ps, org := testSetup(t, 16, 8)
-	org.RegisterSchema(schema.NewSchema("A", "bio", "Name"))
-	org.RegisterSchema(schema.NewSchema("B", "bio", "Name"))
+	org.RegisterSchema(context.Background(), schema.NewSchema("A", "bio", "Name"))
+	org.RegisterSchema(context.Background(), schema.NewSchema("B", "bio", "Name"))
 	// Shared instances whose "Name" attributes hold identical values, so
 	// AlignPair would produce exactly the same mapping again.
 	for i := 0; i < 4; i++ {
 		subj := fmt.Sprintf("acc:r%d", i)
-		ps[0].InsertTriple(triple.Triple{Subject: subj, Predicate: "A#Name", Object: fmt.Sprintf("val%d", i)})
-		ps[0].InsertTriple(triple.Triple{Subject: subj, Predicate: "B#Name", Object: fmt.Sprintf("val%d", i)})
+		ps[0].InsertTripleContext(context.Background(), triple.Triple{Subject: subj, Predicate: "A#Name", Object: fmt.Sprintf("val%d", i)})
+		ps[0].InsertTripleContext(context.Background(), triple.Triple{Subject: subj, Predicate: "B#Name", Object: fmt.Sprintf("val%d", i)})
 	}
 	subjects := []string{"acc:r0", "acc:r1", "acc:r2", "acc:r3"}
-	m, ok, err := org.AlignPair("A", "B", subjects)
+	m, ok, err := org.AlignPair(context.Background(), "A", "B", subjects)
 	if err != nil || !ok {
 		t.Fatalf("AlignPair: %v %v", ok, err)
 	}
 	dep := m
 	dep.Deprecated = true
-	ps[0].InsertMapping(dep)
+	ps[0].InsertMappingContext(context.Background(), dep)
 
-	report, err := org.Round(subjects)
+	report, err := org.Round(context.Background(), subjects)
 	if err != nil {
 		t.Fatalf("Round: %v", err)
 	}
@@ -332,14 +336,14 @@ func TestDeprecatedMappingNotRecreated(t *testing.T) {
 // the stale one at the schema key instead of accumulating next to it.
 func TestRoundRepublishesStatsDigests(t *testing.T) {
 	ps, setupOrg := testSetup(t, 8, 42)
-	if err := setupOrg.RegisterSchema(schema.NewSchema("A", "bio", "org")); err != nil {
+	if err := setupOrg.RegisterSchema(context.Background(), schema.NewSchema("A", "bio", "org")); err != nil {
 		t.Fatalf("RegisterSchema: %v", err)
 	}
 	var subjects []string
 	for i := 0; i < 20; i++ {
 		subj := fmt.Sprintf("acc:%03d", i)
 		subjects = append(subjects, subj)
-		if _, err := ps[0].InsertTriple(triple.Triple{
+		if _, err := ps[0].InsertTripleContext(context.Background(), triple.Triple{
 			Subject: subj, Predicate: "A#org", Object: fmt.Sprintf("species-%d", i%4),
 		}); err != nil {
 			t.Fatalf("InsertTriple: %v", err)
@@ -385,7 +389,7 @@ func TestRoundRepublishesStatsDigests(t *testing.T) {
 	}
 
 	origin := string(keeper.Node().ID())
-	r1, err := org.Round(subjects)
+	r1, err := org.Round(context.Background(), subjects)
 	if err != nil {
 		t.Fatalf("Round 1: %v", err)
 	}
@@ -400,13 +404,13 @@ func TestRoundRepublishesStatsDigests(t *testing.T) {
 	// Grow the local extension, run another round: the fresh digest must
 	// replace — not join — the stale one, and reflect the new counts.
 	for i := 20; i < 40; i++ {
-		if _, err := ps[0].InsertTriple(triple.Triple{
+		if _, err := ps[0].InsertTripleContext(context.Background(), triple.Triple{
 			Subject: fmt.Sprintf("acc:%03d", i), Predicate: "A#org", Object: "species-9",
 		}); err != nil {
 			t.Fatalf("InsertTriple: %v", err)
 		}
 	}
-	r2, err := org.Round(subjects)
+	r2, err := org.Round(context.Background(), subjects)
 	if err != nil {
 		t.Fatalf("Round 2: %v", err)
 	}

@@ -157,19 +157,23 @@ func TestMediationOverTCP(t *testing.T) {
 		peers = append(peers, mediation.NewPeer(n))
 	}
 
-	peers[0].InsertTriple(triple.Triple{Subject: "EMBL:A78712", Predicate: "EMBL#Organism", Object: "Aspergillus nidulans"})
-	peers[0].InsertTriple(triple.Triple{Subject: "NEN94295-05", Predicate: "EMP#SystematicName", Object: "Aspergillus flavus"})
-	peers[0].InsertSchema(schema.NewSchema("EMBL", "bio", "Organism"))
-	peers[0].InsertSchema(schema.NewSchema("EMP", "bio", "SystematicName"))
+	peers[0].InsertTripleContext(context.Background(), triple.Triple{Subject: "EMBL:A78712", Predicate: "EMBL#Organism", Object: "Aspergillus nidulans"})
+	peers[0].InsertTripleContext(context.Background(), triple.Triple{Subject: "NEN94295-05", Predicate: "EMP#SystematicName", Object: "Aspergillus flavus"})
+	peers[0].InsertSchemaContext(context.Background(), schema.NewSchema("EMBL", "bio", "Organism"))
+	peers[0].InsertSchemaContext(context.Background(), schema.NewSchema("EMP", "bio", "SystematicName"))
 	m := schema.NewMapping("EMBL", "EMP", schema.Equivalence, schema.Manual, []schema.Correspondence{
 		{SourceAttr: "Organism", TargetAttr: "SystematicName", Confidence: 1},
 	})
 	m.Bidirectional = true
-	peers[0].InsertMapping(m)
+	peers[0].InsertMappingContext(context.Background(), m)
 
 	for _, mode := range []mediation.Mode{mediation.Iterative, mediation.Recursive} {
 		q := triple.Pattern{S: triple.Var("x"), P: triple.Const("EMBL#Organism"), O: triple.LikeTerm("%Aspergillus%")}
-		rs, err := peers[5].SearchWithReformulation(q, mediation.SearchOptions{Mode: mode})
+		cur, err := peers[5].Query(context.Background(), mediation.Request{Pattern: &q, Reformulate: true, Options: mediation.SearchOptions{Mode: mode}})
+		if err != nil {
+			t.Fatalf("[%v] search over TCP: %v", mode, err)
+		}
+		rs, err := mediation.CollectPattern(context.Background(), cur)
 		if err != nil {
 			t.Fatalf("[%v] search over TCP: %v", mode, err)
 		}
@@ -179,15 +183,15 @@ func TestMediationOverTCP(t *testing.T) {
 	}
 
 	// Schema lookup over TCP.
-	s, err := peers[3].LookupSchema("EMBL")
+	s, err := peers[3].LookupSchema(context.Background(), "EMBL")
 	if err != nil || s.Name != "EMBL" {
 		t.Errorf("LookupSchema = %+v err=%v", s, err)
 	}
 
 	// Domain registry over TCP.
-	peers[1].ReportDomainDegree("bio", "EMBL", 1, 1)
-	peers[1].ReportDomainDegree("bio", "EMP", 1, 1)
-	report, err := peers[6].DomainConnectivity("bio")
+	peers[1].ReportDomainDegree(context.Background(), "bio", "EMBL", 1, 1)
+	peers[1].ReportDomainDegree(context.Background(), "bio", "EMP", 1, 1)
+	report, err := peers[6].DomainConnectivity(context.Background(), "bio")
 	if err != nil {
 		t.Fatalf("DomainConnectivity: %v", err)
 	}

@@ -223,6 +223,30 @@ func BenchmarkBulkLoad(b *testing.B) {
 	}
 }
 
+// BenchmarkChurn reproduces EXP-O: sustained crash/restart churn under a
+// mixed write/delete/query load, comparing digest anti-entropy repair
+// against the full-store sync baseline. Paper-scale figures live in
+// BENCH_churn.json.
+func BenchmarkChurn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunChurnStress(experiments.ChurnStressConfig{Seed: 12})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Converged {
+			b.Fatal("replica groups did not converge after heal")
+		}
+		if r.Resurrected != 0 {
+			b.Fatalf("resurrected deletes = %d", r.Resurrected)
+		}
+		b.ReportMetric(r.Recall, "recall")
+		b.ReportMetric(float64(r.ConvergenceRounds), "converge-rounds")
+		b.ReportMetric(float64(r.DigestRepairBytes), "digest-repair-B")
+		b.ReportMetric(float64(r.FullRepairBytes), "full-repair-B")
+		b.ReportMetric(r.ByteReduction, "byte-reduction")
+	}
+}
+
 // --- Micro-benchmarks of the public API ---------------------------------
 
 func benchNetwork(b *testing.B, peers int) *Network {

@@ -15,6 +15,7 @@
 //	gridvine-bench -exp L -json BENCH_semijoin.json
 //	gridvine-bench -exp M -json BENCH_streaming.json
 //	gridvine-bench -exp N -json BENCH_bulkload.json
+//	gridvine-bench -exp O -json BENCH_churn.json
 //	gridvine-bench -exp L -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // With -json <path>, machine-readable per-experiment results (wall time
@@ -42,7 +43,7 @@ import (
 type printer interface{ Table() string }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: A,B,C,D,E,G,H,I,J,K,L,M,N or all")
+	exp := flag.String("exp", "all", "experiment to run: A,B,C,D,E,G,H,I,J,K,L,M,N,O or all")
 	quick := flag.Bool("quick", false, "run with scaled-down parameters")
 	seed := flag.Int64("seed", 1, "random seed")
 	parallel := flag.Int("parallel", 1, "reformulation fan-out width for query-heavy experiments (D); 1 keeps message counts exactly reproducible")
@@ -69,8 +70,9 @@ func main() {
 		"A": runA, "B": runB, "C": runC,
 		"D": func(quick bool, seed int64) (any, error) { return runD(quick, seed, *parallel) },
 		"E": runE, "G": runG, "H": runH, "I": runI, "J": runJ, "K": runK, "L": runL, "M": runM, "N": runN,
+		"O": runO,
 	}
-	order := []string{"A", "B", "C", "D", "E", "G", "H", "I", "J", "K", "L", "M", "N"}
+	order := []string{"A", "B", "C", "D", "E", "G", "H", "I", "J", "K", "L", "M", "N", "O"}
 
 	var selected []string
 	if strings.EqualFold(*exp, "all") {
@@ -275,4 +277,14 @@ func runN(quick bool, seed int64) (any, error) {
 		cfg.Peers, cfg.Schemas, cfg.Entities, cfg.WallTriples = 48, 12, 60, 200
 	}
 	return experiments.RunBulkLoad(cfg)
+}
+
+func runO(quick bool, seed int64) (any, error) {
+	header("O", "churn stress: digest anti-entropy repair vs full-store sync under sustained crash/restart load")
+	cfg := experiments.ChurnStressConfig{Seed: seed}
+	if quick {
+		cfg.Peers, cfg.Rounds, cfg.CrashPerRound = 32, 8, 2
+		cfg.WritesPerRound, cfg.DeletesPerRound, cfg.QueriesPerRound = 10, 2, 6
+	}
+	return experiments.RunChurnStress(cfg)
 }

@@ -1,0 +1,409 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+
+	"gridvine/internal/keyspace"
+	"gridvine/internal/metrics"
+	"gridvine/internal/pgrid"
+	"gridvine/internal/simnet"
+)
+
+// --- EXP-O: churn stress with digest-based anti-entropy repair ----------
+
+// ChurnStressConfig parameterizes the sustained-churn experiment: a seeded
+// simnet.FaultPlan crashes peers every round and restarts them after a
+// fixed downtime while a mixed write/delete/query load keeps running. The
+// same seeded schedule is replayed twice — once repairing restarted peers
+// with digest anti-entropy (Node.SyncFromReplicas / Node.AntiEntropy) and
+// once with the full-store pull baseline (Node.FullSyncFromReplicas) — so
+// the repair-bandwidth comparison is apples to apples.
+type ChurnStressConfig struct {
+	Peers           int     // default 96
+	ReplicaFactor   int     // default 3
+	Rounds          int     // default 24 churn rounds
+	CrashPerRound   int     // default 3 peers crashed per round
+	DowntimeRounds  int     // default 2 rounds before a crashed peer restarts
+	WritesPerRound  int     // default 24
+	DeletesPerRound int     // default 4
+	QueriesPerRound int     // default 12
+	DropRate        float64 // default 0.01 background message loss while churning
+	MaxRepairRounds int     // default 8 all-node repair rounds after heal
+	Seed            int64
+}
+
+func (c ChurnStressConfig) withDefaults() ChurnStressConfig {
+	if c.Peers == 0 {
+		c.Peers = 96
+	}
+	if c.ReplicaFactor == 0 {
+		c.ReplicaFactor = 3
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 24
+	}
+	if c.CrashPerRound == 0 {
+		c.CrashPerRound = 3
+	}
+	if c.DowntimeRounds == 0 {
+		c.DowntimeRounds = 2
+	}
+	if c.WritesPerRound == 0 {
+		c.WritesPerRound = 24
+	}
+	if c.DeletesPerRound == 0 {
+		c.DeletesPerRound = 4
+	}
+	if c.QueriesPerRound == 0 {
+		c.QueriesPerRound = 12
+	}
+	if c.DropRate == 0 {
+		c.DropRate = 0.01
+	}
+	if c.MaxRepairRounds == 0 {
+		c.MaxRepairRounds = 8
+	}
+	return c
+}
+
+// ChurnStressResult reports the digest-run quality figures (recall under
+// churn, degraded answers, post-heal convergence, delete resurrection)
+// plus the repair bandwidth of both runs. Repair bytes are gob-encoded
+// payload sizes accumulated by the transport's bandwidth model during
+// repair calls only, so the comparison isolates what each strategy ships.
+type ChurnStressResult struct {
+	Peers           int     `json:"peers"`
+	ReplicaFactor   int     `json:"replica_factor"`
+	Rounds          int     `json:"rounds"`
+	Crashes         int     `json:"crashes"`
+	Restarts        int     `json:"restarts"`
+	Writes          int     `json:"writes"`
+	WriteFailures   int     `json:"write_failures"`
+	Deletes         int     `json:"deletes"`
+	Queries         int     `json:"queries"`
+	Recall          float64 `json:"recall"`
+	DegradedQueries int     `json:"degraded_queries"`
+	FinalRecall     float64 `json:"final_recall"`
+
+	Converged         bool `json:"converged"`
+	ConvergenceRounds int  `json:"convergence_rounds"`
+	Resurrected       int  `json:"resurrected"`
+
+	DigestRepairBytes    int     `json:"digest_repair_bytes"`
+	DigestRepairMessages int     `json:"digest_repair_messages"`
+	FullRepairBytes      int     `json:"full_repair_bytes"`
+	FullRepairMessages   int     `json:"full_repair_messages"`
+	ByteReduction        float64 `json:"byte_reduction"`
+}
+
+// churnRun is one scenario execution's raw counters.
+type churnRun struct {
+	crashes, restarts              int
+	writes, writeFailures          int
+	deletes, queries               int
+	hits, degraded                 int
+	finalHits, finalQueries        int
+	repairBytes, repairMessages    int
+	converged                      bool
+	convergenceRounds, resurrected int
+}
+
+// RunChurnStress replays the same seeded churn scenario under both repair
+// strategies and combines the results.
+func RunChurnStress(cfg ChurnStressConfig) (ChurnStressResult, error) {
+	cfg = cfg.withDefaults()
+	digest, err := runChurnScenario(cfg, false)
+	if err != nil {
+		return ChurnStressResult{}, err
+	}
+	fullRun, err := runChurnScenario(cfg, true)
+	if err != nil {
+		return ChurnStressResult{}, err
+	}
+	res := ChurnStressResult{
+		Peers:           cfg.Peers,
+		ReplicaFactor:   cfg.ReplicaFactor,
+		Rounds:          cfg.Rounds,
+		Crashes:         digest.crashes,
+		Restarts:        digest.restarts,
+		Writes:          digest.writes,
+		WriteFailures:   digest.writeFailures,
+		Deletes:         digest.deletes,
+		Queries:         digest.queries,
+		DegradedQueries: digest.degraded,
+
+		Converged:         digest.converged && fullRun.converged,
+		ConvergenceRounds: digest.convergenceRounds,
+		Resurrected:       digest.resurrected + fullRun.resurrected,
+
+		DigestRepairBytes:    digest.repairBytes,
+		DigestRepairMessages: digest.repairMessages,
+		FullRepairBytes:      fullRun.repairBytes,
+		FullRepairMessages:   fullRun.repairMessages,
+	}
+	if digest.queries > 0 {
+		res.Recall = float64(digest.hits) / float64(digest.queries)
+	}
+	if digest.finalQueries > 0 {
+		res.FinalRecall = float64(digest.finalHits) / float64(digest.finalQueries)
+	}
+	if fullRun.repairBytes > 0 {
+		res.ByteReduction = 1 - float64(digest.repairBytes)/float64(fullRun.repairBytes)
+	}
+	return res, nil
+}
+
+// gobPayloadBytes is the bandwidth sizer for this experiment: the
+// gob-encoded size of the payload, so Stats.PayloadUnits counts bytes
+// rather than triples. Every payload type is gob-registered by its
+// defining package; anything unencodable still counts one unit so no
+// traffic vanishes from the books.
+func gobPayloadBytes(payload any) int {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&payload); err != nil {
+		return 1
+	}
+	return buf.Len()
+}
+
+// runChurnScenario executes one seeded churn run. With full=false restarted
+// peers repair via digest anti-entropy; with full=true they pull complete
+// replica stores. The fault schedule, workload, and all random choices
+// derive from cfg.Seed, so the two runs face the same churn; only the
+// transport-level loss pattern can differ slightly because the repair
+// strategies exchange different message sequences.
+func runChurnScenario(cfg ChurnStressConfig, full bool) (churnRun, error) {
+	var out churnRun
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Diverse sample keys so Build splits the trie evenly.
+	sample := make([]keyspace.Key, 0, 400)
+	for i := 0; i < 400; i++ {
+		sample = append(sample, keyspace.HashDefault(churnWord(rng)))
+	}
+	net := simnet.NewNetwork()
+	ov, err := pgrid.Build(net, pgrid.BuildOptions{
+		Peers:         cfg.Peers,
+		ReplicaFactor: cfg.ReplicaFactor,
+		SampleKeys:    sample,
+		Rng:           rng,
+	})
+	if err != nil {
+		return out, err
+	}
+	net.SetPayloadDelay(0, gobPayloadBytes)
+
+	nodes := ov.Nodes()
+	byID := make(map[simnet.PeerID]*pgrid.Node, len(nodes))
+	for _, n := range nodes {
+		byID[n.ID()] = n
+	}
+	issuer := nodes[0] // never crashed, so the workload can always be issued
+
+	// Deterministic crash/restart schedule: each round crashes
+	// CrashPerRound currently-live peers and restarts them DowntimeRounds
+	// later.
+	plan := simnet.NewFaultPlan(cfg.Seed + 1)
+	plan.SetDropRate(cfg.DropRate)
+	net.SetFaultPlan(plan)
+	schedRng := rand.New(rand.NewSource(cfg.Seed + 2))
+	downUntil := map[simnet.PeerID]int{}
+	lastStep := cfg.Rounds
+	for r := 1; r <= cfg.Rounds; r++ {
+		for c := 0; c < cfg.CrashPerRound; c++ {
+			for tries := 0; tries < 20; tries++ {
+				v := nodes[1+schedRng.Intn(len(nodes)-1)].ID()
+				if downUntil[v] >= r {
+					continue
+				}
+				up := r + cfg.DowntimeRounds
+				downUntil[v] = up
+				plan.At(r, simnet.Crash(v))
+				plan.At(up, simnet.Restart(v))
+				if up > lastStep {
+					lastStep = up
+				}
+				break
+			}
+		}
+	}
+
+	ctx := context.Background()
+	repair := func(n *pgrid.Node) {
+		before := net.Stats()
+		if full {
+			n.FullSyncFromReplicas()
+		} else {
+			n.SyncFromReplicas()
+		}
+		after := net.Stats()
+		out.repairBytes += after.PayloadUnits - before.PayloadUnits
+		out.repairMessages += after.Messages - before.Messages
+	}
+
+	// Mixed workload state: model is the expected key→value view, live the
+	// orderable slice of insert-order names, deleted the resurrection probes.
+	model := map[string]string{}
+	var live []string
+	deleted := map[string]string{}
+	workRng := rand.New(rand.NewSource(cfg.Seed + 3))
+	seq := 0
+
+	for step := 1; step <= lastStep; step++ {
+		for _, e := range plan.Step(net) {
+			switch e.Kind {
+			case simnet.FaultCrash:
+				out.crashes++
+			case simnet.FaultRestart:
+				out.restarts++
+				repair(byID[e.Peer])
+			}
+		}
+		if step > cfg.Rounds {
+			continue // drain tail restarts past the churn window
+		}
+		for w := 0; w < cfg.WritesPerRound; w++ {
+			name := fmt.Sprintf("churn-%05d-%s", seq, churnWord(workRng))
+			val := fmt.Sprintf("v%05d", seq)
+			seq++
+			if _, err := issuer.Update(ctx, keyspace.HashDefault(name), val); err != nil {
+				out.writeFailures++
+				continue
+			}
+			out.writes++
+			model[name] = val
+			live = append(live, name)
+		}
+		for d := 0; d < cfg.DeletesPerRound && len(live) > 0; d++ {
+			i := workRng.Intn(len(live))
+			name := live[i]
+			val := model[name]
+			if _, err := issuer.Delete(ctx, keyspace.HashDefault(name), val); err != nil {
+				continue
+			}
+			out.deletes++
+			delete(model, name)
+			deleted[name] = val
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		for q := 0; q < cfg.QueriesPerRound && len(live) > 0; q++ {
+			name := live[workRng.Intn(len(live))]
+			want := model[name]
+			vals, route, err := issuer.Retrieve(ctx, keyspace.HashDefault(name))
+			out.queries++
+			if err != nil {
+				continue
+			}
+			if route.Degraded {
+				out.degraded++
+			}
+			if len(vals) == 1 && vals[0] == want {
+				out.hits++
+			}
+		}
+	}
+
+	// Heal: churn is over and background loss stops; run all-node repair
+	// rounds until every replica group holds a byte-identical store.
+	plan.SetDropRate(0)
+	before := net.Stats()
+	for round := 1; round <= cfg.MaxRepairRounds; round++ {
+		for _, n := range nodes {
+			if full {
+				n.FullSyncFromReplicas()
+			} else {
+				n.AntiEntropy(ctx)
+			}
+		}
+		if churnGroupsConverged(nodes) {
+			out.converged = true
+			out.convergenceRounds = round
+			break
+		}
+	}
+	after := net.Stats()
+	out.repairBytes += after.PayloadUnits - before.PayloadUnits
+	out.repairMessages += after.Messages - before.Messages
+
+	// Resurrection probe: no responsible node may still hold a deleted
+	// value after convergence.
+	for name, val := range deleted {
+		k := keyspace.HashDefault(name)
+		for _, n := range nodes {
+			if !n.Responsible(k) {
+				continue
+			}
+			found := false
+			for _, v := range n.LocalGet(k) {
+				if v == val {
+					found = true
+					break
+				}
+			}
+			if found {
+				out.resurrected++
+				break
+			}
+		}
+	}
+
+	// Final recall over the healed overlay: every acknowledged live write
+	// must be retrievable with its latest value.
+	for name, want := range model {
+		out.finalQueries++
+		vals, _, err := issuer.Retrieve(ctx, keyspace.HashDefault(name))
+		if err == nil && len(vals) == 1 && vals[0] == want {
+			out.finalHits++
+		}
+	}
+	return out, nil
+}
+
+// churnGroupsConverged reports whether every replica group (nodes sharing
+// a leaf path) holds a byte-identical store.
+func churnGroupsConverged(nodes []*pgrid.Node) bool {
+	digests := map[string]uint64{}
+	for _, n := range nodes {
+		p := n.Path().String()
+		d := n.ContentDigest()
+		if prev, ok := digests[p]; ok && prev != d {
+			return false
+		}
+		digests[p] = d
+	}
+	return true
+}
+
+// churnWord draws a 10-letter random string (diverse keys, as EXP-H uses).
+func churnWord(rng *rand.Rand) string {
+	s := make([]byte, 10)
+	for i := range s {
+		s[i] = byte('a' + rng.Intn(26))
+	}
+	return string(s)
+}
+
+// Table renders the churn-stress figures.
+func (r ChurnStressResult) Table() string {
+	t := metrics.NewTable("metric", "value")
+	t.AddRow("peers / replica factor", fmt.Sprintf("%d / %d", r.Peers, r.ReplicaFactor))
+	t.AddRow("churn rounds", fmt.Sprint(r.Rounds))
+	t.AddRow("crashes / restarts", fmt.Sprintf("%d / %d", r.Crashes, r.Restarts))
+	t.AddRow("writes (failed)", fmt.Sprintf("%d (%d)", r.Writes, r.WriteFailures))
+	t.AddRow("deletes", fmt.Sprint(r.Deletes))
+	t.AddRow("queries", fmt.Sprint(r.Queries))
+	t.AddRow("recall under churn", fmt.Sprintf("%.1f%%", 100*r.Recall))
+	t.AddRow("degraded answers", fmt.Sprint(r.DegradedQueries))
+	t.AddRow("final recall", fmt.Sprintf("%.1f%%", 100*r.FinalRecall))
+	t.AddRow("converged", fmt.Sprintf("%v (%d rounds)", r.Converged, r.ConvergenceRounds))
+	t.AddRow("resurrected deletes", fmt.Sprint(r.Resurrected))
+	t.AddRow("digest repair", fmt.Sprintf("%d bytes / %d msgs", r.DigestRepairBytes, r.DigestRepairMessages))
+	t.AddRow("full-store repair", fmt.Sprintf("%d bytes / %d msgs", r.FullRepairBytes, r.FullRepairMessages))
+	t.AddRow("byte reduction", fmt.Sprintf("%.1f%%", 100*r.ByteReduction))
+	return t.String()
+}

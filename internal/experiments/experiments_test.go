@@ -237,6 +237,41 @@ func TestRunChurnAvailability(t *testing.T) {
 	}
 }
 
+func TestRunChurnStress(t *testing.T) {
+	r, err := RunChurnStress(ChurnStressConfig{
+		Peers:           32,
+		ReplicaFactor:   3,
+		Rounds:          8,
+		CrashPerRound:   2,
+		WritesPerRound:  10,
+		DeletesPerRound: 2,
+		QueriesPerRound: 6,
+		Seed:            5,
+	})
+	if err != nil {
+		t.Fatalf("RunChurnStress: %v", err)
+	}
+	if r.Crashes == 0 || r.Restarts != r.Crashes {
+		t.Errorf("schedule did not run: crashes=%d restarts=%d", r.Crashes, r.Restarts)
+	}
+	if !r.Converged {
+		t.Error("replica groups did not converge after heal")
+	}
+	if r.Resurrected != 0 {
+		t.Errorf("resurrected deletes = %d, want 0", r.Resurrected)
+	}
+	if r.DigestRepairBytes >= r.FullRepairBytes {
+		t.Errorf("digest repair shipped %d bytes, full-store baseline %d — digest must be cheaper",
+			r.DigestRepairBytes, r.FullRepairBytes)
+	}
+	if r.Recall < 0.8 {
+		t.Errorf("recall under churn = %.2f", r.Recall)
+	}
+	if r.FinalRecall < 0.99 {
+		t.Errorf("final recall after heal = %.2f", r.FinalRecall)
+	}
+}
+
 func TestRunStrategies(t *testing.T) {
 	r, err := RunStrategies(StrategiesConfig{Peers: 16, ChainLengths: []int{1, 3, 5}, Seed: 9})
 	if err != nil {

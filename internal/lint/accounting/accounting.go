@@ -48,6 +48,7 @@ var chargedTypes = map[string]bool{
 	"gridvine/internal/pgrid.BatchReplicate":           true,
 	"gridvine/internal/pgrid.SubtreeResponse":          true,
 	"gridvine/internal/pgrid.SyncResponse":             true,
+	"gridvine/internal/pgrid.RepairResponse":           true,
 	"[]gridvine/internal/triple.Triple":                true,
 	"gridvine/internal/mediation.PatternQuery":         true,
 	"gridvine/internal/mediation.ReformulatedQuery":    true,
@@ -60,6 +61,10 @@ var dataFreeTypes = map[string]bool{
 	"gridvine/internal/pgrid.BatchResult":    true,
 	"gridvine/internal/pgrid.SubtreeRequest": true,
 	"gridvine/internal/pgrid.SyncRequest":    true,
+	// Digest anti-entropy control traffic carries hashes only.
+	"gridvine/internal/pgrid.DigestRequest":  true,
+	"gridvine/internal/pgrid.DigestResponse": true,
+	"gridvine/internal/pgrid.RepairRequest":  true,
 }
 
 func run(pass *analysis.Pass) (any, error) {

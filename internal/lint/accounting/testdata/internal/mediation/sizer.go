@@ -26,6 +26,8 @@ func PayloadTriples(payload any) int {
 		return 2
 	case pgrid.SubtreeResponse:
 		return 3
+	case pgrid.RepairResponse:
+		return 7
 	case pgrid.SyncRequest:
 		return 4
 	case []triple.Triple:

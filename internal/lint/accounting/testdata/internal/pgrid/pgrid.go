@@ -12,6 +12,7 @@ type (
 	BatchReplicate   struct{}
 	SubtreeResponse  struct{}
 	SyncResponse     struct{}
+	RepairResponse   struct{}
 )
 
 // Data-free payload types (acks and pure requests; never charged).
@@ -19,6 +20,9 @@ type (
 	BatchResult    struct{}
 	SubtreeRequest struct{}
 	SyncRequest    struct{}
+	DigestRequest  struct{}
+	DigestResponse struct{}
+	RepairRequest  struct{}
 )
 
 // Gossip is deliberately unregistered: shipping it must be flagged.

@@ -1,0 +1,127 @@
+package mediation
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gridvine/internal/simnet"
+	"gridvine/internal/triple"
+)
+
+// TestChurnWriteConvergence cycles peer crashes and recoveries under live
+// Peer.Write traffic, then heals the network and runs anti-entropy until
+// every replica group holds a byte-identical store. Run with -race, it
+// doubles as the data-race check on the suspicion, hot-list, and tombstone
+// paths; the goroutine baseline check asserts the churn leaves no workers
+// behind.
+func TestChurnWriteConvergence(t *testing.T) {
+	baseline := countGoroutines(t)
+	net, peers := testNetwork(t, 24, 77)
+	ctx := context.Background()
+
+	// Victims to cycle; keep the issuing peers alive so writes can route.
+	var victims []simnet.PeerID
+	for _, p := range peers[8:16] {
+		victims = append(victims, p.Node().ID())
+	}
+
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := victims[i%len(victims)]
+			net.Fail(v)
+			time.Sleep(500 * time.Microsecond)
+			net.Recover(v)
+		}
+	}()
+
+	// Concurrent writers: per-entry routing failures are tolerated (they
+	// surface in the Receipt); only terminal errors fail the test.
+	const writers, batches = 4, 20
+	var writing sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		writing.Add(1)
+		go func(w int) {
+			defer writing.Done()
+			issuer := peers[w]
+			for i := 0; i < batches; i++ {
+				b := &Batch{}
+				b.InsertTriple(triple.Triple{
+					Subject:   fmt.Sprintf("churn:%d:%d", w, i),
+					Predicate: "Churn#attr",
+					Object:    fmt.Sprintf("v%d", i),
+				})
+				if _, err := issuer.Write(ctx, b); err != nil {
+					errs <- fmt.Errorf("writer %d batch %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	writing.Wait()
+	close(stop)
+	churn.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Heal and repair: every peer runs anti-entropy rounds until all
+	// replica groups converge (or the round budget proves they cannot).
+	for _, v := range victims {
+		net.Recover(v)
+	}
+	converged := false
+	for round := 0; round < 8 && !converged; round++ {
+		for _, p := range peers {
+			p.Node().AntiEntropy(ctx)
+		}
+		converged = replicaGroupsConverged(peers)
+	}
+	if !converged {
+		t.Error("replica groups did not converge to byte-identical stores after repair")
+		for path, ids := range replicaDigests(peers) {
+			t.Logf("group %s: %v", path, ids)
+		}
+	}
+
+	waitNoLeak(t, baseline)
+}
+
+// replicaGroupsConverged reports whether every replica group (peers sharing
+// a leaf path) holds a byte-identical store.
+func replicaGroupsConverged(peers []*Peer) bool {
+	digests := map[string]uint64{}
+	for _, p := range peers {
+		path := p.Node().Path().String()
+		d := p.Node().ContentDigest()
+		if prev, ok := digests[path]; ok && prev != d {
+			return false
+		}
+		digests[path] = d
+	}
+	return true
+}
+
+// replicaDigests maps each leaf path to its members' content digests, for
+// divergence diagnostics.
+func replicaDigests(peers []*Peer) map[string][]string {
+	out := map[string][]string{}
+	for _, p := range peers {
+		path := p.Node().Path().String()
+		out[path] = append(out[path], fmt.Sprintf("%s=%x(%d items)", p.Node().ID(), p.Node().ContentDigest(), p.Node().StoreSize()))
+	}
+	return out
+}

@@ -104,6 +104,10 @@ type ConjunctiveStats struct {
 	// StatsDigests counts the fresh digests aggregated for this query's
 	// cost estimates; 0 means the planner ran on static position weights.
 	StatsDigests int
+	// Degraded reports that at least one pattern lookup succeeded only by
+	// routing around unreachable peers (replica fallback): the join input
+	// may trail writes awaiting anti-entropy.
+	Degraded bool
 }
 
 // TotalMessages is the overlay message cost including data transfer.
@@ -123,6 +127,7 @@ func (s *ConjunctiveStats) add(o ConjunctiveStats) {
 	s.Reformulations += o.Reformulations
 	s.StatsFetches += o.StatsFetches
 	s.StatsDigests += o.StatsDigests
+	s.Degraded = s.Degraded || o.Degraded
 }
 
 // SearchConjunctive resolves a conjunctive query — a list of triple
@@ -902,6 +907,7 @@ func (p *Peer) resolvePattern(ctx context.Context, q triple.Pattern, filters []V
 	rs, err := p.searchPattern(ctx, q, filters, reformulate, opts)
 	if rs != nil {
 		stats.PatternLookups++
+		stats.Degraded = stats.Degraded || rs.Degraded
 		stats.RouteMessages += rs.Messages
 		stats.TriplesShipped += len(rs.Results)
 		stats.TransferMessages += transferMessages(len(rs.Results))
@@ -955,10 +961,27 @@ func PayloadTriples(payload any) int {
 		return subtreeItemTriples(v.Items)
 	case pgrid.SyncResponse:
 		// Anti-entropy pulls a replica's whole subtree; its data volume is
-		// the same per-item cost as a range shipment.
-		return subtreeItemTriples(v.Items)
+		// the same per-item cost as a range shipment. Shipped tombstones
+		// carry the deleted value, so they cost like items too.
+		return subtreeItemTriples(v.Items) + tombstoneTriples(v.Tombs)
+	case pgrid.RepairResponse:
+		// Digest repair ships only the diff: missing items plus tombstones
+		// (the Want/WantTombs digests are data-free).
+		return subtreeItemTriples(v.Missing) + tombstoneTriples(v.Tombs)
 	}
 	return 0
+}
+
+// tombstoneTriples counts the triple-valued tombstones of an anti-entropy
+// shipment.
+func tombstoneTriples(tombs []pgrid.Tombstone) int {
+	n := 0
+	for _, t := range tombs {
+		if _, ok := t.Value.(triple.Triple); ok {
+			n++
+		}
+	}
+	return n
 }
 
 // tripleValued reports 1 when a stored value is a triple, 0 otherwise.

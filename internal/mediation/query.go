@@ -131,6 +131,11 @@ type ResultSet struct {
 	// operation: the peers the issuer contacted, in order. The experiment
 	// harness replays these traces through the discrete-event simulator.
 	Route pgrid.Route
+	// Degraded reports that the answer was assembled while routing around
+	// unreachable peers — some lookup fell back to a live replica or a
+	// reformulation branch was tolerated as failed — so it may be missing
+	// writes that have not finished an anti-entropy round.
+	Degraded bool
 }
 
 // Bindings extracts variable bindings from every result under its matching
@@ -247,7 +252,7 @@ func (p *Peer) searchForFiltered(ctx context.Context, q triple.Pattern, filters 
 	}
 	key := keyspace.Hash(constant, p.depth)
 	result, route, err := p.node.Query(ctx, key, PatternQuery{Pattern: q, Filters: filters})
-	rs := &ResultSet{Query: q, Messages: route.Messages, Route: route}
+	rs := &ResultSet{Query: q, Messages: route.Messages, Route: route, Degraded: route.Degraded}
 	if err != nil {
 		return rs, err
 	}
@@ -458,9 +463,15 @@ func (p *Peer) streamIterative(ctx context.Context, q triple.Pattern, filters []
 				continue // cancelled before this item ran
 			}
 			rs.Messages += out.sub.Messages + out.mapMsgs
+			rs.Degraded = rs.Degraded || out.sub.Degraded
 			if out.err != nil {
-				if firstErr == nil && !errors.Is(out.err, ErrNotRoutable) {
-					firstErr = out.err
+				if !errors.Is(out.err, ErrNotRoutable) {
+					// A failed branch is tolerated, but the aggregate is now
+					// partial: surface that through the degraded flag.
+					rs.Degraded = true
+					if firstErr == nil {
+						firstErr = out.err
+					}
 				}
 			} else {
 				for _, r := range out.sub.Results {
@@ -581,6 +592,7 @@ func (p *Peer) streamRecursive(ctx context.Context, q triple.Pattern, filters []
 	result, route, err := p.node.Query(ctx, key, payload)
 	rs.Messages += route.Messages
 	rs.Route = route
+	rs.Degraded = route.Degraded
 	if err != nil {
 		return rs, true, err
 	}

@@ -107,6 +107,13 @@ type QueryStats struct {
 	// Conjunctive carries the planner's full execution statistics
 	// (conjunctive and RDQL requests).
 	Conjunctive ConjunctiveStats
+	// Degraded reports that the answer was assembled while routing around
+	// unreachable peers — a lookup fell back to a live replica, or a
+	// reformulation branch failed and was tolerated — so the stream may be
+	// missing writes that have not finished an anti-entropy round. The
+	// query still succeeds; consumers needing strict answers can check this
+	// flag and retry after the overlay converges.
+	Degraded bool
 	// FirstRow is the time from Query to the first row becoming available
 	// to the consumer; zero while no row has been produced.
 	FirstRow time.Duration
@@ -320,6 +327,7 @@ func (c *Cursor) runPattern(ctx context.Context, p *Peer, req Request) error {
 		c.stats.Messages = rs.Messages
 		c.stats.Reformulations = rs.Reformulations
 		c.stats.Route = rs.Route
+		c.stats.Degraded = rs.Degraded
 	}
 	c.mu.Unlock()
 	return err
@@ -394,6 +402,7 @@ func (c *Cursor) runConjunctive(ctx context.Context, p *Peer, req Request, parse
 	c.stats.Conjunctive = stats
 	c.stats.Messages = stats.TotalMessages()
 	c.stats.Reformulations = stats.Reformulations
+	c.stats.Degraded = stats.Degraded
 	c.mu.Unlock()
 	return err
 }

@@ -1,0 +1,331 @@
+package pgrid
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"gridvine/internal/keyspace"
+	"gridvine/internal/simnet"
+)
+
+// replicaGroups partitions an overlay's nodes by leaf path.
+func replicaGroups(ov *Overlay) map[string][]*Node {
+	groups := map[string][]*Node{}
+	for _, n := range ov.Nodes() {
+		p := n.Path().String()
+		groups[p] = append(groups[p], n)
+	}
+	return groups
+}
+
+// assertConverged checks every replica group holds a byte-identical store.
+func assertConverged(t *testing.T, ov *Overlay) {
+	t.Helper()
+	for path, group := range replicaGroups(ov) {
+		want := group[0].ContentDigest()
+		for _, n := range group[1:] {
+			if got := n.ContentDigest(); got != want {
+				t.Errorf("replica group %s diverged: %s=%x %s=%x (sizes %d vs %d)",
+					path, group[0].ID(), want, n.ID(), got, group[0].StoreSize(), n.StoreSize())
+			}
+		}
+	}
+}
+
+func TestDeleteNotResurrectedBySync(t *testing.T) {
+	// Regression for the delete-resurrection bug: a replica that misses a
+	// delete while crashed must reconcile the delete on resync, not push
+	// the stale value back.
+	net, ov := testOverlay(t, 16, 2, 61)
+	issuer := ov.Nodes()[0]
+
+	key := keyspace.HashDefault("tombstone-probe")
+	if _, err := issuer.Update(context.Background(), key, "doomed"); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+
+	var group []*Node
+	for _, n := range ov.Nodes() {
+		if n.Responsible(key) {
+			group = append(group, n)
+		}
+	}
+	if len(group) < 2 {
+		t.Skip("replica group too small")
+	}
+	victim := group[0]
+	if victim.ID() == issuer.ID() {
+		victim = group[1]
+	}
+	if len(victim.LocalGet(key)) != 1 {
+		t.Fatal("victim did not receive the replicated insert")
+	}
+
+	// Victim crashes; the delete happens without it.
+	net.Fail(victim.ID())
+	if _, err := issuer.Delete(context.Background(), key, "doomed"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	net.Recover(victim.ID())
+	if got := victim.LocalGet(key); len(got) != 1 {
+		t.Fatalf("victim should still hold the stale value, got %v", got)
+	}
+
+	// Digest-based resync must apply the tombstone, not resurrect the value.
+	victim.SyncFromReplicas()
+	if got := victim.LocalGet(key); len(got) != 0 {
+		t.Errorf("digest resync resurrected deleted value: %v", got)
+	}
+
+	// And the victim's stale copy must not leak back into the survivors.
+	for _, n := range group {
+		if n == victim {
+			continue
+		}
+		if got := n.LocalGet(key); len(got) != 0 {
+			t.Errorf("survivor %s re-acquired deleted value: %v", n.ID(), got)
+		}
+	}
+}
+
+func TestDeleteNotResurrectedByFullSync(t *testing.T) {
+	// The full-store baseline ships tombstones too, so it must reconcile
+	// deletes as well — the digest path only changes the cost.
+	net, ov := testOverlay(t, 16, 2, 29)
+	issuer := ov.Nodes()[0]
+
+	key := keyspace.HashDefault("fullsync-tombstone")
+	if _, err := issuer.Update(context.Background(), key, "doomed"); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	var victim *Node
+	for _, n := range ov.Nodes() {
+		if n.Responsible(key) && n.ID() != issuer.ID() {
+			victim = n
+			break
+		}
+	}
+	if victim == nil || len(victim.LocalGet(key)) != 1 {
+		t.Skip("no replicated victim")
+	}
+	net.Fail(victim.ID())
+	if _, err := issuer.Delete(context.Background(), key, "doomed"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	net.Recover(victim.ID())
+	victim.FullSyncFromReplicas()
+	if got := victim.LocalGet(key); len(got) != 0 {
+		t.Errorf("full-store resync resurrected deleted value: %v", got)
+	}
+}
+
+func TestReinsertAfterDeleteSurvivesSync(t *testing.T) {
+	// A fresh insert of a previously deleted value clears the tombstone:
+	// the value must survive subsequent anti-entropy rounds.
+	_, ov := testOverlay(t, 8, 2, 17)
+	issuer := ov.Nodes()[0]
+	key := keyspace.HashDefault("reinsert-probe")
+	ctx := context.Background()
+
+	if _, err := issuer.Update(ctx, key, "phoenix"); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if _, err := issuer.Delete(ctx, key, "phoenix"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := issuer.Update(ctx, key, "phoenix"); err != nil {
+		t.Fatalf("re-Update: %v", err)
+	}
+	for _, n := range ov.Nodes() {
+		n.AntiEntropy(ctx)
+	}
+	for _, n := range ov.Nodes() {
+		if !n.Responsible(key) {
+			continue
+		}
+		if got := n.LocalGet(key); len(got) != 1 {
+			t.Errorf("node %s lost re-inserted value after anti-entropy: %v", n.ID(), got)
+		}
+	}
+	assertConverged(t, ov)
+}
+
+func TestAntiEntropyConvergesAfterCrash(t *testing.T) {
+	net, ov := testOverlay(t, 24, 3, 7)
+	issuer := ov.Nodes()[0]
+	ctx := context.Background()
+
+	victim := ov.Nodes()[5]
+	net.Fail(victim.ID())
+	for i := 0; i < 60; i++ {
+		k := keyspace.HashDefault(fmt.Sprintf("ae-%02d", i))
+		if _, err := issuer.Update(ctx, k, i); err != nil {
+			t.Fatalf("Update: %v", err)
+		}
+	}
+	// A few deletes the victim also misses.
+	for i := 0; i < 10; i++ {
+		k := keyspace.HashDefault(fmt.Sprintf("ae-%02d", i))
+		if _, err := issuer.Delete(ctx, k, i); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+	}
+	net.Recover(victim.ID())
+
+	stats := victim.AntiEntropy(ctx)
+	if stats.Replicas == 0 {
+		t.Fatal("no replicas answered the digest exchange")
+	}
+	assertConverged(t, ov)
+
+	// Second round: stores agree, so the exchange is digest-only (one
+	// message per replica, nothing shipped).
+	again := victim.AntiEntropy(ctx)
+	if again.Pulled != 0 || again.Pushed != 0 || again.TombsPulled != 0 || again.TombsPushed != 0 {
+		t.Errorf("second anti-entropy round shipped data: %+v", again)
+	}
+	if again.Messages != again.Replicas {
+		t.Errorf("converged exchange cost %d messages for %d replicas, want digest-only", again.Messages, again.Replicas)
+	}
+}
+
+func TestReplicaFailureFeedsHotList(t *testing.T) {
+	net, ov := testOverlay(t, 16, 3, 3)
+	issuer := ov.Nodes()[0]
+	ctx := context.Background()
+
+	key := keyspace.HashDefault("hotlist-probe")
+	var group []*Node
+	for _, n := range ov.Nodes() {
+		if n.Responsible(key) {
+			group = append(group, n)
+		}
+	}
+	if len(group) < 2 {
+		t.Skip("no replicated owner")
+	}
+	dead := group[0].ID()
+	if dead == issuer.ID() {
+		dead = group[1].ID()
+	}
+	net.Fail(dead)
+
+	if _, err := issuer.Update(ctx, key, "hot"); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	// The routed write landed on some live group member, whose push to the
+	// dead replica failed: exactly that member carries the suspicion and
+	// the repair backlog.
+	var owner *Node
+	for _, n := range group {
+		if n.ID() != dead && n.RepairBacklog() > 0 {
+			owner = n
+			break
+		}
+	}
+	if owner == nil {
+		t.Fatal("failed replica push did not enqueue any key for targeted repair")
+	}
+	if !owner.Suspected(dead) {
+		t.Error("failed replica push should mark the replica suspected")
+	}
+
+	net.Recover(dead)
+	stats := owner.AntiEntropy(ctx)
+	if stats.HotPushed == 0 {
+		t.Errorf("anti-entropy did not run targeted repair: %+v", stats)
+	}
+	if owner.RepairBacklog() != 0 {
+		t.Errorf("repair backlog not drained: %d", owner.RepairBacklog())
+	}
+	if owner.Suspected(dead) {
+		t.Error("successful exchange should clear suspicion")
+	}
+	var deadNode *Node
+	for _, n := range ov.Nodes() {
+		if n.ID() == dead {
+			deadNode = n
+			break
+		}
+	}
+	if got := deadNode.LocalGet(key); len(got) != 1 {
+		t.Errorf("targeted repair did not deliver the value: %v", got)
+	}
+}
+
+func TestSuspectedPeersOrderedLast(t *testing.T) {
+	_, ov := testOverlay(t, 16, 2, 11)
+	n := ov.Nodes()[0]
+	key := keyspace.HashDefault("suspect-order")
+	cands := n.candidateHops(key, map[simnet.PeerID]bool{})
+	if len(cands) < 2 {
+		t.Skip("not enough candidates")
+	}
+	n.markSuspect(cands[0])
+	reordered := n.candidateHops(key, map[simnet.PeerID]bool{})
+	if reordered[len(reordered)-1] != cands[0] {
+		t.Errorf("suspected peer %s not ordered last: %v", cands[0], reordered)
+	}
+	n.clearSuspect(cands[0])
+}
+
+func TestTombstoneCapPrunes(t *testing.T) {
+	net := simnet.NewNetwork()
+	n := NewNode("solo", keyspace.Key{}, net, Config{TombstoneCap: 8})
+	for i := 0; i < 40; i++ {
+		n.localDelete(fmt.Sprintf("k%02d", i), i)
+	}
+	if got := n.TombstoneCount(); got > 8 {
+		t.Errorf("tombstones = %d, want ≤ cap 8", got)
+	}
+}
+
+func TestDegradedRouteFlag(t *testing.T) {
+	net, ov := testOverlay(t, 24, 3, 5)
+	issuer := ov.Nodes()[0]
+	ctx := context.Background()
+
+	key := keyspace.HashDefault("degraded-probe")
+	if _, err := issuer.Update(ctx, key, "v"); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	vals, route, err := issuer.Retrieve(ctx, key)
+	if err != nil {
+		t.Fatalf("Retrieve: %v", err)
+	}
+	if route.Degraded {
+		t.Error("healthy retrieve reported degraded")
+	}
+	if len(vals) != 1 {
+		t.Fatalf("retrieve = %v", vals)
+	}
+
+	// Kill the first-choice responsible peer; a replica must answer and
+	// the route must say the answer was degraded.
+	var killed bool
+	for _, n := range ov.Nodes() {
+		if n.Responsible(key) && n.ID() != issuer.ID() {
+			net.Fail(n.ID())
+			killed = true
+			break
+		}
+	}
+	if !killed {
+		t.Skip("issuer owns the key")
+	}
+	found := false
+	for i := 0; i < 8; i++ {
+		vals, route, err = issuer.Retrieve(ctx, key)
+		if err == nil && route.Degraded {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Skip("routing never hit the dead peer (shuffle avoided it)")
+	}
+	if len(vals) != 1 {
+		t.Errorf("degraded retrieve lost the value: %v", vals)
+	}
+}

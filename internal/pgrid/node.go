@@ -37,6 +37,13 @@ type Config struct {
 	MaxRetries int
 	// Seed drives the node's internal randomness (ref choice).
 	Seed int64
+	// TombstoneCap bounds the deletion tombstones a node retains for
+	// anti-entropy reconciliation; the oldest are pruned beyond it.
+	// Default 8192.
+	TombstoneCap int
+	// DigestBucketBits sets how many key bits beyond the node's path the
+	// anti-entropy digest buckets span (2^bits buckets max). Default 4.
+	DigestBucketBits int
 }
 
 func (c Config) withDefaults() Config {
@@ -45,6 +52,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxRetries <= 0 {
 		c.MaxRetries = 3
+	}
+	if c.TombstoneCap <= 0 {
+		c.TombstoneCap = 8192
+	}
+	if c.DigestBucketBits <= 0 {
+		c.DigestBucketBits = 4
 	}
 	return c
 }
@@ -63,6 +76,19 @@ type Node struct {
 	handler   QueryHandler
 	storeHook StoreHook
 	batchHook BatchStoreHook
+
+	// tombs records deletions so anti-entropy reconciles them instead of
+	// resurrecting the value from a replica that missed the delete. Guarded
+	// by mu; bounded by Config.TombstoneCap (oldest-seq pruned beyond it).
+	tombs   map[string][]tombEntry
+	tombSeq uint64
+	tombLen int
+
+	// suspMu guards failure suspicion and the targeted-repair hot-list,
+	// both fed by observed send errors on routing and replication paths.
+	suspMu  sync.Mutex
+	suspect map[simnet.PeerID]int             // consecutive failed exchanges
+	hotlist map[simnet.PeerID]map[string]bool // replica → keys whose push failed
 
 	// latMu guards hopLat, the minimum observed per-hop round-trip latency
 	// that deadline-aware routing weighs remaining context budget against.
@@ -117,14 +143,24 @@ func (n *Node) SetBatchStoreHook(h BatchStoreHook) {
 func NewNode(id simnet.PeerID, path keyspace.Key, net simnet.Transport, cfg Config) *Node {
 	cfg = cfg.withDefaults()
 	return &Node{
-		id:    id,
-		net:   net,
-		cfg:   cfg,
-		path:  path,
-		refs:  make(map[int][]simnet.PeerID),
-		store: make(map[string][]any),
-		rng:   rand.New(rand.NewSource(cfg.Seed ^ int64(len(id))*2654435761)),
+		id:      id,
+		net:     net,
+		cfg:     cfg,
+		path:    path,
+		refs:    make(map[int][]simnet.PeerID),
+		store:   make(map[string][]any),
+		tombs:   make(map[string][]tombEntry),
+		suspect: make(map[simnet.PeerID]int),
+		hotlist: make(map[simnet.PeerID]map[string]bool),
+		rng:     rand.New(rand.NewSource(cfg.Seed ^ int64(len(id))*2654435761)),
 	}
+}
+
+// tombEntry is one retained deletion: the deleted value plus a node-local
+// sequence number used for oldest-first pruning.
+type tombEntry struct {
+	value any
+	seq   uint64
 }
 
 // ID returns the node's transport identity.
@@ -263,8 +299,11 @@ func (n *Node) localInsert(key string, value any) bool {
 	return n.insertLocked(key, value)
 }
 
-// insertLocked is localInsert's core; n.mu must be held.
+// insertLocked is localInsert's core; n.mu must be held. A direct insert
+// supersedes any matching tombstone: re-publishing a previously deleted
+// value must stick, so the tombstone is cleared before the value lands.
 func (n *Node) insertLocked(key string, value any) bool {
+	n.clearTombLocked(key, value)
 	for _, v := range n.store[key] {
 		if reflect.DeepEqual(v, value) {
 			return false
@@ -275,11 +314,74 @@ func (n *Node) insertLocked(key string, value any) bool {
 }
 
 // localDelete removes the first value deep-equal to value under key. It
-// reports whether the store changed.
+// reports whether the store changed. The deletion is tombstoned whether or
+// not the value was present — the delete may have raced ahead of the
+// insert it cancels, and anti-entropy must not resurrect either way.
 func (n *Node) localDelete(key string, value any) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	n.recordTombLocked(key, value)
 	return n.deleteLocked(key, value)
+}
+
+// recordTombLocked notes a deletion for later anti-entropy reconciliation;
+// n.mu must be held. An existing equal tombstone is refreshed in place.
+func (n *Node) recordTombLocked(key string, value any) {
+	n.tombSeq++
+	for i, t := range n.tombs[key] {
+		if reflect.DeepEqual(t.value, value) {
+			n.tombs[key][i].seq = n.tombSeq
+			return
+		}
+	}
+	n.tombs[key] = append(n.tombs[key], tombEntry{value: value, seq: n.tombSeq})
+	n.tombLen++
+	if n.tombLen > n.cfg.TombstoneCap {
+		n.pruneTombsLocked()
+	}
+}
+
+// clearTombLocked removes a tombstone matching (key, value); n.mu held.
+func (n *Node) clearTombLocked(key string, value any) {
+	ts := n.tombs[key]
+	for i, t := range ts {
+		if reflect.DeepEqual(t.value, value) {
+			n.tombs[key] = append(ts[:i:i], ts[i+1:]...)
+			if len(n.tombs[key]) == 0 {
+				delete(n.tombs, key)
+			}
+			n.tombLen--
+			return
+		}
+	}
+}
+
+// pruneTombsLocked drops every tombstone older than the newest TombstoneCap
+// sequence numbers; n.mu must be held. Sequence numbers are dense (one per
+// recorded tombstone), so the cutoff retains at most TombstoneCap entries.
+func (n *Node) pruneTombsLocked() {
+	cutoff := n.tombSeq - uint64(n.cfg.TombstoneCap)
+	for k, ts := range n.tombs {
+		kept := ts[:0]
+		for _, t := range ts {
+			if t.seq > cutoff {
+				kept = append(kept, t)
+			}
+		}
+		n.tombLen -= len(ts) - len(kept)
+		if len(kept) == 0 {
+			delete(n.tombs, k)
+			continue
+		}
+		n.tombs[k] = kept
+	}
+}
+
+// TombstoneCount returns the number of retained deletion tombstones.
+func (n *Node) TombstoneCount() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.tombLen
 }
 
 // deleteLocked is localDelete's core; n.mu must be held.
@@ -362,6 +464,18 @@ func (n *Node) HandleMessage(from simnet.PeerID, msg simnet.Message) (simnet.Mes
 			return simnet.Message{}, fmt.Errorf("pgrid: bad sync payload %T", msg.Payload)
 		}
 		return simnet.Message{Type: msgSync, Payload: n.handleSync(req)}, nil
+	case msgDigest:
+		req, ok := msg.Payload.(DigestRequest)
+		if !ok {
+			return simnet.Message{}, fmt.Errorf("pgrid: bad digest payload %T", msg.Payload)
+		}
+		return simnet.Message{Type: msgDigest, Payload: n.handleDigest(req)}, nil
+	case msgRepair:
+		req, ok := msg.Payload.(RepairRequest)
+		if !ok {
+			return simnet.Message{}, fmt.Errorf("pgrid: bad repair payload %T", msg.Payload)
+		}
+		return simnet.Message{Type: msgRepair, Payload: n.handleRepair(req)}, nil
 	default:
 		return simnet.Message{}, fmt.Errorf("pgrid: unknown message type %q", msg.Type)
 	}
@@ -413,6 +527,7 @@ func (n *Node) replaceLocked(key string, value any) (removed []any, inserted boo
 	for _, v := range vs {
 		if rep != nil && rep.Replaces(v) {
 			removed = append(removed, v)
+			n.recordTombLocked(key, v)
 			continue
 		}
 		if !dup && reflect.DeepEqual(v, value) {
@@ -420,6 +535,7 @@ func (n *Node) replaceLocked(key string, value any) (removed []any, inserted boo
 		}
 		kept = append(kept, v)
 	}
+	n.clearTombLocked(key, value)
 	if !dup {
 		kept = append(kept, value)
 	}
@@ -440,14 +556,22 @@ func (n *Node) applyBatch(entries []BatchEntry, checkResponsible bool) []int {
 		return applied
 	}
 	rep := BatchReplicate{Entries: make([]BatchEntry, 0, len(applied))}
+	keys := make([]string, 0, len(applied))
 	for _, i := range applied {
 		rep.Entries = append(rep.Entries, entries[i])
+		keys = append(keys, entries[i].Key)
 	}
 	for _, r := range n.Replicas() {
-		// Best-effort, like single-mutation replication: a crashed replica
-		// re-synchronizes on rejoin. One message carries the whole batch.
+		// Best-effort, like single-mutation replication — but a failed push
+		// is observed, not dropped: the replica becomes suspected and the
+		// batch's keys land on its repair hot-list for targeted anti-entropy.
+		// One message carries the whole batch.
 		//gridvine:serverctx batch replication must complete even if the issuing batch's context is cancelled, or replicas diverge
-		n.net.Send(context.Background(), n.id, r, simnet.Message{Type: msgBatchRep, Payload: rep}) //nolint:errcheck
+		if _, err := n.net.Send(context.Background(), n.id, r, simnet.Message{Type: msgBatchRep, Payload: rep}); err != nil {
+			n.noteReplicaFailure(r, keys...)
+		} else {
+			n.clearSuspect(r)
+		}
 	}
 	return applied
 }
@@ -478,6 +602,7 @@ func (n *Node) applyBatchLocal(entries []BatchEntry, checkResponsible bool) []in
 				muts = append(muts, StoreMutation{Op: OpInsert, Key: key, Value: e.Value})
 			}
 		case OpDelete:
+			n.recordTombLocked(e.Key, e.Value)
 			if n.deleteLocked(e.Key, e.Value) {
 				muts = append(muts, StoreMutation{Op: OpDelete, Key: key, Value: e.Value})
 			}
@@ -537,6 +662,85 @@ func (n *Node) applyReplace(key string, value any) {
 	if inserted {
 		hook(OpInsert, k, value)
 	}
+}
+
+// markSuspect records one failed exchange with a peer. Suspected peers are
+// deprioritized by routing (ordered last among candidates, never excluded —
+// they may have recovered) until a successful exchange clears them.
+func (n *Node) markSuspect(id simnet.PeerID) {
+	n.suspMu.Lock()
+	defer n.suspMu.Unlock()
+	n.suspect[id]++
+}
+
+// clearSuspect clears failure suspicion after a successful exchange.
+func (n *Node) clearSuspect(id simnet.PeerID) {
+	n.suspMu.Lock()
+	defer n.suspMu.Unlock()
+	delete(n.suspect, id)
+}
+
+// Suspected reports whether the node currently suspects the peer of being
+// dead (at least one observed send failure with no success since).
+func (n *Node) Suspected(id simnet.PeerID) bool {
+	n.suspMu.Lock()
+	defer n.suspMu.Unlock()
+	return n.suspect[id] > 0
+}
+
+// SuspectCount returns how many peers are currently under suspicion.
+func (n *Node) SuspectCount() int {
+	n.suspMu.Lock()
+	defer n.suspMu.Unlock()
+	return len(n.suspect)
+}
+
+// noteReplicaFailure records a failed replication push: the replica becomes
+// suspected and every affected key is enqueued on its repair hot-list, so
+// the next anti-entropy round re-ships exactly what was lost instead of
+// rediscovering it by digest comparison.
+func (n *Node) noteReplicaFailure(r simnet.PeerID, keys ...string) {
+	n.suspMu.Lock()
+	defer n.suspMu.Unlock()
+	n.suspect[r]++
+	hot := n.hotlist[r]
+	if hot == nil {
+		hot = make(map[string]bool)
+		n.hotlist[r] = hot
+	}
+	for _, k := range keys {
+		hot[k] = true
+	}
+}
+
+// takeHotKeys removes and returns the repair hot-list for a replica, sorted
+// for deterministic repair order.
+func (n *Node) takeHotKeys(r simnet.PeerID) []string {
+	n.suspMu.Lock()
+	hot := n.hotlist[r]
+	delete(n.hotlist, r)
+	n.suspMu.Unlock()
+	if len(hot) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(hot))
+	for k := range hot {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RepairBacklog returns the total number of keys awaiting targeted repair
+// across all replica hot-lists.
+func (n *Node) RepairBacklog() int {
+	n.suspMu.Lock()
+	defer n.suspMu.Unlock()
+	total := 0
+	for _, hot := range n.hotlist {
+		total += len(hot)
+	}
+	return total
 }
 
 var _ simnet.Handler = (*Node)(nil)

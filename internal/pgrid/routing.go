@@ -36,6 +36,11 @@ type Route struct {
 	Messages int
 	// Retries counts rerouting rounds forced by unreachable peers.
 	Retries int
+	// Degraded reports that the operation succeeded only by routing around
+	// unreachable peers (excluded hops or retry rounds): the answer came
+	// from a live replica rather than the first-choice responsible peer, so
+	// under churn it may trail the newest writes by one anti-entropy round.
+	Degraded bool
 }
 
 // Hops returns the number of peers contacted.
@@ -138,16 +143,45 @@ func (n *Node) execute(ctx context.Context, req ExecRequest) (ExecResponse, Rout
 				return ExecResponse{}, route, err
 			}
 			route.Retries++
+			// Jittered backoff before re-routing: a dead responsible peer's
+			// replicas need a beat to show up as the best candidates, and
+			// synchronized retry storms from many issuers would hammer the
+			// same survivors. Stays inside the retryBudget discipline — the
+			// sleep is an order of magnitude below any observable hop.
+			if err := n.retryBackoff(ctx, attempt); err != nil {
+				return ExecResponse{}, route, err
+			}
 		}
 		resp, ok, err := n.routeOnce(ctx, key, req, exclude, &route)
 		if err != nil {
 			return ExecResponse{}, route, err
 		}
 		if ok {
+			route.Degraded = len(exclude) > 0 || route.Retries > 0
 			return resp, route, nil
 		}
 	}
 	return ExecResponse{}, route, fmt.Errorf("%w: %s (op %s)", ErrNoRoute, req.Key, req.Op)
+}
+
+// retryBackoff sleeps an exponentially growing, jittered interval before a
+// rerouting round (base 100µs, doubling per attempt, ±50% jitter), honouring
+// ctx cancellation. Kept deliberately small: it decorrelates concurrent
+// issuers retrying against the same survivors without threatening the
+// deadline budget retryBudget already vetted.
+func (n *Node) retryBackoff(ctx context.Context, attempt int) error {
+	base := 100 * time.Microsecond << (attempt - 1)
+	n.rngMu.Lock()
+	d := base/2 + time.Duration(n.rng.Int63n(int64(base)))
+	n.rngMu.Unlock()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // routeOnce performs one iterative routing pass. It returns ok=false when it
@@ -189,9 +223,11 @@ func (n *Node) routeOnce(ctx context.Context, key keyspace.Key, req ExecRequest,
 			if cerr := ctx.Err(); cerr != nil {
 				return ExecResponse{}, false, cerr
 			}
+			n.markSuspect(next)
 			exclude[next] = true
 			continue
 		}
+		n.clearSuspect(next)
 		route.Contacted = append(route.Contacted, next)
 		resp, ok := msg.Payload.(ExecResponse)
 		if !ok {
@@ -258,6 +294,9 @@ func (n *Node) retryBudget(ctx context.Context) error {
 
 // candidateHops returns this node's references ordered best-first for key:
 // deepest matching level first, shuffled within a level for load spreading.
+// Suspected peers sort behind trusted ones at every position — they are not
+// excluded (suspicion is a guess and the peer may have recovered), but a
+// lookup only pays a round-trip to one after the live candidates dead-end.
 func (n *Node) candidateHops(key keyspace.Key, exclude map[simnet.PeerID]bool) []simnet.PeerID {
 	n.mu.RLock()
 	level := n.path.CommonPrefixLen(key)
@@ -282,7 +321,17 @@ func (n *Node) candidateHops(key keyspace.Key, exclude map[simnet.PeerID]bool) [
 	n.rngMu.Lock()
 	n.rng.Shuffle(len(refs), func(i, j int) { refs[i], refs[j] = refs[j], refs[i] })
 	n.rngMu.Unlock()
-	return append(refs, fallback...)
+	all := append(refs, fallback...)
+	trusted := make([]simnet.PeerID, 0, len(all))
+	var suspected []simnet.PeerID
+	for _, p := range all {
+		if n.Suspected(p) {
+			suspected = append(suspected, p)
+		} else {
+			trusted = append(trusted, p)
+		}
+	}
+	return append(trusted, suspected...)
 }
 
 // handleExec processes an ExecRequest at this node.
@@ -356,13 +405,20 @@ func (n *Node) forwardRecursive(key keyspace.Key, req ExecRequest, hops []simnet
 	return ExecResponse{Chain: []simnet.PeerID{n.id}}, nil
 }
 
-// replicate pushes a mutation to the node's replicas σ(p), best-effort.
+// replicate pushes a mutation to the node's replicas σ(p), best-effort. A
+// failed push is tolerated but observed: the replica becomes suspected and
+// the key is enqueued on its repair hot-list, so the next anti-entropy
+// round re-ships exactly the lost mutations instead of rescanning the
+// whole store.
 func (n *Node) replicate(req ReplicateRequest) {
 	for _, r := range n.Replicas() {
-		// Errors are tolerated: a crashed replica re-synchronizes on rejoin.
 		// Replication always completes regardless of the issuer's context —
 		// a cancelled query must never leave replicas diverged.
 		//gridvine:serverctx replication must complete even if the issuing mutation's context is cancelled, or replicas diverge
-		n.net.Send(context.Background(), n.id, r, simnet.Message{Type: msgReplicate, Payload: req}) //nolint:errcheck
+		if _, err := n.net.Send(context.Background(), n.id, r, simnet.Message{Type: msgReplicate, Payload: req}); err != nil {
+			n.noteReplicaFailure(r, req.Key)
+		} else {
+			n.clearSuspect(r)
+		}
 	}
 }

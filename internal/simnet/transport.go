@@ -77,6 +77,9 @@ type TraceEntry struct {
 type Stats struct {
 	Messages int // requests attempted (including dropped)
 	Dropped  int // requests lost to failure injection or dead peers
+	// Duplicated counts extra handler deliveries injected by a FaultPlan's
+	// duplication rate (at-least-once delivery stress).
+	Duplicated int
 	// PayloadUnits accumulates the sizer-measured volume of delivered
 	// request and response payloads (see SetPayloadDelay) — the bandwidth
 	// counterpart of Messages, so batched operations that collapse many
@@ -100,6 +103,7 @@ type Network struct {
 	delay    time.Duration
 	perUnit  time.Duration
 	sizer    func(payload any) int
+	fault    *FaultPlan
 }
 
 // NewNetwork returns an empty in-memory network.
@@ -209,6 +213,16 @@ func (n *Network) SetPayloadDelay(perUnit time.Duration, size func(payload any) 
 	n.sizer = size
 }
 
+// SetFaultPlan attaches (or, with nil, detaches) a FaultPlan: every
+// subsequent Send consults the plan for partition/drop/duplication/jitter
+// decisions. Scheduled crashes and restarts are applied separately through
+// FaultPlan.Step.
+func (n *Network) SetFaultPlan(p *FaultPlan) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.fault = p
+}
+
 // Stats returns a snapshot of the counters.
 func (n *Network) Stats() Stats {
 	n.mu.Lock()
@@ -240,10 +254,20 @@ func (n *Network) Peers() []PeerID {
 // equivalent of the issuer walking away from the socket.
 func (n *Network) Send(ctx context.Context, from, to PeerID, msg Message) (Message, error) {
 	n.mu.Lock()
+	fault := n.fault
+	n.mu.Unlock()
+	var dup bool
+	var planDrop bool
+	var extraDelay time.Duration
+	if fault != nil {
+		planDrop, dup, extraDelay = fault.decide(from, to)
+	}
+
+	n.mu.Lock()
 	n.stats.Messages++
 	h, ok := n.handlers[to]
 	dead := n.failed[to]
-	drop := false
+	drop := planDrop
 	if n.dropNext > 0 {
 		n.dropNext--
 		drop = true
@@ -255,7 +279,7 @@ func (n *Network) Send(ctx context.Context, from, to PeerID, msg Message) (Messa
 	if n.tracing {
 		n.trace = append(n.trace, TraceEntry{From: from, To: to, Type: msg.Type, Dropped: failed})
 	}
-	delay := n.delay
+	delay := n.delay + extraDelay
 	perUnit, sizer := n.perUnit, n.sizer
 	n.mu.Unlock()
 
@@ -290,6 +314,15 @@ func (n *Network) Send(ctx context.Context, from, to PeerID, msg Message) (Messa
 		return Message{}, err
 	}
 	resp, err := h.HandleMessage(from, msg)
+	if err == nil && dup {
+		// At-least-once delivery: hand the handler the same request again
+		// and discard the duplicate's response. Senders never observe the
+		// duplicate; only idempotency bugs in handlers do.
+		n.mu.Lock()
+		n.stats.Duplicated++
+		n.mu.Unlock()
+		_, _ = h.HandleMessage(from, msg)
+	}
 	if err == nil {
 		if terr := transfer(resp.Payload); terr != nil {
 			return Message{}, terr

@@ -247,6 +247,36 @@ func BenchmarkChurn(b *testing.B) {
 	}
 }
 
+// BenchmarkDurability reproduces EXP-P: a WAL+snapshot-backed peer
+// crashes with a torn log tail, recovers from disk, and rejoins via
+// anti-entropy — measured against a cold restart that re-syncs its whole
+// store over the network. Paper-scale figures live in
+// BENCH_durability.json.
+func BenchmarkDurability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunDurability(experiments.DurabilityConfig{Seed: 12})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.RecoveredMatchesReference {
+			b.Fatal("recovered store diverged from the pre-crash reference")
+		}
+		if !r.CorruptTailTruncated {
+			b.Fatal("corrupt WAL tail was not truncated")
+		}
+		if !r.RestartConverged || !r.ColdConverged {
+			b.Fatal("rejoin repair did not converge")
+		}
+		if r.RestartRepairBytes >= r.ColdResyncBytes {
+			b.Fatalf("restart repair %d bytes not below cold re-sync %d", r.RestartRepairBytes, r.ColdResyncBytes)
+		}
+		b.ReportMetric(r.RecoveryMillis, "recovery-ms")
+		b.ReportMetric(float64(r.RestartRepairBytes), "restart-repair-B")
+		b.ReportMetric(float64(r.ColdResyncBytes), "cold-resync-B")
+		b.ReportMetric(r.RepairReduction, "repair-reduction")
+	}
+}
+
 // --- Micro-benchmarks of the public API ---------------------------------
 
 func benchNetwork(b *testing.B, peers int) *Network {

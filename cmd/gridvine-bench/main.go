@@ -16,6 +16,8 @@
 //	gridvine-bench -exp M -json BENCH_streaming.json
 //	gridvine-bench -exp N -json BENCH_bulkload.json
 //	gridvine-bench -exp O -json BENCH_churn.json
+//	gridvine-bench -exp P -json BENCH_durability.json
+//	gridvine-bench -exp A -store .bench-store   # cache the bulk load
 //	gridvine-bench -exp L -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // With -json <path>, machine-readable per-experiment results (wall time
@@ -23,6 +25,9 @@
 // the format of the repo's BENCH_*.json perf-trajectory snapshots.
 // -cpuprofile/-memprofile capture pprof profiles of the selected
 // experiments, so hot-path work is profileable without editing code.
+// With -store <dir>, experiments that bulk-load a dataset (currently
+// EXP-A) snapshot the loaded overlay there on the first run and restore
+// it on repeat runs with the same parameters, skipping the re-load.
 package main
 
 import (
@@ -43,10 +48,11 @@ import (
 type printer interface{ Table() string }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: A,B,C,D,E,G,H,I,J,K,L,M,N,O or all")
+	exp := flag.String("exp", "all", "experiment to run: A,B,C,D,E,G,H,I,J,K,L,M,N,O,P or all")
 	quick := flag.Bool("quick", false, "run with scaled-down parameters")
 	seed := flag.Int64("seed", 1, "random seed")
 	parallel := flag.Int("parallel", 1, "reformulation fan-out width for query-heavy experiments (D); 1 keeps message counts exactly reproducible")
+	storeDir := flag.String("store", "", "overlay snapshot directory: bulk-loading experiments save the loaded state here and repeat runs restore it instead of re-loading")
 	jsonPath := flag.String("json", "", "write machine-readable per-experiment results to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
@@ -67,12 +73,13 @@ func main() {
 	}
 
 	runners := map[string]func(bool, int64) (any, error){
-		"A": runA, "B": runB, "C": runC,
+		"A": func(quick bool, seed int64) (any, error) { return runA(quick, seed, *storeDir) },
+		"B": runB, "C": runC,
 		"D": func(quick bool, seed int64) (any, error) { return runD(quick, seed, *parallel) },
 		"E": runE, "G": runG, "H": runH, "I": runI, "J": runJ, "K": runK, "L": runL, "M": runM, "N": runN,
-		"O": runO,
+		"O": runO, "P": runP,
 	}
-	order := []string{"A", "B", "C", "D", "E", "G", "H", "I", "J", "K", "L", "M", "N", "O"}
+	order := []string{"A", "B", "C", "D", "E", "G", "H", "I", "J", "K", "L", "M", "N", "O", "P"}
 
 	var selected []string
 	if strings.EqualFold(*exp, "all") {
@@ -152,9 +159,9 @@ func header(id, title string) {
 	fmt.Printf("=== EXP-%s: %s ===\n", id, title)
 }
 
-func runA(quick bool, seed int64) (any, error) {
+func runA(quick bool, seed int64, storeDir string) (any, error) {
 	header("A", "deployment latency (paper §2.3: 340 peers, 17k triples, 23k queries; 40% <1s, 75% <5s)")
-	cfg := experiments.DeploymentConfig{Seed: seed}
+	cfg := experiments.DeploymentConfig{Seed: seed, SnapshotDir: storeDir}
 	if quick {
 		cfg.Peers, cfg.Queries, cfg.Schemas, cfg.Entities = 120, 3000, 20, 120
 	}
@@ -287,4 +294,13 @@ func runO(quick bool, seed int64) (any, error) {
 		cfg.WritesPerRound, cfg.DeletesPerRound, cfg.QueriesPerRound = 10, 2, 6
 	}
 	return experiments.RunChurnStress(cfg)
+}
+
+func runP(quick bool, seed int64) (any, error) {
+	header("P", "durable store: WAL+snapshot recovery and restart repair vs cold re-sync")
+	cfg := experiments.DurabilityConfig{Seed: seed}
+	if quick {
+		cfg.Peers, cfg.Triples, cfg.BatchSize, cfg.GapWrites, cfg.SnapshotEvery = 12, 200, 25, 50, 16
+	}
+	return experiments.RunDurability(cfg)
 }

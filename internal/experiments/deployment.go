@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"time"
 
 	"gridvine/internal/bioworkload"
@@ -40,7 +41,12 @@ type DeploymentConfig struct {
 	SlowProb      float64       // default 0.15
 	ServiceMean   time.Duration // default 15ms
 	ArrivalGap    time.Duration // default 40ms between query arrivals
-	Seed          int64
+	// SnapshotDir, when set, caches the loaded overlay state on disk:
+	// the first run bulk-loads and saves a snapshot, repeat runs with the
+	// same peer/workload parameters restore it and skip the bulk load
+	// (see cmd/gridvine-bench -store).
+	SnapshotDir string
+	Seed        int64
 }
 
 func (c DeploymentConfig) withDefaults() DeploymentConfig {
@@ -123,8 +129,36 @@ func RunDeployment(cfg DeploymentConfig) (DeploymentResult, error) {
 	for _, n := range ov.Nodes() {
 		peers = append(peers, mediation.NewPeer(n))
 	}
-	if err := bulkInsert(peers[rng.Intn(len(peers))], w.Triples()); err != nil {
-		return DeploymentResult{}, fmt.Errorf("inserting workload: %w", err)
+	// The issuer draw happens in both load paths so the rng stream — and
+	// with it the query phase — is identical whether or not a snapshot
+	// short-circuits the bulk load.
+	loader := peers[rng.Intn(len(peers))]
+	manifest := snapshotManifest{
+		Experiment:    "deployment",
+		Peers:         cfg.Peers,
+		ReplicaFactor: 2,
+		Schemas:       cfg.Schemas,
+		Entities:      cfg.Entities,
+		Seed:          cfg.Seed,
+	}
+	snapPath := ""
+	restored := false
+	if cfg.SnapshotDir != "" {
+		snapPath = filepath.Join(cfg.SnapshotDir, "deployment.snapshot.gob")
+		restored, err = loadOverlaySnapshot(snapPath, manifest, peers)
+		if err != nil {
+			return DeploymentResult{}, fmt.Errorf("restoring snapshot: %w", err)
+		}
+	}
+	if !restored {
+		if err := bulkInsert(loader, w.Triples()); err != nil {
+			return DeploymentResult{}, fmt.Errorf("inserting workload: %w", err)
+		}
+		if snapPath != "" {
+			if err := saveOverlaySnapshot(snapPath, manifest, peers); err != nil {
+				return DeploymentResult{}, fmt.Errorf("saving snapshot: %w", err)
+			}
+		}
 	}
 
 	queries := w.Queries(cfg.Queries, rng)

@@ -477,3 +477,66 @@ func TestRunBulkLoadBeatsPerTriple(t *testing.T) {
 		t.Error("table missing message row")
 	}
 }
+
+func TestRunDurabilityQuick(t *testing.T) {
+	r, err := RunDurability(DurabilityConfig{
+		Peers:         12,
+		Triples:       160,
+		BatchSize:     20,
+		GapWrites:     40,
+		SnapshotEvery: 16,
+		Seed:          3,
+	})
+	if err != nil {
+		t.Fatalf("RunDurability: %v", err)
+	}
+	if !r.RecoveredMatchesReference {
+		t.Error("recovered store diverged from the pre-crash reference")
+	}
+	if !r.CorruptTailTruncated {
+		t.Error("corrupt WAL tail was not truncated")
+	}
+	if !r.RestartConverged || !r.ColdConverged {
+		t.Errorf("repair did not converge: restart=%v cold=%v", r.RestartConverged, r.ColdConverged)
+	}
+	if r.RestartRepairBytes >= r.ColdResyncBytes {
+		t.Errorf("restart repair %d bytes not below cold re-sync %d", r.RestartRepairBytes, r.ColdResyncBytes)
+	}
+	if r.SnapshotItems+r.ReplayedRecords == 0 {
+		t.Error("recovery replayed nothing")
+	}
+	if !strings.Contains(r.Table(), "repair reduction") {
+		t.Error("table missing repair reduction row")
+	}
+}
+
+func TestDeploymentSnapshotRestore(t *testing.T) {
+	cfg := DeploymentConfig{
+		Peers:       40,
+		Queries:     120,
+		Schemas:     8,
+		Entities:    40,
+		SnapshotDir: t.TempDir(),
+		Seed:        4,
+	}
+	first, err := RunDeployment(cfg)
+	if err != nil {
+		t.Fatalf("first (loading) run: %v", err)
+	}
+	// Second run restores the snapshot; identical rng discipline in both
+	// load paths means the whole result must be bit-identical.
+	second, err := RunDeployment(cfg)
+	if err != nil {
+		t.Fatalf("second (restoring) run: %v", err)
+	}
+	if first != second {
+		t.Errorf("snapshot-restored run diverged:\n first %+v\nsecond %+v", first, second)
+	}
+	// A parameter change invalidates the manifest and falls back to a
+	// fresh bulk load rather than restoring a mismatched overlay.
+	cfg2 := cfg
+	cfg2.Seed = 5
+	if _, err := RunDeployment(cfg2); err != nil {
+		t.Fatalf("manifest-mismatch run: %v", err)
+	}
+}

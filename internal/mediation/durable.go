@@ -1,0 +1,147 @@
+package mediation
+
+import (
+	"fmt"
+
+	"gridvine/internal/keyspace"
+	"gridvine/internal/pgrid"
+	"gridvine/internal/store"
+	"gridvine/internal/triple"
+)
+
+// Peer-level durability: the overlay store (keys → triples, schemas,
+// mappings, stats digests) is the authoritative local state — the
+// relational triple database is a derived mirror — so it is the overlay
+// store that a crash must not lose. Every mutation the node observes
+// through its store hooks is appended to an attached store.Log at
+// exactly the hook granularity (one BatchStoreHook invocation = one WAL
+// record), and snapshots dump the node's full store + tombstones via
+// Node.DumpState.
+//
+// The hooks run after the node has applied the mutation, so the log is
+// write-behind by one handler invocation: a crash between apply and
+// append can lose that one batch locally. That gap is exactly what §6
+// digest anti-entropy closes on rejoin — the replicas that acked the
+// same batch re-ship it — which is why the restart experiment measures
+// repair bytes after recovery rather than assuming zero. Deletes of
+// values that were never present locally leave a tombstone without a
+// store change; those fire no hook and are durable only from the next
+// snapshot onward.
+
+// NewDurablePeer wraps a fresh overlay node with mediation behaviour,
+// loads the recovered state from rec into it (a nil rec or an empty
+// recovery is a cold start), and attaches the log so all further
+// mutations are appended. The node must not be serving traffic yet.
+func NewDurablePeer(node *pgrid.Node, l *store.Log, rec *store.Recovery) (*Peer, error) {
+	p := NewPeer(node)
+	if rec != nil {
+		if err := p.RestoreFromRecovery(rec); err != nil {
+			return nil, err
+		}
+	}
+	p.AttachLog(l)
+	return p, nil
+}
+
+// RestoreFromRecovery loads a store.Open recovery into the peer: the
+// snapshot items and tombstones plus the replayed WAL mutations go
+// into the overlay store (quietly — no hooks, no replication), and the
+// relational mirror is rebuilt from the restored store. Must run on a
+// fresh peer before it serves traffic.
+func (p *Peer) RestoreFromRecovery(rec *store.Recovery) error {
+	items := make([]pgrid.SubtreeItem, len(rec.SnapshotItems))
+	for i, e := range rec.SnapshotItems {
+		items[i] = pgrid.SubtreeItem{Key: e.Key, Value: e.Value}
+	}
+	tombs := make([]pgrid.Tombstone, len(rec.SnapshotTombs))
+	for i, e := range rec.SnapshotTombs {
+		tombs[i] = pgrid.Tombstone{Key: e.Key, Value: e.Value}
+	}
+	muts := make([]pgrid.StoreMutation, len(rec.WAL))
+	for i, e := range rec.WAL {
+		k, err := keyspace.ParseKey(e.Key)
+		if err != nil {
+			return fmt.Errorf("mediation: recovered WAL entry %d has bad key %q: %w", i, e.Key, err)
+		}
+		op := pgrid.OpInsert
+		if e.Op == store.OpDelete {
+			op = pgrid.OpDelete
+		}
+		muts[i] = pgrid.StoreMutation{Op: op, Key: k, Value: e.Value}
+	}
+	p.node.RestoreState(items, tombs, muts)
+
+	// Rebuild the relational mirror: every triple value in the restored
+	// overlay store belongs in it, and set-semantic inserts collapse the
+	// up-to-three key copies of each triple to one row.
+	restored, _ := p.node.DumpState()
+	var ts []triple.Triple
+	for _, it := range restored {
+		if t, ok := it.Value.(triple.Triple); ok {
+			ts = append(ts, t)
+		}
+	}
+	p.db.InsertBatch(ts)
+	// Warm the stats cache once over the recovered state so the peer can
+	// republish stats digests immediately.
+	p.db.Stats()
+	return nil
+}
+
+// AttachLog makes the peer durable: every subsequent overlay-store
+// mutation is appended to l (one hook invocation = one record), and
+// l's snapshot source is wired to the node's full store dump. Append
+// failures are sticky in the log — the peer keeps serving from memory,
+// and LogErr exposes the degradation.
+func (p *Peer) AttachLog(l *store.Log) {
+	l.SetSnapshotSource(func() (items, tombs []store.Entry) {
+		si, st := p.node.DumpState()
+		items = make([]store.Entry, len(si))
+		for i, it := range si {
+			items[i] = store.Entry{Op: store.OpInsert, Key: it.Key, Value: it.Value}
+		}
+		tombs = make([]store.Entry, len(st))
+		for i, tb := range st {
+			tombs[i] = store.Entry{Op: store.OpDelete, Key: tb.Key, Value: tb.Value}
+		}
+		return items, tombs
+	})
+	p.walMu.Lock()
+	p.wal = l
+	p.walMu.Unlock()
+}
+
+// LogErr returns the attached log's sticky error: non-nil means some
+// mutation could not be made durable and the on-disk state is behind
+// the in-memory one. Nil when no log is attached.
+func (p *Peer) LogErr() error {
+	p.walMu.RLock()
+	l := p.wal
+	p.walMu.RUnlock()
+	if l == nil {
+		return nil
+	}
+	return l.Err()
+}
+
+// logMutations appends one observed hook invocation as one WAL record.
+func (p *Peer) logMutations(muts []pgrid.StoreMutation) {
+	p.walMu.RLock()
+	l := p.wal
+	p.walMu.RUnlock()
+	if l == nil || len(muts) == 0 {
+		return
+	}
+	entries := make([]store.Entry, len(muts))
+	for i, m := range muts {
+		op := store.OpInsert
+		if m.Op == pgrid.OpDelete {
+			op = store.OpDelete
+		}
+		entries[i] = store.Entry{Op: op, Key: m.Key.String(), Value: m.Value}
+	}
+	if l.Append(entries) != nil {
+		return // sticky; surfaced via LogErr
+	}
+	l.MaybeSnapshot()
+}

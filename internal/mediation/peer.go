@@ -15,6 +15,7 @@ import (
 	"gridvine/internal/keyspace"
 	"gridvine/internal/pgrid"
 	"gridvine/internal/schema"
+	"gridvine/internal/store"
 	"gridvine/internal/triple"
 )
 
@@ -23,8 +24,13 @@ import (
 // node is responsible for — and the mediation operations.
 type Peer struct {
 	node  *pgrid.Node
-	db    *triple.DB
+	db    triple.Driver
 	depth int
+
+	// walMu guards wal, the durable mutation log attached by AttachLog
+	// (nil for a purely in-memory peer). See durable.go.
+	walMu sync.RWMutex
+	wal   *store.Log
 
 	// statsMu guards statsCache, the per-schema aggregates of published
 	// statistics digests this peer has fetched (see stats.go).
@@ -72,13 +78,19 @@ func (d DomainDegree) Replaces(old any) bool {
 	return ok && o.Schema == d.Schema
 }
 
-// NewPeer wraps an overlay node with mediation-layer behaviour. It
-// registers the node's query handler and store hook; one node must back at
-// most one Peer.
+// NewPeer wraps an overlay node with mediation-layer behaviour, backed by
+// the in-memory triple store. It registers the node's query handler and
+// store hooks; one node must back at most one Peer.
 func NewPeer(node *pgrid.Node) *Peer {
-	p := &Peer{node: node, db: triple.NewDB(), depth: keyspace.DefaultDepth}
-	node.SetStoreHook(p.onStoreChange)
-	node.SetBatchStoreHook(p.onStoreBatch)
+	return NewPeerWithDriver(node, triple.NewDB())
+}
+
+// NewPeerWithDriver is NewPeer over an explicit storage driver — the
+// in-memory triple.DB or a durable store.DurableDB.
+func NewPeerWithDriver(node *pgrid.Node, drv triple.Driver) *Peer {
+	p := &Peer{node: node, db: drv, depth: keyspace.DefaultDepth}
+	node.SetStoreHook(p.hookStoreChange)
+	node.SetBatchStoreHook(p.hookStoreBatch)
 	node.SetQueryHandler(p.handleQuery)
 	return p
 }
@@ -88,7 +100,22 @@ func (p *Peer) Node() *pgrid.Node { return p.node }
 
 // DB returns the peer's local triple database (the triples this peer is
 // responsible for).
-func (p *Peer) DB() *triple.DB { return p.db }
+func (p *Peer) DB() triple.Driver { return p.db }
+
+// hookStoreChange is the node's StoreHook: it logs the mutation to the
+// attached durable log (if any), then mirrors it into the relational
+// view.
+func (p *Peer) hookStoreChange(op pgrid.Op, key keyspace.Key, value any) {
+	p.logMutations([]pgrid.StoreMutation{{Op: op, Key: key, Value: value}})
+	p.onStoreChange(op, key, value)
+}
+
+// hookStoreBatch is the node's BatchStoreHook: the whole batch becomes
+// one durable log record before it is mirrored.
+func (p *Peer) hookStoreBatch(muts []pgrid.StoreMutation) {
+	p.logMutations(muts)
+	p.onStoreBatch(muts)
+}
 
 // GUID builds a globally unique identifier for a local resource name,
 // concatenating the peer's overlay path with a hash of the local

@@ -1,0 +1,63 @@
+package pgrid
+
+import "sort"
+
+// DumpState returns the node's full local store — live (key, value)
+// items plus retained deletion tombstones — in deterministic key
+// order, for use as a durable snapshot source. Routing state (refs,
+// replicas) is deliberately excluded: it is rediscovered on rejoin,
+// while store content is what a crash must not lose.
+func (n *Node) DumpState() (items []SubtreeItem, tombs []Tombstone) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	keys := make([]string, 0, len(n.store))
+	for k := range n.store {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, v := range n.store[k] {
+			items = append(items, SubtreeItem{Key: k, Value: v})
+		}
+	}
+	tkeys := make([]string, 0, len(n.tombs))
+	for k := range n.tombs {
+		tkeys = append(tkeys, k)
+	}
+	sort.Strings(tkeys)
+	for _, k := range tkeys {
+		for _, t := range n.tombs[k] {
+			tombs = append(tombs, Tombstone{Key: k, Value: t.value})
+		}
+	}
+	return items, tombs
+}
+
+// RestoreState loads recovered durable state into the node: snapshot
+// items and tombstones first, then logged mutations replayed in append
+// order. The apply is quiet — no store hooks fire and nothing
+// replicates, because the state is already durable locally and the
+// caller rebuilds any derived views itself. Replay is idempotent
+// (duplicate inserts collapse, deletes of absent values only refresh
+// their tombstone), so a mutation a snapshot already absorbed is
+// harmless. Must run before the node starts serving traffic.
+func (n *Node) RestoreState(items []SubtreeItem, tombs []Tombstone, muts []StoreMutation) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, it := range items {
+		n.insertLocked(it.Key, it.Value)
+	}
+	for _, tb := range tombs {
+		n.recordTombLocked(tb.Key, tb.Value)
+	}
+	for _, m := range muts {
+		key := m.Key.String()
+		switch m.Op {
+		case OpInsert:
+			n.insertLocked(key, m.Value)
+		case OpDelete:
+			n.recordTombLocked(key, m.Value)
+			n.deleteLocked(key, m.Value)
+		}
+	}
+}

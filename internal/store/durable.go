@@ -1,0 +1,192 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+
+	"gridvine/internal/triple"
+)
+
+// DurableDB is the durable triple.Driver: an in-memory triple.DB kept
+// consistent with a write-ahead Log. Writes are WAL-ahead — the batch
+// is framed, appended, and fsynced before it touches memory — so a
+// mutation the caller saw acknowledged (non-zero return with a nil
+// Err) survives any crash. Reads are served entirely from memory.
+//
+// Durability failures are sticky: once an append fails, every further
+// write is refused (returning 0/false) and Err reports the cause.
+// Callers that need the distinction between "no-op write" and "store
+// refused" check Err.
+type DurableDB struct {
+	// mu serializes writes so the WAL record order is exactly the
+	// in-memory apply order: what recovery rebuilds is the state the
+	// writers produced, even under concurrent conflicting batches.
+	// Reads bypass it entirely (the in-memory store has its own
+	// shard locks), and appends were serialized at the log anyway.
+	mu  sync.Mutex
+	mem *triple.DB
+	log *Log
+}
+
+var _ triple.Driver = (*DurableDB)(nil)
+
+// OpenDB opens (or creates) a durable triple store in dir, replaying
+// the snapshot and WAL tail into memory. The returned Recovery says
+// what was found — replayed records, truncated tail bytes, last
+// sequence.
+func OpenDB(fsys FS, dir string, opts Options) (*DurableDB, *Recovery, error) {
+	log, rec, err := Open(fsys, dir, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	mem := triple.NewDB()
+	if err := replayTriples(mem, rec.SnapshotItems); err != nil {
+		return nil, nil, err
+	}
+	if err := replayTriples(mem, rec.WAL); err != nil {
+		return nil, nil, err
+	}
+	d := &DurableDB{mem: mem, log: log}
+	log.SetSnapshotSource(d.snapshotSource)
+	// Warm the stats cache once for the whole recovered state, so a
+	// freshly restarted peer republishes stats without a second scan.
+	d.mem.Stats()
+	return d, rec, nil
+}
+
+// replayTriples applies recovered entries to the in-memory store.
+// Replay is idempotent: inserts and deletes are set-semantic, so a
+// record that partially overlaps a snapshot re-applies harmlessly.
+func replayTriples(mem *triple.DB, entries []Entry) error {
+	var ins, del []triple.Triple
+	flush := func() {
+		mem.InsertBatch(ins)
+		mem.DeleteBatch(del)
+		ins, del = ins[:0], del[:0]
+	}
+	for _, e := range entries {
+		t, ok := e.Value.(triple.Triple)
+		if !ok {
+			return fmt.Errorf("store: WAL entry holds %T, want triple.Triple", e.Value)
+		}
+		switch e.Op {
+		case OpInsert:
+			if len(del) > 0 {
+				flush()
+			}
+			ins = append(ins, t)
+		case OpDelete:
+			if len(ins) > 0 {
+				flush()
+			}
+			del = append(del, t)
+		default:
+			return fmt.Errorf("store: WAL entry has unknown op %d", e.Op)
+		}
+	}
+	flush()
+	return nil
+}
+
+// snapshotSource dumps the full in-memory state for a snapshot. The
+// triple store needs no tombstones: the WAL and snapshot fully define
+// local content, and overlay-level reconciliation happens above the
+// driver.
+func (d *DurableDB) snapshotSource() (items, tombs []Entry) {
+	all := d.mem.AllSorted()
+	items = make([]Entry, len(all))
+	for i, t := range all {
+		items[i] = Entry{Op: OpInsert, Value: t}
+	}
+	return items, nil
+}
+
+// logBatch appends one batch record; a nil return is the durability
+// ack that permits applying it to memory.
+func (d *DurableDB) logBatch(op Op, ts []triple.Triple) bool {
+	if len(ts) == 0 {
+		return true
+	}
+	entries := make([]Entry, len(ts))
+	for i, t := range ts {
+		entries[i] = Entry{Op: op, Value: t}
+	}
+	return d.log.Append(entries) == nil
+}
+
+// Insert implements triple.Driver (a one-triple batch record).
+func (d *DurableDB) Insert(t triple.Triple) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.logBatch(OpInsert, []triple.Triple{t}) {
+		return false
+	}
+	ok := d.mem.Insert(t)
+	d.log.MaybeSnapshot()
+	return ok
+}
+
+// Delete implements triple.Driver.
+func (d *DurableDB) Delete(t triple.Triple) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.logBatch(OpDelete, []triple.Triple{t}) {
+		return false
+	}
+	ok := d.mem.Delete(t)
+	d.log.MaybeSnapshot()
+	return ok
+}
+
+// InsertBatch implements triple.Driver: one WAL record per batch.
+func (d *DurableDB) InsertBatch(ts []triple.Triple) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.logBatch(OpInsert, ts) {
+		return 0
+	}
+	n := d.mem.InsertBatch(ts)
+	d.log.MaybeSnapshot()
+	return n
+}
+
+// DeleteBatch implements triple.Driver.
+func (d *DurableDB) DeleteBatch(ts []triple.Triple) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.logBatch(OpDelete, ts) {
+		return 0
+	}
+	n := d.mem.DeleteBatch(ts)
+	d.log.MaybeSnapshot()
+	return n
+}
+
+// Reads delegate to the in-memory store.
+
+func (d *DurableDB) Has(t triple.Triple) bool   { return d.mem.Has(t) }
+func (d *DurableDB) Len() int                   { return d.mem.Len() }
+func (d *DurableDB) All() []triple.Triple       { return d.mem.All() }
+func (d *DurableDB) AllSorted() []triple.Triple { return d.mem.AllSorted() }
+
+func (d *DurableDB) Select(q triple.Pattern) []triple.Triple       { return d.mem.Select(q) }
+func (d *DurableDB) SelectSorted(q triple.Pattern) []triple.Triple { return d.mem.SelectSorted(q) }
+func (d *DurableDB) SelectBindings(q triple.Pattern) []triple.Bindings {
+	return d.mem.SelectBindings(q)
+}
+
+func (d *DurableDB) DistinctValues(pred string, pos triple.Position) []string {
+	return d.mem.DistinctValues(pred, pos)
+}
+func (d *DurableDB) Predicates() []string  { return d.mem.Predicates() }
+func (d *DurableDB) Stats() triple.Stats   { return d.mem.Stats() }
+func (d *DurableDB) ContentDigest() uint64 { return d.mem.ContentDigest() }
+
+// Err returns the sticky durability error, if any.
+func (d *DurableDB) Err() error { return d.log.Err() }
+
+// Snapshot forces a snapshot + WAL truncation now.
+func (d *DurableDB) Snapshot() error { return d.log.Snapshot() }
+
+// Close closes the underlying log.
+func (d *DurableDB) Close() error { return d.log.Close() }

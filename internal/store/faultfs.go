@@ -1,0 +1,335 @@
+package store
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// FaultFS is a deterministic in-memory FS with seeded crash injection,
+// the storage counterpart of simnet.FaultPlan. Every mutating call
+// (create, write, sync, rename, remove, truncate, mkdir, dir-sync) is
+// one numbered operation; CrashAt arms a kill at the k-th such op.
+//
+// Crash semantics distinguish what each file had synced from what was
+// merely written:
+//
+//   - synced bytes (written before a Sync that returned nil) always
+//     survive;
+//   - in a clean ("process death") crash, completed writes survive too
+//     and the crashing op simply has no effect — the OS page cache
+//     outlives the process;
+//   - in a torn ("power loss") crash, every file's unsynced tail is
+//     cut to a seeded-random prefix, the crashing write itself may
+//     land a partial prefix, and one bit of the surviving unsynced
+//     region may flip.
+//
+// At and after the crash point every operation returns ErrCrashed.
+// CrashedView then yields a fresh FaultFS holding the post-crash disk
+// image, which recovery is run against. With no crash armed, FaultFS
+// is simply a deterministic in-memory filesystem (see NewMemFS).
+type FaultFS struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	files   map[string]*faultFile
+	dirs    map[string]bool
+	ops     int
+	crashAt int // 0 = disarmed; crash when the counter reaches this op
+	torn    bool
+	crashed bool
+}
+
+type faultFile struct {
+	synced  []byte
+	pending []byte // written since the last successful Sync
+}
+
+func (f *faultFile) bytes() []byte {
+	out := make([]byte, 0, len(f.synced)+len(f.pending))
+	out = append(out, f.synced...)
+	return append(out, f.pending...)
+}
+
+// NewFaultFS returns an empty in-memory filesystem whose torn-write
+// choices are driven by the given seed.
+func NewFaultFS(seed int64) *FaultFS {
+	return &FaultFS{
+		rng:   rand.New(rand.NewSource(seed)),
+		files: map[string]*faultFile{},
+		dirs:  map[string]bool{},
+	}
+}
+
+// NewMemFS returns a deterministic in-memory FS with no crash armed —
+// the fast backend for tests and experiments that don't need fsync
+// latency or fault injection.
+func NewMemFS() *FaultFS { return NewFaultFS(0) }
+
+// CrashAt arms a crash at the op-th mutating operation (1-based,
+// counted from now on top of Ops()). torn selects power-loss
+// semantics; false models a process death where completed writes
+// survive.
+func (f *FaultFS) CrashAt(op int, torn bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAt = f.ops + op
+	f.torn = torn
+}
+
+// Ops returns the number of mutating operations executed so far. A
+// clean run's total defines the crash-matrix size.
+func (f *FaultFS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Crashed reports whether the armed crash has fired.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// CrashedView returns the post-crash disk image as a fresh FaultFS
+// with no crash armed: synced bytes plus whatever unsynced tail
+// survived, per the crash mode. It is what a recovering process would
+// find on disk.
+func (f *FaultFS) CrashedView() *FaultFS {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	view := NewFaultFS(f.rng.Int63())
+	for name, file := range f.files {
+		view.files[name] = &faultFile{synced: file.bytes()}
+	}
+	for dir := range f.dirs {
+		view.dirs[dir] = true
+	}
+	return view
+}
+
+// checkOp counts one mutating operation and fires the armed crash when
+// its op number comes up. Callers hold f.mu. The returned error is
+// ErrCrashed at and after the crash point; crashing reports whether
+// THIS op is the one dying (so Write can land a torn prefix first).
+func (f *FaultFS) checkOp() (crashing bool, err error) {
+	if f.crashed {
+		return false, ErrCrashed
+	}
+	f.ops++
+	if f.crashAt > 0 && f.ops >= f.crashAt {
+		return true, nil
+	}
+	return false, nil
+}
+
+// crash applies the armed crash mode to every file's unsynced tail and
+// marks the filesystem dead.
+func (f *FaultFS) crash() {
+	f.crashed = true
+	if !f.torn {
+		// Process death: the page cache survives, completed writes are
+		// all retained.
+		for _, file := range f.files {
+			file.synced = file.bytes()
+			file.pending = nil
+		}
+		return
+	}
+	// Power loss: each unsynced tail survives only as a random prefix,
+	// and one bit of what survives may flip.
+	for _, file := range f.files {
+		if n := len(file.pending); n > 0 {
+			keep := f.rng.Intn(n + 1)
+			file.pending = file.pending[:keep]
+			if keep > 0 && f.rng.Intn(2) == 0 {
+				i := f.rng.Intn(keep)
+				file.pending[i] ^= 1 << uint(f.rng.Intn(8))
+			}
+		}
+		file.synced = file.bytes()
+		file.pending = nil
+	}
+}
+
+func (f *FaultFS) MkdirAll(dir string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	crashing, err := f.checkOp()
+	if err != nil || crashing {
+		if crashing {
+			f.crash()
+		}
+		return ErrCrashed
+	}
+	f.dirs[dir] = true
+	return nil
+}
+
+func (f *FaultFS) Create(name string) (File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	crashing, err := f.checkOp()
+	if err != nil || crashing {
+		if crashing {
+			f.crash()
+		}
+		return nil, ErrCrashed
+	}
+	file := &faultFile{}
+	f.files[name] = file
+	return &faultHandle{fs: f, file: file}, nil
+}
+
+func (f *FaultFS) Append(name string) (File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	crashing, err := f.checkOp()
+	if err != nil || crashing {
+		if crashing {
+			f.crash()
+		}
+		return nil, ErrCrashed
+	}
+	file, ok := f.files[name]
+	if !ok {
+		file = &faultFile{}
+		f.files[name] = file
+	}
+	return &faultHandle{fs: f, file: file}, nil
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrCrashed
+	}
+	file, ok := f.files[name]
+	if !ok {
+		return nil, notExist(name)
+	}
+	return file.bytes(), nil
+}
+
+func (f *FaultFS) Rename(oldname, newname string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	crashing, err := f.checkOp()
+	if err != nil || crashing {
+		if crashing {
+			f.crash()
+		}
+		return ErrCrashed
+	}
+	file, ok := f.files[oldname]
+	if !ok {
+		return notExist(oldname)
+	}
+	delete(f.files, oldname)
+	f.files[newname] = file
+	return nil
+}
+
+func (f *FaultFS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	crashing, err := f.checkOp()
+	if err != nil || crashing {
+		if crashing {
+			f.crash()
+		}
+		return ErrCrashed
+	}
+	if _, ok := f.files[name]; !ok {
+		return notExist(name)
+	}
+	delete(f.files, name)
+	return nil
+}
+
+func (f *FaultFS) Truncate(name string, size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	crashing, err := f.checkOp()
+	if err != nil || crashing {
+		if crashing {
+			f.crash()
+		}
+		return ErrCrashed
+	}
+	file, ok := f.files[name]
+	if !ok {
+		return notExist(name)
+	}
+	b := file.bytes()
+	if int64(len(b)) > size {
+		b = b[:size]
+	}
+	file.synced = b
+	file.pending = nil
+	return nil
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	crashing, err := f.checkOp()
+	if err != nil || crashing {
+		if crashing {
+			f.crash()
+		}
+		return ErrCrashed
+	}
+	return nil
+}
+
+// faultHandle is an open FaultFS file.
+type faultHandle struct {
+	fs   *FaultFS
+	file *faultFile
+}
+
+func (h *faultHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	crashing, err := h.fs.checkOp()
+	if err != nil {
+		return 0, err
+	}
+	if crashing {
+		if h.fs.torn {
+			// The dying write may land any prefix of its buffer; the
+			// crash pass below then decides how much of the whole
+			// unsynced tail survives.
+			h.file.pending = append(h.file.pending, p[:h.fs.rng.Intn(len(p)+1)]...)
+		}
+		h.fs.crash()
+		return 0, ErrCrashed
+	}
+	h.file.pending = append(h.file.pending, p...)
+	return len(p), nil
+}
+
+func (h *faultHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	crashing, err := h.fs.checkOp()
+	if err != nil || crashing {
+		if crashing {
+			h.fs.crash()
+		}
+		return ErrCrashed
+	}
+	h.file.synced = h.file.bytes()
+	h.file.pending = nil
+	return nil
+}
+
+func (h *faultHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.crashed {
+		return ErrCrashed
+	}
+	return nil
+}

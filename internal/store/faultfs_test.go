@@ -1,0 +1,73 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestFaultFSDeterminism: identical seeds and op sequences produce
+// byte-identical post-crash images — the property the crash matrix
+// relies on for reproducible failures.
+func TestFaultFSDeterminism(t *testing.T) {
+	run := func() []byte {
+		fs := NewFaultFS(7)
+		fs.CrashAt(4, true)
+		f, _ := fs.Create("x")                          // op 1
+		f.Write([]byte("synced-part"))                  // op 2
+		f.Sync()                                        // op 3
+		f.Write([]byte("unsynced tail that will tear")) // op 4: crash
+		view := fs.CrashedView()
+		data, err := view.ReadFile("x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed diverged: %q vs %q", a, b)
+	}
+	if !bytes.HasPrefix(a, []byte("synced-part")) {
+		t.Fatalf("synced data lost in torn crash: %q", a)
+	}
+}
+
+// TestFaultFSCleanCrashKeepsCompletedWrites: process-death semantics —
+// completed but unsynced writes survive, the dying op has no effect.
+func TestFaultFSCleanCrashKeepsCompletedWrites(t *testing.T) {
+	fs := NewFaultFS(1)
+	f, _ := fs.Create("x")
+	f.Write([]byte("completed"))
+	fs.CrashAt(1, false)
+	if _, err := f.Write([]byte("dying")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crashing write returned %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatal("post-crash ops must fail")
+	}
+	data, err := fs.CrashedView().ReadFile("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "completed" {
+		t.Fatalf("clean crash image = %q, want %q", data, "completed")
+	}
+}
+
+// TestFaultFSOpsCounting: the op counter covers every mutating call so
+// the crash matrix can enumerate all boundaries.
+func TestFaultFSOpsCounting(t *testing.T) {
+	fs := NewFaultFS(1)
+	fs.MkdirAll("d")         // 1
+	f, _ := fs.Create("d/x") // 2
+	f.Write([]byte("hello")) // 3
+	f.Sync()                 // 4
+	fs.Rename("d/x", "d/y")  // 5
+	fs.Truncate("d/y", 2)    // 6
+	fs.SyncDir("d")          // 7
+	fs.Remove("d/y")         // 8
+	if got := fs.Ops(); got != 8 {
+		t.Fatalf("Ops() = %d, want 8", got)
+	}
+}

@@ -1,0 +1,341 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"sync"
+)
+
+// Log file layout inside a log directory.
+const (
+	walFile  = "wal.log"
+	snapFile = "snapshot.gob"
+	tmpFile  = "snapshot.tmp"
+)
+
+// Options tunes a Log.
+type Options struct {
+	// SnapshotEvery is the number of appended records after which
+	// MaybeSnapshot takes a snapshot and truncates the WAL. 0 selects
+	// the default (256); negative disables automatic snapshots.
+	SnapshotEvery int
+}
+
+const defaultSnapshotEvery = 256
+
+// Recovery is what Open found on disk: the last snapshot's state plus
+// every WAL record appended after it, already checksum-verified and
+// sequence-validated. The caller replays SnapshotItems/SnapshotTombs
+// first, then WAL in order; replay is idempotent (set-semantic inserts
+// and deletes), so a record the snapshot already absorbed would be
+// harmless — but Seq bookkeeping skips those outright.
+type Recovery struct {
+	SnapshotItems  []Entry // live items from the snapshot (OpInsert)
+	SnapshotTombs  []Entry // tombstones from the snapshot (OpDelete)
+	WAL            []Entry // post-snapshot mutations in append order
+	Records        int     // WAL records replayed
+	TruncatedBytes int     // corrupt/torn tail bytes cut from the WAL
+	LastSeq        uint64  // highest record sequence recovered
+}
+
+// snapshotRecord is the snapshot file's payload: the full store state
+// as of record sequence Seq, framed and checksummed exactly like a WAL
+// record.
+type snapshotRecord struct {
+	Seq   uint64
+	Items []Entry
+	Tombs []Entry
+}
+
+// Log is a write-ahead log with periodic snapshots. Append durably
+// writes one checksummed record (write + fsync) and is the ack
+// boundary: a batch whose Append returned nil survives any crash; a
+// batch whose Append failed may or may not have landed, and recovery
+// reports what it actually found.
+//
+// Errors are sticky: after any append/snapshot failure the Log refuses
+// further writes and Err returns the cause — a store that can no
+// longer guarantee durability must stop acking, not limp on.
+//
+// Callers must invoke MaybeSnapshot/Snapshot only at points where the
+// snapshot source reflects every record appended so far (the
+// apply-then-snapshot discipline), otherwise a snapshot could claim a
+// Seq whose data it doesn't contain.
+type Log struct {
+	mu        sync.Mutex
+	fs        FS
+	dir       string
+	wal       File
+	seq       uint64
+	sinceSnap int
+	snapEvery int
+	source    func() (items, tombs []Entry)
+	err       error
+	closed    bool
+}
+
+// Open opens (or creates) the log directory, removes any half-written
+// snapshot temp file, loads the newest snapshot, replays the WAL tail
+// — truncating it at the first record that is short, checksum-corrupt,
+// or out of sequence — and leaves the WAL open for appending.
+func Open(fsys FS, dir string, opts Options) (*Log, *Recovery, error) {
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, nil, fmt.Errorf("store: mkdir %s: %w", dir, err)
+	}
+	if err := fsys.Remove(filepath.Join(dir, tmpFile)); err != nil && !errors.Is(err, fs.ErrNotExist) && !errors.Is(err, ErrCrashed) {
+		return nil, nil, fmt.Errorf("store: clear snapshot temp: %w", err)
+	}
+
+	rec := &Recovery{}
+	var snapSeq uint64
+	snapPath := filepath.Join(dir, snapFile)
+	if data, err := fsys.ReadFile(snapPath); err == nil {
+		snap, derr := decodeSnapshot(data)
+		if derr != nil {
+			// A crash cannot produce a corrupt snapshot (it is written
+			// to a temp file, synced, then atomically renamed), so
+			// this is real corruption — surface it, don't guess.
+			return nil, nil, fmt.Errorf("store: snapshot %s: %w", snapPath, derr)
+		}
+		snapSeq = snap.Seq
+		rec.SnapshotItems = snap.Items
+		rec.SnapshotTombs = snap.Tombs
+		rec.LastSeq = snap.Seq
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return nil, nil, fmt.Errorf("store: read snapshot: %w", err)
+	}
+
+	walPath := filepath.Join(dir, walFile)
+	data, err := fsys.ReadFile(walPath)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, nil, fmt.Errorf("store: read WAL: %w", err)
+	}
+	recs, goodLen, decErr := DecodeRecords(data)
+	// Walk the records, skipping those the snapshot already covers and
+	// cutting at the first sequence violation (which only tampering or
+	// undetected corruption could produce — cheap insurance).
+	lastSeq := snapSeq
+	for i, r := range recs {
+		if r.Seq <= snapSeq {
+			continue
+		}
+		if r.Seq != lastSeq+1 {
+			goodLen = recordOffset(data, i)
+			decErr = fmt.Errorf("%w: sequence gap (%d after %d)", errBadRecord, r.Seq, lastSeq)
+			break
+		}
+		lastSeq = r.Seq
+		rec.WAL = append(rec.WAL, r.Entries...)
+		rec.Records++
+	}
+	if goodLen < len(data) {
+		rec.TruncatedBytes = len(data) - goodLen
+		if err := fsys.Truncate(walPath, int64(goodLen)); err != nil {
+			return nil, nil, fmt.Errorf("store: truncate corrupt WAL tail: %w", err)
+		}
+	} else if decErr != nil {
+		return nil, nil, fmt.Errorf("store: WAL decode: %w", decErr)
+	}
+	rec.LastSeq = lastSeq
+
+	wal, err := fsys.Append(walPath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: open WAL for append: %w", err)
+	}
+	snapEvery := opts.SnapshotEvery
+	if snapEvery == 0 {
+		snapEvery = defaultSnapshotEvery
+	}
+	l := &Log{
+		fs:        fsys,
+		dir:       dir,
+		wal:       wal,
+		seq:       lastSeq,
+		sinceSnap: rec.Records,
+		snapEvery: snapEvery,
+	}
+	return l, rec, nil
+}
+
+// recordOffset returns the byte offset of the i-th record in data.
+// data is known to decode cleanly through at least i records.
+func recordOffset(data []byte, i int) int {
+	off := 0
+	for ; i > 0; i-- {
+		n := int(uint32(data[off]) | uint32(data[off+1])<<8 | uint32(data[off+2])<<16 | uint32(data[off+3])<<24)
+		off += frameHeader + n
+	}
+	return off
+}
+
+func decodeSnapshot(data []byte) (snapshotRecord, error) {
+	recs, _, err := DecodeRecords(data)
+	if err != nil {
+		return snapshotRecord{}, err
+	}
+	if len(recs) != 1 {
+		return snapshotRecord{}, fmt.Errorf("%w: snapshot holds %d records, want 1", errBadRecord, len(recs))
+	}
+	var snap snapshotRecord
+	snap.Seq = recs[0].Seq
+	for _, e := range recs[0].Entries {
+		switch e.Op {
+		case OpInsert:
+			snap.Items = append(snap.Items, e)
+		case OpDelete:
+			snap.Tombs = append(snap.Tombs, e)
+		}
+	}
+	return snap, nil
+}
+
+// SetSnapshotSource registers the function that produces the full
+// store state (live items plus tombstones) for snapshots. It must be
+// set before Snapshot/MaybeSnapshot are used; it is called without any
+// Log-external locks held by the Log itself.
+func (l *Log) SetSnapshotSource(fn func() (items, tombs []Entry)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.source = fn
+}
+
+// Append durably logs one batch: frame, write, fsync. A nil return is
+// the durability ack. On failure the error is sticky and all further
+// appends are refused.
+func (l *Log) Append(entries []Entry) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if l.closed {
+		return errors.New("store: log closed")
+	}
+	buf, err := encodeRecord(Record{Seq: l.seq + 1, Entries: entries})
+	if err != nil {
+		l.err = err
+		return err
+	}
+	if _, err := l.wal.Write(buf); err != nil {
+		l.err = fmt.Errorf("store: WAL write: %w", err)
+		return l.err
+	}
+	if err := l.wal.Sync(); err != nil {
+		l.err = fmt.Errorf("store: WAL fsync: %w", err)
+		return l.err
+	}
+	l.seq++
+	l.sinceSnap++
+	return nil
+}
+
+// MaybeSnapshot takes a snapshot if at least SnapshotEvery records
+// accumulated since the last one. Call it after applying an appended
+// batch to the store, so the snapshot source covers it.
+func (l *Log) MaybeSnapshot() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.snapEvery < 0 || l.sinceSnap < l.snapEvery || l.source == nil {
+		return l.err
+	}
+	return l.snapshotLocked()
+}
+
+// Snapshot forces a snapshot and WAL truncation now.
+func (l *Log) Snapshot() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.snapshotLocked()
+}
+
+// snapshotLocked writes the source state to a temp file, syncs it,
+// atomically renames it over the snapshot, syncs the directory, then
+// resets the WAL. A crash anywhere in the sequence leaves either the
+// old snapshot + full WAL or the new snapshot + (possibly stale) WAL —
+// both recover exactly, because stale records are skipped by Seq.
+func (l *Log) snapshotLocked() error {
+	if l.err != nil {
+		return l.err
+	}
+	if l.closed {
+		return errors.New("store: log closed")
+	}
+	if l.source == nil {
+		return errors.New("store: no snapshot source registered")
+	}
+	items, tombs := l.source()
+	entries := make([]Entry, 0, len(items)+len(tombs))
+	entries = append(entries, items...)
+	entries = append(entries, tombs...)
+	buf, err := encodeRecord(Record{Seq: l.seq, Entries: entries})
+	if err != nil {
+		l.err = err
+		return err
+	}
+	fail := func(step string, err error) error {
+		l.err = fmt.Errorf("store: snapshot %s: %w", step, err)
+		return l.err
+	}
+	tmpPath := filepath.Join(l.dir, tmpFile)
+	tmp, err := l.fs.Create(tmpPath)
+	if err != nil {
+		return fail("create temp", err)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		return fail("write temp", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail("sync temp", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fail("close temp", err)
+	}
+	if err := l.fs.Rename(tmpPath, filepath.Join(l.dir, snapFile)); err != nil {
+		return fail("rename", err)
+	}
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		return fail("sync dir", err)
+	}
+	// The snapshot is durable; every WAL record is now ≤ its Seq, so
+	// the log can be reset. A crash before the truncate just leaves
+	// records that replay as no-ops (skipped by Seq).
+	if err := l.wal.Close(); err != nil {
+		return fail("close old WAL", err)
+	}
+	wal, err := l.fs.Create(filepath.Join(l.dir, walFile))
+	if err != nil {
+		return fail("reset WAL", err)
+	}
+	l.wal = wal
+	l.sinceSnap = 0
+	return nil
+}
+
+// Err returns the sticky error, if any. A non-nil Err means some
+// earlier append or snapshot could not be made durable and the log has
+// stopped acking writes.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Seq returns the sequence number of the last appended record.
+func (l *Log) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Close closes the WAL handle. The log cannot be used afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	return l.wal.Close()
+}

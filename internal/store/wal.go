@@ -1,0 +1,116 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Op says what a logged Entry did to the store.
+type Op uint8
+
+const (
+	// OpInsert adds a value (idempotent set insert).
+	OpInsert Op = 1
+	// OpDelete removes a value (idempotent; deletes of absent values
+	// are no-ops on replay).
+	OpDelete Op = 2
+)
+
+// Entry is one logged mutation. Key is the overlay key the value lives
+// under (empty for pure triple-store drivers, where the value itself —
+// a triple.Triple — is the identity). Value must be gob-encodable with
+// its concrete type registered, which every type shipped over the
+// simnet wire already is.
+type Entry struct {
+	Op    Op
+	Key   string
+	Value any
+}
+
+// Record is one WAL record: a batch of entries applied atomically, at
+// exactly the granularity the mediation layer writes (one
+// InsertBatch / DeleteBatch / BatchStoreHook invocation). Seq is
+// assigned monotonically by the Log; a snapshot remembers the last Seq
+// it covers so replay skips records the snapshot already absorbed.
+type Record struct {
+	Seq     uint64
+	Entries []Entry
+}
+
+// Record framing: a fixed 8-byte header — little-endian payload length
+// then CRC32C (Castagnoli) of the payload — followed by the payload, a
+// self-contained gob stream of one Record. Self-contained means a
+// fresh encoder per record: any record can be decoded without the ones
+// before it, so a corrupt record never poisons its predecessors.
+const (
+	frameHeader = 8
+	// maxRecordSize bounds a claimed payload length so a corrupt
+	// header can't drive a giant allocation.
+	maxRecordSize = 1 << 28
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// errBadRecord tags any undecodable tail condition — truncated header,
+// truncated payload, checksum mismatch, or gob garbage. Recovery
+// treats them all the same way: truncate the log at the last good
+// record.
+var errBadRecord = errors.New("store: bad WAL record")
+
+// encodeRecord frames one record for appending.
+func encodeRecord(rec Record) ([]byte, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(rec); err != nil {
+		return nil, fmt.Errorf("store: encode WAL record: %w", err)
+	}
+	if payload.Len() > maxRecordSize {
+		return nil, fmt.Errorf("store: WAL record too large (%d bytes)", payload.Len())
+	}
+	buf := make([]byte, frameHeader+payload.Len())
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(payload.Len()))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload.Bytes(), crcTable))
+	copy(buf[frameHeader:], payload.Bytes())
+	return buf, nil
+}
+
+// DecodeRecords decodes as many whole, checksum-valid records as data
+// holds. It returns them along with goodLen, the byte offset of the
+// first undecodable position — recovery truncates the log there. err
+// is nil on a clean end and errBadRecord-wrapped when trailing bytes
+// had to be discarded; the returned records are valid either way.
+// Every returned record passed its CRC32C check, and no input —
+// truncated, bit-flipped, or arbitrary — can cause a panic or an
+// unbounded allocation.
+func DecodeRecords(data []byte) (recs []Record, goodLen int, err error) {
+	off := 0
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			return recs, off, nil
+		}
+		if len(rest) < frameHeader {
+			return recs, off, fmt.Errorf("%w: truncated header at offset %d", errBadRecord, off)
+		}
+		n := int(binary.LittleEndian.Uint32(rest[0:4]))
+		if n > maxRecordSize {
+			return recs, off, fmt.Errorf("%w: implausible length %d at offset %d", errBadRecord, n, off)
+		}
+		if len(rest) < frameHeader+n {
+			return recs, off, fmt.Errorf("%w: truncated payload at offset %d", errBadRecord, off)
+		}
+		payload := rest[frameHeader : frameHeader+n]
+		if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(rest[4:8]) {
+			return recs, off, fmt.Errorf("%w: checksum mismatch at offset %d", errBadRecord, off)
+		}
+		var rec Record
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+			return recs, off, fmt.Errorf("%w: gob decode at offset %d: %v", errBadRecord, off, err)
+		}
+		recs = append(recs, rec)
+		off += frameHeader + n
+	}
+}

@@ -40,6 +40,14 @@ type shard struct {
 type DB struct {
 	shards [shardCount]shard
 	size   atomic.Int64
+
+	// statsGen counts committed mutations; statsCache holds the last
+	// computed Stats tagged with the generation it was computed at. A
+	// cache hit requires the tags to match, so any intervening mutation
+	// invalidates it without the mutators ever touching the cache
+	// pointer. See Stats.
+	statsGen   atomic.Uint64
+	statsCache atomic.Pointer[cachedStats]
 }
 
 // NewDB returns an empty local triple database.
@@ -88,6 +96,7 @@ func (db *DB) Insert(t Triple) bool {
 	addIndex(s.byObject, t.Object, t)
 	s.mu.Unlock()
 	db.size.Add(1)
+	db.statsGen.Add(1)
 	return true
 }
 
@@ -151,6 +160,7 @@ func (db *DB) applyBatch(ts []Triple, fn func(*shard, Triple) bool, delta int64)
 	}
 	if changed > 0 {
 		db.size.Add(delta * int64(changed))
+		db.statsGen.Add(1)
 	}
 	return changed
 }
@@ -169,6 +179,7 @@ func (db *DB) Delete(t Triple) bool {
 	dropIndex(s.byObject, t.Object, t)
 	s.mu.Unlock()
 	db.size.Add(-1)
+	db.statsGen.Add(1)
 	return true
 }
 

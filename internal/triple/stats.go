@@ -24,12 +24,45 @@ type Stats struct {
 	Predicates []PredicateStats
 }
 
-// Stats digests the database in one pass over the shards. Each shard is
-// observed at a consistent point but the database is not frozen globally —
-// the digest is an estimate by design (it is published, cached, and aged at
-// the planning layer), so cross-shard drift during concurrent writes is
-// acceptable.
+// cachedStats is a computed digest tagged with the mutation generation it
+// was computed at. It is valid only while the generation still matches.
+type cachedStats struct {
+	gen   uint64
+	stats Stats
+}
+
+// Stats digests the database. The digest is cached: it is computed in one
+// pass over the shards, tagged with the current mutation generation, and
+// reused until any Insert/Delete/batch commits — so a freshly recovered
+// peer (or any quiescent store) pays the scan once and republishes from
+// the cache thereafter. Each shard is observed at a consistent point but
+// the database is not frozen globally — the digest is an estimate by
+// design (it is published, cached, and aged at the planning layer), so
+// cross-shard drift during concurrent writes is acceptable.
 func (db *DB) Stats() Stats {
+	if c := db.statsCache.Load(); c != nil && c.gen == db.statsGen.Load() {
+		return c.stats.copyOut()
+	}
+	gen := db.statsGen.Load()
+	s := db.computeStats()
+	// Tagged with the generation read *before* the scan: a mutation that
+	// committed mid-scan bumped the generation, so this entry simply
+	// never hits and the next caller recomputes.
+	db.statsCache.Store(&cachedStats{gen: gen, stats: s})
+	return s.copyOut()
+}
+
+// copyOut returns a Stats whose slice the caller may keep or mutate
+// without aliasing the cached copy.
+func (s Stats) copyOut() Stats {
+	out := s
+	out.Predicates = make([]PredicateStats, len(s.Predicates))
+	copy(out.Predicates, s.Predicates)
+	return out
+}
+
+// computeStats is the uncached one-pass scan behind Stats.
+func (db *DB) computeStats() Stats {
 	type card struct {
 		triples  int
 		subjects map[string]struct{}

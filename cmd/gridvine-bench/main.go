@@ -17,6 +17,7 @@
 //	gridvine-bench -exp N -json BENCH_bulkload.json
 //	gridvine-bench -exp O -json BENCH_churn.json
 //	gridvine-bench -exp P -json BENCH_durability.json
+//	gridvine-bench -exp Q -json BENCH_daemon.json
 //	gridvine-bench -exp A -store .bench-store   # cache the bulk load
 //	gridvine-bench -exp L -cpuprofile cpu.pprof -memprofile mem.pprof
 //
@@ -48,7 +49,7 @@ import (
 type printer interface{ Table() string }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: A,B,C,D,E,G,H,I,J,K,L,M,N,O,P or all")
+	exp := flag.String("exp", "all", "experiment to run: A,B,C,D,E,G,H,I,J,K,L,M,N,O,P,Q or all")
 	quick := flag.Bool("quick", false, "run with scaled-down parameters")
 	seed := flag.Int64("seed", 1, "random seed")
 	parallel := flag.Int("parallel", 1, "reformulation fan-out width for query-heavy experiments (D); 1 keeps message counts exactly reproducible")
@@ -77,9 +78,9 @@ func main() {
 		"B": runB, "C": runC,
 		"D": func(quick bool, seed int64) (any, error) { return runD(quick, seed, *parallel) },
 		"E": runE, "G": runG, "H": runH, "I": runI, "J": runJ, "K": runK, "L": runL, "M": runM, "N": runN,
-		"O": runO, "P": runP,
+		"O": runO, "P": runP, "Q": runQ,
 	}
-	order := []string{"A", "B", "C", "D", "E", "G", "H", "I", "J", "K", "L", "M", "N", "O", "P"}
+	order := []string{"A", "B", "C", "D", "E", "G", "H", "I", "J", "K", "L", "M", "N", "O", "P", "Q"}
 
 	var selected []string
 	if strings.EqualFold(*exp, "all") {
@@ -303,4 +304,15 @@ func runP(quick bool, seed int64) (any, error) {
 		cfg.Peers, cfg.Triples, cfg.BatchSize, cfg.GapWrites, cfg.SnapshotEvery = 12, 200, 25, 50, 16
 	}
 	return experiments.RunDurability(cfg)
+}
+
+func runQ(quick bool, seed int64) (any, error) {
+	header("Q", "daemon cluster: multi-process gridvined under thousand-connection client load")
+	cfg := experiments.DaemonBenchConfig{Seed: seed}
+	if quick {
+		// Still a real 4-process cluster with the full connection pool;
+		// quick only trims the measured window and the preload.
+		cfg.Preload, cfg.Duration = 120, 3*time.Second
+	}
+	return experiments.RunDaemonBench(cfg)
 }

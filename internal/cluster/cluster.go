@@ -1,0 +1,379 @@
+// Package cluster deploys and manages a local multi-process GridVine
+// cluster: N gridvined daemons sharing one cluster directory, each
+// hosting its slice of the deterministic overlay. It is the engine
+// behind `gridvinectl deploy|stop` and the multi-process daemon
+// experiment.
+//
+// The cluster directory is the only coordination medium, so a Cluster
+// handle can be re-attached from a different process than the one
+// that deployed it: the manifest (cluster.json) records the spec and
+// the daemon PIDs, the daemons' address files record where to
+// connect.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"gridvine/internal/daemon"
+	"gridvine/internal/wire"
+)
+
+// Spec describes a cluster to deploy.
+type Spec struct {
+	// Dir is the cluster directory (created if absent). Required.
+	Dir string
+	// BinPath is the gridvined binary to spawn. Required.
+	BinPath string
+	// Daemons is the number of processes (default 4).
+	Daemons int
+	// Peers is the total overlay size (default 16).
+	Peers int
+	// ReplicaFactor is the overlay replication factor (0 = default).
+	ReplicaFactor int
+	// Seed drives deterministic overlay construction.
+	Seed int64
+	// SnapshotEvery is each peer journal's snapshot cadence (0 = default).
+	SnapshotEvery int
+	// ReadyTimeout bounds Deploy's wait for every daemon to serve
+	// (default 60s).
+	ReadyTimeout time.Duration
+	// DrainTimeout is passed to gridvined as its shutdown drain budget
+	// (default 10s).
+	DrainTimeout time.Duration
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Daemons <= 0 {
+		s.Daemons = 4
+	}
+	if s.Peers <= 0 {
+		s.Peers = 16
+	}
+	if s.ReadyTimeout <= 0 {
+		s.ReadyTimeout = 60 * time.Second
+	}
+	if s.DrainTimeout <= 0 {
+		s.DrainTimeout = 10 * time.Second
+	}
+	return s
+}
+
+// Manifest is the on-disk record of a deployed cluster (Dir/cluster.json).
+type Manifest struct {
+	Daemons       int    `json:"daemons"`
+	Peers         int    `json:"peers"`
+	ReplicaFactor int    `json:"replica_factor"`
+	Seed          int64  `json:"seed"`
+	SnapshotEvery int    `json:"snapshot_every"`
+	BinPath       string `json:"bin_path"`
+	DrainMillis   int64  `json:"drain_millis"`
+	PIDs          []int  `json:"pids"`
+}
+
+func manifestPath(dir string) string { return filepath.Join(dir, "cluster.json") }
+
+// ReadManifest loads a deployed cluster's manifest.
+func ReadManifest(dir string) (*Manifest, error) {
+	raw, err := os.ReadFile(manifestPath(dir))
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("cluster: manifest: %w", err)
+	}
+	return &m, nil
+}
+
+func (m *Manifest) write(dir string) error {
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := manifestPath(dir) + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, manifestPath(dir))
+}
+
+// Cluster is a handle on a running cluster. When this process spawned
+// the daemons, their exits are reaped; an attached handle manages the
+// daemons by PID only.
+type Cluster struct {
+	dir    string
+	man    Manifest
+	cmds   []*exec.Cmd     // nil entries for attached daemons
+	exited []chan struct{} // closed when the reaper observed the exit
+}
+
+// Deploy spawns a fresh cluster: stale address files are cleared, the
+// daemons are started with identical overlay parameters, and Deploy
+// returns once every daemon answers a wire Stats probe. Daemon output
+// goes to Dir/logs/daemon-<i>.log.
+func Deploy(spec Spec) (*Cluster, error) {
+	spec = spec.withDefaults()
+	if spec.Dir == "" || spec.BinPath == "" {
+		return nil, fmt.Errorf("cluster: Dir and BinPath are required")
+	}
+	if err := os.MkdirAll(filepath.Join(spec.Dir, "logs"), 0o755); err != nil {
+		return nil, err
+	}
+	// A fresh deploy is authoritative: address files from a previous
+	// (dead) cluster must not satisfy the readiness probe.
+	if err := os.RemoveAll(filepath.Join(spec.Dir, "addrs")); err != nil {
+		return nil, err
+	}
+
+	c := &Cluster{
+		dir: spec.Dir,
+		man: Manifest{
+			Daemons:       spec.Daemons,
+			Peers:         spec.Peers,
+			ReplicaFactor: spec.ReplicaFactor,
+			Seed:          spec.Seed,
+			SnapshotEvery: spec.SnapshotEvery,
+			BinPath:       spec.BinPath,
+			DrainMillis:   spec.DrainTimeout.Milliseconds(),
+			PIDs:          make([]int, spec.Daemons),
+		},
+		cmds:   make([]*exec.Cmd, spec.Daemons),
+		exited: make([]chan struct{}, spec.Daemons),
+	}
+	for i := 0; i < spec.Daemons; i++ {
+		if err := c.spawn(i); err != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), spec.DrainTimeout)
+			c.Stop(ctx) //nolint:errcheck
+			cancel()
+			return nil, err
+		}
+	}
+	if err := c.man.write(spec.Dir); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), spec.ReadyTimeout)
+	defer cancel()
+	if err := c.WaitReady(ctx); err != nil {
+		sctx, scancel := context.WithTimeout(context.Background(), spec.DrainTimeout)
+		c.Stop(sctx) //nolint:errcheck
+		scancel()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Attach re-opens a handle on a cluster deployed by another process.
+func Attach(dir string) (*Cluster, error) {
+	m, err := ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{
+		dir:    dir,
+		man:    *m,
+		cmds:   make([]*exec.Cmd, m.Daemons),
+		exited: make([]chan struct{}, m.Daemons),
+	}, nil
+}
+
+// spawn starts daemon i and installs its reaper.
+func (c *Cluster) spawn(i int) error {
+	logf, err := os.OpenFile(filepath.Join(c.dir, "logs", fmt.Sprintf("daemon-%d.log", i)),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	cmd := exec.Command(c.man.BinPath,
+		"-dir", c.dir,
+		"-index", fmt.Sprint(i),
+		"-daemons", fmt.Sprint(c.man.Daemons),
+		"-peers", fmt.Sprint(c.man.Peers),
+		"-replicas", fmt.Sprint(c.man.ReplicaFactor),
+		"-seed", fmt.Sprint(c.man.Seed),
+		"-snapshot-every", fmt.Sprint(c.man.SnapshotEvery),
+		"-drain-timeout", fmt.Sprintf("%dms", c.man.DrainMillis),
+	)
+	cmd.Stdout = logf
+	cmd.Stderr = logf
+	if err := cmd.Start(); err != nil {
+		logf.Close() //nolint:errcheck
+		return fmt.Errorf("cluster: start daemon %d: %w", i, err)
+	}
+	logf.Close() //nolint:errcheck — the child holds its own descriptor
+	done := make(chan struct{})
+	go func() {
+		cmd.Wait() //nolint:errcheck
+		close(done)
+	}()
+	c.cmds[i] = cmd
+	c.exited[i] = done
+	c.man.PIDs[i] = cmd.Process.Pid
+	return nil
+}
+
+// Addr returns daemon i's wire client address (from its address file).
+func (c *Cluster) Addr(i int) (string, error) {
+	af, err := daemon.ReadAddrFile(c.dir, i)
+	if err != nil {
+		return "", err
+	}
+	return af.ClientAddr, nil
+}
+
+// Addrs returns every daemon's wire client address.
+func (c *Cluster) Addrs() ([]string, error) {
+	addrs := make([]string, c.man.Daemons)
+	for i := range addrs {
+		a, err := c.Addr(i)
+		if err != nil {
+			return nil, err
+		}
+		addrs[i] = a
+	}
+	return addrs, nil
+}
+
+// Daemons returns the cluster size.
+func (c *Cluster) Daemons() int { return c.man.Daemons }
+
+// Dir returns the cluster directory.
+func (c *Cluster) Dir() string { return c.dir }
+
+// PIDs returns the daemons' process IDs.
+func (c *Cluster) PIDs() []int { return append([]int(nil), c.man.PIDs...) }
+
+// WaitReady blocks until every daemon answers a wire Stats probe on
+// its published client address (or ctx fires). A daemon that exited
+// early fails fast with a pointer at its log.
+func (c *Cluster) WaitReady(ctx context.Context) error {
+	for i := 0; i < c.man.Daemons; i++ {
+		for {
+			if err := c.probe(ctx, i); err == nil {
+				break
+			}
+			if c.exited[i] != nil {
+				select {
+				case <-c.exited[i]:
+					return fmt.Errorf("cluster: daemon %d exited during startup — see %s",
+						i, filepath.Join(c.dir, "logs", fmt.Sprintf("daemon-%d.log", i)))
+				default:
+				}
+			}
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("cluster: daemon %d not ready: %w", i, ctx.Err())
+			case <-time.After(50 * time.Millisecond):
+			}
+		}
+	}
+	return nil
+}
+
+func (c *Cluster) probe(ctx context.Context, i int) error {
+	addr, err := c.Addr(i)
+	if err != nil {
+		return err
+	}
+	cl, err := wire.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	st, err := cl.Stats(pctx)
+	if err != nil {
+		return err
+	}
+	if st.Daemon != i {
+		return fmt.Errorf("cluster: address file %d points at daemon %d", i, st.Daemon)
+	}
+	return nil
+}
+
+// StopDaemon sends daemon i a SIGTERM (drain, snapshot, exit) and
+// waits for the process to go away; ctx expiry escalates to SIGKILL.
+func (c *Cluster) StopDaemon(ctx context.Context, i int) error {
+	pid := c.man.PIDs[i]
+	if pid <= 0 {
+		return fmt.Errorf("cluster: daemon %d has no PID", i)
+	}
+	if err := syscall.Kill(pid, syscall.SIGTERM); err != nil {
+		if err == syscall.ESRCH {
+			return nil // already gone
+		}
+		return fmt.Errorf("cluster: signal daemon %d (pid %d): %w", i, pid, err)
+	}
+	for {
+		if c.gone(i) {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			syscall.Kill(pid, syscall.SIGKILL) //nolint:errcheck
+			return fmt.Errorf("cluster: daemon %d (pid %d) did not drain: %w", i, pid, ctx.Err())
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+}
+
+// gone reports whether daemon i's process has exited.
+func (c *Cluster) gone(i int) bool {
+	if c.exited[i] != nil {
+		select {
+		case <-c.exited[i]:
+			return true
+		default:
+			return false
+		}
+	}
+	// Attached handle: the daemon is not our child, poll the PID.
+	return syscall.Kill(c.man.PIDs[i], 0) == syscall.ESRCH
+}
+
+// RestartDaemon respawns a stopped daemon with the cluster's
+// parameters and waits for it to serve again. Address reuse in the
+// daemon keeps the other processes' address books valid.
+func (c *Cluster) RestartDaemon(ctx context.Context, i int) error {
+	if !c.gone(i) {
+		return fmt.Errorf("cluster: daemon %d still running", i)
+	}
+	if err := c.spawn(i); err != nil {
+		return err
+	}
+	if err := c.man.write(c.dir); err != nil {
+		return err
+	}
+	for {
+		if err := c.probe(ctx, i); err == nil {
+			return nil
+		}
+		select {
+		case <-c.exited[i]:
+			return fmt.Errorf("cluster: daemon %d exited during restart — see %s",
+				i, filepath.Join(c.dir, "logs", fmt.Sprintf("daemon-%d.log", i)))
+		case <-ctx.Done():
+			return fmt.Errorf("cluster: daemon %d not ready after restart: %w", i, ctx.Err())
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// Stop drains every daemon. Errors are joined per daemon; a clean
+// cluster stop returns nil.
+func (c *Cluster) Stop(ctx context.Context) error {
+	var firstErr error
+	for i := 0; i < c.man.Daemons; i++ {
+		if err := c.StopDaemon(ctx, i); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,123 @@
+package cluster_test
+
+import (
+	"context"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gridvine/internal/cluster"
+	"gridvine/internal/daemon"
+	"gridvine/internal/loadgen"
+	"gridvine/internal/wire"
+)
+
+// buildGridvined compiles the daemon binary once per test run.
+func buildGridvined(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "gridvined")
+	out, err := exec.Command("go", "build", "-o", bin, "gridvine/cmd/gridvined").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building gridvined: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestClusterDeployLoadRestartStop exercises the whole multi-process
+// lifecycle: deploy, generate load over the wire, SIGTERM+restart one
+// daemon with digest verification, drain the cluster.
+func TestClusterDeployLoadRestartStop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	dir := t.TempDir()
+	c, err := cluster.Deploy(cluster.Spec{
+		Dir:           dir,
+		BinPath:       buildGridvined(t),
+		Daemons:       2,
+		Peers:         8,
+		Seed:          3,
+		SnapshotEvery: 32,
+	})
+	if err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		c.Stop(ctx) //nolint:errcheck
+	}()
+
+	addrs, err := c.Addrs()
+	if err != nil {
+		t.Fatalf("addrs: %v", err)
+	}
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		Addrs:       addrs,
+		Connections: 16,
+		Duration:    time.Second,
+		WriteRatio:  0.5,
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if res.Ops == 0 || res.Writes == 0 {
+		t.Fatalf("load did nothing: %+v", res)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("load against a healthy cluster errored %d times", res.Errors)
+	}
+	if res.QPS <= 0 || res.P99Micros <= 0 {
+		t.Fatalf("load reported no throughput/latency: %+v", res)
+	}
+
+	// SIGTERM + restart: the shutdown-recorded digests must be exactly
+	// what the restarted process serves.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.StopDaemon(ctx, 1); err != nil {
+		t.Fatalf("stop daemon 1: %v", err)
+	}
+	shutdown, err := daemon.ReadDigestsFile(dir, 1)
+	if err != nil {
+		t.Fatalf("shutdown digests: %v", err)
+	}
+	if len(shutdown) == 0 {
+		t.Fatal("daemon 1 recorded no shutdown digests")
+	}
+	if err := c.RestartDaemon(ctx, 1); err != nil {
+		t.Fatalf("restart daemon 1: %v", err)
+	}
+	addr, err := c.Addr(1)
+	if err != nil {
+		t.Fatalf("addr after restart: %v", err)
+	}
+	cl, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial restarted daemon: %v", err)
+	}
+	defer cl.Close()
+	dump, err := cl.Dump(ctx, "")
+	if err != nil {
+		t.Fatalf("dump restarted daemon: %v", err)
+	}
+	if len(dump.Peers) != len(shutdown) {
+		t.Fatalf("restarted daemon hosts %d peers, shut down with %d", len(dump.Peers), len(shutdown))
+	}
+	for _, pd := range dump.Peers {
+		if want := shutdown[pd.ID]; pd.Digest != want {
+			t.Errorf("%s: restarted digest %#x, shutdown digest %#x", pd.ID, pd.Digest, want)
+		}
+	}
+
+	// The restarted daemon serves queries again.
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatalf("stats after restart: %v", err)
+	}
+	if st.Daemon != 1 || st.Draining {
+		t.Fatalf("unexpected stats after restart: %+v", st)
+	}
+}

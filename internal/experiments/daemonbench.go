@@ -1,0 +1,473 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"gridvine/internal/cluster"
+	"gridvine/internal/daemon"
+	"gridvine/internal/loadgen"
+	"gridvine/internal/mediation"
+	"gridvine/internal/pgrid"
+	"gridvine/internal/simnet"
+	"gridvine/internal/triple"
+	"gridvine/internal/wire"
+)
+
+// --- EXP-Q: multi-process daemon cluster under client load --------------
+
+// DaemonBenchConfig parameterizes the deployment-shape benchmark: a real
+// multi-process cluster (one gridvined per daemon, spawned as a child
+// process with its own journals) is preloaded over the wire protocol,
+// checked for result equivalence against an in-process reference network
+// built from the same seed, driven by a large pool of concurrent thin
+// clients, and finally subjected to a SIGTERM of one daemon under load —
+// whose restart must recover a digest-identical store.
+type DaemonBenchConfig struct {
+	Daemons       int           // default 4 gridvined processes
+	Peers         int           // default 16 overlay peers across the cluster
+	ReplicaFactor int           // default 2
+	Connections   int           // default 1000 concurrent client connections
+	Preload       int           // default 300 Bench# triples loaded before measuring
+	Duration      time.Duration // default 10s of sustained load
+	WriteRatio    float64       // default 0.2 of load ops are writes
+	SnapshotEvery int           // default 64 WAL records between snapshots
+	// GridvinedBin is the daemon binary; empty builds it with the go
+	// toolchain into a temp directory.
+	GridvinedBin string
+	// Dir is the cluster directory; empty means a fresh temp directory,
+	// removed when the run ends.
+	Dir  string
+	Seed int64
+}
+
+func (c DaemonBenchConfig) withDefaults() DaemonBenchConfig {
+	if c.Daemons == 0 {
+		c.Daemons = 4
+	}
+	if c.Peers == 0 {
+		c.Peers = 16
+	}
+	if c.ReplicaFactor == 0 {
+		c.ReplicaFactor = 2
+	}
+	if c.Connections == 0 {
+		c.Connections = 1000
+	}
+	if c.Preload == 0 {
+		c.Preload = 300
+	}
+	if c.Duration == 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.WriteRatio == 0 {
+		c.WriteRatio = 0.2
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 64
+	}
+	return c
+}
+
+// DaemonBenchResult carries the figures the CI gate checks: the cluster
+// must sustain load from the full connection pool (QPS > 0, latency
+// percentiles recorded), wire-protocol queries must return exactly what
+// the same overlay answers in-process, and the SIGTERM'd daemon must
+// restart digest-identical.
+type DaemonBenchResult struct {
+	Daemons     int `json:"daemons"`
+	Peers       int `json:"peers"`
+	Preload     int `json:"preload_triples"`
+	Connections int `json:"connections"`
+
+	PreloadMillis float64 `json:"preload_ms"`
+
+	Ops       int64   `json:"ops"`
+	Queries   int64   `json:"queries"`
+	Writes    int64   `json:"writes"`
+	Rows      int64   `json:"rows_streamed"`
+	Errors    int64   `json:"errors"`
+	QPS       float64 `json:"qps"`
+	P50Micros int64   `json:"p50_us"`
+	P99Micros int64   `json:"p99_us"`
+
+	EquivalenceQueries int  `json:"equivalence_queries"`
+	RowsMatchInprocess bool `json:"rows_match_inprocess"`
+
+	RestartedDaemon    int  `json:"restarted_daemon"`
+	RestartDigestMatch bool `json:"restart_digest_match"`
+}
+
+// Table renders the result for the bench CLI.
+func (r *DaemonBenchResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster: %d gridvined processes, %d peers, %d preloaded triples\n",
+		r.Daemons, r.Peers, r.Preload)
+	fmt.Fprintf(&b, "load:    %d connections, %d ops (%d queries / %d writes), %d errors\n",
+		r.Connections, r.Ops, r.Queries, r.Writes, r.Errors)
+	fmt.Fprintf(&b, "perf:    %.0f ops/s sustained, p50 %.2fms, p99 %.2fms, %d rows streamed\n",
+		r.QPS, float64(r.P50Micros)/1000, float64(r.P99Micros)/1000, r.Rows)
+	fmt.Fprintf(&b, "checks:  rows_match_inprocess=%v (%d queries), restart_digest_match=%v (daemon %d)\n",
+		r.RowsMatchInprocess, r.EquivalenceQueries, r.RestartDigestMatch, r.RestartedDaemon)
+	return b.String()
+}
+
+// RunDaemonBench executes EXP-Q.
+func RunDaemonBench(cfg DaemonBenchConfig) (*DaemonBenchResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		dir, err := os.MkdirTemp("", "gridvine-expq-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		cfg.Dir = dir
+	}
+	bin := cfg.GridvinedBin
+	if bin == "" {
+		bin = filepath.Join(cfg.Dir, "gridvined")
+		build := exec.Command("go", "build", "-o", bin, "gridvine/cmd/gridvined")
+		if out, err := build.CombinedOutput(); err != nil {
+			return nil, fmt.Errorf("daemonbench: building gridvined: %v\n%s", err, out)
+		}
+	}
+
+	cl, err := cluster.Deploy(cluster.Spec{
+		Dir:           cfg.Dir,
+		BinPath:       bin,
+		Daemons:       cfg.Daemons,
+		Peers:         cfg.Peers,
+		ReplicaFactor: cfg.ReplicaFactor,
+		Seed:          cfg.Seed,
+		SnapshotEvery: cfg.SnapshotEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		cl.Stop(ctx) //nolint:errcheck
+		cancel()
+	}()
+	addrs, err := cl.Addrs()
+	if err != nil {
+		return nil, err
+	}
+
+	res := &DaemonBenchResult{Daemons: cfg.Daemons, Peers: cfg.Peers, Preload: cfg.Preload}
+	ctx := context.Background()
+
+	// The in-process reference: the identical overlay (same seed, same
+	// build path), fed the identical preload through the identical
+	// issuing peers. Wire answers must match it byte for byte.
+	ref, err := newRefNetwork(cfg.Peers, cfg.ReplicaFactor, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	preloadStart := time.Now()
+	if err := preload(ctx, cfg, cl, addrs, ref); err != nil {
+		return nil, err
+	}
+	res.PreloadMillis = float64(time.Since(preloadStart).Microseconds()) / 1000
+
+	match, checked, err := equivalence(ctx, cfg, addrs, ref)
+	if err != nil {
+		return nil, err
+	}
+	res.RowsMatchInprocess = match
+	res.EquivalenceQueries = checked
+
+	// The measured load: the full connection pool against all daemons.
+	load, err := loadgen.Run(ctx, loadgen.Config{
+		Addrs:       addrs,
+		Connections: cfg.Connections,
+		Duration:    cfg.Duration,
+		WriteRatio:  cfg.WriteRatio,
+		Seed:        cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Connections = load.Connections
+	res.Ops = load.Ops
+	res.Queries = load.Queries
+	res.Writes = load.Writes
+	res.Rows = load.Rows
+	res.Errors = load.Errors
+	res.QPS = load.QPS
+	res.P50Micros = load.P50Micros
+	res.P99Micros = load.P99Micros
+
+	// SIGTERM one daemon while a background load keeps the cluster busy:
+	// the drain must land every acknowledged write in the final snapshot,
+	// so the restarted process recovers digest-identical stores.
+	victim := cfg.Daemons - 1
+	res.RestartedDaemon = victim
+	match, err = restartCheck(ctx, cl, addrs, victim)
+	if err != nil {
+		return nil, err
+	}
+	res.RestartDigestMatch = match
+	return res, nil
+}
+
+// refNetwork is the in-process reference overlay, built with the exact
+// seed discipline gridvined uses (rand.NewSource(Seed) feeding
+// pgrid.Build) so its peer IDs, trie paths, and replica sets are
+// byte-identical to the cluster's. Constructed from the internal
+// packages directly: the root gridvine package can't be imported here
+// because its benchmark suite imports experiments.
+type refNetwork struct {
+	peers []*mediation.Peer
+}
+
+func newRefNetwork(peers, replicaFactor int, seed int64) (*refNetwork, error) {
+	ov, err := pgrid.Build(simnet.NewNetwork(), pgrid.BuildOptions{
+		Peers:         peers,
+		ReplicaFactor: replicaFactor,
+		Rng:           rand.New(rand.NewSource(seed)),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("daemonbench: building reference overlay: %w", err)
+	}
+	ref := &refNetwork{}
+	for _, node := range ov.Nodes() {
+		ref.peers = append(ref.peers, mediation.NewPeer(node))
+	}
+	return ref, nil
+}
+
+func (r *refNetwork) Peer(i int) *mediation.Peer { return r.peers[i] }
+
+// preload writes the Bench# namespace into both the cluster (over the
+// wire, via an explicit issuing peer) and the reference network (via
+// the same peer in-process), in identical batches.
+func preload(ctx context.Context, cfg DaemonBenchConfig, cl *cluster.Cluster, addrs []string, ref *refNetwork) error {
+	const batchSize = 20
+	clients := make([]*wire.Client, len(addrs))
+	for i, a := range addrs {
+		c, err := wire.Dial(a)
+		if err != nil {
+			return fmt.Errorf("daemonbench: preload dial daemon %d: %w", i, err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+	for base := 0; base < cfg.Preload; base += batchSize {
+		n := batchSize
+		if base+n > cfg.Preload {
+			n = cfg.Preload - base
+		}
+		issuer := (base / batchSize) % cfg.Peers
+		trs := make([]triple.Triple, n)
+		for j := 0; j < n; j++ {
+			trs[j] = triple.Triple{
+				Subject:   fmt.Sprintf("bench-s%d", base+j),
+				Predicate: "Bench#p",
+				Object:    fmt.Sprintf("o%d", base+j),
+			}
+		}
+		peerID := fmt.Sprintf("peer-%03d", issuer)
+		rec, err := clients[issuer%cfg.Daemons].Write(ctx, wire.Write{Peer: peerID, Inserts: trs})
+		if err != nil {
+			return fmt.Errorf("daemonbench: preload batch at %d via %s: %w", base, peerID, err)
+		}
+		if rec.Applied != n {
+			return fmt.Errorf("daemonbench: preload batch at %d: applied %d of %d", base, rec.Applied, n)
+		}
+		if err := referenceWrite(ctx, ref, issuer, trs); err != nil {
+			return fmt.Errorf("daemonbench: reference batch at %d: %w", base, err)
+		}
+	}
+	return nil
+}
+
+// equivalence replays a set of query shapes through the wire protocol
+// and in-process, via the same issuing peers, and compares sorted rows.
+func equivalence(ctx context.Context, cfg DaemonBenchConfig, addrs []string, ref *refNetwork) (bool, int, error) {
+	shapes := []triple.Pattern{
+		{S: triple.Var("s"), P: triple.Const("Bench#p"), O: triple.Var("o")},
+		{S: triple.Const("bench-s7"), P: triple.Const("Bench#p"), O: triple.Var("o")},
+		{S: triple.Var("s"), P: triple.Const("Bench#p"), O: triple.Const("o11")},
+	}
+	checked := 0
+	for issuer := 0; issuer < cfg.Peers; issuer += 5 {
+		daemonIdx := issuer % cfg.Daemons
+		c, err := wire.Dial(addrs[daemonIdx])
+		if err != nil {
+			return false, checked, fmt.Errorf("daemonbench: equivalence dial daemon %d: %w", daemonIdx, err)
+		}
+		for _, pat := range shapes {
+			pat := pat
+			wireRows, err := wireQueryRows(ctx, c, fmt.Sprintf("peer-%03d", issuer), &pat)
+			if err != nil {
+				c.Close() //nolint:errcheck
+				return false, checked, err
+			}
+			refRows, err := inprocessQueryRows(ctx, ref, issuer, &pat)
+			if err != nil {
+				c.Close() //nolint:errcheck
+				return false, checked, err
+			}
+			checked++
+			if !rowSetsEqual(wireRows, refRows) {
+				c.Close() //nolint:errcheck
+				return false, checked, nil
+			}
+		}
+		c.Close() //nolint:errcheck
+	}
+	return true, checked, nil
+}
+
+func wireQueryRows(ctx context.Context, c *wire.Client, peer string, pat *triple.Pattern) ([][]string, error) {
+	cur, err := c.Query(ctx, wire.Query{Peer: peer, Pattern: pat})
+	if err != nil {
+		return nil, err
+	}
+	var rows [][]string
+	for {
+		row, ok := cur.Next(ctx)
+		if !ok {
+			break
+		}
+		rows = append(rows, row)
+	}
+	if err := cur.Close(); err != nil {
+		return nil, fmt.Errorf("daemonbench: wire query via %s: %w", peer, err)
+	}
+	return rows, nil
+}
+
+func inprocessQueryRows(ctx context.Context, ref *refNetwork, issuer int, pat *triple.Pattern) ([][]string, error) {
+	cur, err := ref.Peer(issuer).Query(ctx, mediation.Request{Pattern: pat})
+	if err != nil {
+		return nil, err
+	}
+	var rows [][]string
+	for {
+		row, ok := cur.Next(ctx)
+		if !ok {
+			break
+		}
+		rows = append(rows, append([]string(nil), row.Values...))
+	}
+	if err := cur.Close(); err != nil {
+		return nil, fmt.Errorf("daemonbench: in-process query via peer %d: %w", issuer, err)
+	}
+	return rows, nil
+}
+
+func rowSetsEqual(a, b [][]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	key := func(r []string) string { return strings.Join(r, "\x00") }
+	ka := make([]string, len(a))
+	kb := make([]string, len(b))
+	for i := range a {
+		ka[i] = key(a[i])
+		kb[i] = key(b[i])
+	}
+	sort.Strings(ka)
+	sort.Strings(kb)
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// restartCheck SIGTERMs one daemon while a background load keeps the
+// cluster writing, restarts it, and compares the digests it persisted
+// at shutdown with what the restarted process serves.
+func restartCheck(ctx context.Context, cl *cluster.Cluster, addrs []string, victim int) (bool, error) {
+	bgCtx, bgCancel := context.WithCancel(ctx)
+	bgDone := make(chan struct{})
+	go func() {
+		defer close(bgDone)
+		// Errors expected: the victim's connections die mid-drain.
+		loadgen.Run(bgCtx, loadgen.Config{ //nolint:errcheck
+			Addrs:       addrs,
+			Connections: 32,
+			Duration:    2 * time.Minute, // cancelled explicitly below
+			WriteRatio:  0.5,
+			Seed:        99,
+		})
+	}()
+	time.Sleep(500 * time.Millisecond) // the cluster is demonstrably loaded
+
+	stopCtx, stopCancel := context.WithTimeout(ctx, 30*time.Second)
+	err := cl.StopDaemon(stopCtx, victim)
+	stopCancel()
+	if err != nil {
+		bgCancel()
+		<-bgDone
+		return false, fmt.Errorf("daemonbench: SIGTERM daemon %d: %w", victim, err)
+	}
+	bgCancel()
+	<-bgDone
+
+	shutdownDigests, err := daemon.ReadDigestsFile(cl.Dir(), victim)
+	if err != nil {
+		return false, fmt.Errorf("daemonbench: shutdown digests: %w", err)
+	}
+	restartCtx, restartCancel := context.WithTimeout(ctx, 60*time.Second)
+	err = cl.RestartDaemon(restartCtx, victim)
+	restartCancel()
+	if err != nil {
+		return false, err
+	}
+
+	// No load is running, so the restarted daemon's current digests are
+	// its recovered digests.
+	addr, err := cl.Addr(victim)
+	if err != nil {
+		return false, err
+	}
+	c, err := wire.Dial(addr)
+	if err != nil {
+		return false, err
+	}
+	defer c.Close()
+	dump, err := c.Dump(ctx, "")
+	if err != nil {
+		return false, err
+	}
+	if len(dump.Peers) != len(shutdownDigests) {
+		return false, nil
+	}
+	for _, pd := range dump.Peers {
+		want, ok := shutdownDigests[pd.ID]
+		if !ok || pd.Digest != want {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// referenceWrite applies the same triples the cluster just acknowledged
+// to the reference network, through the same issuing peer.
+func referenceWrite(ctx context.Context, ref *refNetwork, issuer int, trs []triple.Triple) error {
+	b := &mediation.Batch{}
+	for _, t := range trs {
+		b.InsertTriple(t)
+	}
+	rec, err := ref.Peer(issuer).Write(ctx, b)
+	if err != nil {
+		return err
+	}
+	if rec.Applied != len(trs) {
+		return fmt.Errorf("reference applied %d of %d", rec.Applied, len(trs))
+	}
+	return nil
+}

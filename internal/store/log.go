@@ -21,6 +21,10 @@ type Options struct {
 	// MaybeSnapshot takes a snapshot and truncates the WAL. 0 selects
 	// the default (256); negative disables automatic snapshots.
 	SnapshotEvery int
+	// NoGroupCommit makes every Append pay its own fsync while holding
+	// the log lock (the pre-group-commit behaviour). Kept as the
+	// baseline arm of the group-commit microbenchmark.
+	NoGroupCommit bool
 }
 
 const defaultSnapshotEvery = 256
@@ -50,10 +54,17 @@ type snapshotRecord struct {
 }
 
 // Log is a write-ahead log with periodic snapshots. Append durably
-// writes one checksummed record (write + fsync) and is the ack
-// boundary: a batch whose Append returned nil survives any crash; a
-// batch whose Append failed may or may not have landed, and recovery
-// reports what it actually found.
+// logs one checksummed record and is the ack boundary: a batch whose
+// Append returned nil survives any crash; a batch whose Append failed
+// may or may not have landed, and recovery reports what it actually
+// found.
+//
+// Concurrent appends group-commit: each caller stages its encoded
+// record in a pending buffer, one caller becomes the flush leader and
+// writes + fsyncs the whole buffer as a single group outside the lock,
+// and every caller whose record the group covered returns once the
+// fsync lands. Serial callers degenerate to exactly one write + one
+// fsync per record, so the crash-matrix fault schedule is unchanged.
 //
 // Errors are sticky: after any append/snapshot failure the Log refuses
 // further writes and Err returns the cause — a store that can no
@@ -62,18 +73,28 @@ type snapshotRecord struct {
 // Callers must invoke MaybeSnapshot/Snapshot only at points where the
 // snapshot source reflects every record appended so far (the
 // apply-then-snapshot discipline), otherwise a snapshot could claim a
-// Seq whose data it doesn't contain.
+// Seq whose data it doesn't contain. The mediation hooks satisfy this
+// (mutations apply to the store before Append), which is also why a
+// snapshot may absorb still-pending records: their data is already in
+// the snapshot source, so the snapshot itself is their durability.
 type Log struct {
-	mu        sync.Mutex
-	fs        FS
-	dir       string
-	wal       File
-	seq       uint64
-	sinceSnap int
-	snapEvery int
-	source    func() (items, tombs []Entry)
-	err       error
-	closed    bool
+	mu          sync.Mutex
+	cond        *sync.Cond // signals flush/snapshot completion and errors
+	fs          FS
+	dir         string
+	wal         File
+	seq         uint64 // last staged sequence (may be ahead of flushedSeq)
+	flushedSeq  uint64 // last sequence made durable (fsync or snapshot)
+	pending     []byte // encoded records staged since the last flush
+	pendingRecs int
+	flushing    bool // a leader is writing+fsyncing outside the lock
+	syncs       int64
+	sinceSnap   int
+	snapEvery   int
+	serial      bool // Options.NoGroupCommit
+	source      func() (items, tombs []Entry)
+	err         error
+	closed      bool
 }
 
 // Open opens (or creates) the log directory, removes any half-written
@@ -149,13 +170,16 @@ func Open(fsys FS, dir string, opts Options) (*Log, *Recovery, error) {
 		snapEvery = defaultSnapshotEvery
 	}
 	l := &Log{
-		fs:        fsys,
-		dir:       dir,
-		wal:       wal,
-		seq:       lastSeq,
-		sinceSnap: rec.Records,
-		snapEvery: snapEvery,
+		fs:         fsys,
+		dir:        dir,
+		wal:        wal,
+		seq:        lastSeq,
+		flushedSeq: lastSeq,
+		sinceSnap:  rec.Records,
+		snapEvery:  snapEvery,
+		serial:     opts.NoGroupCommit,
 	}
+	l.cond = sync.NewCond(&l.mu)
 	return l, rec, nil
 }
 
@@ -201,34 +225,88 @@ func (l *Log) SetSnapshotSource(fn func() (items, tombs []Entry)) {
 	l.source = fn
 }
 
-// Append durably logs one batch: frame, write, fsync. A nil return is
-// the durability ack. On failure the error is sticky and all further
+// Append durably logs one batch. A nil return is the durability ack:
+// the record reached the disk via a group fsync (possibly shared with
+// concurrent appends) or was absorbed by a concurrent snapshot whose
+// Seq covers it. On failure the error is sticky and all further
 // appends are refused.
 func (l *Log) Append(entries []Entry) error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.err != nil {
-		return l.err
+		err := l.err
+		l.mu.Unlock()
+		return err
 	}
 	if l.closed {
+		l.mu.Unlock()
 		return errors.New("store: log closed")
 	}
 	buf, err := encodeRecord(Record{Seq: l.seq + 1, Entries: entries})
 	if err != nil {
 		l.err = err
+		l.cond.Broadcast()
+		l.mu.Unlock()
 		return err
 	}
-	if _, err := l.wal.Write(buf); err != nil {
-		l.err = fmt.Errorf("store: WAL write: %w", err)
-		return l.err
-	}
-	if err := l.wal.Sync(); err != nil {
-		l.err = fmt.Errorf("store: WAL fsync: %w", err)
-		return l.err
-	}
 	l.seq++
-	l.sinceSnap++
-	return nil
+	seq := l.seq
+	l.pending = append(l.pending, buf...)
+	l.pendingRecs++
+
+	// Wait until our record is durable, an error kills the log, or it
+	// is our turn to lead the flush.
+	for {
+		if l.err != nil {
+			err := l.err
+			l.mu.Unlock()
+			return err
+		}
+		if l.flushedSeq >= seq {
+			l.mu.Unlock()
+			return nil
+		}
+		if !l.flushing {
+			break
+		}
+		l.cond.Wait()
+	}
+	return l.flushPendingLocked()
+}
+
+// flushPendingLocked writes and fsyncs the staged pending buffer as one
+// group. Called with l.mu held and l.flushing false; in group-commit
+// mode the lock is released for the I/O so new appends can stage behind
+// this flush. Unlocks l.mu before returning.
+func (l *Log) flushPendingLocked() error {
+	l.flushing = true
+	group := l.pending
+	recs := l.pendingRecs
+	target := l.seq
+	l.pending = nil
+	l.pendingRecs = 0
+	if !l.serial {
+		l.mu.Unlock()
+	}
+	var werr error
+	if _, err := l.wal.Write(group); err != nil {
+		werr = fmt.Errorf("store: WAL write: %w", err)
+	} else if err := l.wal.Sync(); err != nil {
+		werr = fmt.Errorf("store: WAL fsync: %w", err)
+	}
+	if !l.serial {
+		l.mu.Lock()
+	}
+	l.flushing = false
+	if werr != nil {
+		l.err = werr
+	} else {
+		l.flushedSeq = target
+		l.sinceSnap += recs
+		l.syncs++
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	return werr
 }
 
 // MaybeSnapshot takes a snapshot if at least SnapshotEvery records
@@ -255,7 +333,15 @@ func (l *Log) Snapshot() error {
 // resets the WAL. A crash anywhere in the sequence leaves either the
 // old snapshot + full WAL or the new snapshot + (possibly stale) WAL —
 // both recover exactly, because stale records are skipped by Seq.
+//
+// Any records still pending when the snapshot lands are absorbed by
+// it: the apply-then-append discipline means the snapshot source
+// already holds their data, the snapshot's Seq covers them, and their
+// waiting appenders are released as durably acked.
 func (l *Log) snapshotLocked() error {
+	for l.flushing {
+		l.cond.Wait()
+	}
 	if l.err != nil {
 		return l.err
 	}
@@ -272,10 +358,12 @@ func (l *Log) snapshotLocked() error {
 	buf, err := encodeRecord(Record{Seq: l.seq, Entries: entries})
 	if err != nil {
 		l.err = err
+		l.cond.Broadcast()
 		return err
 	}
 	fail := func(step string, err error) error {
 		l.err = fmt.Errorf("store: snapshot %s: %w", step, err)
+		l.cond.Broadcast()
 		return l.err
 	}
 	tmpPath := filepath.Join(l.dir, tmpFile)
@@ -310,6 +398,10 @@ func (l *Log) snapshotLocked() error {
 	}
 	l.wal = wal
 	l.sinceSnap = 0
+	l.pending = nil
+	l.pendingRecs = 0
+	l.flushedSeq = l.seq
+	l.cond.Broadcast()
 	return nil
 }
 
@@ -322,20 +414,68 @@ func (l *Log) Err() error {
 	return l.err
 }
 
-// Seq returns the sequence number of the last appended record.
+// Seq returns the sequence number of the last durable record — the
+// acked watermark. Records staged behind an in-flight group flush are
+// not counted until their fsync (or an absorbing snapshot) lands.
 func (l *Log) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushedSeq
+}
+
+// StagedSeq returns the sequence number of the last staged record,
+// including records whose group flush has not yet completed.
+func (l *Log) StagedSeq() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.seq
 }
 
-// Close closes the WAL handle. The log cannot be used afterwards.
-func (l *Log) Close() error {
+// Syncs returns how many WAL fsyncs the log has issued for appends
+// (snapshot fsyncs are not counted). With group commit, concurrent
+// appends share fsyncs, so Syncs can be far below the record count.
+func (l *Log) Syncs() int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.syncs
+}
+
+// Close flushes any staged records, then closes the WAL handle. The
+// log cannot be used afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
 	if l.closed {
+		l.mu.Unlock()
 		return nil
 	}
+	for l.flushing {
+		l.cond.Wait()
+	}
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	if len(l.pending) > 0 && l.err == nil {
+		// Appenders are still waiting on this buffer; make it durable
+		// so their acks stay truthful, then shut the log.
+		group := l.pending
+		recs := l.pendingRecs
+		target := l.seq
+		l.pending = nil
+		l.pendingRecs = 0
+		if _, err := l.wal.Write(group); err != nil {
+			l.err = fmt.Errorf("store: WAL write: %w", err)
+		} else if err := l.wal.Sync(); err != nil {
+			l.err = fmt.Errorf("store: WAL fsync: %w", err)
+		} else {
+			l.flushedSeq = target
+			l.sinceSnap += recs
+			l.syncs++
+		}
+	}
 	l.closed = true
-	return l.wal.Close()
+	l.cond.Broadcast()
+	err := l.wal.Close()
+	l.mu.Unlock()
+	return err
 }

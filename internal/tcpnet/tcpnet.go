@@ -66,22 +66,44 @@ func NewTransport() *Transport {
 // port and serves its handler until Close. Registering the same id again
 // replaces the previous server. Implements simnet.Registrar.
 func (t *Transport) Register(id simnet.PeerID, h simnet.Handler) {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		// Local listen can only fail on resource exhaustion; surface loudly.
+	if _, err := t.RegisterOn(id, "127.0.0.1:0", h); err != nil {
+		// Local ephemeral listen can only fail on resource exhaustion;
+		// surface loudly.
 		panic(fmt.Sprintf("tcpnet: listen for %s: %v", id, err))
+	}
+}
+
+// RegisterOn is Register with a caller-chosen listen address (the
+// daemon uses it to re-bind a peer to the port recorded before a
+// restart, keeping cross-process address books valid). It returns the
+// bound address. An addr of "127.0.0.1:0" selects an ephemeral port.
+// Any previous server for id is shut down first — also when the new
+// listen then fails, in which case id is left unhosted.
+func (t *Transport) RegisterOn(id simnet.PeerID, addr string, h simnet.Handler) (string, error) {
+	t.mu.Lock()
+	old, hadOld := t.servers[id]
+	delete(t.servers, id)
+	t.mu.Unlock()
+	if hadOld {
+		// The old listener may hold the very address we are binding;
+		// release it (and drain its accept loop) before listening.
+		old.ln.Close()
+		old.wg.Wait()
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
 	}
 	srv := &server{ln: ln, handler: h}
 	t.mu.Lock()
-	if old, ok := t.servers[id]; ok {
-		old.ln.Close()
-	}
 	t.servers[id] = srv
 	t.addrs[id] = ln.Addr().String()
 	t.mu.Unlock()
 
 	srv.wg.Add(1)
 	go srv.serve(id)
+	return ln.Addr().String(), nil
 }
 
 func (s *server) serve(id simnet.PeerID) {
@@ -91,11 +113,19 @@ func (s *server) serve(id simnet.PeerID) {
 		if err != nil {
 			return // listener closed
 		}
+		// Connection handlers join the server's WaitGroup so Close (and a
+		// replacing RegisterOn) returns only after every in-flight handler
+		// has finished — the daemon relies on this to snapshot with no
+		// overlay mutation still running. Exchanges are short-lived (Send
+		// dials per call and closes after the reply), so the wait is
+		// bounded by the slowest in-flight exchange.
+		s.wg.Add(1)
 		go s.handleConn(conn)
 	}
 }
 
 func (s *server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
 	defer conn.Close()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
@@ -247,7 +277,9 @@ func (c *countingConn) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// Close shuts down every hosted listener.
+// Close shuts down every hosted listener and waits for in-flight
+// connection handlers to finish, so no handler invocation (and thus no
+// store mutation or WAL append) is running once Close returns.
 func (t *Transport) Close() {
 	t.mu.Lock()
 	t.closed = true

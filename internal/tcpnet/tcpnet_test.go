@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"net"
 	"testing"
 	"time"
 
@@ -232,5 +233,51 @@ func TestSendPreCancelled(t *testing.T) {
 	cancel()
 	if _, err := tr.Send(ctx, "a", "p", simnet.Message{}); !errors.Is(err, context.Canceled) {
 		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRegisterOnReusesAddress proves a peer can re-bind to the exact
+// address it held before (the daemon restart path: the address book
+// other processes hold stays valid), and that the bound address is
+// reported back.
+func TestRegisterOnReusesAddress(t *testing.T) {
+	tr := NewTransport()
+	defer tr.Close()
+	echo := simnet.HandlerFunc(func(from simnet.PeerID, msg simnet.Message) (simnet.Message, error) {
+		return msg, nil
+	})
+	addr, err := tr.RegisterOn("p", "127.0.0.1:0", echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != tr.Addr("p") {
+		t.Fatalf("RegisterOn returned %q, Addr reports %q", addr, tr.Addr("p"))
+	}
+	ctx := context.Background()
+	if _, err := tr.Send(ctx, "a", "p", simnet.Message{Type: "x"}); err != nil {
+		t.Fatalf("send before re-bind: %v", err)
+	}
+
+	// Re-register on the same concrete address: the old listener is
+	// replaced and the address book entry still routes.
+	addr2, err := tr.RegisterOn("p", addr, echo)
+	if err != nil {
+		t.Fatalf("re-bind to %s: %v", addr, err)
+	}
+	if addr2 != addr {
+		t.Fatalf("re-bind moved the peer: %q -> %q", addr, addr2)
+	}
+	if _, err := tr.Send(ctx, "a", "p", simnet.Message{Type: "y"}); err != nil {
+		t.Fatalf("send after re-bind: %v", err)
+	}
+
+	// A genuinely taken address must error, not panic.
+	occupied, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer occupied.Close()
+	if _, err := tr.RegisterOn("q", occupied.Addr().String(), echo); err == nil {
+		t.Fatal("RegisterOn on an occupied address succeeded")
 	}
 }

@@ -1,0 +1,444 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gridvine/internal/mediation"
+)
+
+// chunkRows is how many rows ride one RowChunk frame.
+const chunkRows = 128
+
+// Hosted is one peer a Server exposes, plus the daemon-level probes
+// the dump surface needs (nil probes report zero).
+type Hosted struct {
+	Peer *mediation.Peer
+	// Digest returns the peer's order-independent store content digest
+	// (pgrid.Node.ContentDigest) — the restart-equivalence fingerprint.
+	Digest func() uint64
+	// WALSeq returns the peer journal's durable sequence number.
+	WALSeq func() uint64
+}
+
+// Server speaks the wire protocol on behalf of a set of hosted
+// mediation peers. All engine work runs server-side; each Query/Write
+// frame gets its own goroutine and its own engine context, cancelled
+// by a Cancel frame, a connection loss, or server shutdown.
+type Server struct {
+	daemon  int
+	hosted  map[string]Hosted
+	order   []string
+	started time.Time
+
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+	reqs     sync.WaitGroup // in-flight Query/Write handlers
+	connWg   sync.WaitGroup // connection read loops
+
+	rr            atomic.Uint64
+	activeQueries atomic.Int64
+	activeWrites  atomic.Int64
+	queriesServed atomic.Uint64
+	writesServed  atomic.Uint64
+	rowsStreamed  atomic.Uint64
+}
+
+// NewServer builds a server over the given hosted peers. daemon is the
+// daemon's cluster index, reported in stats.
+func NewServer(daemon int, hosted []Hosted) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		daemon:    daemon,
+		hosted:    make(map[string]Hosted, len(hosted)),
+		started:   time.Now(),
+		baseCtx:   ctx,
+		cancelAll: cancel,
+		conns:     map[net.Conn]struct{}{},
+	}
+	for _, h := range hosted {
+		id := string(h.Peer.Node().ID())
+		s.hosted[id] = h
+		s.order = append(s.order, id)
+	}
+	return s
+}
+
+// Serve accepts connections on ln until the listener closes (Shutdown
+// closes it). It returns after the accept loop exits; connection read
+// loops keep running until Shutdown reaps them.
+func (s *Server) Serve(ln net.Listener) {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			c.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.connWg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(c)
+	}
+}
+
+// Shutdown drains the server: stop accepting connections and new
+// requests, wait for every in-flight Query stream and Write to finish
+// (their frames flushed), then hard-cancel anything still running when
+// ctx fires. It returns nil on a clean drain, ctx.Err() if the drain
+// was cut short.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.reqs.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.cancelAll()
+		<-done
+	}
+
+	// In-flight work is gone; tear down the connections so read loops
+	// exit, and cancel the base context for good measure.
+	s.cancelAll()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.connWg.Wait()
+	return err
+}
+
+// beginReq registers an in-flight request unless the server is
+// draining. The draining check and the WaitGroup Add share the mutex
+// so no request can slip in after Shutdown started waiting.
+func (s *Server) beginReq() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.reqs.Add(1)
+	return true
+}
+
+// pick resolves a request's peer selector: a hosted peer ID, or empty
+// for round-robin over the hosted set.
+func (s *Server) pick(id string) (Hosted, error) {
+	if id == "" {
+		n := s.rr.Add(1)
+		return s.hosted[s.order[int(n)%len(s.order)]], nil
+	}
+	h, ok := s.hosted[id]
+	if !ok {
+		return Hosted{}, fmt.Errorf("wire: peer %q not hosted here", id)
+	}
+	return h, nil
+}
+
+// srvConn is one client connection's server-side state: a write mutex
+// serialising response frames and the in-flight request registry the
+// Cancel frames act on.
+type srvConn struct {
+	s *Server
+	c net.Conn
+
+	wmu sync.Mutex
+
+	mu       sync.Mutex
+	inflight map[uint64]context.CancelFunc
+}
+
+func (s *Server) serveConn(c net.Conn) {
+	defer s.connWg.Done()
+	sc := &srvConn{s: s, c: c, inflight: map[uint64]context.CancelFunc{}}
+	defer func() {
+		// Connection gone: cancel everything it had in flight so
+		// abandoned engines stop promptly.
+		sc.mu.Lock()
+		for _, cancel := range sc.inflight {
+			cancel()
+		}
+		sc.mu.Unlock()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+
+	br := bufio.NewReaderSize(c, 64<<10)
+	for {
+		_, msg, err := ReadFrame(br)
+		if err != nil {
+			return
+		}
+		switch m := msg.(type) {
+		case *Query:
+			if !s.beginReq() {
+				sc.send(TTrailer, &Trailer{ID: m.ID, Err: "wire: server draining"})
+				continue
+			}
+			go sc.handleQuery(m)
+		case *Write:
+			if !s.beginReq() {
+				sc.send(TReceipt, &Receipt{ID: m.ID, Err: "wire: server draining"})
+				continue
+			}
+			go sc.handleWrite(m)
+		case *Cancel:
+			sc.mu.Lock()
+			if cancel, ok := sc.inflight[m.ID]; ok {
+				cancel()
+			}
+			sc.mu.Unlock()
+		case *StatsReq:
+			sc.send(TStats, sc.s.statsSnapshot(m.ID))
+		case *DumpReq:
+			sc.send(TDump, sc.s.dump(m))
+		default:
+			// Server-bound connections must not carry response frames;
+			// drop the connection rather than guess.
+			return
+		}
+	}
+}
+
+// send encodes and writes one frame under the connection's write
+// mutex, so concurrently streaming requests interleave whole frames.
+func (sc *srvConn) send(t Type, msg any) error {
+	buf, err := EncodeFrame(t, msg)
+	if err != nil {
+		return err
+	}
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	_, err = sc.c.Write(buf)
+	return err
+}
+
+// track registers a request's engine cancel func; the returned func
+// unregisters and cancels it.
+func (sc *srvConn) track(id uint64, cancel context.CancelFunc) func() {
+	sc.mu.Lock()
+	sc.inflight[id] = cancel
+	sc.mu.Unlock()
+	return func() {
+		sc.mu.Lock()
+		delete(sc.inflight, id)
+		sc.mu.Unlock()
+		cancel()
+	}
+}
+
+func (sc *srvConn) handleQuery(q *Query) {
+	s := sc.s
+	defer s.reqs.Done()
+	s.activeQueries.Add(1)
+	defer s.activeQueries.Add(-1)
+	defer s.queriesServed.Add(1)
+
+	h, err := s.pick(q.Peer)
+	if err != nil {
+		sc.send(TTrailer, &Trailer{ID: q.ID, Err: err.Error()})
+		return
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer sc.track(q.ID, cancel)()
+
+	cur, err := h.Peer.Query(ctx, mediation.Request{
+		Pattern:     q.Pattern,
+		Patterns:    q.Patterns,
+		RDQL:        q.RDQL,
+		Reformulate: q.Reformulate,
+		Limit:       q.Limit,
+		Options:     q.Options,
+	})
+	if err != nil {
+		sc.send(TTrailer, &Trailer{ID: q.ID, Err: err.Error()})
+		return
+	}
+	defer cur.Close()
+
+	rows := make([][]string, 0, chunkRows)
+	sentCols := false
+	flush := func() bool {
+		if len(rows) == 0 {
+			return true
+		}
+		chunk := &RowChunk{ID: q.ID, Rows: rows}
+		if !sentCols {
+			chunk.Columns = cur.Columns()
+			sentCols = true
+		}
+		s.rowsStreamed.Add(uint64(len(rows)))
+		if err := sc.send(TRowChunk, chunk); err != nil {
+			return false
+		}
+		rows = make([][]string, 0, chunkRows)
+		return true
+	}
+	for {
+		row, ok := cur.Next(ctx)
+		if !ok {
+			break
+		}
+		rows = append(rows, row.Values)
+		if len(rows) >= chunkRows && !flush() {
+			return
+		}
+	}
+	if !flush() {
+		return
+	}
+	cur.Close()
+	st := cur.Stats()
+	tr := &Trailer{
+		ID:      q.ID,
+		Columns: cur.Columns(),
+		Stats: Stats{
+			Rows:           st.Rows,
+			Messages:       st.Messages,
+			Reformulations: st.Reformulations,
+			Degraded:       st.Degraded,
+			FirstRowMicros: st.FirstRow.Microseconds(),
+			ElapsedMicros:  st.Elapsed.Microseconds(),
+		},
+	}
+	if err := cur.Err(); err != nil {
+		tr.Err = err.Error()
+	}
+	sc.send(TTrailer, tr)
+}
+
+func (sc *srvConn) handleWrite(w *Write) {
+	s := sc.s
+	defer s.reqs.Done()
+	s.activeWrites.Add(1)
+	defer s.activeWrites.Add(-1)
+	defer s.writesServed.Add(1)
+
+	h, err := s.pick(w.Peer)
+	if err != nil {
+		sc.send(TReceipt, &Receipt{ID: w.ID, Err: err.Error()})
+		return
+	}
+	if len(w.ReplaceOld) != len(w.ReplaceNew) {
+		sc.send(TReceipt, &Receipt{ID: w.ID, Err: "wire: replacement old/new length mismatch"})
+		return
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer sc.track(w.ID, cancel)()
+
+	var b mediation.Batch
+	b.Parallelism = w.Parallelism
+	for _, t := range w.Inserts {
+		b.InsertTriple(t)
+	}
+	for _, t := range w.Deletes {
+		b.DeleteTriple(t)
+	}
+	for _, sch := range w.Schemas {
+		b.PublishSchema(sch)
+	}
+	for _, m := range w.Mappings {
+		b.PublishMapping(m)
+	}
+	for i := range w.ReplaceOld {
+		b.ReplaceMapping(w.ReplaceOld[i], w.ReplaceNew[i])
+	}
+
+	rec, err := h.Peer.Write(ctx, &b)
+	out := &Receipt{ID: w.ID}
+	if err != nil {
+		out.Err = err.Error()
+	}
+	if rec != nil {
+		out.Applied = rec.Applied
+		out.Failed = rec.Failed
+		out.Skipped = rec.Skipped
+		out.Groups = rec.Groups
+		out.Messages = rec.Route.Messages
+		for _, e := range rec.Entries {
+			if e.Err != nil && len(out.EntryErrs) < 8 {
+				out.EntryErrs = append(out.EntryErrs, e.Err.Error())
+			}
+		}
+	}
+	sc.send(TReceipt, out)
+}
+
+func (s *Server) statsSnapshot(id uint64) *DaemonStats {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	return &DaemonStats{
+		ID:            id,
+		Daemon:        s.daemon,
+		Peers:         append([]string(nil), s.order...),
+		UptimeMillis:  time.Since(s.started).Milliseconds(),
+		Draining:      draining,
+		ActiveQueries: int(s.activeQueries.Load()),
+		ActiveWrites:  int(s.activeWrites.Load()),
+		QueriesServed: s.queriesServed.Load(),
+		WritesServed:  s.writesServed.Load(),
+		RowsStreamed:  s.rowsStreamed.Load(),
+	}
+}
+
+func (s *Server) dump(req *DumpReq) *Dump {
+	out := &Dump{ID: req.ID}
+	ids := s.order
+	if req.Peer != "" {
+		if _, ok := s.hosted[req.Peer]; !ok {
+			out.Err = fmt.Sprintf("wire: peer %q not hosted here", req.Peer)
+			return out
+		}
+		ids = []string{req.Peer}
+	}
+	for _, id := range ids {
+		h := s.hosted[id]
+		pd := PeerDump{
+			ID:      id,
+			Path:    h.Peer.Node().Path().String(),
+			Triples: h.Peer.DB().Len(),
+		}
+		if h.Digest != nil {
+			pd.Digest = h.Digest()
+		}
+		if h.WALSeq != nil {
+			pd.WALSeq = h.WALSeq()
+		}
+		out.Peers = append(out.Peers, pd)
+	}
+	return out
+}

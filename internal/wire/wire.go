@@ -1,0 +1,369 @@
+// Package wire is gridvine's client/server protocol: a compact
+// length-prefixed, checksummed frame stream over TCP. All query and
+// write logic stays server-side (the daemon hosts the mediation
+// peers); clients are thin — they frame requests, demultiplex
+// responses by request ID, and reassemble streamed row chunks into a
+// cursor.
+//
+// Frame layout (little-endian):
+//
+//	[1B type][4B payload length][4B CRC32C of payload][payload]
+//
+// The payload is a self-contained gob stream of the frame type's
+// message struct (a fresh encoder per frame, like the store WAL), so
+// a corrupt frame never poisons its neighbours and any frame decodes
+// in isolation.
+//
+// Request/response shapes:
+//
+//   - Query → zero or more RowChunk frames, then exactly one Trailer
+//     carrying the terminal error, the output columns, and the
+//     execution stats (including the Degraded flag) — the wire image
+//     of mediation.Cursor.Stats().
+//   - Write → exactly one Receipt.
+//   - Cancel (client → server) propagates context cancellation: the
+//     server cancels the request's engine context, and the stream
+//     still terminates with its Trailer/Receipt.
+//   - StatsReq → DaemonStats; DumpReq → Dump (ops surface).
+//
+// Frames of different requests interleave freely on one connection;
+// the ID field pairs them up.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"gridvine/internal/mediation"
+	"gridvine/internal/schema"
+	"gridvine/internal/triple"
+)
+
+// Type identifies a frame's payload shape.
+type Type uint8
+
+// Frame types. The zero value is invalid so an all-zero header never
+// parses as a frame.
+const (
+	TQuery Type = 1 + iota
+	TRowChunk
+	TTrailer
+	TWrite
+	TReceipt
+	TCancel
+	TStatsReq
+	TStats
+	TDumpReq
+	TDump
+	maxType = TDump
+)
+
+const (
+	// frameHeader is 1 byte type + 4 bytes payload length + 4 bytes
+	// CRC32C, all little-endian.
+	frameHeader = 9
+	// MaxPayload bounds a claimed payload length so a corrupt or
+	// hostile header cannot demand an absurd allocation.
+	MaxPayload = 1 << 26
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrBadFrame wraps every decoding failure caused by frame content
+// (bad type, oversized length, checksum mismatch, gob garbage) as
+// opposed to a short read.
+var ErrBadFrame = errors.New("wire: bad frame")
+
+// ErrShortFrame reports that data ends mid-frame: not an error on a
+// live stream (more bytes may arrive), fatal at end of input.
+var ErrShortFrame = errors.New("wire: truncated frame")
+
+// Query asks a daemon to execute one mediation query. Exactly one of
+// Pattern, Patterns, RDQL must be set (mediation validates). Peer
+// selects a hosted peer by ID; empty lets the server pick.
+type Query struct {
+	ID          uint64
+	Peer        string
+	Pattern     *triple.Pattern
+	Patterns    []triple.Pattern
+	RDQL        string
+	Reformulate bool
+	Limit       int
+	Options     mediation.SearchOptions
+}
+
+// RowChunk carries a batch of streamed rows. Columns rides the first
+// chunk (and the trailer) once the engine knows the output schema.
+type RowChunk struct {
+	ID      uint64
+	Columns []string
+	Rows    [][]string
+}
+
+// Stats is the wire image of mediation.QueryStats — the fields a thin
+// client needs, with durations flattened to microseconds.
+type Stats struct {
+	Rows           int
+	Messages       int
+	Reformulations int
+	Degraded       bool
+	FirstRowMicros int64
+	ElapsedMicros  int64
+}
+
+// Trailer terminates a query stream: the terminal error (empty = clean
+// exhaustion), the final output columns, and the execution stats.
+type Trailer struct {
+	ID      uint64
+	Err     string
+	Columns []string
+	Stats   Stats
+}
+
+// Write asks a daemon to apply one mediation batch. Replacements pair
+// old/updated mappings positionally.
+type Write struct {
+	ID          uint64
+	Peer        string
+	Inserts     []triple.Triple
+	Deletes     []triple.Triple
+	Schemas     []schema.Schema
+	Mappings    []schema.Mapping
+	ReplaceOld  []schema.Mapping
+	ReplaceNew  []schema.Mapping
+	Parallelism int
+}
+
+// Receipt is the wire image of mediation.Receipt. Err reports a
+// request-level failure (unknown peer, engine error); EntryErrs
+// carries the first few per-entry failure messages.
+type Receipt struct {
+	ID        uint64
+	Err       string
+	Applied   int
+	Failed    int
+	Skipped   int
+	Groups    int
+	Messages  int
+	EntryErrs []string
+}
+
+// Cancel propagates a client context cancellation to the server-side
+// engine context of request ID.
+type Cancel struct {
+	ID uint64
+}
+
+// StatsReq asks for the daemon's operational counters.
+type StatsReq struct {
+	ID uint64
+}
+
+// DaemonStats is a daemon's operational snapshot.
+type DaemonStats struct {
+	ID            uint64
+	Daemon        int
+	Peers         []string
+	UptimeMillis  int64
+	Draining      bool
+	ActiveQueries int
+	ActiveWrites  int
+	QueriesServed uint64
+	WritesServed  uint64
+	RowsStreamed  uint64
+}
+
+// DumpReq asks for per-peer store dumps; Peer narrows to one hosted
+// peer, empty dumps all.
+type DumpReq struct {
+	ID   uint64
+	Peer string
+}
+
+// PeerDump describes one hosted peer's store: trie path, triple-store
+// size, the order-independent content digest (the restart-equivalence
+// fingerprint), and the WAL's durable sequence number.
+type PeerDump struct {
+	ID      string
+	Path    string
+	Triples int
+	Digest  uint64
+	WALSeq  uint64
+}
+
+// Dump answers a DumpReq.
+type Dump struct {
+	ID    uint64
+	Err   string
+	Peers []PeerDump
+}
+
+// payloadFor returns a fresh payload struct for a frame type, nil for
+// unknown types.
+func payloadFor(t Type) any {
+	switch t {
+	case TQuery:
+		return &Query{}
+	case TRowChunk:
+		return &RowChunk{}
+	case TTrailer:
+		return &Trailer{}
+	case TWrite:
+		return &Write{}
+	case TReceipt:
+		return &Receipt{}
+	case TCancel:
+		return &Cancel{}
+	case TStatsReq:
+		return &StatsReq{}
+	case TStats:
+		return &DaemonStats{}
+	case TDumpReq:
+		return &DumpReq{}
+	case TDump:
+		return &Dump{}
+	}
+	return nil
+}
+
+// EncodeFrame gob-encodes msg and wraps it in a frame.
+func EncodeFrame(t Type, msg any) ([]byte, error) {
+	var body bytes.Buffer
+	body.Write(make([]byte, frameHeader))
+	if err := gob.NewEncoder(&body).Encode(msg); err != nil {
+		return nil, fmt.Errorf("wire: encode %T: %w", msg, err)
+	}
+	buf := body.Bytes()
+	payload := buf[frameHeader:]
+	if len(payload) > MaxPayload {
+		return nil, fmt.Errorf("wire: %T payload %d exceeds MaxPayload", msg, len(payload))
+	}
+	buf[0] = byte(t)
+	binary.LittleEndian.PutUint32(buf[1:5], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[5:9], crc32.Checksum(payload, crcTable))
+	return buf, nil
+}
+
+// DecodeFrame parses one frame from the front of data, returning the
+// frame type, its raw payload (a sub-slice of data — no copy, no
+// allocation), and the bytes consumed. A frame that cannot be complete
+// yet yields ErrShortFrame; corrupt content yields ErrBadFrame.
+func DecodeFrame(data []byte) (t Type, payload []byte, n int, err error) {
+	if len(data) < frameHeader {
+		return 0, nil, 0, ErrShortFrame
+	}
+	t = Type(data[0])
+	if t == 0 || t > maxType {
+		return 0, nil, 0, fmt.Errorf("%w: unknown type %d", ErrBadFrame, data[0])
+	}
+	length := binary.LittleEndian.Uint32(data[1:5])
+	if length > MaxPayload {
+		return 0, nil, 0, fmt.Errorf("%w: payload length %d exceeds %d", ErrBadFrame, length, MaxPayload)
+	}
+	total := frameHeader + int(length)
+	if len(data) < total {
+		return 0, nil, 0, ErrShortFrame
+	}
+	payload = data[frameHeader:total]
+	if crc := crc32.Checksum(payload, crcTable); crc != binary.LittleEndian.Uint32(data[5:9]) {
+		return 0, nil, 0, fmt.Errorf("%w: checksum mismatch", ErrBadFrame)
+	}
+	return t, payload, total, nil
+}
+
+// DecodeMessage decodes a frame payload into its message struct. The
+// returned value is one of the pointer types payloadFor hands out.
+func DecodeMessage(t Type, payload []byte) (any, error) {
+	msg := payloadFor(t)
+	if msg == nil {
+		return nil, fmt.Errorf("%w: unknown type %d", ErrBadFrame, t)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(msg); err != nil {
+		return nil, fmt.Errorf("%w: gob: %v", ErrBadFrame, err)
+	}
+	return msg, nil
+}
+
+// ReadFrame reads one frame from r and decodes its payload. The
+// payload buffer grows with the bytes actually read (capped chunks),
+// so a hostile length claim cannot force a large allocation up front.
+func ReadFrame(r io.Reader) (Type, any, error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, nil, ErrShortFrame
+		}
+		return 0, nil, err
+	}
+	t := Type(hdr[0])
+	if t == 0 || t > maxType {
+		return 0, nil, fmt.Errorf("%w: unknown type %d", ErrBadFrame, hdr[0])
+	}
+	length := binary.LittleEndian.Uint32(hdr[1:5])
+	if length > MaxPayload {
+		return 0, nil, fmt.Errorf("%w: payload length %d exceeds %d", ErrBadFrame, length, MaxPayload)
+	}
+	payload, err := readPayload(r, int(length))
+	if err != nil {
+		return 0, nil, err
+	}
+	if crc := crc32.Checksum(payload, crcTable); crc != binary.LittleEndian.Uint32(hdr[5:9]) {
+		return 0, nil, fmt.Errorf("%w: checksum mismatch", ErrBadFrame)
+	}
+	msg, err := DecodeMessage(t, payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	return t, msg, nil
+}
+
+// readPayload reads exactly n bytes, growing the buffer in bounded
+// chunks so allocation tracks data actually received.
+func readPayload(r io.Reader, n int) ([]byte, error) {
+	const chunk = 1 << 20
+	buf := make([]byte, 0, min(n, chunk))
+	for len(buf) < n {
+		m := min(n-len(buf), chunk)
+		off := len(buf)
+		buf = append(buf, make([]byte, m)...)
+		if _, err := io.ReadFull(r, buf[off:]); err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+				return nil, ErrShortFrame
+			}
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+// MessageID extracts the request ID every wire message carries.
+func MessageID(msg any) uint64 {
+	switch m := msg.(type) {
+	case *Query:
+		return m.ID
+	case *RowChunk:
+		return m.ID
+	case *Trailer:
+		return m.ID
+	case *Write:
+		return m.ID
+	case *Receipt:
+		return m.ID
+	case *Cancel:
+		return m.ID
+	case *StatsReq:
+		return m.ID
+	case *DaemonStats:
+		return m.ID
+	case *DumpReq:
+		return m.ID
+	case *Dump:
+		return m.ID
+	}
+	return 0
+}

@@ -1,0 +1,371 @@
+package wire_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"gridvine"
+	"gridvine/internal/mediation"
+	"gridvine/internal/triple"
+	"gridvine/internal/wire"
+)
+
+// testServer hosts every peer of a deterministic in-memory network
+// behind a real TCP wire server, pre-loaded with a small triple set.
+func testServer(t *testing.T, triples []triple.Triple) (*gridvine.Network, *wire.Server, string) {
+	t.Helper()
+	nw, err := gridvine.NewNetwork(gridvine.Options{Peers: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(nw.Close)
+	if len(triples) > 0 {
+		var b mediation.Batch
+		for _, tr := range triples {
+			b.InsertTriple(tr)
+		}
+		rec, err := nw.Peer(0).Write(context.Background(), &b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Failed != 0 || rec.Skipped != 0 {
+			t.Fatalf("seed write: %d failed, %d skipped", rec.Failed, rec.Skipped)
+		}
+	}
+
+	var hosted []wire.Hosted
+	for _, p := range nw.Peers() {
+		node := p.Node()
+		hosted = append(hosted, wire.Hosted{
+			Peer:   p.Peer,
+			Digest: node.ContentDigest,
+		})
+	}
+	srv := wire.NewServer(0, hosted)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return nw, srv, ln.Addr().String()
+}
+
+func seedTriples(n int) []triple.Triple {
+	out := make([]triple.Triple, 0, n)
+	for i := 0; i < n; i++ {
+		// 7 subjects against 3 predicates (coprime) so every subject
+		// carries every predicate — the conjunctive join is non-empty.
+		out = append(out, triple.Triple{
+			Subject:   fmt.Sprintf("urn:s%d", i%7),
+			Predicate: fmt.Sprintf("Base#p%d", i%3),
+			Object:    fmt.Sprintf("o%d", i),
+		})
+	}
+	return out
+}
+
+// drainWire collects every row of a wire query, sorted.
+func drainWire(t *testing.T, c *wire.Client, q wire.Query) ([][]string, wire.Stats) {
+	t.Helper()
+	ctx := context.Background()
+	cur, err := c.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows [][]string
+	for {
+		row, ok := cur.Next(ctx)
+		if !ok {
+			break
+		}
+		rows = append(rows, row)
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatalf("wire query failed: %v", err)
+	}
+	sortRows(rows)
+	return rows, cur.Stats()
+}
+
+// drainInProcess collects every row of the equivalent in-process
+// query, sorted.
+func drainInProcess(t *testing.T, p *gridvine.Peer, req mediation.Request) [][]string {
+	t.Helper()
+	ctx := context.Background()
+	cur, err := p.Query(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows [][]string
+	for {
+		row, ok := cur.Next(ctx)
+		if !ok {
+			break
+		}
+		rows = append(rows, row.Values)
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatalf("in-process query failed: %v", err)
+	}
+	sortRows(rows)
+	return rows
+}
+
+func sortRows(rows [][]string) {
+	sort.Slice(rows, func(i, j int) bool {
+		return strings.Join(rows[i], "\x00") < strings.Join(rows[j], "\x00")
+	})
+}
+
+func rowsEqual(a, b [][]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestWireQueryMatchesInProcess is the round-trip property of the
+// satellite: for every query shape, the rows a thin client receives
+// over the wire are byte-identical to the rows the hosting peer's
+// in-process Cursor yields.
+func TestWireQueryMatchesInProcess(t *testing.T) {
+	nw, _, addr := testServer(t, seedTriples(40))
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	peerID := string(nw.Peer(3).Node().ID())
+	pat := triple.Pattern{S: triple.Var("s"), P: triple.Const("Base#p1"), O: triple.Var("o")}
+	cases := []struct {
+		name string
+		q    wire.Query
+		req  mediation.Request
+	}{
+		{
+			name: "pattern",
+			q:    wire.Query{Peer: peerID, Pattern: &pat},
+			req:  mediation.Request{Pattern: &pat},
+		},
+		{
+			name: "pattern-reformulate-limited",
+			q:    wire.Query{Peer: peerID, Pattern: &pat, Reformulate: true, Limit: 5},
+			req:  mediation.Request{Pattern: &pat, Reformulate: true, Limit: 5},
+		},
+		{
+			name: "conjunctive-rdql",
+			q:    wire.Query{Peer: peerID, RDQL: `SELECT ?s, ?o WHERE (?s, <Base#p0>, ?x), (?s, <Base#p1>, ?o)`},
+			req:  mediation.Request{RDQL: `SELECT ?s, ?o WHERE (?s, <Base#p0>, ?x), (?s, <Base#p1>, ?o)`},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, stats := drainWire(t, c, tc.q)
+			want := drainInProcess(t, nw.Peer(3), tc.req)
+			if len(want) == 0 && tc.name != "pattern-reformulate-limited" {
+				t.Fatalf("degenerate case: in-process query returned no rows")
+			}
+			if !rowsEqual(got, want) {
+				t.Fatalf("wire rows != in-process rows:\n wire: %v\n proc: %v", got, want)
+			}
+			if stats.Rows != len(got) {
+				t.Fatalf("trailer stats.Rows = %d, streamed %d", stats.Rows, len(got))
+			}
+		})
+	}
+}
+
+// TestWireWriteReceipt proves the write path round-trips: a wire batch
+// lands (receipt accounts every entry), its rows are queryable over
+// the wire, and a follow-up delete removes them.
+func TestWireWriteReceipt(t *testing.T) {
+	_, _, addr := testServer(t, nil)
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	ts := []triple.Triple{
+		{Subject: "urn:w1", Predicate: "W#p", Object: "a"},
+		{Subject: "urn:w2", Predicate: "W#p", Object: "b"},
+		{Subject: "urn:w3", Predicate: "W#p", Object: "c"},
+	}
+	rec, err := c.Write(ctx, wire.Write{Inserts: ts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Applied != len(ts) || rec.Failed != 0 || rec.Skipped != 0 {
+		t.Fatalf("receipt = %+v, want %d applied", rec, len(ts))
+	}
+	if rec.Groups == 0 || rec.Messages == 0 {
+		t.Fatalf("receipt carries no shipping stats: %+v", rec)
+	}
+
+	pat := triple.Pattern{S: triple.Var("s"), P: triple.Const("W#p"), O: triple.Var("o")}
+	rows, _ := drainWire(t, c, wire.Query{Pattern: &pat})
+	if len(rows) != len(ts) {
+		t.Fatalf("after insert, query returned %d rows, want %d", len(rows), len(ts))
+	}
+
+	rec, err = c.Write(ctx, wire.Write{Deletes: ts[:1]})
+	if err != nil || rec.Applied != 1 {
+		t.Fatalf("delete receipt = %+v, err %v", rec, err)
+	}
+	rows, _ = drainWire(t, c, wire.Query{Pattern: &pat})
+	if len(rows) != len(ts)-1 {
+		t.Fatalf("after delete, query returned %d rows, want %d", len(rows), len(ts)-1)
+	}
+}
+
+// TestWireCancelReleasesServer proves a client Close propagates as a
+// Cancel frame that tears down the server-side engine: the daemon's
+// active-query gauge returns to zero even though the stream was
+// abandoned mid-flight.
+func TestWireCancelReleasesServer(t *testing.T) {
+	_, _, addr := testServer(t, seedTriples(200))
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	pat := triple.Pattern{S: triple.Var("s"), P: triple.Const("Base#p0"), O: triple.Var("o")}
+	cur, err := c.Query(ctx, wire.Query{Pattern: &pat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cur.Next(ctx); !ok {
+		t.Fatalf("no first row: %v", cur.Err())
+	}
+	cur.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := c.Stats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.ActiveQueries == 0 {
+			if st.QueriesServed == 0 || len(st.Peers) != 8 {
+				t.Fatalf("implausible stats after cancel: %+v", st)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server still reports %d active queries after cursor close", st.ActiveQueries)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestWireDumpDigests proves the dump surface reports per-peer content
+// digests that match the hosted nodes' own.
+func TestWireDumpDigests(t *testing.T) {
+	nw, _, addr := testServer(t, seedTriples(40))
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	d, err := c.Dump(context.Background(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Peers) != nw.NumPeers() {
+		t.Fatalf("dump covers %d peers, want %d", len(d.Peers), nw.NumPeers())
+	}
+	byID := map[string]wire.PeerDump{}
+	total := 0
+	for _, pd := range d.Peers {
+		byID[pd.ID] = pd
+		total += pd.Triples
+	}
+	if total == 0 {
+		t.Fatal("dump reports an empty cluster after seeding")
+	}
+	for _, p := range nw.Peers() {
+		pd, ok := byID[string(p.Node().ID())]
+		if !ok {
+			t.Fatalf("peer %s missing from dump", p.Node().ID())
+		}
+		if pd.Digest != p.Node().ContentDigest() {
+			t.Fatalf("peer %s dump digest %x != node digest %x", pd.ID, pd.Digest, p.Node().ContentDigest())
+		}
+		if pd.Path != p.Node().Path().String() {
+			t.Fatalf("peer %s dump path %q != node path %q", pd.ID, pd.Path, p.Node().Path())
+		}
+	}
+}
+
+// TestWireShutdownDrainsInFlight proves Shutdown waits for a running
+// stream: rows keep flowing to completion while new requests are
+// rejected with a draining trailer.
+func TestWireShutdownDrains(t *testing.T) {
+	_, srv, addr := testServer(t, seedTriples(120))
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	pat := triple.Pattern{S: triple.Var("s"), P: triple.Const("Base#p2"), O: triple.Var("o")}
+	cur, err := c.Query(ctx, wire.Query{Pattern: &pat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cur.Next(ctx); !ok {
+		t.Fatalf("no first row: %v", cur.Err())
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		done <- srv.Shutdown(sctx)
+	}()
+
+	// The in-flight stream must drain cleanly while shutdown waits.
+	n := 1
+	for {
+		_, ok := cur.Next(ctx)
+		if !ok {
+			break
+		}
+		n++
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatalf("in-flight stream failed during drain: %v", err)
+	}
+	if n < 2 {
+		t.Fatalf("drained only %d rows", n)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("shutdown did not drain cleanly: %v", err)
+	}
+}

@@ -406,3 +406,31 @@ func BenchmarkConjunctiveQuery(b *testing.B) {
 		sinkBindings = out
 	}
 }
+
+// BenchmarkComposite reproduces EXP-R: composite-mapping reformulation
+// (precomposed, quality-pruned closures) against the BFS engine on
+// deepening mapping chains. Headline metrics are the routed-message
+// reduction at the deepest chain and the steady-state composite cost;
+// paper-scale figures live in BENCH_compose.json.
+func BenchmarkComposite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunCompose(experiments.ComposeConfig{
+			Seed:    10,
+			Depths:  []int{4},
+			Queries: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := r.Points[0]
+		if !p.CompositeMatchesBFS {
+			b.Fatal("composite reformulation diverged from the BFS oracle")
+		}
+		if !p.InvalidationConsistent {
+			b.Fatal("stale composite served after a mapping replace")
+		}
+		b.ReportMetric(p.MessageReduction, "msg-cut@4")
+		b.ReportMetric(p.CompositeMsgsPerQuery, "comp-msgs/query")
+		b.ReportMetric(p.BFSMsgsPerQuery, "bfs-msgs/query")
+	}
+}

@@ -18,6 +18,7 @@
 //	gridvine-bench -exp O -json BENCH_churn.json
 //	gridvine-bench -exp P -json BENCH_durability.json
 //	gridvine-bench -exp Q -json BENCH_daemon.json
+//	gridvine-bench -exp R -json BENCH_compose.json
 //	gridvine-bench -exp A -store .bench-store   # cache the bulk load
 //	gridvine-bench -exp L -cpuprofile cpu.pprof -memprofile mem.pprof
 //
@@ -49,7 +50,7 @@ import (
 type printer interface{ Table() string }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: A,B,C,D,E,G,H,I,J,K,L,M,N,O,P,Q or all")
+	exp := flag.String("exp", "all", "experiment to run: A,B,C,D,E,G,H,I,J,K,L,M,N,O,P,Q,R or all")
 	quick := flag.Bool("quick", false, "run with scaled-down parameters")
 	seed := flag.Int64("seed", 1, "random seed")
 	parallel := flag.Int("parallel", 1, "reformulation fan-out width for query-heavy experiments (D); 1 keeps message counts exactly reproducible")
@@ -78,9 +79,9 @@ func main() {
 		"B": runB, "C": runC,
 		"D": func(quick bool, seed int64) (any, error) { return runD(quick, seed, *parallel) },
 		"E": runE, "G": runG, "H": runH, "I": runI, "J": runJ, "K": runK, "L": runL, "M": runM, "N": runN,
-		"O": runO, "P": runP, "Q": runQ,
+		"O": runO, "P": runP, "Q": runQ, "R": runR,
 	}
-	order := []string{"A", "B", "C", "D", "E", "G", "H", "I", "J", "K", "L", "M", "N", "O", "P", "Q"}
+	order := []string{"A", "B", "C", "D", "E", "G", "H", "I", "J", "K", "L", "M", "N", "O", "P", "Q", "R"}
 
 	var selected []string
 	if strings.EqualFold(*exp, "all") {
@@ -315,4 +316,13 @@ func runQ(quick bool, seed int64) (any, error) {
 		cfg.Preload, cfg.Duration = 120, 3*time.Second
 	}
 	return experiments.RunDaemonBench(cfg)
+}
+
+func runR(quick bool, seed int64) (any, error) {
+	header("R", "composite-mapping reformulation vs BFS as mapping chains deepen (precomposed closures, loss pruning)")
+	cfg := experiments.ComposeConfig{Seed: seed}
+	if quick {
+		cfg.Peers, cfg.Depths, cfg.Entities, cfg.Queries = 24, []int{1, 2, 4}, 2, 3
+	}
+	return experiments.RunCompose(cfg)
 }

@@ -160,10 +160,12 @@ func cmdStats(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("daemon %d: peers=%d uptime=%s draining=%v queries=%d writes=%d rows=%d active=%d/%d\n",
+		fmt.Printf("daemon %d: peers=%d uptime=%s draining=%v queries=%d writes=%d rows=%d active=%d/%d conns=%d rejected=%d compose=%d/%d hit/miss inval=%d entries=%d\n",
 			st.Daemon, len(st.Peers), (time.Duration(st.UptimeMillis) * time.Millisecond).Round(time.Second),
 			st.Draining, st.QueriesServed, st.WritesServed, st.RowsStreamed,
-			st.ActiveQueries, st.ActiveWrites)
+			st.ActiveQueries, st.ActiveWrites,
+			st.ActiveConns, st.ConnsRejected,
+			st.ComposeHits, st.ComposeMisses, st.ComposeInvalidations, st.ComposeEntries)
 		return nil
 	})
 }

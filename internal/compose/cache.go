@@ -1,0 +1,188 @@
+package compose
+
+import (
+	"context"
+	"sort"
+	"sync"
+)
+
+// entryKey identifies one cached closure: the source predicate plus every
+// option that shapes the traversal. Queries running under different depth,
+// confidence or loss bounds see different closures and must not share
+// entries.
+type entryKey struct {
+	predicate     string
+	maxDepth      int
+	minConfidence float64
+	maxLoss       float64
+}
+
+func keyFor(predicate string, opts Options) entryKey {
+	return entryKey{
+		predicate:     predicate,
+		maxDepth:      opts.MaxDepth,
+		minConfidence: opts.MinConfidence,
+		maxLoss:       opts.MaxLoss,
+	}
+}
+
+// Stats is a point-in-time snapshot of a cache's counters.
+type Stats struct {
+	// Hits and Misses count Lookup outcomes.
+	Hits, Misses uint64
+	// Invalidations counts entries dropped by Invalidate calls (not the
+	// calls themselves).
+	Invalidations uint64
+	// Builds counts entries installed through PutIfCurrent.
+	Builds uint64
+	// Entries is the current number of cached closures.
+	Entries int
+	// Version is the schema-graph version counter: it advances on every
+	// mapping publish or replace the owner observes.
+	Version uint64
+}
+
+// Cache holds the composite closures of one peer, keyed on (predicate,
+// options) and guarded by a schema-graph version counter. Entries are
+// shared, immutable values: callers must not mutate what Lookup returns.
+//
+// Invalidation is incremental and exact: Invalidate(schemas…) advances the
+// version and drops only the entries whose build consulted one of the named
+// schemas (Entry.Touched) — chains that never pass through a changed mapping
+// survive. The version counter closes the build/invalidate race: a build
+// snapshots Version before its first retrieval, and PutIfCurrent refuses the
+// entry if the graph moved meanwhile, so a closure computed from a
+// superseded graph is never served.
+type Cache struct {
+	mu            sync.Mutex
+	version       uint64
+	entries       map[entryKey]*Entry
+	hits          uint64
+	misses        uint64
+	invalidations uint64
+	builds        uint64
+}
+
+// NewCache returns an empty cache at version 0.
+func NewCache() *Cache {
+	return &Cache{entries: map[entryKey]*Entry{}}
+}
+
+// Version returns the current schema-graph version. Builds snapshot it
+// before their first retrieval and stamp it on the entry they hand to
+// PutIfCurrent.
+func (c *Cache) Version() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.version
+}
+
+// Lookup returns the cached closure for a predicate under the given options,
+// counting the hit or miss.
+func (c *Cache) Lookup(predicate string, opts Options) (*Entry, bool) {
+	k := keyFor(predicate, opts.withDefaults())
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return e, ok
+}
+
+// PutIfCurrent installs a built entry unless the schema graph moved since
+// the build started (e.Version no longer matches): a mapping publish or
+// replace that raced the build may have changed what the build read, so the
+// stale closure is discarded and reports false — the caller may still use
+// the entry for its own query (it reflects a graph state that existed), it
+// just must not be served to later queries.
+func (c *Cache) PutIfCurrent(e *Entry) bool {
+	k := keyFor(e.Source, e.Options)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e.Version != c.version {
+		return false
+	}
+	c.entries[k] = e
+	c.builds++
+	return true
+}
+
+// Invalidate advances the schema-graph version and drops every entry whose
+// build consulted one of the named schemas, returning how many were dropped.
+// Call it with the source and target schema of every published or replaced
+// mapping.
+func (c *Cache) Invalidate(schemas ...string) int {
+	if len(schemas) == 0 {
+		return 0
+	}
+	changed := map[string]bool{}
+	for _, s := range schemas {
+		changed[s] = true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.version++
+	dropped := 0
+	for k, e := range c.entries {
+		if touchesAny(e.Touched, changed) {
+			delete(c.entries, k)
+			dropped++
+		}
+	}
+	c.invalidations += uint64(dropped)
+	return dropped
+}
+
+// GetOrBuild returns the cached closure for a predicate, building and
+// installing it on a miss. built reports whether a build ran (its messages
+// are in Entry.BuildMessages — the caller charges them to the triggering
+// query). A build error is returned as-is and caches nothing.
+func (c *Cache) GetOrBuild(ctx context.Context, src MappingSource, predicate string, opts Options) (e *Entry, built bool, err error) {
+	opts = opts.withDefaults()
+	if e, ok := c.Lookup(predicate, opts); ok {
+		return e, false, nil
+	}
+	v := c.Version()
+	e, err = Build(ctx, src, predicate, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	e.Version = v
+	c.PutIfCurrent(e)
+	return e, true, nil
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Invalidations: c.invalidations,
+		Builds:        c.builds,
+		Entries:       len(c.entries),
+		Version:       c.version,
+	}
+}
+
+func touchesAny(sorted []string, set map[string]bool) bool {
+	for _, s := range sorted {
+		if set[s] {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,260 @@
+// Package compose maintains composite-mapping closures over the schema
+// graph: the transitive mapping chains reachable from a queried predicate,
+// precomposed into single composite mappings ("Composition and Inversion of
+// Schema Mappings") and weighted with the mapping confidences the Bayesian
+// cycle analysis refreshes, so reformulation becomes one cached lookup
+// instead of a per-query breadth-first walk of the mapping network.
+//
+// Build replicates the mediation layer's iterative BFS exactly — same
+// visited-set claims, same wave order, same confidence gate — so a closure's
+// targets enumerate precisely the reformulations the traversal would have
+// produced, making the BFS the equivalence oracle for the cache. On top of
+// the traversal, each target carries its composed attribute correspondences
+// with conflict and loss tracking, and branches whose accumulated attribute
+// loss exceeds Options.MaxLoss are pruned before any fan-out ("Managing
+// Semantic Loss during Query Reformulation").
+//
+// The package depends only on the schema model: callers supply the mapping
+// retrieval as a MappingSource closure, so the engine is testable without an
+// overlay and the mediation layer can charge retrieval messages honestly.
+package compose
+
+import (
+	"context"
+	"fmt"
+
+	"gridvine/internal/schema"
+)
+
+// Options tunes a closure build and keys its cache entry.
+type Options struct {
+	// MaxDepth bounds the mapping-path length. Default 5 (the mediation
+	// layer's SearchOptions default).
+	MaxDepth int
+	// MinConfidence prunes chains whose composed confidence falls below it.
+	// Default 0.05.
+	MinConfidence float64
+	// MaxLoss prunes chains whose attribute loss (see Target.Loss) exceeds
+	// it, before the chain fans out further. 0 selects 1 — no pruning, the
+	// full-recall mode whose targets match the BFS exactly.
+	MaxLoss float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 5
+	}
+	if o.MinConfidence == 0 {
+		o.MinConfidence = 0.05
+	}
+	if o.MaxLoss == 0 {
+		o.MaxLoss = 1
+	}
+	return o
+}
+
+// MappingSource retrieves the active outgoing mappings of a schema (the
+// mediation layer's MappingsFrom: mappings stored at the schema's key whose
+// source is the schema, plus reverses of bidirectional equivalences), along
+// with the overlay message cost of the retrieval. A MappingSource error
+// aborts the build — a truncated closure must never be cached.
+type MappingSource func(ctx context.Context, schemaName string) ([]schema.Mapping, int, error)
+
+// Target is one precomposed reformulation destination: a predicate reachable
+// from the closure's source predicate through a chain of mappings, collapsed
+// into a single composite mapping.
+type Target struct {
+	// Predicate is the reformulated Schema#Attr URI.
+	Predicate string
+	// SchemaName and Attr split Predicate.
+	SchemaName string
+	Attr       string
+	// Path lists the IDs of the mappings composed to reach the predicate, in
+	// traversal order — identical to the MappingPath the BFS reports.
+	Path []string
+	// Confidence is the product of the chained mappings' confidences.
+	Confidence float64
+	// Composed is the chain collapsed into one mapping (source schema →
+	// target schema): only attribute correspondences that survive every hop
+	// remain, with per-correspondence confidences multiplied.
+	Composed schema.Mapping
+	// Loss is the fraction of the chain's first hop's source attributes that
+	// no longer survive the full composition — 0 for a depth-1 target, and
+	// growing as hops drop correspondences.
+	Loss float64
+	// Conflicts counts correspondence collisions in the composed mapping:
+	// source attributes translated to several targets, or several sources
+	// collapsing onto one target attribute.
+	Conflicts int
+	// Depth is the chain length (len(Path)).
+	Depth int
+}
+
+// Entry is one cached closure: every target reachable from Source under the
+// entry's options, plus the bookkeeping invalidation and accounting need.
+// Entries are immutable once built; concurrent readers share them.
+type Entry struct {
+	// Source is the predicate URI the closure was built for.
+	Source string
+	// Options are the (defaulted) options the closure was built under.
+	Options Options
+	// Targets lists the reachable predicates in BFS wave order — the order
+	// the iterative traversal claims them, which keeps composite
+	// reformulation's emission order identical to the BFS's.
+	Targets []Target
+	// Touched lists the schema names whose key spaces the build consulted,
+	// sorted. A mapping publish or replace whose source or target schema is
+	// in this set may change the closure; anything else cannot (a mapping is
+	// only retrievable from its source key, or its target key when
+	// bidirectional), so invalidation is exact on this set.
+	Touched []string
+	// Version is the cache version the build started from; Cache.PutIfCurrent
+	// refuses the entry if the schema graph moved during the build.
+	Version uint64
+	// BuildMessages is the overlay message cost of the mapping retrievals
+	// the build issued.
+	BuildMessages int
+	// Reformulations counts the visited-set claims of the traversal —
+	// exactly the Reformulations counter the BFS would have reported.
+	Reformulations int
+}
+
+// frontier is one BFS wave item: a predicate reached through a chain, with
+// the chain's running composition.
+type frontier struct {
+	schemaName string
+	attr       string
+	path       []string
+	confidence float64
+	composed   schema.Mapping // chain collapsed so far (zero at the root)
+	first      schema.Mapping // the chain's first hop (loss baseline)
+}
+
+// Build computes the closure of a predicate: the breadth-first traversal of
+// the mapping graph the mediation layer's iterative reformulation performs,
+// with each reached predicate's chain collapsed into a composite mapping.
+// The traversal claims predicates in wave order under the same confidence
+// gate as the BFS, so with MaxLoss unset the targets are exactly the BFS's
+// reformulations. Any retrieval error aborts the build.
+func Build(ctx context.Context, src MappingSource, predicate string, opts Options) (*Entry, error) {
+	opts = opts.withDefaults()
+	schemaName, attr, ok := schema.SplitPredicateURI(predicate)
+	if !ok {
+		return nil, fmt.Errorf("compose: predicate %q is not Schema#Attr", predicate)
+	}
+	e := &Entry{Source: predicate, Options: opts}
+	visited := map[string]bool{predicate: true}
+	touched := map[string]bool{}
+	wave := []frontier{{schemaName: schemaName, attr: attr, confidence: 1}}
+	for len(wave) > 0 {
+		var next []frontier
+		for _, it := range wave {
+			if len(it.path) >= opts.MaxDepth {
+				continue
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			mappings, msgs, err := src(ctx, it.schemaName)
+			e.BuildMessages += msgs
+			touched[it.schemaName] = true
+			if err != nil {
+				return nil, fmt.Errorf("compose: retrieving mappings of %s: %w", it.schemaName, err)
+			}
+			for _, m := range mappings {
+				targetAttr, ok := m.TranslateAttr(it.attr)
+				if !ok {
+					continue
+				}
+				conf := it.confidence * m.Confidence
+				if conf < opts.MinConfidence {
+					continue
+				}
+				newPred := m.Target + "#" + targetAttr
+				if visited[newPred] {
+					continue
+				}
+				composed, first := m, m
+				if len(it.path) > 0 {
+					first = it.first
+					var err error
+					if composed, err = it.composed.Compose(m); err != nil {
+						continue // impossible by construction: it.composed targets m.Source
+					}
+				}
+				loss := lossOf(first, composed)
+				if loss > opts.MaxLoss {
+					continue // pruned before claiming or fanning out
+				}
+				visited[newPred] = true
+				e.Reformulations++
+				path := append(append([]string{}, it.path...), m.ID)
+				e.Targets = append(e.Targets, Target{
+					Predicate:  newPred,
+					SchemaName: m.Target,
+					Attr:       targetAttr,
+					Path:       path,
+					Confidence: conf,
+					Composed:   composed,
+					Loss:       loss,
+					Conflicts:  conflictsOf(composed),
+					Depth:      len(path),
+				})
+				next = append(next, frontier{
+					schemaName: m.Target,
+					attr:       targetAttr,
+					path:       path,
+					confidence: conf,
+					composed:   composed,
+					first:      first,
+				})
+			}
+		}
+		wave = next
+	}
+	e.Touched = sortedKeys(touched)
+	return e, nil
+}
+
+// lossOf measures how much of the chain's initial translation capability the
+// full composition retains: 1 − (distinct source attributes of the composed
+// mapping) / (distinct source attributes of the chain's first hop).
+func lossOf(first, composed schema.Mapping) float64 {
+	base := distinctSourceAttrs(first)
+	if base == 0 {
+		return 0
+	}
+	return 1 - float64(distinctSourceAttrs(composed))/float64(base)
+}
+
+func distinctSourceAttrs(m schema.Mapping) int {
+	seen := map[string]bool{}
+	for _, c := range m.Correspondences {
+		seen[c.SourceAttr] = true
+	}
+	return len(seen)
+}
+
+// conflictsOf counts correspondence collisions: every correspondence beyond
+// the first sharing a source attribute (ambiguous translation) or a target
+// attribute (several sources collapsing onto one target).
+func conflictsOf(m schema.Mapping) int {
+	bySrc := map[string]int{}
+	byTgt := map[string]int{}
+	for _, c := range m.Correspondences {
+		bySrc[c.SourceAttr]++
+		byTgt[c.TargetAttr]++
+	}
+	n := 0
+	for _, k := range bySrc {
+		if k > 1 {
+			n += k - 1
+		}
+	}
+	for _, k := range byTgt {
+		if k > 1 {
+			n += k - 1
+		}
+	}
+	return n
+}

@@ -72,6 +72,10 @@ type Config struct {
 	// PeerWait bounds how long Start waits for sibling daemons'
 	// address files (default 30s).
 	PeerWait time.Duration
+	// MaxConns caps concurrently served wire connections (0 =
+	// unlimited); connections past the cap are rejected with a clean
+	// error frame.
+	MaxConns int
 }
 
 // AddrFile is the rendezvous record a daemon publishes under
@@ -319,7 +323,7 @@ func Start(cfg Config) (*Daemon, error) {
 	for i, h := range d.hosted {
 		hosted[i] = wire.Hosted{Peer: h.peer, Digest: h.peer.Node().ContentDigest, WALSeq: h.log.Seq}
 	}
-	d.server = wire.NewServer(cfg.Index, hosted)
+	d.server = wire.NewServerOptions(cfg.Index, hosted, wire.Options{MaxConns: cfg.MaxConns})
 	go func() {
 		d.server.Serve(ln)
 		close(d.serveDone)

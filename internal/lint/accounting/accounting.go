@@ -53,6 +53,8 @@ var chargedTypes = map[string]bool{
 	"gridvine/internal/mediation.PatternQuery":         true,
 	"gridvine/internal/mediation.ReformulatedQuery":    true,
 	"gridvine/internal/mediation.ReformulatedResponse": true,
+	"gridvine/internal/mediation.CompositeQuery":       true,
+	"gridvine/internal/mediation.CompositeResponse":    true,
 }
 
 // dataFreeTypes are payload types that structurally carry no stored

@@ -15,6 +15,8 @@ type (
 	PatternQuery         struct{}
 	ReformulatedQuery    struct{}
 	ReformulatedResponse struct{}
+	CompositeQuery       struct{}
+	CompositeResponse    struct{}
 )
 
 // PayloadTriples mirrors the real sizing helper's shape.
@@ -34,6 +36,8 @@ func PayloadTriples(payload any) int {
 		return 5
 	case PatternQuery, ReformulatedQuery, ReformulatedResponse:
 		return 6
+	case CompositeQuery, CompositeResponse:
+		return 8
 	}
 	return 0
 }

@@ -945,6 +945,16 @@ func PayloadTriples(payload any) int {
 		return filterTripleEquivalents(v.Filters)
 	case ReformulatedQuery:
 		return filterTripleEquivalents(v.Filters)
+	case CompositeQuery:
+		// Like PatternQuery: the variant patterns are query-sized, only the
+		// semi-join filters make the request data-bearing.
+		return filterTripleEquivalents(v.Filters)
+	case CompositeResponse:
+		n := 0
+		for _, a := range v.Answers {
+			n += len(a)
+		}
+		return n
 	case pgrid.BatchEntry:
 		// The head entry of a batched write, riding its routing probe.
 		return tripleValued(v.Value)

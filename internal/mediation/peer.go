@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sync"
 
+	"gridvine/internal/compose"
 	"gridvine/internal/keyspace"
 	"gridvine/internal/pgrid"
 	"gridvine/internal/schema"
@@ -36,6 +37,11 @@ type Peer struct {
 	// statistics digests this peer has fetched (see stats.go).
 	statsMu    sync.Mutex
 	statsCache map[string]*schemaEstimate
+
+	// composites caches this peer's precomposed mapping closures (see
+	// compose.go), invalidated by mapping publishes and replacements
+	// observed on either the write path or the store hooks.
+	composites *compose.Cache
 }
 
 // PatternQuery ships a triple pattern to the peer responsible for its key;
@@ -88,7 +94,7 @@ func NewPeer(node *pgrid.Node) *Peer {
 // NewPeerWithDriver is NewPeer over an explicit storage driver — the
 // in-memory triple.DB or a durable store.DurableDB.
 func NewPeerWithDriver(node *pgrid.Node, drv triple.Driver) *Peer {
-	p := &Peer{node: node, db: drv, depth: keyspace.DefaultDepth}
+	p := &Peer{node: node, db: drv, depth: keyspace.DefaultDepth, composites: compose.NewCache()}
 	node.SetStoreHook(p.hookStoreChange)
 	node.SetBatchStoreHook(p.hookStoreBatch)
 	node.SetQueryHandler(p.handleQuery)
@@ -104,17 +110,31 @@ func (p *Peer) DB() triple.Driver { return p.db }
 
 // hookStoreChange is the node's StoreHook: it logs the mutation to the
 // attached durable log (if any), then mirrors it into the relational
-// view.
+// view. A mapping value landing or leaving the local store invalidates
+// the composite closures passing through its schemas — the
+// responsible-peer side of the schema-graph version counter (the issuer
+// side is Peer.Write).
 func (p *Peer) hookStoreChange(op pgrid.Op, key keyspace.Key, value any) {
 	p.logMutations([]pgrid.StoreMutation{{Op: op, Key: key, Value: value}})
 	p.onStoreChange(op, key, value)
+	if m, ok := value.(schema.Mapping); ok {
+		p.invalidateComposites([]schema.Mapping{m})
+	}
 }
 
 // hookStoreBatch is the node's BatchStoreHook: the whole batch becomes
-// one durable log record before it is mirrored.
+// one durable log record before it is mirrored. Mapping values in the
+// batch invalidate the composite closures through their schemas, once.
 func (p *Peer) hookStoreBatch(muts []pgrid.StoreMutation) {
 	p.logMutations(muts)
 	p.onStoreBatch(muts)
+	var mappings []schema.Mapping
+	for _, mut := range muts {
+		if m, ok := mut.Value.(schema.Mapping); ok {
+			mappings = append(mappings, m)
+		}
+	}
+	p.invalidateComposites(mappings)
 }
 
 // GUID builds a globally unique identifier for a local resource name,

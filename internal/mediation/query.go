@@ -77,6 +77,23 @@ type SearchOptions struct {
 	// unconstrained pattern — the pre-semi-join engine, kept as the
 	// benchmark baseline.
 	DisableSemiJoin bool
+	// ComposeMappings routes reformulation through the peer's composite
+	// closure cache (internal/compose): the transitive mapping chains of the
+	// queried predicate are precomposed once, cached until a mapping publish
+	// or replace invalidates them, and the reformulated variants ship
+	// grouped by destination key — one routed operation per distinct key
+	// instead of one pattern lookup plus one mapping retrieval per reachable
+	// schema. Results are identical to the BFS traversal (the default
+	// engine, retained as the equivalence oracle) unless MaxLoss prunes.
+	// Both reformulation modes short-circuit through the cache:
+	// precomposition leaves nothing to delegate.
+	ComposeMappings bool
+	// MaxLoss prunes composite chains whose attribute loss — the fraction
+	// of the chain's first-hop source attributes that no longer survive the
+	// composed correspondences — exceeds it, before any fan-out. Only
+	// meaningful with ComposeMappings. 0 disables pruning (full recall);
+	// setting it trades recall for fan-out.
+	MaxLoss float64
 	// StatsTTL is the freshness horizon of distributed statistics: the
 	// conjunctive planner aggregates published StatsDigests no older than
 	// this (cached per schema for the same window) to estimate pattern
@@ -290,6 +307,9 @@ func (p *Peer) streamPattern(ctx context.Context, q triple.Pattern, filters []Va
 		}
 		emitAll(rs, emit)
 		return rs, false, nil
+	}
+	if opts.ComposeMappings {
+		return p.streamComposite(ctx, q, filters, opts, emit)
 	}
 	if opts.Mode == Recursive {
 		return p.streamRecursive(ctx, q, filters, opts, emit)
@@ -726,6 +746,8 @@ func (p *Peer) handleQuery(key keyspace.Key, payload any) (any, error) {
 		return filterTriples(req.Pattern, req.Filters, p.db.SelectSorted(req.Pattern)), nil
 	case ReformulatedQuery:
 		return p.handleReformulated(req)
+	case CompositeQuery:
+		return p.handleComposite(req), nil
 	case ConnectivityQuery:
 		return p.handleConnectivity(key, req), nil
 	default:

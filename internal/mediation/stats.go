@@ -96,9 +96,10 @@ func (p *Peer) PublishStats(ctx context.Context) (int, pgrid.Route, error) {
 }
 
 // predEstimate is one predicate's cardinalities aggregated across the fresh
-// digests of a schema. Distinct counts are summed, which over-counts values
-// shared by several peers — an upper bound, which only makes the planner's
-// per-value estimates conservative.
+// digests of a schema. Distinct counts come from merging the digests'
+// HyperLogLog sketches — union semantics, so a subject held by several
+// peers (replicas, the 3-way index) is counted once; digests without
+// sketches fall back to summing, an upper bound.
 type predEstimate struct {
 	Triples  int
 	Subjects int
@@ -142,6 +143,13 @@ func (p *Peer) schemaStats(ctx context.Context, name string, ttl time.Duration, 
 	if err != nil {
 		return e
 	}
+	type predAccum struct {
+		triples   int
+		subjSum   int // digests without sketches: exact counts, summed
+		objSum    int
+		subj, obj *triple.HLL
+	}
+	accum := map[string]*predAccum{}
 	for _, v := range values {
 		d, ok := v.(StatsDigest)
 		if !ok || now.Sub(d.Published) > ttl {
@@ -149,13 +157,42 @@ func (p *Peer) schemaStats(ctx context.Context, name string, ttl time.Duration, 
 		}
 		e.digests++
 		for _, ps := range d.Predicates {
-			pe := e.preds[ps.Predicate]
-			pe.Triples += ps.Triples
-			pe.Subjects += ps.DistinctSubjects
-			pe.Objects += ps.DistinctObjects
-			e.preds[ps.Predicate] = pe
+			a := accum[ps.Predicate]
+			if a == nil {
+				a = &predAccum{}
+				accum[ps.Predicate] = a
+			}
+			a.triples += ps.Triples
+			if ps.SubjectSketch != nil {
+				if a.subj == nil {
+					a.subj = ps.SubjectSketch.Clone()
+				} else {
+					a.subj.Merge(ps.SubjectSketch)
+				}
+			} else {
+				a.subjSum += ps.DistinctSubjects
+			}
+			if ps.ObjectSketch != nil {
+				if a.obj == nil {
+					a.obj = ps.ObjectSketch.Clone()
+				} else {
+					a.obj.Merge(ps.ObjectSketch)
+				}
+			} else {
+				a.objSum += ps.DistinctObjects
+			}
 			e.triples += ps.Triples
 		}
+	}
+	for pred, a := range accum {
+		pe := predEstimate{Triples: a.triples, Subjects: a.subjSum, Objects: a.objSum}
+		if a.subj != nil {
+			pe.Subjects += a.subj.Estimate()
+		}
+		if a.obj != nil {
+			pe.Objects += a.obj.Estimate()
+		}
+		e.preds[pred] = pe
 	}
 	p.statsMu.Lock()
 	if p.statsCache == nil {

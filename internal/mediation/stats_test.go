@@ -175,3 +175,76 @@ func TestStatsDigestReplaces(t *testing.T) {
 		t.Error("foreign type should not be replaced")
 	}
 }
+
+// TestPlannerOrderingSharedSubjects is the sketch regression: replication
+// and the 3-way index make peers' extensions overlap, so summing per-peer
+// distinct counts inflates the per-value selectivity denominator and can
+// invert the planner's pattern ordering. With merged HyperLogLog sketches
+// the aggregate tracks the true distinct counts; digests without sketches
+// keep the old summing fallback.
+func TestPlannerOrderingSharedSubjects(t *testing.T) {
+	_, ps, err := buildPeers(16, 43)
+	if err != nil {
+		t.Fatalf("buildPeers: %v", err)
+	}
+	issuer := ps[0]
+	ctx := context.Background()
+
+	mkSketch := func(prefix string, lo, hi int) *triple.HLL {
+		h := &triple.HLL{}
+		for i := lo; i < hi; i++ {
+			h.Add(fmt.Sprintf("%s%04d", prefix, i))
+		}
+		return h
+	}
+	// Two origins publish digests for schema A:
+	//  - A#shared: both hold the SAME 100 subjects (full replication).
+	//    True distinct 100; the old sum said 200.
+	//  - A#split: disjoint 50-subject halves. True distinct 100 = the sum.
+	//  - A#legacy: no sketches; aggregation must fall back to summing.
+	for i, origin := range []string{"fake-origin-1", "fake-origin-2"} {
+		d := StatsDigest{Origin: origin, Schema: "A", Published: time.Now(), Predicates: []triple.PredicateStats{
+			{Predicate: "A#shared", Triples: 100, DistinctSubjects: 100,
+				SubjectSketch: mkSketch("s", 0, 100), ObjectSketch: mkSketch("so", 0, 100)},
+			{Predicate: "A#split", Triples: 75, DistinctSubjects: 50,
+				SubjectSketch: mkSketch("t", 50*i, 50*i+50), ObjectSketch: mkSketch("to", 50*i, 50*i+50)},
+			{Predicate: "A#legacy", Triples: 10, DistinctSubjects: 40, DistinctObjects: 40},
+		}}
+		if _, err := issuer.Node().Replace(ctx, issuer.schemaKey("A"), d); err != nil {
+			t.Fatalf("publish digest: %v", err)
+		}
+	}
+
+	var st ConjunctiveStats
+	e := issuer.schemaStats(ctx, "A", DefaultStatsTTL, &st)
+	if e.digests != 2 {
+		t.Fatalf("aggregated %d digests, want 2", e.digests)
+	}
+	shared, split, legacy := e.preds["A#shared"], e.preds["A#split"], e.preds["A#legacy"]
+	if shared.Subjects < 80 || shared.Subjects > 125 {
+		t.Errorf("fully-replicated subjects aggregated to %d, want ≈100 (a sum would say 200)", shared.Subjects)
+	}
+	if split.Subjects < 80 || split.Subjects > 125 {
+		t.Errorf("disjoint subjects aggregated to %d, want ≈100", split.Subjects)
+	}
+	if legacy.Subjects != 80 {
+		t.Errorf("sketchless digests aggregated to %d, want the summed 80", legacy.Subjects)
+	}
+
+	// The ordering consequence, straight through the planner's estimate:
+	// per-subject cardinality of A#shared is 200/100 = 2, of A#split
+	// 150/100 = 1.5 — so a subject-bound A#split pattern must rank
+	// cheaper. The old sum said shared = 200/200 = 1.0 and inverted it.
+	sv := &statsView{schemas: map[string]*schemaEstimate{"A": e}}
+	estShared, ok := sv.estimate(triple.Pattern{S: triple.Const("s0001"), P: triple.Const("A#shared"), O: triple.Var("o")})
+	if !ok {
+		t.Fatal("no estimate for A#shared")
+	}
+	estSplit, ok := sv.estimate(triple.Pattern{S: triple.Const("t0001"), P: triple.Const("A#split"), O: triple.Var("o")})
+	if !ok {
+		t.Fatal("no estimate for A#split")
+	}
+	if estShared <= estSplit {
+		t.Errorf("ordering regression: shared %.2f ≤ split %.2f, want shared costlier", estShared, estSplit)
+	}
+}

@@ -326,6 +326,12 @@ func (p *Peer) Write(ctx context.Context, b *Batch) (*Receipt, error) {
 		}
 	}
 
+	// Issuer-side composite invalidation: whatever this batch did to the
+	// mapping graph, closures through the affected schemas are stale now —
+	// even on partial failure (some key-writes may have landed), so the
+	// invalidation is unconditional once shipping was attempted.
+	p.invalidateComposites(b.mappingSchemas())
+
 	if err := ctx.Err(); err != nil {
 		return rec, err
 	}

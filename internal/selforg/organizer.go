@@ -42,6 +42,14 @@ type Config struct {
 	MinSharedSubjects int
 	// Rng drives sampling; required.
 	Rng *rand.Rand
+	// Compose, when non-nil, has every round warm the peer's
+	// composite-mapping closures for each registered schema attribute under
+	// these search options, so steady-state ComposeMappings queries hit
+	// precomposed entries — the maintenance loop is the cache's background
+	// warmer. Closures invalidated by this round's own mapping publishes and
+	// replacements are rebuilt in the same round (warming runs after
+	// creation and assessment).
+	Compose *mediation.SearchOptions
 }
 
 func (c Config) withDefaults() Config {
@@ -283,6 +291,10 @@ type RoundReport struct {
 	// StatsDigests is the number of statistics digests (one per schema
 	// with local data) the round republished at the schema keys.
 	StatsDigests int
+	// CompositesWarmed is the number of composite-mapping closures the
+	// round built into the peer's cache (0 when warming is disabled or
+	// every closure was already warm).
+	CompositesWarmed int
 }
 
 // Round runs one self-organization round: inquire connectivity; if below
@@ -382,7 +394,19 @@ func (o *Organizer) Round(ctx context.Context, subjects []string) (RoundReport, 
 		report.StatsDigests = n
 	}
 
-	// 4. Degree registry refresh.
+	// 4. Composite-cache warming: rebuild the mapping closures this round's
+	// publishes and replacements invalidated (and any still-cold ones), so
+	// steady-state queries keep hitting precomposed entries. Synchronous at
+	// the end of the round — the maintenance loop is the background — and
+	// best-effort per predicate: a schema whose key is unreachable is
+	// simply warmed next round.
+	if o.cfg.Compose != nil {
+		if n, err := o.warmComposites(ctx); err == nil {
+			report.CompositesWarmed = n
+		}
+	}
+
+	// 5. Degree registry refresh.
 	if err := o.RefreshDegrees(ctx, ms); err != nil {
 		return report, err
 	}
@@ -409,6 +433,29 @@ func (o *Organizer) RunUntilConnected(ctx context.Context, subjects []string, ma
 		}
 	}
 	return reports, nil
+}
+
+// warmComposites builds the composite-mapping closure of every attribute of
+// every schema registered in the domain, under the configured search
+// options. Schemas whose definition cannot be retrieved this round are
+// skipped (their closures stay cold until a later round); only already-warm
+// closures cost nothing.
+func (o *Organizer) warmComposites(ctx context.Context) (int, error) {
+	names, err := o.SchemaNames(ctx)
+	if err != nil {
+		return 0, err
+	}
+	var preds []string
+	for _, name := range names {
+		s, err := o.peer.LookupSchema(ctx, name)
+		if err != nil {
+			continue
+		}
+		for _, attr := range s.Attributes {
+			preds = append(preds, s.PredicateURI(attr))
+		}
+	}
+	return o.peer.WarmComposites(ctx, preds, *o.cfg.Compose)
 }
 
 // searchSubject retrieves every triple stored under a subject's key — the

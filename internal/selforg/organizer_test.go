@@ -429,3 +429,67 @@ func TestRoundRepublishesStatsDigests(t *testing.T) {
 			tripleCount(second[0]), tripleCount(first[0]))
 	}
 }
+
+func TestRoundWarmsCompositeCache(t *testing.T) {
+	ps, setupOrg := testSetup(t, 16, 77)
+	for _, name := range []string{"A", "B", "C"} {
+		if err := setupOrg.RegisterSchema(context.Background(), schema.NewSchema(name, "bio", "org")); err != nil {
+			t.Fatalf("RegisterSchema(%s): %v", name, err)
+		}
+	}
+	for _, m := range []schema.Mapping{
+		schema.NewMapping("A", "B", schema.Equivalence, schema.Manual,
+			[]schema.Correspondence{{SourceAttr: "org", TargetAttr: "org", Confidence: 1}}),
+		schema.NewMapping("B", "C", schema.Equivalence, schema.Manual,
+			[]schema.Correspondence{{SourceAttr: "org", TargetAttr: "org", Confidence: 1}}),
+	} {
+		if _, err := ps[0].InsertMappingContext(context.Background(), m); err != nil {
+			t.Fatalf("InsertMapping: %v", err)
+		}
+	}
+
+	opts := mediation.SearchOptions{MaxDepth: 3, Parallelism: 1}
+	org, err := New(ps[0], Config{
+		Domain:  "bio",
+		Rng:     rand.New(rand.NewSource(8)),
+		Compose: &opts,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	r1, err := org.Round(context.Background(), nil)
+	if err != nil {
+		t.Fatalf("Round 1: %v", err)
+	}
+	// One closure per registered schema attribute: A#org, B#org, C#org.
+	if r1.CompositesWarmed != 3 {
+		t.Fatalf("round 1 warmed %d closures, want 3", r1.CompositesWarmed)
+	}
+
+	// A steady-state composite query must now be a pure cache hit.
+	before := ps[0].ComposeStats()
+	q := triple.Pattern{S: triple.Var("s"), P: triple.Const("A#org"), O: triple.Var("o")}
+	qopts := opts
+	qopts.ComposeMappings = true
+	cur, err := ps[0].Query(context.Background(), mediation.Request{Pattern: &q, Reformulate: true, Options: qopts})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if _, err := mediation.CollectPattern(context.Background(), cur); err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	after := ps[0].ComposeStats()
+	if after.Hits != before.Hits+1 || after.Builds != before.Builds {
+		t.Errorf("warmed query was not a cache hit: before %+v after %+v", before, after)
+	}
+
+	// Nothing changed since: the next round rebuilds no closure.
+	r2, err := org.Round(context.Background(), nil)
+	if err != nil {
+		t.Fatalf("Round 2: %v", err)
+	}
+	if r2.CompositesWarmed != 0 {
+		t.Errorf("round 2 rebuilt %d closures on an unchanged graph, want 0", r2.CompositesWarmed)
+	}
+}

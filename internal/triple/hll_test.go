@@ -1,0 +1,106 @@
+package triple
+
+import (
+	"fmt"
+	"testing"
+)
+
+func sketchOf(prefix string, n int) *HLL {
+	h := &HLL{}
+	for i := 0; i < n; i++ {
+		h.Add(fmt.Sprintf("%s%06d", prefix, i))
+	}
+	return h
+}
+
+// within fails unless got is inside tol (fractional) of want.
+func within(t *testing.T, what string, got, want int, tol float64) {
+	t.Helper()
+	lo := int(float64(want) * (1 - tol))
+	hi := int(float64(want)*(1+tol)) + 1
+	if got < lo || got > hi {
+		t.Errorf("%s: estimate %d outside [%d, %d] (true %d)", what, got, lo, hi, want)
+	}
+}
+
+func TestHLLEstimate(t *testing.T) {
+	if got := (&HLL{}).Estimate(); got != 0 {
+		t.Errorf("empty sketch estimates %d, want 0", got)
+	}
+	// Small range: linear counting is near-exact.
+	within(t, "n=20", sketchOf("s", 20).Estimate(), 20, 0.1)
+	// Large range: the harmonic-mean regime, inside ~3 standard errors.
+	within(t, "n=5000", sketchOf("s", 5000).Estimate(), 5000, 0.2)
+	// Re-adding the same values changes nothing.
+	h := sketchOf("s", 500)
+	first := h.Estimate()
+	for i := 0; i < 500; i++ {
+		h.Add(fmt.Sprintf("s%06d", i))
+	}
+	if h.Estimate() != first {
+		t.Errorf("duplicates moved the estimate: %d -> %d", first, h.Estimate())
+	}
+}
+
+func TestHLLMergeIsUnion(t *testing.T) {
+	// Identical sets: the merge must estimate the set, not the sum — this
+	// is the whole point of shipping sketches in stats digests.
+	a, b := sketchOf("x", 1000), sketchOf("x", 1000)
+	a.Merge(b)
+	within(t, "full overlap", a.Estimate(), 1000, 0.2)
+
+	// Disjoint sets: the merge covers both.
+	c, d := sketchOf("l", 600), sketchOf("r", 600)
+	c.Merge(d)
+	within(t, "disjoint", c.Estimate(), 1200, 0.2)
+
+	// Merging nil is a no-op.
+	before := c.Estimate()
+	c.Merge(nil)
+	if c.Estimate() != before {
+		t.Error("Merge(nil) changed the sketch")
+	}
+}
+
+func TestHLLClone(t *testing.T) {
+	if (*HLL)(nil).Clone() != nil {
+		t.Error("nil clone should stay nil")
+	}
+	a := sketchOf("x", 100)
+	b := a.Clone()
+	b.Add("something-new-entirely")
+	if a.Registers == b.Registers {
+		t.Error("clone aliases the original's registers")
+	}
+}
+
+// TestStatsSketches pins the digest integration: computeStats fills
+// sketches whose estimates track the exact counts, and the cached digest
+// hands out deep copies.
+func TestStatsSketches(t *testing.T) {
+	db := NewDB()
+	for i := 0; i < 300; i++ {
+		db.Insert(Triple{
+			Subject:   fmt.Sprintf("s%d", i%50),
+			Predicate: "A#p",
+			Object:    fmt.Sprintf("o%d", i),
+		})
+	}
+	st := db.Stats()
+	if len(st.Predicates) != 1 {
+		t.Fatalf("predicates = %+v", st.Predicates)
+	}
+	ps := st.Predicates[0]
+	if ps.SubjectSketch == nil || ps.ObjectSketch == nil {
+		t.Fatal("stats digest missing sketches")
+	}
+	within(t, "subjects", ps.SubjectSketch.Estimate(), ps.DistinctSubjects, 0.15)
+	within(t, "objects", ps.ObjectSketch.Estimate(), ps.DistinctObjects, 0.15)
+
+	// Mutating the returned sketch must not corrupt the cached digest.
+	for i := range ps.SubjectSketch.Registers {
+		ps.SubjectSketch.Registers[i] = 63
+	}
+	again := db.Stats().Predicates[0]
+	within(t, "subjects after aliasing write", again.SubjectSketch.Estimate(), again.DistinctSubjects, 0.15)
+}

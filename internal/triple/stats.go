@@ -13,6 +13,14 @@ type PredicateStats struct {
 	Triples          int
 	DistinctSubjects int
 	DistinctObjects  int
+	// SubjectSketch/ObjectSketch are HyperLogLog sketches of the same two
+	// distinct sets. Cross-peer aggregation merges them instead of summing
+	// the exact counts — the sum counts every subject once per holding
+	// peer (replicas, the 3-way index), the merged sketch estimates the
+	// union. nil on digests published by builds predating the sketches;
+	// consumers fall back to summing.
+	SubjectSketch *HLL
+	ObjectSketch  *HLL
 }
 
 // Stats is the cardinality digest of a DB: the total triple count plus
@@ -52,12 +60,16 @@ func (db *DB) Stats() Stats {
 	return s.copyOut()
 }
 
-// copyOut returns a Stats whose slice the caller may keep or mutate
-// without aliasing the cached copy.
+// copyOut returns a Stats whose slice and sketches the caller may keep or
+// mutate without aliasing the cached copy.
 func (s Stats) copyOut() Stats {
 	out := s
 	out.Predicates = make([]PredicateStats, len(s.Predicates))
 	copy(out.Predicates, s.Predicates)
+	for i := range out.Predicates {
+		out.Predicates[i].SubjectSketch = out.Predicates[i].SubjectSketch.Clone()
+		out.Predicates[i].ObjectSketch = out.Predicates[i].ObjectSketch.Clone()
+	}
 	return out
 }
 
@@ -67,6 +79,8 @@ func (db *DB) computeStats() Stats {
 		triples  int
 		subjects map[string]struct{}
 		objects  map[string]struct{}
+		subj     *HLL
+		obj      *HLL
 	}
 	perPred := map[string]*card{}
 	total := 0
@@ -76,7 +90,10 @@ func (db *DB) computeStats() Stats {
 		for pred, ts := range s.byPredicate {
 			c := perPred[pred]
 			if c == nil {
-				c = &card{subjects: map[string]struct{}{}, objects: map[string]struct{}{}}
+				c = &card{
+					subjects: map[string]struct{}{}, objects: map[string]struct{}{},
+					subj: &HLL{}, obj: &HLL{},
+				}
 				perPred[pred] = c
 			}
 			c.triples += len(ts)
@@ -84,6 +101,8 @@ func (db *DB) computeStats() Stats {
 			for t := range ts {
 				c.subjects[t.Subject] = struct{}{}
 				c.objects[t.Object] = struct{}{}
+				c.subj.Add(t.Subject)
+				c.obj.Add(t.Object)
 			}
 		}
 		s.mu.RUnlock()
@@ -95,6 +114,8 @@ func (db *DB) computeStats() Stats {
 			Triples:          c.triples,
 			DistinctSubjects: len(c.subjects),
 			DistinctObjects:  len(c.objects),
+			SubjectSketch:    c.subj,
+			ObjectSketch:     c.obj,
 		})
 	}
 	sort.Slice(out.Predicates, func(i, j int) bool {

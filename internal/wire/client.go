@@ -55,6 +55,16 @@ func (c *Client) readLoop() {
 			return
 		}
 		id := MessageID(msg)
+		if id == 0 {
+			// Connection-level trailer: the server turned this connection
+			// away (request IDs start at 1). Fail every caller with the
+			// server's reason rather than a bare EOF.
+			if tr, ok := msg.(*Trailer); ok && tr.Err != "" {
+				c.fail(fmt.Errorf("%w: %s", ErrClientClosed, tr.Err))
+				return
+			}
+			continue
+		}
 		c.mu.Lock()
 		ch := c.pending[id]
 		c.mu.Unlock()
@@ -79,6 +89,18 @@ func (c *Client) fail(err error) {
 	for _, ch := range pending {
 		close(ch)
 	}
+}
+
+// closedErr is what a pending call reports when the connection died:
+// the recorded failure reason (always wrapping ErrClientClosed), so a
+// server-side rejection surfaces its message instead of a bare EOF.
+func (c *Client) closedErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	return ErrClientClosed
 }
 
 // register allocates a request ID and its response channel.
@@ -185,7 +207,7 @@ func (cur *Cursor) Next(ctx context.Context) ([]string, bool) {
 func (cur *Cursor) absorb(msg any, ok bool) bool {
 	if !ok {
 		cur.done = true
-		cur.err = ErrClientClosed
+		cur.err = cur.c.closedErr()
 		cur.c.unregister(cur.id)
 		return false
 	}
@@ -260,7 +282,7 @@ func (c *Client) Write(ctx context.Context, w Write) (*Receipt, error) {
 		select {
 		case msg, ok := <-ch:
 			if !ok {
-				return nil, ErrClientClosed
+				return nil, c.closedErr()
 			}
 			rec, isRec := msg.(*Receipt)
 			if !isRec {
@@ -325,7 +347,7 @@ func (c *Client) call(ctx context.Context, t Type, mk func(id uint64) any) (any,
 	select {
 	case msg, ok := <-ch:
 		if !ok {
-			return nil, ErrClientClosed
+			return nil, c.closedErr()
 		}
 		return msg, nil
 	case <-ctx.Done():

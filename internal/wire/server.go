@@ -26,12 +26,22 @@ type Hosted struct {
 	WALSeq func() uint64
 }
 
+// Options tunes a server's connection handling.
+type Options struct {
+	// MaxConns caps concurrently served client connections. A connection
+	// accepted past the cap is turned away with a connection-level error
+	// frame (a Trailer with ID 0) and closed; connections already being
+	// served are unaffected. 0 means unlimited.
+	MaxConns int
+}
+
 // Server speaks the wire protocol on behalf of a set of hosted
 // mediation peers. All engine work runs server-side; each Query/Write
 // frame gets its own goroutine and its own engine context, cancelled
 // by a Cancel frame, a connection loss, or server shutdown.
 type Server struct {
 	daemon  int
+	opts    Options
 	hosted  map[string]Hosted
 	order   []string
 	started time.Time
@@ -52,14 +62,21 @@ type Server struct {
 	queriesServed atomic.Uint64
 	writesServed  atomic.Uint64
 	rowsStreamed  atomic.Uint64
+	connsRejected atomic.Uint64
 }
 
-// NewServer builds a server over the given hosted peers. daemon is the
-// daemon's cluster index, reported in stats.
+// NewServer builds a server over the given hosted peers with default
+// options. daemon is the daemon's cluster index, reported in stats.
 func NewServer(daemon int, hosted []Hosted) *Server {
+	return NewServerOptions(daemon, hosted, Options{})
+}
+
+// NewServerOptions builds a server over the given hosted peers.
+func NewServerOptions(daemon int, hosted []Hosted, opts Options) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		daemon:    daemon,
+		opts:      opts,
 		hosted:    make(map[string]Hosted, len(hosted)),
 		started:   time.Now(),
 		baseCtx:   ctx,
@@ -90,6 +107,14 @@ func (s *Server) Serve(ln net.Listener) {
 		if s.draining {
 			s.mu.Unlock()
 			c.Close()
+			continue
+		}
+		if s.opts.MaxConns > 0 && len(s.conns) >= s.opts.MaxConns {
+			s.connsRejected.Add(1)
+			s.mu.Unlock()
+			// Turn the connection away off the accept loop so a slow
+			// rejected client cannot stall admission of others.
+			go rejectConn(c)
 			continue
 		}
 		s.conns[c] = struct{}{}
@@ -137,6 +162,18 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Unlock()
 	s.connWg.Wait()
 	return err
+}
+
+// rejectConn tells a turned-away client why before hanging up: a
+// connection-level Trailer (ID 0, which no request ever uses) whose
+// error the client surfaces as the connection failure. Best-effort —
+// the deadline keeps an unread socket from pinning the goroutine.
+func rejectConn(c net.Conn) {
+	if buf, err := EncodeFrame(TTrailer, &Trailer{Err: "wire: connection limit reached"}); err == nil {
+		c.SetWriteDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
+		c.Write(buf)                                        //nolint:errcheck
+	}
+	c.Close()
 }
 
 // beginReq registers an in-flight request unless the server is
@@ -400,19 +437,30 @@ func (sc *srvConn) handleWrite(w *Write) {
 func (s *Server) statsSnapshot(id uint64) *DaemonStats {
 	s.mu.Lock()
 	draining := s.draining
+	activeConns := len(s.conns)
 	s.mu.Unlock()
-	return &DaemonStats{
+	out := &DaemonStats{
 		ID:            id,
 		Daemon:        s.daemon,
 		Peers:         append([]string(nil), s.order...),
 		UptimeMillis:  time.Since(s.started).Milliseconds(),
 		Draining:      draining,
+		ActiveConns:   activeConns,
+		ConnsRejected: s.connsRejected.Load(),
 		ActiveQueries: int(s.activeQueries.Load()),
 		ActiveWrites:  int(s.activeWrites.Load()),
 		QueriesServed: s.queriesServed.Load(),
 		WritesServed:  s.writesServed.Load(),
 		RowsStreamed:  s.rowsStreamed.Load(),
 	}
+	for _, pid := range s.order {
+		cs := s.hosted[pid].Peer.ComposeStats()
+		out.ComposeHits += cs.Hits
+		out.ComposeMisses += cs.Misses
+		out.ComposeInvalidations += cs.Invalidations
+		out.ComposeEntries += cs.Entries
+	}
+	return out
 }
 
 func (s *Server) dump(req *DumpReq) *Dump {

@@ -171,11 +171,18 @@ type DaemonStats struct {
 	Peers         []string
 	UptimeMillis  int64
 	Draining      bool
+	ActiveConns   int
+	ConnsRejected uint64
 	ActiveQueries int
 	ActiveWrites  int
 	QueriesServed uint64
 	WritesServed  uint64
 	RowsStreamed  uint64
+	// Composite-closure cache counters, summed over the hosted peers.
+	ComposeHits          uint64
+	ComposeMisses        uint64
+	ComposeInvalidations uint64
+	ComposeEntries       int
 }
 
 // DumpReq asks for per-peer store dumps; Peer narrows to one hosted

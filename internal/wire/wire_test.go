@@ -369,3 +369,91 @@ func TestWireShutdownDrains(t *testing.T) {
 		t.Fatalf("shutdown did not drain cleanly: %v", err)
 	}
 }
+
+// TestWireMaxConns pins the connection cap: the server turns the
+// over-cap connection away with a readable error, keeps serving the
+// connections already admitted, and frees the slot when an admitted
+// connection leaves.
+func TestWireMaxConns(t *testing.T) {
+	nw, err := gridvine.NewNetwork(gridvine.Options{Peers: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(nw.Close)
+	var hosted []wire.Hosted
+	for _, p := range nw.Peers() {
+		hosted = append(hosted, wire.Hosted{Peer: p.Peer})
+	}
+	srv := wire.NewServerOptions(0, hosted, wire.Options{MaxConns: 2})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	addr := ln.Addr().String()
+	ctx := context.Background()
+
+	dial := func() *wire.Client {
+		t.Helper()
+		c, err := wire.Dial(addr)
+		if err != nil {
+			t.Fatalf("Dial: %v", err)
+		}
+		return c
+	}
+	c1, c2 := dial(), dial()
+	defer c1.Close() //nolint:errcheck
+	defer c2.Close() //nolint:errcheck
+	if _, err := c1.Stats(ctx); err != nil {
+		t.Fatalf("first client: %v", err)
+	}
+	if _, err := c2.Stats(ctx); err != nil {
+		t.Fatalf("second client: %v", err)
+	}
+
+	// The third connection is over the cap: its first call must fail
+	// with the server's stated reason, not a bare EOF.
+	c3 := dial()
+	defer c3.Close() //nolint:errcheck
+	if _, err := c3.Stats(ctx); err == nil || !strings.Contains(err.Error(), "connection limit reached") {
+		t.Fatalf("over-cap call error = %v, want connection limit reached", err)
+	}
+
+	// The admitted connections keep working, and the rejection shows up
+	// in the stats they can still fetch.
+	st, err := c1.Stats(ctx)
+	if err != nil {
+		t.Fatalf("admitted client after rejection: %v", err)
+	}
+	if st.ConnsRejected < 1 {
+		t.Errorf("ConnsRejected = %d, want >= 1", st.ConnsRejected)
+	}
+	if st.ActiveConns != 2 {
+		t.Errorf("ActiveConns = %d, want 2", st.ActiveConns)
+	}
+	if _, err := c2.Stats(ctx); err != nil {
+		t.Fatalf("second admitted client after rejection: %v", err)
+	}
+
+	// Releasing an admitted connection frees its slot; the server-side
+	// reap is asynchronous, so poll briefly.
+	c2.Close() //nolint:errcheck
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c4 := dial()
+		_, err := c4.Stats(ctx)
+		c4.Close() //nolint:errcheck
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never freed after close: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
